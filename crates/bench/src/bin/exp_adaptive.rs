@@ -1,0 +1,105 @@
+//! Adaptive-specialization payoff: the engine's runtime chooser vs every
+//! forced (aggregation × selection) pairing, across workload shapes.
+//!
+//! This is the ablation behind the paper's core thesis (§3): no single
+//! operator implementation wins everywhere, so the engine must pick per
+//! segment/batch. For each workload the table shows the adaptive engine's
+//! cycles/row next to the best and worst forced combination — adaptive
+//! should track the best and avoid the worst.
+
+use bipie_bench::{bench_opts, bench_rows, measure_cycles_per_row, strategy_matrix_query, strategy_matrix_table};
+use bipie_core::{execute, AggStrategy, QueryOptions, SelectionStrategy};
+use bipie_metrics::Table;
+
+fn main() {
+    let rows = bench_rows().min(2 << 20);
+    let opts = bench_opts();
+    println!("Adaptive strategy choice vs forced combinations, cycles/row");
+    println!("rows={rows} runs={}\n", opts.runs);
+
+    // (label, groups, bits, sums, selectivity)
+    let workloads: [(&str, usize, u8, usize, f64); 5] = [
+        ("few groups, narrow, high sel", 6, 7, 2, 0.95),
+        ("few groups, narrow, low sel", 6, 7, 2, 0.05),
+        ("many groups, wide, mid sel", 32, 28, 3, 0.5),
+        ("many sums, low sel", 12, 14, 5, 0.1),
+        ("single sum, no filter", 8, 7, 1, 1.0),
+    ];
+
+    let mut table = Table::new(vec![
+        "workload",
+        "adaptive",
+        "best forced",
+        "worst forced",
+        "adaptive picked",
+    ]);
+    for (label, groups, bits, sums, sel) in workloads {
+        let t = strategy_matrix_table(rows, groups, bits, sums, 42);
+        let adaptive_q = strategy_matrix_query(sums, sel, QueryOptions {
+            parallel: false,
+            ..Default::default()
+        });
+        let mut picked = String::new();
+        let adaptive = measure_cycles_per_row(rows, opts, || {
+            let r = execute(&t, &adaptive_q).expect("runs");
+            if picked.is_empty() {
+                let agg = AggStrategy::ALL
+                    .iter()
+                    .find(|a| r.stats.agg_count(**a) > 0)
+                    .map(|a| a.label())
+                    .unwrap_or("-");
+                let selection = SelectionStrategy::ALL
+                    .iter()
+                    .max_by_key(|s| r.stats.selection_count(**s))
+                    .filter(|s| r.stats.selection_count(**s) > 0 && sel < 1.0)
+                    .map(|s| s.label());
+                picked = match selection {
+                    Some(s) => format!("{agg}+{s}"),
+                    None => agg.to_string(),
+                };
+            }
+            std::hint::black_box(r.num_rows());
+        });
+
+        let mut best = f64::INFINITY;
+        let mut worst = 0.0f64;
+        for agg in AggStrategy::ALL {
+            let selections: &[Option<SelectionStrategy>] = if sel >= 1.0 {
+                &[None]
+            } else {
+                &[
+                    Some(SelectionStrategy::Gather),
+                    Some(SelectionStrategy::Compact),
+                    Some(SelectionStrategy::SpecialGroup),
+                ]
+            };
+            for &selection in selections {
+                let q = strategy_matrix_query(sums, sel, QueryOptions {
+                    forced_agg: Some(agg),
+                    forced_selection: selection,
+                    parallel: false,
+                    ..Default::default()
+                });
+                let m = measure_cycles_per_row(rows, opts, || {
+                    std::hint::black_box(execute(&t, &q).expect("runs").num_rows());
+                });
+                best = best.min(m.cycles_per_row);
+                worst = worst.max(m.cycles_per_row);
+            }
+        }
+        table.row(vec![
+            label.to_string(),
+            format!("{:.2}", adaptive.cycles_per_row),
+            format!("{best:.2}"),
+            format!("{worst:.2}"),
+            picked,
+        ]);
+        eprintln!("  {label} done");
+    }
+    table.print();
+    println!(
+        "\nthe chooser should sit near 'best forced' on every row while the \
+         worst forced combination is often several times slower — the value \
+         of operator specialization (§3)."
+    );
+}

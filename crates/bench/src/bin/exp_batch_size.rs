@@ -1,0 +1,31 @@
+//! Batch-size ablation (§2.1: "a moving window of a fixed number of rows —
+//! up to 4096 rows in MemSQL"). Sweeps the window size on a Q1-shaped query
+//! to show the MonetDB/X100 trade-off the paper inherits: tiny batches pay
+//! per-batch overhead, huge batches spill the per-batch working set out of
+//! cache; 1–8K rows is the sweet spot.
+
+use bipie_bench::{bench_opts, measure_cycles_per_row};
+use bipie_core::QueryOptions;
+use bipie_metrics::Table;
+use bipie_tpch::{run_q1, LineItemGen};
+
+fn main() {
+    let sf: f64 =
+        std::env::var("BIPIE_TPCH_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.1);
+    let opts = bench_opts();
+    println!("Batch-size ablation on TPC-H Q1, cycles/row");
+    let table = LineItemGen { scale_factor: sf, ..Default::default() }.generate();
+    let rows = table.num_rows();
+    println!("rows={rows} runs={}\n", opts.runs);
+
+    let mut t = Table::new(vec!["batch rows", "cycles/row"]);
+    for batch_rows in [256usize, 1024, 4096, 16_384, 65_536, 262_144] {
+        let options = QueryOptions { parallel: false, batch_rows, ..Default::default() };
+        let m = measure_cycles_per_row(rows, opts, || {
+            std::hint::black_box(run_q1(&table, options.clone()).expect("runs").0.len());
+        });
+        t.row(vec![batch_rows.to_string(), format!("{:.2}", m.cycles_per_row)]);
+    }
+    t.print();
+    println!("\npaper default: 4096 rows per batch.");
+}

@@ -1,0 +1,84 @@
+//! **Figure 5** — Performance of In-Register Aggregation (§5.3).
+//!
+//! Cycles/row for the in-register variants (COUNT, SUM of 1/2/4-byte
+//! values) as the group count grows from 2 to 32, with the naive scalar
+//! COUNT as the reference line. The paper's expectations, which this
+//! experiment verifies: cost grows linearly with the number of groups (one
+//! compare+add pair per group per vector), and narrower inputs are faster
+//! (more SIMD lanes per register).
+
+use bipie_bench::{
+    bench_opts, bench_rows, gen_gids, gen_values_u16, gen_values_u32, gen_values_u8,
+    measure_cycles_per_row,
+};
+use bipie_metrics::Table;
+use bipie_toolbox::agg::{in_register, scalar};
+use bipie_toolbox::SimdLevel;
+
+fn main() {
+    let rows = bench_rows();
+    let opts = bench_opts();
+    let level = SimdLevel::detect();
+    println!("Figure 5: In-Register aggregation cycles/row vs group count");
+    println!("rows={rows} runs={} simd={level}\n", opts.runs);
+
+    let v8 = gen_values_u8(rows, 8, 60);
+    let v16 = gen_values_u16(rows, 16, 61);
+    let v32 = gen_values_u32(rows, 28, 62);
+
+    let mut table = Table::new(vec![
+        "groups",
+        "count",
+        "sum 1B",
+        "sum 2B",
+        "sum 4B",
+        "scalar count (ref)",
+    ]);
+    for groups in [2usize, 4, 6, 8, 12, 16, 20, 24, 28, 32] {
+        let gids = gen_gids(rows, groups, groups as u64);
+        let mut counts = vec![0u64; groups];
+        let mut sums = vec![0i64; groups];
+
+        let c = measure_cycles_per_row(rows, opts, || {
+            counts.iter_mut().for_each(|x| *x = 0);
+            in_register::count_groups(std::hint::black_box(&gids), groups, &mut counts, level);
+            std::hint::black_box(&counts);
+        });
+        let s8 = measure_cycles_per_row(rows, opts, || {
+            sums.iter_mut().for_each(|x| *x = 0);
+            in_register::sum_u8(std::hint::black_box(&gids), &v8, groups, &mut sums, level);
+            std::hint::black_box(&sums);
+        });
+        let s16 = measure_cycles_per_row(rows, opts, || {
+            sums.iter_mut().for_each(|x| *x = 0);
+            in_register::sum_u16(std::hint::black_box(&gids), &v16, groups, &mut sums, level);
+            std::hint::black_box(&sums);
+        });
+        let s32 = measure_cycles_per_row(rows, opts, || {
+            sums.iter_mut().for_each(|x| *x = 0);
+            in_register::sum_u32(
+                std::hint::black_box(&gids),
+                &v32,
+                groups,
+                &mut sums,
+                (1 << 28) - 1,
+                level,
+            );
+            std::hint::black_box(&sums);
+        });
+        let sc = measure_cycles_per_row(rows, opts, || {
+            counts.iter_mut().for_each(|x| *x = 0);
+            scalar::count_single_array(std::hint::black_box(&gids), &mut counts);
+            std::hint::black_box(&counts);
+        });
+        table.row(vec![
+            groups.to_string(),
+            format!("{:.2}", c.cycles_per_row),
+            format!("{:.2}", s8.cycles_per_row),
+            format!("{:.2}", s16.cycles_per_row),
+            format!("{:.2}", s32.cycles_per_row),
+            format!("{:.2}", sc.cycles_per_row),
+        ]);
+    }
+    table.print();
+}

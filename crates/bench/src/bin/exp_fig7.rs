@@ -1,0 +1,115 @@
+//! **Figure 7** — Comparison of Selection Strategies (§6.1).
+//!
+//! For bit widths {4, 7, 14, 21} and selectivities 1%–100%, measures
+//! selection-with-bit-unpacking through both methods:
+//!
+//! * **gather**: selection byte vector → index vector → gather-unpack only
+//!   the selected values (§4.2);
+//! * **compact**: unpack the whole batch, then physically compact the
+//!   survivors (§4.1).
+//!
+//! The paper's findings to verify: for each bit width there is a crossover
+//! selectivity below which gather wins (≈2% at 4 bits, ≈38% at 21 bits),
+//! because compaction's full-column unpack is cheaper per row than gathers
+//! once enough rows survive.
+
+use bipie_bench::{bench_opts, bench_rows, gen_packed, gen_selection, measure_cycles_per_row};
+use bipie_metrics::Table;
+use bipie_toolbox::bitpack::WordSize;
+use bipie_toolbox::select::{compact, gather};
+use bipie_toolbox::selvec::SelIndexVec;
+use bipie_toolbox::SimdLevel;
+
+fn main() {
+    let rows = bench_rows();
+    let opts = bench_opts();
+    let level = SimdLevel::detect();
+    println!("Figure 7: selection with bit unpacking — gather vs compact, cycles/row");
+    println!("rows={rows} runs={} simd={level}\n", opts.runs);
+
+    let selectivities =
+        [0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.38, 0.50, 0.70, 0.90, 1.00];
+    for bits in [4u8, 7, 14, 21] {
+        let pv = gen_packed(rows, bits, bits as u64);
+        let mut table = Table::new(vec!["selectivity", "gather", "compact", "winner"]);
+        let mut crossover: Option<f64> = None;
+        let mut prev_winner = "";
+        for &sel_frac in &selectivities {
+            let sel = gen_selection(rows, sel_frac, 77);
+            let mut iv = SelIndexVec::with_capacity(rows);
+            let mut out32 = vec![0u32; rows];
+
+            let g = measure_cycles_per_row(rows, opts, || {
+                compact::compact_indices(std::hint::black_box(sel.as_bytes()), &mut iv, level);
+                let n = iv.len();
+                gather::gather_unpack_u32(&pv, iv.as_slice(), &mut out32[..n], level);
+                std::hint::black_box(&out32);
+            });
+
+            // Compact path unpacks at the natural word size first (§2.2).
+            let c = match WordSize::for_bits(bits) {
+                WordSize::W1 => {
+                    let mut full = vec![0u8; rows];
+                    let mut packed_out = Vec::with_capacity(rows);
+                    measure_cycles_per_row(rows, opts, || {
+                        pv.unpack_into_u8(0, &mut full, level);
+                        compact::compact_u8(
+                            std::hint::black_box(&full),
+                            sel.as_bytes(),
+                            &mut packed_out,
+                            level,
+                        );
+                        std::hint::black_box(&packed_out);
+                    })
+                }
+                WordSize::W2 => {
+                    let mut full = vec![0u16; rows];
+                    let mut packed_out = Vec::with_capacity(rows);
+                    measure_cycles_per_row(rows, opts, || {
+                        pv.unpack_into_u16(0, &mut full, level);
+                        compact::compact_u16(
+                            std::hint::black_box(&full),
+                            sel.as_bytes(),
+                            &mut packed_out,
+                            level,
+                        );
+                        std::hint::black_box(&packed_out);
+                    })
+                }
+                _ => {
+                    let mut full = vec![0u32; rows];
+                    let mut packed_out = Vec::with_capacity(rows);
+                    measure_cycles_per_row(rows, opts, || {
+                        pv.unpack_into_u32(0, &mut full, level);
+                        compact::compact_u32(
+                            std::hint::black_box(&full),
+                            sel.as_bytes(),
+                            &mut packed_out,
+                            level,
+                        );
+                        std::hint::black_box(&packed_out);
+                    })
+                }
+            };
+
+            let winner = if g.cycles_per_row <= c.cycles_per_row { "gather" } else { "compact" };
+            if prev_winner == "gather" && winner == "compact" && crossover.is_none() {
+                crossover = Some(sel_frac);
+            }
+            prev_winner = winner;
+            table.row(vec![
+                format!("{:.0}%", sel_frac * 100.0),
+                format!("{:.2}", g.cycles_per_row),
+                format!("{:.2}", c.cycles_per_row),
+                winner.to_string(),
+            ]);
+        }
+        println!("-- {bits}-bit encoding --");
+        table.print();
+        match crossover {
+            Some(s) => println!("crossover: compact overtakes gather near {:.0}%\n", s * 100.0),
+            None => println!("crossover: none observed in the sweep\n"),
+        }
+    }
+    println!("paper anchors: 4-bit crossover ~2%; 21-bit: gather wins below ~38%");
+}

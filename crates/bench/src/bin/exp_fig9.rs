@@ -1,0 +1,7 @@
+//! **Figure 9** — winner of all (selection x aggregation) strategy
+//! combinations across selectivity and aggregate count (§6.2). See
+//! `bipie_bench::matrix` for the sweep machinery.
+
+fn main() {
+    bipie_bench::matrix::run_matrix(bipie_bench::matrix::FIG9);
+}

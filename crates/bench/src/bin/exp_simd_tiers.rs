@@ -1,0 +1,145 @@
+//! SIMD-tier ablation: every dispatchable kernel measured at every level
+//! the CPU supports (scalar / AVX2 / AVX-512). This is the quantitative
+//! backing for the toolbox's multi-generation design (§3: "versions
+//! compiled for different generations of CPUs ... automatically switched at
+//! run-time").
+
+use bipie_bench::{
+    bench_opts, bench_rows, gen_gids, gen_packed, gen_selection, measure_cycles_per_row,
+};
+use bipie_metrics::Table;
+use bipie_toolbox::cmp::{cmp_u32, CmpOp};
+use bipie_toolbox::select::{compact, gather, special_group};
+use bipie_toolbox::selvec::{count_selected, SelIndexVec};
+use bipie_toolbox::SimdLevel;
+
+fn main() {
+    let rows = bench_rows();
+    let opts = bench_opts();
+    let levels = SimdLevel::available();
+    println!("SIMD tier ablation, cycles/row, rows={rows} runs={}", opts.runs);
+    println!("available tiers: {levels:?}\n");
+
+    let headers: Vec<String> = std::iter::once("kernel".to_string())
+        .chain(levels.iter().map(|l| l.to_string()))
+        .collect();
+    let mut table = Table::new(headers);
+
+    let sel = gen_selection(rows, 0.5, 3);
+    let gids = gen_gids(rows, 6, 5);
+    let pv = gen_packed(rows, 14, 7);
+    let data32: Vec<u32> = (0..rows as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+
+    let mut run = |name: &str, mut f: Box<dyn FnMut(SimdLevel)>| {
+        let mut row = vec![name.to_string()];
+        for &level in &levels {
+            let m = measure_cycles_per_row(rows, opts, || f(level));
+            row.push(format!("{:.2}", m.cycles_per_row));
+        }
+        table.row(row);
+    };
+
+    {
+        let sel = sel.clone();
+        run(
+            "count_selected",
+            Box::new(move |level| {
+                std::hint::black_box(count_selected(sel.as_bytes(), level));
+            }),
+        );
+    }
+    {
+        let data32 = data32.clone();
+        let mut out = vec![0u8; rows];
+        run(
+            "cmp_u32 (le)",
+            Box::new(move |level| {
+                cmp_u32(std::hint::black_box(&data32), CmpOp::Le, u32::MAX / 2, &mut out, level);
+                std::hint::black_box(&out);
+            }),
+        );
+    }
+    {
+        let sel = sel.clone();
+        let mut iv = SelIndexVec::with_capacity(rows);
+        run(
+            "compact_indices",
+            Box::new(move |level| {
+                compact::compact_indices(std::hint::black_box(sel.as_bytes()), &mut iv, level);
+                std::hint::black_box(iv.len());
+            }),
+        );
+    }
+    {
+        let sel = sel.clone();
+        let data32 = data32.clone();
+        let mut out = Vec::with_capacity(rows);
+        run(
+            "compact_u32",
+            Box::new(move |level| {
+                compact::compact_u32(std::hint::black_box(&data32), sel.as_bytes(), &mut out, level);
+                std::hint::black_box(out.len());
+            }),
+        );
+    }
+    {
+        let sel = sel.clone();
+        let data8: Vec<u8> = (0..rows).map(|i| i as u8).collect();
+        let mut out = Vec::with_capacity(rows);
+        run(
+            "compact_u8",
+            Box::new(move |level| {
+                compact::compact_u8(std::hint::black_box(&data8), sel.as_bytes(), &mut out, level);
+                std::hint::black_box(out.len());
+            }),
+        );
+    }
+    {
+        let mut iv = SelIndexVec::with_capacity(rows);
+        compact::compact_indices(sel.as_bytes(), &mut iv, SimdLevel::detect());
+        let n = iv.len();
+        let mut out = vec![0u32; n];
+        run(
+            "gather_unpack_u32 (14-bit)",
+            Box::new(move |level| {
+                gather::gather_unpack_u32(&pv, std::hint::black_box(iv.as_slice()), &mut out, level);
+                std::hint::black_box(&out);
+            }),
+        );
+    }
+    {
+        let sel = sel.clone();
+        let mut gids = gids.clone();
+        run(
+            "special_group (in place)",
+            Box::new(move |level| {
+                special_group::assign_special_group_in_place(
+                    std::hint::black_box(&mut gids),
+                    sel.as_bytes(),
+                    6,
+                    level,
+                );
+                std::hint::black_box(&gids);
+            }),
+        );
+    }
+    {
+        let gids = gids.clone();
+        let mut counts = vec![0u64; 6];
+        run(
+            "in_register count (6 groups)",
+            Box::new(move |level| {
+                counts.iter_mut().for_each(|c| *c = 0);
+                bipie_toolbox::agg::in_register::count_groups(
+                    std::hint::black_box(&gids),
+                    6,
+                    &mut counts,
+                    level,
+                );
+                std::hint::black_box(&counts);
+            }),
+        );
+    }
+
+    table.print();
+}

@@ -1,0 +1,47 @@
+//! **Table 1** — Gather Selection Performance.
+//!
+//! "Table 1 presents the performance, in CPU cycles per row, of gather
+//! selection for different bit widths. As expected, the performance slows
+//! down as the bit width increases because fewer elements can be packed in
+//! a SIMD register."
+//!
+//! Paper values (cycles/row): 5 bits → 1.08, 10 bits → 1.33, 20 bits →
+//! 1.63. The measured pipeline is §4.2's two steps: selection byte vector →
+//! index vector (compaction, index mode), then gather-unpack of selected
+//! values. Selectivity 50% (cycles are per *input* row).
+
+use bipie_bench::{bench_opts, bench_rows, gen_packed, gen_selection, measure_cycles_per_row};
+use bipie_metrics::Table;
+use bipie_toolbox::select::{compact, gather};
+use bipie_toolbox::selvec::SelIndexVec;
+use bipie_toolbox::SimdLevel;
+
+fn main() {
+    let rows = bench_rows();
+    let opts = bench_opts();
+    let level = SimdLevel::detect();
+    println!("Table 1: Gather Selection Performance");
+    println!("rows={rows} runs={} simd={level}\n", opts.runs);
+
+    let paper = [(5u8, 1.08), (10, 1.33), (20, 1.63)];
+    let sel = gen_selection(rows, 0.5, 7);
+
+    let mut table = Table::new(vec!["bit width", "cycles/row (measured)", "cycles/row (paper)"]);
+    for (bits, paper_cycles) in paper {
+        let pv = gen_packed(rows, bits, bits as u64);
+        let mut iv = SelIndexVec::with_capacity(rows);
+        let mut out = vec![0u32; rows];
+        let m = measure_cycles_per_row(rows, opts, || {
+            compact::compact_indices(std::hint::black_box(sel.as_bytes()), &mut iv, level);
+            let n = iv.len();
+            gather::gather_unpack_u32(&pv, iv.as_slice(), &mut out[..n], level);
+            std::hint::black_box(&out);
+        });
+        table.row(vec![
+            bits.to_string(),
+            format!("{:.2}", m.cycles_per_row),
+            format!("{paper_cycles:.2}"),
+        ]);
+    }
+    table.print();
+}

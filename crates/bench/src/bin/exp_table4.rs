@@ -1,0 +1,97 @@
+//! **Table 4** — Multi-Aggregate SUM performance (§5.4).
+//!
+//! Cycles/row/sum at 32 groups for the paper's five input-width
+//! combinations (element sizes in bytes):
+//!
+//! | sums | sizes       | paper c/r/sum |
+//! |------|-------------|---------------|
+//! | 2    | 8-2         | 1.37          |
+//! | 3    | 8-4-1       | 1.43          |
+//! | 4    | 8-8-4-2     | 0.91          |
+//! | 5    | 8-4-4-2-2   | 0.77          |
+//! | 5    | 4-4-2-2-2   | 0.75          |
+//!
+//! "The more sums are done, the higher the efficiency per sum" — the
+//! transpose and the per-row load-add-store amortize over the aggregates.
+
+use bipie_bench::{
+    bench_opts, bench_rows, gen_gids, gen_values, gen_values_u16, gen_values_u32, gen_values_u8,
+    measure_cycles_per_row,
+};
+use bipie_metrics::Table;
+use bipie_toolbox::agg::multi::{sum_multi, RowLayout};
+use bipie_toolbox::agg::ColRef;
+use bipie_toolbox::SimdLevel;
+
+enum Col {
+    B1(Vec<u8>),
+    B2(Vec<u16>),
+    B4(Vec<u32>),
+    B8(Vec<u64>),
+}
+
+impl Col {
+    fn new(bytes: usize, rows: usize, seed: u64) -> Col {
+        match bytes {
+            1 => Col::B1(gen_values_u8(rows, 8, seed)),
+            2 => Col::B2(gen_values_u16(rows, 16, seed)),
+            4 => Col::B4(gen_values_u32(rows, 28, seed)),
+            8 => Col::B8(gen_values(rows, 40, seed)),
+            _ => unreachable!(),
+        }
+    }
+
+    fn col_ref(&self) -> ColRef<'_> {
+        match self {
+            Col::B1(v) => ColRef::U8(v),
+            Col::B2(v) => ColRef::U16(v),
+            Col::B4(v) => ColRef::U32(v),
+            Col::B8(v) => ColRef::U64(v),
+        }
+    }
+}
+
+fn main() {
+    let rows = bench_rows();
+    let opts = bench_opts();
+    let level = SimdLevel::detect();
+    let groups = 32usize;
+    println!("Table 4: Multi-Aggregate SUM cycles/row/sum, {groups} groups");
+    println!("rows={rows} runs={} simd={level}\n", opts.runs);
+
+    let combos: [(&[usize], f64); 5] = [
+        (&[8, 2], 1.37),
+        (&[8, 4, 1], 1.43),
+        (&[8, 8, 4, 2], 0.91),
+        (&[8, 4, 4, 2, 2], 0.77),
+        (&[4, 4, 2, 2, 2], 0.75),
+    ];
+    let gids = gen_gids(rows, groups, 11);
+
+    let mut table =
+        Table::new(vec!["sums", "sizes (bytes)", "cycles/row/sum", "paper"]);
+    for (sizes, paper) in combos {
+        let cols: Vec<Col> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| Col::new(b, rows, 400 + i as u64))
+            .collect();
+        let refs: Vec<ColRef<'_>> = cols.iter().map(Col::col_ref).collect();
+        let layout = RowLayout::plan_for(&refs).expect("paper combos fit");
+        let mut sums = vec![0i64; sizes.len() * groups];
+        let m = measure_cycles_per_row(rows, opts, || {
+            sums.iter_mut().for_each(|s| *s = 0);
+            sum_multi(std::hint::black_box(&gids), &refs, &layout, groups, &mut sums, level);
+            std::hint::black_box(&sums);
+        });
+        let sizes_str =
+            sizes.iter().map(usize::to_string).collect::<Vec<_>>().join("-");
+        table.row(vec![
+            sizes.len().to_string(),
+            sizes_str,
+            format!("{:.2}", m.per_sum(sizes.len())),
+            format!("{paper:.2}"),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,83 @@
+//! **Table 5** — TPC-H Query 1 performance vs previously published results
+//! (§6.3).
+//!
+//! The paper normalizes every published Q1 time to **cycles per row**:
+//! `time × nominal clock × physical cores / table rows`. This binary runs
+//! Q1 end-to-end on the BIPie engine over a generated LINEITEM table and
+//! reports the same metric next to the paper's normalized table. The
+//! published rows are citations, reproduced verbatim; the final rows are
+//! the paper's MemSQL/BIPie result and this reproduction's measurement.
+//!
+//! Environment: `BIPIE_TPCH_SF` (default 0.2 — roughly 1.2M rows; cycles
+//! per row is size-normalized so the scale factor mainly affects cache
+//! residency, which the paper also ensures exceeds LLC).
+
+use bipie_bench::bench_opts;
+use bipie_core::QueryOptions;
+use bipie_metrics::{cycles::estimate_tsc_hz, measure_cycles_per_row, Table};
+use bipie_tpch::{format_q1, run_q1, LineItemGen};
+
+fn main() {
+    let sf: f64 = std::env::var("BIPIE_TPCH_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2);
+    let opts = bench_opts();
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+
+    println!("Table 5: TPC-H Query 1, normalized cycles/row");
+    println!("generating LINEITEM at SF {sf} ...");
+    let table = LineItemGen { scale_factor: sf, ..Default::default() }.generate();
+    let rows = table.num_rows();
+    println!("rows={rows} segments={} runs={} cores={cores}\n", table.segments().len(), opts.runs);
+
+    let options = QueryOptions { parallel: cores > 1, ..Default::default() };
+    let mut result = None;
+    let m = measure_cycles_per_row(rows, opts, || {
+        result = Some(run_q1(&table, options.clone()).expect("Q1 runs"));
+    });
+    let (q1_rows, stats) = result.expect("measured at least once");
+
+    println!("-- Q1 answer --");
+    print!("{}", format_q1(&q1_rows));
+    println!("\n-- execution stats --\n{stats:?}\n");
+
+    // Published results normalized by the paper (Table 5).
+    let mut t = Table::new(vec!["engine", "SF", "cores", "clock GHz", "time s", "cycles/row"]);
+    let published: [(&str, &str, &str, &str, &str, &str); 11] = [
+        ("EXASol 5.0", "100", "120", "2.8", "0.6", "336"),
+        ("Vectorwise 3 (2014)", "100", "16", "2.9", "1.3", "100.5"),
+        ("SQL Server 2014", "1000", "60", "2.8", "4.1", "114.8"),
+        ("SQL Server 2016", "10000", "96", "2.2", "13.2", "46.5"),
+        ("Vectorwise 3 (sf300)", "300", "16", "2.9", "3.8", "98.0"),
+        ("Vectorwise 3 (sf100)", "100", "16", "2.9", "1.3", "100.5"),
+        ("Hyper", "10", "4", "3.6", "0.12", "28.8"),
+        ("Voodoo", "10", "4", "3.6", "0.162", "38.9"),
+        ("CWI/Handwritten", "100", "1", "2.6", "4", "17.3"),
+        ("Hyper/Datablocks", "100", "32", "2.27", "0.388", "47.0"),
+        ("MemSQL/BIPie (paper)", "100", "4", "3.4", "0.381", "8.6"),
+    ];
+    for (engine, sf, cores, clock, time, cpr) in published {
+        t.row(vec![engine, sf, cores, clock, time, cpr]);
+    }
+    // Our measurement: rdtsc cycles already include all participating
+    // cores' wall time on one socket; with a parallel scan multiply by the
+    // worker count to match the paper's per-physical-core normalization.
+    let used_cores = if options.parallel { cores.min(table.segments().len()) } else { 1 };
+    let normalized = m.cycles_per_row * used_cores as f64;
+    let tsc_ghz = estimate_tsc_hz() / 1e9;
+    let time_s = m.cycles_per_row * rows as f64 / (tsc_ghz * 1e9);
+    t.row(vec![
+        "BIPie-rs (this repo)".to_string(),
+        format!("{sf}"),
+        used_cores.to_string(),
+        format!("{tsc_ghz:.2}"),
+        format!("{time_s:.3}"),
+        format!("{normalized:.1}"),
+    ]);
+    t.print();
+    println!(
+        "\npaper headline: BIPie at 8.6 cycles/row — 2x faster than the best \
+         hand-written (17.3) and 3.3x faster than the fastest engine (28.8)."
+    );
+}

@@ -1,0 +1,91 @@
+//! Ad-hoc cost breakdown of the Q1 pipeline stages, in cycles/row.
+//! Not a paper experiment — a development aid for tuning the engine.
+
+use bipie_bench::{bench_opts, measure_cycles_per_row};
+use bipie_core::{AggExpr, Expr, Predicate, QueryBuilder, QueryOptions};
+use bipie_tpch::{q1_cutoff, LineItemGen};
+use bipie_columnstore::Value;
+
+fn main() {
+    let table = LineItemGen { scale_factor: 0.2, ..Default::default() }.generate();
+    let rows = table.num_rows();
+    let opts = bench_opts();
+    println!("rows={rows}");
+
+    let extprice = || Expr::col("l_extendedprice");
+    let one_minus_disc = || Expr::lit(100).sub(Expr::col("l_discount"));
+    let one_plus_tax = || Expr::lit(100).add(Expr::col("l_tax"));
+    let filter = || Predicate::le("l_shipdate", Value::Date(q1_cutoff()));
+    let base = || {
+        QueryBuilder::new()
+            .filter(filter())
+            .group_by("l_returnflag")
+            .group_by("l_linestatus")
+    };
+
+    let variants: Vec<(&str, bipie_core::Query)> = vec![
+        ("count only (filter+groupid)", base().aggregate(AggExpr::count_star()).build()),
+        (
+            "1 packed sum",
+            base().aggregate(AggExpr::sum("l_quantity")).build(),
+        ),
+        (
+            "3 packed sums",
+            base()
+                .aggregate(AggExpr::sum("l_quantity"))
+                .aggregate(AggExpr::sum("l_extendedprice"))
+                .aggregate(AggExpr::sum("l_discount"))
+                .build(),
+        ),
+        (
+            "+1 computed sum",
+            base()
+                .aggregate(AggExpr::sum("l_quantity"))
+                .aggregate(AggExpr::sum("l_extendedprice"))
+                .aggregate(AggExpr::sum("l_discount"))
+                .aggregate(AggExpr::sum_expr(extprice().mul(one_minus_disc())))
+                .build(),
+        ),
+        (
+            "full Q1 sums (2 computed)",
+            base()
+                .aggregate(AggExpr::sum("l_quantity"))
+                .aggregate(AggExpr::sum("l_extendedprice"))
+                .aggregate(AggExpr::sum("l_discount"))
+                .aggregate(AggExpr::sum_expr(extprice().mul(one_minus_disc())))
+                .aggregate(AggExpr::sum_expr(
+                    extprice().mul(one_minus_disc()).mul(one_plus_tax()),
+                ))
+                .build(),
+        ),
+        ("full Q1 (with avgs/count)", bipie_tpch::q1_query(QueryOptions::default())),
+        (
+            "1 computed sum only",
+            base()
+                .aggregate(AggExpr::sum_expr(extprice().mul(one_minus_disc())))
+                .build(),
+        ),
+        (
+            "1 trivial computed (col+0)",
+            base()
+                .aggregate(AggExpr::sum_expr(Expr::col("l_discount").add(Expr::lit(0))))
+                .build(),
+        ),
+        (
+            "no filter, 3 packed sums",
+            QueryBuilder::new()
+                .group_by("l_returnflag")
+                .group_by("l_linestatus")
+                .aggregate(AggExpr::sum("l_quantity"))
+                .aggregate(AggExpr::sum("l_extendedprice"))
+                .aggregate(AggExpr::sum("l_discount"))
+                .build(),
+        ),
+    ];
+    for (name, query) in variants {
+        let m = measure_cycles_per_row(rows, opts, || {
+            std::hint::black_box(bipie_core::execute(&table, &query).unwrap().num_rows());
+        });
+        println!("{name:32} {:>6.2} c/r", m.cycles_per_row);
+    }
+}

@@ -1,0 +1,173 @@
+//! Shared workload generation and measurement plumbing for the experiment
+//! binaries (one per paper table/figure — see DESIGN.md's experiment index)
+//! and the Criterion benches.
+//!
+//! Methodology follows §6: inputs are large enough not to fit in the
+//! last-level cache, experiments repeat N times (default 10) reporting the
+//! median, and results are expressed in CPU cycles per row (per sum where
+//! applicable).
+//!
+//! Environment knobs:
+//!
+//! * `BIPIE_BENCH_ROWS` — rows per kernel-level experiment (default 4M;
+//!   the paper uses 100M+, raise this for publication-quality numbers).
+//! * `BIPIE_BENCH_RUNS` — timed repetitions (default 10).
+//! * `BIPIE_TPCH_SF` — TPC-H scale factor for the Query 1 experiment.
+
+use bipie_columnstore::encoding::EncodingHint;
+use bipie_columnstore::{ColumnSpec, LogicalType, Table, TableBuilder, Value};
+use bipie_core::{AggExpr, Predicate, QueryBuilder, QueryOptions};
+use bipie_toolbox::bitpack::{mask_for, PackedVec};
+use bipie_toolbox::selvec::SelByteVec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub use bipie_metrics::{measure_cycles_per_row, MeasureOpts, Measurement};
+
+/// Rows per kernel experiment (`BIPIE_BENCH_ROWS`, default 4M — large
+/// enough to spill the LLC with 4-byte elements).
+pub fn bench_rows() -> usize {
+    std::env::var("BIPIE_BENCH_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4 << 20)
+}
+
+/// Measurement options from the environment (§6 defaults).
+pub fn bench_opts() -> MeasureOpts {
+    MeasureOpts::from_env()
+}
+
+/// Deterministic group ids, uniform over `0..groups`.
+pub fn gen_gids(n: usize, groups: usize, seed: u64) -> Vec<u8> {
+    assert!((1..=256).contains(&groups));
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(0..groups) as u8).collect()
+}
+
+/// Deterministic unsigned values of the given bit width.
+pub fn gen_values(n: usize, bits: u8, seed: u64) -> Vec<u64> {
+    let mask = mask_for(bits);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random::<u64>() & mask).collect()
+}
+
+/// Deterministic bit-packed column of the given width.
+pub fn gen_packed(n: usize, bits: u8, seed: u64) -> PackedVec {
+    PackedVec::pack(&gen_values(n, bits, seed), bits)
+}
+
+/// A selection byte vector with the given selectivity (fraction kept).
+pub fn gen_selection(n: usize, selectivity: f64, seed: u64) -> SelByteVec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SelByteVec::from_bools(&(0..n).map(|_| rng.random_bool(selectivity)).collect::<Vec<_>>())
+}
+
+/// Narrow u8 / u16 / u32 views of generated values (for width-specific
+/// kernels).
+pub fn gen_values_u8(n: usize, bits: u8, seed: u64) -> Vec<u8> {
+    assert!(bits <= 8);
+    gen_values(n, bits, seed).into_iter().map(|v| v as u8).collect()
+}
+
+/// 16-bit variant of [`gen_values_u8`].
+pub fn gen_values_u16(n: usize, bits: u8, seed: u64) -> Vec<u16> {
+    assert!(bits <= 16);
+    gen_values(n, bits, seed).into_iter().map(|v| v as u16).collect()
+}
+
+/// 32-bit variant of [`gen_values_u8`].
+pub fn gen_values_u32(n: usize, bits: u8, seed: u64) -> Vec<u32> {
+    assert!(bits <= 32);
+    gen_values(n, bits, seed).into_iter().map(|v| v as u32).collect()
+}
+
+/// A synthetic columnstore table for the Figure 8–10 engine-level matrix:
+/// one group column with `groups` distinct values, one uniform `sel` column
+/// in `0..10_000` for selectivity control, and `num_aggs` bit-packed
+/// aggregate columns of `bits` bits.
+pub fn strategy_matrix_table(
+    rows: usize,
+    groups: usize,
+    bits: u8,
+    num_aggs: usize,
+    seed: u64,
+) -> Table {
+    let mut specs = vec![
+        ColumnSpec::new("g", LogicalType::I64).with_hint(EncodingHint::BitPack),
+        ColumnSpec::new("sel", LogicalType::I64).with_hint(EncodingHint::BitPack),
+    ];
+    for a in 0..num_aggs {
+        specs.push(
+            ColumnSpec::new(format!("a{a}"), LogicalType::I64).with_hint(EncodingHint::BitPack),
+        );
+    }
+    let mut b = TableBuilder::with_segment_rows(specs, rows.max(1));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask = mask_for(bits) as i64;
+    for _ in 0..rows {
+        let mut row = vec![
+            Value::I64(rng.random_range(0..groups as i64)),
+            Value::I64(rng.random_range(0..10_000i64)),
+        ];
+        for _ in 0..num_aggs {
+            row.push(Value::I64(rng.random::<i64>() & mask));
+        }
+        b.push_row(row);
+    }
+    b.finish()
+}
+
+/// Build the Figure 8–10 query for a given selectivity (fraction in
+/// `0.0..=1.0`) against [`strategy_matrix_table`].
+pub fn strategy_matrix_query(
+    num_aggs: usize,
+    selectivity: f64,
+    options: QueryOptions,
+) -> bipie_core::Query {
+    let threshold = (selectivity * 10_000.0).round() as i64;
+    let mut qb = QueryBuilder::new().group_by("g");
+    if threshold < 10_000 {
+        qb = qb.filter(Predicate::lt("sel", Value::I64(threshold)));
+    }
+    for a in 0..num_aggs {
+        qb = qb.aggregate(AggExpr::sum(format!("a{a}")));
+    }
+    qb.options(options).build()
+}
+
+/// Pretty cycles value.
+pub fn fmt_cycles(c: f64) -> String {
+    format!("{c:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(gen_gids(100, 7, 1), gen_gids(100, 7, 1));
+        assert_ne!(gen_gids(100, 7, 1), gen_gids(100, 7, 2));
+        assert_eq!(gen_packed(50, 13, 3), gen_packed(50, 13, 3));
+    }
+
+    #[test]
+    fn selection_hits_target_selectivity() {
+        let sel = gen_selection(100_000, 0.3, 42);
+        let frac = sel.selectivity(bipie_toolbox::SimdLevel::detect());
+        assert!((frac - 0.3).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn matrix_table_and_query_execute() {
+        let t = strategy_matrix_table(5000, 8, 7, 2, 9);
+        let q = strategy_matrix_query(2, 0.5, QueryOptions::default());
+        let r = bipie_core::execute(&t, &q).unwrap();
+        assert_eq!(r.num_rows(), 8);
+        let total: u64 = r.rows.iter().map(|row| row.aggs.len() as u64).sum();
+        assert_eq!(total, 16);
+    }
+}
+
+pub mod matrix;

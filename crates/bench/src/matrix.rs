@@ -1,0 +1,98 @@
+//! The Figures 8–10 experiment: the full (selection × aggregation) strategy
+//! matrix, swept over selectivity and aggregate count (§6.2).
+//!
+//! For each cell of the (number of sums) × (selectivity) grid, every
+//! combination of the three SIMD aggregation strategies and the three
+//! selection strategies executes the same query end-to-end through the
+//! engine (decode + filter + group-id mapping + aggregation); the winner
+//! and its cycles/row/sum populate the grid, exactly like the colored cells
+//! of the paper's figures. The 100% column runs without a filter, so
+//! selection strategies degenerate and only the aggregation strategy
+//! matters (the paper's "no row filtering" column).
+
+use bipie_core::{execute, AggStrategy, QueryOptions, SelectionStrategy};
+use bipie_metrics::{measure_cycles_per_row, Grid};
+
+use crate::{bench_opts, bench_rows, strategy_matrix_query, strategy_matrix_table};
+
+/// Sweep parameters for one figure.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixParams {
+    /// Distinct group values.
+    pub groups: usize,
+    /// Bit width of the aggregate input columns.
+    pub bits: u8,
+    /// Figure label for output.
+    pub title: &'static str,
+}
+
+/// Figure 8: 8 groups, 7-bit encoding.
+pub const FIG8: MatrixParams = MatrixParams { groups: 8, bits: 7, title: "Figure 8 (8 groups, 7-bit)" };
+/// Figure 9: 12 groups, 14-bit encoding.
+pub const FIG9: MatrixParams =
+    MatrixParams { groups: 12, bits: 14, title: "Figure 9 (12 groups, 14-bit)" };
+/// Figure 10: 32 groups, 28-bit encoding.
+pub const FIG10: MatrixParams =
+    MatrixParams { groups: 32, bits: 28, title: "Figure 10 (32 groups, 28-bit)" };
+
+/// Run the full sweep and print the winner grid.
+pub fn run_matrix(p: MatrixParams) {
+    // Engine-level sweeps rebuild results 9x per cell; cap the default size
+    // so a full figure stays in the minutes range.
+    let rows = bench_rows().min(2 << 20);
+    let opts = bench_opts();
+    println!("{}: best (aggregation + selection) per cell, cycles/row/sum", p.title);
+    println!("rows={rows} runs={} groups={} bits={}\n", opts.runs, p.groups, p.bits);
+
+    let selectivities: Vec<f64> = (1..=10).map(|s| s as f64 / 10.0).collect();
+    let sums_axis: Vec<usize> = (1..=5).collect();
+
+    let table = strategy_matrix_table(rows, p.groups, p.bits, 5, 0xF1D0 + p.bits as u64);
+
+    let col_labels: Vec<String> =
+        selectivities.iter().map(|s| format!("{:.0}%", s * 100.0)).collect();
+    let row_labels: Vec<String> = sums_axis.iter().map(|k| format!("{k}x")).collect();
+    let mut grid = Grid::new(row_labels, col_labels);
+
+    for (r, &num_sums) in sums_axis.iter().enumerate() {
+        for (c, &sel) in selectivities.iter().enumerate() {
+            let mut best: Option<(String, f64)> = None;
+            for agg in AggStrategy::SIMD {
+                let selections: &[Option<SelectionStrategy>] = if sel >= 1.0 {
+                    &[None]
+                } else {
+                    &[
+                        Some(SelectionStrategy::Gather),
+                        Some(SelectionStrategy::Compact),
+                        Some(SelectionStrategy::SpecialGroup),
+                    ]
+                };
+                for &selection in selections {
+                    let options = QueryOptions {
+                        forced_agg: Some(agg),
+                        forced_selection: selection,
+                        parallel: false,
+                        ..Default::default()
+                    };
+                    let query = strategy_matrix_query(num_sums, sel, options);
+                    let m = measure_cycles_per_row(rows, opts, || {
+                        let r = execute(&table, &query).expect("query runs");
+                        std::hint::black_box(r.num_rows());
+                    });
+                    let label = match selection {
+                        Some(s) => format!("{}+{}", agg.label(), s.label()),
+                        None => agg.label().to_string(),
+                    };
+                    let cycles = m.per_sum(num_sums);
+                    if best.as_ref().is_none_or(|(_, b)| cycles < *b) {
+                        best = Some((label, cycles));
+                    }
+                }
+            }
+            let (label, cycles) = best.expect("at least one combo ran");
+            grid.set(r, c, label, cycles);
+        }
+        eprintln!("  row {}x done", num_sums);
+    }
+    grid.print(p.title);
+}

@@ -1,0 +1,101 @@
+//! Batch windows (§2.1).
+//!
+//! "A moving window of a fixed number of rows (up to 4096 rows in MemSQL)
+//! is used when scanning the columnstore table. ... We entirely process one
+//! batch before moving to the next one and we never revisit previous
+//! batches." (The MonetDB/X100 processing model.)
+
+/// Maximum rows per batch window.
+pub const BATCH_ROWS: usize = 4096;
+
+/// A half-open row range `[start, start + len)` within a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Batch {
+    /// First row of the window.
+    pub start: usize,
+    /// Rows in the window (`1..=BATCH_ROWS`, except a trailing short batch).
+    pub len: usize,
+}
+
+/// Iterator over the batch windows of a segment.
+#[derive(Debug, Clone)]
+pub struct BatchCursor {
+    num_rows: usize,
+    batch_rows: usize,
+    pos: usize,
+}
+
+impl BatchCursor {
+    /// Windows of [`BATCH_ROWS`] over `num_rows` rows.
+    pub fn new(num_rows: usize) -> Self {
+        Self::with_batch_rows(num_rows, BATCH_ROWS)
+    }
+
+    /// Windows of a custom size (tests and ablation benchmarks).
+    pub fn with_batch_rows(num_rows: usize, batch_rows: usize) -> Self {
+        assert!(batch_rows > 0, "batch size must be positive");
+        BatchCursor { num_rows, batch_rows, pos: 0 }
+    }
+}
+
+impl Iterator for BatchCursor {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        if self.pos >= self.num_rows {
+            return None;
+        }
+        let start = self.pos;
+        let len = (self.num_rows - start).min(self.batch_rows);
+        self.pos += len;
+        Some(Batch { start, len })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.num_rows - self.pos).div_ceil(self.batch_rows);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for BatchCursor {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_rows_exactly_once() {
+        for n in [0usize, 1, 4095, 4096, 4097, 10_000, 1 << 20] {
+            let batches: Vec<Batch> = BatchCursor::new(n).collect();
+            let total: usize = batches.iter().map(|b| b.len).sum();
+            assert_eq!(total, n);
+            let mut expected_start = 0;
+            for b in &batches {
+                assert_eq!(b.start, expected_start);
+                assert!(b.len <= BATCH_ROWS && b.len > 0);
+                expected_start += b.len;
+            }
+        }
+    }
+
+    #[test]
+    fn exact_size_hint() {
+        let c = BatchCursor::new(10_000);
+        assert_eq!(c.len(), 3);
+        let c = BatchCursor::new(0);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn custom_batch_size() {
+        let batches: Vec<Batch> = BatchCursor::with_batch_rows(10, 4).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[2], Batch { start: 8, len: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_size_rejected() {
+        BatchCursor::with_batch_rows(10, 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Delta encoding (§2.1).
+//!
+//! Stores the first value plus frame-of-reference bit-packed deltas
+//! (`v[i] - v[i-1] - min_delta`). Excellent for sorted or slowly varying
+//! columns whose absolute values are wide. Decoding is inherently
+//! sequential, so the column keeps an *anchor* (reconstructed value) every
+//! [`ANCHOR_INTERVAL`] rows to let batch scans start mid-column without
+//! replaying the whole prefix.
+
+use bipie_toolbox::bitpack::{min_bits, PackedVec};
+use bipie_toolbox::SimdLevel;
+
+/// Rows between stored anchors.
+pub const ANCHOR_INTERVAL: usize = 1024;
+
+/// A delta-encoded integer column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaColumn {
+    len: usize,
+    /// Minimum delta (frame of reference for the packed deltas).
+    min_delta: i64,
+    /// Packed `delta[i] - min_delta` for `i` in `1..len` (index `i-1`).
+    deltas: PackedVec,
+    /// `anchors[k]` = value of row `k * ANCHOR_INTERVAL`.
+    anchors: Vec<i64>,
+}
+
+impl DeltaColumn {
+    /// Encode `values`.
+    pub fn encode(values: &[i64]) -> DeltaColumn {
+        if values.is_empty() {
+            return DeltaColumn {
+                len: 0,
+                min_delta: 0,
+                deltas: PackedVec::pack(&[], 1),
+                anchors: Vec::new(),
+            };
+        }
+        let min_delta =
+            values.windows(2).map(|w| w[1].wrapping_sub(w[0])).min().unwrap_or(0);
+        let normalized: Vec<u64> = values
+            .windows(2)
+            .map(|w| (w[1].wrapping_sub(w[0])).wrapping_sub(min_delta) as u64)
+            .collect();
+        let anchors: Vec<i64> = values.iter().step_by(ANCHOR_INTERVAL).copied().collect();
+        DeltaColumn {
+            len: values.len(),
+            min_delta,
+            deltas: PackedVec::pack_minimal(&normalized),
+            anchors,
+        }
+    }
+
+    /// Estimated payload bytes; `None` when the delta range overflows i64
+    /// arithmetic (then delta is not a candidate).
+    pub fn estimate_bytes(values: &[i64]) -> Option<usize> {
+        if values.len() < 2 {
+            // Header plus one anchor (when non-empty) — matches
+            // `encoded_bytes` of the built column.
+            return Some(16 + values.len().min(1) * 8);
+        }
+        let mut min_d = i64::MAX;
+        let mut max_d = i64::MIN;
+        for w in values.windows(2) {
+            let d = w[1].checked_sub(w[0])?;
+            min_d = min_d.min(d);
+            max_d = max_d.max(d);
+        }
+        let range = (max_d as i128 - min_d as i128) as u64;
+        let bits = min_bits(range) as usize;
+        let anchors = values.len().div_ceil(ANCHOR_INTERVAL);
+        Some(16 + anchors * 8 + ((values.len() - 1) * bits).div_ceil(8))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the column stores no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bits per packed delta.
+    pub fn delta_bits(&self) -> u8 {
+        self.deltas.bits()
+    }
+
+    /// Payload size in bytes.
+    pub fn encoded_bytes(&self) -> usize {
+        16 + self.anchors.len() * 8 + self.deltas.packed_bytes()
+    }
+
+    /// Decode logical values for rows `[start, start + out.len())`.
+    pub fn decode_i64_into(&self, start: usize, out: &mut [i64]) {
+        if out.is_empty() {
+            return;
+        }
+        assert!(start + out.len() <= self.len, "range out of bounds");
+        // Replay from the nearest anchor at or before `start`.
+        let anchor_idx = start / ANCHOR_INTERVAL;
+        let mut row = anchor_idx * ANCHOR_INTERVAL;
+        let mut value = self.anchors[anchor_idx];
+        // Unpack the needed delta window in one go.
+        let first_delta = row; // delta index for row+1 is `row`
+        let n_deltas = start + out.len() - 1 - row;
+        let mut deltas = vec![0u64; n_deltas];
+        if n_deltas > 0 {
+            self.deltas.unpack_into_u64(first_delta, &mut deltas, SimdLevel::detect());
+        }
+        let mut di = 0usize;
+        while row < start {
+            value = value.wrapping_add(self.min_delta).wrapping_add(deltas[di] as i64);
+            di += 1;
+            row += 1;
+        }
+        out[0] = value;
+        for o in out.iter_mut().skip(1) {
+            value = value.wrapping_add(self.min_delta).wrapping_add(deltas[di] as i64);
+            di += 1;
+            *o = value;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_roundtrip() {
+        let values: Vec<i64> = (0..5000).map(|i| 1_000_000 + i * 7).collect();
+        let col = DeltaColumn::encode(&values);
+        assert_eq!(col.delta_bits(), 1, "constant delta packs to one bit");
+        let mut out = vec![0i64; values.len()];
+        col.decode_i64_into(0, &mut out);
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn unsorted_roundtrip() {
+        let values: Vec<i64> = (0..3000).map(|i| ((i * 37) % 101) - 50).collect();
+        let col = DeltaColumn::encode(&values);
+        let mut out = vec![0i64; values.len()];
+        col.decode_i64_into(0, &mut out);
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn mid_column_ranges_use_anchors() {
+        let values: Vec<i64> = (0..10_000).map(|i| i * 3 - 5000).collect();
+        let col = DeltaColumn::encode(&values);
+        for start in [0usize, 1, 1023, 1024, 1025, 4096, 9000] {
+            let n = (values.len() - start).min(500);
+            let mut out = vec![0i64; n];
+            col.decode_i64_into(start, &mut out);
+            assert_eq!(out, &values[start..start + n], "start={start}");
+        }
+    }
+
+    #[test]
+    fn single_value_and_empty() {
+        let col = DeltaColumn::encode(&[42]);
+        assert_eq!(col.len(), 1);
+        let mut out = [0i64];
+        col.decode_i64_into(0, &mut out);
+        assert_eq!(out, [42]);
+        let col = DeltaColumn::encode(&[]);
+        assert!(col.is_empty());
+    }
+
+    #[test]
+    fn estimate_none_on_delta_overflow() {
+        assert_eq!(DeltaColumn::estimate_bytes(&[i64::MIN, i64::MAX]), None);
+    }
+}

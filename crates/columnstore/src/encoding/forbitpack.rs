@@ -1,0 +1,157 @@
+//! Frame-of-reference integer bit packing.
+//!
+//! Values are normalized by subtracting the column minimum ("frame of
+//! reference"), then bit packed with the minimal width for `max - min`
+//! (§2.1). The normalized [`PackedVec`] is exposed directly: BIPie's
+//! selection and aggregation kernels operate on the normalized unsigned
+//! values and the engine re-adds `reference * count` per group at output,
+//! which is how sums stay exact while kernels stay narrow.
+
+use bipie_toolbox::bitpack::{min_bits, PackedVec};
+use bipie_toolbox::SimdLevel;
+
+/// A bit-packed integer column with a frame-of-reference offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForBitPackColumn {
+    reference: i64,
+    packed: PackedVec,
+}
+
+impl ForBitPackColumn {
+    /// Encode `values`.
+    pub fn encode(values: &[i64]) -> ForBitPackColumn {
+        let reference = values.iter().copied().min().unwrap_or(0);
+        let normalized: Vec<u64> =
+            values.iter().map(|&v| (v as i128 - reference as i128) as u64).collect();
+        ForBitPackColumn { reference, packed: PackedVec::pack_minimal(&normalized) }
+    }
+
+    /// Estimated payload bytes without building the encoding.
+    pub fn estimate_bytes(values: &[i64]) -> usize {
+        if values.is_empty() {
+            return 0;
+        }
+        let min = values.iter().copied().min().unwrap();
+        let max = values.iter().copied().max().unwrap();
+        let bits = min_bits((max as i128 - min as i128) as u64) as usize;
+        8 + (values.len() * bits).div_ceil(8)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// True if the column stores no rows.
+    pub fn is_empty(&self) -> bool {
+        self.packed.is_empty()
+    }
+
+    /// The frame-of-reference offset (the column minimum).
+    pub fn reference(&self) -> i64 {
+        self.reference
+    }
+
+    /// The normalized bit-packed payload (`value - reference`, unsigned).
+    pub fn normalized(&self) -> &PackedVec {
+        &self.packed
+    }
+
+    /// Bits per normalized value.
+    pub fn bits(&self) -> u8 {
+        self.packed.bits()
+    }
+
+    /// Maximum normalized value representable (`max - min` bound).
+    pub fn normalized_max(&self) -> u64 {
+        self.packed.value_mask()
+    }
+
+    /// Payload size in bytes.
+    pub fn encoded_bytes(&self) -> usize {
+        8 + self.packed.packed_bytes()
+    }
+
+    /// Decode logical values for rows `[start, start + out.len())`.
+    pub fn decode_i64_into(&self, start: usize, out: &mut [i64]) {
+        let level = SimdLevel::detect();
+        let n = out.len();
+        if self.packed.bits() <= 25 && n > 0 {
+            // Fast path: unpack at u32 lane width (8 values/iteration) into
+            // the tail half of the output buffer, then widen front-to-back.
+            // The source byte `4n + 4i` always stays ahead of the
+            // destination byte `8i`, so the in-place widen never clobbers
+            // unread input.
+            // SAFETY: the buffer holds n i64s = 2n u32s; the tail half is a
+            // valid, exclusive u32 view during the unpack.
+            unsafe {
+                let base32 = out.as_mut_ptr() as *mut u32;
+                let tail =
+                    std::slice::from_raw_parts_mut(base32.add(n), n);
+                self.packed.unpack_into_u32(start, tail, level);
+                let base64 = out.as_mut_ptr();
+                for i in 0..n {
+                    // Normalized values are <= max - min, so adding the
+                    // reference cannot overflow i64.
+                    *base64.add(i) = *base32.add(n + i) as i64 + self.reference;
+                }
+            }
+            return;
+        }
+        // Wide path: unpack u64 in place (identical layout), add reference.
+        // SAFETY: i64 and u64 have identical size and alignment.
+        let as_u64 =
+            unsafe { std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut u64, n) };
+        self.packed.unpack_into_u64(start, as_u64, level);
+        for o in out.iter_mut() {
+            *o = (*o as u64 as i128 + self.reference as i128) as i64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negative_values_roundtrip() {
+        let values: Vec<i64> = vec![-100, -1, 0, 1, 100, i32::MAX as i64];
+        let col = ForBitPackColumn::encode(&values);
+        assert_eq!(col.reference(), -100);
+        let mut out = vec![0i64; values.len()];
+        col.decode_i64_into(0, &mut out);
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn constant_column_uses_one_bit() {
+        let col = ForBitPackColumn::encode(&vec![42i64; 100]);
+        assert_eq!(col.bits(), 1);
+        assert_eq!(col.reference(), 42);
+        assert_eq!(col.get_all(), vec![42i64; 100]);
+    }
+
+    #[test]
+    fn extreme_range() {
+        let values = vec![i64::MIN, i64::MAX, 0];
+        let col = ForBitPackColumn::encode(&values);
+        let mut out = vec![0i64; 3];
+        col.decode_i64_into(0, &mut out);
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn estimate_matches_actual() {
+        let values: Vec<i64> = (0..997).map(|i| i * 13 % 509).collect();
+        let col = ForBitPackColumn::encode(&values);
+        assert_eq!(ForBitPackColumn::estimate_bytes(&values), col.encoded_bytes());
+    }
+
+    impl ForBitPackColumn {
+        fn get_all(&self) -> Vec<i64> {
+            let mut out = vec![0i64; self.len()];
+            self.decode_i64_into(0, &mut out);
+            out
+        }
+    }
+}

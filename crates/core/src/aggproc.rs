@@ -1,0 +1,983 @@
+//! The Aggregate Processor (§3).
+//!
+//! "The Aggregate Processor takes in a group id vector and a selection
+//! vector produced by the Filter component, and computes the aggregates for
+//! each group. The Aggregate Processor chooses among the many aggregation
+//! strategies implemented in the vector toolbox at run time."
+//!
+//! [`SegmentAggExecutor`] holds one segment's accumulators and executes a
+//! (selection strategy × aggregation strategy) pairing per batch:
+//!
+//! * **selection** turns the selection byte vector into compacted inputs
+//!   (gather / compact), or fuses it into the group-id map (special group);
+//! * **aggregation** runs the scalar, sort-based, in-register, or
+//!   multi-aggregate kernels over the surviving rows.
+//!
+//! Accumulation happens in the encoding's *normalized* domain: a bit-packed
+//! input column contributes `Σ (value - reference)`, and [`finish`]
+//! re-adds `reference × count` per group — the trick that lets every kernel
+//! operate on narrow unsigned values while sums stay exact.
+//!
+//! One extra accumulator slot (index `num_groups`) always exists for the
+//! special group; it is simply unused by the other selection strategies.
+//!
+//! [`finish`]: SegmentAggExecutor::finish
+
+use bipie_columnstore::encoding::ForBitPackColumn;
+use bipie_columnstore::Segment;
+use bipie_toolbox::agg::multi::RowLayout;
+use bipie_toolbox::agg::sort_based::{bucket_sort, SortedBatch};
+use bipie_toolbox::agg::{in_register, minmax, multi, scalar, sort_based, ColRef};
+use bipie_toolbox::bitpack::WordSize;
+use bipie_toolbox::select::{compact, gather, special_group};
+use bipie_toolbox::selvec::SelIndexVec;
+use bipie_toolbox::SimdLevel;
+
+use crate::expr::ResolvedExpr;
+use crate::strategy::{AggStrategy, SelectionStrategy};
+
+/// One aggregate input, planned per segment.
+#[derive(Debug)]
+pub enum AggInput<'a> {
+    /// A raw bit-packed stored column: kernels consume normalized values
+    /// directly; `finish` applies the frame-of-reference correction.
+    Packed(&'a ForBitPackColumn),
+    /// An expression (or a non-bit-packed stored column): evaluated per
+    /// batch over decoded column vectors, as `i64`.
+    Computed(ResolvedExpr),
+}
+
+impl AggInput<'_> {
+    /// Normalized input width in bytes (8 for computed expressions).
+    pub fn width_bytes(&self) -> usize {
+        match self {
+            AggInput::Packed(c) => WordSize::for_bits(c.bits()).bytes(),
+            AggInput::Computed(_) => 8,
+        }
+    }
+
+    /// True if sort-based SIMD gather summation applies (§5.2: raw packed,
+    /// narrow enough for the 32-bit gather).
+    pub fn sortable_packed(&self) -> bool {
+        matches!(self, AggInput::Packed(c) if c.bits() <= 25)
+    }
+}
+
+/// Reusable per-batch value storage for one input.
+#[derive(Debug, Default)]
+enum ValueBuf {
+    #[default]
+    Empty,
+    U8(Vec<u8>),
+    U16(Vec<u16>),
+    U32(Vec<u32>),
+    U64(Vec<u64>),
+    I64(Vec<i64>),
+}
+
+impl ValueBuf {
+    fn col_ref(&self) -> ColRef<'_> {
+        match self {
+            ValueBuf::U8(v) => ColRef::U8(v),
+            ValueBuf::U16(v) => ColRef::U16(v),
+            ValueBuf::U32(v) => ColRef::U32(v),
+            ValueBuf::U64(v) => ColRef::U64(v),
+            // i64 values reinterpret as u64: two's complement summation is
+            // exact given the planner's overflow proof.
+            ValueBuf::I64(v) => ColRef::U64(as_u64_slice(v)),
+            ValueBuf::Empty => ColRef::U64(&[]),
+        }
+    }
+}
+
+/// Reinterpret an `i64` slice as `u64` (same layout; sums are exact in
+/// two's complement).
+fn as_u64_slice(v: &[i64]) -> &[u64] {
+    // SAFETY: i64 and u64 have identical size and alignment.
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u64, v.len()) }
+}
+
+/// Scratch buffers reused across batches.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Selection index vector (batch-local row ids).
+    iv: SelIndexVec,
+    /// Absolute row ids (`start + iv`), for gathers into segment columns.
+    abs_iv: Vec<u32>,
+    /// Selected group ids.
+    gids_sel: Vec<u8>,
+    /// Decoded column cache for expression evaluation: `(col, values)`.
+    col_cache: Vec<(usize, Vec<i64>)>,
+    /// Expression results (full batch).
+    expr_bufs: Vec<Vec<i64>>,
+    /// Bucket-sorted batch (sort-based strategy).
+    sorted: SortedBatch,
+    /// Temporary sums for the multi-aggregate kernel.
+    multi_sums: Vec<i64>,
+    /// Compaction staging for i64 expression results.
+    compact_i64: Vec<u64>,
+    /// Expression-evaluator stack buffers.
+    expr_scratch: crate::expr::ExprScratch,
+}
+
+/// Per-segment aggregate executor.
+#[derive(Debug)]
+pub struct SegmentAggExecutor<'a> {
+    level: SimdLevel,
+    strategy: AggStrategy,
+    /// Real group count G; slot G is the special group.
+    num_groups: usize,
+    inputs: Vec<AggInput<'a>>,
+    /// MIN/MAX inputs (extension beyond the paper's COUNT/SUM).
+    mm_inputs: Vec<AggInput<'a>>,
+    /// Per-group row counts, length G+1.
+    counts: Vec<u64>,
+    /// Normalized sums, layout `[input][G+1]`.
+    sums: Vec<i64>,
+    /// Width-typed min/max accumulators, one per MIN/MAX input.
+    mm_accs: Vec<MinMaxAcc>,
+    /// Per-input batch value buffers (sums, then MIN/MAX inputs).
+    bufs: Vec<ValueBuf>,
+    scratch: Scratch,
+}
+
+/// Final per-segment aggregation output (logical domain).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentAggResult {
+    /// Selected-row count per real group, length G.
+    pub counts: Vec<u64>,
+    /// Logical sums, layout `[input][G]`.
+    pub sums: Vec<Vec<i64>>,
+    /// Logical minima per MIN/MAX input, layout `[mm_input][G]`
+    /// (identity `i64::MAX` for empty groups — callers drop count-0 groups).
+    pub mins: Vec<Vec<i64>>,
+    /// Logical maxima per MIN/MAX input (identity `i64::MIN` when empty).
+    pub maxs: Vec<Vec<i64>>,
+}
+
+/// Width-typed min/max accumulators for one MIN/MAX input. Packed inputs
+/// accumulate in the normalized unsigned domain (min/max commute with the
+/// frame-of-reference shift); computed inputs in logical `i64`.
+#[derive(Debug)]
+enum MinMaxAcc {
+    U8(Vec<u8>, Vec<u8>),
+    U16(Vec<u16>, Vec<u16>),
+    U32(Vec<u32>, Vec<u32>),
+    U64(Vec<u64>, Vec<u64>),
+    I64(Vec<i64>, Vec<i64>),
+}
+
+impl MinMaxAcc {
+    fn new_for(input: &AggInput<'_>, slots: usize) -> MinMaxAcc {
+        match input {
+            AggInput::Packed(c) => match bipie_toolbox::bitpack::WordSize::for_bits(c.bits()) {
+                bipie_toolbox::bitpack::WordSize::W1 => {
+                    MinMaxAcc::U8(vec![u8::MAX; slots], vec![u8::MIN; slots])
+                }
+                bipie_toolbox::bitpack::WordSize::W2 => {
+                    MinMaxAcc::U16(vec![u16::MAX; slots], vec![u16::MIN; slots])
+                }
+                bipie_toolbox::bitpack::WordSize::W4 => {
+                    MinMaxAcc::U32(vec![u32::MAX; slots], vec![u32::MIN; slots])
+                }
+                bipie_toolbox::bitpack::WordSize::W8 => {
+                    MinMaxAcc::U64(vec![u64::MAX; slots], vec![u64::MIN; slots])
+                }
+            },
+            AggInput::Computed(_) => {
+                MinMaxAcc::I64(vec![i64::MAX; slots], vec![i64::MIN; slots])
+            }
+        }
+    }
+
+    /// Logical (min, max) of group `g`, shifted back by the frame of
+    /// reference for packed inputs.
+    fn logical(&self, g: usize, reference: i64) -> (i64, i64) {
+        match self {
+            MinMaxAcc::U8(mins, maxs) => {
+                if mins[g] == u8::MAX && maxs[g] == u8::MIN {
+                    (i64::MAX, i64::MIN)
+                } else {
+                    (mins[g] as i64 + reference, maxs[g] as i64 + reference)
+                }
+            }
+            MinMaxAcc::U16(mins, maxs) => {
+                if mins[g] == u16::MAX && maxs[g] == u16::MIN {
+                    (i64::MAX, i64::MIN)
+                } else {
+                    (mins[g] as i64 + reference, maxs[g] as i64 + reference)
+                }
+            }
+            MinMaxAcc::U32(mins, maxs) => {
+                if mins[g] == u32::MAX && maxs[g] == u32::MIN {
+                    (i64::MAX, i64::MIN)
+                } else {
+                    (mins[g] as i64 + reference, maxs[g] as i64 + reference)
+                }
+            }
+            MinMaxAcc::U64(mins, maxs) => {
+                if mins[g] == u64::MAX && maxs[g] == u64::MIN {
+                    (i64::MAX, i64::MIN)
+                } else {
+                    (
+                        (mins[g] as i128 + reference as i128) as i64,
+                        (maxs[g] as i128 + reference as i128) as i64,
+                    )
+                }
+            }
+            MinMaxAcc::I64(mins, maxs) => (mins[g], maxs[g]),
+        }
+    }
+}
+
+impl<'a> SegmentAggExecutor<'a> {
+    /// Create an executor for `num_groups` real groups with the chosen
+    /// aggregation strategy.
+    pub fn new(
+        strategy: AggStrategy,
+        num_groups: usize,
+        inputs: Vec<AggInput<'a>>,
+        level: SimdLevel,
+    ) -> Self {
+        Self::with_min_max(strategy, num_groups, inputs, Vec::new(), level)
+    }
+
+    /// Create an executor that additionally tracks per-group MIN/MAX over
+    /// `mm_inputs`.
+    pub fn with_min_max(
+        strategy: AggStrategy,
+        num_groups: usize,
+        inputs: Vec<AggInput<'a>>,
+        mm_inputs: Vec<AggInput<'a>>,
+        level: SimdLevel,
+    ) -> Self {
+        assert!((1..=255).contains(&num_groups), "narrow path supports 1..=255 groups");
+        let slots = num_groups + 1;
+        let sums = vec![0i64; inputs.len() * slots];
+        let mm_accs = mm_inputs.iter().map(|i| MinMaxAcc::new_for(i, slots)).collect();
+        let mut bufs = Vec::with_capacity(inputs.len() + mm_inputs.len());
+        bufs.resize_with(inputs.len() + mm_inputs.len(), ValueBuf::default);
+        SegmentAggExecutor {
+            level,
+            strategy,
+            num_groups,
+            inputs,
+            mm_inputs,
+            counts: vec![0u64; slots],
+            sums,
+            mm_accs,
+            bufs,
+            scratch: Scratch::default(),
+        }
+    }
+
+    /// The aggregation strategy in use.
+    pub fn strategy(&self) -> AggStrategy {
+        self.strategy
+    }
+
+    /// Process one batch.
+    ///
+    /// * `gids` — the batch's group ids from the Group ID Mapper (length
+    ///   `len`); mutated in place by special-group selection.
+    /// * `sel` — canonical selection byte vector with deleted rows merged,
+    ///   or `None` when no filter applies (every row selected).
+    /// * `selection` — this batch's selection strategy (ignored when `sel`
+    ///   is `None`).
+    pub fn process_batch(
+        &mut self,
+        seg: &Segment,
+        start: usize,
+        len: usize,
+        gids: &mut [u8],
+        sel: Option<&[u8]>,
+        selection: SelectionStrategy,
+    ) {
+        debug_assert_eq!(gids.len(), len);
+        let level = self.level;
+        let slots = self.num_groups + 1;
+
+        // Expression inputs always evaluate over the full batch (the
+        // generated-code contract of §3: expressions run on decoded data);
+        // selection is applied to their results.
+        self.eval_computed(seg, start, len);
+
+        let mode = match sel {
+            None => BatchMode::Full,
+            Some(sel) => match selection {
+                SelectionStrategy::SpecialGroup => {
+                    special_group::assign_special_group_in_place(
+                        gids,
+                        sel,
+                        self.num_groups as u8,
+                        level,
+                    );
+                    BatchMode::Full
+                }
+                SelectionStrategy::Gather | SelectionStrategy::Compact => {
+                    let Scratch { iv, gids_sel, abs_iv, .. } = &mut self.scratch;
+                    compact::compact_indices(sel, iv, level);
+                    compact::compact_u8(gids, sel, gids_sel, level);
+                    if selection == SelectionStrategy::Gather {
+                        abs_iv.clear();
+                        abs_iv.extend(iv.as_slice().iter().map(|&i| i + start as u32));
+                        BatchMode::Selected { physical: false }
+                    } else {
+                        BatchMode::Selected { physical: true }
+                    }
+                }
+            },
+        };
+
+        // Sort-based aggregation consumes raw packed columns / full-batch
+        // expression vectors via sorted row indices; the other strategies
+        // need materialized (selected) value vectors.
+        let num_sums = self.inputs.len();
+        let total = num_sums + self.mm_inputs.len();
+        if self.strategy == AggStrategy::SortBased {
+            // Sort-based sums read raw packed columns; MIN/MAX inputs still
+            // materialize (their kernels scan materialized vectors).
+            self.materialize_inputs(start, len, sel, &mode, num_sums..total);
+            self.process_sort_based(seg, start, len, gids, sel, &mode);
+            self.process_min_max(gids, &mode);
+            return;
+        }
+
+        self.materialize_inputs(start, len, sel, &mode, 0..total);
+
+        let SegmentAggExecutor { inputs, counts, sums, bufs, scratch, strategy, .. } = self;
+        let Scratch { gids_sel, multi_sums, expr_bufs, .. } = scratch;
+        let gids_eff: &[u8] = match &mode {
+            BatchMode::Full => gids,
+            BatchMode::Selected { .. } => gids_sel,
+        };
+
+        // COUNT(*): in-register when the group domain fits, scalar otherwise.
+        if slots <= bipie_toolbox::agg::MAX_GROUPS_IN_REGISTER {
+            in_register::count_groups(gids_eff, slots, counts, level);
+        } else {
+            scalar::count_multi_array::<4>(gids_eff, counts);
+        }
+
+        // One ColRef per sum input. Computed inputs in Full mode read
+        // their expression buffers directly (ValueBuf::Empty marks that
+        // case).
+        let cols: Vec<ColRef<'_>> = bufs[..inputs.len()]
+            .iter()
+            .enumerate()
+            .map(|(i, buf)| match buf {
+                ValueBuf::Empty => ColRef::U64(as_u64_slice(&expr_bufs[i])),
+                other => other.col_ref(),
+            })
+            .collect();
+
+        match strategy {
+            AggStrategy::Scalar => {
+                if !cols.is_empty() {
+                    scalar::sums_row_at_a_time_unrolled(gids_eff, &cols, slots, sums);
+                }
+            }
+            AggStrategy::InRegister => {
+                for (i, col) in cols.iter().enumerate() {
+                    let sums = &mut sums[i * slots..(i + 1) * slots];
+                    if slots > bipie_toolbox::agg::MAX_GROUPS_IN_REGISTER {
+                        // The chooser avoids this; forced-strategy runs
+                        // stay correct via the scalar kernel.
+                        scalar::sum_single_array(gids_eff, *col, sums);
+                        continue;
+                    }
+                    match col {
+                        ColRef::U8(v) => in_register::sum_u8(gids_eff, v, slots, sums, level),
+                        ColRef::U16(v) => in_register::sum_u16(gids_eff, v, slots, sums, level),
+                        ColRef::U32(v) => {
+                            let max = match &inputs[i] {
+                                AggInput::Packed(c) => c.normalized_max().min(u32::MAX as u64),
+                                AggInput::Computed(_) => u32::MAX as u64,
+                            };
+                            in_register::sum_u32(gids_eff, v, slots, sums, max as u32, level)
+                        }
+                        // Wider inputs: the chooser avoids this, but stay
+                        // correct via the scalar kernel.
+                        other => scalar::sum_single_array(gids_eff, *other, sums),
+                    }
+                }
+            }
+            AggStrategy::MultiAggregate => {
+                match RowLayout::plan_for(&cols) {
+                    Some(layout) if !cols.is_empty() => {
+                        let tmp = multi_sums;
+                        tmp.clear();
+                        tmp.resize(cols.len() * slots, 0);
+                        multi::sum_multi(gids_eff, &cols, &layout, slots, tmp, level);
+                        for (s, t) in sums.iter_mut().zip(tmp.iter()) {
+                            *s += t;
+                        }
+                    }
+                    _ => {
+                        if !cols.is_empty() {
+                            scalar::sums_row_at_a_time_unrolled(gids_eff, &cols, slots, sums);
+                        }
+                    }
+                }
+            }
+            AggStrategy::SortBased => unreachable!("handled above"),
+        }
+        drop(cols);
+        self.process_min_max(gids, &mode);
+    }
+
+    /// Update the MIN/MAX accumulators from the materialized inputs.
+    fn process_min_max(&mut self, gids: &[u8], mode: &BatchMode) {
+        if self.mm_inputs.is_empty() {
+            return;
+        }
+        let num_sums = self.inputs.len();
+        let slots = self.num_groups + 1;
+        let level = self.level;
+        let Scratch { gids_sel, expr_bufs, .. } = &mut self.scratch;
+        let gids_eff: &[u8] = match mode {
+            BatchMode::Full => gids,
+            BatchMode::Selected { .. } => gids_sel,
+        };
+        for (j, acc) in self.mm_accs.iter_mut().enumerate() {
+            let buf = &self.bufs[num_sums + j];
+            match (buf, acc) {
+                (ValueBuf::U8(v), MinMaxAcc::U8(mins, maxs)) => {
+                    minmax::min_max_u8(gids_eff, v, slots, mins, maxs, level)
+                }
+                (ValueBuf::U16(v), MinMaxAcc::U16(mins, maxs)) => {
+                    minmax::min_max_scalar_u16(gids_eff, v, mins, maxs)
+                }
+                (ValueBuf::U32(v), MinMaxAcc::U32(mins, maxs)) => {
+                    minmax::min_max_scalar_u32(gids_eff, v, mins, maxs)
+                }
+                (ValueBuf::U64(v), MinMaxAcc::U64(mins, maxs)) => {
+                    minmax::min_max_scalar_u64(gids_eff, v, mins, maxs)
+                }
+                (ValueBuf::I64(v), MinMaxAcc::I64(mins, maxs)) => {
+                    minmax::min_max_scalar_i64(gids_eff, v, mins, maxs)
+                }
+                (ValueBuf::Empty, MinMaxAcc::I64(mins, maxs)) => {
+                    // Computed input in Full mode: read the expression
+                    // buffer directly.
+                    minmax::min_max_scalar_i64(
+                        gids_eff,
+                        &expr_bufs[num_sums + j],
+                        mins,
+                        maxs,
+                    )
+                }
+                (buf, acc) => unreachable!(
+                    "mismatched min/max buffer {buf:?} for accumulator {acc:?}"
+                ),
+            }
+        }
+    }
+
+    /// Finish the segment: apply frame-of-reference corrections and drop
+    /// the special-group slot.
+    pub fn finish(self) -> SegmentAggResult {
+        let slots = self.num_groups + 1;
+        let counts: Vec<u64> = self.counts[..self.num_groups].to_vec();
+        let sums = self
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| {
+                let norm = &self.sums[i * slots..i * slots + self.num_groups];
+                match input {
+                    AggInput::Packed(c) => {
+                        let r = c.reference();
+                        norm.iter()
+                            .zip(&counts)
+                            .map(|(&s, &n)| s + r * n as i64)
+                            .collect()
+                    }
+                    AggInput::Computed(_) => norm.to_vec(),
+                }
+            })
+            .collect();
+        let mut mins = Vec::with_capacity(self.mm_inputs.len());
+        let mut maxs = Vec::with_capacity(self.mm_inputs.len());
+        for (input, acc) in self.mm_inputs.iter().zip(&self.mm_accs) {
+            let reference = match input {
+                AggInput::Packed(c) => c.reference(),
+                AggInput::Computed(_) => 0,
+            };
+            let (mn, mx): (Vec<i64>, Vec<i64>) =
+                (0..self.num_groups).map(|g| acc.logical(g, reference)).unzip();
+            mins.push(mn);
+            maxs.push(mx);
+        }
+        SegmentAggResult { counts, sums, mins, maxs }
+    }
+
+    /// Evaluate computed inputs over the full batch into `scratch.expr_bufs`.
+    fn eval_computed(&mut self, seg: &Segment, start: usize, len: usize) {
+        // Collect the decoded columns every expression needs.
+        let mut needed: Vec<usize> = Vec::new();
+        for input in self.inputs.iter().chain(&self.mm_inputs) {
+            if let AggInput::Computed(e) = input {
+                for c in e.columns() {
+                    if !needed.contains(&c) {
+                        needed.push(c);
+                    }
+                }
+            }
+        }
+        let Scratch { col_cache, expr_bufs, expr_scratch, .. } = &mut self.scratch;
+        col_cache.retain(|(c, _)| needed.contains(c));
+        for &c in &needed {
+            if !col_cache.iter().any(|(cc, _)| *cc == c) {
+                col_cache.push((c, Vec::new()));
+            }
+        }
+        for (c, buf) in col_cache.iter_mut() {
+            // decode overwrites every slot; only adjust the length.
+            buf.resize(len, 0);
+            seg.column(*c).decode_i64_into(start, buf);
+        }
+        let col_cache = &*col_cache;
+        let lookup = |idx: usize| -> &[i64] {
+            col_cache
+                .iter()
+                .find(|(c, _)| *c == idx)
+                .map(|(_, v)| v.as_slice())
+                .expect("column decoded")
+        };
+        let total = self.inputs.len() + self.mm_inputs.len();
+        expr_bufs.resize_with(total, Vec::new);
+        for (i, input) in self.inputs.iter().chain(&self.mm_inputs).enumerate() {
+            if let AggInput::Computed(e) = input {
+                // Earlier expression results feed CSE references.
+                let (done, rest) = expr_bufs.split_at_mut(i);
+                let prev = |p: usize| -> &[i64] { &done[p] };
+                e.eval_batch_with_prev(len, &lookup, &prev, &mut rest[0], expr_scratch);
+            }
+        }
+    }
+
+    /// Materialize the (selected) values of inputs with indices in `range`
+    /// into `self.bufs` (sum inputs come first, then MIN/MAX inputs).
+    fn materialize_inputs(
+        &mut self,
+        start: usize,
+        len: usize,
+        sel: Option<&[u8]>,
+        mode: &BatchMode,
+        range: std::ops::Range<usize>,
+    ) {
+        let level = self.level;
+        let Scratch { abs_iv, expr_bufs, compact_i64, .. } = &mut self.scratch;
+        for (i, input) in self.inputs.iter().chain(&self.mm_inputs).enumerate() {
+            if !range.contains(&i) {
+                continue;
+            }
+            let buf = &mut self.bufs[i];
+            match input {
+                AggInput::Packed(c) => {
+                    let pv = c.normalized();
+                    match mode {
+                        BatchMode::Full => {
+                            // Unpack the whole batch at the natural width.
+                            unpack_full(pv, start, len, buf, level);
+                        }
+                        BatchMode::Selected { physical: false } => {
+                            gather_selected(pv, abs_iv, buf, level);
+                        }
+                        BatchMode::Selected { physical: true } => {
+                            unpack_full(pv, start, len, buf, level);
+                            compact_buf(buf, sel.expect("selected mode"), level);
+                        }
+                    }
+                }
+                AggInput::Computed(_) => {
+                    match mode {
+                        BatchMode::Full => {
+                            // Kernels read the expression buffer directly
+                            // (see `col_refs`); nothing to materialize.
+                            *buf = ValueBuf::Empty;
+                        }
+                        BatchMode::Selected { .. } => {
+                            // Compact the full-batch expression results.
+                            let values = &expr_bufs[i];
+                            let mut v = match std::mem::replace(buf, ValueBuf::Empty) {
+                                ValueBuf::I64(v) => v,
+                                _ => Vec::new(),
+                            };
+                            v.clear();
+                            compact::compact_u64(
+                                as_u64_slice(values),
+                                sel.expect("selected mode"),
+                                compact_i64,
+                                level,
+                            );
+                            v.extend(compact_i64.iter().map(|&x| x as i64));
+                            *buf = ValueBuf::I64(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sort-based path (§5.2): bucket-sort once, then gather-sum every
+    /// aggregate from its raw representation.
+    fn process_sort_based(
+        &mut self,
+        _seg: &Segment,
+        start: usize,
+        len: usize,
+        gids: &[u8],
+        _sel: Option<&[u8]>,
+        mode: &BatchMode,
+    ) {
+        let slots = self.num_groups + 1;
+        let level = self.level;
+        let Scratch { sorted, gids_sel, iv, expr_bufs, .. } = &mut self.scratch;
+        match mode {
+            BatchMode::Full => bucket_sort(gids, None, slots, sorted),
+            BatchMode::Selected { .. } => bucket_sort(gids_sel, Some(iv.as_slice()), slots, sorted),
+        }
+        // The sort's counting pass is the COUNT(*) (§5.2).
+        for (c, n) in self.counts.iter_mut().zip(sorted.counts()) {
+            *c += n;
+        }
+        for (i, input) in self.inputs.iter().enumerate() {
+            let sums = &mut self.sums[i * slots..(i + 1) * slots];
+            match input {
+                AggInput::Packed(c) => {
+                    sort_based::sum_sorted_packed(c.normalized(), sorted, start as u32, sums, level);
+                }
+                AggInput::Computed(_) => {
+                    // Full-batch expression results, batch-local row ids.
+                    let values = &expr_bufs[i];
+                    debug_assert_eq!(values.len(), len);
+                    sort_based::sum_sorted_i64(values, sorted, sums, level);
+                }
+            }
+        }
+    }
+}
+
+/// How this batch's rows were selected.
+#[derive(Debug, PartialEq, Eq)]
+enum BatchMode {
+    /// All rows participate (no filter, or special-group fusion).
+    Full,
+    /// Only rows in `scratch.iv`; `physical` distinguishes compaction from
+    /// gather.
+    Selected {
+        /// True for physical compaction, false for gather.
+        physical: bool,
+    },
+}
+
+fn unpack_full(
+    pv: &bipie_toolbox::bitpack::PackedVec,
+    start: usize,
+    len: usize,
+    buf: &mut ValueBuf,
+    level: SimdLevel,
+) {
+    match WordSize::for_bits(pv.bits()) {
+        WordSize::W1 => {
+            let mut v = take_u8(buf);
+            v.resize(len, 0);
+            pv.unpack_into_u8(start, &mut v, level);
+            *buf = ValueBuf::U8(v);
+        }
+        WordSize::W2 => {
+            let mut v = take_u16(buf);
+            v.resize(len, 0);
+            pv.unpack_into_u16(start, &mut v, level);
+            *buf = ValueBuf::U16(v);
+        }
+        WordSize::W4 => {
+            let mut v = take_u32(buf);
+            v.resize(len, 0);
+            pv.unpack_into_u32(start, &mut v, level);
+            *buf = ValueBuf::U32(v);
+        }
+        WordSize::W8 => {
+            let mut v = take_u64(buf);
+            v.resize(len, 0);
+            pv.unpack_into_u64(start, &mut v, level);
+            *buf = ValueBuf::U64(v);
+        }
+    }
+}
+
+fn gather_selected(
+    pv: &bipie_toolbox::bitpack::PackedVec,
+    abs_iv: &[u32],
+    buf: &mut ValueBuf,
+    level: SimdLevel,
+) {
+    match WordSize::for_bits(pv.bits()) {
+        WordSize::W1 => {
+            let mut v = take_u8(buf);
+            v.resize(abs_iv.len(), 0);
+            gather::gather_unpack_u8(pv, abs_iv, &mut v, level);
+            *buf = ValueBuf::U8(v);
+        }
+        WordSize::W2 => {
+            let mut v = take_u16(buf);
+            v.resize(abs_iv.len(), 0);
+            gather::gather_unpack_u16(pv, abs_iv, &mut v, level);
+            *buf = ValueBuf::U16(v);
+        }
+        WordSize::W4 => {
+            let mut v = take_u32(buf);
+            v.resize(abs_iv.len(), 0);
+            gather::gather_unpack_u32(pv, abs_iv, &mut v, level);
+            *buf = ValueBuf::U32(v);
+        }
+        WordSize::W8 => {
+            let mut v = take_u64(buf);
+            v.resize(abs_iv.len(), 0);
+            gather::gather_unpack_u64(pv, abs_iv, &mut v, level);
+            *buf = ValueBuf::U64(v);
+        }
+    }
+}
+
+fn compact_buf(buf: &mut ValueBuf, sel: &[u8], level: SimdLevel) {
+    match buf {
+        ValueBuf::U8(v) => {
+            let mut out = Vec::new();
+            compact::compact_u8(v, sel, &mut out, level);
+            *v = out;
+        }
+        ValueBuf::U16(v) => {
+            let mut out = Vec::new();
+            compact::compact_u16(v, sel, &mut out, level);
+            *v = out;
+        }
+        ValueBuf::U32(v) => {
+            let mut out = Vec::new();
+            compact::compact_u32(v, sel, &mut out, level);
+            *v = out;
+        }
+        ValueBuf::U64(v) => {
+            let mut out = Vec::new();
+            compact::compact_u64(v, sel, &mut out, level);
+            *v = out;
+        }
+        ValueBuf::I64(_) | ValueBuf::Empty => unreachable!("packed inputs only"),
+    }
+}
+
+fn take_u8(buf: &mut ValueBuf) -> Vec<u8> {
+    match std::mem::replace(buf, ValueBuf::Empty) {
+        ValueBuf::U8(v) => v,
+        _ => Vec::new(),
+    }
+}
+fn take_u16(buf: &mut ValueBuf) -> Vec<u16> {
+    match std::mem::replace(buf, ValueBuf::Empty) {
+        ValueBuf::U16(v) => v,
+        _ => Vec::new(),
+    }
+}
+fn take_u32(buf: &mut ValueBuf) -> Vec<u32> {
+    match std::mem::replace(buf, ValueBuf::Empty) {
+        ValueBuf::U32(v) => v,
+        _ => Vec::new(),
+    }
+}
+fn take_u64(buf: &mut ValueBuf) -> Vec<u64> {
+    match std::mem::replace(buf, ValueBuf::Empty) {
+        ValueBuf::U64(v) => v,
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use bipie_columnstore::encoding::EncodingHint;
+    use bipie_columnstore::{ColumnSpec, LogicalType, TableBuilder, Value};
+    use bipie_toolbox::selvec::SelByteVec;
+
+    /// Build a one-segment table: group column g (0..groups), values
+    /// v = i * 3 - 50 (signed, exercises frame-of-reference), w = i % 97.
+    fn test_segment(rows: usize, groups: i64) -> bipie_columnstore::Table {
+        let mut b = TableBuilder::with_segment_rows(
+            vec![
+                ColumnSpec::new("g", LogicalType::I64).with_hint(EncodingHint::BitPack),
+                ColumnSpec::new("v", LogicalType::I64).with_hint(EncodingHint::BitPack),
+                ColumnSpec::new("w", LogicalType::I64).with_hint(EncodingHint::BitPack),
+            ],
+            1 << 20,
+        );
+        for i in 0..rows as i64 {
+            b.push_row(vec![
+                Value::I64((i * 7 + i / 11) % groups),
+                Value::I64(i * 3 - 50),
+                Value::I64(i % 97),
+            ]);
+        }
+        b.finish()
+    }
+
+    /// Oracle: counts and sums for selected rows.
+    fn oracle(
+        rows: usize,
+        groups: usize,
+        keep: impl Fn(usize) -> bool,
+        exprs: &[&dyn Fn(i64, i64) -> i64],
+    ) -> (Vec<u64>, Vec<Vec<i64>>) {
+        let mut counts = vec![0u64; groups];
+        let mut sums = vec![vec![0i64; groups]; exprs.len()];
+        for i in 0..rows as i64 {
+            if !keep(i as usize) {
+                continue;
+            }
+            let g = ((i * 7 + i / 11) % groups as i64) as usize;
+            counts[g] += 1;
+            let v = i * 3 - 50;
+            let w = i % 97;
+            for (e, f) in exprs.iter().enumerate() {
+                sums[e][g] += f(v, w);
+            }
+        }
+        (counts, sums)
+    }
+
+    fn run_combo(
+        rows: usize,
+        groups: usize,
+        agg: AggStrategy,
+        selection: SelectionStrategy,
+        with_filter: bool,
+        with_expr: bool,
+    ) -> SegmentAggResult {
+        let table = test_segment(rows, groups as i64);
+        let seg = &table.segments()[0];
+        let level = SimdLevel::detect();
+        let packed_v = match seg.column(1) {
+            bipie_columnstore::encoding::EncodedColumn::BitPack(c) => c,
+            _ => panic!("expected bitpack"),
+        };
+        let packed_w = match seg.column(2) {
+            bipie_columnstore::encoding::EncodedColumn::BitPack(c) => c,
+            _ => panic!("expected bitpack"),
+        };
+        let mut inputs = vec![AggInput::Packed(packed_v), AggInput::Packed(packed_w)];
+        if with_expr {
+            // w * (100 - w): a Q1-shaped computed expression.
+            let e = Expr::col("w")
+                .mul(Expr::lit(100).sub(Expr::col("w")))
+                .resolve(&|name| table.column_index(name))
+                .unwrap();
+            inputs.push(AggInput::Computed(e));
+        }
+        let mut exec = SegmentAggExecutor::new(agg, groups, inputs, level);
+        // Group ids straight from the bitpack normalized domain.
+        let gcol = match seg.column(0) {
+            bipie_columnstore::encoding::EncodedColumn::BitPack(c) => c,
+            _ => panic!("expected bitpack"),
+        };
+        for batch in bipie_columnstore::BatchCursor::with_batch_rows(rows, 1000) {
+            let mut gids = vec![0u8; batch.len];
+            gcol.normalized().unpack_into_u8(batch.start, &mut gids, level);
+            if with_filter {
+                let sel = SelByteVec::from_bools(
+                    &(0..batch.len).map(|k| (batch.start + k) % 5 != 2).collect::<Vec<_>>(),
+                );
+                exec.process_batch(
+                    seg,
+                    batch.start,
+                    batch.len,
+                    &mut gids,
+                    Some(sel.as_bytes()),
+                    selection,
+                );
+            } else {
+                exec.process_batch(seg, batch.start, batch.len, &mut gids, None, selection);
+            }
+        }
+        exec.finish()
+    }
+
+    #[test]
+    fn all_strategy_combinations_agree_with_oracle() {
+        let rows = 5000;
+        let groups = 6;
+        for with_filter in [false, true] {
+            let keep = |i: usize| !with_filter || i % 5 != 2;
+            let (counts, sums) = oracle(
+                rows,
+                groups,
+                keep,
+                &[&|v, _| v, &|_, w| w, &|_, w| w * (100 - w)],
+            );
+            for agg in AggStrategy::ALL {
+                for selection in SelectionStrategy::ALL {
+                    let r = run_combo(rows, groups, agg, selection, with_filter, true);
+                    assert_eq!(r.counts, counts, "{agg:?}+{selection:?} filter={with_filter}");
+                    assert_eq!(
+                        r.sums,
+                        sums,
+                        "{agg:?}+{selection:?} filter={with_filter}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_only_queries() {
+        let rows = 3000;
+        let groups = 4;
+        let table = test_segment(rows, groups as i64);
+        let seg = &table.segments()[0];
+        let level = SimdLevel::detect();
+        let gcol = match seg.column(0) {
+            bipie_columnstore::encoding::EncodedColumn::BitPack(c) => c,
+            _ => panic!(),
+        };
+        let mut exec = SegmentAggExecutor::new(AggStrategy::InRegister, groups, vec![], level);
+        let mut gids = vec![0u8; rows];
+        gcol.normalized().unpack_into_u8(0, &mut gids, level);
+        exec.process_batch(seg, 0, rows, &mut gids, None, SelectionStrategy::SpecialGroup);
+        let r = exec.finish();
+        let (counts, _) = oracle(rows, groups, |_| true, &[]);
+        assert_eq!(r.counts, counts);
+        assert!(r.sums.is_empty());
+    }
+
+    #[test]
+    fn empty_selection_batches() {
+        let rows = 1000;
+        let groups = 3;
+        let table = test_segment(rows, groups as i64);
+        let seg = &table.segments()[0];
+        let level = SimdLevel::detect();
+        let gcol = match seg.column(0) {
+            bipie_columnstore::encoding::EncodedColumn::BitPack(c) => c,
+            _ => panic!(),
+        };
+        let packed_v = match seg.column(1) {
+            bipie_columnstore::encoding::EncodedColumn::BitPack(c) => c,
+            _ => panic!(),
+        };
+        for selection in SelectionStrategy::ALL {
+            let mut exec = SegmentAggExecutor::new(
+                AggStrategy::Scalar,
+                groups,
+                vec![AggInput::Packed(packed_v)],
+                level,
+            );
+            let mut gids = vec![0u8; rows];
+            gcol.normalized().unpack_into_u8(0, &mut gids, level);
+            let sel = SelByteVec::none(rows);
+            exec.process_batch(seg, 0, rows, &mut gids, Some(sel.as_bytes()), selection);
+            let r = exec.finish();
+            assert!(r.counts.iter().all(|&c| c == 0), "{selection:?}");
+            assert!(r.sums[0].iter().all(|&s| s == 0), "{selection:?}");
+        }
+    }
+}

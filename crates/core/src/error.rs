@@ -1,0 +1,55 @@
+//! Engine error types.
+
+/// Errors surfaced by query planning and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A referenced column does not exist in the table.
+    UnknownColumn(String),
+    /// An operation was applied to a column of the wrong logical type.
+    TypeMismatch {
+        /// The offending column.
+        column: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The query shape is not supported (e.g. aggregating a string column).
+    Unsupported(String),
+    /// Segment metadata proves an aggregate could overflow `i64`.
+    PotentialOverflow {
+        /// Index of the aggregate expression.
+        aggregate: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownColumn(name) => write!(f, "unknown column '{name}'"),
+            EngineError::TypeMismatch { column, detail } => {
+                write!(f, "type mismatch on column '{column}': {detail}")
+            }
+            EngineError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            EngineError::PotentialOverflow { aggregate } => {
+                write!(f, "aggregate #{aggregate} could overflow 64-bit accumulation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Engine result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(EngineError::UnknownColumn("x".into()).to_string(), "unknown column 'x'");
+        assert!(EngineError::PotentialOverflow { aggregate: 2 }.to_string().contains("#2"));
+        let e = EngineError::TypeMismatch { column: "c".into(), detail: "want int".into() };
+        assert!(e.to_string().contains("'c'"));
+    }
+}

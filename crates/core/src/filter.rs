@@ -1,0 +1,672 @@
+//! The Filter component (§3, §4).
+//!
+//! "The filter component evaluates the filter expression on a columnar-
+//! oriented batch of records, combines the result with information about
+//! deleted records, and produces a selection vector indicating which
+//! records are selected by the query."
+//!
+//! Filters here are conjunctions of column-vs-constant comparisons (the
+//! ad-hoc analytical shape, e.g. Q1's `l_shipdate <= DATE '1998-09-02'`).
+//! Evaluation works **on encoded data** wherever possible:
+//!
+//! * bit-packed columns compare their normalized (frame-of-reference)
+//!   values against the translated constant — no decode to logical values;
+//! * dictionary columns (string or integer) translate the predicate into
+//!   the *code* domain using the sorted dictionary, then compare codes;
+//! * other encodings decode to `i64` and use the SIMD `i64` comparison.
+//!
+//! The same translation powers **segment elimination**: a predicate whose
+//! translated constant falls outside the segment's min/max proves the
+//! segment contributes no rows (§2.1).
+
+use bipie_columnstore::encoding::EncodedColumn;
+use bipie_columnstore::{LogicalType, Segment, Table, Value};
+use bipie_toolbox::cmp::{self, CmpOp};
+use bipie_toolbox::selvec::{REJECTED, SELECTED};
+use bipie_toolbox::SimdLevel;
+
+use crate::error::{EngineError, Result};
+
+/// A filter predicate over named columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `column OP value`.
+    Cmp {
+        /// Column name.
+        column: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Constant operand.
+        value: Value,
+    },
+    /// `lo <= column <= hi` (integer-like columns only).
+    Between {
+        /// Column name.
+        column: String,
+        /// Inclusive lower bound.
+        lo: Value,
+        /// Inclusive upper bound.
+        hi: Value,
+    },
+    /// Conjunction.
+    And(Vec<Predicate>),
+}
+
+macro_rules! cmp_ctor {
+    ($(#[$doc:meta])* $name:ident, $op:expr) => {
+        $(#[$doc])*
+        pub fn $name(column: impl Into<String>, value: Value) -> Predicate {
+            Predicate::Cmp { column: column.into(), op: $op, value }
+        }
+    };
+}
+
+impl Predicate {
+    cmp_ctor!(
+        /// `column == value`
+        eq,
+        CmpOp::Eq
+    );
+    cmp_ctor!(
+        /// `column != value`
+        ne,
+        CmpOp::Ne
+    );
+    cmp_ctor!(
+        /// `column < value`
+        lt,
+        CmpOp::Lt
+    );
+    cmp_ctor!(
+        /// `column <= value`
+        le,
+        CmpOp::Le
+    );
+    cmp_ctor!(
+        /// `column > value`
+        gt,
+        CmpOp::Gt
+    );
+    cmp_ctor!(
+        /// `column >= value`
+        ge,
+        CmpOp::Ge
+    );
+
+    /// `lo <= column <= hi` (inclusive).
+    pub fn between(column: impl Into<String>, lo: Value, hi: Value) -> Predicate {
+        Predicate::Between { column: column.into(), lo, hi }
+    }
+
+    /// Conjunction of predicates.
+    pub fn and(preds: Vec<Predicate>) -> Predicate {
+        Predicate::And(preds)
+    }
+
+    /// Resolve names and type-check against a table schema.
+    pub fn resolve(&self, table: &Table) -> Result<ResolvedPredicate> {
+        Ok(ResolvedPredicate { node: self.resolve_node(table)? })
+    }
+
+    fn resolve_node(&self, table: &Table) -> Result<PNode> {
+        match self {
+            Predicate::Cmp { column, op, value } => {
+                let col = table
+                    .column_index(column)
+                    .ok_or_else(|| EngineError::UnknownColumn(column.clone()))?;
+                let ty = table.specs()[col].ty;
+                match (ty, value) {
+                    (LogicalType::Str, Value::Str(s)) => {
+                        Ok(PNode::StrCmp { col, op: *op, value: s.clone() })
+                    }
+                    (LogicalType::Str, _) | (_, Value::Str(_)) => Err(EngineError::TypeMismatch {
+                        column: column.clone(),
+                        detail: "string/integer comparison".into(),
+                    }),
+                    (_, v) => {
+                        if v.logical_type() != ty {
+                            return Err(EngineError::TypeMismatch {
+                                column: column.clone(),
+                                detail: format!(
+                                    "column is {:?}, constant is {:?}",
+                                    ty,
+                                    v.logical_type()
+                                ),
+                            });
+                        }
+                        Ok(PNode::IntCmp { col, op: *op, c: v.as_storage_i64().unwrap() })
+                    }
+                }
+            }
+            Predicate::Between { column, lo, hi } => {
+                let col = table
+                    .column_index(column)
+                    .ok_or_else(|| EngineError::UnknownColumn(column.clone()))?;
+                let ty = table.specs()[col].ty;
+                let (lo, hi) = match (lo.as_storage_i64(), hi.as_storage_i64()) {
+                    (Some(lo), Some(hi)) if ty.is_integerlike() => (lo, hi),
+                    _ => {
+                        return Err(EngineError::TypeMismatch {
+                            column: column.clone(),
+                            detail: "BETWEEN requires an integer-like column".into(),
+                        })
+                    }
+                };
+                Ok(PNode::IntBetween { col, lo, hi })
+            }
+            Predicate::And(preds) => {
+                let nodes: Result<Vec<PNode>> =
+                    preds.iter().map(|p| p.resolve_node(table)).collect();
+                Ok(PNode::And(nodes?))
+            }
+        }
+    }
+
+    /// Row-level evaluation against logical values (mutable-region rows and
+    /// the oracle executor).
+    pub fn eval_row(&self, value_of: &impl Fn(&str) -> Value) -> bool {
+        match self {
+            Predicate::Cmp { column, op, value } => {
+                let v = value_of(column);
+                match (&v, value) {
+                    (Value::Str(a), Value::Str(b)) => op.eval(a.as_str(), b.as_str()),
+                    _ => op.eval(
+                        v.as_storage_i64().expect("typed"),
+                        value.as_storage_i64().expect("typed"),
+                    ),
+                }
+            }
+            Predicate::Between { column, lo, hi } => {
+                let v = value_of(column).as_storage_i64().expect("typed");
+                v >= lo.as_storage_i64().expect("typed") && v <= hi.as_storage_i64().expect("typed")
+            }
+            Predicate::And(preds) => preds.iter().all(|p| p.eval_row(value_of)),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PNode {
+    IntCmp { col: usize, op: CmpOp, c: i64 },
+    IntBetween { col: usize, lo: i64, hi: i64 },
+    StrCmp { col: usize, op: CmpOp, value: String },
+    And(Vec<PNode>),
+}
+
+/// A predicate resolved against a table schema.
+#[derive(Debug, Clone)]
+pub struct ResolvedPredicate {
+    node: PNode,
+}
+
+/// Reusable scratch buffers for filter evaluation.
+#[derive(Debug, Default)]
+pub struct FilterScratch {
+    u32_buf: Vec<u32>,
+    i64_buf: Vec<i64>,
+    tmp_sel: Vec<u8>,
+}
+
+/// Outcome of translating a comparison into a bounded unsigned domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DomainCmp {
+    /// Every row matches.
+    All,
+    /// No row matches.
+    None,
+    /// Compare against the translated constant.
+    Cmp(CmpOp, u64),
+    /// Inclusive range in the translated domain.
+    Between(u64, u64),
+}
+
+/// Translate `x OP c` (logical) into the normalized domain `[0, range]`
+/// where `normalized = logical - reference`.
+fn translate_cmp(op: CmpOp, c: i64, reference: i64, range: u64) -> DomainCmp {
+    let cn = c as i128 - reference as i128;
+    if cn < 0 {
+        match op {
+            CmpOp::Eq | CmpOp::Lt | CmpOp::Le => DomainCmp::None,
+            CmpOp::Ne | CmpOp::Gt | CmpOp::Ge => DomainCmp::All,
+        }
+    } else if cn > range as i128 {
+        match op {
+            CmpOp::Eq | CmpOp::Gt | CmpOp::Ge => DomainCmp::None,
+            CmpOp::Ne | CmpOp::Lt | CmpOp::Le => DomainCmp::All,
+        }
+    } else {
+        DomainCmp::Cmp(op, cn as u64)
+    }
+}
+
+/// Translate `lo <= x <= hi` (logical) into the normalized domain.
+fn translate_between(lo: i64, hi: i64, reference: i64, range: u64) -> DomainCmp {
+    let lon = (lo as i128 - reference as i128).max(0);
+    let hin = (hi as i128 - reference as i128).min(range as i128);
+    if lon > hin {
+        DomainCmp::None
+    } else if lon == 0 && hin == range as i128 {
+        DomainCmp::All
+    } else {
+        DomainCmp::Between(lon as u64, hin as u64)
+    }
+}
+
+/// Translate a string comparison into the sorted-dictionary code domain.
+fn translate_str_cmp<T: Ord + ?Sized>(
+    op: CmpOp,
+    value: &T,
+    dict_iter: impl Fn(&T) -> (usize, Option<usize>), // (partition points) see below
+) -> DomainCmp {
+    // dict_iter returns (k_lt, exact): k_lt = #entries < value, exact = code
+    // of an exact match if present.
+    let (k_lt, exact) = dict_iter(value);
+    match op {
+        CmpOp::Eq => match exact {
+            Some(code) => DomainCmp::Cmp(CmpOp::Eq, code as u64),
+            None => DomainCmp::None,
+        },
+        CmpOp::Ne => match exact {
+            Some(code) => DomainCmp::Cmp(CmpOp::Ne, code as u64),
+            None => DomainCmp::All,
+        },
+        // x < value  <=>  code < k_lt
+        CmpOp::Lt => threshold_lt(k_lt),
+        // x <= value <=>  code < k_lt + (exact ? 1 : 0)
+        CmpOp::Le => threshold_lt(k_lt + exact.map_or(0, |_| 1)),
+        // x >= value <=>  code >= k_lt
+        CmpOp::Ge => threshold_ge(k_lt),
+        // x > value  <=>  code >= k_lt + (exact ? 1 : 0)
+        CmpOp::Gt => threshold_ge(k_lt + exact.map_or(0, |_| 1)),
+    }
+}
+
+fn threshold_lt(k: usize) -> DomainCmp {
+    if k == 0 {
+        DomainCmp::None
+    } else {
+        DomainCmp::Cmp(CmpOp::Lt, k as u64)
+    }
+}
+
+fn threshold_ge(k: usize) -> DomainCmp {
+    if k == 0 {
+        DomainCmp::All
+    } else {
+        DomainCmp::Cmp(CmpOp::Ge, k as u64)
+    }
+}
+
+impl ResolvedPredicate {
+    /// True if segment metadata proves no row can match (§2.1 segment
+    /// elimination).
+    pub fn eliminates_segment(&self, seg: &Segment) -> bool {
+        Self::node_eliminates(&self.node, seg)
+    }
+
+    fn node_eliminates(node: &PNode, seg: &Segment) -> bool {
+        match node {
+            PNode::IntCmp { col, op, c } => {
+                let m = seg.meta(*col);
+                matches!(translate_cmp(*op, *c, m.min, m.range()), DomainCmp::None)
+            }
+            PNode::IntBetween { col, lo, hi } => {
+                let m = seg.meta(*col);
+                matches!(translate_between(*lo, *hi, m.min, m.range()), DomainCmp::None)
+            }
+            PNode::StrCmp { col, op, value } => match seg.column(*col) {
+                EncodedColumn::StrDict(d) => {
+                    matches!(str_domain_cmp(d.dict(), *op, value), DomainCmp::None)
+                }
+                _ => false,
+            },
+            PNode::And(nodes) => nodes.iter().any(|n| Self::node_eliminates(n, seg)),
+        }
+    }
+
+    /// Evaluate the predicate over batch rows `[start, start+out.len())` of
+    /// a segment, writing the canonical selection byte mask into `out`
+    /// (deleted rows are merged by the caller).
+    pub fn eval_batch(
+        &self,
+        seg: &Segment,
+        start: usize,
+        out: &mut [u8],
+        scratch: &mut FilterScratch,
+        level: SimdLevel,
+    ) {
+        Self::eval_node(&self.node, seg, start, out, scratch, level);
+    }
+
+    fn eval_node(
+        node: &PNode,
+        seg: &Segment,
+        start: usize,
+        out: &mut [u8],
+        scratch: &mut FilterScratch,
+        level: SimdLevel,
+    ) {
+        let n = out.len();
+        match node {
+            PNode::IntCmp { col, op, c } => {
+                eval_int_domain(seg, *col, start, out, scratch, level, LogicalCmp::Cmp(*op, *c));
+            }
+            PNode::IntBetween { col, lo, hi } => {
+                eval_int_domain(
+                    seg,
+                    *col,
+                    start,
+                    out,
+                    scratch,
+                    level,
+                    LogicalCmp::Between(*lo, *hi),
+                );
+            }
+            PNode::StrCmp { col, op, value } => match seg.column(*col) {
+                EncodedColumn::StrDict(d) => {
+                    let dc = str_domain_cmp(d.dict(), *op, value);
+                    apply_domain_cmp_packed(d.codes(), dc, start, out, scratch, level);
+                }
+                other => unreachable!("string column encoded as {:?}", other.encoding()),
+            },
+            PNode::And(nodes) => {
+                let (first, rest) = nodes.split_first().expect("non-empty conjunction");
+                Self::eval_node(first, seg, start, out, scratch, level);
+                let mut tmp = std::mem::take(&mut scratch.tmp_sel);
+                tmp.clear();
+                tmp.resize(n, 0);
+                for node in rest {
+                    Self::eval_node(node, seg, start, &mut tmp, scratch, level);
+                    for (o, t) in out.iter_mut().zip(&tmp) {
+                        *o &= *t;
+                    }
+                }
+                scratch.tmp_sel = tmp;
+            }
+        }
+    }
+}
+
+fn str_domain_cmp(dict: &[String], op: CmpOp, value: &str) -> DomainCmp {
+    translate_str_cmp(op, value, |v: &str| {
+        let k_lt = dict.partition_point(|d| d.as_str() < v);
+        let exact = (k_lt < dict.len() && dict[k_lt] == v).then_some(k_lt);
+        (k_lt, exact)
+    })
+}
+
+/// A comparison in the logical `i64` domain, before encoding translation.
+#[derive(Debug, Clone, Copy)]
+enum LogicalCmp {
+    Cmp(CmpOp, i64),
+    Between(i64, i64),
+}
+
+impl LogicalCmp {
+    /// Translate into a frame-of-reference normalized domain `[0, range]`.
+    fn to_normalized(self, reference: i64, range: u64) -> DomainCmp {
+        match self {
+            LogicalCmp::Cmp(op, c) => translate_cmp(op, c, reference, range),
+            LogicalCmp::Between(lo, hi) => translate_between(lo, hi, reference, range),
+        }
+    }
+
+    /// Translate into a sorted-integer-dictionary code domain.
+    fn to_code_domain(self, dict: &[i64]) -> DomainCmp {
+        match self {
+            LogicalCmp::Cmp(op, c) => translate_str_cmp(op, &c, |v: &i64| {
+                let k_lt = dict.partition_point(|d| d < v);
+                let exact = (k_lt < dict.len() && dict[k_lt] == *v).then_some(k_lt);
+                (k_lt, exact)
+            }),
+            LogicalCmp::Between(lo, hi) => {
+                // codes in [#entries < lo, #entries <= hi)
+                let k_lo = dict.partition_point(|d| *d < lo);
+                let k_hi = dict.partition_point(|d| *d <= hi);
+                if k_lo >= k_hi {
+                    DomainCmp::None
+                } else if k_lo == 0 && k_hi == dict.len() {
+                    DomainCmp::All
+                } else {
+                    DomainCmp::Between(k_lo as u64, k_hi as u64 - 1)
+                }
+            }
+        }
+    }
+}
+
+/// Evaluate a logical comparison over an integer-like column batch.
+fn eval_int_domain(
+    seg: &Segment,
+    col: usize,
+    start: usize,
+    out: &mut [u8],
+    scratch: &mut FilterScratch,
+    level: SimdLevel,
+    logical: LogicalCmp,
+) {
+    match seg.column(col) {
+        EncodedColumn::BitPack(c) if c.bits() <= 32 => {
+            // Encoded-domain fast path: compare normalized u32 values.
+            let dc = logical.to_normalized(c.reference(), c.normalized_max());
+            apply_domain_cmp_packed(c.normalized(), dc, start, out, scratch, level);
+        }
+        EncodedColumn::IntDict(d) => {
+            // Code-domain path via the sorted dictionary.
+            let dc = logical.to_code_domain(d.dict());
+            apply_domain_cmp_packed(d.codes(), dc, start, out, scratch, level);
+        }
+        other => {
+            // Generic path: decode logical values, compare as i64.
+            scratch.i64_buf.resize(out.len(), 0);
+            other.decode_i64_into(start, &mut scratch.i64_buf);
+            match logical {
+                LogicalCmp::Cmp(op, c) => cmp::cmp_i64(&scratch.i64_buf, op, c, out, level),
+                LogicalCmp::Between(lo, hi) => {
+                    cmp::between_i64(&scratch.i64_buf, lo, hi, out, level)
+                }
+            }
+        }
+    }
+}
+
+/// Apply a domain comparison to a bit-packed unsigned payload.
+fn apply_domain_cmp_packed(
+    packed: &bipie_toolbox::bitpack::PackedVec,
+    dc: DomainCmp,
+    start: usize,
+    out: &mut [u8],
+    scratch: &mut FilterScratch,
+    level: SimdLevel,
+) {
+    match dc {
+        DomainCmp::All => out.fill(SELECTED),
+        DomainCmp::None => out.fill(REJECTED),
+        DomainCmp::Cmp(op, c) if packed.bits() <= 32 => {
+            scratch.u32_buf.resize(out.len(), 0);
+            packed.unpack_into_u32(start, &mut scratch.u32_buf, level);
+            cmp::cmp_u32(&scratch.u32_buf, op, c as u32, out, level);
+        }
+        DomainCmp::Between(lo, hi) if packed.bits() <= 32 => {
+            scratch.u32_buf.resize(out.len(), 0);
+            packed.unpack_into_u32(start, &mut scratch.u32_buf, level);
+            cmp::between_u32(&scratch.u32_buf, lo as u32, hi as u32, out, level);
+        }
+        DomainCmp::Cmp(op, c) => {
+            // Wide packed values: unpack to u64, compare scalar.
+            let mut buf = vec![0u64; out.len()];
+            packed.unpack_into_u64(start, &mut buf, level);
+            cmp::cmp_u64(&buf, op, c, out, level);
+        }
+        DomainCmp::Between(lo, hi) => {
+            let mut buf = vec![0u64; out.len()];
+            packed.unpack_into_u64(start, &mut buf, level);
+            for (o, &v) in out.iter_mut().zip(&buf) {
+                *o = if v >= lo && v <= hi { SELECTED } else { REJECTED };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bipie_columnstore::encoding::EncodingHint;
+    use bipie_columnstore::{ColumnSpec, TableBuilder};
+
+    fn test_table(hint: EncodingHint) -> Table {
+        let mut b = TableBuilder::with_segment_rows(
+            vec![
+                ColumnSpec::new("flag", LogicalType::Str),
+                ColumnSpec::new("v", LogicalType::I64).with_hint(hint),
+            ],
+            10_000,
+        );
+        for i in 0..1000i64 {
+            let flag = ["A", "N", "R"][(i % 3) as usize];
+            b.push_row(vec![Value::Str(flag.into()), Value::I64(i - 500)]);
+        }
+        b.finish()
+    }
+
+    fn eval_all(table: &Table, pred: &Predicate) -> Vec<bool> {
+        let rp = pred.resolve(table).unwrap();
+        let seg = &table.segments()[0];
+        let mut out = vec![0u8; seg.num_rows()];
+        let mut scratch = FilterScratch::default();
+        rp.eval_batch(seg, 0, &mut out, &mut scratch, SimdLevel::detect());
+        out.iter().map(|&b| b != 0).collect()
+    }
+
+    fn reference(table: &Table, pred: &Predicate) -> Vec<bool> {
+        let seg = &table.segments()[0];
+        (0..seg.num_rows())
+            .map(|i| {
+                pred.eval_row(&|name| {
+                    let c = table.column_index(name).unwrap();
+                    match seg.column(c) {
+                        EncodedColumn::StrDict(d) => Value::Str(d.get(i).to_string()),
+                        other => Value::I64(other.get_i64(i)),
+                    }
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn int_predicates_match_reference_across_encodings() {
+        for hint in
+            [EncodingHint::BitPack, EncodingHint::Dict, EncodingHint::Rle, EncodingHint::Delta]
+        {
+            let t = test_table(hint);
+            for pred in [
+                Predicate::eq("v", Value::I64(0)),
+                Predicate::ne("v", Value::I64(-500)),
+                Predicate::lt("v", Value::I64(-100)),
+                Predicate::le("v", Value::I64(499)),
+                Predicate::gt("v", Value::I64(499)),
+                Predicate::ge("v", Value::I64(500)),
+                Predicate::between("v", Value::I64(-10), Value::I64(10)),
+                Predicate::eq("v", Value::I64(99_999)), // out of domain
+                Predicate::lt("v", Value::I64(-501)),   // below domain
+                Predicate::ge("v", Value::I64(-500)),   // whole domain
+            ] {
+                assert_eq!(
+                    eval_all(&t, &pred),
+                    reference(&t, &pred),
+                    "hint={hint:?} pred={pred:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn str_predicates_match_reference() {
+        let t = test_table(EncodingHint::Auto);
+        for pred in [
+            Predicate::eq("flag", Value::Str("N".into())),
+            Predicate::ne("flag", Value::Str("A".into())),
+            Predicate::lt("flag", Value::Str("N".into())),
+            Predicate::le("flag", Value::Str("N".into())),
+            Predicate::gt("flag", Value::Str("A".into())),
+            Predicate::ge("flag", Value::Str("R".into())),
+            Predicate::eq("flag", Value::Str("Z".into())), // not in dict
+            Predicate::ne("flag", Value::Str("Z".into())),
+            Predicate::lt("flag", Value::Str("B".into())), // between entries
+            Predicate::gt("flag", Value::Str("B".into())),
+        ] {
+            assert_eq!(eval_all(&t, &pred), reference(&t, &pred), "pred={pred:?}");
+        }
+    }
+
+    #[test]
+    fn conjunction_intersects() {
+        let t = test_table(EncodingHint::BitPack);
+        let pred = Predicate::and(vec![
+            Predicate::ge("v", Value::I64(0)),
+            Predicate::lt("v", Value::I64(100)),
+            Predicate::eq("flag", Value::Str("A".into())),
+        ]);
+        assert_eq!(eval_all(&t, &pred), reference(&t, &pred));
+    }
+
+    #[test]
+    fn segment_elimination() {
+        let t = test_table(EncodingHint::BitPack);
+        let seg = &t.segments()[0]; // v in [-500, 499]
+        let gone = Predicate::gt("v", Value::I64(1000)).resolve(&t).unwrap();
+        assert!(gone.eliminates_segment(seg));
+        let gone = Predicate::between("v", Value::I64(500), Value::I64(600)).resolve(&t).unwrap();
+        assert!(gone.eliminates_segment(seg));
+        let kept = Predicate::le("v", Value::I64(-500)).resolve(&t).unwrap();
+        assert!(!kept.eliminates_segment(seg));
+        let gone = Predicate::eq("flag", Value::Str("Z".into())).resolve(&t).unwrap();
+        assert!(gone.eliminates_segment(seg));
+        // Conjunction eliminates if ANY single conjunct eliminates (ranges
+        // of separate conjuncts are not intersected).
+        let gone = Predicate::and(vec![
+            Predicate::ge("v", Value::I64(0)),
+            Predicate::gt("v", Value::I64(1000)),
+        ]);
+        assert!(gone.resolve(&t).unwrap().eliminates_segment(seg));
+        let kept = Predicate::and(vec![
+            Predicate::ge("v", Value::I64(0)),
+            Predicate::lt("v", Value::I64(-400)), // jointly impossible, individually possible
+        ]);
+        assert!(!kept.resolve(&t).unwrap().eliminates_segment(seg));
+    }
+
+    #[test]
+    fn resolve_errors() {
+        let t = test_table(EncodingHint::Auto);
+        assert!(matches!(
+            Predicate::eq("missing", Value::I64(1)).resolve(&t),
+            Err(EngineError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            Predicate::eq("flag", Value::I64(1)).resolve(&t),
+            Err(EngineError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            Predicate::eq("v", Value::Str("x".into())).resolve(&t),
+            Err(EngineError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            Predicate::between("flag", Value::I64(0), Value::I64(1)).resolve(&t),
+            Err(EngineError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_offsets() {
+        let t = test_table(EncodingHint::BitPack);
+        let seg = &t.segments()[0];
+        let rp = Predicate::ge("v", Value::I64(0)).resolve(&t).unwrap();
+        let mut scratch = FilterScratch::default();
+        let mut out = vec![0u8; 100];
+        rp.eval_batch(seg, 450, &mut out, &mut scratch, SimdLevel::detect());
+        // Rows 450..500 have v in [-50, -1] (rejected); 500..550 in [0, 49].
+        assert!(out[..50].iter().all(|&b| b == 0));
+        assert!(out[50..].iter().all(|&b| b == 0xFF));
+    }
+}

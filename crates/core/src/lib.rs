@@ -1,0 +1,51 @@
+//! # BIPie engine
+//!
+//! The paper's primary contribution: a columnstore scan that fuses decoding,
+//! filtering, group-id mapping, and grouped aggregation into one pass over
+//! encoded data, *specializing* the selection and aggregation operators at
+//! runtime (§3).
+//!
+//! Architecture (Figure 1), mapped to modules:
+//!
+//! * [`filter`] — evaluates the filter expression over a batch, directly on
+//!   encoded data where possible, producing a selection byte vector merged
+//!   with deleted-row information; also performs segment elimination from
+//!   metadata.
+//! * [`groupid`] — the **Group ID Mapper**: turns group-by columns into a
+//!   dense integer group-id vector, exploiting dictionary codes as a
+//!   perfect, collision-free hash (§3); falls back to a generic remap for
+//!   wide group domains.
+//! * [`aggproc`] — the **Aggregate Processor**: combines a group-id vector
+//!   and selection vector with the aggregate inputs, executing one of the
+//!   3 selection × 3 SIMD aggregation strategy pairings (plus the scalar
+//!   fallback) chosen by [`strategy`].
+//! * [`strategy`] — the runtime chooser: aggregation strategy per segment
+//!   (from metadata: group-count bound, aggregate count and widths),
+//!   selection strategy per batch (from the batch's measured selectivity),
+//!   mirroring §3's "the choice ... can change from segment to segment /
+//!   batch to batch".
+//! * [`scan`] — drives per-segment scans (optionally in parallel) and
+//!   merges per-segment group results.
+//! * [`expr`] / [`query`] — the scalar expression interpreter (standing in
+//!   for the paper's LLVM-generated code, which likewise "always operates
+//!   on decompressed column data") and the public query API.
+//! * [`mod@reference`] — a naive row-at-a-time executor used as the correctness
+//!   oracle for the whole engine.
+
+pub mod aggproc;
+pub mod error;
+pub mod expr;
+pub mod filter;
+pub mod groupid;
+pub mod query;
+pub mod reference;
+pub mod scan;
+pub mod stats;
+pub mod strategy;
+
+pub use error::{EngineError, Result};
+pub use expr::Expr;
+pub use filter::Predicate;
+pub use query::{execute, AggExpr, Query, QueryBuilder, QueryOptions, QueryResult, ResultRow};
+pub use stats::ExecStats;
+pub use strategy::{AggStrategy, SelectionStrategy};

@@ -1,0 +1,592 @@
+//! The columnstore scan driver (§3, Figure 1).
+//!
+//! Orchestrates per-segment execution: segment elimination, group-id mapper
+//! planning, overflow proofs, adaptive strategy selection, the batch loop,
+//! and the merge of per-segment group results into table-level totals.
+//! Segments scan independently (optionally in parallel — "query 1 requires
+//! little synchronization coming from parallel processing", §6.3); group
+//! keys, not group ids, are the merge key, because dictionary codes differ
+//! between segments.
+
+use std::collections::BTreeMap;
+
+use bipie_columnstore::encoding::EncodedColumn;
+use bipie_columnstore::{BatchCursor, LogicalType, Segment, Table, Value};
+use bipie_toolbox::selvec::count_selected;
+use bipie_toolbox::SimdLevel;
+
+use crate::aggproc::{AggInput, SegmentAggExecutor};
+use crate::error::{EngineError, Result};
+use crate::expr::ResolvedExpr;
+use crate::filter::{FilterScratch, ResolvedPredicate};
+use crate::groupid::{plan_segment_mapper, SegmentGroupMapper};
+use crate::stats::ExecStats;
+use crate::strategy::{AggChoiceParams, AggStrategy, SelectionStrategy, StrategyConfig};
+
+/// Per-group accumulator in the merged result.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroupAcc {
+    /// Selected-row count.
+    pub count: u64,
+    /// One logical sum per sum-aggregate.
+    pub sums: Vec<i64>,
+    /// One logical minimum per MIN/MAX aggregate.
+    pub mins: Vec<i64>,
+    /// One logical maximum per MIN/MAX aggregate.
+    pub maxs: Vec<i64>,
+}
+
+/// Execution-time options threaded down from the query API.
+#[derive(Debug, Clone)]
+pub struct ScanOptions {
+    /// SIMD tier (defaults to the detected one).
+    pub level: SimdLevel,
+    /// Force a selection strategy for every batch (experiments).
+    pub forced_selection: Option<SelectionStrategy>,
+    /// Force an aggregation strategy for every segment (experiments).
+    pub forced_agg: Option<AggStrategy>,
+    /// Scan segments on parallel threads.
+    pub parallel: bool,
+    /// Rows per batch window (§2.1; default [`BATCH_ROWS`]).
+    pub batch_rows: usize,
+    /// Strategy-chooser constants.
+    pub config: StrategyConfig,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions {
+            level: SimdLevel::detect(),
+            forced_selection: None,
+            forced_agg: None,
+            parallel: true,
+            batch_rows: bipie_columnstore::BATCH_ROWS,
+            config: StrategyConfig::default(),
+        }
+    }
+}
+
+/// Scan every segment of `table`, returning merged per-group totals keyed
+/// by the group-by values, plus execution stats.
+pub fn scan_table(
+    table: &Table,
+    filter: Option<&ResolvedPredicate>,
+    group_cols: &[(usize, LogicalType)],
+    sum_exprs: &[ResolvedExpr],
+    mm_exprs: &[ResolvedExpr],
+    options: &ScanOptions,
+) -> Result<(BTreeMap<Vec<Value>, GroupAcc>, ExecStats)> {
+    let segments = table.segments();
+    let mut merged: BTreeMap<Vec<Value>, GroupAcc> = BTreeMap::new();
+    let mut stats = ExecStats::default();
+
+    let run =
+        |seg: &Segment| scan_segment(seg, filter, group_cols, sum_exprs, mm_exprs, options);
+
+    let results: Vec<Result<SegmentOutput>> = if options.parallel && segments.len() > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                segments.iter().map(|seg| scope.spawn(move || run(seg))).collect();
+            handles.into_iter().map(|h| h.join().expect("segment scan panicked")).collect()
+        })
+    } else {
+        segments.iter().map(run).collect()
+    };
+
+    for result in results {
+        let out = result?;
+        stats.merge(&out.stats);
+        for (key, acc) in out.groups {
+            let slot = merged.entry(key).or_insert_with(|| GroupAcc {
+                count: 0,
+                sums: vec![0; sum_exprs.len()],
+                mins: vec![i64::MAX; mm_exprs.len()],
+                maxs: vec![i64::MIN; mm_exprs.len()],
+            });
+            slot.count += acc.count;
+            for (s, v) in slot.sums.iter_mut().zip(&acc.sums) {
+                *s += v;
+            }
+            for (m, v) in slot.mins.iter_mut().zip(&acc.mins) {
+                *m = (*m).min(*v);
+            }
+            for (m, v) in slot.maxs.iter_mut().zip(&acc.maxs) {
+                *m = (*m).max(*v);
+            }
+        }
+    }
+    Ok((merged, stats))
+}
+
+struct SegmentOutput {
+    groups: Vec<(Vec<Value>, GroupAcc)>,
+    stats: ExecStats,
+}
+
+fn scan_segment(
+    seg: &Segment,
+    filter: Option<&ResolvedPredicate>,
+    group_cols: &[(usize, LogicalType)],
+    sum_exprs: &[ResolvedExpr],
+    mm_exprs: &[ResolvedExpr],
+    options: &ScanOptions,
+) -> Result<SegmentOutput> {
+    let mut stats = ExecStats::default();
+    if seg.num_rows() == 0 || seg.live_rows() == 0 {
+        return Ok(SegmentOutput { groups: Vec::new(), stats });
+    }
+    if let Some(f) = filter {
+        if f.eliminates_segment(seg) {
+            stats.segments_eliminated = 1;
+            return Ok(SegmentOutput { groups: Vec::new(), stats });
+        }
+    }
+    stats.segments_scanned = 1;
+    stats.rows_scanned = seg.live_rows();
+
+    check_overflow(seg, sum_exprs)?;
+    // MIN/MAX never accumulate, but the expression itself must fit i64.
+    for (i, expr) in mm_exprs.iter().enumerate() {
+        let (lo, hi) = expr.value_range(&|col| {
+            let m = seg.meta(col);
+            (m.min, m.max)
+        });
+        if lo < i64::MIN as i128 || hi > i64::MAX as i128 {
+            return Err(EngineError::PotentialOverflow { aggregate: sum_exprs.len() + i });
+        }
+    }
+
+    match plan_segment_mapper(seg, group_cols)? {
+        SegmentGroupMapper::Narrow(mapper) => {
+            scan_segment_narrow(seg, filter, sum_exprs, mm_exprs, &mapper, options, &mut stats)
+        }
+        SegmentGroupMapper::Wide(mapper) => {
+            stats.wide_group_segments = 1;
+            scan_segment_wide(seg, filter, sum_exprs, mm_exprs, mapper, options, &mut stats)
+        }
+    }
+}
+
+/// Metadata-driven overflow proof (§2.1): every sum over the segment must
+/// fit `i64`.
+fn check_overflow(seg: &Segment, sum_exprs: &[ResolvedExpr]) -> Result<()> {
+    let rows = seg.num_rows() as i128;
+    for (i, expr) in sum_exprs.iter().enumerate() {
+        let (lo, hi) = expr.value_range(&|col| {
+            let m = seg.meta(col);
+            (m.min, m.max)
+        });
+        let bound = lo.abs().max(hi.abs());
+        if bound.saturating_mul(rows) > i64::MAX as i128 {
+            return Err(EngineError::PotentialOverflow { aggregate: i });
+        }
+    }
+    Ok(())
+}
+
+/// The BIPie fast path: u8 group ids, specialized kernels.
+fn scan_segment_narrow(
+    seg: &Segment,
+    filter: Option<&ResolvedPredicate>,
+    sum_exprs: &[ResolvedExpr],
+    mm_exprs: &[ResolvedExpr],
+    mapper: &crate::groupid::NarrowMapper<'_>,
+    options: &ScanOptions,
+    stats: &mut ExecStats,
+) -> Result<SegmentOutput> {
+    let level = options.level;
+    let num_groups = mapper.num_groups();
+
+    // Plan the aggregate inputs: bare bit-packed columns feed kernels in
+    // their encoded form; everything else evaluates as an expression.
+    let plan_input = |e: &ResolvedExpr| match e.as_bare_column() {
+        Some(col) => match seg.column(col) {
+            EncodedColumn::BitPack(c) => AggInput::Packed(c),
+            _ => AggInput::Computed(e.clone()),
+        },
+        None => AggInput::Computed(e.clone()),
+    };
+    let inputs: Vec<AggInput<'_>> = sum_exprs.iter().map(plan_input).collect();
+    let mm_inputs: Vec<AggInput<'_>> = mm_exprs.iter().map(plan_input).collect();
+
+    // The bit width driving the gather/compact crossover: widest packed
+    // aggregate input, else the group-code width.
+    let dominant_bits = inputs
+        .iter()
+        .filter_map(|i| match i {
+            AggInput::Packed(c) => Some(c.bits()),
+            AggInput::Computed(_) => None,
+        })
+        .max()
+        .unwrap_or_else(|| mapper.code_bits());
+
+    let agg_params_template = AggChoiceParams {
+        num_groups_effective: num_groups + 1,
+        num_sums: inputs.len(),
+        input_bytes: inputs.iter().map(AggInput::width_bytes).collect(),
+        all_packed_narrow: !inputs.is_empty() && inputs.iter().all(AggInput::sortable_packed),
+        multi_layout_fits: bipie_toolbox::agg::multi::RowLayout::plan(
+            &inputs.iter().map(AggInput::width_bytes).collect::<Vec<_>>(),
+        )
+        .is_some(),
+        est_selectivity: 1.0,
+    };
+
+    let mut executor: Option<SegmentAggExecutor<'_>> = None;
+    let mut inputs_slot = inputs;
+    let mut mm_inputs_slot = mm_inputs;
+    let mut gids: Vec<u8> = Vec::new();
+    let mut gid_scratch: Vec<u8> = Vec::new();
+    let mut fscratch = FilterScratch::default();
+    let mut sel_buf: Vec<u8> = Vec::new();
+    let has_deletes = !seg.deleted().none_deleted();
+
+    for batch in BatchCursor::with_batch_rows(seg.num_rows(), options.batch_rows) {
+        mapper.extract_batch(batch.start, batch.len, &mut gids, &mut gid_scratch, level);
+
+        // Filter + deleted-row merge -> selection byte vector.
+        let sel: Option<&[u8]> = if filter.is_some() || has_deletes {
+            sel_buf.resize(batch.len, 0xFF);
+            match filter {
+                // The comparison writes every byte; no prefill needed.
+                Some(f) => f.eval_batch(seg, batch.start, &mut sel_buf, &mut fscratch, level),
+                None => sel_buf.fill(0xFF),
+            }
+            seg.deleted().mask_batch(batch.start, &mut sel_buf);
+            Some(&sel_buf)
+        } else {
+            None
+        };
+
+        // Lazily pick the aggregation strategy from the first batch's
+        // measured selectivity (§3: per segment, at run time).
+        let selectivity = match sel {
+            Some(s) => count_selected(s, level) as f64 / batch.len.max(1) as f64,
+            None => 1.0,
+        };
+        if executor.is_none() {
+            let mut params = agg_params_template.clone();
+            params.est_selectivity = selectivity;
+            let strategy =
+                options.forced_agg.unwrap_or_else(|| options.config.choose_agg(&params));
+            stats.record_agg(strategy);
+            executor = Some(SegmentAggExecutor::with_min_max(
+                strategy,
+                num_groups,
+                std::mem::take(&mut inputs_slot),
+                std::mem::take(&mut mm_inputs_slot),
+                level,
+            ));
+        }
+        let exec = executor.as_mut().expect("created above");
+
+        let selection = options
+            .forced_selection
+            .unwrap_or_else(|| options.config.choose_selection(selectivity, dominant_bits));
+        stats.record_selection(selection);
+        exec.process_batch(seg, batch.start, batch.len, &mut gids, sel, selection);
+    }
+
+    let groups = match executor {
+        Some(exec) => {
+            let result = exec.finish();
+            (0..num_groups)
+                .filter(|&g| result.counts[g] > 0)
+                .map(|g| {
+                    (
+                        mapper.group_key(g),
+                        GroupAcc {
+                            count: result.counts[g],
+                            sums: result.sums.iter().map(|s| s[g]).collect(),
+                            mins: result.mins.iter().map(|m| m[g]).collect(),
+                            maxs: result.maxs.iter().map(|m| m[g]).collect(),
+                        },
+                    )
+                })
+                .collect()
+        }
+        None => Vec::new(),
+    };
+    Ok(SegmentOutput { groups, stats: std::mem::take(stats) })
+}
+
+/// Wide-group fallback: u32 group ids, scalar row loop.
+fn scan_segment_wide(
+    seg: &Segment,
+    filter: Option<&ResolvedPredicate>,
+    sum_exprs: &[ResolvedExpr],
+    mm_exprs: &[ResolvedExpr],
+    mut mapper: crate::groupid::WideMapper<'_>,
+    options: &ScanOptions,
+    stats: &mut ExecStats,
+) -> Result<SegmentOutput> {
+    let level = options.level;
+    let mut counts: Vec<u64> = Vec::new();
+    let mut sums: Vec<Vec<i64>> = vec![Vec::new(); sum_exprs.len()];
+    let mut mins: Vec<Vec<i64>> = vec![Vec::new(); mm_exprs.len()];
+    let mut maxs: Vec<Vec<i64>> = vec![Vec::new(); mm_exprs.len()];
+    let mut gids: Vec<u32> = Vec::new();
+    let mut key_scratch: Vec<Vec<i64>> = Vec::new();
+    let mut fscratch = FilterScratch::default();
+    let mut sel_buf: Vec<u8> = Vec::new();
+    let mut col_cache: Vec<(usize, Vec<i64>)> = Vec::new();
+    // Combined expression list: sums first, then MIN/MAX (the CSE
+    // compilation order of `resolve_many`).
+    let all_exprs: Vec<&ResolvedExpr> = sum_exprs.iter().chain(mm_exprs).collect();
+    let mut expr_vals: Vec<Vec<i64>> = vec![Vec::new(); all_exprs.len()];
+    let mut expr_scratch = crate::expr::ExprScratch::default();
+    let has_deletes = !seg.deleted().none_deleted();
+
+    for batch in BatchCursor::with_batch_rows(seg.num_rows(), options.batch_rows) {
+        stats.record_selection(SelectionStrategy::Compact);
+        mapper.extract_batch(batch.start, batch.len, &mut gids, &mut key_scratch);
+
+        let sel: Option<&[u8]> = if filter.is_some() || has_deletes {
+            sel_buf.clear();
+            sel_buf.resize(batch.len, 0xFF);
+            if let Some(f) = filter {
+                f.eval_batch(seg, batch.start, &mut sel_buf, &mut fscratch, level);
+            }
+            seg.deleted().mask_batch(batch.start, &mut sel_buf);
+            Some(&sel_buf)
+        } else {
+            None
+        };
+
+        // Decode expression inputs over the full batch.
+        let mut needed: Vec<usize> = Vec::new();
+        for e in &all_exprs {
+            for c in e.columns() {
+                if !needed.contains(&c) {
+                    needed.push(c);
+                }
+            }
+        }
+        col_cache.retain(|(c, _)| needed.contains(c));
+        for &c in &needed {
+            if !col_cache.iter().any(|(cc, _)| *cc == c) {
+                col_cache.push((c, Vec::new()));
+            }
+        }
+        for (c, buf) in col_cache.iter_mut() {
+            buf.clear();
+            buf.resize(batch.len, 0);
+            seg.column(*c).decode_i64_into(batch.start, buf);
+        }
+        {
+            let cache = &col_cache;
+            let lookup = |idx: usize| -> &[i64] {
+                cache.iter().find(|(c, _)| *c == idx).map(|(_, v)| v.as_slice()).unwrap()
+            };
+            for (i, e) in all_exprs.iter().enumerate() {
+                let (done, rest) = expr_vals.split_at_mut(i);
+                let prev = |p: usize| -> &[i64] { &done[p] };
+                e.eval_batch_with_prev(
+                    batch.len,
+                    &lookup,
+                    &prev,
+                    &mut rest[0],
+                    &mut expr_scratch,
+                );
+            }
+        }
+
+        // Scalar accumulation.
+        for i in 0..batch.len {
+            if let Some(s) = sel {
+                if s[i] == 0 {
+                    continue;
+                }
+            }
+            let g = gids[i] as usize;
+            if g >= counts.len() {
+                counts.resize(g + 1, 0);
+                for s in sums.iter_mut() {
+                    s.resize(g + 1, 0);
+                }
+                for m in mins.iter_mut() {
+                    m.resize(g + 1, i64::MAX);
+                }
+                for m in maxs.iter_mut() {
+                    m.resize(g + 1, i64::MIN);
+                }
+            }
+            counts[g] += 1;
+            for (s, vals) in sums.iter_mut().zip(&expr_vals) {
+                s[g] += vals[i];
+            }
+            for (j, vals) in expr_vals[sum_exprs.len()..].iter().enumerate() {
+                mins[j][g] = mins[j][g].min(vals[i]);
+                maxs[j][g] = maxs[j][g].max(vals[i]);
+            }
+        }
+    }
+    stats.record_agg(AggStrategy::Scalar);
+
+    let groups = (0..counts.len())
+        .filter(|&g| counts[g] > 0)
+        .map(|g| {
+            (
+                mapper.group_key(g),
+                GroupAcc {
+                    count: counts[g],
+                    sums: sums.iter().map(|s| s[g]).collect(),
+                    mins: mins.iter().map(|m| m[g]).collect(),
+                    maxs: maxs.iter().map(|m| m[g]).collect(),
+                },
+            )
+        })
+        .collect();
+    Ok(SegmentOutput { groups, stats: std::mem::take(stats) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::filter::Predicate;
+    use bipie_columnstore::{ColumnSpec, TableBuilder};
+
+    fn table(rows: usize, segment_rows: usize) -> Table {
+        let mut b = TableBuilder::with_segment_rows(
+            vec![
+                ColumnSpec::new("flag", LogicalType::Str),
+                ColumnSpec::new("v", LogicalType::I64),
+            ],
+            segment_rows,
+        );
+        for i in 0..rows as i64 {
+            b.push_row(vec![
+                Value::Str(["A", "N", "R"][(i % 3) as usize].into()),
+                Value::I64(i),
+            ]);
+        }
+        b.finish()
+    }
+
+    fn v_expr(t: &Table) -> ResolvedExpr {
+        Expr::col("v").resolve(&|n| t.column_index(n)).unwrap()
+    }
+
+    #[test]
+    fn multi_segment_merge() {
+        let t = table(1000, 300); // 4 segments
+        let expr = v_expr(&t);
+        let (groups, stats) = scan_table(
+            &t,
+            None,
+            &[(0, LogicalType::Str)],
+            &[expr],
+            &[],
+            &ScanOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(stats.segments_scanned, 4);
+        assert_eq!(groups.len(), 3);
+        let total: u64 = groups.values().map(|g| g.count).sum();
+        assert_eq!(total, 1000);
+        let sum: i64 = groups.values().map(|g| g.sums[0]).sum();
+        assert_eq!(sum, (0..1000).sum::<i64>());
+        // Per-group check against the construction.
+        let a = &groups[&vec![Value::Str("A".into())]];
+        assert_eq!(a.count, 334);
+        assert_eq!(a.sums[0], (0..1000i64).filter(|i| i % 3 == 0).sum::<i64>());
+    }
+
+    #[test]
+    fn filter_and_elimination() {
+        let t = table(1000, 250); // segments cover v ranges [0,250) ...
+        let expr = v_expr(&t);
+        let pred = Predicate::lt("v", Value::I64(100)).resolve(&t).unwrap();
+        let (groups, stats) = scan_table(
+            &t,
+            Some(&pred),
+            &[(0, LogicalType::Str)],
+            &[expr],
+            &[],
+            &ScanOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(stats.segments_eliminated, 3);
+        assert_eq!(stats.segments_scanned, 1);
+        let total: u64 = groups.values().map(|g| g.count).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn deleted_rows_are_skipped() {
+        let mut t = table(300, 1000);
+        t.segment_mut(0).delete_row(0);
+        t.segment_mut(0).delete_row(1);
+        let expr = v_expr(&t);
+        let (groups, _) = scan_table(
+            &t,
+            None,
+            &[(0, LogicalType::Str)],
+            &[expr],
+            &[],
+            &ScanOptions::default(),
+        )
+        .unwrap();
+        let total: u64 = groups.values().map(|g| g.count).sum();
+        assert_eq!(total, 298);
+        let sum: i64 = groups.values().map(|g| g.sums[0]).sum();
+        assert_eq!(sum, (2..300).sum::<i64>());
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let mut b = TableBuilder::with_segment_rows(
+            vec![ColumnSpec::new("v", LogicalType::I64)],
+            1000,
+        );
+        for _ in 0..10 {
+            b.push_row(vec![Value::I64(i64::MAX / 4)]);
+        }
+        let t = b.finish();
+        let expr = Expr::col("v")
+            .mul(Expr::col("v"))
+            .resolve(&|n| t.column_index(n))
+            .unwrap();
+        let err = scan_table(&t, None, &[], &[expr], &[], &ScanOptions::default()).unwrap_err();
+        assert!(matches!(err, EngineError::PotentialOverflow { aggregate: 0 }));
+    }
+
+    #[test]
+    fn forced_strategies_give_identical_results() {
+        let t = table(5000, 1300);
+        let expr = v_expr(&t);
+        let pred = Predicate::ge("v", Value::I64(500)).resolve(&t).unwrap();
+        let baseline = scan_table(
+            &t,
+            Some(&pred),
+            &[(0, LogicalType::Str)],
+            std::slice::from_ref(&expr),
+            &[],
+            &ScanOptions::default(),
+        )
+        .unwrap()
+        .0;
+        for agg in AggStrategy::ALL {
+            for selection in SelectionStrategy::ALL {
+                let opts = ScanOptions {
+                    forced_agg: Some(agg),
+                    forced_selection: Some(selection),
+                    ..Default::default()
+                };
+                let (groups, stats) = scan_table(
+                    &t,
+                    Some(&pred),
+                    &[(0, LogicalType::Str)],
+                    std::slice::from_ref(&expr),
+                    &[],
+                    &opts,
+                )
+                .unwrap();
+                assert_eq!(groups, baseline, "{agg:?}+{selection:?}");
+                assert!(stats.agg_count(agg) > 0);
+                assert!(stats.selection_count(selection) > 0);
+            }
+        }
+    }
+}

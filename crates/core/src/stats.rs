@@ -1,0 +1,93 @@
+//! Execution statistics.
+//!
+//! BIPie's defining behavior is *which* specialized operator ran where; the
+//! stats expose that so tests can pin strategy decisions and examples can
+//! show the adaptive behavior (§3: aggregation strategy per segment,
+//! selection strategy per batch).
+
+use crate::strategy::{AggStrategy, SelectionStrategy};
+
+/// Counters collected during one query execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Segments whose metadata eliminated them before scanning.
+    pub segments_eliminated: usize,
+    /// Segments actually scanned.
+    pub segments_scanned: usize,
+    /// Segments that used the wide-group (u32 group id) fallback path.
+    pub wide_group_segments: usize,
+    /// Batches processed.
+    pub batches: usize,
+    /// Rows scanned (live rows of scanned segments).
+    pub rows_scanned: usize,
+    /// Rows from the mutable region processed row-at-a-time.
+    pub mutable_rows: usize,
+    /// Batches per selection strategy, indexed by [`SelectionStrategy`].
+    pub selection_batches: [usize; 3],
+    /// Segments per aggregation strategy, indexed by [`AggStrategy`].
+    pub agg_segments: [usize; 4],
+}
+
+impl ExecStats {
+    /// Record one batch's selection choice.
+    pub fn record_selection(&mut self, s: SelectionStrategy) {
+        self.selection_batches[s as usize] += 1;
+        self.batches += 1;
+    }
+
+    /// Record one segment's aggregation choice.
+    pub fn record_agg(&mut self, a: AggStrategy) {
+        self.agg_segments[a as usize] += 1;
+    }
+
+    /// Merge stats from another (per-segment / per-thread) collector.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.segments_eliminated += other.segments_eliminated;
+        self.segments_scanned += other.segments_scanned;
+        self.wide_group_segments += other.wide_group_segments;
+        self.batches += other.batches;
+        self.rows_scanned += other.rows_scanned;
+        self.mutable_rows += other.mutable_rows;
+        for i in 0..3 {
+            self.selection_batches[i] += other.selection_batches[i];
+        }
+        for i in 0..4 {
+            self.agg_segments[i] += other.agg_segments[i];
+        }
+    }
+
+    /// Batches that used the given selection strategy.
+    pub fn selection_count(&self, s: SelectionStrategy) -> usize {
+        self.selection_batches[s as usize]
+    }
+
+    /// Segments that used the given aggregation strategy.
+    pub fn agg_count(&self, a: AggStrategy) -> usize {
+        self.agg_segments[a as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = ExecStats::default();
+        a.record_selection(SelectionStrategy::Gather);
+        a.record_selection(SelectionStrategy::SpecialGroup);
+        a.record_agg(AggStrategy::InRegister);
+        let mut b = ExecStats::default();
+        b.record_selection(SelectionStrategy::Gather);
+        b.record_agg(AggStrategy::MultiAggregate);
+        b.segments_scanned = 2;
+        a.merge(&b);
+        assert_eq!(a.selection_count(SelectionStrategy::Gather), 2);
+        assert_eq!(a.selection_count(SelectionStrategy::SpecialGroup), 1);
+        assert_eq!(a.selection_count(SelectionStrategy::Compact), 0);
+        assert_eq!(a.agg_count(AggStrategy::InRegister), 1);
+        assert_eq!(a.agg_count(AggStrategy::MultiAggregate), 1);
+        assert_eq!(a.batches, 3);
+        assert_eq!(a.segments_scanned, 2);
+    }
+}

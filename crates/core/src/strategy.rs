@@ -1,0 +1,324 @@
+//! Runtime operator specialization (§3, §6.2).
+//!
+//! BIPie keeps several implementations of selection and aggregation and
+//! picks between them at runtime:
+//!
+//! * the **aggregation strategy** is chosen *per segment*, from segment
+//!   metadata (group-count upper bound, number of aggregates, input bit
+//!   widths) plus an adaptive selectivity estimate;
+//! * the **selection strategy** is chosen *per batch*, "based on the actual
+//!   selectivity calculated after evaluating the filter for the batch".
+//!
+//! The chooser uses a small cost model whose shape follows the paper's
+//! findings (Figures 7–10): gather wins at low selectivity with a
+//! bit-width-dependent crossover against compaction; special-group wins
+//! near full selectivity; in-register costs grow linearly in groups and
+//! value width; multi-aggregate amortizes a fixed transpose over the
+//! aggregate count; sort-based pays a fixed sort that shrinks per-aggregate
+//! and with selectivity. Constants are configurable so ablation benchmarks
+//! can probe the decision boundaries.
+
+/// How rows rejected by the filter are removed from processing (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum SelectionStrategy {
+    /// Gather selection (§4.2): index vector + SIMD gather of survivors.
+    Gather = 0,
+    /// Compacting selection (§4.1): unpack everything, left-pack survivors.
+    Compact = 1,
+    /// Special group assignment (§4.3): rejected rows join an extra group.
+    SpecialGroup = 2,
+}
+
+impl SelectionStrategy {
+    /// All selection strategies.
+    pub const ALL: [SelectionStrategy; 3] =
+        [SelectionStrategy::Gather, SelectionStrategy::Compact, SelectionStrategy::SpecialGroup];
+
+    /// Short label used in experiment output ("Gather", "Compact",
+    /// "Special Group").
+    pub fn label(self) -> &'static str {
+        match self {
+            SelectionStrategy::Gather => "Gather",
+            SelectionStrategy::Compact => "Compact",
+            SelectionStrategy::SpecialGroup => "Special Group",
+        }
+    }
+}
+
+/// How grouped aggregates are computed (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum AggStrategy {
+    /// Scalar fallback (§5.1; also the wide-group path).
+    Scalar = 0,
+    /// Sort-based SUM (§5.2).
+    SortBased = 1,
+    /// In-register virtual accumulator arrays (§5.3).
+    InRegister = 2,
+    /// Multi-aggregate horizontal SIMD (§5.4).
+    MultiAggregate = 3,
+}
+
+impl AggStrategy {
+    /// All aggregation strategies.
+    pub const ALL: [AggStrategy; 4] = [
+        AggStrategy::Scalar,
+        AggStrategy::SortBased,
+        AggStrategy::InRegister,
+        AggStrategy::MultiAggregate,
+    ];
+
+    /// The three SIMD strategies evaluated in Figures 8–10.
+    pub const SIMD: [AggStrategy; 3] =
+        [AggStrategy::SortBased, AggStrategy::InRegister, AggStrategy::MultiAggregate];
+
+    /// Short label used in experiment output ("Sort", "Register", "Multi").
+    pub fn label(self) -> &'static str {
+        match self {
+            AggStrategy::Scalar => "Scalar",
+            AggStrategy::SortBased => "Sort",
+            AggStrategy::InRegister => "Register",
+            AggStrategy::MultiAggregate => "Multi",
+        }
+    }
+}
+
+/// Tunable constants of the strategy cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyConfig {
+    /// Selectivity at or above which special-group selection is used.
+    pub special_group_min_selectivity: f64,
+    /// Gather-vs-compact crossover at 4-bit inputs (Figure 7: ~2%).
+    pub gather_limit_base: f64,
+    /// Crossover growth per input bit beyond 4 (Figure 7: ~38% at 21 bits).
+    pub gather_limit_per_bit: f64,
+    /// Scalar aggregation cost, cycles/row/agg.
+    pub scalar_cost: f64,
+    /// In-register: fixed cost per row per aggregate.
+    pub inreg_base: f64,
+    /// In-register: per-group cost factor, scaled by value width in bytes.
+    pub inreg_per_group_per_byte: f64,
+    /// Multi-aggregate: amortizable fixed cost per row.
+    pub multi_fixed: f64,
+    /// Multi-aggregate: marginal cost per row per aggregate.
+    pub multi_per_agg: f64,
+    /// Sort-based: sort cost per row (amortized over aggregates).
+    pub sort_fixed: f64,
+    /// Sort-based: additional sort cost per row at full selectivity.
+    pub sort_fixed_per_selectivity: f64,
+    /// Sort-based: per-aggregate gather-sum cost per row.
+    pub sort_per_agg: f64,
+}
+
+impl Default for StrategyConfig {
+    fn default() -> Self {
+        StrategyConfig {
+            special_group_min_selectivity: 0.6,
+            gather_limit_base: 0.02,
+            gather_limit_per_bit: 0.021,
+            scalar_cost: 2.2,
+            inreg_base: 0.35,
+            inreg_per_group_per_byte: 0.035,
+            multi_fixed: 1.8,
+            multi_per_agg: 0.55,
+            sort_fixed: 0.7,
+            sort_fixed_per_selectivity: 1.5,
+            sort_per_agg: 0.65,
+        }
+    }
+}
+
+/// Per-segment inputs to the aggregation-strategy choice.
+#[derive(Debug, Clone)]
+pub struct AggChoiceParams {
+    /// Group count including the special-group slot when a filter may use
+    /// special-group selection.
+    pub num_groups_effective: usize,
+    /// Number of SUM aggregates (COUNT(*) is tracked separately).
+    pub num_sums: usize,
+    /// Per-aggregate normalized input width in bytes (1, 2, 4, or 8).
+    pub input_bytes: Vec<usize>,
+    /// True if every sum input is a raw bit-packed column of <= 25 bits
+    /// (the precondition for sort-based SIMD gather summation).
+    pub all_packed_narrow: bool,
+    /// Whether a multi-aggregate row layout exists for these widths.
+    pub multi_layout_fits: bool,
+    /// Adaptive selectivity estimate (1.0 when there is no filter).
+    pub est_selectivity: f64,
+}
+
+impl StrategyConfig {
+    /// Selectivity below which gather beats compaction for the given input
+    /// bit width (the Figure 7 crossover). Capped just below the special-
+    /// group threshold: on post-Skylake cores gathers stay competitive to
+    /// much higher selectivities than the paper's machine (see
+    /// EXPERIMENTS.md on Figure 7), so compaction only wins a narrow band.
+    pub fn gather_limit(&self, bits: u8) -> f64 {
+        let cap = (self.special_group_min_selectivity - 0.05).max(self.gather_limit_base);
+        (self.gather_limit_base + self.gather_limit_per_bit * (bits.saturating_sub(4)) as f64)
+            .clamp(self.gather_limit_base, cap)
+    }
+
+    /// Choose the selection strategy for one batch from its measured
+    /// selectivity and the dominant input bit width (§3, Figure 7).
+    pub fn choose_selection(&self, selectivity: f64, bits: u8) -> SelectionStrategy {
+        if selectivity >= self.special_group_min_selectivity {
+            SelectionStrategy::SpecialGroup
+        } else if selectivity <= self.gather_limit(bits) {
+            SelectionStrategy::Gather
+        } else {
+            SelectionStrategy::Compact
+        }
+    }
+
+    /// Modeled cost in cycles/row/aggregate, or `None` if infeasible.
+    ///
+    /// Costs are per *input* row: when the selectivity is below the
+    /// special-group threshold, gather/compact selection shrinks the rows
+    /// the aggregation kernels actually touch, so per-selected-row work is
+    /// scaled by the selectivity estimate; at or above the threshold the
+    /// special group feeds every row through the kernels.
+    pub fn agg_cost(&self, strategy: AggStrategy, p: &AggChoiceParams) -> Option<f64> {
+        let sums = p.num_sums.max(1) as f64;
+        let fraction = if p.est_selectivity >= self.special_group_min_selectivity {
+            1.0
+        } else {
+            p.est_selectivity.max(0.01)
+        };
+        match strategy {
+            AggStrategy::Scalar => Some(self.scalar_cost * fraction),
+            AggStrategy::InRegister => {
+                if p.num_groups_effective > bipie_toolbox::agg::MAX_GROUPS_IN_REGISTER
+                    || p.input_bytes.iter().any(|&b| b > 4)
+                {
+                    return None;
+                }
+                let avg_bytes = if p.input_bytes.is_empty() {
+                    1.0
+                } else {
+                    p.input_bytes.iter().sum::<usize>() as f64 / p.input_bytes.len() as f64
+                };
+                Some(
+                    (self.inreg_base
+                        + self.inreg_per_group_per_byte
+                            * p.num_groups_effective as f64
+                            * avg_bytes)
+                        * fraction,
+                )
+            }
+            AggStrategy::MultiAggregate => {
+                if !p.multi_layout_fits || p.num_sums == 0 {
+                    return None;
+                }
+                Some((self.multi_per_agg + self.multi_fixed / sums) * fraction)
+            }
+            AggStrategy::SortBased => {
+                if !p.all_packed_narrow || p.num_sums == 0 {
+                    return None;
+                }
+                let sort_cost =
+                    self.sort_fixed + self.sort_fixed_per_selectivity * p.est_selectivity;
+                Some((self.sort_per_agg + sort_cost / sums) * fraction)
+            }
+        }
+    }
+
+    /// Choose the aggregation strategy for one segment (§3).
+    pub fn choose_agg(&self, p: &AggChoiceParams) -> AggStrategy {
+        let mut best = (AggStrategy::Scalar, self.scalar_cost);
+        for s in AggStrategy::SIMD {
+            if let Some(cost) = self.agg_cost(s, p) {
+                if cost < best.1 {
+                    best = (s, cost);
+                }
+            }
+        }
+        best.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(groups: usize, sums: usize, bytes: usize, sel: f64) -> AggChoiceParams {
+        AggChoiceParams {
+            num_groups_effective: groups,
+            num_sums: sums,
+            input_bytes: vec![bytes; sums],
+            all_packed_narrow: true,
+            multi_layout_fits: sums >= 1 && sums * bytes.clamp(4, 8) <= 32,
+            est_selectivity: sel,
+        }
+    }
+
+    #[test]
+    fn gather_limit_grows_with_bits() {
+        let c = StrategyConfig::default();
+        assert!(c.gather_limit(4) < c.gather_limit(14));
+        assert!(c.gather_limit(14) < c.gather_limit(21));
+        // Figure 7 anchor points: ~2% at 4 bits, ~38% at 21 bits.
+        assert!((c.gather_limit(4) - 0.02).abs() < 0.001);
+        assert!((c.gather_limit(21) - 0.38).abs() < 0.03);
+    }
+
+    #[test]
+    fn selection_zones() {
+        let c = StrategyConfig::default();
+        assert_eq!(c.choose_selection(0.01, 14), SelectionStrategy::Gather);
+        assert_eq!(c.choose_selection(0.4, 14), SelectionStrategy::Compact);
+        assert_eq!(c.choose_selection(0.95, 14), SelectionStrategy::SpecialGroup);
+        assert_eq!(c.choose_selection(1.0, 4), SelectionStrategy::SpecialGroup);
+    }
+
+    #[test]
+    fn few_groups_narrow_values_pick_in_register() {
+        // Figure 8's region: 8 groups, 1-byte inputs, 1-2 sums, high sel.
+        let c = StrategyConfig::default();
+        assert_eq!(c.choose_agg(&params(9, 1, 1, 0.9)), AggStrategy::InRegister);
+        assert_eq!(c.choose_agg(&params(9, 2, 1, 0.9)), AggStrategy::InRegister);
+    }
+
+    #[test]
+    fn many_aggs_pick_multi() {
+        // Figure 10's region: 32+ groups, 4-byte inputs, several sums.
+        let c = StrategyConfig::default();
+        assert_eq!(c.choose_agg(&params(33, 4, 4, 0.9)), AggStrategy::MultiAggregate);
+        assert_eq!(c.choose_agg(&params(33, 5, 4, 0.5)), AggStrategy::MultiAggregate);
+    }
+
+    #[test]
+    fn low_selectivity_single_sum_picks_sort() {
+        // Figure 8/9 row 1x, low selectivity: sort + gather wins.
+        let c = StrategyConfig::default();
+        let mut p = params(64, 1, 4, 0.1);
+        p.multi_layout_fits = true;
+        assert_eq!(c.choose_agg(&p), AggStrategy::SortBased);
+    }
+
+    #[test]
+    fn infeasible_strategies_fall_back() {
+        let c = StrategyConfig::default();
+        // 8-byte inputs and wide groups: in-register infeasible; no multi
+        // layout; not packed-narrow -> scalar.
+        let p = AggChoiceParams {
+            num_groups_effective: 200,
+            num_sums: 2,
+            input_bytes: vec![8, 8],
+            all_packed_narrow: false,
+            multi_layout_fits: false,
+            est_selectivity: 1.0,
+        };
+        assert_eq!(c.choose_agg(&p), AggStrategy::Scalar);
+        assert_eq!(c.agg_cost(AggStrategy::InRegister, &p), None);
+        assert_eq!(c.agg_cost(AggStrategy::MultiAggregate, &p), None);
+        assert_eq!(c.agg_cost(AggStrategy::SortBased, &p), None);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SelectionStrategy::Gather.label(), "Gather");
+        assert_eq!(AggStrategy::MultiAggregate.label(), "Multi");
+    }
+}

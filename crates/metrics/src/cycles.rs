@@ -1,0 +1,65 @@
+//! Serialized TSC reads.
+//!
+//! `rdtsc` alone can be reordered by the out-of-order engine; bracketing the
+//! measured region with `lfence` pins the read to the instruction stream
+//! (the standard `lfence; rdtsc` measurement idiom). On non-x86 targets a
+//! monotonic-nanosecond fallback is used so the harness still runs (the
+//! absolute numbers then are nanoseconds, not cycles).
+
+/// Read the time-stamp counter, serialized against earlier loads.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+pub fn read_cycles() -> u64 {
+    // SAFETY: `lfence` and `rdtsc` are unprivileged and available on every
+    // x86_64 CPU.
+    unsafe {
+        std::arch::x86_64::_mm_lfence();
+        let t = std::arch::x86_64::_rdtsc();
+        std::arch::x86_64::_mm_lfence();
+        t
+    }
+}
+
+/// Monotonic-nanosecond fallback for non-x86_64 targets.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+pub fn read_cycles() -> u64 {
+    use std::time::Instant;
+    use std::sync::OnceLock;
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Estimate the TSC frequency in Hz by timing against the wall clock.
+/// Used only for converting cycle counts to human-readable throughput.
+pub fn estimate_tsc_hz() -> f64 {
+    use std::time::Instant;
+    let wall_start = Instant::now();
+    let tsc_start = read_cycles();
+    // ~50ms busy-wait gives < 1% error without disturbing the benchmark.
+    while wall_start.elapsed().as_millis() < 50 {
+        std::hint::spin_loop();
+    }
+    let tsc = read_cycles() - tsc_start;
+    let secs = wall_start.elapsed().as_secs_f64();
+    tsc as f64 / secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_are_monotone() {
+        let a = read_cycles();
+        let b = read_cycles();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn tsc_frequency_is_plausible() {
+        let hz = estimate_tsc_hz();
+        // Any real machine is between 100 MHz and 10 GHz.
+        assert!(hz > 1e8 && hz < 1e10, "estimated {hz} Hz");
+    }
+}

@@ -1,0 +1,22 @@
+//! # BIPie measurement harness
+//!
+//! The paper reports every result in **elapsed CPU cycles per physical core
+//! per input row** (per computed sum where applicable): "clock cycles
+//! abstract away some aspects of the hardware, such as the clock frequency
+//! or number of cores" (§6). This crate reproduces that methodology:
+//!
+//! * [`cycles`] — a serialized `rdtsc` cycle counter. TSC ticks at the
+//!   nominal frequency, matching the paper's normalization of published
+//!   results (`time × nominal clock × cores / rows`).
+//! * [`measure`] — run a kernel N times (default 10, like the paper) and
+//!   report the **median** cycles/row.
+//! * [`table`] — plain-text renderers for the paper's tables and the
+//!   Figure 8–10 strategy-matrix heatmaps.
+
+pub mod cycles;
+pub mod measure;
+pub mod table;
+
+pub use cycles::read_cycles;
+pub use measure::{measure_cycles_per_row, MeasureOpts, Measurement};
+pub use table::{Grid, Table};

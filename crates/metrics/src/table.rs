@@ -1,0 +1,166 @@
+//! Plain-text table and grid renderers for the experiment binaries.
+//!
+//! [`Table`] prints the paper's numeric tables (Tables 1–5) with aligned
+//! columns; [`Grid`] prints the Figure 8–10 strategy matrices: one labeled
+//! cell per (aggregate count, selectivity) combination showing the winning
+//! strategy and its cycles/row/sum.
+
+/// A simple aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row; short rows are padded with empty cells.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Render with single-space-padded, pipe-separated, right-aligned
+    /// numeric-friendly columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        let all = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], out: &mut String| {
+            out.push('|');
+            for (c, width) in widths.iter().enumerate() {
+                let cell = row.get(c).map(String::as_str).unwrap_or("");
+                out.push(' ');
+                // Left-align the first column (labels), right-align the rest.
+                if c == 0 {
+                    out.push_str(&format!("{cell:<width$}"));
+                } else {
+                    out.push_str(&format!("{cell:>width$}"));
+                }
+                out.push_str(" |");
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &mut out);
+        out.push('|');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('|');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Render and print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// A labeled 2-D grid of cells (the Figure 8–10 heatmaps).
+#[derive(Debug)]
+pub struct Grid {
+    row_labels: Vec<String>,
+    col_labels: Vec<String>,
+    /// `cells[r][c]` = (winning strategy label, cycles/row/sum).
+    cells: Vec<Vec<(String, f64)>>,
+}
+
+impl Grid {
+    /// Create an empty grid with the given axis labels.
+    pub fn new<S: Into<String>>(row_labels: Vec<S>, col_labels: Vec<S>) -> Self {
+        let rows = row_labels.len();
+        let cols = col_labels.len();
+        Grid {
+            row_labels: row_labels.into_iter().map(Into::into).collect(),
+            col_labels: col_labels.into_iter().map(Into::into).collect(),
+            cells: vec![vec![(String::new(), f64::NAN); cols]; rows],
+        }
+    }
+
+    /// Set cell `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize, label: impl Into<String>, value: f64) {
+        self.cells[r][c] = (label.into(), value);
+    }
+
+    /// Render as two stacked tables: winning-strategy labels, then values.
+    pub fn render(&self, title: &str) -> String {
+        let mut out = format!("== {title} ==\n");
+        let mut values = Table::new(
+            std::iter::once("".to_string()).chain(self.col_labels.iter().cloned()).collect(),
+        );
+        let mut winners = Table::new(
+            std::iter::once("".to_string()).chain(self.col_labels.iter().cloned()).collect(),
+        );
+        for (r, row) in self.cells.iter().enumerate() {
+            let mut vrow = vec![self.row_labels[r].clone()];
+            let mut wrow = vec![self.row_labels[r].clone()];
+            for (label, v) in row {
+                vrow.push(if v.is_nan() { "-".into() } else { format!("{v:.2}") });
+                wrow.push(label.clone());
+            }
+            values.row(vrow);
+            winners.row(wrow);
+        }
+        out.push_str("-- cycles/row/sum of winning strategy --\n");
+        out.push_str(&values.render());
+        out.push_str("-- winning strategy --\n");
+        out.push_str(&winners.render());
+        out
+    }
+
+    /// Render and print to stdout.
+    pub fn print(&self, title: &str) {
+        print!("{}", self.render(title));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["alpha", "1.00"]);
+        t.row(vec!["b", "123.45"]);
+        let s = t.render();
+        assert!(s.contains("| name  |  value |"), "{s}");
+        assert!(s.contains("| alpha |   1.00 |"), "{s}");
+        assert!(s.contains("| b     | 123.45 |"), "{s}");
+    }
+
+    #[test]
+    fn table_pads_short_rows() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["x"]);
+        let s = t.render();
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn grid_renders_labels_and_values() {
+        let mut g = Grid::new(vec!["1x", "2x"], vec!["10%", "20%"]);
+        g.set(0, 0, "Sort+Gather", 1.4);
+        g.set(0, 1, "Sort+Gather", 1.5);
+        g.set(1, 0, "Register+Gather", 1.2);
+        g.set(1, 1, "Register+Gather", 1.2);
+        let s = g.render("Figure 8");
+        assert!(s.contains("Figure 8"));
+        assert!(s.contains("Sort+Gather"));
+        assert!(s.contains("1.40"));
+    }
+}

@@ -1,0 +1,526 @@
+//! In-Register aggregation (§5.3).
+//!
+//! Intermediate results are kept entirely in CPU registers instead of
+//! memory: each SIMD lane owns a *virtual array* of per-group accumulators,
+//! with one register per group. For every vector of group ids, the kernel
+//! compares against each group id `i` (producing a lane mask) and adds the
+//! masked contribution into group `i`'s register — `N` compare/add pairs for
+//! `N` groups, regardless of data. The per-group registers are collapsed
+//! into scalar totals when the narrow lanes approach overflow and at the end.
+//!
+//! The technique applies to COUNT and SUM, is limited to ~32 groups, and is
+//! fastest for narrow values: 1-byte inputs get 32 lanes of parallelism,
+//! 4-byte inputs only 8 (Figure 5 shows the linear cost in groups and the
+//! gap between widths). For COUNT, group `N-1` is never processed — its
+//! count is derived from the total row count (§5.3), saving one register.
+//!
+//! Each specialized variant is monomorphized per group count `N` (the paper
+//! generates these with macros and templates); dispatch picks the right
+//! instantiation at runtime.
+
+use super::scalar;
+use crate::dispatch::SimdLevel;
+
+/// Grouped `COUNT(*)` with in-register virtual accumulator arrays.
+///
+/// # Panics
+/// Panics if `num_groups` is 0, exceeds [`super::MAX_GROUPS_IN_REGISTER`],
+/// or `counts.len() < num_groups`. Group ids must be `< num_groups`
+/// (debug-asserted; the SIMD path derives group `N-1`'s count from the
+/// total, so out-of-range ids would corrupt it).
+pub fn count_groups(gids: &[u8], num_groups: usize, counts: &mut [u64], level: SimdLevel) {
+    check_args(gids, num_groups, counts.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if level.has_avx512() {
+            // SAFETY: AVX-512 availability checked by has_avx512().
+            unsafe { avx512::count(gids, num_groups, counts) };
+            return;
+        }
+        if level.has_avx2() {
+            // SAFETY: AVX2 availability checked by has_avx2().
+            unsafe { avx2::dispatch_count(gids, num_groups, counts) };
+            return;
+        }
+    }
+    let _ = level;
+    scalar::count_single_array(gids, counts);
+}
+
+/// Grouped SUM of 1-byte values, 16-bit lane accumulators (Table 3 row 2).
+pub fn sum_u8(gids: &[u8], values: &[u8], num_groups: usize, sums: &mut [i64], level: SimdLevel) {
+    check_args(gids, num_groups, sums.len());
+    assert_eq!(gids.len(), values.len(), "group/value length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if level.has_avx2() {
+        // SAFETY: AVX2 availability checked by has_avx2().
+        unsafe { avx2::dispatch_sum_u8(gids, values, num_groups, sums) };
+        return;
+    }
+    let _ = level;
+    scalar::sum_single_array_u8(gids, values, sums);
+}
+
+/// Grouped SUM of 2-byte values, 32-bit lane accumulators (Table 3 row 3).
+pub fn sum_u16(gids: &[u8], values: &[u16], num_groups: usize, sums: &mut [i64], level: SimdLevel) {
+    check_args(gids, num_groups, sums.len());
+    assert_eq!(gids.len(), values.len(), "group/value length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if level.has_avx2() {
+        // SAFETY: AVX2 availability checked by has_avx2().
+        unsafe { avx2::dispatch_sum_u16(gids, values, num_groups, sums) };
+        return;
+    }
+    let _ = level;
+    scalar::sum_single_array_u16(gids, values, sums);
+}
+
+/// Grouped SUM of 4-byte values, 32-bit lane accumulators (Table 3 row 4).
+///
+/// `max_value` is an upper bound on the input values (from segment
+/// metadata); it determines how often the 32-bit lanes must be flushed.
+/// Must be `< 2^31` — wider inputs use a different strategy.
+pub fn sum_u32(
+    gids: &[u8],
+    values: &[u32],
+    num_groups: usize,
+    sums: &mut [i64],
+    max_value: u32,
+    level: SimdLevel,
+) {
+    check_args(gids, num_groups, sums.len());
+    assert_eq!(gids.len(), values.len(), "group/value length mismatch");
+    assert!(max_value < (1 << 31), "max_value {max_value} too wide for 32-bit lane accumulators");
+    debug_assert!(values.iter().all(|&v| v <= max_value), "value exceeds declared max_value");
+    #[cfg(target_arch = "x86_64")]
+    if level.has_avx2() {
+        // SAFETY: AVX2 availability checked by has_avx2().
+        unsafe { avx2::dispatch_sum_u32(gids, values, num_groups, sums, max_value) };
+        return;
+    }
+    let _ = level;
+    scalar::sum_single_array_u32(gids, values, sums);
+}
+
+fn check_args(gids: &[u8], num_groups: usize, acc_len: usize) {
+    assert!(
+        (1..=super::MAX_GROUPS_IN_REGISTER).contains(&num_groups),
+        "in-register aggregation supports 1..=32 groups, got {num_groups}"
+    );
+    assert!(acc_len >= num_groups, "accumulator shorter than group count");
+    debug_assert!(
+        gids.iter().all(|&g| (g as usize) < num_groups),
+        "group id out of range for in-register aggregation"
+    );
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    //! AVX-512 COUNT: comparing 64 group ids against group `j` yields a
+    //! 64-bit mask whose popcount *is* the per-vector count — no lane
+    //! counters, no flush cadence, no saved register for the last group.
+
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    pub(super) unsafe fn count(gids: &[u8], num_groups: usize, counts: &mut [u64]) {
+        let n = gids.len();
+        let mut i = 0usize;
+        while i + 64 <= n {
+            let g = _mm512_loadu_si512(gids.as_ptr().add(i) as *const _);
+            // Group N-1 derived from the total, as in §5.3.
+            let mut accounted = 0u64;
+            for j in 0..num_groups - 1 {
+                let m = _mm512_cmpeq_epi8_mask(g, _mm512_set1_epi8(j as i8));
+                let c = m.count_ones() as u64;
+                counts[j] += c;
+                accounted += c;
+            }
+            counts[num_groups - 1] += 64 - accounted;
+            i += 64;
+        }
+        for &g in &gids[i..] {
+            counts[g as usize] += 1;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum of four u64 lanes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum_epu64(v: __m256i) -> u64 {
+        let lo = _mm256_castsi256_si128(v);
+        let hi = _mm256_extracti128_si256::<1>(v);
+        let s = _mm_add_epi64(lo, hi);
+        (_mm_cvtsi128_si64(s) as u64).wrapping_add(_mm_extract_epi64::<1>(s) as u64)
+    }
+
+    /// Sum 32 u8 lanes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn sum_bytes(v: __m256i) -> u64 {
+        hsum_epu64(_mm256_sad_epu8(v, _mm256_setzero_si256()))
+    }
+
+    /// Horizontal sum of eight non-negative i32 lanes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum_epu32(v: __m256i) -> u64 {
+        let zero = _mm256_setzero_si256();
+        let lo = _mm256_unpacklo_epi32(v, zero);
+        let hi = _mm256_unpackhi_epi32(v, zero);
+        hsum_epu64(_mm256_add_epi64(lo, hi))
+    }
+
+    macro_rules! dispatch_n {
+        ($func:ident, $n:expr, ($($arg:expr),*)) => {
+            match $n {
+                1 => $func::<1>($($arg),*),
+                2 => $func::<2>($($arg),*),
+                3 => $func::<3>($($arg),*),
+                4 => $func::<4>($($arg),*),
+                5 => $func::<5>($($arg),*),
+                6 => $func::<6>($($arg),*),
+                7 => $func::<7>($($arg),*),
+                8 => $func::<8>($($arg),*),
+                9 => $func::<9>($($arg),*),
+                10 => $func::<10>($($arg),*),
+                11 => $func::<11>($($arg),*),
+                12 => $func::<12>($($arg),*),
+                13 => $func::<13>($($arg),*),
+                14 => $func::<14>($($arg),*),
+                15 => $func::<15>($($arg),*),
+                16 => $func::<16>($($arg),*),
+                17 => $func::<17>($($arg),*),
+                18 => $func::<18>($($arg),*),
+                19 => $func::<19>($($arg),*),
+                20 => $func::<20>($($arg),*),
+                21 => $func::<21>($($arg),*),
+                22 => $func::<22>($($arg),*),
+                23 => $func::<23>($($arg),*),
+                24 => $func::<24>($($arg),*),
+                25 => $func::<25>($($arg),*),
+                26 => $func::<26>($($arg),*),
+                27 => $func::<27>($($arg),*),
+                28 => $func::<28>($($arg),*),
+                29 => $func::<29>($($arg),*),
+                30 => $func::<30>($($arg),*),
+                31 => $func::<31>($($arg),*),
+                32 => $func::<32>($($arg),*),
+                _ => unreachable!("group count checked by caller"),
+            }
+        };
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dispatch_count(gids: &[u8], n: usize, counts: &mut [u64]) {
+        dispatch_n!(count_n, n, (gids, counts))
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dispatch_sum_u8(gids: &[u8], values: &[u8], n: usize, sums: &mut [i64]) {
+        dispatch_n!(sum_u8_n, n, (gids, values, sums))
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dispatch_sum_u16(
+        gids: &[u8],
+        values: &[u16],
+        n: usize,
+        sums: &mut [i64],
+    ) {
+        dispatch_n!(sum_u16_n, n, (gids, values, sums))
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dispatch_sum_u32(
+        gids: &[u8],
+        values: &[u32],
+        n: usize,
+        sums: &mut [i64],
+        max_value: u32,
+    ) {
+        dispatch_n!(sum_u32_n, n, (gids, values, sums, max_value))
+    }
+
+    /// COUNT: 8-bit lane counters, one register per group except the last,
+    /// flushed via SAD every 255 vectors (the 8-bit lane limit).
+    #[target_feature(enable = "avx2")]
+    unsafe fn count_n<const N: usize>(gids: &[u8], counts: &mut [u64]) {
+        let zero = _mm256_setzero_si256();
+        let mut cnt = [zero; N];
+        let mut totals = [0u64; N];
+        let n = gids.len();
+        let mut simd_rows = 0u64;
+        let mut i = 0usize;
+        let mut since_flush = 0u32;
+        while i + 32 <= n {
+            let g = _mm256_loadu_si256(gids.as_ptr().add(i) as *const __m256i);
+            for j in 0..N - 1 {
+                let m = _mm256_cmpeq_epi8(g, _mm256_set1_epi8(j as i8));
+                // Subtracting the all-ones mask increments matching lanes.
+                cnt[j] = _mm256_sub_epi8(cnt[j], m);
+            }
+            simd_rows += 32;
+            since_flush += 1;
+            i += 32;
+            if since_flush == 255 {
+                for j in 0..N - 1 {
+                    totals[j] += sum_bytes(cnt[j]);
+                    cnt[j] = zero;
+                }
+                since_flush = 0;
+            }
+        }
+        let mut accounted = 0u64;
+        for j in 0..N - 1 {
+            totals[j] += sum_bytes(cnt[j]);
+            counts[j] += totals[j];
+            accounted += totals[j];
+        }
+        // Group N-1 is never compared: derive it from the total (§5.3).
+        counts[N - 1] += simd_rows - accounted;
+        for &g in &gids[i..] {
+            counts[g as usize] += 1;
+        }
+    }
+
+    /// SUM of 1-byte values: 16-bit lane accumulators via `maddubs` pair
+    /// sums; each vector adds at most 510 per lane, so flush every 64
+    /// vectors (64 * 510 < 32767).
+    #[target_feature(enable = "avx2")]
+    unsafe fn sum_u8_n<const N: usize>(gids: &[u8], values: &[u8], sums: &mut [i64]) {
+        let zero = _mm256_setzero_si256();
+        let ones8 = _mm256_set1_epi8(1);
+        let ones16 = _mm256_set1_epi16(1);
+        let mut acc = [zero; N];
+        let n = gids.len();
+        let mut i = 0usize;
+        let mut since_flush = 0u32;
+        while i + 32 <= n {
+            let g = _mm256_loadu_si256(gids.as_ptr().add(i) as *const __m256i);
+            let v = _mm256_loadu_si256(values.as_ptr().add(i) as *const __m256i);
+            for j in 0..N {
+                let m = _mm256_cmpeq_epi8(g, _mm256_set1_epi8(j as i8));
+                let mv = _mm256_and_si256(v, m);
+                // Unsigned bytes * signed 1 summed pairwise into i16 lanes.
+                acc[j] = _mm256_add_epi16(acc[j], _mm256_maddubs_epi16(mv, ones8));
+            }
+            since_flush += 1;
+            i += 32;
+            if since_flush == 64 {
+                for j in 0..N {
+                    sums[j] += hsum_epu32(_mm256_madd_epi16(acc[j], ones16)) as i64;
+                    acc[j] = zero;
+                }
+                since_flush = 0;
+            }
+        }
+        for j in 0..N {
+            sums[j] += hsum_epu32(_mm256_madd_epi16(acc[j], ones16)) as i64;
+        }
+        for (k, &g) in gids[i..].iter().enumerate() {
+            sums[g as usize] += values[i + k] as i64;
+        }
+    }
+
+    /// SUM of 2-byte values: group ids widened to 16-bit lanes, 32-bit lane
+    /// accumulators fed by zero-extending unpacks. Each vector adds at most
+    /// 2 * 65535 per lane; flush every 16384 vectors.
+    #[target_feature(enable = "avx2")]
+    unsafe fn sum_u16_n<const N: usize>(gids: &[u8], values: &[u16], sums: &mut [i64]) {
+        let zero = _mm256_setzero_si256();
+        let mut acc = [zero; N];
+        let n = gids.len();
+        let mut i = 0usize;
+        let mut since_flush = 0u32;
+        while i + 16 <= n {
+            let g8 = _mm_loadu_si128(gids.as_ptr().add(i) as *const __m128i);
+            let g = _mm256_cvtepu8_epi16(g8);
+            let v = _mm256_loadu_si256(values.as_ptr().add(i) as *const __m256i);
+            for j in 0..N {
+                let m = _mm256_cmpeq_epi16(g, _mm256_set1_epi16(j as i16));
+                let mv = _mm256_and_si256(v, m);
+                acc[j] = _mm256_add_epi32(acc[j], _mm256_unpacklo_epi16(mv, zero));
+                acc[j] = _mm256_add_epi32(acc[j], _mm256_unpackhi_epi16(mv, zero));
+            }
+            since_flush += 1;
+            i += 16;
+            if since_flush == 16_384 {
+                for j in 0..N {
+                    sums[j] += hsum_epu32(acc[j]) as i64;
+                    acc[j] = zero;
+                }
+                since_flush = 0;
+            }
+        }
+        for j in 0..N {
+            sums[j] += hsum_epu32(acc[j]) as i64;
+        }
+        for (k, &g) in gids[i..].iter().enumerate() {
+            sums[g as usize] += values[i + k] as i64;
+        }
+    }
+
+    /// SUM of 4-byte values: group ids widened to 32-bit lanes, 32-bit lane
+    /// accumulators; the flush cadence is derived from the caller's
+    /// `max_value` bound so lanes never overflow (§2.1's metadata-driven
+    /// overflow avoidance).
+    #[target_feature(enable = "avx2")]
+    unsafe fn sum_u32_n<const N: usize>(
+        gids: &[u8],
+        values: &[u32],
+        sums: &mut [i64],
+        max_value: u32,
+    ) {
+        let zero = _mm256_setzero_si256();
+        let mut acc = [zero; N];
+        let flush_every = (i32::MAX as u32 / max_value.max(1)).max(1);
+        let n = gids.len();
+        let mut i = 0usize;
+        let mut since_flush = 0u32;
+        while i + 8 <= n {
+            let g8 = _mm_loadl_epi64(gids.as_ptr().add(i) as *const __m128i);
+            let g = _mm256_cvtepu8_epi32(g8);
+            let v = _mm256_loadu_si256(values.as_ptr().add(i) as *const __m256i);
+            for j in 0..N {
+                let m = _mm256_cmpeq_epi32(g, _mm256_set1_epi32(j as i32));
+                acc[j] = _mm256_add_epi32(acc[j], _mm256_and_si256(v, m));
+            }
+            since_flush += 1;
+            i += 8;
+            if since_flush >= flush_every {
+                for j in 0..N {
+                    sums[j] += hsum_epu32(acc[j]) as i64;
+                    acc[j] = zero;
+                }
+                since_flush = 0;
+            }
+        }
+        for j in 0..N {
+            sums[j] += hsum_epu32(acc[j]) as i64;
+        }
+        for (k, &g) in gids[i..].iter().enumerate() {
+            sums[g as usize] += values[i + k] as i64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::{reference_group_sums, ColRef};
+
+    fn gids(n: usize, groups: usize) -> Vec<u8> {
+        (0..n).map(|i| ((i * 13 + i / 7) % groups) as u8).collect()
+    }
+
+    #[test]
+    fn count_matches_reference_across_group_counts() {
+        for level in SimdLevel::available() {
+            for groups in [1usize, 2, 3, 4, 8, 15, 16, 31, 32] {
+                for n in [0usize, 1, 31, 32, 33, 4096, 10_000] {
+                    let g = gids(n, groups);
+                    let (expected, _) = reference_group_sums(&g, &[], groups);
+                    let mut counts = vec![0u64; groups];
+                    count_groups(&g, groups, &mut counts, level);
+                    assert_eq!(counts, expected, "groups={groups} n={n} level={level}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_flush_cadence_exercised() {
+        // > 255 * 32 rows forces at least one mid-stream flush of the 8-bit
+        // lane counters.
+        let n = 255 * 32 * 2 + 100;
+        for level in SimdLevel::available() {
+            let g = gids(n, 3);
+            let (expected, _) = reference_group_sums(&g, &[], 3);
+            let mut counts = vec![0u64; 3];
+            count_groups(&g, 3, &mut counts, level);
+            assert_eq!(counts, expected, "level={level}");
+        }
+    }
+
+    #[test]
+    fn sum_u8_matches_reference() {
+        for level in SimdLevel::available() {
+            for groups in [1usize, 2, 5, 16, 32] {
+                let n = 70_000; // > 64 * 32 rows: exercises the i16 flush
+                let g = gids(n, groups);
+                let v: Vec<u8> = (0..n).map(|i| (i * 31 % 256) as u8).collect();
+                let (_, expected) = reference_group_sums(&g, &[ColRef::U8(&v)], groups);
+                let mut sums = vec![0i64; groups];
+                sum_u8(&g, &v, groups, &mut sums, level);
+                assert_eq!(sums, expected[0], "groups={groups} level={level}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_u16_matches_reference() {
+        for level in SimdLevel::available() {
+            for groups in [1usize, 3, 12, 32] {
+                let n = 10_000;
+                let g = gids(n, groups);
+                let v: Vec<u16> = (0..n).map(|i| (i * 2654435761usize % 65536) as u16).collect();
+                let (_, expected) = reference_group_sums(&g, &[ColRef::U16(&v)], groups);
+                let mut sums = vec![0i64; groups];
+                sum_u16(&g, &v, groups, &mut sums, level);
+                assert_eq!(sums, expected[0], "groups={groups} level={level}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_u32_matches_reference() {
+        for level in SimdLevel::available() {
+            for groups in [1usize, 4, 8, 32] {
+                let n = 10_000;
+                let max_value = (1u32 << 28) - 1;
+                let g = gids(n, groups);
+                let v: Vec<u32> =
+                    (0..n).map(|i| (i as u32).wrapping_mul(2654435761) & max_value).collect();
+                let (_, expected) = reference_group_sums(&g, &[ColRef::U32(&v)], groups);
+                let mut sums = vec![0i64; groups];
+                sum_u32(&g, &v, groups, &mut sums, max_value, level);
+                assert_eq!(sums, expected[0], "groups={groups} level={level}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_u32_tight_flush_cadence() {
+        // A large max_value forces flushing every few vectors.
+        let n = 5000;
+        let max_value = (1u32 << 30) + 5;
+        let g = gids(n, 4);
+        let v: Vec<u32> = (0..n).map(|i| if i % 7 == 0 { max_value } else { 1 }).collect();
+        let (_, expected) = reference_group_sums(&g, &[ColRef::U32(&v)], 4);
+        for level in SimdLevel::available() {
+            let mut sums = vec![0i64; 4];
+            sum_u32(&g, &v, 4, &mut sums, max_value, level);
+            assert_eq!(sums, expected[0], "level={level}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=32 groups")]
+    fn rejects_too_many_groups() {
+        let mut counts = vec![0u64; 33];
+        count_groups(&[0], 33, &mut counts, SimdLevel::Scalar);
+    }
+
+    #[test]
+    #[should_panic(expected = "too wide")]
+    fn rejects_wide_max_value() {
+        let mut sums = vec![0i64; 2];
+        sum_u32(&[0], &[1], 2, &mut sums, 1 << 31, SimdLevel::Scalar);
+    }
+}

@@ -1,0 +1,392 @@
+//! Multi-Aggregate SUM aggregation (§5.4).
+//!
+//! Unlike sort-based and in-register aggregation, this strategy uses
+//! data-level parallelism *horizontally*: all sums for one input row are
+//! packed into a single 256-bit register and updated with one
+//! load-add-store sequence against the group's accumulator row.
+//!
+//! Inputs are stored column-wise, so values must be reorganized row-wise in
+//! registers — a generalized transposition. 1- and 2-byte inputs are
+//! expanded to 4-byte slots and 4/8-byte inputs to 8-byte slots; this
+//! guarantees that up to 65536 rows can be summed with 64-bit SIMD additions
+//! without a 4-byte slot ever carrying into its neighbour (a 2-byte input
+//! sums to at most 65535 * 65536 < 2^32). Any number and combination of
+//! input widths is supported as long as the expanded row fits a 256-bit
+//! register with 8-byte slots 8-byte aligned (§5.4).
+//!
+//! The kernel processes four rows per iteration: each column is loaded and
+//! zero-extended into a 64-bit-lane register (one value per row), columns
+//! sharing a 64-bit slot are OR-combined, and a 4x4 64-bit transpose turns
+//! the four slot registers into four row registers (the paper's "eight AVX2
+//! instructions" transposition).
+
+use super::ColRef;
+use crate::dispatch::SimdLevel;
+
+/// Rows per internal flush of the packed accumulators — the §5.4 bound that
+/// makes 64-bit additions safe over 4-byte slots.
+pub const FLUSH_ROWS: usize = 65_536;
+
+/// A column's position within the 32-byte accumulator row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// Byte offset of the slot within the row (4-byte aligned; 8-byte
+    /// aligned for 8-byte slots).
+    pub byte_offset: usize,
+    /// Slot width in bytes: 4 for inputs of 1–2 bytes, 8 for 4–8 bytes.
+    pub width: usize,
+}
+
+/// The packed accumulator-row layout for a set of aggregate columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowLayout {
+    /// One slot per input column, in input order.
+    slots: Vec<Slot>,
+}
+
+impl RowLayout {
+    /// Plan a layout for columns of the given element widths (bytes:
+    /// 1, 2, 4, or 8). Returns `None` if the expanded row does not fit in
+    /// 32 bytes — the caller must fall back to another strategy.
+    ///
+    /// 8-byte slots are placed first so they are naturally 8-byte aligned.
+    pub fn plan(elem_bytes: &[usize]) -> Option<RowLayout> {
+        let mut slots = vec![Slot { byte_offset: 0, width: 0 }; elem_bytes.len()];
+        let mut offset = 0usize;
+        for (c, &w) in elem_bytes.iter().enumerate() {
+            match w {
+                4 | 8 => {
+                    slots[c] = Slot { byte_offset: offset, width: 8 };
+                    offset += 8;
+                }
+                1 | 2 => {}
+                _ => panic!("unsupported element width {w}"),
+            }
+        }
+        for (c, &w) in elem_bytes.iter().enumerate() {
+            if w <= 2 {
+                slots[c] = Slot { byte_offset: offset, width: 4 };
+                offset += 4;
+            }
+        }
+        if offset > 32 {
+            return None;
+        }
+        Some(RowLayout { slots })
+    }
+
+    /// Plan directly from borrowed columns.
+    pub fn plan_for(cols: &[ColRef<'_>]) -> Option<RowLayout> {
+        let widths: Vec<usize> = cols.iter().map(|c| c.elem_bytes()).collect();
+        Self::plan(&widths)
+    }
+
+    /// Number of columns covered.
+    pub fn num_cols(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slot of column `c`.
+    pub fn slot(&self, c: usize) -> Slot {
+        self.slots[c]
+    }
+}
+
+/// Multi-aggregate grouped SUM: for each column `c` and group `g`,
+/// `sums[c * num_groups + g] += Σ cols[c][i]` over rows with `gids[i] == g`.
+///
+/// # Panics
+/// Panics if the layout does not match the columns, lengths mismatch, or
+/// `num_groups` exceeds 256.
+pub fn sum_multi(
+    gids: &[u8],
+    cols: &[ColRef<'_>],
+    layout: &RowLayout,
+    num_groups: usize,
+    sums: &mut [i64],
+    level: SimdLevel,
+) {
+    let k = cols.len();
+    assert_eq!(layout.num_cols(), k, "layout/column count mismatch");
+    assert!((1..=super::MAX_GROUPS_U8).contains(&num_groups), "bad group count");
+    assert_eq!(sums.len(), k * num_groups, "accumulator size mismatch");
+    let n = gids.len();
+    for col in cols {
+        assert_eq!(col.len(), n, "column length mismatch");
+    }
+    debug_assert!(gids.iter().all(|&g| (g as usize) < num_groups), "group id out of range");
+
+    // Packed accumulators: one 32-byte row (four u64 slots) per group.
+    let mut acc = vec![0u64; num_groups * 4];
+
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + FLUSH_ROWS).min(n);
+        #[cfg(target_arch = "x86_64")]
+        if level.has_avx2() {
+            // SAFETY: AVX2 availability checked by has_avx2().
+            unsafe { avx2::accumulate(gids, cols, layout, &mut acc, start, end) };
+            flush(&acc, layout, num_groups, sums);
+            acc.fill(0);
+            start = end;
+            continue;
+        }
+        let _ = level;
+        accumulate_scalar(gids, cols, layout, &mut acc, start, end);
+        flush(&acc, layout, num_groups, sums);
+        acc.fill(0);
+        start = end;
+    }
+}
+
+/// Scalar accumulation with identical packed-slot semantics to the SIMD
+/// path (wrapping 64-bit slot adds; the no-carry guarantee makes them
+/// exact).
+fn accumulate_scalar(
+    gids: &[u8],
+    cols: &[ColRef<'_>],
+    layout: &RowLayout,
+    acc: &mut [u64],
+    start: usize,
+    end: usize,
+) {
+    for i in start..end {
+        let base = gids[i] as usize * 4;
+        for (c, col) in cols.iter().enumerate() {
+            let slot = layout.slot(c);
+            let lane = slot.byte_offset / 8;
+            let shift = (slot.byte_offset % 8) * 8;
+            acc[base + lane] = acc[base + lane].wrapping_add(col.get(i) << shift);
+        }
+    }
+}
+
+/// Unpack the 32-byte accumulator rows into per-column per-group totals.
+fn flush(acc: &[u64], layout: &RowLayout, num_groups: usize, sums: &mut [i64]) {
+    for g in 0..num_groups {
+        let row = &acc[g * 4..g * 4 + 4];
+        for (c, slot) in layout.slots.iter().enumerate() {
+            let lane = slot.byte_offset / 8;
+            let word = row[lane];
+            let value = if slot.width == 8 {
+                word
+            } else if slot.byte_offset % 8 == 0 {
+                word & 0xFFFF_FFFF
+            } else {
+                word >> 32
+            };
+            sums[c * num_groups + g] += value as i64;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{ColRef, RowLayout};
+    use crate::transpose::avx2::t4x4_epi64;
+    use std::arch::x86_64::*;
+
+    /// Load four consecutive values of a column into 64-bit lanes
+    /// (zero-extended), pre-shifted to the column's sub-slot position.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn load4(col: &ColRef<'_>, i: usize, shift_hi: bool) -> __m256i {
+        let v = match col {
+            ColRef::U8(s) => {
+                let word = u32::from_le_bytes(s[i..i + 4].try_into().unwrap());
+                _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(word as i32))
+            }
+            ColRef::U16(s) => {
+                _mm256_cvtepu16_epi64(_mm_loadl_epi64(s.as_ptr().add(i) as *const __m128i))
+            }
+            ColRef::U32(s) => {
+                _mm256_cvtepu32_epi64(_mm_loadu_si128(s.as_ptr().add(i) as *const __m128i))
+            }
+            ColRef::U64(s) => _mm256_loadu_si256(s.as_ptr().add(i) as *const __m256i),
+        };
+        if shift_hi {
+            _mm256_slli_epi64::<32>(v)
+        } else {
+            v
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn accumulate(
+        gids: &[u8],
+        cols: &[ColRef<'_>],
+        layout: &RowLayout,
+        acc: &mut [u64],
+        start: usize,
+        end: usize,
+    ) {
+        let acc_ptr = acc.as_mut_ptr();
+        let mut i = start;
+        while i + 4 <= end {
+            // Build the four 64-bit slot registers (lane r = row i+r).
+            let mut slots = [_mm256_setzero_si256(); 4];
+            for (c, col) in cols.iter().enumerate() {
+                let slot = layout.slot(c);
+                let lane = slot.byte_offset / 8;
+                let shift_hi = slot.byte_offset % 8 == 4;
+                let v = load4(col, i, shift_hi);
+                slots[lane] = _mm256_or_si256(slots[lane], v);
+            }
+            // Generalized transposition: slot-major -> row-major.
+            let (r0, r1, r2, r3) = t4x4_epi64(slots[0], slots[1], slots[2], slots[3]);
+            // One load-add-store per row updates every sum at once.
+            for (r, row) in [r0, r1, r2, r3].into_iter().enumerate() {
+                let g = *gids.get_unchecked(i + r) as usize;
+                let p = acc_ptr.add(g * 4) as *mut __m256i;
+                let cur = _mm256_loadu_si256(p);
+                _mm256_storeu_si256(p, _mm256_add_epi64(cur, row));
+            }
+            i += 4;
+        }
+        super::accumulate_scalar(gids, cols, layout, acc, i, end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::reference_group_sums;
+
+    #[test]
+    fn layout_places_wide_slots_first() {
+        // Paper's Figure 6 example: columns of 4,4,2,2,2 bytes (A..E with
+        // A,B 64-bit expanded in the figure's labeling).
+        let layout = RowLayout::plan(&[4, 4, 2, 2, 2]).unwrap();
+        assert_eq!(layout.slot(0), Slot { byte_offset: 0, width: 8 });
+        assert_eq!(layout.slot(1), Slot { byte_offset: 8, width: 8 });
+        assert_eq!(layout.slot(2), Slot { byte_offset: 16, width: 4 });
+        assert_eq!(layout.slot(3), Slot { byte_offset: 20, width: 4 });
+        assert_eq!(layout.slot(4), Slot { byte_offset: 24, width: 4 });
+    }
+
+    #[test]
+    fn layout_rejects_overflowing_rows() {
+        assert!(RowLayout::plan(&[8, 8, 8, 8]).is_some());
+        assert!(RowLayout::plan(&[8, 8, 8, 8, 1]).is_none());
+        assert!(RowLayout::plan(&[1; 8]).is_some());
+        assert!(RowLayout::plan(&[1; 9]).is_none());
+        // Table 4's combinations all fit.
+        for combo in [
+            vec![8usize, 2],
+            vec![8, 4, 1],
+            vec![8, 8, 4, 2],
+            vec![8, 4, 4, 2, 2],
+            vec![4, 4, 2, 2, 2],
+        ] {
+            assert!(RowLayout::plan(&combo).is_some(), "{combo:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported element width")]
+    fn layout_rejects_bad_width() {
+        RowLayout::plan(&[3]);
+    }
+
+    fn gids(n: usize, groups: usize) -> Vec<u8> {
+        (0..n).map(|i| ((i * 17 + i / 9) % groups) as u8).collect()
+    }
+
+    #[test]
+    fn mixed_width_sums_match_reference() {
+        let n = 10_000;
+        let g = gids(n, 32);
+        let v8: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+        let v16: Vec<u16> = (0..n).map(|i| (i * 7 % 65_521) as u16).collect();
+        let v32: Vec<u32> = (0..n).map(|i| (i as u32).wrapping_mul(2654435761) >> 8).collect();
+        let v64: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(0x9E3779B9) >> 16).collect();
+        let cols = [
+            ColRef::U64(&v64),
+            ColRef::U32(&v32),
+            ColRef::U16(&v16),
+            ColRef::U8(&v8),
+        ];
+        let layout = RowLayout::plan_for(&cols).unwrap();
+        let (_, expected) = reference_group_sums(&g, &cols, 32);
+        for level in SimdLevel::available() {
+            let mut sums = vec![0i64; 4 * 32];
+            sum_multi(&g, &cols, &layout, 32, &mut sums, level);
+            for c in 0..4 {
+                assert_eq!(&sums[c * 32..(c + 1) * 32], &expected[c][..], "col={c} level={level}");
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_slot_no_carry_across_flush() {
+        // Max-value 2-byte inputs over more than FLUSH_ROWS rows: the
+        // packed 4-byte slot sums to just under 2^32 before each flush.
+        let n = FLUSH_ROWS + 4097;
+        let g = vec![0u8; n];
+        let v16 = vec![u16::MAX; n];
+        let v16b = vec![u16::MAX; n];
+        let cols = [ColRef::U16(&v16), ColRef::U16(&v16b)];
+        let layout = RowLayout::plan_for(&cols).unwrap();
+        for level in SimdLevel::available() {
+            let mut sums = vec![0i64; 2];
+            sum_multi(&g, &cols, &layout, 1, &mut sums, level);
+            assert_eq!(sums[0], n as i64 * u16::MAX as i64, "level={level}");
+            assert_eq!(sums[1], n as i64 * u16::MAX as i64, "level={level}");
+        }
+    }
+
+    #[test]
+    fn single_column_and_tiny_batches() {
+        for n in [0usize, 1, 2, 3, 4, 5, 7] {
+            let g = gids(n, 3);
+            let v: Vec<u32> = (0..n as u32).map(|i| i * 11).collect();
+            let cols = [ColRef::U32(&v)];
+            let layout = RowLayout::plan_for(&cols).unwrap();
+            let (_, expected) = reference_group_sums(&g, &cols, 3);
+            for level in SimdLevel::available() {
+                let mut sums = vec![0i64; 3];
+                sum_multi(&g, &cols, &layout, 3, &mut sums, level);
+                assert_eq!(&sums[..], &expected[0][..], "n={n} level={level}");
+            }
+        }
+    }
+
+    #[test]
+    fn five_sums_paper_q1_shape() {
+        // TPC-H Q1 shape: five sums updated per row in one load-add-store.
+        let n = 4096;
+        let g = gids(n, 7);
+        let quantity: Vec<u8> = (0..n).map(|i| (i % 50 + 1) as u8).collect();
+        let price: Vec<u32> = (0..n).map(|i| (90_000 + i * 13 % 10_000) as u32).collect();
+        let disc_price: Vec<u64> = price.iter().map(|&p| p as u64 * 95 / 100).collect();
+        let charge: Vec<u64> = disc_price.iter().map(|&p| p * 108 / 100).collect();
+        let discount: Vec<u8> = (0..n).map(|i| (i % 11) as u8).collect();
+        let cols = [
+            ColRef::U8(&quantity),
+            ColRef::U32(&price),
+            ColRef::U64(&disc_price),
+            ColRef::U64(&charge),
+            ColRef::U8(&discount),
+        ];
+        let layout = RowLayout::plan_for(&cols).unwrap();
+        let (_, expected) = reference_group_sums(&g, &cols, 7);
+        for level in SimdLevel::available() {
+            let mut sums = vec![0i64; 5 * 7];
+            sum_multi(&g, &cols, &layout, 7, &mut sums, level);
+            for c in 0..5 {
+                assert_eq!(&sums[c * 7..(c + 1) * 7], &expected[c][..], "col={c} level={level}");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_into_existing_sums() {
+        let g = [0u8, 0];
+        let v = [1u32, 2];
+        let cols = [ColRef::U32(&v)];
+        let layout = RowLayout::plan_for(&cols).unwrap();
+        let mut sums = vec![10i64];
+        sum_multi(&g, &cols, &layout, 1, &mut sums, SimdLevel::detect());
+        assert_eq!(sums[0], 13);
+    }
+}

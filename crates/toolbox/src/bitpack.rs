@@ -1,0 +1,607 @@
+//! Fixed-width integer bit packing (§2.1) and unpacking (§2.2).
+//!
+//! Bit packing represents every value of a sequence using the same number of
+//! bits, concatenated into one vector with no gaps. Whenever BIPie unpacks,
+//! it outputs values using the *smallest power-of-two word size* the bit
+//! width fits in (1, 2, 4, or 8 bytes) — using the smallest word is important
+//! for downstream SIMD parallelism (§2.2), e.g. in-register aggregation gets
+//! twice the lanes from 1-byte group ids as from 2-byte ones.
+//!
+//! The packed layout is LSB-first: value `i` occupies bit positions
+//! `[i*bits, (i+1)*bits)` of the little-endian byte stream. The backing
+//! buffer is padded with 8 trailing zero bytes so SIMD kernels (unaligned
+//! gathers of 4- or 8-byte words) may read past the last value without
+//! leaving the allocation.
+
+use crate::dispatch::SimdLevel;
+
+/// Maximum supported bit width.
+pub const MAX_BITS: u8 = 64;
+
+/// The smallest power-of-two byte width that holds a `bits`-bit value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WordSize {
+    /// 1-byte words (`u8`): bit widths 1..=8.
+    W1,
+    /// 2-byte words (`u16`): bit widths 9..=16.
+    W2,
+    /// 4-byte words (`u32`): bit widths 17..=32.
+    W4,
+    /// 8-byte words (`u64`): bit widths 33..=64.
+    W8,
+}
+
+impl WordSize {
+    /// Smallest word size for a bit width (§2.2).
+    pub fn for_bits(bits: u8) -> WordSize {
+        match bits {
+            0..=8 => WordSize::W1,
+            9..=16 => WordSize::W2,
+            17..=32 => WordSize::W4,
+            33..=64 => WordSize::W8,
+            _ => panic!("bit width {bits} out of range 0..=64"),
+        }
+    }
+
+    /// Width in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            WordSize::W1 => 1,
+            WordSize::W2 => 2,
+            WordSize::W4 => 4,
+            WordSize::W8 => 8,
+        }
+    }
+}
+
+/// Number of bits needed to represent `max` (at least 1 so that a packed
+/// vector always advances).
+pub fn min_bits(max: u64) -> u8 {
+    if max == 0 {
+        1
+    } else {
+        (64 - max.leading_zeros()) as u8
+    }
+}
+
+/// A bit-packed vector of unsigned integers with a fixed bit width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedVec {
+    bits: u8,
+    len: usize,
+    /// Little-endian packed bit stream, padded with >= 8 zero bytes.
+    bytes: Vec<u8>,
+}
+
+impl PackedVec {
+    /// Pack `values` using `bits` bits each.
+    ///
+    /// # Panics
+    /// Panics if any value does not fit in `bits` bits, or `bits` is not in
+    /// `1..=64`.
+    pub fn pack(values: &[u64], bits: u8) -> PackedVec {
+        assert!((1..=MAX_BITS).contains(&bits), "bit width {bits} out of range 1..=64");
+        let limit_check = bits < 64;
+        let limit = if limit_check { 1u64 << bits } else { 0 };
+        let total_bits = values.len() * bits as usize;
+        let data_bytes = total_bits.div_ceil(8);
+        let mut bytes = vec![0u8; data_bytes + 8];
+        let mut bit_pos = 0usize;
+        for &v in values {
+            assert!(!limit_check || v < limit, "value {v} does not fit in {bits} bits");
+            let byte = bit_pos >> 3;
+            let shift = (bit_pos & 7) as u32;
+            // Write up to 9 bytes touched by a 64-bit value at bit offset.
+            let lo = v << shift;
+            write_u64_le_or(&mut bytes, byte, lo);
+            if shift > 0 {
+                let hi = v >> (64 - shift);
+                if hi != 0 {
+                    bytes[byte + 8] |= hi as u8;
+                }
+            }
+            bit_pos += bits as usize;
+        }
+        PackedVec { bits, len: values.len(), bytes }
+    }
+
+    /// Pack values using the minimal bit width for their maximum.
+    pub fn pack_minimal(values: &[u64]) -> PackedVec {
+        let bits = min_bits(values.iter().copied().max().unwrap_or(0));
+        Self::pack(values, bits)
+    }
+
+    /// Bit width of each value.
+    #[inline]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of packed values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no values are packed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Smallest power-of-two unpack word size for this vector (§2.2).
+    #[inline]
+    pub fn word_size(&self) -> WordSize {
+        WordSize::for_bits(self.bits)
+    }
+
+    /// Size of the packed payload in bytes (excluding SIMD padding).
+    pub fn packed_bytes(&self) -> usize {
+        (self.len * self.bits as usize).div_ceil(8)
+    }
+
+    /// Raw byte view including the >= 8 bytes of zero padding, for SIMD
+    /// kernels that load 4/8-byte words at arbitrary byte offsets.
+    #[inline]
+    pub fn bytes_padded(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mask with the low `bits` bits set.
+    #[inline]
+    pub fn value_mask(&self) -> u64 {
+        mask_for(self.bits)
+    }
+
+    /// Random access to value `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let bit = i * self.bits as usize;
+        let byte = bit >> 3;
+        let shift = (bit & 7) as u32;
+        // SAFETY-free: padded buffer guarantees byte+8 <= bytes.len().
+        let word = read_u64_le(&self.bytes, byte);
+        if shift as u8 + self.bits <= 64 {
+            (word >> shift) & self.value_mask()
+        } else {
+            let hi = self.bytes[byte + 8] as u64;
+            ((word >> shift) | (hi << (64 - shift))) & self.value_mask()
+        }
+    }
+
+    /// Unpack values `[start, start+out.len())` into `u8` words.
+    ///
+    /// # Panics
+    /// Panics if the bit width exceeds 8 or the range is out of bounds.
+    pub fn unpack_into_u8(&self, start: usize, out: &mut [u8], level: SimdLevel) {
+        assert!(self.bits <= 8, "bit width {} does not fit u8 words", self.bits);
+        self.check_range(start, out.len());
+        #[cfg(target_arch = "x86_64")]
+        if level.has_avx2() && self.bits <= 25 {
+            // SAFETY: AVX2 availability checked by has_avx2().
+            unsafe { avx2::unpack_u8(self, start, out) };
+            return;
+        }
+        let _ = level;
+        self.unpack_scalar(start, out, |v| v as u8);
+    }
+
+    /// Unpack values `[start, start+out.len())` into `u16` words.
+    pub fn unpack_into_u16(&self, start: usize, out: &mut [u16], level: SimdLevel) {
+        assert!(self.bits <= 16, "bit width {} does not fit u16 words", self.bits);
+        self.check_range(start, out.len());
+        #[cfg(target_arch = "x86_64")]
+        if level.has_avx2() && self.bits <= 25 {
+            // SAFETY: AVX2 availability checked by has_avx2().
+            unsafe { avx2::unpack_u16(self, start, out) };
+            return;
+        }
+        let _ = level;
+        self.unpack_scalar(start, out, |v| v as u16);
+    }
+
+    /// Unpack values `[start, start+out.len())` into `u32` words.
+    pub fn unpack_into_u32(&self, start: usize, out: &mut [u32], level: SimdLevel) {
+        assert!(self.bits <= 32, "bit width {} does not fit u32 words", self.bits);
+        self.check_range(start, out.len());
+        #[cfg(target_arch = "x86_64")]
+        if level.has_avx2() && self.bits <= 25 {
+            // SAFETY: AVX2 availability checked by has_avx2().
+            unsafe { avx2::unpack_u32(self, start, out) };
+            return;
+        }
+        let _ = level;
+        self.unpack_scalar(start, out, |v| v as u32);
+    }
+
+    /// Unpack values `[start, start+out.len())` into `u64` words.
+    pub fn unpack_into_u64(&self, start: usize, out: &mut [u64], level: SimdLevel) {
+        self.check_range(start, out.len());
+        #[cfg(target_arch = "x86_64")]
+        if level.has_avx2() && self.bits <= 57 {
+            // SAFETY: AVX2 availability checked by has_avx2().
+            unsafe { avx2::unpack_u64(self, start, out) };
+            return;
+        }
+        let _ = level;
+        self.unpack_scalar(start, out, |v| v);
+    }
+
+    /// Unpack the whole vector to `u64` (convenience for tests and encoding
+    /// round trips, not a hot path).
+    pub fn unpack_all(&self, level: SimdLevel) -> Vec<u64> {
+        let mut out = vec![0u64; self.len];
+        self.unpack_into_u64(0, &mut out, level);
+        out
+    }
+
+    fn check_range(&self, start: usize, n: usize) {
+        assert!(
+            start.checked_add(n).is_some_and(|end| end <= self.len),
+            "range {start}..{} out of bounds (len {})",
+            start + n,
+            self.len
+        );
+    }
+
+    fn unpack_scalar<T: Copy>(&self, start: usize, out: &mut [T], convert: impl Fn(u64) -> T) {
+        let bits = self.bits as usize;
+        let mask = self.value_mask();
+        let mut bit = start * bits;
+        if self.bits <= 57 {
+            // A byte-aligned 64-bit load always covers the value: shift is
+            // 0..=7 and shift + bits <= 64.
+            for slot in out.iter_mut() {
+                let word = read_u64_le(&self.bytes, bit >> 3);
+                *slot = convert((word >> (bit & 7)) & mask);
+                bit += bits;
+            }
+        } else {
+            for (k, slot) in out.iter_mut().enumerate() {
+                *slot = convert(self.get(start + k));
+                let _ = bit;
+            }
+        }
+    }
+}
+
+/// Mask with the low `bits` bits set (`bits` in 1..=64).
+#[inline]
+pub fn mask_for(bits: u8) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[inline]
+fn read_u64_le(bytes: &[u8], offset: usize) -> u64 {
+    u64::from_le_bytes(bytes[offset..offset + 8].try_into().unwrap())
+}
+
+#[inline]
+fn write_u64_le_or(bytes: &mut [u8], offset: usize, value: u64) {
+    let existing = read_u64_le(bytes, offset);
+    bytes[offset..offset + 8].copy_from_slice(&(existing | value).to_le_bytes());
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! AVX2 unpack kernels.
+    //!
+    //! For bit widths <= 25, eight consecutive values can each be fetched
+    //! with a byte-aligned 32-bit load (within-byte shift is 0..=7, and
+    //! 7 + 25 <= 32), so one `vpgatherdd` + variable shift + mask produces
+    //! eight unpacked values. The byte offsets and shifts of eight
+    //! consecutive values form a fixed pattern that repeats every 8 values
+    //! (advancing by exactly `bits` bytes), so the control vectors are
+    //! loop-invariant. Widths 26..=57 use the analogous 4-lane 64-bit
+    //! gather.
+
+    use super::PackedVec;
+    use std::arch::x86_64::*;
+
+    /// Eight-lane control vectors for the `bits <= 25` fast path.
+    struct Ctrl8 {
+        offsets: __m256i,
+        shifts: __m256i,
+        mask: __m256i,
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn ctrl8(bits: usize, start_bit: usize) -> Ctrl8 {
+        let mut offs = [0i32; 8];
+        let mut shifts = [0i32; 8];
+        for k in 0..8 {
+            let bit = start_bit + k * bits;
+            offs[k] = (bit >> 3) as i32;
+            shifts[k] = (bit & 7) as i32;
+        }
+        Ctrl8 {
+            offsets: _mm256_loadu_si256(offs.as_ptr() as *const __m256i),
+            shifts: _mm256_loadu_si256(shifts.as_ptr() as *const __m256i),
+            mask: _mm256_set1_epi32(super::mask_for(bits as u8) as u32 as i32),
+        }
+    }
+
+    /// Gather-unpack 8 values starting at the iteration's byte base.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn gather8(base: *const u8, ctrl: &Ctrl8) -> __m256i {
+        let words = _mm256_i32gather_epi32::<1>(base as *const i32, ctrl.offsets);
+        let shifted = _mm256_srlv_epi32(words, ctrl.shifts);
+        _mm256_and_si256(shifted, ctrl.mask)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn unpack_u32(pv: &PackedVec, start: usize, out: &mut [u32]) {
+        let bits = pv.bits() as usize;
+        let bytes = pv.bytes_padded();
+        let start_bit = start * bits;
+        // Within-group bit pattern is relative to the group's byte base.
+        let ctrl = ctrl8(bits, start_bit & 7);
+        let mut byte_base = start_bit >> 3;
+        let n = out.len();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let v = gather8(bytes.as_ptr().add(byte_base), &ctrl);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, v);
+            byte_base += bits; // 8 values = 8*bits bits = bits bytes
+            i += 8;
+        }
+        for k in i..n {
+            out[k] = pv.get(start + k) as u32;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn unpack_u16(pv: &PackedVec, start: usize, out: &mut [u16]) {
+        let bits = pv.bits() as usize;
+        let bytes = pv.bytes_padded();
+        let start_bit = start * bits;
+        let ctrl = ctrl8(bits, start_bit & 7);
+        let mut byte_base = start_bit >> 3;
+        let n = out.len();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let lo = gather8(bytes.as_ptr().add(byte_base), &ctrl);
+            let hi = gather8(bytes.as_ptr().add(byte_base + bits), &ctrl);
+            // packus interleaves 128-bit halves; permute fixes the order.
+            let packed = _mm256_packus_epi32(lo, hi);
+            let fixed = _mm256_permute4x64_epi64::<0b11011000>(packed);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, fixed);
+            byte_base += 2 * bits;
+            i += 16;
+        }
+        for k in i..n {
+            out[k] = pv.get(start + k) as u16;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn unpack_u8(pv: &PackedVec, start: usize, out: &mut [u8]) {
+        let bits = pv.bits() as usize;
+        let bytes = pv.bytes_padded();
+        let start_bit = start * bits;
+        let ctrl = ctrl8(bits, start_bit & 7);
+        let mut byte_base = start_bit >> 3;
+        let n = out.len();
+        let mut i = 0usize;
+        while i + 32 <= n {
+            let a = gather8(bytes.as_ptr().add(byte_base), &ctrl);
+            let b = gather8(bytes.as_ptr().add(byte_base + bits), &ctrl);
+            let c = gather8(bytes.as_ptr().add(byte_base + 2 * bits), &ctrl);
+            let d = gather8(bytes.as_ptr().add(byte_base + 3 * bits), &ctrl);
+            let ab = _mm256_packus_epi32(a, b); // a0..3 b0..3 a4..7 b4..7 (u16)
+            let cd = _mm256_packus_epi32(c, d);
+            let abcd = _mm256_packus_epi16(ab, cd); // interleaved u8
+            // Restore order: packus works within 128-bit lanes.
+            let perm = _mm256_permutevar8x32_epi32(
+                abcd,
+                _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7),
+            );
+            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, perm);
+            byte_base += 4 * bits;
+            i += 32;
+        }
+        for k in i..n {
+            out[k] = pv.get(start + k) as u8;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn unpack_u64(pv: &PackedVec, start: usize, out: &mut [u64]) {
+        let bits = pv.bits() as usize;
+        let bytes = pv.bytes_padded();
+        let start_bit = start * bits;
+        let n = out.len();
+        // 4-lane 64-bit gathers; widths up to 57 are covered by a
+        // byte-aligned load (shift 0..=7 + 57 <= 64). Eight values advance
+        // by exactly `bits` bytes, so two offset/shift vectors (lanes 0..4
+        // and 4..8 of the group) stay loop-invariant.
+        let phase = start_bit & 7;
+        let mut offs = [0i64; 8];
+        let mut shifts = [0i64; 8];
+        for k in 0..8 {
+            let bit = phase + k * bits;
+            offs[k] = (bit >> 3) as i64;
+            shifts[k] = (bit & 7) as i64;
+        }
+        let offsets_lo = _mm256_loadu_si256(offs.as_ptr() as *const __m256i);
+        let offsets_hi = _mm256_loadu_si256(offs.as_ptr().add(4) as *const __m256i);
+        let shift_lo = _mm256_loadu_si256(shifts.as_ptr() as *const __m256i);
+        let shift_hi = _mm256_loadu_si256(shifts.as_ptr().add(4) as *const __m256i);
+        let mask = _mm256_set1_epi64x(pv.value_mask() as i64);
+        let mut byte_base = start_bit >> 3;
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let base = bytes.as_ptr().add(byte_base) as *const i64;
+            let lo = _mm256_i64gather_epi64::<1>(base, offsets_lo);
+            let hi = _mm256_i64gather_epi64::<1>(base, offsets_hi);
+            let lo = _mm256_and_si256(_mm256_srlv_epi64(lo, shift_lo), mask);
+            let hi = _mm256_and_si256(_mm256_srlv_epi64(hi, shift_hi), mask);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, lo);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i + 4) as *mut __m256i, hi);
+            byte_base += bits; // 8 values = 8*bits bits = bits bytes
+            i += 8;
+        }
+        for k in i..n {
+            out[k] = pv.get(start + k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::SimdLevel;
+
+    fn sample_values(n: usize, bits: u8) -> Vec<u64> {
+        let mask = mask_for(bits);
+        (0..n as u64).map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15)) & mask).collect()
+    }
+
+    #[test]
+    fn min_bits_edges() {
+        assert_eq!(min_bits(0), 1);
+        assert_eq!(min_bits(1), 1);
+        assert_eq!(min_bits(2), 2);
+        assert_eq!(min_bits(255), 8);
+        assert_eq!(min_bits(256), 9);
+        assert_eq!(min_bits(u64::MAX), 64);
+    }
+
+    #[test]
+    fn word_size_for_bits() {
+        assert_eq!(WordSize::for_bits(1), WordSize::W1);
+        assert_eq!(WordSize::for_bits(8), WordSize::W1);
+        assert_eq!(WordSize::for_bits(9), WordSize::W2);
+        assert_eq!(WordSize::for_bits(16), WordSize::W2);
+        assert_eq!(WordSize::for_bits(17), WordSize::W4);
+        assert_eq!(WordSize::for_bits(32), WordSize::W4);
+        assert_eq!(WordSize::for_bits(33), WordSize::W8);
+        assert_eq!(WordSize::for_bits(64), WordSize::W8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn word_size_rejects_wide() {
+        WordSize::for_bits(65);
+    }
+
+    #[test]
+    fn pack_get_roundtrip_all_widths() {
+        for bits in 1..=64u8 {
+            let values = sample_values(100, bits);
+            let pv = PackedVec::pack(&values, bits);
+            assert_eq!(pv.len(), values.len());
+            assert_eq!(pv.bits(), bits);
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(pv.get(i), v, "bits={bits} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_u64_roundtrip_all_widths_all_levels() {
+        for level in SimdLevel::available() {
+            for bits in 1..=64u8 {
+                let values = sample_values(133, bits);
+                let pv = PackedVec::pack(&values, bits);
+                assert_eq!(pv.unpack_all(level), values, "bits={bits} level={level}");
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_narrow_words_match() {
+        for level in SimdLevel::available() {
+            for bits in 1..=8u8 {
+                let values = sample_values(97, bits);
+                let pv = PackedVec::pack(&values, bits);
+                let mut out = vec![0u8; values.len()];
+                pv.unpack_into_u8(0, &mut out, level);
+                let expected: Vec<u8> = values.iter().map(|&v| v as u8).collect();
+                assert_eq!(out, expected, "bits={bits} level={level}");
+            }
+            for bits in 1..=16u8 {
+                let values = sample_values(97, bits);
+                let pv = PackedVec::pack(&values, bits);
+                let mut out = vec![0u16; values.len()];
+                pv.unpack_into_u16(0, &mut out, level);
+                let expected: Vec<u16> = values.iter().map(|&v| v as u16).collect();
+                assert_eq!(out, expected, "bits={bits} level={level}");
+            }
+            for bits in 1..=32u8 {
+                let values = sample_values(97, bits);
+                let pv = PackedVec::pack(&values, bits);
+                let mut out = vec![0u32; values.len()];
+                pv.unpack_into_u32(0, &mut out, level);
+                let expected: Vec<u32> = values.iter().map(|&v| v as u32).collect();
+                assert_eq!(out, expected, "bits={bits} level={level}");
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_subrange_at_odd_offsets() {
+        for level in SimdLevel::available() {
+            for bits in [1u8, 3, 5, 7, 8, 11, 14, 21, 25, 28, 33, 57, 63] {
+                let values = sample_values(500, bits);
+                let pv = PackedVec::pack(&values, bits);
+                for start in [0usize, 1, 7, 8, 63, 100, 255] {
+                    let n = 130.min(values.len() - start);
+                    let mut out = vec![0u64; n];
+                    pv.unpack_into_u64(start, &mut out, level);
+                    assert_eq!(
+                        &out[..],
+                        &values[start..start + n],
+                        "bits={bits} start={start} level={level}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let pv = PackedVec::pack(&[], 7);
+        assert!(pv.is_empty());
+        assert_eq!(pv.unpack_all(SimdLevel::detect()), Vec::<u64>::new());
+        let pv = PackedVec::pack(&[42], 7);
+        assert_eq!(pv.get(0), 42);
+        assert_eq!(pv.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn pack_rejects_oversized_value() {
+        PackedVec::pack(&[16], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn unpack_rejects_oob_range() {
+        let pv = PackedVec::pack(&[1, 2, 3], 4);
+        let mut out = vec![0u64; 4];
+        pv.unpack_into_u64(0, &mut out, SimdLevel::Scalar);
+    }
+
+    #[test]
+    fn pack_minimal_picks_width() {
+        let pv = PackedVec::pack_minimal(&[0, 3, 7]);
+        assert_eq!(pv.bits(), 3);
+        let pv = PackedVec::pack_minimal(&[0]);
+        assert_eq!(pv.bits(), 1);
+    }
+
+    #[test]
+    fn packed_bytes_is_tight() {
+        let pv = PackedVec::pack(&[1; 100], 5);
+        assert_eq!(pv.packed_bytes(), (100 * 5usize).div_ceil(8));
+        assert!(pv.bytes_padded().len() >= pv.packed_bytes() + 8);
+    }
+}

@@ -1,0 +1,483 @@
+//! Vectorized comparisons producing selection byte vectors (§4).
+//!
+//! Filter expressions are evaluated with SIMD comparisons whose result is
+//! stored "consistent with how AVX2 comparison instructions store the output
+//! for single byte elements": one byte per row, `0xFF` selected, `0x00`
+//! rejected. These kernels compare a column vector against a constant (the
+//! common shape of ad-hoc analytical filters, e.g. TPC-H Q1's
+//! `l_shipdate <= DATE '1998-09-02'`) and write that canonical byte mask.
+//!
+//! All comparisons on unsigned element types are unsigned; AVX2 only offers
+//! signed compares, so the kernels flip the sign bit of both operands
+//! (a standard order-preserving bijection from unsigned to signed space).
+
+use crate::dispatch::SimdLevel;
+
+/// A comparison operator against a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `x == c`
+    Eq,
+    /// `x != c`
+    Ne,
+    /// `x < c`
+    Lt,
+    /// `x <= c`
+    Le,
+    /// `x > c`
+    Gt,
+    /// `x >= c`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate on ordering-comparable scalars.
+    #[inline]
+    pub fn eval<T: PartialOrd>(self, x: T, c: T) -> bool {
+        match self {
+            CmpOp::Eq => x == c,
+            CmpOp::Ne => x != c,
+            CmpOp::Lt => x < c,
+            CmpOp::Le => x <= c,
+            CmpOp::Gt => x > c,
+            CmpOp::Ge => x >= c,
+        }
+    }
+}
+
+macro_rules! scalar_cmp {
+    ($name:ident, $between:ident, $ty:ty) => {
+        /// Scalar oracle: compare each element against `c`, writing the
+        /// canonical byte mask.
+        pub fn $name(data: &[$ty], op: CmpOp, c: $ty, out: &mut [u8]) {
+            assert_eq!(data.len(), out.len(), "output length mismatch");
+            for (x, o) in data.iter().zip(out.iter_mut()) {
+                *o = if op.eval(*x, c) { 0xFF } else { 0x00 };
+            }
+        }
+
+        /// Scalar oracle: inclusive range test `lo <= x <= hi`.
+        pub fn $between(data: &[$ty], lo: $ty, hi: $ty, out: &mut [u8]) {
+            assert_eq!(data.len(), out.len(), "output length mismatch");
+            for (x, o) in data.iter().zip(out.iter_mut()) {
+                *o = if *x >= lo && *x <= hi { 0xFF } else { 0x00 };
+            }
+        }
+    };
+}
+
+scalar_cmp!(cmp_scalar_u8, between_scalar_u8, u8);
+scalar_cmp!(cmp_scalar_u16, between_scalar_u16, u16);
+scalar_cmp!(cmp_scalar_u32, between_scalar_u32, u32);
+scalar_cmp!(cmp_scalar_u64, between_scalar_u64, u64);
+scalar_cmp!(cmp_scalar_i64, between_scalar_i64, i64);
+
+macro_rules! dispatch_cmp {
+    ($name:ident, $scalar:ident, $avx2:ident, $ty:ty) => {
+        /// Compare each element of `data` against `c` with `op`, writing the
+        /// canonical `0x00`/`0xFF` byte mask into `out`.
+        pub fn $name(data: &[$ty], op: CmpOp, c: $ty, out: &mut [u8], level: SimdLevel) {
+            assert_eq!(data.len(), out.len(), "output length mismatch");
+            #[cfg(target_arch = "x86_64")]
+            {
+                if level.has_avx512() {
+                    if avx512::$avx2(data, op, c, out) {
+                        return;
+                    }
+                }
+                if level.has_avx2() {
+                    // SAFETY: AVX2 availability checked by has_avx2().
+                    unsafe { avx2::$avx2(data, op, c, out) };
+                    return;
+                }
+            }
+            let _ = level;
+            $scalar(data, op, c, out);
+        }
+    };
+}
+
+dispatch_cmp!(cmp_u8, cmp_scalar_u8, cmp_u8, u8);
+dispatch_cmp!(cmp_u16, cmp_scalar_u16, cmp_u16, u16);
+dispatch_cmp!(cmp_u32, cmp_scalar_u32, cmp_u32, u32);
+dispatch_cmp!(cmp_i64, cmp_scalar_i64, cmp_i64, i64);
+
+/// Compare `u64` elements (scalar only: 64-bit unsigned compares gain little
+/// from AVX2's 4-lane width once the mask pack-down is paid).
+pub fn cmp_u64(data: &[u64], op: CmpOp, c: u64, out: &mut [u8], level: SimdLevel) {
+    let _ = level;
+    cmp_scalar_u64(data, op, c, out);
+}
+
+/// Inclusive range filter `lo <= x <= hi` over `u32` elements.
+pub fn between_u32(data: &[u32], lo: u32, hi: u32, out: &mut [u8], level: SimdLevel) {
+    assert_eq!(data.len(), out.len(), "output length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if level.has_avx2() {
+        // SAFETY: AVX2 availability checked by has_avx2().
+        unsafe { avx2::between_u32(data, lo, hi, out) };
+        return;
+    }
+    let _ = level;
+    between_scalar_u32(data, lo, hi, out);
+}
+
+/// Inclusive range filter `lo <= x <= hi` over `i64` elements.
+pub fn between_i64(data: &[i64], lo: i64, hi: i64, out: &mut [u8], level: SimdLevel) {
+    let _ = level;
+    between_scalar_i64(data, lo, hi, out);
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    //! AVX-512 comparisons: unsigned compare instructions produce mask
+    //! registers directly (no sign-bit flipping), and `vpmovm2b` expands a
+    //! mask into the canonical byte vector. Only the widths the engine's
+    //! hot paths use have 512-bit versions; the rest report `false` and the
+    //! caller falls through to the AVX2 tier.
+
+    use super::CmpOp;
+    use std::arch::x86_64::*;
+
+    /// Dispatch shim: returns whether a 512-bit kernel ran.
+    pub(super) fn cmp_u8(data: &[u8], op: CmpOp, c: u8, out: &mut [u8]) -> bool {
+        // SAFETY: caller verified AVX-512 availability.
+        unsafe { cmp_u8_impl(data, op, c, out) };
+        true
+    }
+
+    /// Dispatch shim for `u16`: no 512-bit version, use the AVX2 tier.
+    pub(super) fn cmp_u16(_: &[u16], _: CmpOp, _: u16, _: &mut [u8]) -> bool {
+        false
+    }
+
+    /// Dispatch shim: returns whether a 512-bit kernel ran.
+    pub(super) fn cmp_u32(data: &[u32], op: CmpOp, c: u32, out: &mut [u8]) -> bool {
+        // SAFETY: caller verified AVX-512 availability.
+        unsafe { cmp_u32_impl(data, op, c, out) };
+        true
+    }
+
+    /// Dispatch shim for `i64`: no 512-bit version, use the AVX2 tier.
+    pub(super) fn cmp_i64(_: &[i64], _: CmpOp, _: i64, _: &mut [u8]) -> bool {
+        false
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    unsafe fn cmp_u8_impl(data: &[u8], op: CmpOp, c: u8, out: &mut [u8]) {
+        let cv = _mm512_set1_epi8(c as i8);
+        let n = data.len();
+        let mut i = 0usize;
+        while i + 64 <= n {
+            let x = _mm512_loadu_si512(data.as_ptr().add(i) as *const _);
+            let m: __mmask64 = match op {
+                CmpOp::Eq => _mm512_cmpeq_epu8_mask(x, cv),
+                CmpOp::Ne => _mm512_cmpneq_epu8_mask(x, cv),
+                CmpOp::Lt => _mm512_cmplt_epu8_mask(x, cv),
+                CmpOp::Le => _mm512_cmple_epu8_mask(x, cv),
+                CmpOp::Gt => _mm512_cmpgt_epu8_mask(x, cv),
+                CmpOp::Ge => _mm512_cmpge_epu8_mask(x, cv),
+            };
+            _mm512_storeu_si512(out.as_mut_ptr().add(i) as *mut _, _mm512_movm_epi8(m));
+            i += 64;
+        }
+        super::cmp_scalar_u8(&data[i..], op, c, &mut out[i..]);
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx512bw", enable = "avx512vl")]
+    unsafe fn cmp_u32_impl(data: &[u32], op: CmpOp, c: u32, out: &mut [u8]) {
+        let cv = _mm512_set1_epi32(c as i32);
+        let n = data.len();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let x = _mm512_loadu_si512(data.as_ptr().add(i) as *const _);
+            let m: __mmask16 = match op {
+                CmpOp::Eq => _mm512_cmpeq_epu32_mask(x, cv),
+                CmpOp::Ne => _mm512_cmpneq_epu32_mask(x, cv),
+                CmpOp::Lt => _mm512_cmplt_epu32_mask(x, cv),
+                CmpOp::Le => _mm512_cmple_epu32_mask(x, cv),
+                CmpOp::Gt => _mm512_cmpgt_epu32_mask(x, cv),
+                CmpOp::Ge => _mm512_cmpge_epu32_mask(x, cv),
+            };
+            _mm_storeu_si128(out.as_mut_ptr().add(i) as *mut __m128i, _mm_movm_epi8(m));
+            i += 16;
+        }
+        super::cmp_scalar_u32(&data[i..], op, c, &mut out[i..]);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::CmpOp;
+    use std::arch::x86_64::*;
+
+    /// Apply `op` given the three primitive signed-compare results.
+    ///
+    /// AVX2 provides only EQ and GT; the other four operators are derived:
+    /// `ne = !eq`, `lt = !(gt | eq)`, `le = !gt`, `ge = gt | eq`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn combine(op: CmpOp, eq: __m256i, gt: __m256i) -> __m256i {
+        let ones = _mm256_set1_epi8(-1);
+        match op {
+            CmpOp::Eq => eq,
+            CmpOp::Ne => _mm256_xor_si256(eq, ones),
+            CmpOp::Gt => gt,
+            CmpOp::Le => _mm256_xor_si256(gt, ones),
+            CmpOp::Ge => _mm256_or_si256(gt, eq),
+            CmpOp::Lt => _mm256_xor_si256(_mm256_or_si256(gt, eq), ones),
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn cmp_u8(data: &[u8], op: CmpOp, c: u8, out: &mut [u8]) {
+        // Flip sign bits to do unsigned comparison with signed instructions.
+        let flip = _mm256_set1_epi8(i8::MIN);
+        let cv = _mm256_xor_si256(_mm256_set1_epi8(c as i8), flip);
+        let n = data.len();
+        let mut i = 0;
+        while i + 32 <= n {
+            let x = _mm256_loadu_si256(data.as_ptr().add(i) as *const __m256i);
+            let xs = _mm256_xor_si256(x, flip);
+            let eq = _mm256_cmpeq_epi8(xs, cv);
+            let gt = _mm256_cmpgt_epi8(xs, cv);
+            let m = combine(op, eq, gt);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, m);
+            i += 32;
+        }
+        super::cmp_scalar_u8(&data[i..], op, c, &mut out[i..]);
+    }
+
+    /// Pack two 16-lane word masks into one 32-lane byte mask, preserving
+    /// element order (packs operates within 128-bit halves, so a cross-lane
+    /// permute restores order).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn pack16(lo: __m256i, hi: __m256i) -> __m256i {
+        let packed = _mm256_packs_epi16(lo, hi);
+        _mm256_permute4x64_epi64::<0b11011000>(packed)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn cmp_u16(data: &[u16], op: CmpOp, c: u16, out: &mut [u8]) {
+        let flip = _mm256_set1_epi16(i16::MIN);
+        let cv = _mm256_xor_si256(_mm256_set1_epi16(c as i16), flip);
+        let n = data.len();
+        let mut i = 0;
+        while i + 32 <= n {
+            let mut masks = [_mm256_setzero_si256(); 2];
+            for (j, m) in masks.iter_mut().enumerate() {
+                let x = _mm256_loadu_si256(data.as_ptr().add(i + j * 16) as *const __m256i);
+                let xs = _mm256_xor_si256(x, flip);
+                let eq = _mm256_cmpeq_epi16(xs, cv);
+                let gt = _mm256_cmpgt_epi16(xs, cv);
+                *m = combine(op, eq, gt);
+            }
+            let bytes = pack16(masks[0], masks[1]);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, bytes);
+            i += 32;
+        }
+        super::cmp_scalar_u16(&data[i..], op, c, &mut out[i..]);
+    }
+
+    /// Pack two 8-lane dword masks into one order-preserving 16-lane word
+    /// mask.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn pack32(lo: __m256i, hi: __m256i) -> __m256i {
+        let packed = _mm256_packs_epi32(lo, hi);
+        _mm256_permute4x64_epi64::<0b11011000>(packed)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn cmp_u32(data: &[u32], op: CmpOp, c: u32, out: &mut [u8]) {
+        let flip = _mm256_set1_epi32(i32::MIN);
+        let cv = _mm256_xor_si256(_mm256_set1_epi32(c as i32), flip);
+        let n = data.len();
+        let mut i = 0;
+        while i + 32 <= n {
+            let mut words = [_mm256_setzero_si256(); 2];
+            for (j, w) in words.iter_mut().enumerate() {
+                let x0 = _mm256_loadu_si256(data.as_ptr().add(i + j * 16) as *const __m256i);
+                let x1 = _mm256_loadu_si256(data.as_ptr().add(i + j * 16 + 8) as *const __m256i);
+                let xs0 = _mm256_xor_si256(x0, flip);
+                let xs1 = _mm256_xor_si256(x1, flip);
+                let m0 = combine(op, _mm256_cmpeq_epi32(xs0, cv), _mm256_cmpgt_epi32(xs0, cv));
+                let m1 = combine(op, _mm256_cmpeq_epi32(xs1, cv), _mm256_cmpgt_epi32(xs1, cv));
+                *w = pack32(m0, m1);
+            }
+            let bytes = pack16(words[0], words[1]);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, bytes);
+            i += 32;
+        }
+        super::cmp_scalar_u32(&data[i..], op, c, &mut out[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn between_u32(data: &[u32], lo: u32, hi: u32, out: &mut [u8]) {
+        let flip = _mm256_set1_epi32(i32::MIN);
+        let lov = _mm256_xor_si256(_mm256_set1_epi32(lo as i32), flip);
+        let hiv = _mm256_xor_si256(_mm256_set1_epi32(hi as i32), flip);
+        let ones = _mm256_set1_epi8(-1);
+        let n = data.len();
+        let mut i = 0;
+        while i + 32 <= n {
+            let mut words = [_mm256_setzero_si256(); 2];
+            for (j, w) in words.iter_mut().enumerate() {
+                let mut dwords = [_mm256_setzero_si256(); 2];
+                for (k, d) in dwords.iter_mut().enumerate() {
+                    let x = _mm256_loadu_si256(
+                        data.as_ptr().add(i + j * 16 + k * 8) as *const __m256i
+                    );
+                    let xs = _mm256_xor_si256(x, flip);
+                    // lo <= x <= hi  ==  !(lo > x) & !(x > hi)
+                    let below = _mm256_cmpgt_epi32(lov, xs);
+                    let above = _mm256_cmpgt_epi32(xs, hiv);
+                    *d = _mm256_xor_si256(_mm256_or_si256(below, above), ones);
+                }
+                *w = pack32(dwords[0], dwords[1]);
+            }
+            let bytes = pack16(words[0], words[1]);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, bytes);
+            i += 32;
+        }
+        super::between_scalar_u32(&data[i..], lo, hi, &mut out[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn cmp_i64(data: &[i64], op: CmpOp, c: i64, out: &mut [u8]) {
+        let cv = _mm256_set1_epi64x(c);
+        let n = data.len();
+        let mut i = 0;
+        while i + 32 <= n {
+            let mut words = [_mm256_setzero_si256(); 2];
+            for (j, w) in words.iter_mut().enumerate() {
+                let mut dwords = [_mm256_setzero_si256(); 2];
+                for (k, d) in dwords.iter_mut().enumerate() {
+                    let base = i + j * 16 + k * 8;
+                    let x0 = _mm256_loadu_si256(data.as_ptr().add(base) as *const __m256i);
+                    let x1 = _mm256_loadu_si256(data.as_ptr().add(base + 4) as *const __m256i);
+                    let m0 = combine(op, _mm256_cmpeq_epi64(x0, cv), _mm256_cmpgt_epi64(x0, cv));
+                    let m1 = combine(op, _mm256_cmpeq_epi64(x1, cv), _mm256_cmpgt_epi64(x1, cv));
+                    // Pack qword masks to dword masks: qword masks are all-0
+                    // or all-1, so packs_epi32 saturation preserves them.
+                    *d = pack32(m0, m1);
+                }
+                *w = pack32(dwords[0], dwords[1]);
+            }
+            let bytes = pack16(words[0], words[1]);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, bytes);
+            i += 32;
+        }
+        super::cmp_scalar_i64(&data[i..], op, c, &mut out[i..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::SimdLevel;
+
+    const OPS: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+
+    #[test]
+    fn cmp_op_eval() {
+        assert!(CmpOp::Eq.eval(3, 3));
+        assert!(CmpOp::Ne.eval(3, 4));
+        assert!(CmpOp::Lt.eval(3, 4));
+        assert!(CmpOp::Le.eval(3, 3));
+        assert!(CmpOp::Gt.eval(4, 3));
+        assert!(CmpOp::Ge.eval(3, 3));
+        assert!(!CmpOp::Lt.eval(4, 3));
+    }
+
+    fn check<T: Copy + PartialOrd>(
+        data: &[T],
+        consts: &[T],
+        run: impl Fn(&[T], CmpOp, T, &mut [u8], SimdLevel),
+    ) {
+        for level in SimdLevel::available() {
+            for op in OPS {
+                for &c in consts {
+                    let mut out = vec![0u8; data.len()];
+                    run(data, op, c, &mut out, level);
+                    for (i, &x) in data.iter().enumerate() {
+                        let expected = if op.eval(x, c) { 0xFF } else { 0x00 };
+                        assert_eq!(out[i], expected, "i={i} level={level} op={op:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_u8_all_ops() {
+        let data: Vec<u8> = (0..100).map(|i| (i * 37 % 251) as u8).collect();
+        check(&data, &[0, 1, 127, 128, 200, 255], cmp_u8);
+    }
+
+    #[test]
+    fn cmp_u16_all_ops() {
+        let data: Vec<u16> = (0..100).map(|i| (i * 997 % 65521) as u16).collect();
+        check(&data, &[0, 1, 32767, 32768, 65535], cmp_u16);
+    }
+
+    #[test]
+    fn cmp_u32_all_ops() {
+        let data: Vec<u32> = (0..100).map(|i| (i as u32).wrapping_mul(2654435761)).collect();
+        check(&data, &[0, 1, i32::MAX as u32, 1 << 31, u32::MAX], cmp_u32);
+    }
+
+    #[test]
+    fn cmp_u64_all_ops() {
+        let data: Vec<u64> =
+            (0..100).map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        check(&data, &[0, 1, i64::MAX as u64, 1 << 63, u64::MAX], cmp_u64);
+    }
+
+    #[test]
+    fn cmp_i64_all_ops() {
+        let data: Vec<i64> =
+            (0..100).map(|i| ((i as i64) - 50).wrapping_mul(0x12345678)).collect();
+        check(&data, &[i64::MIN, -1, 0, 1, i64::MAX], cmp_i64);
+    }
+
+    #[test]
+    fn between_matches_pairwise() {
+        let data: Vec<u32> = (0..200).map(|i| (i as u32 * 7919) % 10_000).collect();
+        for level in SimdLevel::available() {
+            for (lo, hi) in [(0, 0), (100, 5000), (9999, 10_000), (5000, 100)] {
+                let mut out = vec![0u8; data.len()];
+                between_u32(&data, lo, hi, &mut out, level);
+                for (i, &x) in data.iter().enumerate() {
+                    let expected = if x >= lo && x <= hi { 0xFF } else { 0u8 };
+                    assert_eq!(out[i], expected, "i={i} lo={lo} hi={hi} level={level}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn between_i64_basic() {
+        let data: Vec<i64> = (-50..50).collect();
+        let mut out = vec![0u8; data.len()];
+        between_i64(&data, -10, 10, &mut out, SimdLevel::detect());
+        let selected = out.iter().filter(|&&b| b != 0).count();
+        assert_eq!(selected, 21);
+    }
+
+    #[test]
+    fn remainder_path_exercised() {
+        // Lengths that are not multiples of 32 force the scalar tail.
+        for len in [0usize, 1, 31, 33, 65, 100] {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let mut out_simd = vec![0u8; len];
+            let mut out_scalar = vec![0u8; len];
+            for level in SimdLevel::available() {
+                cmp_u8(&data, CmpOp::Lt, 17, &mut out_simd, level);
+                cmp_scalar_u8(&data, CmpOp::Lt, 17, &mut out_scalar);
+                assert_eq!(out_simd, out_scalar, "len={len} level={level}");
+            }
+        }
+    }
+}

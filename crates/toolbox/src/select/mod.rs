@@ -1,0 +1,124 @@
+//! Selection strategies (§4).
+//!
+//! "The high-level idea of selection is to remove unwanted rows from
+//! processing and leave the remaining data from columns in a form that can
+//! be further processed without the need to reference the selection byte
+//! vector." All three strategies avoid conditional branches that depend on
+//! the filter result, keeping the CPU pipeline predictable and the code
+//! SIMD-friendly:
+//!
+//! * [`compact`] — the **compacting operator** (§4.1): turns a selection byte
+//!   vector into a selection index vector (*index-vector mode*) or physically
+//!   copies surviving elements of an unpacked column (*physical compaction
+//!   mode*). Best at medium selectivities; the safe fallback.
+//! * [`gather`] — **gather selection** (§4.2): uses a selection index vector
+//!   and the SIMD gather instruction to unpack *only the selected* values
+//!   from the bit-packed column. Best at low selectivities.
+//! * [`special_group`] — **selection by special group assignment** (§4.3):
+//!   fuses the filter into the group-id map by assigning every rejected row
+//!   an extra, unused group id; aggregation then processes all rows and the
+//!   special group is discarded at output. Best at selectivities near 1.
+
+pub mod compact;
+pub mod gather;
+pub mod special_group;
+
+pub use compact::{compact_indices, compact_u16, compact_u32, compact_u64, compact_u8};
+pub use gather::{gather_unpack_u16, gather_unpack_u32, gather_unpack_u64, gather_unpack_u8};
+pub use special_group::assign_special_group;
+
+/// Lookup tables shared by the SIMD compaction kernels, keyed by an 8-row
+/// selection mask byte.
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod luts {
+    /// `POS[m][j]` = position (0..8) of the `j`-th set bit of `m`; unused
+    /// entries are 0. Doubles as the `vpermd` lane pattern for left-packing
+    /// eight 32-bit elements.
+    pub(crate) static POS: [[u32; 8]; 256] = build_pos();
+
+    /// Byte-shuffle pattern for left-packing eight single-byte elements held
+    /// in the low half of an XMM register; unused slots are `0x80` (zeroed
+    /// by `pshufb`).
+    pub(crate) static SHUF8: [[u8; 16]; 256] = build_shuf(1);
+
+    /// Byte-shuffle pattern for left-packing eight 2-byte elements in an XMM
+    /// register.
+    pub(crate) static SHUF16: [[u8; 16]; 256] = build_shuf(2);
+
+    const fn build_pos() -> [[u32; 8]; 256] {
+        let mut table = [[0u32; 8]; 256];
+        let mut m = 0usize;
+        while m < 256 {
+            let mut j = 0usize;
+            let mut bit = 0u32;
+            while bit < 8 {
+                if m & (1 << bit) != 0 {
+                    table[m][j] = bit;
+                    j += 1;
+                }
+                bit += 1;
+            }
+            m += 1;
+        }
+        table
+    }
+
+    const fn build_shuf(elem_bytes: usize) -> [[u8; 16]; 256] {
+        let mut table = [[0x80u8; 16]; 256];
+        let mut m = 0usize;
+        while m < 256 {
+            let mut j = 0usize;
+            let mut bit = 0usize;
+            while bit < 8 {
+                if m & (1 << bit) != 0 {
+                    let mut b = 0usize;
+                    while b < elem_bytes {
+                        table[m][j * elem_bytes + b] = (bit * elem_bytes + b) as u8;
+                        b += 1;
+                    }
+                    j += 1;
+                }
+                bit += 1;
+            }
+            m += 1;
+        }
+        table
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn pos_lists_set_bits() {
+            for m in 0..256usize {
+                let expected: Vec<u32> = (0..8).filter(|b| m & (1 << b) != 0).collect();
+                assert_eq!(&POS[m][..expected.len()], &expected[..], "m={m:#x}");
+            }
+        }
+
+        #[test]
+        fn shuf8_packs_bytes() {
+            for m in [0usize, 0b1, 0b10101010, 0xFF, 0x80] {
+                let pop = (m as u8).count_ones() as usize;
+                for j in 0..pop {
+                    assert_eq!(SHUF8[m][j] as u32, POS[m][j]);
+                }
+                for j in pop..16 {
+                    assert_eq!(SHUF8[m][j], 0x80);
+                }
+            }
+        }
+
+        #[test]
+        fn shuf16_packs_pairs() {
+            for m in [0b101usize, 0xFF, 0b1000_0001] {
+                let pop = (m as u8).count_ones() as usize;
+                for j in 0..pop {
+                    assert_eq!(SHUF16[m][2 * j] as u32, POS[m][j] * 2);
+                    assert_eq!(SHUF16[m][2 * j + 1] as u32, POS[m][j] * 2 + 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # TPC-H substrate for BIPie
+//!
+//! The paper's end-to-end evaluation (§6.3) runs TPC-H Query 1 against the
+//! `LINEITEM` table. This crate provides:
+//!
+//! * [`lineitem`] — a deterministic, seeded generator of the `LINEITEM`
+//!   columns Q1 touches, following the TPC-H specification's value
+//!   distributions (quantity 1–50; prices derived per part; discount
+//!   0.00–0.10; tax 0.00–0.08; ship/receipt dates derived from order dates;
+//!   return flags and line statuses derived from the date columns). Rows
+//!   are generated in `l_orderkey` order, matching the paper's setup
+//!   ("we sort and shard LINEITEM table on l_orderkey ... so we do not take
+//!   advantage in any way of the order of rows").
+//! * [`q1`] — Query 1 expressed against the BIPie engine (fixed-point cents
+//!   arithmetic; `1 - l_discount` becomes `100 - discount_cents` with scale
+//!   tracking), plus result formatting and a row-at-a-time reference for
+//!   validation.
+//!
+//! Money values are fixed-point cents (`Decimal`); products of decimals
+//! carry their combined scale (4 for `disc_price`, 6 for `charge`), exactly
+//! like SQL `DECIMAL` arithmetic.
+
+pub mod lineitem;
+pub mod q1;
+
+pub use lineitem::{generate_lineitem, lineitem_specs, LineItemGen};
+pub use q1::{format_q1, q1_cutoff, q1_query, run_q1, Q1Row};

@@ -1,0 +1,176 @@
+//! Deterministic `LINEITEM` generator.
+//!
+//! Follows the TPC-H 3.0 specification for the columns Query 1 reads.
+//! `dbgen` itself is proprietary-ish C; this generator reproduces the same
+//! *distributions* with a seeded PRNG so datasets are reproducible across
+//! runs and machines, which is what the cycles/row evaluation needs (§6.3's
+//! substitution is documented in DESIGN.md).
+
+use bipie_columnstore::{ColumnSpec, Date, LogicalType, Table, TableBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Rows per unit scale factor (TPC-H: ~6M lineitem rows at SF 1).
+pub const ROWS_PER_SF: f64 = 6_000_000.0;
+
+/// Configuration for the generator.
+#[derive(Debug, Clone)]
+pub struct LineItemGen {
+    /// TPC-H scale factor (SF 1 ≈ 6M rows).
+    pub scale_factor: f64,
+    /// PRNG seed (fixed default for reproducibility).
+    pub seed: u64,
+    /// Rows per immutable segment.
+    pub segment_rows: usize,
+}
+
+impl Default for LineItemGen {
+    fn default() -> Self {
+        LineItemGen { scale_factor: 0.01, seed: 0xB1B1E, segment_rows: 1 << 20 }
+    }
+}
+
+/// Schema of the generated table (the Q1-relevant columns plus the sort
+/// key).
+pub fn lineitem_specs() -> Vec<ColumnSpec> {
+    vec![
+        ColumnSpec::new("l_orderkey", LogicalType::I64),
+        ColumnSpec::new("l_quantity", LogicalType::I64),
+        ColumnSpec::new("l_extendedprice", LogicalType::Decimal),
+        ColumnSpec::new("l_discount", LogicalType::Decimal),
+        ColumnSpec::new("l_tax", LogicalType::Decimal),
+        ColumnSpec::new("l_returnflag", LogicalType::Str),
+        ColumnSpec::new("l_linestatus", LogicalType::Str),
+        ColumnSpec::new("l_shipdate", LogicalType::Date),
+    ]
+}
+
+impl LineItemGen {
+    /// Convenience constructor.
+    pub fn new(scale_factor: f64) -> LineItemGen {
+        LineItemGen { scale_factor, ..Default::default() }
+    }
+
+    /// Total rows this configuration generates.
+    pub fn num_rows(&self) -> usize {
+        (ROWS_PER_SF * self.scale_factor).round() as usize
+    }
+
+    /// Generate the table.
+    pub fn generate(&self) -> Table {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut builder =
+            TableBuilder::with_segment_rows(lineitem_specs(), self.segment_rows);
+
+        // TPC-H date anchors.
+        let startdate = Date::from_ymd(1992, 1, 1).days(); // O_ORDERDATE min
+        let enddate = Date::from_ymd(1998, 8, 2).days(); // O_ORDERDATE max
+        let currentdate = Date::from_ymd(1995, 6, 17).days();
+
+        let total = self.num_rows();
+        let mut generated = 0usize;
+        let mut orderkey = 0i64;
+        while generated < total {
+            // Orders carry 1..=7 lineitems (uniform), per the spec.
+            orderkey += 1;
+            let lines = rng.random_range(1..=7usize).min(total - generated);
+            let orderdate = rng.random_range(startdate..=enddate);
+            for _ in 0..lines {
+                let quantity = rng.random_range(1..=50i64);
+                // P_RETAILPRICE is 90000..=200000 cents across parts; the
+                // extended price is quantity * unit price (cents).
+                let unit_price = rng.random_range(90_000..=200_000i64);
+                let extendedprice = quantity * unit_price;
+                let discount = rng.random_range(0..=10i64); // 0.00..0.10
+                let tax = rng.random_range(0..=8i64); // 0.00..0.08
+                let shipdate = orderdate + rng.random_range(1..=121i32);
+                let receiptdate = shipdate + rng.random_range(1..=30i32);
+                let returnflag = if receiptdate <= currentdate {
+                    if rng.random_bool(0.5) {
+                        "R"
+                    } else {
+                        "A"
+                    }
+                } else {
+                    "N"
+                };
+                let linestatus = if shipdate > currentdate { "O" } else { "F" };
+                builder.push_row(vec![
+                    Value::I64(orderkey),
+                    Value::I64(quantity),
+                    Value::Decimal(extendedprice),
+                    Value::Decimal(discount),
+                    Value::Decimal(tax),
+                    Value::Str(returnflag.into()),
+                    Value::Str(linestatus.into()),
+                    Value::Date(Date(shipdate)),
+                ]);
+                generated += 1;
+            }
+        }
+        builder.finish()
+    }
+}
+
+/// Generate `LINEITEM` at the given scale factor with default seed.
+pub fn generate_lineitem(scale_factor: f64, segment_rows: usize) -> Table {
+    LineItemGen { scale_factor, segment_rows, ..Default::default() }.generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let g = LineItemGen { scale_factor: 0.001, ..Default::default() };
+        let a = g.generate();
+        let b = g.generate();
+        assert_eq!(a.num_rows(), 6000);
+        assert_eq!(b.num_rows(), 6000);
+        // Determinism: spot-check a decoded column.
+        let qa = a.segments()[0].column(1).get_i64(123);
+        let qb = b.segments()[0].column(1).get_i64(123);
+        assert_eq!(qa, qb);
+    }
+
+    #[test]
+    fn value_domains_match_spec() {
+        let t = LineItemGen { scale_factor: 0.002, ..Default::default() }.generate();
+        let seg = &t.segments()[0];
+        // quantity in [1, 50]
+        let m = seg.meta(1);
+        assert!(m.min >= 1 && m.max <= 50);
+        // discount in [0, 10] cents-of-percent
+        let m = seg.meta(3);
+        assert!(m.min >= 0 && m.max <= 10);
+        // tax in [0, 8]
+        let m = seg.meta(4);
+        assert!(m.min >= 0 && m.max <= 8);
+        // returnflag dictionary = {A, N, R}; linestatus = {F, O}
+        match seg.column(5) {
+            bipie_columnstore::encoding::EncodedColumn::StrDict(d) => {
+                assert_eq!(d.dict(), &["A", "N", "R"]);
+            }
+            _ => panic!("returnflag should be dictionary encoded"),
+        }
+        match seg.column(6) {
+            bipie_columnstore::encoding::EncodedColumn::StrDict(d) => {
+                assert_eq!(d.dict(), &["F", "O"]);
+            }
+            _ => panic!("linestatus should be dictionary encoded"),
+        }
+        // shipdate within the generatable window.
+        let m = seg.meta(7);
+        assert!(m.min >= Date::from_ymd(1992, 1, 2).days() as i64);
+        assert!(m.max <= Date::from_ymd(1998, 12, 1).days() as i64);
+    }
+
+    #[test]
+    fn segmentation_respected() {
+        let t = generate_lineitem(0.002, 5000);
+        assert_eq!(t.num_rows(), 12_000);
+        assert!(t.segments().len() >= 2);
+        assert!(t.segments().iter().all(|s| s.num_rows() <= 5000));
+    }
+}

@@ -1,0 +1,241 @@
+//! TPC-H Query 1 on the BIPie engine (§6.3).
+//!
+//! ```sql
+//! SELECT l_returnflag, l_linestatus,
+//!        sum(l_quantity), sum(l_extendedprice),
+//!        sum(l_extendedprice * (1 - l_discount)),
+//!        sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)),
+//!        avg(l_quantity), avg(l_extendedprice), avg(l_discount), count(*)
+//! FROM lineitem
+//! WHERE l_shipdate <= date '1998-12-01' - interval '90' day
+//! GROUP BY l_returnflag, l_linestatus
+//! ORDER BY l_returnflag, l_linestatus;
+//! ```
+//!
+//! Decimal arithmetic happens in scaled integers: `1 - l_discount` becomes
+//! `100 - discount_hundredths`, so `disc_price` carries scale 4 and
+//! `charge` scale 6; the result formatter divides the sums back to decimal.
+//! The execution path mirrors the paper's description: the range filter
+//! compares encoded dates with SIMD, the two dictionary-encoded group
+//! columns combine into group ids 0..6 (metadata admits 6 groups even
+//! though 4 appear), the special group is the 7th, and the engine picks
+//! in-register counting plus multi-aggregate sums at runtime.
+
+use bipie_columnstore::{Date, Table, Value};
+use bipie_core::{
+    execute, AggExpr, EngineError, ExecStats, Expr, Predicate, Query, QueryBuilder, QueryOptions,
+};
+
+/// The Q1 filter cutoff: `DATE '1998-12-01' - INTERVAL '90' DAY`.
+pub fn q1_cutoff() -> Date {
+    Date::from_ymd(1998, 12, 1).plus_days(-90)
+}
+
+/// Build the Q1 query specification.
+pub fn q1_query(options: QueryOptions) -> Query {
+    let extprice = || Expr::col("l_extendedprice");
+    // (1 - l_discount) at scale 2 => (100 - discount_hundredths).
+    let one_minus_disc = || Expr::lit(100).sub(Expr::col("l_discount"));
+    // (1 + l_tax) at scale 2 => (100 + tax_hundredths).
+    let one_plus_tax = || Expr::lit(100).add(Expr::col("l_tax"));
+
+    let mut builder = QueryBuilder::new()
+        .filter(Predicate::le("l_shipdate", Value::Date(q1_cutoff())))
+        .group_by("l_returnflag")
+        .group_by("l_linestatus")
+        .aggregate(AggExpr::sum("l_quantity"))
+        .aggregate(AggExpr::sum("l_extendedprice"))
+        .aggregate(AggExpr::sum_expr(extprice().mul(one_minus_disc())))
+        .aggregate(AggExpr::sum_expr(extprice().mul(one_minus_disc()).mul(one_plus_tax())))
+        .aggregate(AggExpr::avg("l_quantity"))
+        .aggregate(AggExpr::avg("l_extendedprice"))
+        .aggregate(AggExpr::avg("l_discount"))
+        .aggregate(AggExpr::count_star());
+    builder = builder.options(options);
+    builder.build()
+}
+
+/// One formatted Q1 result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Q1Row {
+    /// `l_returnflag` value.
+    pub returnflag: String,
+    /// `l_linestatus` value.
+    pub linestatus: String,
+    /// `sum(l_quantity)`.
+    pub sum_qty: i64,
+    /// `sum(l_extendedprice)` in dollars.
+    pub sum_base_price: f64,
+    /// `sum(l_extendedprice * (1 - l_discount))` in dollars.
+    pub sum_disc_price: f64,
+    /// `sum(l_extendedprice * (1 - l_discount) * (1 + l_tax))` in dollars.
+    pub sum_charge: f64,
+    /// `avg(l_quantity)`.
+    pub avg_qty: f64,
+    /// `avg(l_extendedprice)` in dollars.
+    pub avg_price: f64,
+    /// `avg(l_discount)` as a fraction.
+    pub avg_disc: f64,
+    /// `count(*)`.
+    pub count_order: u64,
+}
+
+/// Run Q1 and convert scaled-integer sums to decimal values.
+pub fn run_q1(table: &Table, options: QueryOptions) -> Result<(Vec<Q1Row>, ExecStats), EngineError> {
+    let query = q1_query(options);
+    let result = execute(table, &query)?;
+    let rows = result
+        .rows
+        .iter()
+        .map(|r| {
+            let key_str = |i: usize| match &r.keys[i] {
+                Value::Str(s) => s.clone(),
+                other => other.to_string(),
+            };
+            Q1Row {
+                returnflag: key_str(0),
+                linestatus: key_str(1),
+                sum_qty: r.aggs[0].as_sum().expect("sum"),
+                // scale 2 -> dollars
+                sum_base_price: r.aggs[1].as_sum().expect("sum") as f64 / 100.0,
+                // scale 4 -> dollars
+                sum_disc_price: r.aggs[2].as_sum().expect("sum") as f64 / 10_000.0,
+                // scale 6 -> dollars
+                sum_charge: r.aggs[3].as_sum().expect("sum") as f64 / 1_000_000.0,
+                avg_qty: r.aggs[4].as_f64(),
+                avg_price: r.aggs[5].as_f64() / 100.0,
+                avg_disc: r.aggs[6].as_f64() / 100.0,
+                count_order: r.aggs[7].as_count().expect("count"),
+            }
+        })
+        .collect();
+    Ok((rows, result.stats))
+}
+
+/// Render Q1 rows the way the TPC-H answer set prints them.
+pub fn format_q1(rows: &[Q1Row]) -> String {
+    let mut out = String::from(
+        "l_returnflag | l_linestatus | sum_qty | sum_base_price | sum_disc_price | sum_charge | avg_qty | avg_price | avg_disc | count_order\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{} | {} | {} | {:.2} | {:.4} | {:.6} | {:.2} | {:.2} | {:.2} | {}\n",
+            r.returnflag,
+            r.linestatus,
+            r.sum_qty,
+            r.sum_base_price,
+            r.sum_disc_price,
+            r.sum_charge,
+            r.avg_qty,
+            r.avg_price,
+            r.avg_disc,
+            r.count_order
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineitem::LineItemGen;
+    use bipie_core::reference::execute_reference;
+    use bipie_core::{AggStrategy, SelectionStrategy};
+
+    fn small_table() -> Table {
+        LineItemGen { scale_factor: 0.005, segment_rows: 10_000, ..Default::default() }.generate()
+    }
+
+    #[test]
+    fn q1_matches_reference_executor() {
+        let t = small_table();
+        let q = q1_query(QueryOptions::default());
+        let fast = execute(&t, &q).unwrap();
+        let slow = execute_reference(&t, &q).unwrap();
+        assert_eq!(fast.rows.len(), 4, "Q1 outputs four groups");
+        assert_eq!(fast.rows, slow.rows);
+    }
+
+    #[test]
+    fn q1_shapes_and_selectivity() {
+        let t = small_table();
+        let (rows, stats) = run_q1(&t, QueryOptions::default()).unwrap();
+        assert_eq!(rows.len(), 4);
+        // Groups come back ordered: (A,F), (N,F), (N,O), (R,F).
+        let keys: Vec<(String, String)> =
+            rows.iter().map(|r| (r.returnflag.clone(), r.linestatus.clone())).collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("A".into(), "F".into()),
+                ("N".into(), "F".into()),
+                ("N".into(), "O".into()),
+                ("R".into(), "F".into()),
+            ]
+        );
+        // ~98% of rows pass the filter (paper: "selecting 98% of the rows").
+        let selected: u64 = rows.iter().map(|r| r.count_order).sum();
+        let fraction = selected as f64 / t.num_rows() as f64;
+        assert!((0.95..1.0).contains(&fraction), "selectivity {fraction}");
+        // Near-full selectivity should drive special-group selection.
+        assert!(
+            stats.selection_count(SelectionStrategy::SpecialGroup) > 0,
+            "stats: {stats:?}"
+        );
+        // Aggregate invariants.
+        for r in &rows {
+            assert!(r.sum_disc_price < r.sum_base_price, "discount reduces price");
+            assert!(r.sum_charge > r.sum_disc_price, "tax increases charge");
+            assert!((0.0..=0.10).contains(&r.avg_disc));
+            assert!((1.0..=50.0).contains(&r.avg_qty));
+            let expected_avg = r.sum_base_price / r.count_order as f64;
+            assert!((r.avg_price - expected_avg).abs() / expected_avg < 1e-9);
+        }
+    }
+
+    #[test]
+    fn q1_identical_across_forced_strategies() {
+        let t = small_table();
+        let baseline = run_q1(&t, QueryOptions::default()).unwrap().0;
+        for agg in AggStrategy::ALL {
+            for sel in SelectionStrategy::ALL {
+                let opts = QueryOptions {
+                    forced_agg: Some(agg),
+                    forced_selection: Some(sel),
+                    ..Default::default()
+                };
+                let rows = run_q1(&t, opts).unwrap().0;
+                assert_eq!(rows, baseline, "{agg:?}+{sel:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn q1_plans_five_distinct_sums() {
+        // AVG(qty)/AVG(price) dedupe into SUM slots and AVG(discount) adds
+        // one more: five distinct sum expressions, which is exactly what
+        // fits the 32-byte multi-aggregate row (§6.3: "All five calculated
+        // sums can be updated for a single row in one load-add-store").
+        let t = LineItemGen { scale_factor: 0.001, ..Default::default() }.generate();
+        let (_, stats) = run_q1(&t, QueryOptions::default()).unwrap();
+        assert_eq!(stats.agg_count(AggStrategy::MultiAggregate), stats.segments_scanned);
+    }
+
+    #[test]
+    fn format_is_stable() {
+        let rows = vec![Q1Row {
+            returnflag: "A".into(),
+            linestatus: "F".into(),
+            sum_qty: 100,
+            sum_base_price: 1234.5,
+            sum_disc_price: 1200.25,
+            sum_charge: 1250.125,
+            avg_qty: 25.5,
+            avg_price: 300.125,
+            avg_disc: 0.05,
+            count_order: 4,
+        }];
+        let s = format_q1(&rows);
+        assert!(s.contains("A | F | 100 | 1234.50 | 1200.2500 | 1250.125000 | 25.50"));
+    }
+}

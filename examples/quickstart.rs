@@ -1,0 +1,54 @@
+//! Quickstart: build a small columnstore table and run a filtered,
+//! grouped aggregation through the BIPie engine.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bipie::columnstore::{ColumnSpec, LogicalType, TableBuilder, Value};
+use bipie::core::{execute, AggExpr, Expr, Predicate, QueryBuilder};
+
+fn main() {
+    // A tiny sales table: region (low-cardinality string), units, and a
+    // price in cents.
+    let mut builder = TableBuilder::new(vec![
+        ColumnSpec::new("region", LogicalType::Str),
+        ColumnSpec::new("units", LogicalType::I64),
+        ColumnSpec::new("price", LogicalType::Decimal),
+    ]);
+    let regions = ["north", "south", "east", "west"];
+    for i in 0..100_000i64 {
+        builder.push_row(vec![
+            Value::Str(regions[(i % 4) as usize].to_string()),
+            Value::I64(i % 7 + 1),
+            Value::Decimal(1000 + (i * 37) % 9000), // $10.00 .. $99.99
+        ]);
+    }
+    let table = builder.finish();
+
+    // SELECT region, count(*), sum(units), sum(units * price)
+    // FROM sales WHERE units >= 3 GROUP BY region;
+    let query = QueryBuilder::new()
+        .filter(Predicate::ge("units", Value::I64(3)))
+        .group_by("region")
+        .aggregate(AggExpr::count_star())
+        .aggregate(AggExpr::sum("units"))
+        .aggregate(AggExpr::sum_expr(Expr::col("units").mul(Expr::col("price"))))
+        .build();
+
+    let result = execute(&table, &query).expect("query runs");
+
+    println!("region | count | sum(units) | revenue");
+    println!("-------+-------+------------+---------");
+    for row in &result.rows {
+        let revenue_cents = row.aggs[2].as_sum().unwrap();
+        println!(
+            "{:6} | {:5} | {:10} | ${:.2}",
+            row.keys[0],
+            row.aggs[0].as_count().unwrap(),
+            row.aggs[1].as_sum().unwrap(),
+            revenue_cents as f64 / 100.0,
+        );
+    }
+    println!("\nexecution stats: {:?}", result.stats);
+}

@@ -1,0 +1,55 @@
+//! TPC-H Query 1 end to end (§6.3 of the paper): generate LINEITEM at a
+//! small scale factor, run Q1 through the BIPie engine, and show both the
+//! answer and which specialized operators the engine picked at runtime.
+//!
+//! ```sh
+//! cargo run --release --example tpch_q1            # SF 0.05
+//! BIPIE_TPCH_SF=0.5 cargo run --release --example tpch_q1
+//! ```
+
+use bipie::core::{AggStrategy, QueryOptions, SelectionStrategy};
+use bipie::tpch::{format_q1, run_q1, LineItemGen};
+use std::time::Instant;
+
+fn main() {
+    let sf: f64 =
+        std::env::var("BIPIE_TPCH_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.05);
+
+    println!("generating LINEITEM at scale factor {sf} ...");
+    let t0 = Instant::now();
+    let table = LineItemGen { scale_factor: sf, ..Default::default() }.generate();
+    println!(
+        "  {} rows in {} segment(s), {:.1} MB encoded, built in {:.2?}",
+        table.num_rows(),
+        table.segments().len(),
+        table.segments().iter().map(|s| s.encoded_bytes()).sum::<usize>() as f64 / 1e6,
+        t0.elapsed()
+    );
+
+    let t0 = Instant::now();
+    let (rows, stats) = run_q1(&table, QueryOptions::default()).expect("Q1 runs");
+    let elapsed = t0.elapsed();
+
+    println!("\n{}", format_q1(&rows));
+    println!("executed in {elapsed:.2?}");
+    println!(
+        "  {} batches over {} segments ({} eliminated), {} rows",
+        stats.batches, stats.segments_scanned, stats.segments_eliminated, stats.rows_scanned
+    );
+    println!("  selection strategies used per batch:");
+    for s in SelectionStrategy::ALL {
+        println!("    {:13} {:6}", s.label(), stats.selection_count(s));
+    }
+    println!("  aggregation strategies used per segment:");
+    for a in AggStrategy::ALL {
+        println!("    {:13} {:6}", a.label(), stats.agg_count(a));
+    }
+    println!(
+        "\nThe paper's Q1 plan (§6.3): filter evaluated with SIMD date compares, \
+         dictionary codes of the two group columns combined into ids 0..5, the \
+         special (7th) group absorbing filtered rows, in-register COUNT, and \
+         multi-aggregate SUM updating all five sums per row in one \
+         load-add-store. The stats above show this engine making the same \
+         choices."
+    );
+}

@@ -1,0 +1,199 @@
+//! Property-based tests over the columnstore substrate: every encoding
+//! round-trips arbitrary values, the automatic chooser never loses data,
+//! segment metadata brackets the true value range, and table building /
+//! flushing / deleting preserves row-level contents.
+
+use bipie::columnstore::encoding::{encode_ints, EncodedColumn, EncodingHint};
+use bipie::columnstore::{
+    ColumnSpec, Date, DeletedBitmap, LogicalType, Table, TableBuilder, Value,
+};
+use proptest::prelude::*;
+
+fn arb_hint() -> impl Strategy<Value = EncodingHint> {
+    prop_oneof![
+        Just(EncodingHint::Auto),
+        Just(EncodingHint::BitPack),
+        Just(EncodingHint::Dict),
+        Just(EncodingHint::Rle),
+        Just(EncodingHint::Delta),
+    ]
+}
+
+/// Value pools that exercise different encoding sweet spots.
+fn arb_values() -> impl Strategy<Value = Vec<i64>> {
+    prop_oneof![
+        // dense small domain (dict / bitpack)
+        prop::collection::vec(-5i64..5, 0..400),
+        // long runs (RLE)
+        prop::collection::vec((0i64..4, 1usize..50), 0..20).prop_map(|runs| {
+            runs.into_iter().flat_map(|(v, n)| std::iter::repeat_n(v * 1_000_000, n)).collect()
+        }),
+        // sorted wide values (delta)
+        prop::collection::vec(0i64..1000, 0..400).prop_map(|mut v| {
+            v.sort_unstable();
+            v.iter().scan(1_000_000_000i64, |acc, d| {
+                *acc += d;
+                Some(*acc)
+            })
+            .collect()
+        }),
+        // full-range values
+        prop::collection::vec(any::<i64>(), 0..200),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn every_encoding_roundtrips(values in arb_values(), hint in arb_hint()) {
+        // Delta estimation opts out on pathological ranges; forced delta
+        // still must roundtrip via wrapping arithmetic.
+        let col = encode_ints(&values, hint);
+        prop_assert_eq!(col.len(), values.len());
+        let mut out = vec![0i64; values.len()];
+        col.decode_i64_into(0, &mut out);
+        prop_assert_eq!(&out, &values);
+        // Random sub-ranges decode identically.
+        if values.len() > 3 {
+            let start = values.len() / 3;
+            let n = (values.len() - start).min(7);
+            let mut out = vec![0i64; n];
+            col.decode_i64_into(start, &mut out);
+            prop_assert_eq!(&out[..], &values[start..start + n]);
+        }
+    }
+
+    #[test]
+    fn auto_choice_never_beats_forced_sizes(values in arb_values()) {
+        // The chooser's pick is at most as large as every candidate it
+        // considered (bitpack always among them).
+        let auto = encode_ints(&values, EncodingHint::Auto);
+        let bitpack = encode_ints(&values, EncodingHint::BitPack);
+        prop_assert!(auto.encoded_bytes() <= bitpack.encoded_bytes());
+    }
+
+    #[test]
+    fn segment_metadata_brackets_values(values in arb_values(), hint in arb_hint()) {
+        use bipie::columnstore::segment::{ColumnData, Segment};
+        prop_assume!(!values.is_empty());
+        let seg = Segment::build(vec![ColumnData::Ints(values.clone())], &[hint]);
+        let meta = seg.meta(0);
+        let (lo, hi) = (
+            *values.iter().min().unwrap(),
+            *values.iter().max().unwrap(),
+        );
+        prop_assert_eq!(meta.min, lo);
+        prop_assert_eq!(meta.max, hi);
+        let distinct = {
+            let mut v = values.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        prop_assert!(meta.distinct_upper >= distinct, "upper bound must hold");
+    }
+
+    #[test]
+    fn table_roundtrip_with_flush_boundaries(
+        rows in prop::collection::vec((0u8..4, -100i64..100), 0..300),
+        segment_rows in 1usize..60,
+    ) {
+        let mut b = TableBuilder::with_segment_rows(
+            vec![
+                ColumnSpec::new("g", LogicalType::Str),
+                ColumnSpec::new("v", LogicalType::I64),
+            ],
+            segment_rows,
+        );
+        let names = ["w", "x", "y", "z"];
+        for &(g, v) in &rows {
+            b.push_row(vec![Value::Str(names[g as usize].into()), Value::I64(v)]);
+        }
+        let t = b.finish();
+        prop_assert_eq!(t.num_rows(), rows.len());
+        // Row order is preserved across segment boundaries.
+        let mut idx = 0usize;
+        for seg in t.segments() {
+            prop_assert!(seg.num_rows() <= segment_rows);
+            for r in 0..seg.num_rows() {
+                let (g, v) = rows[idx];
+                prop_assert_eq!(seg.column(1).get_i64(r), v);
+                match seg.column(0) {
+                    EncodedColumn::StrDict(d) => {
+                        prop_assert_eq!(d.get(r), names[g as usize])
+                    }
+                    other => prop_assert!(false, "strings must dict-encode, got {:?}", other.encoding()),
+                }
+                idx += 1;
+            }
+        }
+        prop_assert_eq!(idx, rows.len());
+    }
+
+    #[test]
+    fn deleted_bitmap_matches_model(len in 1usize..500, dels in prop::collection::vec(0usize..500, 0..40)) {
+        let mut bm = DeletedBitmap::new(len);
+        let mut model = vec![false; len];
+        for &d in &dels {
+            if d < len {
+                bm.delete(d);
+                model[d] = true;
+            }
+        }
+        prop_assert_eq!(bm.deleted_count(), model.iter().filter(|&&b| b).count());
+        for (i, &m) in model.iter().enumerate() {
+            prop_assert_eq!(bm.is_deleted(i), m);
+        }
+        // Masking a batch zeroes exactly the deleted positions.
+        let mut sel = vec![0xFFu8; len];
+        bm.mask_batch(0, &mut sel);
+        for (i, &m) in model.iter().enumerate() {
+            prop_assert_eq!(sel[i] == 0, m, "row {}", i);
+        }
+    }
+
+    #[test]
+    fn date_ymd_roundtrip(days in -200_000i32..200_000) {
+        let d = Date(days);
+        let (y, m, dd) = d.to_ymd();
+        prop_assert_eq!(Date::from_ymd(y, m, dd), d);
+    }
+}
+
+#[test]
+fn mutable_flush_is_equivalent_to_bulk_load() {
+    let specs = || {
+        vec![
+            ColumnSpec::new("g", LogicalType::Str),
+            ColumnSpec::new("v", LogicalType::I64),
+        ]
+    };
+    let rows: Vec<(usize, i64)> = (0..500).map(|i| (i % 3, (i * 17 % 97) as i64)).collect();
+
+    let mut bulk = TableBuilder::with_segment_rows(specs(), 100);
+    let mut incremental = Table::with_segment_rows(specs(), 100);
+    for &(g, v) in &rows {
+        let row = vec![Value::Str(["a", "b", "c"][g].into()), Value::I64(v)];
+        bulk.push_row(row.clone());
+        incremental.insert(row);
+    }
+    let bulk = bulk.finish();
+    incremental.flush_mutable();
+
+    // Identical logical contents row by row, independent of flush timing.
+    let read_all = |t: &Table| -> Vec<(String, i64)> {
+        let mut out = Vec::new();
+        for seg in t.segments() {
+            for r in 0..seg.num_rows() {
+                let g = match seg.column(0) {
+                    EncodedColumn::StrDict(d) => d.get(r).to_string(),
+                    _ => unreachable!(),
+                };
+                out.push((g, seg.column(1).get_i64(r)));
+            }
+        }
+        out
+    };
+    assert_eq!(read_all(&bulk), read_all(&incremental));
+}

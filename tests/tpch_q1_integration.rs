@@ -1,0 +1,112 @@
+//! Cross-crate integration around TPC-H Query 1 (§6.3): the engine's Q1
+//! answers equal the row-at-a-time reference, stay identical under every
+//! forced strategy pairing and SIMD level, and the paper's execution-plan
+//! claims (segment elimination, special-group selection, multi-aggregate
+//! sums) are observable in the stats.
+
+use bipie::columnstore::{Date, Value};
+use bipie::core::reference::execute_reference;
+use bipie::core::{
+    execute, AggStrategy, Predicate, QueryBuilder, QueryOptions, SelectionStrategy,
+};
+use bipie::tpch::{q1_cutoff, q1_query, run_q1, LineItemGen};
+
+fn small_lineitem() -> bipie::columnstore::Table {
+    LineItemGen { scale_factor: 0.004, segment_rows: 6000, ..Default::default() }.generate()
+}
+
+#[test]
+fn q1_engine_equals_reference_multi_segment() {
+    let table = small_lineitem();
+    assert!(table.segments().len() >= 3, "want a multi-segment table");
+    let query = q1_query(QueryOptions::default());
+    let fast = execute(&table, &query).unwrap();
+    let slow = execute_reference(&table, &query).unwrap();
+    assert_eq!(fast.rows, slow.rows);
+    assert_eq!(fast.num_rows(), 4);
+}
+
+#[test]
+fn q1_invariant_across_all_strategies_and_levels() {
+    use bipie::toolbox::SimdLevel;
+    let table = small_lineitem();
+    let baseline = run_q1(&table, QueryOptions::default()).unwrap().0;
+    for agg in AggStrategy::ALL {
+        for sel in SelectionStrategy::ALL {
+            for level in SimdLevel::available() {
+                let options = QueryOptions {
+                    forced_agg: Some(agg),
+                    forced_selection: Some(sel),
+                    level,
+                    parallel: false,
+                    ..Default::default()
+                };
+                let rows = run_q1(&table, options).unwrap().0;
+                assert_eq!(rows, baseline, "{agg:?}+{sel:?}@{level}");
+            }
+        }
+    }
+}
+
+#[test]
+fn q1_plan_matches_paper_description() {
+    let table = small_lineitem();
+    let (_, stats) = run_q1(&table, QueryOptions::default()).unwrap();
+    // 98% selectivity -> special-group selection everywhere.
+    assert_eq!(
+        stats.selection_count(SelectionStrategy::SpecialGroup),
+        stats.batches,
+        "{stats:?}"
+    );
+    // Five distinct sums of mixed widths -> multi-aggregate on every segment.
+    assert_eq!(
+        stats.agg_count(AggStrategy::MultiAggregate),
+        stats.segments_scanned,
+        "{stats:?}"
+    );
+    assert_eq!(stats.wide_group_segments, 0, "dict codes keep the narrow path");
+}
+
+#[test]
+fn date_segment_elimination() {
+    // A predicate before any generated shipdate eliminates all segments.
+    let table = small_lineitem();
+    let q = QueryBuilder::new()
+        .filter(Predicate::lt(
+            "l_shipdate",
+            Value::Date(Date::from_ymd(1990, 1, 1)),
+        ))
+        .group_by("l_returnflag")
+        .aggregate(bipie::core::AggExpr::count_star())
+        .build();
+    let r = execute(&table, &q).unwrap();
+    assert_eq!(r.num_rows(), 0);
+    assert_eq!(r.stats.segments_scanned, 0);
+    assert!(r.stats.segments_eliminated >= 3);
+}
+
+#[test]
+fn q1_cutoff_is_the_spec_date() {
+    assert_eq!(q1_cutoff(), Date::from_ymd(1998, 9, 2));
+}
+
+#[test]
+fn q1_totals_are_scale_consistent() {
+    // Doubling the scale factor roughly doubles counts (same distributions).
+    let t1 = LineItemGen { scale_factor: 0.002, ..Default::default() }.generate();
+    let t2 = LineItemGen { scale_factor: 0.004, ..Default::default() }.generate();
+    let c1: u64 = run_q1(&t1, QueryOptions::default())
+        .unwrap()
+        .0
+        .iter()
+        .map(|r| r.count_order)
+        .sum();
+    let c2: u64 = run_q1(&t2, QueryOptions::default())
+        .unwrap()
+        .0
+        .iter()
+        .map(|r| r.count_order)
+        .sum();
+    let ratio = c2 as f64 / c1 as f64;
+    assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
+}
