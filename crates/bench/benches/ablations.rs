@@ -8,114 +8,96 @@
 //!   counting pass (§5.2);
 //! * smallest-word unpacking (§2.2): aggregating 7-bit values as u8 lanes
 //!   vs needlessly widening them to u32 lanes.
+//!
+//! Runs on the `bipie-metrics` median-of-N harness (`cargo bench -p
+//! bipie-bench --bench ablations`).
 
-use bipie_bench::{gen_gids, gen_packed, gen_values_u8};
+use bipie_bench::{bench_opts, gen_gids, gen_packed, gen_values_u8, report};
+use bipie_metrics::measure_cycles_per_row;
 use bipie_toolbox::agg::sort_based::{bucket_sort, bucket_sort_single_counter, SortedBatch};
 use bipie_toolbox::agg::{in_register, scalar};
 use bipie_toolbox::SimdLevel;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 const ROWS: usize = 1 << 20;
 
-fn ablation_simd(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_simd_unpack14");
-    g.throughput(Throughput::Elements(ROWS as u64));
+fn ablation_simd() {
     let pv = gen_packed(ROWS, 14, 5);
     let mut out = vec![0u16; ROWS];
     for level in SimdLevel::available() {
-        g.bench_function(level.to_string(), |b| {
-            b.iter(|| {
-                pv.unpack_into_u16(0, &mut out, level);
-                std::hint::black_box(&out);
-            })
+        let m = measure_cycles_per_row(ROWS, bench_opts(), || {
+            pv.unpack_into_u16(0, &mut out, level);
+            std::hint::black_box(&out);
         });
+        report("ablation_simd_unpack14", &level.to_string(), &m);
     }
-    g.finish();
 }
 
-fn ablation_conflict(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_accumulator_conflicts");
-    g.throughput(Throughput::Elements(ROWS as u64));
+fn ablation_conflict() {
     // Two groups, long same-group runs: worst case for a single array.
     let gids: Vec<u8> = (0..ROWS).map(|i| ((i / 64) % 2) as u8).collect();
     let mut counts = vec![0u64; 2];
-    g.bench_function("single_array_skewed", |b| {
-        b.iter(|| {
-            counts.iter_mut().for_each(|c| *c = 0);
-            scalar::count_single_array(std::hint::black_box(&gids), &mut counts);
-            std::hint::black_box(&counts);
-        })
+    let m = measure_cycles_per_row(ROWS, bench_opts(), || {
+        counts.iter_mut().for_each(|c| *c = 0);
+        scalar::count_single_array(std::hint::black_box(&gids), &mut counts);
+        std::hint::black_box(&counts);
     });
-    g.bench_function("four_arrays_skewed", |b| {
-        b.iter(|| {
-            counts.iter_mut().for_each(|c| *c = 0);
-            scalar::count_multi_array::<4>(std::hint::black_box(&gids), &mut counts);
-            std::hint::black_box(&counts);
-        })
+    report("ablation_accumulator_conflicts", "single_array_skewed", &m);
+    let m = measure_cycles_per_row(ROWS, bench_opts(), || {
+        counts.iter_mut().for_each(|c| *c = 0);
+        scalar::count_multi_array::<4>(std::hint::black_box(&gids), &mut counts);
+        std::hint::black_box(&counts);
     });
-    g.finish();
+    report("ablation_accumulator_conflicts", "four_arrays_skewed", &m);
 }
 
-fn ablation_bucket_counters(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_bucket_sort_counters");
-    g.throughput(Throughput::Elements(ROWS as u64));
+fn ablation_bucket_counters() {
     let gids = gen_gids(ROWS, 4, 9);
     let mut sorted = SortedBatch::default();
-    g.bench_function("even_odd_counters", |b| {
-        b.iter(|| {
-            let mut start = 0;
-            while start < ROWS {
-                let len = 4096.min(ROWS - start);
-                bucket_sort(&gids[start..start + len], None, 4, &mut sorted);
-                start += len;
-            }
-            std::hint::black_box(&sorted.offsets);
-        })
+    let m = measure_cycles_per_row(ROWS, bench_opts(), || {
+        let mut start = 0;
+        while start < ROWS {
+            let len = 4096.min(ROWS - start);
+            bucket_sort(&gids[start..start + len], None, 4, &mut sorted);
+            start += len;
+        }
+        std::hint::black_box(&sorted.offsets);
     });
-    g.bench_function("single_counter", |b| {
-        b.iter(|| {
-            let mut start = 0;
-            while start < ROWS {
-                let len = 4096.min(ROWS - start);
-                bucket_sort_single_counter(&gids[start..start + len], None, 4, &mut sorted);
-                start += len;
-            }
-            std::hint::black_box(&sorted.offsets);
-        })
+    report("ablation_bucket_sort_counters", "even_odd_counters", &m);
+    let m = measure_cycles_per_row(ROWS, bench_opts(), || {
+        let mut start = 0;
+        while start < ROWS {
+            let len = 4096.min(ROWS - start);
+            bucket_sort_single_counter(&gids[start..start + len], None, 4, &mut sorted);
+            start += len;
+        }
+        std::hint::black_box(&sorted.offsets);
     });
-    g.finish();
+    report("ablation_bucket_sort_counters", "single_counter", &m);
 }
 
-fn ablation_smallest_word(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_smallest_word_sum7bit");
-    g.throughput(Throughput::Elements(ROWS as u64));
+fn ablation_smallest_word() {
     let level = SimdLevel::detect();
     let gids = gen_gids(ROWS, 8, 3);
     let v8 = gen_values_u8(ROWS, 7, 4);
     let v32: Vec<u32> = v8.iter().map(|&v| v as u32).collect();
     let mut sums = vec![0i64; 8];
-    g.bench_function("u8_lanes", |b| {
-        b.iter(|| {
-            sums.iter_mut().for_each(|s| *s = 0);
-            in_register::sum_u8(std::hint::black_box(&gids), &v8, 8, &mut sums, level);
-            std::hint::black_box(&sums);
-        })
+    let m = measure_cycles_per_row(ROWS, bench_opts(), || {
+        sums.iter_mut().for_each(|s| *s = 0);
+        in_register::sum_u8(std::hint::black_box(&gids), &v8, 8, &mut sums, level);
+        std::hint::black_box(&sums);
     });
-    g.bench_function("u32_lanes_widened", |b| {
-        b.iter(|| {
-            sums.iter_mut().for_each(|s| *s = 0);
-            in_register::sum_u32(std::hint::black_box(&gids), &v32, 8, &mut sums, 127, level);
-            std::hint::black_box(&sums);
-        })
+    report("ablation_smallest_word_sum7bit", "u8_lanes", &m);
+    let m = measure_cycles_per_row(ROWS, bench_opts(), || {
+        sums.iter_mut().for_each(|s| *s = 0);
+        in_register::sum_u32(std::hint::black_box(&gids), &v32, 8, &mut sums, 127, level);
+        std::hint::black_box(&sums);
     });
-    g.finish();
+    report("ablation_smallest_word_sum7bit", "u32_lanes_widened", &m);
 }
 
-criterion_group!(
-    benches,
-    ablation_simd,
-    ablation_conflict,
-    ablation_bucket_counters,
-    ablation_smallest_word
-);
-criterion_main!(benches);
+fn main() {
+    ablation_simd();
+    ablation_conflict();
+    ablation_bucket_counters();
+    ablation_smallest_word();
+}

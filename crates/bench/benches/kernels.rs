@@ -1,133 +1,102 @@
-//! Criterion micro-benchmarks for the Vector Toolbox kernels: bit
-//! unpacking, comparisons, compaction, gather, and special-group
-//! assignment. These complement the paper-table binaries with
-//! statistically robust regression tracking.
+//! Micro-benchmarks for the Vector Toolbox kernels: bit unpacking,
+//! comparisons, compaction, gather, and special-group assignment. These
+//! complement the paper-table binaries with quick regression tracking.
+//!
+//! Runs on the `bipie-metrics` median-of-N harness (`cargo bench -p
+//! bipie-bench --bench kernels`); `BIPIE_BENCH_RUNS` controls repetitions.
 
-use bipie_bench::{gen_gids, gen_packed, gen_selection};
+use bipie_bench::{bench_opts, gen_gids, gen_packed, gen_selection, report};
+use bipie_metrics::measure_cycles_per_row;
 use bipie_toolbox::cmp::{cmp_u32, CmpOp};
 use bipie_toolbox::select::{compact, gather, special_group};
 use bipie_toolbox::selvec::SelIndexVec;
 use bipie_toolbox::SimdLevel;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const ROWS: usize = 1 << 20;
 
-fn bench_unpack(c: &mut Criterion) {
-    let mut g = c.benchmark_group("unpack_u32");
-    g.throughput(Throughput::Elements(ROWS as u64));
+fn bench_unpack() {
     for bits in [4u8, 7, 14, 21] {
         let pv = gen_packed(ROWS, bits, bits as u64);
         let mut out = vec![0u32; ROWS];
         for level in SimdLevel::available() {
-            g.bench_with_input(
-                BenchmarkId::new(level.to_string(), bits),
-                &bits,
-                |b, _| {
-                    b.iter(|| {
-                        pv.unpack_into_u32(0, &mut out, level);
-                        std::hint::black_box(&out);
-                    })
-                },
-            );
+            let m = measure_cycles_per_row(ROWS, bench_opts(), || {
+                pv.unpack_into_u32(0, &mut out, level);
+                std::hint::black_box(&out);
+            });
+            report("unpack_u32", &format!("{bits}bit/{level}"), &m);
         }
     }
-    g.finish();
 }
 
-fn bench_cmp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cmp_u32_le");
-    g.throughput(Throughput::Elements(ROWS as u64));
+fn bench_cmp() {
     let data: Vec<u32> = (0..ROWS as u32).map(|i| i.wrapping_mul(2654435761)).collect();
     let mut out = vec![0u8; ROWS];
     for level in SimdLevel::available() {
-        g.bench_function(level.to_string(), |b| {
-            b.iter(|| {
-                cmp_u32(std::hint::black_box(&data), CmpOp::Le, u32::MAX / 2, &mut out, level);
-                std::hint::black_box(&out);
-            })
+        let m = measure_cycles_per_row(ROWS, bench_opts(), || {
+            cmp_u32(std::hint::black_box(&data), CmpOp::Le, u32::MAX / 2, &mut out, level);
+            std::hint::black_box(&out);
         });
+        report("cmp_u32_le", &level.to_string(), &m);
     }
-    g.finish();
 }
 
-fn bench_compact(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compact");
-    g.throughput(Throughput::Elements(ROWS as u64));
+fn bench_compact() {
     let sel = gen_selection(ROWS, 0.5, 7);
     let data: Vec<u32> = (0..ROWS as u32).collect();
     for level in SimdLevel::available() {
         let mut iv = SelIndexVec::with_capacity(ROWS);
-        g.bench_function(format!("indices/{level}"), |b| {
-            b.iter(|| {
-                compact::compact_indices(std::hint::black_box(sel.as_bytes()), &mut iv, level);
-                std::hint::black_box(iv.len());
-            })
+        let m = measure_cycles_per_row(ROWS, bench_opts(), || {
+            compact::compact_indices(std::hint::black_box(sel.as_bytes()), &mut iv, level);
+            std::hint::black_box(iv.len());
         });
+        report("compact", &format!("indices/{level}"), &m);
         let mut out = Vec::with_capacity(ROWS);
-        g.bench_function(format!("physical_u32/{level}"), |b| {
-            b.iter(|| {
-                compact::compact_u32(std::hint::black_box(&data), sel.as_bytes(), &mut out, level);
-                std::hint::black_box(out.len());
-            })
+        let m = measure_cycles_per_row(ROWS, bench_opts(), || {
+            compact::compact_u32(std::hint::black_box(&data), sel.as_bytes(), &mut out, level);
+            std::hint::black_box(out.len());
         });
+        report("compact", &format!("physical_u32/{level}"), &m);
     }
-    g.finish();
 }
 
-fn bench_gather(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gather_unpack");
+fn bench_gather() {
     let pv = gen_packed(ROWS, 14, 3);
     let sel = gen_selection(ROWS, 0.1, 9);
     let mut iv = SelIndexVec::with_capacity(ROWS);
     compact::compact_indices(sel.as_bytes(), &mut iv, SimdLevel::detect());
-    let n = iv.len();
-    g.throughput(Throughput::Elements(ROWS as u64));
-    let mut out = vec![0u32; n];
+    let mut out = vec![0u32; iv.len()];
     for level in SimdLevel::available() {
-        g.bench_function(format!("14bit_sel10/{level}"), |b| {
-            b.iter(|| {
-                gather::gather_unpack_u32(
-                    &pv,
-                    std::hint::black_box(iv.as_slice()),
-                    &mut out,
-                    level,
-                );
-                std::hint::black_box(&out);
-            })
+        let m = measure_cycles_per_row(ROWS, bench_opts(), || {
+            gather::gather_unpack_u32(&pv, std::hint::black_box(iv.as_slice()), &mut out, level);
+            std::hint::black_box(&out);
         });
+        report("gather_unpack", &format!("14bit_sel10/{level}"), &m);
     }
-    g.finish();
 }
 
-fn bench_special_group(c: &mut Criterion) {
-    let mut g = c.benchmark_group("special_group_assign");
-    g.throughput(Throughput::Elements(ROWS as u64));
+fn bench_special_group() {
     let gids = gen_gids(ROWS, 6, 1);
     let sel = gen_selection(ROWS, 0.98, 2);
     let mut out = vec![0u8; ROWS];
     for level in SimdLevel::available() {
-        g.bench_function(level.to_string(), |b| {
-            b.iter(|| {
-                special_group::assign_special_group(
-                    std::hint::black_box(&gids),
-                    sel.as_bytes(),
-                    6,
-                    &mut out,
-                    level,
-                );
-                std::hint::black_box(&out);
-            })
+        let m = measure_cycles_per_row(ROWS, bench_opts(), || {
+            special_group::assign_special_group(
+                std::hint::black_box(&gids),
+                sel.as_bytes(),
+                6,
+                &mut out,
+                level,
+            );
+            std::hint::black_box(&out);
         });
+        report("special_group_assign", &level.to_string(), &m);
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_unpack,
-    bench_cmp,
-    bench_compact,
-    bench_gather,
-    bench_special_group
-);
-criterion_main!(benches);
+fn main() {
+    bench_unpack();
+    bench_cmp();
+    bench_compact();
+    bench_gather();
+    bench_special_group();
+}

@@ -1,103 +1,103 @@
-//! Criterion benchmarks for the four aggregation strategies (§5) on a
-//! common workload, plus the end-to-end engine with adaptive strategy
-//! selection — the regression-tracking counterpart to Figures 8–10.
+//! Benchmarks for the four aggregation strategies (§5) on a common
+//! workload, plus the end-to-end engine with adaptive strategy selection —
+//! the regression-tracking counterpart to Figures 8–10.
+//!
+//! Runs on the `bipie-metrics` median-of-N harness (`cargo bench -p
+//! bipie-bench --bench strategies`).
 
 use bipie_bench::{
-    gen_gids, gen_packed, gen_values_u32, strategy_matrix_query, strategy_matrix_table,
+    bench_opts, gen_gids, gen_packed, gen_values_u32, report, strategy_matrix_query,
+    strategy_matrix_table,
 };
 use bipie_core::{execute, AggStrategy, QueryOptions};
+use bipie_metrics::measure_cycles_per_row;
 use bipie_toolbox::agg::multi::{sum_multi, RowLayout};
 use bipie_toolbox::agg::sort_based::{bucket_sort, sum_sorted_packed, SortedBatch};
 use bipie_toolbox::agg::{in_register, scalar, ColRef};
 use bipie_toolbox::SimdLevel;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 const ROWS: usize = 1 << 20;
 const GROUPS: usize = 8;
 
-fn bench_agg_strategies(c: &mut Criterion) {
+fn bench_agg_strategies() {
     let level = SimdLevel::detect();
     let gids = gen_gids(ROWS, GROUPS, 1);
     let values = gen_values_u32(ROWS, 20, 2);
     let packed = gen_packed(ROWS, 20, 2);
-    let mut g = c.benchmark_group("agg_sum_8groups_20bit");
-    g.throughput(Throughput::Elements(ROWS as u64));
+    let group = "agg_sum_8groups_20bit";
 
     let mut sums = vec![0i64; GROUPS];
-    g.bench_function("scalar", |b| {
-        b.iter(|| {
-            sums.iter_mut().for_each(|s| *s = 0);
-            scalar::sum_single_array_u32(std::hint::black_box(&gids), &values, &mut sums);
-            std::hint::black_box(&sums);
-        })
+    let m = measure_cycles_per_row(ROWS, bench_opts(), || {
+        sums.iter_mut().for_each(|s| *s = 0);
+        scalar::sum_single_array_u32(std::hint::black_box(&gids), &values, &mut sums);
+        std::hint::black_box(&sums);
     });
-    g.bench_function("in_register", |b| {
-        b.iter(|| {
-            sums.iter_mut().for_each(|s| *s = 0);
-            in_register::sum_u32(
-                std::hint::black_box(&gids),
-                &values,
-                GROUPS,
-                &mut sums,
-                (1 << 20) - 1,
-                level,
-            );
-            std::hint::black_box(&sums);
-        })
+    report(group, "scalar", &m);
+
+    let m = measure_cycles_per_row(ROWS, bench_opts(), || {
+        sums.iter_mut().for_each(|s| *s = 0);
+        in_register::sum_u32(
+            std::hint::black_box(&gids),
+            &values,
+            GROUPS,
+            &mut sums,
+            (1 << 20) - 1,
+            level,
+        );
+        std::hint::black_box(&sums);
     });
-    g.bench_function("sort_based", |b| {
-        let mut sorted = SortedBatch::default();
-        b.iter(|| {
-            sums.iter_mut().for_each(|s| *s = 0);
-            let mut start = 0;
-            while start < ROWS {
-                let len = 4096.min(ROWS - start);
-                bucket_sort(&gids[start..start + len], None, GROUPS, &mut sorted);
-                sum_sorted_packed(&packed, &sorted, start as u32, &mut sums, level);
-                start += len;
-            }
-            std::hint::black_box(&sums);
-        })
+    report(group, "in_register", &m);
+
+    let mut sorted = SortedBatch::default();
+    let m = measure_cycles_per_row(ROWS, bench_opts(), || {
+        sums.iter_mut().for_each(|s| *s = 0);
+        let mut start = 0;
+        while start < ROWS {
+            let len = 4096.min(ROWS - start);
+            bucket_sort(&gids[start..start + len], None, GROUPS, &mut sorted);
+            sum_sorted_packed(&packed, &sorted, start as u32, &mut sums, level);
+            start += len;
+        }
+        std::hint::black_box(&sums);
     });
-    g.bench_function("multi_aggregate_x4", |b| {
-        let cols = [
-            ColRef::U32(&values),
-            ColRef::U32(&values),
-            ColRef::U32(&values),
-            ColRef::U32(&values),
-        ];
-        let layout = RowLayout::plan_for(&cols).unwrap();
-        let mut sums4 = vec![0i64; 4 * GROUPS];
-        b.iter(|| {
-            sums4.iter_mut().for_each(|s| *s = 0);
-            sum_multi(std::hint::black_box(&gids), &cols, &layout, GROUPS, &mut sums4, level);
-            std::hint::black_box(&sums4);
-        })
+    report(group, "sort_based", &m);
+
+    let cols =
+        [ColRef::U32(&values), ColRef::U32(&values), ColRef::U32(&values), ColRef::U32(&values)];
+    let layout = RowLayout::plan_for(&cols).unwrap();
+    let mut sums4 = vec![0i64; 4 * GROUPS];
+    let m = measure_cycles_per_row(ROWS, bench_opts(), || {
+        sums4.iter_mut().for_each(|s| *s = 0);
+        sum_multi(std::hint::black_box(&gids), &cols, &layout, GROUPS, &mut sums4, level);
+        std::hint::black_box(&sums4);
     });
-    g.finish();
+    report(group, "multi_aggregate_x4", &m);
 }
 
-fn bench_engine_adaptive(c: &mut Criterion) {
+fn bench_engine_adaptive() {
     let rows = 1 << 19;
     let table = strategy_matrix_table(rows, 8, 7, 3, 77);
-    let mut g = c.benchmark_group("engine_end_to_end");
-    g.throughput(Throughput::Elements(rows as u64));
+    let group = "engine_end_to_end";
     for sel in [0.1f64, 0.98] {
         let adaptive = strategy_matrix_query(3, sel, QueryOptions::default());
-        g.bench_function(format!("adaptive_sel{:.0}pct", sel * 100.0), |b| {
-            b.iter(|| std::hint::black_box(execute(&table, &adaptive).unwrap().num_rows()))
+        let m = measure_cycles_per_row(rows, bench_opts(), || {
+            std::hint::black_box(execute(&table, &adaptive).unwrap().num_rows());
         });
+        report(group, &format!("adaptive_sel{:.0}pct", sel * 100.0), &m);
+
         let forced_scalar = strategy_matrix_query(
             3,
             sel,
             QueryOptions { forced_agg: Some(AggStrategy::Scalar), ..Default::default() },
         );
-        g.bench_function(format!("forced_scalar_sel{:.0}pct", sel * 100.0), |b| {
-            b.iter(|| std::hint::black_box(execute(&table, &forced_scalar).unwrap().num_rows()))
+        let m = measure_cycles_per_row(rows, bench_opts(), || {
+            std::hint::black_box(execute(&table, &forced_scalar).unwrap().num_rows());
         });
+        report(group, &format!("forced_scalar_sel{:.0}pct", sel * 100.0), &m);
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_agg_strategies, bench_engine_adaptive);
-criterion_main!(benches);
+fn main() {
+    bench_agg_strategies();
+    bench_engine_adaptive();
+}

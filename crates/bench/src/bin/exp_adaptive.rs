@@ -7,7 +7,9 @@
 //! cycles/row next to the best and worst forced combination — adaptive
 //! should track the best and avoid the worst.
 
-use bipie_bench::{bench_opts, bench_rows, measure_cycles_per_row, strategy_matrix_query, strategy_matrix_table};
+use bipie_bench::{
+    bench_opts, bench_rows, measure_cycles_per_row, strategy_matrix_query, strategy_matrix_table,
+};
 use bipie_core::{execute, AggStrategy, QueryOptions, SelectionStrategy};
 use bipie_metrics::Table;
 
@@ -26,19 +28,15 @@ fn main() {
         ("single sum, no filter", 8, 7, 1, 1.0),
     ];
 
-    let mut table = Table::new(vec![
-        "workload",
-        "adaptive",
-        "best forced",
-        "worst forced",
-        "adaptive picked",
-    ]);
+    let mut table =
+        Table::new(vec!["workload", "adaptive", "best forced", "worst forced", "adaptive picked"]);
     for (label, groups, bits, sums, sel) in workloads {
         let t = strategy_matrix_table(rows, groups, bits, sums, 42);
-        let adaptive_q = strategy_matrix_query(sums, sel, QueryOptions {
-            parallel: false,
-            ..Default::default()
-        });
+        let adaptive_q = strategy_matrix_query(
+            sums,
+            sel,
+            QueryOptions { parallel: false, ..Default::default() },
+        );
         let mut picked = String::new();
         let adaptive = measure_cycles_per_row(rows, opts, || {
             let r = execute(&t, &adaptive_q).expect("runs");
@@ -74,12 +72,16 @@ fn main() {
                 ]
             };
             for &selection in selections {
-                let q = strategy_matrix_query(sums, sel, QueryOptions {
-                    forced_agg: Some(agg),
-                    forced_selection: selection,
-                    parallel: false,
-                    ..Default::default()
-                });
+                let q = strategy_matrix_query(
+                    sums,
+                    sel,
+                    QueryOptions {
+                        forced_agg: Some(agg),
+                        forced_selection: selection,
+                        parallel: false,
+                        ..Default::default()
+                    },
+                );
                 let m = measure_cycles_per_row(rows, opts, || {
                     std::hint::black_box(execute(&t, &q).expect("runs").num_rows());
                 });

@@ -10,8 +10,7 @@ use bipie_metrics::Table;
 use bipie_tpch::{run_q1, LineItemGen};
 
 fn main() {
-    let sf: f64 =
-        std::env::var("BIPIE_TPCH_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.1);
+    let sf: f64 = std::env::var("BIPIE_TPCH_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.1);
     let opts = bench_opts();
     println!("Batch-size ablation on TPC-H Q1, cycles/row");
     let table = LineItemGen { scale_factor: sf, ..Default::default() }.generate();

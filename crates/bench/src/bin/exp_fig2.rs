@@ -16,8 +16,7 @@ fn main() {
     println!("Figure 2: CPU cycles per row for scalar COUNT aggregation");
     println!("rows={rows} runs={} (paper: single-array 2.9 c/r @2 groups, 1.65 @6)\n", opts.runs);
 
-    let mut table =
-        Table::new(vec!["groups", "single array", "2 arrays", "4 arrays"]);
+    let mut table = Table::new(vec!["groups", "single array", "2 arrays", "4 arrays"]);
     for groups in [2usize, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64] {
         let gids = gen_gids(rows, groups, groups as u64);
         let mut counts = vec![0u64; groups];

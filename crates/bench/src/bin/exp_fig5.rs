@@ -26,14 +26,8 @@ fn main() {
     let v16 = gen_values_u16(rows, 16, 61);
     let v32 = gen_values_u32(rows, 28, 62);
 
-    let mut table = Table::new(vec![
-        "groups",
-        "count",
-        "sum 1B",
-        "sum 2B",
-        "sum 4B",
-        "scalar count (ref)",
-    ]);
+    let mut table =
+        Table::new(vec!["groups", "count", "sum 1B", "sum 2B", "sum 4B", "scalar count (ref)"]);
     for groups in [2usize, 4, 6, 8, 12, 16, 20, 24, 28, 32] {
         let gids = gen_gids(rows, groups, groups as u64);
         let mut counts = vec![0u64; groups];

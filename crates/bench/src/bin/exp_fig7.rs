@@ -27,8 +27,7 @@ fn main() {
     println!("Figure 7: selection with bit unpacking — gather vs compact, cycles/row");
     println!("rows={rows} runs={} simd={level}\n", opts.runs);
 
-    let selectivities =
-        [0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.38, 0.50, 0.70, 0.90, 1.00];
+    let selectivities = [0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.38, 0.50, 0.70, 0.90, 1.00];
     for bits in [4u8, 7, 14, 21] {
         let pv = gen_packed(rows, bits, bits as u64);
         let mut table = Table::new(vec!["selectivity", "gather", "compact", "winner"]);

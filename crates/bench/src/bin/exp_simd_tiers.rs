@@ -20,9 +20,8 @@ fn main() {
     println!("SIMD tier ablation, cycles/row, rows={rows} runs={}", opts.runs);
     println!("available tiers: {levels:?}\n");
 
-    let headers: Vec<String> = std::iter::once("kernel".to_string())
-        .chain(levels.iter().map(|l| l.to_string()))
-        .collect();
+    let headers: Vec<String> =
+        std::iter::once("kernel".to_string()).chain(levels.iter().map(|l| l.to_string())).collect();
     let mut table = Table::new(headers);
 
     let sel = gen_selection(rows, 0.5, 3);
@@ -77,7 +76,12 @@ fn main() {
         run(
             "compact_u32",
             Box::new(move |level| {
-                compact::compact_u32(std::hint::black_box(&data32), sel.as_bytes(), &mut out, level);
+                compact::compact_u32(
+                    std::hint::black_box(&data32),
+                    sel.as_bytes(),
+                    &mut out,
+                    level,
+                );
                 std::hint::black_box(out.len());
             }),
         );
@@ -102,7 +106,12 @@ fn main() {
         run(
             "gather_unpack_u32 (14-bit)",
             Box::new(move |level| {
-                gather::gather_unpack_u32(&pv, std::hint::black_box(iv.as_slice()), &mut out, level);
+                gather::gather_unpack_u32(
+                    &pv,
+                    std::hint::black_box(iv.as_slice()),
+                    &mut out,
+                    level,
+                );
                 std::hint::black_box(&out);
             }),
         );

@@ -26,20 +26,10 @@ fn main() {
     println!("Table 2: Sort-Based SUM cycles/row/aggregate ({bits}-bit inputs, no filter)");
     println!("rows={rows} runs={} simd={level}\n", opts.runs);
 
-    let paper = [
-        (4usize, [3.13, 2.21, 1.74]),
-        (8, [3.59, 2.49, 1.89]),
-        (16, [3.61, 2.48, 1.92]),
-    ];
+    let paper = [(4usize, [3.13, 2.21, 1.74]), (8, [3.59, 2.49, 1.89]), (16, [3.61, 2.48, 1.92])];
     let packed: Vec<_> = (0..4).map(|c| gen_packed(rows, bits, 300 + c)).collect();
 
-    let mut table = Table::new(vec![
-        "groups",
-        "1 sum",
-        "2 sums",
-        "4 sums",
-        "paper (1/2/4)",
-    ]);
+    let mut table = Table::new(vec!["groups", "1 sum", "2 sums", "4 sums", "paper (1/2/4)"]);
     // Process in 4096-row batches like the engine does; the sort is
     // per batch (§5.2 sorts "within each batch of rows").
     const BATCH: usize = 4096;

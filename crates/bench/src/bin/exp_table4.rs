@@ -68,14 +68,10 @@ fn main() {
     ];
     let gids = gen_gids(rows, groups, 11);
 
-    let mut table =
-        Table::new(vec!["sums", "sizes (bytes)", "cycles/row/sum", "paper"]);
+    let mut table = Table::new(vec!["sums", "sizes (bytes)", "cycles/row/sum", "paper"]);
     for (sizes, paper) in combos {
-        let cols: Vec<Col> = sizes
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| Col::new(b, rows, 400 + i as u64))
-            .collect();
+        let cols: Vec<Col> =
+            sizes.iter().enumerate().map(|(i, &b)| Col::new(b, rows, 400 + i as u64)).collect();
         let refs: Vec<ColRef<'_>> = cols.iter().map(Col::col_ref).collect();
         let layout = RowLayout::plan_for(&refs).expect("paper combos fit");
         let mut sums = vec![0i64; sizes.len() * groups];
@@ -84,8 +80,7 @@ fn main() {
             sum_multi(std::hint::black_box(&gids), &refs, &layout, groups, &mut sums, level);
             std::hint::black_box(&sums);
         });
-        let sizes_str =
-            sizes.iter().map(usize::to_string).collect::<Vec<_>>().join("-");
+        let sizes_str = sizes.iter().map(usize::to_string).collect::<Vec<_>>().join("-");
         table.row(vec![
             sizes.len().to_string(),
             sizes_str,

@@ -18,10 +18,7 @@ use bipie_metrics::{cycles::estimate_tsc_hz, measure_cycles_per_row, Table};
 use bipie_tpch::{format_q1, run_q1, LineItemGen};
 
 fn main() {
-    let sf: f64 = std::env::var("BIPIE_TPCH_SF")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.2);
+    let sf: f64 = std::env::var("BIPIE_TPCH_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.2);
     let opts = bench_opts();
     let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
 

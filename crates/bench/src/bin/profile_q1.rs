@@ -2,9 +2,9 @@
 //! Not a paper experiment — a development aid for tuning the engine.
 
 use bipie_bench::{bench_opts, measure_cycles_per_row};
+use bipie_columnstore::Value;
 use bipie_core::{AggExpr, Expr, Predicate, QueryBuilder, QueryOptions};
 use bipie_tpch::{q1_cutoff, LineItemGen};
-use bipie_columnstore::Value;
 
 fn main() {
     let table = LineItemGen { scale_factor: 0.2, ..Default::default() }.generate();
@@ -16,19 +16,12 @@ fn main() {
     let one_minus_disc = || Expr::lit(100).sub(Expr::col("l_discount"));
     let one_plus_tax = || Expr::lit(100).add(Expr::col("l_tax"));
     let filter = || Predicate::le("l_shipdate", Value::Date(q1_cutoff()));
-    let base = || {
-        QueryBuilder::new()
-            .filter(filter())
-            .group_by("l_returnflag")
-            .group_by("l_linestatus")
-    };
+    let base =
+        || QueryBuilder::new().filter(filter()).group_by("l_returnflag").group_by("l_linestatus");
 
     let variants: Vec<(&str, bipie_core::Query)> = vec![
         ("count only (filter+groupid)", base().aggregate(AggExpr::count_star()).build()),
-        (
-            "1 packed sum",
-            base().aggregate(AggExpr::sum("l_quantity")).build(),
-        ),
+        ("1 packed sum", base().aggregate(AggExpr::sum("l_quantity")).build()),
         (
             "3 packed sums",
             base()
@@ -53,23 +46,17 @@ fn main() {
                 .aggregate(AggExpr::sum("l_extendedprice"))
                 .aggregate(AggExpr::sum("l_discount"))
                 .aggregate(AggExpr::sum_expr(extprice().mul(one_minus_disc())))
-                .aggregate(AggExpr::sum_expr(
-                    extprice().mul(one_minus_disc()).mul(one_plus_tax()),
-                ))
+                .aggregate(AggExpr::sum_expr(extprice().mul(one_minus_disc()).mul(one_plus_tax())))
                 .build(),
         ),
         ("full Q1 (with avgs/count)", bipie_tpch::q1_query(QueryOptions::default())),
         (
             "1 computed sum only",
-            base()
-                .aggregate(AggExpr::sum_expr(extprice().mul(one_minus_disc())))
-                .build(),
+            base().aggregate(AggExpr::sum_expr(extprice().mul(one_minus_disc()))).build(),
         ),
         (
             "1 trivial computed (col+0)",
-            base()
-                .aggregate(AggExpr::sum_expr(Expr::col("l_discount").add(Expr::lit(0))))
-                .build(),
+            base().aggregate(AggExpr::sum_expr(Expr::col("l_discount").add(Expr::lit(0)))).build(),
         ),
         (
             "no filter, 3 packed sums",

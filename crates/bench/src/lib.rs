@@ -1,6 +1,6 @@
 //! Shared workload generation and measurement plumbing for the experiment
 //! binaries (one per paper table/figure — see DESIGN.md's experiment index)
-//! and the Criterion benches.
+//! and the cycle-measured bench binaries.
 //!
 //! Methodology follows §6: inputs are large enough not to fit in the
 //! last-level cache, experiments repeat N times (default 10) reporting the
@@ -14,23 +14,21 @@
 //! * `BIPIE_BENCH_RUNS` — timed repetitions (default 10).
 //! * `BIPIE_TPCH_SF` — TPC-H scale factor for the Query 1 experiment.
 
+#![forbid(unsafe_code)]
+
 use bipie_columnstore::encoding::EncodingHint;
 use bipie_columnstore::{ColumnSpec, LogicalType, Table, TableBuilder, Value};
 use bipie_core::{AggExpr, Predicate, QueryBuilder, QueryOptions};
 use bipie_toolbox::bitpack::{mask_for, PackedVec};
+use bipie_toolbox::rng::Rng;
 use bipie_toolbox::selvec::SelByteVec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 pub use bipie_metrics::{measure_cycles_per_row, MeasureOpts, Measurement};
 
 /// Rows per kernel experiment (`BIPIE_BENCH_ROWS`, default 4M — large
 /// enough to spill the LLC with 4-byte elements).
 pub fn bench_rows() -> usize {
-    std::env::var("BIPIE_BENCH_ROWS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4 << 20)
+    std::env::var("BIPIE_BENCH_ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(4 << 20)
 }
 
 /// Measurement options from the environment (§6 defaults).
@@ -41,14 +39,14 @@ pub fn bench_opts() -> MeasureOpts {
 /// Deterministic group ids, uniform over `0..groups`.
 pub fn gen_gids(n: usize, groups: usize, seed: u64) -> Vec<u8> {
     assert!((1..=256).contains(&groups));
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..n).map(|_| rng.random_range(0..groups) as u8).collect()
 }
 
 /// Deterministic unsigned values of the given bit width.
 pub fn gen_values(n: usize, bits: u8, seed: u64) -> Vec<u64> {
     let mask = mask_for(bits);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..n).map(|_| rng.random::<u64>() & mask).collect()
 }
 
@@ -59,7 +57,7 @@ pub fn gen_packed(n: usize, bits: u8, seed: u64) -> PackedVec {
 
 /// A selection byte vector with the given selectivity (fraction kept).
 pub fn gen_selection(n: usize, selectivity: f64, seed: u64) -> SelByteVec {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     SelByteVec::from_bools(&(0..n).map(|_| rng.random_bool(selectivity)).collect::<Vec<_>>())
 }
 
@@ -103,7 +101,7 @@ pub fn strategy_matrix_table(
         );
     }
     let mut b = TableBuilder::with_segment_rows(specs, rows.max(1));
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mask = mask_for(bits) as i64;
     for _ in 0..rows {
         let mut row = vec![
@@ -139,6 +137,17 @@ pub fn strategy_matrix_query(
 /// Pretty cycles value.
 pub fn fmt_cycles(c: f64) -> String {
     format!("{c:.2}")
+}
+
+/// One line of bench output: group, variant, median and best cycles/row.
+/// The `harness = false` bench binaries print through this so their output
+/// diffs cleanly across runs.
+pub fn report(group: &str, name: &str, m: &Measurement) {
+    println!(
+        "{group:<34} {name:<26} {:>9} cy/row   (min {})",
+        fmt_cycles(m.cycles_per_row),
+        fmt_cycles(m.min_cycles_per_row)
+    );
 }
 
 #[cfg(test)]

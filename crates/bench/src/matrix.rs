@@ -27,7 +27,8 @@ pub struct MatrixParams {
 }
 
 /// Figure 8: 8 groups, 7-bit encoding.
-pub const FIG8: MatrixParams = MatrixParams { groups: 8, bits: 7, title: "Figure 8 (8 groups, 7-bit)" };
+pub const FIG8: MatrixParams =
+    MatrixParams { groups: 8, bits: 7, title: "Figure 8 (8 groups, 7-bit)" };
 /// Figure 9: 12 groups, 14-bit encoding.
 pub const FIG9: MatrixParams =
     MatrixParams { groups: 12, bits: 14, title: "Figure 9 (12 groups, 14-bit)" };

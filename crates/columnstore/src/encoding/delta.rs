@@ -36,8 +36,7 @@ impl DeltaColumn {
                 anchors: Vec::new(),
             };
         }
-        let min_delta =
-            values.windows(2).map(|w| w[1].wrapping_sub(w[0])).min().unwrap_or(0);
+        let min_delta = values.windows(2).map(|w| w[1].wrapping_sub(w[0])).min().unwrap_or(0);
         let normalized: Vec<u64> = values
             .windows(2)
             .map(|w| (w[1].wrapping_sub(w[0])).wrapping_sub(min_delta) as u64)

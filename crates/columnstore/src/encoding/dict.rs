@@ -109,8 +109,8 @@ impl StrDictColumn {
         let codes: Vec<u64> = values
             .iter()
             .map(|v| {
-                dict.binary_search_by(|d| d.as_str().cmp(v.as_ref()))
-                    .expect("value in dictionary") as u64
+                dict.binary_search_by(|d| d.as_str().cmp(v.as_ref())).expect("value in dictionary")
+                    as u64
             })
             .collect();
         let codes = pack_codes(&codes, dict.len());

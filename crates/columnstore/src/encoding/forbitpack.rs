@@ -86,8 +86,7 @@ impl ForBitPackColumn {
             // valid, exclusive u32 view during the unpack.
             unsafe {
                 let base32 = out.as_mut_ptr() as *mut u32;
-                let tail =
-                    std::slice::from_raw_parts_mut(base32.add(n), n);
+                let tail = std::slice::from_raw_parts_mut(base32.add(n), n);
                 self.packed.unpack_into_u32(start, tail, level);
                 let base64 = out.as_mut_ptr();
                 for i in 0..n {
@@ -100,8 +99,7 @@ impl ForBitPackColumn {
         }
         // Wide path: unpack u64 in place (identical layout), add reference.
         // SAFETY: i64 and u64 have identical size and alignment.
-        let as_u64 =
-            unsafe { std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut u64, n) };
+        let as_u64 = unsafe { std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut u64, n) };
         self.packed.unpack_into_u64(start, as_u64, level);
         for o in out.iter_mut() {
             *o = (*o as u64 as i128 + self.reference as i128) as i64;

@@ -166,11 +166,9 @@ fn choose_int_encoding(values: &[i64]) -> EncodedColumn {
 
     // A candidate must be strictly smaller than bit packing to displace it.
     let mut best = (bitpack_size, Encoding::BitPack);
-    for (size, enc) in [
-        (dict_size, Encoding::Dict),
-        (rle_size, Encoding::Rle),
-        (delta_size, Encoding::Delta),
-    ] {
+    for (size, enc) in
+        [(dict_size, Encoding::Dict), (rle_size, Encoding::Rle), (delta_size, Encoding::Delta)]
+    {
         if let Some(size) = size {
             if size < best.0 {
                 best = (size, enc);

@@ -120,8 +120,7 @@ mod tests {
 
     #[test]
     fn decode_mid_run_ranges() {
-        let values: Vec<i64> =
-            (0..20).flat_map(|r| std::iter::repeat_n(r as i64, 7)).collect();
+        let values: Vec<i64> = (0..20).flat_map(|r| std::iter::repeat_n(r as i64, 7)).collect();
         let col = RleColumn::encode(&values);
         for start in [0usize, 1, 6, 7, 8, 100, 133] {
             let n = (values.len() - start).min(13);

@@ -83,10 +83,7 @@ impl Segment {
     pub fn build(columns: Vec<ColumnData>, hints: &[EncodingHint]) -> Segment {
         assert_eq!(columns.len(), hints.len(), "one hint per column required");
         let num_rows = columns.first().map_or(0, ColumnData::len);
-        assert!(
-            columns.iter().all(|c| c.len() == num_rows),
-            "all columns must have equal length"
-        );
+        assert!(columns.iter().all(|c| c.len() == num_rows), "all columns must have equal length");
         let mut encoded = Vec::with_capacity(columns.len());
         let mut meta = Vec::with_capacity(columns.len());
         for (data, &hint) in columns.iter().zip(hints) {
@@ -177,8 +174,7 @@ mod tests {
 
     fn sample_segment() -> Segment {
         let ints: Vec<i64> = (0..1000).map(|i| (i % 7) - 3).collect();
-        let strs: Vec<String> =
-            (0..1000).map(|i| ["N", "A", "R"][i % 3].to_string()).collect();
+        let strs: Vec<String> = (0..1000).map(|i| ["N", "A", "R"][i % 3].to_string()).collect();
         Segment::build(
             vec![ColumnData::Ints(ints), ColumnData::Strs(strs)],
             &[EncodingHint::Auto, EncodingHint::Auto],

@@ -195,10 +195,7 @@ mod tests {
     use super::*;
 
     fn specs() -> Vec<ColumnSpec> {
-        vec![
-            ColumnSpec::new("flag", LogicalType::Str),
-            ColumnSpec::new("qty", LogicalType::I64),
-        ]
+        vec![ColumnSpec::new("flag", LogicalType::Str), ColumnSpec::new("qty", LogicalType::I64)]
     }
 
     fn row(flag: &str, qty: i64) -> Vec<Value> {

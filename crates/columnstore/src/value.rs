@@ -190,9 +190,14 @@ mod tests {
 
     #[test]
     fn date_roundtrip_wide_range() {
-        for &(y, m, d) in
-            &[(1992, 1, 2), (1998, 12, 1), (1998, 9, 2), (2000, 2, 29), (1900, 3, 1), (2100, 12, 31)]
-        {
+        for &(y, m, d) in &[
+            (1992, 1, 2),
+            (1998, 12, 1),
+            (1998, 9, 2),
+            (2000, 2, 29),
+            (1900, 3, 1),
+            (2100, 12, 31),
+        ] {
             let date = Date::from_ymd(y, m, d);
             assert_eq!(date.to_ymd(), (y, m, d));
         }
@@ -219,11 +224,7 @@ mod tests {
 
     #[test]
     fn storage_roundtrip() {
-        for v in [
-            Value::I64(-42),
-            Value::Date(Date::from_ymd(1995, 6, 17)),
-            Value::Decimal(999),
-        ] {
+        for v in [Value::I64(-42), Value::Date(Date::from_ymd(1995, 6, 17)), Value::Decimal(999)] {
             let ty = v.logical_type();
             let stored = v.as_storage_i64().unwrap();
             assert_eq!(Value::from_storage_i64(ty, stored), v);

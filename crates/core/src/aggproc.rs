@@ -184,9 +184,7 @@ impl MinMaxAcc {
                     MinMaxAcc::U64(vec![u64::MAX; slots], vec![u64::MIN; slots])
                 }
             },
-            AggInput::Computed(_) => {
-                MinMaxAcc::I64(vec![i64::MAX; slots], vec![i64::MIN; slots])
-            }
+            AggInput::Computed(_) => MinMaxAcc::I64(vec![i64::MAX; slots], vec![i64::MIN; slots]),
         }
     }
 
@@ -402,24 +400,22 @@ impl<'a> SegmentAggExecutor<'a> {
                     }
                 }
             }
-            AggStrategy::MultiAggregate => {
-                match RowLayout::plan_for(&cols) {
-                    Some(layout) if !cols.is_empty() => {
-                        let tmp = multi_sums;
-                        tmp.clear();
-                        tmp.resize(cols.len() * slots, 0);
-                        multi::sum_multi(gids_eff, &cols, &layout, slots, tmp, level);
-                        for (s, t) in sums.iter_mut().zip(tmp.iter()) {
-                            *s += t;
-                        }
-                    }
-                    _ => {
-                        if !cols.is_empty() {
-                            scalar::sums_row_at_a_time_unrolled(gids_eff, &cols, slots, sums);
-                        }
+            AggStrategy::MultiAggregate => match RowLayout::plan_for(&cols) {
+                Some(layout) if !cols.is_empty() => {
+                    let tmp = multi_sums;
+                    tmp.clear();
+                    tmp.resize(cols.len() * slots, 0);
+                    multi::sum_multi(gids_eff, &cols, &layout, slots, tmp, level);
+                    for (s, t) in sums.iter_mut().zip(tmp.iter()) {
+                        *s += t;
                     }
                 }
-            }
+                _ => {
+                    if !cols.is_empty() {
+                        scalar::sums_row_at_a_time_unrolled(gids_eff, &cols, slots, sums);
+                    }
+                }
+            },
             AggStrategy::SortBased => unreachable!("handled above"),
         }
         drop(cols);
@@ -460,16 +456,11 @@ impl<'a> SegmentAggExecutor<'a> {
                 (ValueBuf::Empty, MinMaxAcc::I64(mins, maxs)) => {
                     // Computed input in Full mode: read the expression
                     // buffer directly.
-                    minmax::min_max_scalar_i64(
-                        gids_eff,
-                        &expr_bufs[num_sums + j],
-                        mins,
-                        maxs,
-                    )
+                    minmax::min_max_scalar_i64(gids_eff, &expr_bufs[num_sums + j], mins, maxs)
                 }
-                (buf, acc) => unreachable!(
-                    "mismatched min/max buffer {buf:?} for accumulator {acc:?}"
-                ),
+                (buf, acc) => {
+                    unreachable!("mismatched min/max buffer {buf:?} for accumulator {acc:?}")
+                }
             }
         }
     }
@@ -488,10 +479,7 @@ impl<'a> SegmentAggExecutor<'a> {
                 match input {
                     AggInput::Packed(c) => {
                         let r = c.reference();
-                        norm.iter()
-                            .zip(&counts)
-                            .map(|(&s, &n)| s + r * n as i64)
-                            .collect()
+                        norm.iter().zip(&counts).map(|(&s, &n)| s + r * n as i64).collect()
                     }
                     AggInput::Computed(_) => norm.to_vec(),
                 }
@@ -647,7 +635,13 @@ impl<'a> SegmentAggExecutor<'a> {
             let sums = &mut self.sums[i * slots..(i + 1) * slots];
             match input {
                 AggInput::Packed(c) => {
-                    sort_based::sum_sorted_packed(c.normalized(), sorted, start as u32, sums, level);
+                    sort_based::sum_sorted_packed(
+                        c.normalized(),
+                        sorted,
+                        start as u32,
+                        sums,
+                        level,
+                    );
                 }
                 AggInput::Computed(_) => {
                     // Full-batch expression results, batch-local row ids.
@@ -908,21 +902,13 @@ mod tests {
         let groups = 6;
         for with_filter in [false, true] {
             let keep = |i: usize| !with_filter || i % 5 != 2;
-            let (counts, sums) = oracle(
-                rows,
-                groups,
-                keep,
-                &[&|v, _| v, &|_, w| w, &|_, w| w * (100 - w)],
-            );
+            let (counts, sums) =
+                oracle(rows, groups, keep, &[&|v, _| v, &|_, w| w, &|_, w| w * (100 - w)]);
             for agg in AggStrategy::ALL {
                 for selection in SelectionStrategy::ALL {
                     let r = run_combo(rows, groups, agg, selection, with_filter, true);
                     assert_eq!(r.counts, counts, "{agg:?}+{selection:?} filter={with_filter}");
-                    assert_eq!(
-                        r.sums,
-                        sums,
-                        "{agg:?}+{selection:?} filter={with_filter}"
-                    );
+                    assert_eq!(r.sums, sums, "{agg:?}+{selection:?} filter={with_filter}");
                 }
             }
         }

@@ -107,22 +107,19 @@ impl Expr {
 
     fn resolve_node(&self, lookup: &impl Fn(&str) -> Option<usize>) -> Result<Node> {
         Ok(match self {
-            Expr::Col(name) => Node::Col(
-                lookup(name).ok_or_else(|| EngineError::UnknownColumn(name.clone()))?,
-            ),
+            Expr::Col(name) => {
+                Node::Col(lookup(name).ok_or_else(|| EngineError::UnknownColumn(name.clone()))?)
+            }
             Expr::Lit(v) => Node::Lit(*v),
-            Expr::Add(a, b) => Node::Add(
-                Box::new(a.resolve_node(lookup)?),
-                Box::new(b.resolve_node(lookup)?),
-            ),
-            Expr::Sub(a, b) => Node::Sub(
-                Box::new(a.resolve_node(lookup)?),
-                Box::new(b.resolve_node(lookup)?),
-            ),
-            Expr::Mul(a, b) => Node::Mul(
-                Box::new(a.resolve_node(lookup)?),
-                Box::new(b.resolve_node(lookup)?),
-            ),
+            Expr::Add(a, b) => {
+                Node::Add(Box::new(a.resolve_node(lookup)?), Box::new(b.resolve_node(lookup)?))
+            }
+            Expr::Sub(a, b) => {
+                Node::Sub(Box::new(a.resolve_node(lookup)?), Box::new(b.resolve_node(lookup)?))
+            }
+            Expr::Mul(a, b) => {
+                Node::Mul(Box::new(a.resolve_node(lookup)?), Box::new(b.resolve_node(lookup)?))
+            }
             Expr::Neg(a) => Node::Neg(Box::new(a.resolve_node(lookup)?)),
         })
     }
@@ -211,11 +208,7 @@ impl CseCtx<'_> {
         match n {
             Node::Col(i) => Some(Operand::Col(*i)),
             Node::Lit(v) => Some(Operand::Lit(*v)),
-            _ => self
-                .prev
-                .iter()
-                .find(|(_, root)| *root == n)
-                .map(|(i, _)| Operand::Prev(*i)),
+            _ => self.prev.iter().find(|(_, root)| *root == n).map(|(i, _)| Operand::Prev(*i)),
         }
     }
 }
@@ -401,21 +394,19 @@ impl ResolvedExpr {
                     buf.resize(len, 0);
                     // The returned borrow only lives for this instruction;
                     // inference shortens 'a/'p to a common local lifetime.
-                    let get = |operand: &Operand| {
-                        match operand {
-                            Operand::Col(c) => {
-                                let src = columns(*c);
-                                assert_eq!(src.len(), len, "column vector length mismatch");
-                                RhsVals::Slice(src)
-                            }
-                            Operand::Prev(i) => {
-                                let src = prev(*i);
-                                assert_eq!(src.len(), len, "CSE vector length mismatch");
-                                RhsVals::Slice(src)
-                            }
-                            Operand::Lit(v) => RhsVals::Splat(*v),
-                            Operand::Stack => unreachable!("Bin2 takes leaves"),
+                    let get = |operand: &Operand| match operand {
+                        Operand::Col(c) => {
+                            let src = columns(*c);
+                            assert_eq!(src.len(), len, "column vector length mismatch");
+                            RhsVals::Slice(src)
                         }
+                        Operand::Prev(i) => {
+                            let src = prev(*i);
+                            assert_eq!(src.len(), len, "CSE vector length mismatch");
+                            RhsVals::Slice(src)
+                        }
+                        Operand::Lit(v) => RhsVals::Splat(*v),
+                        Operand::Stack => unreachable!("Bin2 takes leaves"),
                     };
                     bin2(*kind, get(lhs), get(rhs), buf);
                     sp += 1;
@@ -599,9 +590,7 @@ mod tests {
 
     #[test]
     fn batch_eval_matches_row_eval() {
-        let e = Expr::col("a")
-            .mul(Expr::lit(100).sub(Expr::col("b")))
-            .add(Expr::col("c").neg());
+        let e = Expr::col("a").mul(Expr::lit(100).sub(Expr::col("b"))).add(Expr::col("c").neg());
         let r = e.resolve(&lookup).unwrap();
         let a: Vec<i64> = (0..100).map(|i| i * 3).collect();
         let b: Vec<i64> = (0..100).map(|i| i % 11).collect();
@@ -624,10 +613,10 @@ mod tests {
         let e2 = e1.clone().mul(Expr::lit(100).add(Expr::col("c")));
         let resolved = resolve_many(&[&e1, &e2], &lookup).unwrap();
         assert!(
-            resolved[1].program.iter().any(|op| matches!(
-                op,
-                Op::Mul(Operand::Prev(0)) | Op::Load(Operand::Prev(0))
-            )),
+            resolved[1]
+                .program
+                .iter()
+                .any(|op| matches!(op, Op::Mul(Operand::Prev(0)) | Op::Load(Operand::Prev(0)))),
             "program: {:?}",
             resolved[1].program
         );
@@ -665,10 +654,7 @@ mod tests {
         let e2 = Expr::col("a").mul(Expr::col("b"));
         let resolved = resolve_many(&[&e1, &e2], &lookup).unwrap();
         assert!(
-            !resolved[1]
-                .program
-                .iter()
-                .any(|op| matches!(op, Op::Load(Operand::Prev(_)))),
+            !resolved[1].program.iter().any(|op| matches!(op, Op::Load(Operand::Prev(_)))),
             "program: {:?}",
             resolved[1].program
         );

@@ -31,6 +31,20 @@ use crate::error::{EngineError, Result};
 /// the special group must fit in `u8` (§2.2's 256-value simplification).
 pub const NARROW_GROUP_LIMIT: usize = 255;
 
+/// Debug-build check that every wide-path (`u32`) group id is strictly below
+/// `num_groups` — the `u32` counterpart of
+/// `bipie_toolbox::agg::debug_assert_group_ids`, which covers the narrow
+/// `u8` path. The scalar wide-path accumulators index by group id without
+/// per-row bounds checks.
+#[inline]
+pub fn debug_assert_group_ids_u32(gids: &[u32], num_groups: usize) {
+    debug_assert!(
+        gids.iter().all(|&g| (g as usize) < num_groups),
+        "wide group id {} out of range ({num_groups} groups)",
+        gids.iter().copied().max().unwrap_or(0)
+    );
+}
+
 /// One group-by column viewed as a dense code stream.
 #[derive(Debug)]
 enum NarrowCol<'a> {
@@ -114,6 +128,7 @@ impl NarrowMapper<'_> {
             // Radix combine; the narrow-limit check guarantees no overflow.
             bipie_toolbox::radix::fused_scale_add_u8(out, scratch, card, level);
         }
+        bipie_toolbox::agg::debug_assert_group_ids(out, self.num_groups);
     }
 
     /// Reconstruct the group-by key values for a group id.
@@ -184,6 +199,7 @@ impl<'a> WideMapper<'a> {
                 *o = gid;
             }
         }
+        debug_assert_group_ids_u32(out, self.keys.len());
     }
 
     /// Reconstruct the group-by key values for a group id.

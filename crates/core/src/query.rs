@@ -265,9 +265,8 @@ pub fn execute(table: &Table, query: &Query) -> Result<QueryResult> {
     // Resolve group-by columns.
     let mut group_cols = Vec::with_capacity(query.group_by.len());
     for name in &query.group_by {
-        let idx = table
-            .column_index(name)
-            .ok_or_else(|| EngineError::UnknownColumn(name.clone()))?;
+        let idx =
+            table.column_index(name).ok_or_else(|| EngineError::UnknownColumn(name.clone()))?;
         group_cols.push((idx, table.specs()[idx].ty));
     }
 
@@ -311,8 +310,7 @@ pub fn execute(table: &Table, query: &Query) -> Result<QueryResult> {
     let lookup = |name: &str| table.column_index(name);
     // Joint compilation enables cross-expression CSE (Q1's charge reuses
     // disc_price's result). Evaluation order is sums first, then MIN/MAX.
-    let combined: Vec<&Expr> =
-        sum_exprs_src.iter().chain(&mm_exprs_src).copied().collect();
+    let combined: Vec<&Expr> = sum_exprs_src.iter().chain(&mm_exprs_src).copied().collect();
     let mut resolved = crate::expr::resolve_many(&combined, &lookup)?;
     let mm_exprs = resolved.split_off(sum_exprs_src.len());
     let sum_exprs = resolved;
@@ -371,9 +369,8 @@ fn finish_aggs(plan: &[AggPlan], acc: &GroupAcc) -> Vec<AggValue> {
 
 fn check_expr_types(table: &Table, expr: &Expr) -> Result<()> {
     for name in expr.referenced_columns() {
-        let idx = table
-            .column_index(name)
-            .ok_or_else(|| EngineError::UnknownColumn(name.to_string()))?;
+        let idx =
+            table.column_index(name).ok_or_else(|| EngineError::UnknownColumn(name.to_string()))?;
         if table.specs()[idx].ty == LogicalType::Str {
             return Err(EngineError::TypeMismatch {
                 column: name.to_string(),
@@ -399,9 +396,8 @@ fn process_mutable_region(
     }
     stats.mutable_rows = rows.len();
     for row in rows {
-        let value_of = |name: &str| -> Value {
-            row[table.column_index(name).expect("resolved")].clone()
-        };
+        let value_of =
+            |name: &str| -> Value { row[table.column_index(name).expect("resolved")].clone() };
         if let Some(f) = &query.filter {
             if !f.eval_row(&value_of) {
                 continue;
@@ -468,8 +464,7 @@ mod tests {
         let r = execute(&t, &q).unwrap();
         assert_eq!(r.num_rows(), 4);
         // Rows come back ordered by group key.
-        let keys: Vec<String> =
-            r.rows.iter().map(|row| row.keys[0].to_string()).collect();
+        let keys: Vec<String> = r.rows.iter().map(|row| row.keys[0].to_string()).collect();
         assert_eq!(keys, vec!["east", "north", "south", "west"]);
         // east = i % 4 == 0, i >= 500: 500, 504, ..., 996 -> 125 rows.
         let east = r.row_for(&[Value::Str("east".into())]).unwrap();
@@ -537,10 +532,7 @@ mod tests {
     #[test]
     fn mutable_region_rows_participate() {
         let mut b = TableBuilder::with_segment_rows(
-            vec![
-                ColumnSpec::new("g", LogicalType::Str),
-                ColumnSpec::new("v", LogicalType::I64),
-            ],
+            vec![ColumnSpec::new("g", LogicalType::Str), ColumnSpec::new("v", LogicalType::I64)],
             100,
         );
         for i in 0..150i64 {

@@ -26,16 +26,10 @@ pub fn execute_reference(table: &Table, query: &Query) -> Result<QueryResult> {
     }
     // (count, sums, mins, maxs) per key; one slot per Sum/Avg aggregate
     // and one per Min/Max aggregate.
-    let num_sums = query
-        .aggregates
-        .iter()
-        .filter(|a| matches!(a, AggExpr::Sum(_) | AggExpr::Avg(_)))
-        .count();
-    let num_mm = query
-        .aggregates
-        .iter()
-        .filter(|a| matches!(a, AggExpr::Min(_) | AggExpr::Max(_)))
-        .count();
+    let num_sums =
+        query.aggregates.iter().filter(|a| matches!(a, AggExpr::Sum(_) | AggExpr::Avg(_))).count();
+    let num_mm =
+        query.aggregates.iter().filter(|a| matches!(a, AggExpr::Min(_) | AggExpr::Max(_))).count();
     type Acc = (u64, Vec<i64>, Vec<i64>, Vec<i64>);
     let mut groups: BTreeMap<Vec<Value>, Acc> = BTreeMap::new();
 
@@ -87,18 +81,15 @@ pub fn execute_reference(table: &Table, query: &Query) -> Result<QueryResult> {
                 let idx = table.column_index(name).expect("known column");
                 match seg.column(idx) {
                     EncodedColumn::StrDict(d) => Value::Str(d.get(row).to_string()),
-                    other => {
-                        Value::from_storage_i64(table.specs()[idx].ty, other.get_i64(row))
-                    }
+                    other => Value::from_storage_i64(table.specs()[idx].ty, other.get_i64(row)),
                 }
             };
             process_row(&value_of)?;
         }
     }
     for row in table.mutable_rows() {
-        let value_of = |name: &str| -> Value {
-            row[table.column_index(name).expect("known column")].clone()
-        };
+        let value_of =
+            |name: &str| -> Value { row[table.column_index(name).expect("known column")].clone() };
         process_row(&value_of)?;
     }
 
@@ -137,11 +128,7 @@ pub fn execute_reference(table: &Table, query: &Query) -> Result<QueryResult> {
             ResultRow { keys, aggs }
         })
         .collect();
-    Ok(QueryResult {
-        group_columns: query.group_by.clone(),
-        rows,
-        stats: ExecStats::default(),
-    })
+    Ok(QueryResult { group_columns: query.group_by.clone(), rows, stats: ExecStats::default() })
 }
 
 #[cfg(test)]
@@ -177,9 +164,7 @@ mod tests {
             .group_by("cat")
             .aggregate(AggExpr::count_star())
             .aggregate(AggExpr::sum("n"))
-            .aggregate(AggExpr::sum_expr(
-                crate::Expr::col("n").mul(crate::Expr::col("m")),
-            ))
+            .aggregate(AggExpr::sum_expr(crate::Expr::col("n").mul(crate::Expr::col("m"))))
             .build();
         let fast = execute(&t, &q).unwrap();
         let slow = execute_reference(&t, &q).unwrap();

@@ -80,8 +80,7 @@ pub fn scan_table(
     let mut merged: BTreeMap<Vec<Value>, GroupAcc> = BTreeMap::new();
     let mut stats = ExecStats::default();
 
-    let run =
-        |seg: &Segment| scan_segment(seg, filter, group_cols, sum_exprs, mm_exprs, options);
+    let run = |seg: &Segment| scan_segment(seg, filter, group_cols, sum_exprs, mm_exprs, options);
 
     let results: Vec<Result<SegmentOutput>> = if options.parallel && segments.len() > 1 {
         std::thread::scope(|scope| {
@@ -267,8 +266,7 @@ fn scan_segment_narrow(
         if executor.is_none() {
             let mut params = agg_params_template.clone();
             params.est_selectivity = selectivity;
-            let strategy =
-                options.forced_agg.unwrap_or_else(|| options.config.choose_agg(&params));
+            let strategy = options.forced_agg.unwrap_or_else(|| options.config.choose_agg(&params));
             stats.record_agg(strategy);
             executor = Some(SegmentAggExecutor::with_min_max(
                 strategy,
@@ -381,13 +379,7 @@ fn scan_segment_wide(
             for (i, e) in all_exprs.iter().enumerate() {
                 let (done, rest) = expr_vals.split_at_mut(i);
                 let prev = |p: usize| -> &[i64] { &done[p] };
-                e.eval_batch_with_prev(
-                    batch.len,
-                    &lookup,
-                    &prev,
-                    &mut rest[0],
-                    &mut expr_scratch,
-                );
+                e.eval_batch_with_prev(batch.len, &lookup, &prev, &mut rest[0], &mut expr_scratch);
             }
         }
 
@@ -449,17 +441,11 @@ mod tests {
 
     fn table(rows: usize, segment_rows: usize) -> Table {
         let mut b = TableBuilder::with_segment_rows(
-            vec![
-                ColumnSpec::new("flag", LogicalType::Str),
-                ColumnSpec::new("v", LogicalType::I64),
-            ],
+            vec![ColumnSpec::new("flag", LogicalType::Str), ColumnSpec::new("v", LogicalType::I64)],
             segment_rows,
         );
         for i in 0..rows as i64 {
-            b.push_row(vec![
-                Value::Str(["A", "N", "R"][(i % 3) as usize].into()),
-                Value::I64(i),
-            ]);
+            b.push_row(vec![Value::Str(["A", "N", "R"][(i % 3) as usize].into()), Value::I64(i)]);
         }
         b.finish()
     }
@@ -472,15 +458,9 @@ mod tests {
     fn multi_segment_merge() {
         let t = table(1000, 300); // 4 segments
         let expr = v_expr(&t);
-        let (groups, stats) = scan_table(
-            &t,
-            None,
-            &[(0, LogicalType::Str)],
-            &[expr],
-            &[],
-            &ScanOptions::default(),
-        )
-        .unwrap();
+        let (groups, stats) =
+            scan_table(&t, None, &[(0, LogicalType::Str)], &[expr], &[], &ScanOptions::default())
+                .unwrap();
         assert_eq!(stats.segments_scanned, 4);
         assert_eq!(groups.len(), 3);
         let total: u64 = groups.values().map(|g| g.count).sum();
@@ -519,15 +499,9 @@ mod tests {
         t.segment_mut(0).delete_row(0);
         t.segment_mut(0).delete_row(1);
         let expr = v_expr(&t);
-        let (groups, _) = scan_table(
-            &t,
-            None,
-            &[(0, LogicalType::Str)],
-            &[expr],
-            &[],
-            &ScanOptions::default(),
-        )
-        .unwrap();
+        let (groups, _) =
+            scan_table(&t, None, &[(0, LogicalType::Str)], &[expr], &[], &ScanOptions::default())
+                .unwrap();
         let total: u64 = groups.values().map(|g| g.count).sum();
         assert_eq!(total, 298);
         let sum: i64 = groups.values().map(|g| g.sums[0]).sum();
@@ -536,18 +510,13 @@ mod tests {
 
     #[test]
     fn overflow_detected() {
-        let mut b = TableBuilder::with_segment_rows(
-            vec![ColumnSpec::new("v", LogicalType::I64)],
-            1000,
-        );
+        let mut b =
+            TableBuilder::with_segment_rows(vec![ColumnSpec::new("v", LogicalType::I64)], 1000);
         for _ in 0..10 {
             b.push_row(vec![Value::I64(i64::MAX / 4)]);
         }
         let t = b.finish();
-        let expr = Expr::col("v")
-            .mul(Expr::col("v"))
-            .resolve(&|n| t.column_index(n))
-            .unwrap();
+        let expr = Expr::col("v").mul(Expr::col("v")).resolve(&|n| t.column_index(n)).unwrap();
         let err = scan_table(&t, None, &[], &[expr], &[], &ScanOptions::default()).unwrap_err();
         assert!(matches!(err, EngineError::PotentialOverflow { aggregate: 0 }));
     }

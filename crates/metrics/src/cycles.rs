@@ -1,33 +1,15 @@
 //! Serialized TSC reads.
 //!
-//! `rdtsc` alone can be reordered by the out-of-order engine; bracketing the
-//! measured region with `lfence` pins the read to the instruction stream
-//! (the standard `lfence; rdtsc` measurement idiom). On non-x86 targets a
-//! monotonic-nanosecond fallback is used so the harness still runs (the
-//! absolute numbers then are nanoseconds, not cycles).
+//! The actual `lfence; rdtsc` sequence lives in [`bipie_toolbox::cycles`] —
+//! this crate is `#![forbid(unsafe_code)]`, so it consumes the counter
+//! through that safe wrapper. On non-x86 targets (and under Miri) the
+//! toolbox substitutes a monotonic-nanosecond fallback so the harness still
+//! runs; the absolute numbers then are nanoseconds, not cycles.
 
 /// Read the time-stamp counter, serialized against earlier loads.
-#[cfg(target_arch = "x86_64")]
 #[inline]
 pub fn read_cycles() -> u64 {
-    // SAFETY: `lfence` and `rdtsc` are unprivileged and available on every
-    // x86_64 CPU.
-    unsafe {
-        std::arch::x86_64::_mm_lfence();
-        let t = std::arch::x86_64::_rdtsc();
-        std::arch::x86_64::_mm_lfence();
-        t
-    }
-}
-
-/// Monotonic-nanosecond fallback for non-x86_64 targets.
-#[cfg(not(target_arch = "x86_64"))]
-#[inline]
-pub fn read_cycles() -> u64 {
-    use std::time::Instant;
-    use std::sync::OnceLock;
-    static START: OnceLock<Instant> = OnceLock::new();
-    START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    bipie_toolbox::cycles::read_tsc()
 }
 
 /// Estimate the TSC frequency in Hz by timing against the wall clock.

@@ -13,6 +13,8 @@
 //! * [`table`] — plain-text renderers for the paper's tables and the
 //!   Figure 8–10 strategy-matrix heatmaps.
 
+#![forbid(unsafe_code)]
+
 pub mod cycles;
 pub mod measure;
 pub mod table;

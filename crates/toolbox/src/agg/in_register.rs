@@ -108,10 +108,7 @@ fn check_args(gids: &[u8], num_groups: usize, acc_len: usize) {
         "in-register aggregation supports 1..=32 groups, got {num_groups}"
     );
     assert!(acc_len >= num_groups, "accumulator shorter than group count");
-    debug_assert!(
-        gids.iter().all(|&g| (g as usize) < num_groups),
-        "group id out of range for in-register aggregation"
-    );
+    super::debug_assert_group_ids(gids, num_groups);
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -122,25 +119,34 @@ mod avx512 {
 
     use std::arch::x86_64::*;
 
+    /// # Safety
+    /// The CPU must support avx512f + avx512bw — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx512f", enable = "avx512bw")]
     pub(super) unsafe fn count(gids: &[u8], num_groups: usize, counts: &mut [u64]) {
-        let n = gids.len();
-        let mut i = 0usize;
-        while i + 64 <= n {
-            let g = _mm512_loadu_si512(gids.as_ptr().add(i) as *const _);
-            // Group N-1 derived from the total, as in §5.3.
-            let mut accounted = 0u64;
-            for j in 0..num_groups - 1 {
-                let m = _mm512_cmpeq_epi8_mask(g, _mm512_set1_epi8(j as i8));
-                let c = m.count_ones() as u64;
-                counts[j] += c;
-                accounted += c;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let n = gids.len();
+            let mut i = 0usize;
+            while i + 64 <= n {
+                let g = _mm512_loadu_si512(gids.as_ptr().add(i) as *const _);
+                // Group N-1 derived from the total, as in §5.3.
+                let mut accounted = 0u64;
+                for j in 0..num_groups - 1 {
+                    let m = _mm512_cmpeq_epi8_mask(g, _mm512_set1_epi8(j as i8));
+                    let c = m.count_ones() as u64;
+                    counts[j] += c;
+                    accounted += c;
+                }
+                counts[num_groups - 1] += 64 - accounted;
+                i += 64;
             }
-            counts[num_groups - 1] += 64 - accounted;
-            i += 64;
-        }
-        for &g in &gids[i..] {
-            counts[g as usize] += 1;
+            for &g in &gids[i..] {
+                counts[g as usize] += 1;
+            }
         }
     }
 }
@@ -149,6 +155,9 @@ mod avx512 {
 mod avx2 {
     use std::arch::x86_64::*;
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// Horizontal sum of four u64 lanes.
     #[inline]
     #[target_feature(enable = "avx2")]
@@ -159,21 +168,37 @@ mod avx2 {
         (_mm_cvtsi128_si64(s) as u64).wrapping_add(_mm_extract_epi64::<1>(s) as u64)
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// Sum 32 u8 lanes.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn sum_bytes(v: __m256i) -> u64 {
-        hsum_epu64(_mm256_sad_epu8(v, _mm256_setzero_si256()))
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe { hsum_epu64(_mm256_sad_epu8(v, _mm256_setzero_si256())) }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// Horizontal sum of eight non-negative i32 lanes.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn hsum_epu32(v: __m256i) -> u64 {
-        let zero = _mm256_setzero_si256();
-        let lo = _mm256_unpacklo_epi32(v, zero);
-        let hi = _mm256_unpackhi_epi32(v, zero);
-        hsum_epu64(_mm256_add_epi64(lo, hi))
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let zero = _mm256_setzero_si256();
+            let lo = _mm256_unpacklo_epi32(v, zero);
+            let hi = _mm256_unpackhi_epi32(v, zero);
+            hsum_epu64(_mm256_add_epi64(lo, hi))
+        }
     }
 
     macro_rules! dispatch_n {
@@ -216,26 +241,45 @@ mod avx2 {
         };
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn dispatch_count(gids: &[u8], n: usize, counts: &mut [u64]) {
-        dispatch_n!(count_n, n, (gids, counts))
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe { dispatch_n!(count_n, n, (gids, counts)) }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn dispatch_sum_u8(gids: &[u8], values: &[u8], n: usize, sums: &mut [i64]) {
-        dispatch_n!(sum_u8_n, n, (gids, values, sums))
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe { dispatch_n!(sum_u8_n, n, (gids, values, sums)) }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
-    pub(super) unsafe fn dispatch_sum_u16(
-        gids: &[u8],
-        values: &[u16],
-        n: usize,
-        sums: &mut [i64],
-    ) {
-        dispatch_n!(sum_u16_n, n, (gids, values, sums))
+    pub(super) unsafe fn dispatch_sum_u16(gids: &[u8], values: &[u16], n: usize, sums: &mut [i64]) {
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe { dispatch_n!(sum_u16_n, n, (gids, values, sums)) }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn dispatch_sum_u32(
         gids: &[u8],
@@ -244,128 +288,162 @@ mod avx2 {
         sums: &mut [i64],
         max_value: u32,
     ) {
-        dispatch_n!(sum_u32_n, n, (gids, values, sums, max_value))
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe { dispatch_n!(sum_u32_n, n, (gids, values, sums, max_value)) }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// COUNT: 8-bit lane counters, one register per group except the last,
     /// flushed via SAD every 255 vectors (the 8-bit lane limit).
     #[target_feature(enable = "avx2")]
     unsafe fn count_n<const N: usize>(gids: &[u8], counts: &mut [u64]) {
-        let zero = _mm256_setzero_si256();
-        let mut cnt = [zero; N];
-        let mut totals = [0u64; N];
-        let n = gids.len();
-        let mut simd_rows = 0u64;
-        let mut i = 0usize;
-        let mut since_flush = 0u32;
-        while i + 32 <= n {
-            let g = _mm256_loadu_si256(gids.as_ptr().add(i) as *const __m256i);
-            for j in 0..N - 1 {
-                let m = _mm256_cmpeq_epi8(g, _mm256_set1_epi8(j as i8));
-                // Subtracting the all-ones mask increments matching lanes.
-                cnt[j] = _mm256_sub_epi8(cnt[j], m);
-            }
-            simd_rows += 32;
-            since_flush += 1;
-            i += 32;
-            if since_flush == 255 {
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let zero = _mm256_setzero_si256();
+            let mut cnt = [zero; N];
+            let mut totals = [0u64; N];
+            let n = gids.len();
+            let mut simd_rows = 0u64;
+            let mut i = 0usize;
+            let mut since_flush = 0u32;
+            while i + 32 <= n {
+                let g = _mm256_loadu_si256(gids.as_ptr().add(i) as *const __m256i);
                 for j in 0..N - 1 {
-                    totals[j] += sum_bytes(cnt[j]);
-                    cnt[j] = zero;
+                    let m = _mm256_cmpeq_epi8(g, _mm256_set1_epi8(j as i8));
+                    // Subtracting the all-ones mask increments matching lanes.
+                    cnt[j] = _mm256_sub_epi8(cnt[j], m);
                 }
-                since_flush = 0;
+                simd_rows += 32;
+                since_flush += 1;
+                i += 32;
+                if since_flush == 255 {
+                    for j in 0..N - 1 {
+                        totals[j] += sum_bytes(cnt[j]);
+                        cnt[j] = zero;
+                    }
+                    since_flush = 0;
+                }
             }
-        }
-        let mut accounted = 0u64;
-        for j in 0..N - 1 {
-            totals[j] += sum_bytes(cnt[j]);
-            counts[j] += totals[j];
-            accounted += totals[j];
-        }
-        // Group N-1 is never compared: derive it from the total (§5.3).
-        counts[N - 1] += simd_rows - accounted;
-        for &g in &gids[i..] {
-            counts[g as usize] += 1;
+            let mut accounted = 0u64;
+            for j in 0..N - 1 {
+                totals[j] += sum_bytes(cnt[j]);
+                counts[j] += totals[j];
+                accounted += totals[j];
+            }
+            // Group N-1 is never compared: derive it from the total (§5.3).
+            counts[N - 1] += simd_rows - accounted;
+            for &g in &gids[i..] {
+                counts[g as usize] += 1;
+            }
         }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// SUM of 1-byte values: 16-bit lane accumulators via `maddubs` pair
     /// sums; each vector adds at most 510 per lane, so flush every 64
     /// vectors (64 * 510 < 32767).
     #[target_feature(enable = "avx2")]
     unsafe fn sum_u8_n<const N: usize>(gids: &[u8], values: &[u8], sums: &mut [i64]) {
-        let zero = _mm256_setzero_si256();
-        let ones8 = _mm256_set1_epi8(1);
-        let ones16 = _mm256_set1_epi16(1);
-        let mut acc = [zero; N];
-        let n = gids.len();
-        let mut i = 0usize;
-        let mut since_flush = 0u32;
-        while i + 32 <= n {
-            let g = _mm256_loadu_si256(gids.as_ptr().add(i) as *const __m256i);
-            let v = _mm256_loadu_si256(values.as_ptr().add(i) as *const __m256i);
-            for j in 0..N {
-                let m = _mm256_cmpeq_epi8(g, _mm256_set1_epi8(j as i8));
-                let mv = _mm256_and_si256(v, m);
-                // Unsigned bytes * signed 1 summed pairwise into i16 lanes.
-                acc[j] = _mm256_add_epi16(acc[j], _mm256_maddubs_epi16(mv, ones8));
-            }
-            since_flush += 1;
-            i += 32;
-            if since_flush == 64 {
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let zero = _mm256_setzero_si256();
+            let ones8 = _mm256_set1_epi8(1);
+            let ones16 = _mm256_set1_epi16(1);
+            let mut acc = [zero; N];
+            let n = gids.len();
+            let mut i = 0usize;
+            let mut since_flush = 0u32;
+            while i + 32 <= n {
+                let g = _mm256_loadu_si256(gids.as_ptr().add(i) as *const __m256i);
+                let v = _mm256_loadu_si256(values.as_ptr().add(i) as *const __m256i);
                 for j in 0..N {
-                    sums[j] += hsum_epu32(_mm256_madd_epi16(acc[j], ones16)) as i64;
-                    acc[j] = zero;
+                    let m = _mm256_cmpeq_epi8(g, _mm256_set1_epi8(j as i8));
+                    let mv = _mm256_and_si256(v, m);
+                    // Unsigned bytes * signed 1 summed pairwise into i16 lanes.
+                    acc[j] = _mm256_add_epi16(acc[j], _mm256_maddubs_epi16(mv, ones8));
                 }
-                since_flush = 0;
+                since_flush += 1;
+                i += 32;
+                if since_flush == 64 {
+                    for j in 0..N {
+                        sums[j] += hsum_epu32(_mm256_madd_epi16(acc[j], ones16)) as i64;
+                        acc[j] = zero;
+                    }
+                    since_flush = 0;
+                }
             }
-        }
-        for j in 0..N {
-            sums[j] += hsum_epu32(_mm256_madd_epi16(acc[j], ones16)) as i64;
-        }
-        for (k, &g) in gids[i..].iter().enumerate() {
-            sums[g as usize] += values[i + k] as i64;
+            for j in 0..N {
+                sums[j] += hsum_epu32(_mm256_madd_epi16(acc[j], ones16)) as i64;
+            }
+            for (k, &g) in gids[i..].iter().enumerate() {
+                sums[g as usize] += values[i + k] as i64;
+            }
         }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// SUM of 2-byte values: group ids widened to 16-bit lanes, 32-bit lane
     /// accumulators fed by zero-extending unpacks. Each vector adds at most
     /// 2 * 65535 per lane; flush every 16384 vectors.
     #[target_feature(enable = "avx2")]
     unsafe fn sum_u16_n<const N: usize>(gids: &[u8], values: &[u16], sums: &mut [i64]) {
-        let zero = _mm256_setzero_si256();
-        let mut acc = [zero; N];
-        let n = gids.len();
-        let mut i = 0usize;
-        let mut since_flush = 0u32;
-        while i + 16 <= n {
-            let g8 = _mm_loadu_si128(gids.as_ptr().add(i) as *const __m128i);
-            let g = _mm256_cvtepu8_epi16(g8);
-            let v = _mm256_loadu_si256(values.as_ptr().add(i) as *const __m256i);
-            for j in 0..N {
-                let m = _mm256_cmpeq_epi16(g, _mm256_set1_epi16(j as i16));
-                let mv = _mm256_and_si256(v, m);
-                acc[j] = _mm256_add_epi32(acc[j], _mm256_unpacklo_epi16(mv, zero));
-                acc[j] = _mm256_add_epi32(acc[j], _mm256_unpackhi_epi16(mv, zero));
-            }
-            since_flush += 1;
-            i += 16;
-            if since_flush == 16_384 {
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let zero = _mm256_setzero_si256();
+            let mut acc = [zero; N];
+            let n = gids.len();
+            let mut i = 0usize;
+            let mut since_flush = 0u32;
+            while i + 16 <= n {
+                let g8 = _mm_loadu_si128(gids.as_ptr().add(i) as *const __m128i);
+                let g = _mm256_cvtepu8_epi16(g8);
+                let v = _mm256_loadu_si256(values.as_ptr().add(i) as *const __m256i);
                 for j in 0..N {
-                    sums[j] += hsum_epu32(acc[j]) as i64;
-                    acc[j] = zero;
+                    let m = _mm256_cmpeq_epi16(g, _mm256_set1_epi16(j as i16));
+                    let mv = _mm256_and_si256(v, m);
+                    acc[j] = _mm256_add_epi32(acc[j], _mm256_unpacklo_epi16(mv, zero));
+                    acc[j] = _mm256_add_epi32(acc[j], _mm256_unpackhi_epi16(mv, zero));
                 }
-                since_flush = 0;
+                since_flush += 1;
+                i += 16;
+                if since_flush == 16_384 {
+                    for j in 0..N {
+                        sums[j] += hsum_epu32(acc[j]) as i64;
+                        acc[j] = zero;
+                    }
+                    since_flush = 0;
+                }
             }
-        }
-        for j in 0..N {
-            sums[j] += hsum_epu32(acc[j]) as i64;
-        }
-        for (k, &g) in gids[i..].iter().enumerate() {
-            sums[g as usize] += values[i + k] as i64;
+            for j in 0..N {
+                sums[j] += hsum_epu32(acc[j]) as i64;
+            }
+            for (k, &g) in gids[i..].iter().enumerate() {
+                sums[g as usize] += values[i + k] as i64;
+            }
         }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// SUM of 4-byte values: group ids widened to 32-bit lanes, 32-bit lane
     /// accumulators; the flush cadence is derived from the caller's
     /// `max_value` bound so lanes never overflow (§2.1's metadata-driven
@@ -377,35 +455,41 @@ mod avx2 {
         sums: &mut [i64],
         max_value: u32,
     ) {
-        let zero = _mm256_setzero_si256();
-        let mut acc = [zero; N];
-        let flush_every = (i32::MAX as u32 / max_value.max(1)).max(1);
-        let n = gids.len();
-        let mut i = 0usize;
-        let mut since_flush = 0u32;
-        while i + 8 <= n {
-            let g8 = _mm_loadl_epi64(gids.as_ptr().add(i) as *const __m128i);
-            let g = _mm256_cvtepu8_epi32(g8);
-            let v = _mm256_loadu_si256(values.as_ptr().add(i) as *const __m256i);
-            for j in 0..N {
-                let m = _mm256_cmpeq_epi32(g, _mm256_set1_epi32(j as i32));
-                acc[j] = _mm256_add_epi32(acc[j], _mm256_and_si256(v, m));
-            }
-            since_flush += 1;
-            i += 8;
-            if since_flush >= flush_every {
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let zero = _mm256_setzero_si256();
+            let mut acc = [zero; N];
+            let flush_every = (i32::MAX as u32 / max_value.max(1)).max(1);
+            let n = gids.len();
+            let mut i = 0usize;
+            let mut since_flush = 0u32;
+            while i + 8 <= n {
+                let g8 = _mm_loadl_epi64(gids.as_ptr().add(i) as *const __m128i);
+                let g = _mm256_cvtepu8_epi32(g8);
+                let v = _mm256_loadu_si256(values.as_ptr().add(i) as *const __m256i);
                 for j in 0..N {
-                    sums[j] += hsum_epu32(acc[j]) as i64;
-                    acc[j] = zero;
+                    let m = _mm256_cmpeq_epi32(g, _mm256_set1_epi32(j as i32));
+                    acc[j] = _mm256_add_epi32(acc[j], _mm256_and_si256(v, m));
                 }
-                since_flush = 0;
+                since_flush += 1;
+                i += 8;
+                if since_flush >= flush_every {
+                    for j in 0..N {
+                        sums[j] += hsum_epu32(acc[j]) as i64;
+                        acc[j] = zero;
+                    }
+                    since_flush = 0;
+                }
             }
-        }
-        for j in 0..N {
-            sums[j] += hsum_epu32(acc[j]) as i64;
-        }
-        for (k, &g) in gids[i..].iter().enumerate() {
-            sums[g as usize] += values[i + k] as i64;
+            for j in 0..N {
+                sums[j] += hsum_epu32(acc[j]) as i64;
+            }
+            for (k, &g) in gids[i..].iter().enumerate() {
+                sums[g as usize] += values[i + k] as i64;
+            }
         }
     }
 }

@@ -50,6 +50,7 @@ pub fn min_max_u8(
 ) {
     assert!(num_groups >= 1, "need at least one group");
     assert!(mins.len() >= num_groups && maxs.len() >= num_groups, "accumulator too short");
+    super::debug_assert_group_ids(gids, num_groups);
     #[cfg(target_arch = "x86_64")]
     if level.has_avx2() && num_groups <= super::MAX_GROUPS_IN_REGISTER {
         // SAFETY: AVX2 availability checked by has_avx2().
@@ -64,6 +65,9 @@ pub fn min_max_u8(
 mod avx2 {
     use std::arch::x86_64::*;
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// Horizontal min of 32 u8 lanes.
     #[inline]
     #[target_feature(enable = "avx2")]
@@ -78,6 +82,9 @@ mod avx2 {
         _mm_extract_epi8::<0>(m) as u8
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// Horizontal max of 32 u8 lanes.
     #[inline]
     #[target_feature(enable = "avx2")]
@@ -103,6 +110,9 @@ mod avx2 {
         };
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn dispatch_min_max_u8(
         gids: &[u8],
@@ -111,9 +121,16 @@ mod avx2 {
         mins: &mut [u8],
         maxs: &mut [u8],
     ) {
-        dispatch_n!(min_max_u8_n, n, (gids, values, n, mins, maxs))
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe { dispatch_n!(min_max_u8_n, n, (gids, values, n, mins, maxs)) }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// §5.3's virtual arrays with min/max folds: per group, compare to get
     /// the lane mask, blend the identity element into non-matching lanes,
     /// and fold with `pminub`/`pmaxub`. `N` is the register budget
@@ -126,29 +143,35 @@ mod avx2 {
         mins: &mut [u8],
         maxs: &mut [u8],
     ) {
-        let min_identity = _mm256_set1_epi8(-1); // 0xFF = u8::MAX
-        let max_identity = _mm256_setzero_si256();
-        let mut vmins = [min_identity; N];
-        let mut vmaxs = [max_identity; N];
-        let len = gids.len();
-        let mut i = 0usize;
-        while i + 32 <= len {
-            let g = _mm256_loadu_si256(gids.as_ptr().add(i) as *const __m256i);
-            let v = _mm256_loadu_si256(values.as_ptr().add(i) as *const __m256i);
-            for j in 0..n {
-                let mask = _mm256_cmpeq_epi8(g, _mm256_set1_epi8(j as i8));
-                let vmin = _mm256_blendv_epi8(min_identity, v, mask);
-                let vmax = _mm256_blendv_epi8(max_identity, v, mask);
-                vmins[j] = _mm256_min_epu8(vmins[j], vmin);
-                vmaxs[j] = _mm256_max_epu8(vmaxs[j], vmax);
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let min_identity = _mm256_set1_epi8(-1); // 0xFF = u8::MAX
+            let max_identity = _mm256_setzero_si256();
+            let mut vmins = [min_identity; N];
+            let mut vmaxs = [max_identity; N];
+            let len = gids.len();
+            let mut i = 0usize;
+            while i + 32 <= len {
+                let g = _mm256_loadu_si256(gids.as_ptr().add(i) as *const __m256i);
+                let v = _mm256_loadu_si256(values.as_ptr().add(i) as *const __m256i);
+                for j in 0..n {
+                    let mask = _mm256_cmpeq_epi8(g, _mm256_set1_epi8(j as i8));
+                    let vmin = _mm256_blendv_epi8(min_identity, v, mask);
+                    let vmax = _mm256_blendv_epi8(max_identity, v, mask);
+                    vmins[j] = _mm256_min_epu8(vmins[j], vmin);
+                    vmaxs[j] = _mm256_max_epu8(vmaxs[j], vmax);
+                }
+                i += 32;
             }
-            i += 32;
+            for j in 0..n {
+                mins[j] = mins[j].min(hmin_epu8(vmins[j]));
+                maxs[j] = maxs[j].max(hmax_epu8(vmaxs[j]));
+            }
+            super::min_max_scalar_u8(&gids[i..], &values[i..], mins, maxs);
         }
-        for j in 0..n {
-            mins[j] = mins[j].min(hmin_epu8(vmins[j]));
-            maxs[j] = maxs[j].max(hmax_epu8(vmaxs[j]));
-        }
-        super::min_max_scalar_u8(&gids[i..], &values[i..], mins, maxs);
     }
 }
 

@@ -88,6 +88,19 @@ impl<'a> ColRef<'a> {
     }
 }
 
+/// Debug-build check that every group id is strictly below `num_groups`
+/// (the count already includes the special group when one is assigned):
+/// the SIMD aggregation kernels index accumulator arrays without per-row
+/// bounds checks, so dispatchers call this before routing to any tier.
+#[inline]
+pub fn debug_assert_group_ids(gids: &[u8], num_groups: usize) {
+    debug_assert!(
+        gids.iter().all(|&g| (g as usize) < num_groups),
+        "group id {} out of range ({num_groups} groups)",
+        gids.iter().copied().max().unwrap_or(0)
+    );
+}
+
 /// Reference implementation of grouped count + sums used as the oracle in
 /// tests across all strategies: scalar, obviously correct, no tricks.
 pub fn reference_group_sums(

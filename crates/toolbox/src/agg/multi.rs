@@ -114,7 +114,7 @@ pub fn sum_multi(
     for col in cols {
         assert_eq!(col.len(), n, "column length mismatch");
     }
-    debug_assert!(gids.iter().all(|&g| (g as usize) < num_groups), "group id out of range");
+    super::debug_assert_group_ids(gids, num_groups);
 
     // Packed accumulators: one 32-byte row (four u64 slots) per group.
     let mut acc = vec![0u64; num_groups * 4];
@@ -186,31 +186,43 @@ mod avx2 {
     use crate::transpose::avx2::t4x4_epi64;
     use std::arch::x86_64::*;
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// Load four consecutive values of a column into 64-bit lanes
     /// (zero-extended), pre-shifted to the column's sub-slot position.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn load4(col: &ColRef<'_>, i: usize, shift_hi: bool) -> __m256i {
-        let v = match col {
-            ColRef::U8(s) => {
-                let word = u32::from_le_bytes(s[i..i + 4].try_into().unwrap());
-                _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(word as i32))
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let v = match col {
+                ColRef::U8(s) => {
+                    let word = u32::from_le_bytes(s[i..i + 4].try_into().unwrap());
+                    _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(word as i32))
+                }
+                ColRef::U16(s) => {
+                    _mm256_cvtepu16_epi64(_mm_loadl_epi64(s.as_ptr().add(i) as *const __m128i))
+                }
+                ColRef::U32(s) => {
+                    _mm256_cvtepu32_epi64(_mm_loadu_si128(s.as_ptr().add(i) as *const __m128i))
+                }
+                ColRef::U64(s) => _mm256_loadu_si256(s.as_ptr().add(i) as *const __m256i),
+            };
+            if shift_hi {
+                _mm256_slli_epi64::<32>(v)
+            } else {
+                v
             }
-            ColRef::U16(s) => {
-                _mm256_cvtepu16_epi64(_mm_loadl_epi64(s.as_ptr().add(i) as *const __m128i))
-            }
-            ColRef::U32(s) => {
-                _mm256_cvtepu32_epi64(_mm_loadu_si128(s.as_ptr().add(i) as *const __m128i))
-            }
-            ColRef::U64(s) => _mm256_loadu_si256(s.as_ptr().add(i) as *const __m256i),
-        };
-        if shift_hi {
-            _mm256_slli_epi64::<32>(v)
-        } else {
-            v
         }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn accumulate(
         gids: &[u8],
@@ -220,30 +232,36 @@ mod avx2 {
         start: usize,
         end: usize,
     ) {
-        let acc_ptr = acc.as_mut_ptr();
-        let mut i = start;
-        while i + 4 <= end {
-            // Build the four 64-bit slot registers (lane r = row i+r).
-            let mut slots = [_mm256_setzero_si256(); 4];
-            for (c, col) in cols.iter().enumerate() {
-                let slot = layout.slot(c);
-                let lane = slot.byte_offset / 8;
-                let shift_hi = slot.byte_offset % 8 == 4;
-                let v = load4(col, i, shift_hi);
-                slots[lane] = _mm256_or_si256(slots[lane], v);
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let acc_ptr = acc.as_mut_ptr();
+            let mut i = start;
+            while i + 4 <= end {
+                // Build the four 64-bit slot registers (lane r = row i+r).
+                let mut slots = [_mm256_setzero_si256(); 4];
+                for (c, col) in cols.iter().enumerate() {
+                    let slot = layout.slot(c);
+                    let lane = slot.byte_offset / 8;
+                    let shift_hi = slot.byte_offset % 8 == 4;
+                    let v = load4(col, i, shift_hi);
+                    slots[lane] = _mm256_or_si256(slots[lane], v);
+                }
+                // Generalized transposition: slot-major -> row-major.
+                let (r0, r1, r2, r3) = t4x4_epi64(slots[0], slots[1], slots[2], slots[3]);
+                // One load-add-store per row updates every sum at once.
+                for (r, row) in [r0, r1, r2, r3].into_iter().enumerate() {
+                    let g = *gids.get_unchecked(i + r) as usize;
+                    let p = acc_ptr.add(g * 4) as *mut __m256i;
+                    let cur = _mm256_loadu_si256(p);
+                    _mm256_storeu_si256(p, _mm256_add_epi64(cur, row));
+                }
+                i += 4;
             }
-            // Generalized transposition: slot-major -> row-major.
-            let (r0, r1, r2, r3) = t4x4_epi64(slots[0], slots[1], slots[2], slots[3]);
-            // One load-add-store per row updates every sum at once.
-            for (r, row) in [r0, r1, r2, r3].into_iter().enumerate() {
-                let g = *gids.get_unchecked(i + r) as usize;
-                let p = acc_ptr.add(g * 4) as *mut __m256i;
-                let cur = _mm256_loadu_si256(p);
-                _mm256_storeu_si256(p, _mm256_add_epi64(cur, row));
-            }
-            i += 4;
+            super::accumulate_scalar(gids, cols, layout, acc, i, end);
         }
-        super::accumulate_scalar(gids, cols, layout, acc, i, end);
     }
 }
 
@@ -300,12 +318,7 @@ mod tests {
         let v16: Vec<u16> = (0..n).map(|i| (i * 7 % 65_521) as u16).collect();
         let v32: Vec<u32> = (0..n).map(|i| (i as u32).wrapping_mul(2654435761) >> 8).collect();
         let v64: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(0x9E3779B9) >> 16).collect();
-        let cols = [
-            ColRef::U64(&v64),
-            ColRef::U32(&v32),
-            ColRef::U16(&v16),
-            ColRef::U8(&v8),
-        ];
+        let cols = [ColRef::U64(&v64), ColRef::U32(&v32), ColRef::U16(&v16), ColRef::U8(&v8)];
         let layout = RowLayout::plan_for(&cols).unwrap();
         let (_, expected) = reference_group_sums(&g, &cols, 32);
         for level in SimdLevel::available() {

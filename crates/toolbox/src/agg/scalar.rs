@@ -103,8 +103,14 @@ pub fn sum_single_array(gids: &[u8], col: ColRef<'_>, sums: &mut [i64]) {
 /// Multiple sums, *column-at-a-time* (§5.1): fully process each aggregate
 /// column before moving to the next. `sums[c * num_groups + g]` receives the
 /// sum of column `c` for group `g`.
-pub fn sums_column_at_a_time(gids: &[u8], cols: &[ColRef<'_>], num_groups: usize, sums: &mut [i64]) {
+pub fn sums_column_at_a_time(
+    gids: &[u8],
+    cols: &[ColRef<'_>],
+    num_groups: usize,
+    sums: &mut [i64],
+) {
     assert_eq!(sums.len(), cols.len() * num_groups, "accumulator size mismatch");
+    super::debug_assert_group_ids(gids, num_groups);
     for (c, col) in cols.iter().enumerate() {
         sum_single_array(gids, *col, &mut sums[c * num_groups..(c + 1) * num_groups]);
     }
@@ -120,6 +126,7 @@ pub fn sums_column_at_a_time(gids: &[u8], cols: &[ColRef<'_>], num_groups: usize
 pub fn sums_row_at_a_time(gids: &[u8], cols: &[ColRef<'_>], num_groups: usize, sums: &mut [i64]) {
     let k = cols.len();
     assert_eq!(sums.len(), k * num_groups, "accumulator size mismatch");
+    super::debug_assert_group_ids(gids, num_groups);
     let mut acc = vec![0i64; num_groups * k];
     row_major_accumulate(gids, cols, &mut acc, false);
     merge_row_major(&acc, k, num_groups, sums);
@@ -135,6 +142,7 @@ pub fn sums_row_at_a_time_unrolled(
 ) {
     let k = cols.len();
     assert_eq!(sums.len(), k * num_groups, "accumulator size mismatch");
+    super::debug_assert_group_ids(gids, num_groups);
     let mut acc = vec![0i64; num_groups * k];
     row_major_accumulate(gids, cols, &mut acc, true);
     merge_row_major(&acc, k, num_groups, sums);

@@ -62,6 +62,7 @@ pub fn bucket_sort(gids: &[u8], rows: Option<&[u32]>, num_buckets: usize, out: &
     if let Some(rows) = rows {
         assert_eq!(gids.len(), rows.len(), "gids/rows length mismatch");
     }
+    super::debug_assert_group_ids(gids, num_buckets);
     let n = gids.len();
     // Counting pass with even/odd counter pairs to avoid same-location
     // write conflicts between adjacent rows.
@@ -125,6 +126,7 @@ pub fn bucket_sort_single_counter(
     if let Some(rows) = rows {
         assert_eq!(gids.len(), rows.len(), "gids/rows length mismatch");
     }
+    super::debug_assert_group_ids(gids, num_buckets);
     let n = gids.len();
     let mut counts = vec![0u32; num_buckets];
     for &g in gids {
@@ -171,12 +173,19 @@ pub fn sum_sorted_packed(
     }
     let _ = level;
     for g in 0..buckets {
-        sums[g] += sorted
-            .bucket(g)
-            .iter()
-            .map(|&r| pv.get((base + r) as usize) as i64)
-            .sum::<i64>();
+        sums[g] += sum_gather_packed_scalar(pv, base, sorted.bucket(g));
     }
+}
+
+/// Scalar oracle for the fused decode-and-gather bucket sum: one packed-value
+/// extraction per sorted row index.
+pub fn sum_gather_packed_scalar(pv: &PackedVec, row_base: u32, rows: &[u32]) -> i64 {
+    rows.iter().map(|&r| pv.get((row_base + r) as usize) as i64).sum()
+}
+
+/// Scalar oracle for the decoded-`u32` gather bucket sum.
+pub fn sum_gather_u32_scalar(values: &[u32], rows: &[u32]) -> i64 {
+    rows.iter().map(|&r| values[r as usize] as i64).sum()
 }
 
 /// Sum an already-decoded `u32` column per group over sorted row indices
@@ -195,8 +204,7 @@ pub fn sum_sorted_u32(values: &[u32], sorted: &SortedBatch, sums: &mut [i64], le
     }
     let _ = level;
     for g in 0..buckets {
-        sums[g] +=
-            sorted.bucket(g).iter().map(|&r| values[r as usize] as i64).sum::<i64>();
+        sums[g] += sum_gather_u32_scalar(values, sorted.bucket(g));
     }
 }
 
@@ -214,6 +222,9 @@ mod avx2 {
     use crate::bitpack::PackedVec;
     use std::arch::x86_64::*;
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// Horizontal sum of four i64 lanes.
     #[inline]
     #[target_feature(enable = "avx2")]
@@ -224,6 +235,9 @@ mod avx2 {
         _mm_cvtsi128_si64(s) + _mm_extract_epi64::<1>(s)
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// Widen 8 u32 lanes to 2x4 u64 lanes and add into the accumulator.
     #[inline]
     #[target_feature(enable = "avx2")]
@@ -234,51 +248,69 @@ mod avx2 {
         _mm256_add_epi64(_mm256_add_epi64(acc, lo), hi)
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn sum_gather_packed(pv: &PackedVec, row_base: u32, rows: &[u32]) -> i64 {
-        let base = pv.bytes_padded().as_ptr();
-        let bits = _mm256_set1_epi32(pv.bits() as i32);
-        let seven = _mm256_set1_epi32(7);
-        let mask = _mm256_set1_epi32(pv.value_mask() as u32 as i32);
-        let basev = _mm256_set1_epi32(row_base as i32);
-        let mut acc = _mm256_setzero_si256();
-        let n = rows.len();
-        let mut i = 0usize;
-        while i + 8 <= n {
-            let local = _mm256_loadu_si256(rows.as_ptr().add(i) as *const __m256i);
-            let idx = _mm256_add_epi32(local, basev);
-            let bit = _mm256_mullo_epi32(idx, bits);
-            let byte_off = _mm256_srli_epi32::<3>(bit);
-            let shift = _mm256_and_si256(bit, seven);
-            let words = _mm256_i32gather_epi32::<1>(base as *const i32, byte_off);
-            let v = _mm256_and_si256(_mm256_srlv_epi32(words, shift), mask);
-            acc = add_widened(acc, v);
-            i += 8;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let base = pv.bytes_padded().as_ptr();
+            let bits = _mm256_set1_epi32(pv.bits() as i32);
+            let seven = _mm256_set1_epi32(7);
+            let mask = _mm256_set1_epi32(pv.value_mask() as u32 as i32);
+            let basev = _mm256_set1_epi32(row_base as i32);
+            let mut acc = _mm256_setzero_si256();
+            let n = rows.len();
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let local = _mm256_loadu_si256(rows.as_ptr().add(i) as *const __m256i);
+                let idx = _mm256_add_epi32(local, basev);
+                let bit = _mm256_mullo_epi32(idx, bits);
+                let byte_off = _mm256_srli_epi32::<3>(bit);
+                let shift = _mm256_and_si256(bit, seven);
+                let words = _mm256_i32gather_epi32::<1>(base as *const i32, byte_off);
+                let v = _mm256_and_si256(_mm256_srlv_epi32(words, shift), mask);
+                acc = add_widened(acc, v);
+                i += 8;
+            }
+            let mut total = hsum_epi64(acc);
+            for &r in &rows[i..] {
+                total += pv.get((row_base + r) as usize) as i64;
+            }
+            total
         }
-        let mut total = hsum_epi64(acc);
-        for &r in &rows[i..] {
-            total += pv.get((row_base + r) as usize) as i64;
-        }
-        total
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn sum_gather_u32(values: &[u32], rows: &[u32]) -> i64 {
-        let base = values.as_ptr();
-        let mut acc = _mm256_setzero_si256();
-        let n = rows.len();
-        let mut i = 0usize;
-        while i + 8 <= n {
-            let idx = _mm256_loadu_si256(rows.as_ptr().add(i) as *const __m256i);
-            let v = _mm256_i32gather_epi32::<4>(base as *const i32, idx);
-            acc = add_widened(acc, v);
-            i += 8;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let base = values.as_ptr();
+            let mut acc = _mm256_setzero_si256();
+            let n = rows.len();
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let idx = _mm256_loadu_si256(rows.as_ptr().add(i) as *const __m256i);
+                let v = _mm256_i32gather_epi32::<4>(base as *const i32, idx);
+                acc = add_widened(acc, v);
+                i += 8;
+            }
+            let mut total = hsum_epi64(acc);
+            for &r in &rows[i..] {
+                total += values[r as usize] as i64;
+            }
+            total
         }
-        let mut total = hsum_epi64(acc);
-        for &r in &rows[i..] {
-            total += values[r as usize] as i64;
-        }
-        total
     }
 }
 

@@ -81,6 +81,7 @@ impl PackedVec {
     /// `1..=64`.
     pub fn pack(values: &[u64], bits: u8) -> PackedVec {
         assert!((1..=MAX_BITS).contains(&bits), "bit width {bits} out of range 1..=64");
+        debug_assert_values_fit(values, bits);
         let limit_check = bits < 64;
         let limit = if limit_check { 1u64 << bits } else { 0 };
         let total_bits = values.len() * bits as usize;
@@ -276,6 +277,18 @@ pub fn mask_for(bits: u8) -> u64 {
     }
 }
 
+/// Debug-build check that every value fits in `bits` bits. [`PackedVec::pack`]
+/// asserts this per value unconditionally; the helper states the invariant
+/// for callers staging values before a pack (and for the unpack kernels,
+/// which assume it when masking).
+#[inline]
+pub fn debug_assert_values_fit(values: &[u64], bits: u8) {
+    debug_assert!(
+        values.iter().all(|&v| v <= mask_for(bits)),
+        "value does not fit in declared bit width {bits}"
+    );
+}
+
 #[inline]
 fn read_u64_le(bytes: &[u8], offset: usize) -> u64 {
     u64::from_le_bytes(bytes[offset..offset + 8].try_into().unwrap())
@@ -310,146 +323,198 @@ mod avx2 {
         mask: __m256i,
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn ctrl8(bits: usize, start_bit: usize) -> Ctrl8 {
-        let mut offs = [0i32; 8];
-        let mut shifts = [0i32; 8];
-        for k in 0..8 {
-            let bit = start_bit + k * bits;
-            offs[k] = (bit >> 3) as i32;
-            shifts[k] = (bit & 7) as i32;
-        }
-        Ctrl8 {
-            offsets: _mm256_loadu_si256(offs.as_ptr() as *const __m256i),
-            shifts: _mm256_loadu_si256(shifts.as_ptr() as *const __m256i),
-            mask: _mm256_set1_epi32(super::mask_for(bits as u8) as u32 as i32),
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let mut offs = [0i32; 8];
+            let mut shifts = [0i32; 8];
+            for k in 0..8 {
+                let bit = start_bit + k * bits;
+                offs[k] = (bit >> 3) as i32;
+                shifts[k] = (bit & 7) as i32;
+            }
+            Ctrl8 {
+                offsets: _mm256_loadu_si256(offs.as_ptr() as *const __m256i),
+                shifts: _mm256_loadu_si256(shifts.as_ptr() as *const __m256i),
+                mask: _mm256_set1_epi32(super::mask_for(bits as u8) as u32 as i32),
+            }
         }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// Gather-unpack 8 values starting at the iteration's byte base.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn gather8(base: *const u8, ctrl: &Ctrl8) -> __m256i {
-        let words = _mm256_i32gather_epi32::<1>(base as *const i32, ctrl.offsets);
-        let shifted = _mm256_srlv_epi32(words, ctrl.shifts);
-        _mm256_and_si256(shifted, ctrl.mask)
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let words = _mm256_i32gather_epi32::<1>(base as *const i32, ctrl.offsets);
+            let shifted = _mm256_srlv_epi32(words, ctrl.shifts);
+            _mm256_and_si256(shifted, ctrl.mask)
+        }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn unpack_u32(pv: &PackedVec, start: usize, out: &mut [u32]) {
-        let bits = pv.bits() as usize;
-        let bytes = pv.bytes_padded();
-        let start_bit = start * bits;
-        // Within-group bit pattern is relative to the group's byte base.
-        let ctrl = ctrl8(bits, start_bit & 7);
-        let mut byte_base = start_bit >> 3;
-        let n = out.len();
-        let mut i = 0usize;
-        while i + 8 <= n {
-            let v = gather8(bytes.as_ptr().add(byte_base), &ctrl);
-            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, v);
-            byte_base += bits; // 8 values = 8*bits bits = bits bytes
-            i += 8;
-        }
-        for k in i..n {
-            out[k] = pv.get(start + k) as u32;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let bits = pv.bits() as usize;
+            let bytes = pv.bytes_padded();
+            let start_bit = start * bits;
+            // Within-group bit pattern is relative to the group's byte base.
+            let ctrl = ctrl8(bits, start_bit & 7);
+            let mut byte_base = start_bit >> 3;
+            let n = out.len();
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let v = gather8(bytes.as_ptr().add(byte_base), &ctrl);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, v);
+                byte_base += bits; // 8 values = 8*bits bits = bits bytes
+                i += 8;
+            }
+            for k in i..n {
+                out[k] = pv.get(start + k) as u32;
+            }
         }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn unpack_u16(pv: &PackedVec, start: usize, out: &mut [u16]) {
-        let bits = pv.bits() as usize;
-        let bytes = pv.bytes_padded();
-        let start_bit = start * bits;
-        let ctrl = ctrl8(bits, start_bit & 7);
-        let mut byte_base = start_bit >> 3;
-        let n = out.len();
-        let mut i = 0usize;
-        while i + 16 <= n {
-            let lo = gather8(bytes.as_ptr().add(byte_base), &ctrl);
-            let hi = gather8(bytes.as_ptr().add(byte_base + bits), &ctrl);
-            // packus interleaves 128-bit halves; permute fixes the order.
-            let packed = _mm256_packus_epi32(lo, hi);
-            let fixed = _mm256_permute4x64_epi64::<0b11011000>(packed);
-            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, fixed);
-            byte_base += 2 * bits;
-            i += 16;
-        }
-        for k in i..n {
-            out[k] = pv.get(start + k) as u16;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let bits = pv.bits() as usize;
+            let bytes = pv.bytes_padded();
+            let start_bit = start * bits;
+            let ctrl = ctrl8(bits, start_bit & 7);
+            let mut byte_base = start_bit >> 3;
+            let n = out.len();
+            let mut i = 0usize;
+            while i + 16 <= n {
+                let lo = gather8(bytes.as_ptr().add(byte_base), &ctrl);
+                let hi = gather8(bytes.as_ptr().add(byte_base + bits), &ctrl);
+                // packus interleaves 128-bit halves; permute fixes the order.
+                let packed = _mm256_packus_epi32(lo, hi);
+                let fixed = _mm256_permute4x64_epi64::<0b11011000>(packed);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, fixed);
+                byte_base += 2 * bits;
+                i += 16;
+            }
+            for k in i..n {
+                out[k] = pv.get(start + k) as u16;
+            }
         }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn unpack_u8(pv: &PackedVec, start: usize, out: &mut [u8]) {
-        let bits = pv.bits() as usize;
-        let bytes = pv.bytes_padded();
-        let start_bit = start * bits;
-        let ctrl = ctrl8(bits, start_bit & 7);
-        let mut byte_base = start_bit >> 3;
-        let n = out.len();
-        let mut i = 0usize;
-        while i + 32 <= n {
-            let a = gather8(bytes.as_ptr().add(byte_base), &ctrl);
-            let b = gather8(bytes.as_ptr().add(byte_base + bits), &ctrl);
-            let c = gather8(bytes.as_ptr().add(byte_base + 2 * bits), &ctrl);
-            let d = gather8(bytes.as_ptr().add(byte_base + 3 * bits), &ctrl);
-            let ab = _mm256_packus_epi32(a, b); // a0..3 b0..3 a4..7 b4..7 (u16)
-            let cd = _mm256_packus_epi32(c, d);
-            let abcd = _mm256_packus_epi16(ab, cd); // interleaved u8
-            // Restore order: packus works within 128-bit lanes.
-            let perm = _mm256_permutevar8x32_epi32(
-                abcd,
-                _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7),
-            );
-            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, perm);
-            byte_base += 4 * bits;
-            i += 32;
-        }
-        for k in i..n {
-            out[k] = pv.get(start + k) as u8;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let bits = pv.bits() as usize;
+            let bytes = pv.bytes_padded();
+            let start_bit = start * bits;
+            let ctrl = ctrl8(bits, start_bit & 7);
+            let mut byte_base = start_bit >> 3;
+            let n = out.len();
+            let mut i = 0usize;
+            while i + 32 <= n {
+                let a = gather8(bytes.as_ptr().add(byte_base), &ctrl);
+                let b = gather8(bytes.as_ptr().add(byte_base + bits), &ctrl);
+                let c = gather8(bytes.as_ptr().add(byte_base + 2 * bits), &ctrl);
+                let d = gather8(bytes.as_ptr().add(byte_base + 3 * bits), &ctrl);
+                let ab = _mm256_packus_epi32(a, b); // a0..3 b0..3 a4..7 b4..7 (u16)
+                let cd = _mm256_packus_epi32(c, d);
+                let abcd = _mm256_packus_epi16(ab, cd); // interleaved u8
+                                                        // Restore order: packus works within 128-bit lanes.
+                let perm =
+                    _mm256_permutevar8x32_epi32(abcd, _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7));
+                _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, perm);
+                byte_base += 4 * bits;
+                i += 32;
+            }
+            for k in i..n {
+                out[k] = pv.get(start + k) as u8;
+            }
         }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn unpack_u64(pv: &PackedVec, start: usize, out: &mut [u64]) {
-        let bits = pv.bits() as usize;
-        let bytes = pv.bytes_padded();
-        let start_bit = start * bits;
-        let n = out.len();
-        // 4-lane 64-bit gathers; widths up to 57 are covered by a
-        // byte-aligned load (shift 0..=7 + 57 <= 64). Eight values advance
-        // by exactly `bits` bytes, so two offset/shift vectors (lanes 0..4
-        // and 4..8 of the group) stay loop-invariant.
-        let phase = start_bit & 7;
-        let mut offs = [0i64; 8];
-        let mut shifts = [0i64; 8];
-        for k in 0..8 {
-            let bit = phase + k * bits;
-            offs[k] = (bit >> 3) as i64;
-            shifts[k] = (bit & 7) as i64;
-        }
-        let offsets_lo = _mm256_loadu_si256(offs.as_ptr() as *const __m256i);
-        let offsets_hi = _mm256_loadu_si256(offs.as_ptr().add(4) as *const __m256i);
-        let shift_lo = _mm256_loadu_si256(shifts.as_ptr() as *const __m256i);
-        let shift_hi = _mm256_loadu_si256(shifts.as_ptr().add(4) as *const __m256i);
-        let mask = _mm256_set1_epi64x(pv.value_mask() as i64);
-        let mut byte_base = start_bit >> 3;
-        let mut i = 0usize;
-        while i + 8 <= n {
-            let base = bytes.as_ptr().add(byte_base) as *const i64;
-            let lo = _mm256_i64gather_epi64::<1>(base, offsets_lo);
-            let hi = _mm256_i64gather_epi64::<1>(base, offsets_hi);
-            let lo = _mm256_and_si256(_mm256_srlv_epi64(lo, shift_lo), mask);
-            let hi = _mm256_and_si256(_mm256_srlv_epi64(hi, shift_hi), mask);
-            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, lo);
-            _mm256_storeu_si256(out.as_mut_ptr().add(i + 4) as *mut __m256i, hi);
-            byte_base += bits; // 8 values = 8*bits bits = bits bytes
-            i += 8;
-        }
-        for k in i..n {
-            out[k] = pv.get(start + k);
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let bits = pv.bits() as usize;
+            let bytes = pv.bytes_padded();
+            let start_bit = start * bits;
+            let n = out.len();
+            // 4-lane 64-bit gathers; widths up to 57 are covered by a
+            // byte-aligned load (shift 0..=7 + 57 <= 64). Eight values advance
+            // by exactly `bits` bytes, so two offset/shift vectors (lanes 0..4
+            // and 4..8 of the group) stay loop-invariant.
+            let phase = start_bit & 7;
+            let mut offs = [0i64; 8];
+            let mut shifts = [0i64; 8];
+            for k in 0..8 {
+                let bit = phase + k * bits;
+                offs[k] = (bit >> 3) as i64;
+                shifts[k] = (bit & 7) as i64;
+            }
+            let offsets_lo = _mm256_loadu_si256(offs.as_ptr() as *const __m256i);
+            let offsets_hi = _mm256_loadu_si256(offs.as_ptr().add(4) as *const __m256i);
+            let shift_lo = _mm256_loadu_si256(shifts.as_ptr() as *const __m256i);
+            let shift_hi = _mm256_loadu_si256(shifts.as_ptr().add(4) as *const __m256i);
+            let mask = _mm256_set1_epi64x(pv.value_mask() as i64);
+            let mut byte_base = start_bit >> 3;
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let base = bytes.as_ptr().add(byte_base) as *const i64;
+                let lo = _mm256_i64gather_epi64::<1>(base, offsets_lo);
+                let hi = _mm256_i64gather_epi64::<1>(base, offsets_hi);
+                let lo = _mm256_and_si256(_mm256_srlv_epi64(lo, shift_lo), mask);
+                let hi = _mm256_and_si256(_mm256_srlv_epi64(hi, shift_hi), mask);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, lo);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i + 4) as *mut __m256i, hi);
+                byte_base += bits; // 8 values = 8*bits bits = bits bytes
+                i += 8;
+            }
+            for k in i..n {
+                out[k] = pv.get(start + k);
+            }
         }
     }
 }

@@ -163,46 +163,64 @@ mod avx512 {
         false
     }
 
+    /// # Safety
+    /// The CPU must support avx512f + avx512bw — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx512f", enable = "avx512bw")]
     unsafe fn cmp_u8_impl(data: &[u8], op: CmpOp, c: u8, out: &mut [u8]) {
-        let cv = _mm512_set1_epi8(c as i8);
-        let n = data.len();
-        let mut i = 0usize;
-        while i + 64 <= n {
-            let x = _mm512_loadu_si512(data.as_ptr().add(i) as *const _);
-            let m: __mmask64 = match op {
-                CmpOp::Eq => _mm512_cmpeq_epu8_mask(x, cv),
-                CmpOp::Ne => _mm512_cmpneq_epu8_mask(x, cv),
-                CmpOp::Lt => _mm512_cmplt_epu8_mask(x, cv),
-                CmpOp::Le => _mm512_cmple_epu8_mask(x, cv),
-                CmpOp::Gt => _mm512_cmpgt_epu8_mask(x, cv),
-                CmpOp::Ge => _mm512_cmpge_epu8_mask(x, cv),
-            };
-            _mm512_storeu_si512(out.as_mut_ptr().add(i) as *mut _, _mm512_movm_epi8(m));
-            i += 64;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let cv = _mm512_set1_epi8(c as i8);
+            let n = data.len();
+            let mut i = 0usize;
+            while i + 64 <= n {
+                let x = _mm512_loadu_si512(data.as_ptr().add(i) as *const _);
+                let m: __mmask64 = match op {
+                    CmpOp::Eq => _mm512_cmpeq_epu8_mask(x, cv),
+                    CmpOp::Ne => _mm512_cmpneq_epu8_mask(x, cv),
+                    CmpOp::Lt => _mm512_cmplt_epu8_mask(x, cv),
+                    CmpOp::Le => _mm512_cmple_epu8_mask(x, cv),
+                    CmpOp::Gt => _mm512_cmpgt_epu8_mask(x, cv),
+                    CmpOp::Ge => _mm512_cmpge_epu8_mask(x, cv),
+                };
+                _mm512_storeu_si512(out.as_mut_ptr().add(i) as *mut _, _mm512_movm_epi8(m));
+                i += 64;
+            }
+            super::cmp_scalar_u8(&data[i..], op, c, &mut out[i..]);
         }
-        super::cmp_scalar_u8(&data[i..], op, c, &mut out[i..]);
     }
 
+    /// # Safety
+    /// The CPU must support avx512f + avx512bw + avx512vl — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx512f", enable = "avx512bw", enable = "avx512vl")]
     unsafe fn cmp_u32_impl(data: &[u32], op: CmpOp, c: u32, out: &mut [u8]) {
-        let cv = _mm512_set1_epi32(c as i32);
-        let n = data.len();
-        let mut i = 0usize;
-        while i + 16 <= n {
-            let x = _mm512_loadu_si512(data.as_ptr().add(i) as *const _);
-            let m: __mmask16 = match op {
-                CmpOp::Eq => _mm512_cmpeq_epu32_mask(x, cv),
-                CmpOp::Ne => _mm512_cmpneq_epu32_mask(x, cv),
-                CmpOp::Lt => _mm512_cmplt_epu32_mask(x, cv),
-                CmpOp::Le => _mm512_cmple_epu32_mask(x, cv),
-                CmpOp::Gt => _mm512_cmpgt_epu32_mask(x, cv),
-                CmpOp::Ge => _mm512_cmpge_epu32_mask(x, cv),
-            };
-            _mm_storeu_si128(out.as_mut_ptr().add(i) as *mut __m128i, _mm_movm_epi8(m));
-            i += 16;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let cv = _mm512_set1_epi32(c as i32);
+            let n = data.len();
+            let mut i = 0usize;
+            while i + 16 <= n {
+                let x = _mm512_loadu_si512(data.as_ptr().add(i) as *const _);
+                let m: __mmask16 = match op {
+                    CmpOp::Eq => _mm512_cmpeq_epu32_mask(x, cv),
+                    CmpOp::Ne => _mm512_cmpneq_epu32_mask(x, cv),
+                    CmpOp::Lt => _mm512_cmplt_epu32_mask(x, cv),
+                    CmpOp::Le => _mm512_cmple_epu32_mask(x, cv),
+                    CmpOp::Gt => _mm512_cmpgt_epu32_mask(x, cv),
+                    CmpOp::Ge => _mm512_cmpge_epu32_mask(x, cv),
+                };
+                _mm_storeu_si128(out.as_mut_ptr().add(i) as *mut __m128i, _mm_movm_epi8(m));
+                i += 16;
+            }
+            super::cmp_scalar_u32(&data[i..], op, c, &mut out[i..]);
         }
-        super::cmp_scalar_u32(&data[i..], op, c, &mut out[i..]);
     }
 }
 
@@ -211,6 +229,9 @@ mod avx2 {
     use super::CmpOp;
     use std::arch::x86_64::*;
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// Apply `op` given the three primitive signed-compare results.
     ///
     /// AVX2 provides only EQ and GT; the other four operators are derived:
@@ -229,25 +250,37 @@ mod avx2 {
         }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn cmp_u8(data: &[u8], op: CmpOp, c: u8, out: &mut [u8]) {
-        // Flip sign bits to do unsigned comparison with signed instructions.
-        let flip = _mm256_set1_epi8(i8::MIN);
-        let cv = _mm256_xor_si256(_mm256_set1_epi8(c as i8), flip);
-        let n = data.len();
-        let mut i = 0;
-        while i + 32 <= n {
-            let x = _mm256_loadu_si256(data.as_ptr().add(i) as *const __m256i);
-            let xs = _mm256_xor_si256(x, flip);
-            let eq = _mm256_cmpeq_epi8(xs, cv);
-            let gt = _mm256_cmpgt_epi8(xs, cv);
-            let m = combine(op, eq, gt);
-            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, m);
-            i += 32;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            // Flip sign bits to do unsigned comparison with signed instructions.
+            let flip = _mm256_set1_epi8(i8::MIN);
+            let cv = _mm256_xor_si256(_mm256_set1_epi8(c as i8), flip);
+            let n = data.len();
+            let mut i = 0;
+            while i + 32 <= n {
+                let x = _mm256_loadu_si256(data.as_ptr().add(i) as *const __m256i);
+                let xs = _mm256_xor_si256(x, flip);
+                let eq = _mm256_cmpeq_epi8(xs, cv);
+                let gt = _mm256_cmpgt_epi8(xs, cv);
+                let m = combine(op, eq, gt);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, m);
+                i += 32;
+            }
+            super::cmp_scalar_u8(&data[i..], op, c, &mut out[i..]);
         }
-        super::cmp_scalar_u8(&data[i..], op, c, &mut out[i..]);
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// Pack two 16-lane word masks into one 32-lane byte mask, preserving
     /// element order (packs operates within 128-bit halves, so a cross-lane
     /// permute restores order).
@@ -258,28 +291,40 @@ mod avx2 {
         _mm256_permute4x64_epi64::<0b11011000>(packed)
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn cmp_u16(data: &[u16], op: CmpOp, c: u16, out: &mut [u8]) {
-        let flip = _mm256_set1_epi16(i16::MIN);
-        let cv = _mm256_xor_si256(_mm256_set1_epi16(c as i16), flip);
-        let n = data.len();
-        let mut i = 0;
-        while i + 32 <= n {
-            let mut masks = [_mm256_setzero_si256(); 2];
-            for (j, m) in masks.iter_mut().enumerate() {
-                let x = _mm256_loadu_si256(data.as_ptr().add(i + j * 16) as *const __m256i);
-                let xs = _mm256_xor_si256(x, flip);
-                let eq = _mm256_cmpeq_epi16(xs, cv);
-                let gt = _mm256_cmpgt_epi16(xs, cv);
-                *m = combine(op, eq, gt);
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let flip = _mm256_set1_epi16(i16::MIN);
+            let cv = _mm256_xor_si256(_mm256_set1_epi16(c as i16), flip);
+            let n = data.len();
+            let mut i = 0;
+            while i + 32 <= n {
+                let mut masks = [_mm256_setzero_si256(); 2];
+                for (j, m) in masks.iter_mut().enumerate() {
+                    let x = _mm256_loadu_si256(data.as_ptr().add(i + j * 16) as *const __m256i);
+                    let xs = _mm256_xor_si256(x, flip);
+                    let eq = _mm256_cmpeq_epi16(xs, cv);
+                    let gt = _mm256_cmpgt_epi16(xs, cv);
+                    *m = combine(op, eq, gt);
+                }
+                let bytes = pack16(masks[0], masks[1]);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, bytes);
+                i += 32;
             }
-            let bytes = pack16(masks[0], masks[1]);
-            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, bytes);
-            i += 32;
+            super::cmp_scalar_u16(&data[i..], op, c, &mut out[i..]);
         }
-        super::cmp_scalar_u16(&data[i..], op, c, &mut out[i..]);
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// Pack two 8-lane dword masks into one order-preserving 16-lane word
     /// mask.
     #[inline]
@@ -289,87 +334,117 @@ mod avx2 {
         _mm256_permute4x64_epi64::<0b11011000>(packed)
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn cmp_u32(data: &[u32], op: CmpOp, c: u32, out: &mut [u8]) {
-        let flip = _mm256_set1_epi32(i32::MIN);
-        let cv = _mm256_xor_si256(_mm256_set1_epi32(c as i32), flip);
-        let n = data.len();
-        let mut i = 0;
-        while i + 32 <= n {
-            let mut words = [_mm256_setzero_si256(); 2];
-            for (j, w) in words.iter_mut().enumerate() {
-                let x0 = _mm256_loadu_si256(data.as_ptr().add(i + j * 16) as *const __m256i);
-                let x1 = _mm256_loadu_si256(data.as_ptr().add(i + j * 16 + 8) as *const __m256i);
-                let xs0 = _mm256_xor_si256(x0, flip);
-                let xs1 = _mm256_xor_si256(x1, flip);
-                let m0 = combine(op, _mm256_cmpeq_epi32(xs0, cv), _mm256_cmpgt_epi32(xs0, cv));
-                let m1 = combine(op, _mm256_cmpeq_epi32(xs1, cv), _mm256_cmpgt_epi32(xs1, cv));
-                *w = pack32(m0, m1);
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let flip = _mm256_set1_epi32(i32::MIN);
+            let cv = _mm256_xor_si256(_mm256_set1_epi32(c as i32), flip);
+            let n = data.len();
+            let mut i = 0;
+            while i + 32 <= n {
+                let mut words = [_mm256_setzero_si256(); 2];
+                for (j, w) in words.iter_mut().enumerate() {
+                    let x0 = _mm256_loadu_si256(data.as_ptr().add(i + j * 16) as *const __m256i);
+                    let x1 =
+                        _mm256_loadu_si256(data.as_ptr().add(i + j * 16 + 8) as *const __m256i);
+                    let xs0 = _mm256_xor_si256(x0, flip);
+                    let xs1 = _mm256_xor_si256(x1, flip);
+                    let m0 = combine(op, _mm256_cmpeq_epi32(xs0, cv), _mm256_cmpgt_epi32(xs0, cv));
+                    let m1 = combine(op, _mm256_cmpeq_epi32(xs1, cv), _mm256_cmpgt_epi32(xs1, cv));
+                    *w = pack32(m0, m1);
+                }
+                let bytes = pack16(words[0], words[1]);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, bytes);
+                i += 32;
             }
-            let bytes = pack16(words[0], words[1]);
-            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, bytes);
-            i += 32;
+            super::cmp_scalar_u32(&data[i..], op, c, &mut out[i..]);
         }
-        super::cmp_scalar_u32(&data[i..], op, c, &mut out[i..]);
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn between_u32(data: &[u32], lo: u32, hi: u32, out: &mut [u8]) {
-        let flip = _mm256_set1_epi32(i32::MIN);
-        let lov = _mm256_xor_si256(_mm256_set1_epi32(lo as i32), flip);
-        let hiv = _mm256_xor_si256(_mm256_set1_epi32(hi as i32), flip);
-        let ones = _mm256_set1_epi8(-1);
-        let n = data.len();
-        let mut i = 0;
-        while i + 32 <= n {
-            let mut words = [_mm256_setzero_si256(); 2];
-            for (j, w) in words.iter_mut().enumerate() {
-                let mut dwords = [_mm256_setzero_si256(); 2];
-                for (k, d) in dwords.iter_mut().enumerate() {
-                    let x = _mm256_loadu_si256(
-                        data.as_ptr().add(i + j * 16 + k * 8) as *const __m256i
-                    );
-                    let xs = _mm256_xor_si256(x, flip);
-                    // lo <= x <= hi  ==  !(lo > x) & !(x > hi)
-                    let below = _mm256_cmpgt_epi32(lov, xs);
-                    let above = _mm256_cmpgt_epi32(xs, hiv);
-                    *d = _mm256_xor_si256(_mm256_or_si256(below, above), ones);
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let flip = _mm256_set1_epi32(i32::MIN);
+            let lov = _mm256_xor_si256(_mm256_set1_epi32(lo as i32), flip);
+            let hiv = _mm256_xor_si256(_mm256_set1_epi32(hi as i32), flip);
+            let ones = _mm256_set1_epi8(-1);
+            let n = data.len();
+            let mut i = 0;
+            while i + 32 <= n {
+                let mut words = [_mm256_setzero_si256(); 2];
+                for (j, w) in words.iter_mut().enumerate() {
+                    let mut dwords = [_mm256_setzero_si256(); 2];
+                    for (k, d) in dwords.iter_mut().enumerate() {
+                        let x = _mm256_loadu_si256(
+                            data.as_ptr().add(i + j * 16 + k * 8) as *const __m256i
+                        );
+                        let xs = _mm256_xor_si256(x, flip);
+                        // lo <= x <= hi  ==  !(lo > x) & !(x > hi)
+                        let below = _mm256_cmpgt_epi32(lov, xs);
+                        let above = _mm256_cmpgt_epi32(xs, hiv);
+                        *d = _mm256_xor_si256(_mm256_or_si256(below, above), ones);
+                    }
+                    *w = pack32(dwords[0], dwords[1]);
                 }
-                *w = pack32(dwords[0], dwords[1]);
+                let bytes = pack16(words[0], words[1]);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, bytes);
+                i += 32;
             }
-            let bytes = pack16(words[0], words[1]);
-            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, bytes);
-            i += 32;
+            super::between_scalar_u32(&data[i..], lo, hi, &mut out[i..]);
         }
-        super::between_scalar_u32(&data[i..], lo, hi, &mut out[i..]);
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn cmp_i64(data: &[i64], op: CmpOp, c: i64, out: &mut [u8]) {
-        let cv = _mm256_set1_epi64x(c);
-        let n = data.len();
-        let mut i = 0;
-        while i + 32 <= n {
-            let mut words = [_mm256_setzero_si256(); 2];
-            for (j, w) in words.iter_mut().enumerate() {
-                let mut dwords = [_mm256_setzero_si256(); 2];
-                for (k, d) in dwords.iter_mut().enumerate() {
-                    let base = i + j * 16 + k * 8;
-                    let x0 = _mm256_loadu_si256(data.as_ptr().add(base) as *const __m256i);
-                    let x1 = _mm256_loadu_si256(data.as_ptr().add(base + 4) as *const __m256i);
-                    let m0 = combine(op, _mm256_cmpeq_epi64(x0, cv), _mm256_cmpgt_epi64(x0, cv));
-                    let m1 = combine(op, _mm256_cmpeq_epi64(x1, cv), _mm256_cmpgt_epi64(x1, cv));
-                    // Pack qword masks to dword masks: qword masks are all-0
-                    // or all-1, so packs_epi32 saturation preserves them.
-                    *d = pack32(m0, m1);
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let cv = _mm256_set1_epi64x(c);
+            let n = data.len();
+            let mut i = 0;
+            while i + 32 <= n {
+                let mut words = [_mm256_setzero_si256(); 2];
+                for (j, w) in words.iter_mut().enumerate() {
+                    let mut dwords = [_mm256_setzero_si256(); 2];
+                    for (k, d) in dwords.iter_mut().enumerate() {
+                        let base = i + j * 16 + k * 8;
+                        let x0 = _mm256_loadu_si256(data.as_ptr().add(base) as *const __m256i);
+                        let x1 = _mm256_loadu_si256(data.as_ptr().add(base + 4) as *const __m256i);
+                        let m0 =
+                            combine(op, _mm256_cmpeq_epi64(x0, cv), _mm256_cmpgt_epi64(x0, cv));
+                        let m1 =
+                            combine(op, _mm256_cmpeq_epi64(x1, cv), _mm256_cmpgt_epi64(x1, cv));
+                        // Pack qword masks to dword masks: qword masks are all-0
+                        // or all-1, so packs_epi32 saturation preserves them.
+                        *d = pack32(m0, m1);
+                    }
+                    *w = pack32(dwords[0], dwords[1]);
                 }
-                *w = pack32(dwords[0], dwords[1]);
+                let bytes = pack16(words[0], words[1]);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, bytes);
+                i += 32;
             }
-            let bytes = pack16(words[0], words[1]);
-            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, bytes);
-            i += 32;
+            super::cmp_scalar_i64(&data[i..], op, c, &mut out[i..]);
         }
-        super::cmp_scalar_i64(&data[i..], op, c, &mut out[i..]);
     }
 }
 
@@ -437,8 +512,7 @@ mod tests {
 
     #[test]
     fn cmp_i64_all_ops() {
-        let data: Vec<i64> =
-            (0..100).map(|i| ((i as i64) - 50).wrapping_mul(0x12345678)).collect();
+        let data: Vec<i64> = (0..100).map(|i| ((i as i64) - 50).wrapping_mul(0x12345678)).collect();
         check(&data, &[i64::MIN, -1, 0, 1, i64::MAX], cmp_i64);
     }
 

@@ -40,7 +40,10 @@ impl SimdLevel {
     }
 
     fn detect_uncached() -> SimdLevel {
-        #[cfg(target_arch = "x86_64")]
+        // Miri interprets MIR and implements few vendor intrinsics; force
+        // the scalar tier so `cargo miri test` can exercise the oracle
+        // kernels (the differential tests then cover only that tier).
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
         {
             let avx2 = std::arch::is_x86_feature_detected!("avx2")
                 && std::arch::is_x86_feature_detected!("bmi2")

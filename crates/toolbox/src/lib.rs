@@ -43,8 +43,10 @@
 pub mod agg;
 pub mod bitpack;
 pub mod cmp;
+pub mod cycles;
 pub mod dispatch;
 pub mod radix;
+pub mod rng;
 pub mod select;
 pub mod selvec;
 pub mod transpose;

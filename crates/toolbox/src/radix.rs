@@ -41,31 +41,40 @@ pub fn fused_scale_add_u8_scalar(acc: &mut [u8], addend: &[u8], factor: u8) {
 mod avx2 {
     use std::arch::x86_64::*;
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// 32 codes per iteration: widen both byte vectors to 16-bit lanes,
     /// multiply-accumulate, and pack back down (values fit u8 by contract,
     /// so the saturating pack is exact).
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn fused_scale_add(acc: &mut [u8], addend: &[u8], factor: u8) {
-        let n = acc.len();
-        let f = _mm256_set1_epi16(factor as i16);
-        let zero = _mm256_setzero_si256();
-        let mut i = 0usize;
-        while i + 32 <= n {
-            let a = _mm256_loadu_si256(acc.as_ptr().add(i) as *const __m256i);
-            let b = _mm256_loadu_si256(addend.as_ptr().add(i) as *const __m256i);
-            // Widen within 128-bit halves; order is restored by the
-            // symmetric pack at the end.
-            let a_lo = _mm256_unpacklo_epi8(a, zero);
-            let a_hi = _mm256_unpackhi_epi8(a, zero);
-            let b_lo = _mm256_unpacklo_epi8(b, zero);
-            let b_hi = _mm256_unpackhi_epi8(b, zero);
-            let r_lo = _mm256_add_epi16(_mm256_mullo_epi16(a_lo, f), b_lo);
-            let r_hi = _mm256_add_epi16(_mm256_mullo_epi16(a_hi, f), b_hi);
-            let packed = _mm256_packus_epi16(r_lo, r_hi);
-            _mm256_storeu_si256(acc.as_mut_ptr().add(i) as *mut __m256i, packed);
-            i += 32;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let n = acc.len();
+            let f = _mm256_set1_epi16(factor as i16);
+            let zero = _mm256_setzero_si256();
+            let mut i = 0usize;
+            while i + 32 <= n {
+                let a = _mm256_loadu_si256(acc.as_ptr().add(i) as *const __m256i);
+                let b = _mm256_loadu_si256(addend.as_ptr().add(i) as *const __m256i);
+                // Widen within 128-bit halves; order is restored by the
+                // symmetric pack at the end.
+                let a_lo = _mm256_unpacklo_epi8(a, zero);
+                let a_hi = _mm256_unpackhi_epi8(a, zero);
+                let b_lo = _mm256_unpacklo_epi8(b, zero);
+                let b_hi = _mm256_unpackhi_epi8(b, zero);
+                let r_lo = _mm256_add_epi16(_mm256_mullo_epi16(a_lo, f), b_lo);
+                let r_hi = _mm256_add_epi16(_mm256_mullo_epi16(a_hi, f), b_hi);
+                let packed = _mm256_packus_epi16(r_lo, r_hi);
+                _mm256_storeu_si256(acc.as_mut_ptr().add(i) as *mut __m256i, packed);
+                i += 32;
+            }
+            super::fused_scale_add_u8_scalar(&mut acc[i..], &addend[i..], factor);
         }
-        super::fused_scale_add_u8_scalar(&mut acc[i..], &addend[i..], factor);
     }
 }
 

@@ -1,0 +1,179 @@
+//! Deterministic pseudo-random numbers for workload generation and tests.
+//!
+//! The repo builds fully offline, so the toolbox carries its own tiny PRNG
+//! instead of pulling in an external crate. It lives here — at the bottom of
+//! the crate graph — so every layer (including the toolbox's own tests, the
+//! TPC-H generator, the benches, and the examples) can share one
+//! implementation without dependency cycles.
+//!
+//! The generator is SplitMix64 (Steele, Lea & Flood, "Fast splittable
+//! pseudorandom number generators", OOPSLA'14): a 64-bit counter passed
+//! through a finalizer. It is not cryptographic, but it is fast, has a full
+//! 2^64 period, passes BigCrush, and — the property everything downstream
+//! relies on — is exactly reproducible from a seed across runs, machines,
+//! and compiler versions.
+
+use std::ops::{Bound, RangeBounds};
+
+/// A seeded SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed. Equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A full-range random value of any supported integer type.
+    #[inline]
+    pub fn random<T: UniformInt>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// A uniform value in `range` (empty ranges panic).
+    ///
+    /// Uses the widening-multiply range reduction, whose bias over a 64-bit
+    /// source is far below anything a test or workload could observe.
+    #[inline]
+    pub fn random_range<T: UniformInt, R: RangeBounds<T>>(&mut self, range: R) -> T {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v.to_i128(),
+            Bound::Excluded(&v) => v.to_i128() + 1,
+            Bound::Unbounded => T::MIN_I128,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) => v.to_i128(),
+            Bound::Excluded(&v) => v.to_i128() - 1,
+            Bound::Unbounded => T::MAX_I128,
+        };
+        assert!(lo <= hi, "empty range in random_range");
+        let span = (hi - lo + 1) as u128;
+        let v = if span == 0 {
+            // Full i128-width span can only mean the full domain of T.
+            self.next_u64() as u128
+        } else {
+            (self.next_u64() as u128 * span) >> 64
+        };
+        T::from_i128(lo + v as i128)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.random_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Integer types [`Rng`] can sample uniformly.
+pub trait UniformInt: Copy {
+    const MIN_I128: i128;
+    const MAX_I128: i128;
+    fn to_i128(self) -> i128;
+    fn from_i128(v: i128) -> Self;
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            const MIN_I128: i128 = <$t>::MIN as i128;
+            const MAX_I128: i128 = <$t>::MAX as i128;
+            #[inline]
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            #[inline]
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn from_bits(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_splitmix64_vector() {
+        // Reference values for seed 1234567 from the public-domain
+        // splitmix64.c test vectors.
+        let mut r = Rng::seed_from_u64(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.random_range(1..=7usize);
+            assert!((1..=7).contains(&v));
+            let v = r.random_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let v = r.random_range(0u64..1);
+            assert_eq!(v, 0);
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = Rng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.random_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bool_probability_is_plausible() {
+        let mut r = Rng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.3)).count();
+        assert!((2800..3200).contains(&hits), "got {hits}");
+    }
+}

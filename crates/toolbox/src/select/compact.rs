@@ -17,6 +17,7 @@ use crate::selvec::SelIndexVec;
 /// Transform a selection byte vector into a selection index vector
 /// (*index-vector mode*, §4.1). Previous contents of `out` are discarded.
 pub fn compact_indices(sel: &[u8], out: &mut SelIndexVec, level: SimdLevel) {
+    crate::selvec::debug_assert_sel_canonical(sel);
     let v = out.as_vec_mut();
     v.clear();
     #[cfg(target_arch = "x86_64")]
@@ -63,6 +64,7 @@ macro_rules! physical_compaction {
         /// Panics if `data` and `sel` lengths differ.
         pub fn $name(data: &[$ty], sel: &[u8], out: &mut Vec<$ty>, level: SimdLevel) {
             assert_eq!(data.len(), sel.len(), "data/selection length mismatch");
+            crate::selvec::debug_assert_sel_canonical(sel);
             #[cfg(target_arch = "x86_64")]
             {
                 if level.has_avx512() {
@@ -134,6 +136,9 @@ mod avx2 {
     use super::super::luts;
     use std::arch::x86_64::*;
 
+    /// # Safety
+    /// The CPU must support bmi2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// Extract the 8-row selection mask from 8 canonical selection bytes.
     #[inline]
     #[target_feature(enable = "bmi2")]
@@ -142,116 +147,155 @@ mod avx2 {
         _pext_u64(word, 0x0101010101010101) as usize
     }
 
+    /// # Safety
+    /// The CPU must support avx2 + bmi2 + popcnt — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2", enable = "bmi2", enable = "popcnt")]
     pub(super) unsafe fn compact_indices(sel: &[u8], out: &mut Vec<u32>) {
-        let n = sel.len();
-        // Each 8-row step stores a full 8-lane vector; reserve slack so the
-        // final store stays in bounds.
-        out.reserve(n + 8);
-        let ptr = out.as_mut_ptr();
-        let mut c = 0usize;
-        let mut i = 0usize;
-        let base_step = _mm256_set1_epi32(8);
-        let mut base = _mm256_setzero_si256();
-        while i + 8 <= n {
-            let m = mask8(sel, i);
-            let perm = _mm256_loadu_si256(luts::POS[m].as_ptr() as *const __m256i);
-            let indices = _mm256_add_epi32(base, perm);
-            _mm256_storeu_si256(ptr.add(c) as *mut __m256i, indices);
-            c += (m as u32).count_ones() as usize;
-            base = _mm256_add_epi32(base, base_step);
-            i += 8;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let n = sel.len();
+            // Each 8-row step stores a full 8-lane vector; reserve slack so the
+            // final store stays in bounds.
+            out.reserve(n + 8);
+            let ptr = out.as_mut_ptr();
+            let mut c = 0usize;
+            let mut i = 0usize;
+            let base_step = _mm256_set1_epi32(8);
+            let mut base = _mm256_setzero_si256();
+            while i + 8 <= n {
+                let m = mask8(sel, i);
+                let perm = _mm256_loadu_si256(luts::POS[m].as_ptr() as *const __m256i);
+                let indices = _mm256_add_epi32(base, perm);
+                _mm256_storeu_si256(ptr.add(c) as *mut __m256i, indices);
+                c += (m as u32).count_ones() as usize;
+                base = _mm256_add_epi32(base, base_step);
+                i += 8;
+            }
+            for k in i..n {
+                ptr.add(c).write(k as u32);
+                c += (sel[k] & 1) as usize;
+            }
+            out.set_len(c);
         }
-        for k in i..n {
-            ptr.add(c).write(k as u32);
-            c += (sel[k] & 1) as usize;
-        }
-        out.set_len(c);
     }
 
+    /// # Safety
+    /// The CPU must support avx2 + bmi2 + popcnt — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2", enable = "bmi2", enable = "popcnt")]
     pub(super) unsafe fn compact_u32(data: &[u32], sel: &[u8], out: &mut Vec<u32>) {
-        let n = data.len();
-        out.clear();
-        out.reserve(n + 8);
-        let ptr = out.as_mut_ptr();
-        let mut c = 0usize;
-        let mut i = 0usize;
-        while i + 8 <= n {
-            let m = mask8(sel, i);
-            let v = _mm256_loadu_si256(data.as_ptr().add(i) as *const __m256i);
-            let perm = _mm256_loadu_si256(luts::POS[m].as_ptr() as *const __m256i);
-            let packed = _mm256_permutevar8x32_epi32(v, perm);
-            _mm256_storeu_si256(ptr.add(c) as *mut __m256i, packed);
-            c += (m as u32).count_ones() as usize;
-            i += 8;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let n = data.len();
+            out.clear();
+            out.reserve(n + 8);
+            let ptr = out.as_mut_ptr();
+            let mut c = 0usize;
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let m = mask8(sel, i);
+                let v = _mm256_loadu_si256(data.as_ptr().add(i) as *const __m256i);
+                let perm = _mm256_loadu_si256(luts::POS[m].as_ptr() as *const __m256i);
+                let packed = _mm256_permutevar8x32_epi32(v, perm);
+                _mm256_storeu_si256(ptr.add(c) as *mut __m256i, packed);
+                c += (m as u32).count_ones() as usize;
+                i += 8;
+            }
+            for k in i..n {
+                ptr.add(c).write(data[k]);
+                c += (sel[k] & 1) as usize;
+            }
+            out.set_len(c);
         }
-        for k in i..n {
-            ptr.add(c).write(data[k]);
-            c += (sel[k] & 1) as usize;
-        }
-        out.set_len(c);
     }
 
+    /// # Safety
+    /// The CPU must support avx2 + bmi2 + popcnt + ssse3 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2", enable = "bmi2", enable = "popcnt", enable = "ssse3")]
     pub(super) unsafe fn compact_u8(data: &[u8], sel: &[u8], out: &mut Vec<u8>) {
-        let n = data.len();
-        out.clear();
-        out.reserve(n + 16);
-        let ptr = out.as_mut_ptr();
-        let mut c = 0usize;
-        let mut i = 0usize;
-        let eight = _mm_set1_epi8(8);
-        while i + 16 <= n {
-            let v = _mm_loadu_si128(data.as_ptr().add(i) as *const __m128i);
-            let s = _mm_loadu_si128(sel.as_ptr().add(i) as *const __m128i);
-            let m16 = _mm_movemask_epi8(s) as usize;
-            let m0 = m16 & 0xFF;
-            let m1 = m16 >> 8;
-            // Low 8 rows: shuffle pattern selects bytes 0..8.
-            let shuf0 = _mm_loadu_si128(luts::SHUF8[m0].as_ptr() as *const __m128i);
-            _mm_storeu_si128(ptr.add(c) as *mut __m128i, _mm_shuffle_epi8(v, shuf0));
-            c += (m0 as u32).count_ones() as usize;
-            // High 8 rows: same pattern shifted by 8; 0x80 + 8 keeps the
-            // zeroing bit set.
-            let shuf1 = _mm_add_epi8(
-                _mm_loadu_si128(luts::SHUF8[m1].as_ptr() as *const __m128i),
-                eight,
-            );
-            _mm_storeu_si128(ptr.add(c) as *mut __m128i, _mm_shuffle_epi8(v, shuf1));
-            c += (m1 as u32).count_ones() as usize;
-            i += 16;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let n = data.len();
+            out.clear();
+            out.reserve(n + 16);
+            let ptr = out.as_mut_ptr();
+            let mut c = 0usize;
+            let mut i = 0usize;
+            let eight = _mm_set1_epi8(8);
+            while i + 16 <= n {
+                let v = _mm_loadu_si128(data.as_ptr().add(i) as *const __m128i);
+                let s = _mm_loadu_si128(sel.as_ptr().add(i) as *const __m128i);
+                let m16 = _mm_movemask_epi8(s) as usize;
+                let m0 = m16 & 0xFF;
+                let m1 = m16 >> 8;
+                // Low 8 rows: shuffle pattern selects bytes 0..8.
+                let shuf0 = _mm_loadu_si128(luts::SHUF8[m0].as_ptr() as *const __m128i);
+                _mm_storeu_si128(ptr.add(c) as *mut __m128i, _mm_shuffle_epi8(v, shuf0));
+                c += (m0 as u32).count_ones() as usize;
+                // High 8 rows: same pattern shifted by 8; 0x80 + 8 keeps the
+                // zeroing bit set.
+                let shuf1 = _mm_add_epi8(
+                    _mm_loadu_si128(luts::SHUF8[m1].as_ptr() as *const __m128i),
+                    eight,
+                );
+                _mm_storeu_si128(ptr.add(c) as *mut __m128i, _mm_shuffle_epi8(v, shuf1));
+                c += (m1 as u32).count_ones() as usize;
+                i += 16;
+            }
+            for k in i..n {
+                ptr.add(c).write(data[k]);
+                c += (sel[k] & 1) as usize;
+            }
+            out.set_len(c);
         }
-        for k in i..n {
-            ptr.add(c).write(data[k]);
-            c += (sel[k] & 1) as usize;
-        }
-        out.set_len(c);
     }
 
+    /// # Safety
+    /// The CPU must support avx2 + bmi2 + popcnt + ssse3 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2", enable = "bmi2", enable = "popcnt", enable = "ssse3")]
     pub(super) unsafe fn compact_u16(data: &[u16], sel: &[u8], out: &mut Vec<u16>) {
-        let n = data.len();
-        out.clear();
-        out.reserve(n + 8);
-        let ptr = out.as_mut_ptr();
-        let mut c = 0usize;
-        let mut i = 0usize;
-        while i + 8 <= n {
-            let m = mask8(sel, i);
-            let v = _mm_loadu_si128(data.as_ptr().add(i) as *const __m128i);
-            let shuf = _mm_loadu_si128(luts::SHUF16[m].as_ptr() as *const __m128i);
-            _mm_storeu_si128(ptr.add(c) as *mut __m128i, _mm_shuffle_epi8(v, shuf));
-            c += (m as u32).count_ones() as usize;
-            i += 8;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let n = data.len();
+            out.clear();
+            out.reserve(n + 8);
+            let ptr = out.as_mut_ptr();
+            let mut c = 0usize;
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let m = mask8(sel, i);
+                let v = _mm_loadu_si128(data.as_ptr().add(i) as *const __m128i);
+                let shuf = _mm_loadu_si128(luts::SHUF16[m].as_ptr() as *const __m128i);
+                _mm_storeu_si128(ptr.add(c) as *mut __m128i, _mm_shuffle_epi8(v, shuf));
+                c += (m as u32).count_ones() as usize;
+                i += 8;
+            }
+            for k in i..n {
+                ptr.add(c).write(data[k]);
+                c += (sel[k] & 1) as usize;
+            }
+            out.set_len(c);
         }
-        for k in i..n {
-            ptr.add(c).write(data[k]);
-            c += (sel[k] & 1) as usize;
-        }
-        out.set_len(c);
     }
 
+    /// # Safety
+    /// The CPU must support avx2 + bmi2 + popcnt — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2", enable = "bmi2", enable = "popcnt")]
     pub(super) unsafe fn compact_u64(data: &[u64], sel: &[u8], out: &mut Vec<u64>) {
         // Scalar branch-free loop; 4-lane AVX2 permutes do not pay off here.
@@ -268,69 +312,108 @@ mod avx512 {
 
     use std::arch::x86_64::*;
 
+    /// # Safety
+    /// The CPU must support avx512f + avx512bw — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// Mask of non-zero bytes among 64 selection bytes.
     #[inline]
     #[target_feature(enable = "avx512f", enable = "avx512bw")]
     unsafe fn mask64(sel: &[u8], i: usize) -> __mmask64 {
-        let v = _mm512_loadu_si512(sel.as_ptr().add(i) as *const _);
-        _mm512_test_epi8_mask(v, v)
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let v = _mm512_loadu_si512(sel.as_ptr().add(i) as *const _);
+            _mm512_test_epi8_mask(v, v)
+        }
     }
 
+    /// # Safety
+    /// The CPU must support avx512f + avx512bw + avx512vl — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// Mask of non-zero bytes among 16 selection bytes.
     #[inline]
     #[target_feature(enable = "avx512f", enable = "avx512bw", enable = "avx512vl")]
     unsafe fn mask16(sel: &[u8], i: usize) -> __mmask16 {
-        let v = _mm_loadu_si128(sel.as_ptr().add(i) as *const __m128i);
-        _mm_test_epi8_mask(v, v)
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let v = _mm_loadu_si128(sel.as_ptr().add(i) as *const __m128i);
+            _mm_test_epi8_mask(v, v)
+        }
     }
 
+    /// # Safety
+    /// The CPU must support avx512f + avx512bw + avx512vl — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx512f", enable = "avx512bw", enable = "avx512vl")]
     pub(super) unsafe fn compact_indices(sel: &[u8], out: &mut Vec<u32>) {
-        let n = sel.len();
-        out.reserve(n + 16);
-        let ptr = out.as_mut_ptr();
-        let mut c = 0usize;
-        let mut i = 0usize;
-        let step = _mm512_set1_epi32(16);
-        let mut base = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
-        while i + 16 <= n {
-            let m = mask16(sel, i);
-            let packed = _mm512_maskz_compress_epi32(m, base);
-            _mm512_storeu_si512(ptr.add(c) as *mut _, packed);
-            c += m.count_ones() as usize;
-            base = _mm512_add_epi32(base, step);
-            i += 16;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let n = sel.len();
+            out.reserve(n + 16);
+            let ptr = out.as_mut_ptr();
+            let mut c = 0usize;
+            let mut i = 0usize;
+            let step = _mm512_set1_epi32(16);
+            let mut base = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+            while i + 16 <= n {
+                let m = mask16(sel, i);
+                let packed = _mm512_maskz_compress_epi32(m, base);
+                _mm512_storeu_si512(ptr.add(c) as *mut _, packed);
+                c += m.count_ones() as usize;
+                base = _mm512_add_epi32(base, step);
+                i += 16;
+            }
+            for k in i..n {
+                ptr.add(c).write(k as u32);
+                c += (sel[k] & 1) as usize;
+            }
+            out.set_len(c);
         }
-        for k in i..n {
-            ptr.add(c).write(k as u32);
-            c += (sel[k] & 1) as usize;
-        }
-        out.set_len(c);
     }
 
+    /// # Safety
+    /// The CPU must support avx512f + avx512bw + avx512vbmi2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx512f", enable = "avx512bw", enable = "avx512vbmi2")]
     pub(super) unsafe fn compact_u8(data: &[u8], sel: &[u8], out: &mut Vec<u8>) {
-        let n = data.len();
-        out.clear();
-        out.reserve(n + 64);
-        let ptr = out.as_mut_ptr();
-        let mut c = 0usize;
-        let mut i = 0usize;
-        while i + 64 <= n {
-            let m = mask64(sel, i);
-            let v = _mm512_loadu_si512(data.as_ptr().add(i) as *const _);
-            let packed = _mm512_maskz_compress_epi8(m, v);
-            _mm512_storeu_si512(ptr.add(c) as *mut _, packed);
-            c += m.count_ones() as usize;
-            i += 64;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let n = data.len();
+            out.clear();
+            out.reserve(n + 64);
+            let ptr = out.as_mut_ptr();
+            let mut c = 0usize;
+            let mut i = 0usize;
+            while i + 64 <= n {
+                let m = mask64(sel, i);
+                let v = _mm512_loadu_si512(data.as_ptr().add(i) as *const _);
+                let packed = _mm512_maskz_compress_epi8(m, v);
+                _mm512_storeu_si512(ptr.add(c) as *mut _, packed);
+                c += m.count_ones() as usize;
+                i += 64;
+            }
+            for k in i..n {
+                ptr.add(c).write(data[k]);
+                c += (sel[k] & 1) as usize;
+            }
+            out.set_len(c);
         }
-        for k in i..n {
-            ptr.add(c).write(data[k]);
-            c += (sel[k] & 1) as usize;
-        }
-        out.set_len(c);
     }
 
+    /// # Safety
+    /// The CPU must support avx512f + avx512bw + avx512vl + avx512vbmi2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(
         enable = "avx512f",
         enable = "avx512bw",
@@ -338,73 +421,97 @@ mod avx512 {
         enable = "avx512vbmi2"
     )]
     pub(super) unsafe fn compact_u16(data: &[u16], sel: &[u8], out: &mut Vec<u16>) {
-        let n = data.len();
-        out.clear();
-        out.reserve(n + 32);
-        let ptr = out.as_mut_ptr();
-        let mut c = 0usize;
-        let mut i = 0usize;
-        while i + 32 <= n {
-            let s = _mm256_loadu_si256(sel.as_ptr().add(i) as *const __m256i);
-            let m = _mm256_test_epi8_mask(s, s);
-            let v = _mm512_loadu_si512(data.as_ptr().add(i) as *const _);
-            let packed = _mm512_maskz_compress_epi16(m, v);
-            _mm512_storeu_si512(ptr.add(c) as *mut _, packed);
-            c += m.count_ones() as usize;
-            i += 32;
+        // SAFETY: the caller upholds this helper's contract: the enclosing
+        // module's target features are enabled and the pointer/layout
+        // arguments obey the documented preconditions, keeping every access
+        // below in bounds.
+        unsafe {
+            let n = data.len();
+            out.clear();
+            out.reserve(n + 32);
+            let ptr = out.as_mut_ptr();
+            let mut c = 0usize;
+            let mut i = 0usize;
+            while i + 32 <= n {
+                let s = _mm256_loadu_si256(sel.as_ptr().add(i) as *const __m256i);
+                let m = _mm256_test_epi8_mask(s, s);
+                let v = _mm512_loadu_si512(data.as_ptr().add(i) as *const _);
+                let packed = _mm512_maskz_compress_epi16(m, v);
+                _mm512_storeu_si512(ptr.add(c) as *mut _, packed);
+                c += m.count_ones() as usize;
+                i += 32;
+            }
+            for k in i..n {
+                ptr.add(c).write(data[k]);
+                c += (sel[k] & 1) as usize;
+            }
+            out.set_len(c);
         }
-        for k in i..n {
-            ptr.add(c).write(data[k]);
-            c += (sel[k] & 1) as usize;
-        }
-        out.set_len(c);
     }
 
+    /// # Safety
+    /// The CPU must support avx512f + avx512bw + avx512vl — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx512f", enable = "avx512bw", enable = "avx512vl")]
     pub(super) unsafe fn compact_u32(data: &[u32], sel: &[u8], out: &mut Vec<u32>) {
-        let n = data.len();
-        out.clear();
-        out.reserve(n + 16);
-        let ptr = out.as_mut_ptr();
-        let mut c = 0usize;
-        let mut i = 0usize;
-        while i + 16 <= n {
-            let m = mask16(sel, i);
-            let v = _mm512_loadu_si512(data.as_ptr().add(i) as *const _);
-            let packed = _mm512_maskz_compress_epi32(m, v);
-            _mm512_storeu_si512(ptr.add(c) as *mut _, packed);
-            c += m.count_ones() as usize;
-            i += 16;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let n = data.len();
+            out.clear();
+            out.reserve(n + 16);
+            let ptr = out.as_mut_ptr();
+            let mut c = 0usize;
+            let mut i = 0usize;
+            while i + 16 <= n {
+                let m = mask16(sel, i);
+                let v = _mm512_loadu_si512(data.as_ptr().add(i) as *const _);
+                let packed = _mm512_maskz_compress_epi32(m, v);
+                _mm512_storeu_si512(ptr.add(c) as *mut _, packed);
+                c += m.count_ones() as usize;
+                i += 16;
+            }
+            for k in i..n {
+                ptr.add(c).write(data[k]);
+                c += (sel[k] & 1) as usize;
+            }
+            out.set_len(c);
         }
-        for k in i..n {
-            ptr.add(c).write(data[k]);
-            c += (sel[k] & 1) as usize;
-        }
-        out.set_len(c);
     }
 
+    /// # Safety
+    /// The CPU must support avx512f + avx512bw + avx512vl — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx512f", enable = "avx512bw", enable = "avx512vl")]
     pub(super) unsafe fn compact_u64(data: &[u64], sel: &[u8], out: &mut Vec<u64>) {
-        let n = data.len();
-        out.clear();
-        out.reserve(n + 8);
-        let ptr = out.as_mut_ptr();
-        let mut c = 0usize;
-        let mut i = 0usize;
-        while i + 8 <= n {
-            let s = _mm_loadl_epi64(sel.as_ptr().add(i) as *const __m128i);
-            let m = _mm_test_epi8_mask(s, s) as u8;
-            let v = _mm512_loadu_si512(data.as_ptr().add(i) as *const _);
-            let packed = _mm512_maskz_compress_epi64(m, v);
-            _mm512_storeu_si512(ptr.add(c) as *mut _, packed);
-            c += m.count_ones() as usize;
-            i += 8;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let n = data.len();
+            out.clear();
+            out.reserve(n + 8);
+            let ptr = out.as_mut_ptr();
+            let mut c = 0usize;
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let s = _mm_loadl_epi64(sel.as_ptr().add(i) as *const __m128i);
+                let m = _mm_test_epi8_mask(s, s) as u8;
+                let v = _mm512_loadu_si512(data.as_ptr().add(i) as *const _);
+                let packed = _mm512_maskz_compress_epi64(m, v);
+                _mm512_storeu_si512(ptr.add(c) as *mut _, packed);
+                c += m.count_ones() as usize;
+                i += 8;
+            }
+            for k in i..n {
+                ptr.add(c).write(data[k]);
+                c += (sel[k] & 1) as usize;
+            }
+            out.set_len(c);
         }
-        for k in i..n {
-            ptr.add(c).write(data[k]);
-            c += (sel[k] & 1) as usize;
-        }
-        out.set_len(c);
     }
 }
 

@@ -92,6 +92,9 @@ mod avx2 {
     use crate::bitpack::PackedVec;
     use std::arch::x86_64::*;
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// Gather 8 packed values given their row indices: bit offsets are
     /// computed in-register (`index * bits`), split into byte offsets and
     /// sub-byte shifts, fetched with `vpgatherdd`, shifted and masked.
@@ -106,112 +109,155 @@ mod avx2 {
         seven: __m256i,
         mask: __m256i,
     ) -> __m256i {
-        let bit = _mm256_mullo_epi32(idx, bits);
-        let byte_off = _mm256_srli_epi32::<3>(bit);
-        let shift = _mm256_and_si256(bit, seven);
-        let words = _mm256_i32gather_epi32::<1>(base as *const i32, byte_off);
-        _mm256_and_si256(_mm256_srlv_epi32(words, shift), mask)
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let bit = _mm256_mullo_epi32(idx, bits);
+            let byte_off = _mm256_srli_epi32::<3>(bit);
+            let shift = _mm256_and_si256(bit, seven);
+            let words = _mm256_i32gather_epi32::<1>(base as *const i32, byte_off);
+            _mm256_and_si256(_mm256_srlv_epi32(words, shift), mask)
+        }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn gather_u32(pv: &PackedVec, indices: &[u32], out: &mut [u32]) {
-        let base = pv.bytes_padded().as_ptr();
-        let bits = _mm256_set1_epi32(pv.bits() as i32);
-        let seven = _mm256_set1_epi32(7);
-        let mask = _mm256_set1_epi32(pv.value_mask() as u32 as i32);
-        let n = indices.len();
-        let mut i = 0usize;
-        while i + 8 <= n {
-            let idx = _mm256_loadu_si256(indices.as_ptr().add(i) as *const __m256i);
-            let v = gather8(base, idx, bits, seven, mask);
-            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, v);
-            i += 8;
-        }
-        for k in i..n {
-            out[k] = pv.get(indices[k] as usize) as u32;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let base = pv.bytes_padded().as_ptr();
+            let bits = _mm256_set1_epi32(pv.bits() as i32);
+            let seven = _mm256_set1_epi32(7);
+            let mask = _mm256_set1_epi32(pv.value_mask() as u32 as i32);
+            let n = indices.len();
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let idx = _mm256_loadu_si256(indices.as_ptr().add(i) as *const __m256i);
+                let v = gather8(base, idx, bits, seven, mask);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, v);
+                i += 8;
+            }
+            for k in i..n {
+                out[k] = pv.get(indices[k] as usize) as u32;
+            }
         }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn gather_u16(pv: &PackedVec, indices: &[u32], out: &mut [u16]) {
-        let base = pv.bytes_padded().as_ptr();
-        let bits = _mm256_set1_epi32(pv.bits() as i32);
-        let seven = _mm256_set1_epi32(7);
-        let mask = _mm256_set1_epi32(pv.value_mask() as u32 as i32);
-        let n = indices.len();
-        let mut i = 0usize;
-        while i + 16 <= n {
-            let i0 = _mm256_loadu_si256(indices.as_ptr().add(i) as *const __m256i);
-            let i1 = _mm256_loadu_si256(indices.as_ptr().add(i + 8) as *const __m256i);
-            let lo = gather8(base, i0, bits, seven, mask);
-            let hi = gather8(base, i1, bits, seven, mask);
-            let packed = _mm256_packus_epi32(lo, hi);
-            let fixed = _mm256_permute4x64_epi64::<0b11011000>(packed);
-            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, fixed);
-            i += 16;
-        }
-        for k in i..n {
-            out[k] = pv.get(indices[k] as usize) as u16;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let base = pv.bytes_padded().as_ptr();
+            let bits = _mm256_set1_epi32(pv.bits() as i32);
+            let seven = _mm256_set1_epi32(7);
+            let mask = _mm256_set1_epi32(pv.value_mask() as u32 as i32);
+            let n = indices.len();
+            let mut i = 0usize;
+            while i + 16 <= n {
+                let i0 = _mm256_loadu_si256(indices.as_ptr().add(i) as *const __m256i);
+                let i1 = _mm256_loadu_si256(indices.as_ptr().add(i + 8) as *const __m256i);
+                let lo = gather8(base, i0, bits, seven, mask);
+                let hi = gather8(base, i1, bits, seven, mask);
+                let packed = _mm256_packus_epi32(lo, hi);
+                let fixed = _mm256_permute4x64_epi64::<0b11011000>(packed);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, fixed);
+                i += 16;
+            }
+            for k in i..n {
+                out[k] = pv.get(indices[k] as usize) as u16;
+            }
         }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn gather_u8(pv: &PackedVec, indices: &[u32], out: &mut [u8]) {
-        let base = pv.bytes_padded().as_ptr();
-        let bits = _mm256_set1_epi32(pv.bits() as i32);
-        let seven = _mm256_set1_epi32(7);
-        let mask = _mm256_set1_epi32(pv.value_mask() as u32 as i32);
-        let n = indices.len();
-        let mut i = 0usize;
-        while i + 32 <= n {
-            let mut regs = [_mm256_setzero_si256(); 4];
-            for (j, r) in regs.iter_mut().enumerate() {
-                let idx = _mm256_loadu_si256(indices.as_ptr().add(i + j * 8) as *const __m256i);
-                *r = gather8(base, idx, bits, seven, mask);
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let base = pv.bytes_padded().as_ptr();
+            let bits = _mm256_set1_epi32(pv.bits() as i32);
+            let seven = _mm256_set1_epi32(7);
+            let mask = _mm256_set1_epi32(pv.value_mask() as u32 as i32);
+            let n = indices.len();
+            let mut i = 0usize;
+            while i + 32 <= n {
+                let mut regs = [_mm256_setzero_si256(); 4];
+                for (j, r) in regs.iter_mut().enumerate() {
+                    let idx = _mm256_loadu_si256(indices.as_ptr().add(i + j * 8) as *const __m256i);
+                    *r = gather8(base, idx, bits, seven, mask);
+                }
+                let ab = _mm256_packus_epi32(regs[0], regs[1]);
+                let cd = _mm256_packus_epi32(regs[2], regs[3]);
+                let abcd = _mm256_packus_epi16(ab, cd);
+                let perm =
+                    _mm256_permutevar8x32_epi32(abcd, _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7));
+                _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, perm);
+                i += 32;
             }
-            let ab = _mm256_packus_epi32(regs[0], regs[1]);
-            let cd = _mm256_packus_epi32(regs[2], regs[3]);
-            let abcd = _mm256_packus_epi16(ab, cd);
-            let perm = _mm256_permutevar8x32_epi32(
-                abcd,
-                _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7),
-            );
-            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, perm);
-            i += 32;
-        }
-        for k in i..n {
-            out[k] = pv.get(indices[k] as usize) as u8;
+            for k in i..n {
+                out[k] = pv.get(indices[k] as usize) as u8;
+            }
         }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn gather_u64(pv: &PackedVec, indices: &[u32], out: &mut [u64]) {
-        let base = pv.bytes_padded().as_ptr();
-        let bits = pv.bits() as u64;
-        let mask = _mm256_set1_epi64x(pv.value_mask() as i64);
-        let seven = _mm256_set1_epi64x(7);
-        let n = indices.len();
-        let mut i = 0usize;
-        while i + 4 <= n {
-            // Widen 4 u32 indices to u64 lanes, compute bit offsets with a
-            // 64-bit multiply-by-constant (indices * bits fits 64 bits).
-            let idx32 = _mm_loadu_si128(indices.as_ptr().add(i) as *const __m128i);
-            let idx = _mm256_cvtepu32_epi64(idx32);
-            // 64-bit multiply by small constant via shift-add decomposition
-            // is overkill; mul_epu32 works since indices < 2^32 and bits < 64.
-            let bit = mul_epu64_small(idx, bits);
-            let byte_off = _mm256_srli_epi64::<3>(bit);
-            let shift = _mm256_and_si256(bit, seven);
-            let words = _mm256_i64gather_epi64::<1>(base as *const i64, byte_off);
-            let v = _mm256_and_si256(_mm256_srlv_epi64(words, shift), mask);
-            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, v);
-            i += 4;
-        }
-        for k in i..n {
-            out[k] = pv.get(indices[k] as usize);
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let base = pv.bytes_padded().as_ptr();
+            let bits = pv.bits() as u64;
+            let mask = _mm256_set1_epi64x(pv.value_mask() as i64);
+            let seven = _mm256_set1_epi64x(7);
+            let n = indices.len();
+            let mut i = 0usize;
+            while i + 4 <= n {
+                // Widen 4 u32 indices to u64 lanes, compute bit offsets with a
+                // 64-bit multiply-by-constant (indices * bits fits 64 bits).
+                let idx32 = _mm_loadu_si128(indices.as_ptr().add(i) as *const __m128i);
+                let idx = _mm256_cvtepu32_epi64(idx32);
+                // 64-bit multiply by small constant via shift-add decomposition
+                // is overkill; mul_epu32 works since indices < 2^32 and bits < 64.
+                let bit = mul_epu64_small(idx, bits);
+                let byte_off = _mm256_srli_epi64::<3>(bit);
+                let shift = _mm256_and_si256(bit, seven);
+                let words = _mm256_i64gather_epi64::<1>(base as *const i64, byte_off);
+                let v = _mm256_and_si256(_mm256_srlv_epi64(words, shift), mask);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, v);
+                i += 4;
+            }
+            for k in i..n {
+                out[k] = pv.get(indices[k] as usize);
+            }
         }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     /// Multiply 64-bit lanes (values < 2^32) by a small constant < 2^32.
     /// `vpmuludq` multiplies the low 32 bits of each lane, which is exact
     /// under these preconditions.
@@ -328,10 +374,8 @@ mod tests {
             compact_indices(sel.as_bytes(), &mut iv, level);
             let mut out = vec![0u32; iv.len()];
             gather_unpack_u32(&pv, iv.as_slice(), &mut out, level);
-            let expected: Vec<u32> = (0..4096)
-                .filter(|i| i % 10 == 0)
-                .map(|i| values[i] as u32)
-                .collect();
+            let expected: Vec<u32> =
+                (0..4096).filter(|i| i % 10 == 0).map(|i| values[i] as u32).collect();
             assert_eq!(out, expected);
         }
     }

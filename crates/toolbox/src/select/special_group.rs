@@ -27,6 +27,7 @@ pub fn assign_special_group(
 ) {
     assert_eq!(gids.len(), sel.len(), "group-id/selection length mismatch");
     assert_eq!(gids.len(), out.len(), "output length mismatch");
+    crate::selvec::debug_assert_sel_canonical(sel);
     #[cfg(target_arch = "x86_64")]
     {
         if level.has_avx512() {
@@ -48,6 +49,7 @@ pub fn assign_special_group(
 /// the group-id map is already a scratch vector).
 pub fn assign_special_group_in_place(gids: &mut [u8], sel: &[u8], special: u8, level: SimdLevel) {
     assert_eq!(gids.len(), sel.len(), "group-id/selection length mismatch");
+    crate::selvec::debug_assert_sel_canonical(sel);
     #[cfg(target_arch = "x86_64")]
     {
         if level.has_avx512() {
@@ -64,9 +66,7 @@ pub fn assign_special_group_in_place(gids: &mut [u8], sel: &[u8], special: u8, l
         }
     }
     let _ = level;
-    for (g, &s) in gids.iter_mut().zip(sel) {
-        *g = (*g & s) | (special & !s);
-    }
+    assign_special_group_in_place_scalar(gids, sel, special);
 }
 
 /// Scalar oracle: branch-free select via mask arithmetic. Relies on the
@@ -74,6 +74,13 @@ pub fn assign_special_group_in_place(gids: &mut [u8], sel: &[u8], special: u8, l
 pub fn assign_special_group_scalar(gids: &[u8], sel: &[u8], special: u8, out: &mut [u8]) {
     for i in 0..gids.len() {
         out[i] = (gids[i] & sel[i]) | (special & !sel[i]);
+    }
+}
+
+/// Scalar oracle for the in-place variant.
+pub fn assign_special_group_in_place_scalar(gids: &mut [u8], sel: &[u8], special: u8) {
+    for (g, &s) in gids.iter_mut().zip(sel) {
+        *g = (*g & s) | (special & !s);
     }
 }
 
@@ -85,41 +92,57 @@ mod avx512 {
 
     use std::arch::x86_64::*;
 
+    /// # Safety
+    /// The CPU must support avx512f + avx512bw — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx512f", enable = "avx512bw")]
     pub(super) unsafe fn assign(gids: &[u8], sel: &[u8], special: u8, out: &mut [u8]) {
-        let sp = _mm512_set1_epi8(special as i8);
-        let n = gids.len();
-        let mut i = 0usize;
-        while i + 64 <= n {
-            let g = _mm512_loadu_si512(gids.as_ptr().add(i) as *const _);
-            let s = _mm512_loadu_si512(sel.as_ptr().add(i) as *const _);
-            let keep = _mm512_test_epi8_mask(s, s);
-            _mm512_storeu_si512(
-                out.as_mut_ptr().add(i) as *mut _,
-                _mm512_mask_blend_epi8(keep, sp, g),
-            );
-            i += 64;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let sp = _mm512_set1_epi8(special as i8);
+            let n = gids.len();
+            let mut i = 0usize;
+            while i + 64 <= n {
+                let g = _mm512_loadu_si512(gids.as_ptr().add(i) as *const _);
+                let s = _mm512_loadu_si512(sel.as_ptr().add(i) as *const _);
+                let keep = _mm512_test_epi8_mask(s, s);
+                _mm512_storeu_si512(
+                    out.as_mut_ptr().add(i) as *mut _,
+                    _mm512_mask_blend_epi8(keep, sp, g),
+                );
+                i += 64;
+            }
+            super::assign_special_group_scalar(&gids[i..], &sel[i..], special, &mut out[i..]);
         }
-        super::assign_special_group_scalar(&gids[i..], &sel[i..], special, &mut out[i..]);
     }
 
+    /// # Safety
+    /// The CPU must support avx512f + avx512bw — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx512f", enable = "avx512bw")]
     pub(super) unsafe fn assign_in_place(gids: &mut [u8], sel: &[u8], special: u8) {
-        let sp = _mm512_set1_epi8(special as i8);
-        let n = gids.len();
-        let mut i = 0usize;
-        while i + 64 <= n {
-            let g = _mm512_loadu_si512(gids.as_ptr().add(i) as *const _);
-            let s = _mm512_loadu_si512(sel.as_ptr().add(i) as *const _);
-            let keep = _mm512_test_epi8_mask(s, s);
-            _mm512_storeu_si512(
-                gids.as_mut_ptr().add(i) as *mut _,
-                _mm512_mask_blend_epi8(keep, sp, g),
-            );
-            i += 64;
-        }
-        for k in i..n {
-            gids[k] = (gids[k] & sel[k]) | (special & !sel[k]);
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let sp = _mm512_set1_epi8(special as i8);
+            let n = gids.len();
+            let mut i = 0usize;
+            while i + 64 <= n {
+                let g = _mm512_loadu_si512(gids.as_ptr().add(i) as *const _);
+                let s = _mm512_loadu_si512(sel.as_ptr().add(i) as *const _);
+                let keep = _mm512_test_epi8_mask(s, s);
+                _mm512_storeu_si512(
+                    gids.as_mut_ptr().add(i) as *mut _,
+                    _mm512_mask_blend_epi8(keep, sp, g),
+                );
+                i += 64;
+            }
+            super::assign_special_group_in_place_scalar(&mut gids[i..], &sel[i..], special);
         }
     }
 }
@@ -128,6 +151,9 @@ mod avx512 {
 mod avx2 {
     use std::arch::x86_64::*;
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn blend32(g: __m256i, s: __m256i, sp: __m256i) -> __m256i {
@@ -135,33 +161,49 @@ mod avx2 {
         _mm256_blendv_epi8(sp, g, s)
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn assign(gids: &[u8], sel: &[u8], special: u8, out: &mut [u8]) {
-        let sp = _mm256_set1_epi8(special as i8);
-        let n = gids.len();
-        let mut i = 0usize;
-        while i + 32 <= n {
-            let g = _mm256_loadu_si256(gids.as_ptr().add(i) as *const __m256i);
-            let s = _mm256_loadu_si256(sel.as_ptr().add(i) as *const __m256i);
-            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, blend32(g, s, sp));
-            i += 32;
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let sp = _mm256_set1_epi8(special as i8);
+            let n = gids.len();
+            let mut i = 0usize;
+            while i + 32 <= n {
+                let g = _mm256_loadu_si256(gids.as_ptr().add(i) as *const __m256i);
+                let s = _mm256_loadu_si256(sel.as_ptr().add(i) as *const __m256i);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, blend32(g, s, sp));
+                i += 32;
+            }
+            super::assign_special_group_scalar(&gids[i..], &sel[i..], special, &mut out[i..]);
         }
-        super::assign_special_group_scalar(&gids[i..], &sel[i..], special, &mut out[i..]);
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn assign_in_place(gids: &mut [u8], sel: &[u8], special: u8) {
-        let sp = _mm256_set1_epi8(special as i8);
-        let n = gids.len();
-        let mut i = 0usize;
-        while i + 32 <= n {
-            let g = _mm256_loadu_si256(gids.as_ptr().add(i) as *const __m256i);
-            let s = _mm256_loadu_si256(sel.as_ptr().add(i) as *const __m256i);
-            _mm256_storeu_si256(gids.as_mut_ptr().add(i) as *mut __m256i, blend32(g, s, sp));
-            i += 32;
-        }
-        for k in i..n {
-            gids[k] = (gids[k] & sel[k]) | (special & !sel[k]);
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let sp = _mm256_set1_epi8(special as i8);
+            let n = gids.len();
+            let mut i = 0usize;
+            while i + 32 <= n {
+                let g = _mm256_loadu_si256(gids.as_ptr().add(i) as *const __m256i);
+                let s = _mm256_loadu_si256(sel.as_ptr().add(i) as *const __m256i);
+                _mm256_storeu_si256(gids.as_mut_ptr().add(i) as *mut __m256i, blend32(g, s, sp));
+                i += 32;
+            }
+            super::assign_special_group_in_place_scalar(&mut gids[i..], &sel[i..], special);
         }
     }
 }

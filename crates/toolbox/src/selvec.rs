@@ -17,6 +17,19 @@ pub const SELECTED: u8 = 0xFF;
 /// Byte value marking a rejected row.
 pub const REJECTED: u8 = 0x00;
 
+/// Debug-build check that a selection byte vector is canonical: every byte
+/// is exactly [`SELECTED`] or [`REJECTED`]. SIMD selection kernels depend on
+/// this form (`pext` of bit 0, byte blends keyed on the sign bit), so a
+/// stray value like `0x01` would give level-dependent results; dispatchers
+/// call this before routing to any tier.
+#[inline]
+pub fn debug_assert_sel_canonical(sel: &[u8]) {
+    debug_assert!(
+        sel.iter().all(|&b| b == SELECTED || b == REJECTED),
+        "selection byte vector is not canonical 0x00/0xFF"
+    );
+}
+
 /// A selection byte vector: one byte per row, `0xFF` = keep, `0x00` = drop.
 ///
 /// The representation is intentionally transparent (`Vec<u8>`) — kernels
@@ -40,9 +53,7 @@ impl SelByteVec {
 
     /// Build from booleans (`true` = selected).
     pub fn from_bools(bools: &[bool]) -> Self {
-        SelByteVec {
-            bytes: bools.iter().map(|&b| if b { SELECTED } else { REJECTED }).collect(),
-        }
+        SelByteVec { bytes: bools.iter().map(|&b| if b { SELECTED } else { REJECTED }).collect() }
     }
 
     /// Wrap raw mask bytes. Any non-zero byte is treated as selected by the
@@ -61,7 +72,7 @@ impl SelByteVec {
     ///
     /// Debug builds verify canonical form.
     pub fn from_canonical(bytes: Vec<u8>) -> Self {
-        debug_assert!(bytes.iter().all(|&b| b == SELECTED || b == REJECTED));
+        debug_assert_sel_canonical(&bytes);
         SelByteVec { bytes }
     }
 
@@ -200,14 +211,20 @@ pub fn count_selected(sel: &[u8], level: SimdLevel) -> usize {
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f", enable = "avx512bw")]
 unsafe fn count_selected_avx512(sel: &[u8]) -> usize {
-    use std::arch::x86_64::*;
-    let mut count = 0usize;
-    let mut chunks = sel.chunks_exact(64);
-    for chunk in &mut chunks {
-        let v = _mm512_loadu_si512(chunk.as_ptr() as *const _);
-        count += _mm512_test_epi8_mask(v, v).count_ones() as usize;
+    // SAFETY: the caller guarantees this CPU supports the target features
+    // this function is compiled with (dispatch routes here only after
+    // `SimdLevel` detection), and every pointer below is derived from the
+    // argument slices with offsets bounded by their lengths.
+    unsafe {
+        use std::arch::x86_64::*;
+        let mut count = 0usize;
+        let mut chunks = sel.chunks_exact(64);
+        for chunk in &mut chunks {
+            let v = _mm512_loadu_si512(chunk.as_ptr() as *const _);
+            count += _mm512_test_epi8_mask(v, v).count_ones() as usize;
+        }
+        count + count_selected_scalar(chunks.remainder())
     }
-    count + count_selected_scalar(chunks.remainder())
 }
 
 /// Scalar oracle for [`count_selected`].
@@ -223,18 +240,24 @@ pub fn count_selected_scalar(sel: &[u8]) -> usize {
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn count_selected_avx2(sel: &[u8]) -> usize {
-    use std::arch::x86_64::*;
-    let mut count = 0usize;
-    let mut chunks = sel.chunks_exact(32);
-    let zero = _mm256_setzero_si256();
-    for chunk in &mut chunks {
-        let v = _mm256_loadu_si256(chunk.as_ptr() as *const __m256i);
-        // Lane != 0 → 0xFF; movemask packs the sign bits.
-        let nz = _mm256_cmpeq_epi8(v, zero);
-        let mask = !(_mm256_movemask_epi8(nz) as u32);
-        count += mask.count_ones() as usize;
+    // SAFETY: the caller guarantees this CPU supports the target features
+    // this function is compiled with (dispatch routes here only after
+    // `SimdLevel` detection), and every pointer below is derived from the
+    // argument slices with offsets bounded by their lengths.
+    unsafe {
+        use std::arch::x86_64::*;
+        let mut count = 0usize;
+        let mut chunks = sel.chunks_exact(32);
+        let zero = _mm256_setzero_si256();
+        for chunk in &mut chunks {
+            let v = _mm256_loadu_si256(chunk.as_ptr() as *const __m256i);
+            // Lane != 0 → 0xFF; movemask packs the sign bits.
+            let nz = _mm256_cmpeq_epi8(v, zero);
+            let mask = !(_mm256_movemask_epi8(nz) as u32);
+            count += mask.count_ones() as usize;
+        }
+        count + count_selected_scalar(chunks.remainder())
     }
-    count + count_selected_scalar(chunks.remainder())
 }
 
 #[cfg(test)]

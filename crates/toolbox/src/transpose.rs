@@ -23,6 +23,11 @@ pub fn transpose_4x4_u64(input: &[u64], out: &mut [u64], level: SimdLevel) {
         return;
     }
     let _ = level;
+    transpose_4x4_u64_scalar(input, out);
+}
+
+/// Scalar oracle for [`transpose_4x4_u64`]: plain index arithmetic.
+pub fn transpose_4x4_u64_scalar(input: &[u64], out: &mut [u64]) {
     for r in 0..4 {
         for c in 0..4 {
             out[r * 4 + c] = input[c * 4 + r];
@@ -42,6 +47,11 @@ pub fn transpose_8x8_u32(input: &[u32], out: &mut [u32], level: SimdLevel) {
         return;
     }
     let _ = level;
+    transpose_8x8_u32_scalar(input, out);
+}
+
+/// Scalar oracle for [`transpose_8x8_u32`]: plain index arithmetic.
+pub fn transpose_8x8_u32_scalar(input: &[u32], out: &mut [u32]) {
     for r in 0..8 {
         for c in 0..8 {
             out[r * 8 + c] = input[c * 8 + r];
@@ -70,7 +80,7 @@ pub(crate) mod avx2 {
         let ab_hi = _mm256_unpackhi_epi64(a, b); // a1 b1 a3 b3
         let cd_lo = _mm256_unpacklo_epi64(c, d); // c0 d0 c2 d2
         let cd_hi = _mm256_unpackhi_epi64(c, d); // c1 d1 c3 d3
-        // stitch 128-bit halves across registers:
+                                                 // stitch 128-bit halves across registers:
         let r0 = _mm256_permute2x128_si256::<0x20>(ab_lo, cd_lo); // a0 b0 c0 d0
         let r1 = _mm256_permute2x128_si256::<0x20>(ab_hi, cd_hi); // a1 b1 c1 d1
         let r2 = _mm256_permute2x128_si256::<0x31>(ab_lo, cd_lo); // a2 b2 c2 d2
@@ -78,56 +88,74 @@ pub(crate) mod avx2 {
         (r0, r1, r2, r3)
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn transpose_4x4_u64(input: &[u64], out: &mut [u64]) {
-        let p = input.as_ptr() as *const __m256i;
-        let a = _mm256_loadu_si256(p);
-        let b = _mm256_loadu_si256(p.add(1));
-        let c = _mm256_loadu_si256(p.add(2));
-        let d = _mm256_loadu_si256(p.add(3));
-        let (r0, r1, r2, r3) = t4x4_epi64(a, b, c, d);
-        let q = out.as_mut_ptr() as *mut __m256i;
-        _mm256_storeu_si256(q, r0);
-        _mm256_storeu_si256(q.add(1), r1);
-        _mm256_storeu_si256(q.add(2), r2);
-        _mm256_storeu_si256(q.add(3), r3);
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let p = input.as_ptr() as *const __m256i;
+            let a = _mm256_loadu_si256(p);
+            let b = _mm256_loadu_si256(p.add(1));
+            let c = _mm256_loadu_si256(p.add(2));
+            let d = _mm256_loadu_si256(p.add(3));
+            let (r0, r1, r2, r3) = t4x4_epi64(a, b, c, d);
+            let q = out.as_mut_ptr() as *mut __m256i;
+            _mm256_storeu_si256(q, r0);
+            _mm256_storeu_si256(q.add(1), r1);
+            _mm256_storeu_si256(q.add(2), r2);
+            _mm256_storeu_si256(q.add(3), r3);
+        }
     }
 
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the
+    /// dispatcher's `SimdLevel` check before any call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn transpose_8x8_u32(input: &[u32], out: &mut [u32]) {
-        let p = input.as_ptr() as *const __m256i;
-        let mut rows = [_mm256_setzero_si256(); 8];
-        for (i, r) in rows.iter_mut().enumerate() {
-            *r = _mm256_loadu_si256(p.add(i));
+        // SAFETY: the caller guarantees this CPU supports the target features
+        // this function is compiled with (dispatch routes here only after
+        // `SimdLevel` detection), and every pointer below is derived from the
+        // argument slices with offsets bounded by their lengths.
+        unsafe {
+            let p = input.as_ptr() as *const __m256i;
+            let mut rows = [_mm256_setzero_si256(); 8];
+            for (i, r) in rows.iter_mut().enumerate() {
+                *r = _mm256_loadu_si256(p.add(i));
+            }
+            // Stage 1: interleave 32-bit lanes of row pairs.
+            let t0 = _mm256_unpacklo_epi32(rows[0], rows[1]);
+            let t1 = _mm256_unpackhi_epi32(rows[0], rows[1]);
+            let t2 = _mm256_unpacklo_epi32(rows[2], rows[3]);
+            let t3 = _mm256_unpackhi_epi32(rows[2], rows[3]);
+            let t4 = _mm256_unpacklo_epi32(rows[4], rows[5]);
+            let t5 = _mm256_unpackhi_epi32(rows[4], rows[5]);
+            let t6 = _mm256_unpacklo_epi32(rows[6], rows[7]);
+            let t7 = _mm256_unpackhi_epi32(rows[6], rows[7]);
+            // Stage 2: interleave 64-bit lanes.
+            let u0 = _mm256_unpacklo_epi64(t0, t2);
+            let u1 = _mm256_unpackhi_epi64(t0, t2);
+            let u2 = _mm256_unpacklo_epi64(t1, t3);
+            let u3 = _mm256_unpackhi_epi64(t1, t3);
+            let u4 = _mm256_unpacklo_epi64(t4, t6);
+            let u5 = _mm256_unpackhi_epi64(t4, t6);
+            let u6 = _mm256_unpacklo_epi64(t5, t7);
+            let u7 = _mm256_unpackhi_epi64(t5, t7);
+            // Stage 3: stitch 128-bit halves.
+            let q = out.as_mut_ptr() as *mut __m256i;
+            _mm256_storeu_si256(q, _mm256_permute2x128_si256::<0x20>(u0, u4));
+            _mm256_storeu_si256(q.add(1), _mm256_permute2x128_si256::<0x20>(u1, u5));
+            _mm256_storeu_si256(q.add(2), _mm256_permute2x128_si256::<0x20>(u2, u6));
+            _mm256_storeu_si256(q.add(3), _mm256_permute2x128_si256::<0x20>(u3, u7));
+            _mm256_storeu_si256(q.add(4), _mm256_permute2x128_si256::<0x31>(u0, u4));
+            _mm256_storeu_si256(q.add(5), _mm256_permute2x128_si256::<0x31>(u1, u5));
+            _mm256_storeu_si256(q.add(6), _mm256_permute2x128_si256::<0x31>(u2, u6));
+            _mm256_storeu_si256(q.add(7), _mm256_permute2x128_si256::<0x31>(u3, u7));
         }
-        // Stage 1: interleave 32-bit lanes of row pairs.
-        let t0 = _mm256_unpacklo_epi32(rows[0], rows[1]);
-        let t1 = _mm256_unpackhi_epi32(rows[0], rows[1]);
-        let t2 = _mm256_unpacklo_epi32(rows[2], rows[3]);
-        let t3 = _mm256_unpackhi_epi32(rows[2], rows[3]);
-        let t4 = _mm256_unpacklo_epi32(rows[4], rows[5]);
-        let t5 = _mm256_unpackhi_epi32(rows[4], rows[5]);
-        let t6 = _mm256_unpacklo_epi32(rows[6], rows[7]);
-        let t7 = _mm256_unpackhi_epi32(rows[6], rows[7]);
-        // Stage 2: interleave 64-bit lanes.
-        let u0 = _mm256_unpacklo_epi64(t0, t2);
-        let u1 = _mm256_unpackhi_epi64(t0, t2);
-        let u2 = _mm256_unpacklo_epi64(t1, t3);
-        let u3 = _mm256_unpackhi_epi64(t1, t3);
-        let u4 = _mm256_unpacklo_epi64(t4, t6);
-        let u5 = _mm256_unpackhi_epi64(t4, t6);
-        let u6 = _mm256_unpacklo_epi64(t5, t7);
-        let u7 = _mm256_unpackhi_epi64(t5, t7);
-        // Stage 3: stitch 128-bit halves.
-        let q = out.as_mut_ptr() as *mut __m256i;
-        _mm256_storeu_si256(q, _mm256_permute2x128_si256::<0x20>(u0, u4));
-        _mm256_storeu_si256(q.add(1), _mm256_permute2x128_si256::<0x20>(u1, u5));
-        _mm256_storeu_si256(q.add(2), _mm256_permute2x128_si256::<0x20>(u2, u6));
-        _mm256_storeu_si256(q.add(3), _mm256_permute2x128_si256::<0x20>(u3, u7));
-        _mm256_storeu_si256(q.add(4), _mm256_permute2x128_si256::<0x31>(u0, u4));
-        _mm256_storeu_si256(q.add(5), _mm256_permute2x128_si256::<0x31>(u1, u5));
-        _mm256_storeu_si256(q.add(6), _mm256_permute2x128_si256::<0x31>(u2, u6));
-        _mm256_storeu_si256(q.add(7), _mm256_permute2x128_si256::<0x31>(u3, u7));
     }
 }
 

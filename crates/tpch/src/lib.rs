@@ -20,6 +20,8 @@
 //! carry their combined scale (4 for `disc_price`, 6 for `charge`), exactly
 //! like SQL `DECIMAL` arithmetic.
 
+#![forbid(unsafe_code)]
+
 pub mod lineitem;
 pub mod q1;
 

@@ -7,8 +7,7 @@
 //! substitution is documented in DESIGN.md).
 
 use bipie_columnstore::{ColumnSpec, Date, LogicalType, Table, TableBuilder, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bipie_toolbox::rng::Rng;
 
 /// Rows per unit scale factor (TPC-H: ~6M lineitem rows at SF 1).
 pub const ROWS_PER_SF: f64 = 6_000_000.0;
@@ -58,9 +57,8 @@ impl LineItemGen {
 
     /// Generate the table.
     pub fn generate(&self) -> Table {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut builder =
-            TableBuilder::with_segment_rows(lineitem_specs(), self.segment_rows);
+        let mut rng = Rng::seed_from_u64(self.seed);
+        let mut builder = TableBuilder::with_segment_rows(lineitem_specs(), self.segment_rows);
 
         // TPC-H date anchors.
         let startdate = Date::from_ymd(1992, 1, 1).days(); // O_ORDERDATE min

@@ -81,7 +81,10 @@ pub struct Q1Row {
 }
 
 /// Run Q1 and convert scaled-integer sums to decimal values.
-pub fn run_q1(table: &Table, options: QueryOptions) -> Result<(Vec<Q1Row>, ExecStats), EngineError> {
+pub fn run_q1(
+    table: &Table,
+    options: QueryOptions,
+) -> Result<(Vec<Q1Row>, ExecStats), EngineError> {
     let query = q1_query(options);
     let result = execute(table, &query)?;
     let rows = result
@@ -178,10 +181,7 @@ mod tests {
         let fraction = selected as f64 / t.num_rows() as f64;
         assert!((0.95..1.0).contains(&fraction), "selectivity {fraction}");
         // Near-full selectivity should drive special-group selection.
-        assert!(
-            stats.selection_count(SelectionStrategy::SpecialGroup) > 0,
-            "stats: {stats:?}"
-        );
+        assert!(stats.selection_count(SelectionStrategy::SpecialGroup) > 0, "stats: {stats:?}");
         // Aggregate invariants.
         for r in &rows {
             assert!(r.sum_disc_price < r.sum_base_price, "discount reduces price");

@@ -1,0 +1,5 @@
+//! Fixture: one uncommented unsafe block, suppressed by the allowlist.
+
+pub fn first(data: &[u32]) -> u32 {
+    unsafe { *data.get_unchecked(0) }
+}

@@ -1,0 +1,5 @@
+//! Fixture: selection-vector consumer without instrumentation.
+
+pub fn count_selected(sel: &[u8]) -> usize {
+    sel.iter().filter(|&&b| b != 0).count()
+}

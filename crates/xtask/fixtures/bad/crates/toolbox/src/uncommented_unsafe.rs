@@ -1,0 +1,9 @@
+//! Fixture: unsafe without SAFETY comments (must fail the unsafe audit).
+
+pub fn first(data: &[u32]) -> u32 {
+    unsafe { *data.get_unchecked(0) }
+}
+
+pub unsafe fn no_contract(ptr: *const u32) -> u32 {
+    unsafe { *ptr }
+}

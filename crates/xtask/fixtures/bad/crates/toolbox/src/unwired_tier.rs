@@ -1,0 +1,22 @@
+//! Fixture: tier module declared but the dispatcher never routes into it.
+
+pub fn double(values: &[u32], out: &mut [u32]) {
+    double_scalar(values, out);
+}
+
+pub fn double_scalar(values: &[u32], out: &mut [u32]) {
+    for (o, &v) in out.iter_mut().zip(values) {
+        *o = v * 2;
+    }
+}
+
+mod avx2 {
+    /// # Safety
+    /// The CPU must support AVX2; the dispatcher checks before calling.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn double(values: &[u32], out: &mut [u32]) {
+        for (o, &v) in out.iter_mut().zip(values) {
+            *o = v * 2;
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: a fully conforming kernel file (must pass every audit pass).
+
+pub fn sum(values: &[u32], level: u8) -> u64 {
+    if has_avx2(level) {
+        // SAFETY: has_avx2 verified the CPU supports AVX2.
+        return unsafe { avx2::sum(values) };
+    }
+    sum_scalar(values)
+}
+
+pub fn sum_scalar(values: &[u32]) -> u64 {
+    values.iter().map(|&v| u64::from(v)).sum()
+}
+
+fn has_avx2(level: u8) -> bool {
+    level > 0
+}
+
+mod avx2 {
+    /// # Safety
+    /// The CPU must support avx2 — guaranteed by the dispatcher's
+    /// `SimdLevel` check before any call.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sum(values: &[u32]) -> u64 {
+        super::sum_scalar(values)
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture differential test: exercises the dispatcher at every available
+//! tier and compares against the scalar oracle.
+
+fn differential_sum() {
+    for level in SimdLevel::available() {
+        assert_eq!(sum(&[1, 2, 3], level), sum_scalar(&[1, 2, 3]));
+    }
+}

@@ -1,0 +1,112 @@
+//! `cargo xtask audit` — repo-local static analysis for the BIPie workspace.
+//!
+//! Three passes, all lexical/line-oriented (zero dependencies, no `syn`):
+//!
+//! 1. [`unsafe_audit`] — every `unsafe` block must sit under a `// SAFETY:`
+//!    comment and every `unsafe fn` must carry a `# Safety` contract.
+//! 2. [`kernel_contract`] — every `#[target_feature]` kernel in
+//!    `crates/toolbox` must have a scalar sibling in the same module, a
+//!    differential test against `SimdLevel::available()`, and every declared
+//!    SIMD tier must actually be wired into its dispatcher.
+//! 3. [`invariants`] — dispatchers consuming selection or group-id vectors
+//!    must call the `debug_assert_*` instrumentation helpers, and every
+//!    helper that exists must be wired somewhere.
+//!
+//! Violations print as `path:line: [pass] message` and make the binary exit
+//! non-zero. Grandfathered sites can be listed in
+//! `crates/xtask/audit-allowlist.txt` (`path:line` per line); stale entries
+//! are themselves errors so the list can only shrink.
+
+#![forbid(unsafe_code)]
+
+pub mod invariants;
+pub mod kernel_contract;
+pub mod scan;
+pub mod unsafe_audit;
+
+use std::fmt;
+use std::path::Path;
+
+/// One audit violation, printed as `path:line: [pass] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// Path relative to the audited root, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which pass produced this (`unsafe-audit`, `kernel-contract`,
+    /// `invariants`, `allowlist`).
+    pub pass: &'static str,
+    /// Human-readable description of the violation.
+    pub msg: String,
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.pass, self.msg)
+    }
+}
+
+/// Load the audited corpus once and run the requested passes.
+///
+/// `passes` is a subset of `["unsafe", "kernels", "invariants"]`; the
+/// allowlist is always applied. Diagnostics come back sorted by path/line.
+pub fn run_audit(root: &Path, passes: &[&str]) -> Vec<Diag> {
+    let files: Vec<scan::SourceFile> = scan::workspace_files(root)
+        .iter()
+        .filter_map(|p| scan::SourceFile::load(root, p))
+        .collect();
+
+    let mut diags = Vec::new();
+    if passes.contains(&"unsafe") {
+        diags.extend(unsafe_audit::check(&files));
+    }
+    if passes.contains(&"kernels") {
+        diags.extend(kernel_contract::check(&files));
+    }
+    if passes.contains(&"invariants") {
+        diags.extend(invariants::check(&files));
+    }
+    diags = apply_allowlist(root, diags);
+    diags.sort_by(|a, b| (&a.path, a.line, a.pass).cmp(&(&b.path, b.line, b.pass)));
+    diags
+}
+
+/// Subtract allowlisted `path:line` entries from `diags`; entries that match
+/// nothing are reported as errors themselves, so the allowlist monotonically
+/// shrinks toward (and then stays) empty.
+fn apply_allowlist(root: &Path, mut diags: Vec<Diag>) -> Vec<Diag> {
+    let list = root.join("crates/xtask/audit-allowlist.txt");
+    let Ok(text) = std::fs::read_to_string(&list) else {
+        return diags;
+    };
+    for (lineno, raw) in text.lines().enumerate() {
+        let entry = raw.trim();
+        if entry.is_empty() || entry.starts_with('#') {
+            continue;
+        }
+        let Some((path, line)) = entry
+            .rsplit_once(':')
+            .and_then(|(p, l)| l.parse::<usize>().ok().map(|n| (p.to_string(), n)))
+        else {
+            diags.push(Diag {
+                path: "crates/xtask/audit-allowlist.txt".into(),
+                line: lineno + 1,
+                pass: "allowlist",
+                msg: format!("malformed entry {entry:?} (expected path:line)"),
+            });
+            continue;
+        };
+        let before = diags.len();
+        diags.retain(|d| !(d.path == path && d.line == line));
+        if diags.len() == before {
+            diags.push(Diag {
+                path: "crates/xtask/audit-allowlist.txt".into(),
+                line: lineno + 1,
+                pass: "allowlist",
+                msg: format!("stale entry {entry:?} matches no diagnostic — remove it"),
+            });
+        }
+    }
+    diags
+}

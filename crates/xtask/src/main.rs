@@ -1,0 +1,71 @@
+//! `cargo xtask` — repo-local developer tooling.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo xtask audit                 # run all passes on the workspace
+//! cargo xtask audit unsafe          # one pass: unsafe | kernels | invariants
+//! cargo xtask audit --root <path>   # audit a different tree (used by tests)
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("audit") => audit(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo xtask audit [unsafe|kernels|invariants] [--root <path>]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn audit(args: &[String]) -> ExitCode {
+    let mut passes: Vec<&str> = Vec::new();
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "unsafe" | "kernels" | "invariants" => passes.push(match arg.as_str() {
+                "unsafe" => "unsafe",
+                "kernels" => "kernels",
+                _ => "invariants",
+            }),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if passes.is_empty() {
+        passes = vec!["unsafe", "kernels", "invariants"];
+    }
+    // The xtask crate sits at <root>/crates/xtask, so the workspace root is
+    // two levels up from the manifest dir.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+    });
+
+    let diags = xtask::run_audit(&root, &passes);
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("audit OK ({} passes clean)", passes.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("audit FAILED: {} diagnostic(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,293 @@
+//! Source discovery and a comment/string scrubber.
+//!
+//! The audit passes are deliberately lexical (no `syn`, no dependencies), so
+//! everything downstream works on two parallel views of each file: the raw
+//! lines (for reading comments) and the *scrubbed* lines, where comment and
+//! string-literal contents are blanked out so keyword searches cannot be
+//! fooled by prose like `"an unsafe trick"` inside a panic message.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One source file, with raw and scrubbed line views (same line count).
+pub struct SourceFile {
+    /// Path relative to the audited root, `/`-separated.
+    pub rel: String,
+    /// Raw lines as written.
+    pub raw: Vec<String>,
+    /// Lines with comments and string/char literal contents blanked.
+    pub code: Vec<String>,
+}
+
+impl SourceFile {
+    /// Load and scrub one file. Returns `None` if it cannot be read as UTF-8.
+    pub fn load(root: &Path, path: &Path) -> Option<SourceFile> {
+        let text = fs::read_to_string(path).ok()?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let scrubbed = scrub(&text);
+        Some(SourceFile {
+            rel,
+            raw: text.lines().map(str::to_owned).collect(),
+            code: scrubbed.lines().map(str::to_owned).collect(),
+        })
+    }
+
+    /// The scrubbed file as one string (for whole-file token scans).
+    pub fn code_text(&self) -> String {
+        self.code.join("\n")
+    }
+}
+
+/// Recursively collect the `.rs` files to audit under `root`.
+///
+/// Walks `crates/`, `src/`, `tests/`, `examples/` and `benches/`; skips
+/// `target/` and `crates/xtask/` (the auditor and its fixture corpus are not
+/// part of the audited surface — the fixtures *must* fail).
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "tests", "examples", "benches"] {
+        walk(&root.join(top), &mut out);
+    }
+    out.retain(|p| !p.strip_prefix(root).map(|r| r.starts_with("crates/xtask")).unwrap_or(false));
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Blank out comments and string/char-literal contents, preserving line
+/// structure and the positions of all remaining code characters.
+pub fn scrub(src: &str) -> String {
+    enum State {
+        Code,
+        Str,
+        RawStr(usize),
+        LineComment,
+        BlockComment(usize),
+    }
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    // Push `c` if we are keeping structure, else a space; newlines always
+    // survive so line numbers stay aligned.
+    fn blank(out: &mut String, c: char) {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        match state {
+            State::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    out.push('"');
+                    i += 1;
+                } else if c == 'r' && matches!(chars.get(i + 1), Some('"') | Some('#')) {
+                    // Possible raw string literal r"..." / r#"..."#.
+                    let mut j = i + 1;
+                    let mut hashes = 0;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        for &ch in &chars[i..=j] {
+                            blank(&mut out, ch);
+                        }
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal vs lifetime: a literal closes with a quote
+                    // one (or, escaped, a few) chars later.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        let mut j = i + 2;
+                        while j < chars.len() && chars[j] != '\'' {
+                            j += 1;
+                        }
+                        out.push('\'');
+                        for &ch in &chars[i + 1..j] {
+                            blank(&mut out, ch);
+                        }
+                        if j < chars.len() {
+                            out.push('\'');
+                        }
+                        i = j + 1;
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        out.push('\'');
+                        blank(&mut out, chars[i + 1]);
+                        out.push('\'');
+                        i += 3;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' && i + 1 < chars.len() {
+                    blank(&mut out, c);
+                    blank(&mut out, chars[i + 1]);
+                    i += 2;
+                } else if c == '"' {
+                    out.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    blank(&mut out, c);
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        for &ch in &chars[i..j] {
+                            blank(&mut out, ch);
+                        }
+                        state = State::Code;
+                        i = j;
+                        continue;
+                    }
+                }
+                blank(&mut out, c);
+                i += 1;
+            }
+            State::LineComment => {
+                if c == '\n' {
+                    out.push('\n');
+                    state = State::Code;
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    out.push_str("  ");
+                    i += 2;
+                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    out.push_str("  ");
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    blank(&mut out, c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Collect the contiguous doc-comment/attribute block immediately above line
+/// `decl` (0-based), as raw text. Used to look for `# Safety` contracts and
+/// `#[target_feature]` attributes without parsing attribute grammar: a line
+/// belongs to the block if it is a comment, starts an attribute, or is a
+/// continuation of a multi-line attribute (`enable = ...` / `)]`).
+pub fn attr_block_above(raw: &[String], decl: usize) -> String {
+    let mut top = decl;
+    while top > 0 {
+        let s = raw[top - 1].trim_start();
+        let is_block_line = s.starts_with("///")
+            || s.starts_with("//")
+            || s.starts_with("#[")
+            || s.starts_with("#!")
+            || s.starts_with("enable")
+            || s.starts_with(")]");
+        if s.is_empty() || !is_block_line {
+            break;
+        }
+        top -= 1;
+    }
+    raw[top..decl].join("\n")
+}
+
+/// Split an identifier into lowercase `_`-separated tokens.
+pub fn name_tokens(name: &str) -> Vec<String> {
+    name.split('_').filter(|t| !t.is_empty()).map(str::to_lowercase).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_blanks_comments_and_strings() {
+        let src = "let x = \"unsafe { }\"; // unsafe fn\nunsafe { y() }";
+        let s = scrub(src);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(!lines[0].contains("unsafe"), "line 0 kept literal/comment text: {:?}", lines[0]);
+        assert!(lines[1].contains("unsafe"), "real code must survive: {:?}", lines[1]);
+    }
+
+    #[test]
+    fn scrub_preserves_line_count() {
+        let src = "a\n/* multi\nline */\nb \"str\nwith newline\" c\n";
+        assert_eq!(scrub(src).lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn scrub_handles_char_literals_and_lifetimes() {
+        let s = scrub("fn f<'a>(x: &'a str) { let c = '\\n'; let q = '\"'; }");
+        assert!(s.contains("fn f<'a>"));
+        // The only double quote sat inside a char literal and must be blanked.
+        assert!(!s.contains('"'), "{s}");
+    }
+
+    #[test]
+    fn attr_block_stops_at_code() {
+        let raw: Vec<String> =
+            ["let a = 1;", "/// doc", "#[target_feature(enable = \"avx2\")]", "unsafe fn k() {}"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let block = attr_block_above(&raw, 3);
+        assert!(block.contains("target_feature"));
+        assert!(!block.contains("let a"));
+    }
+
+    #[test]
+    fn tokens_split_and_lowercase() {
+        assert_eq!(name_tokens("sum_Gather_u32"), vec!["sum", "gather", "u32"]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Pass 1: unsafe hygiene.
+//!
+//! * Every `unsafe` **block** (or `unsafe impl`) must have a contiguous
+//!   `//` comment run immediately above it containing `SAFETY:`.
+//! * Every `unsafe fn` must carry a `# Safety` section in its doc comment
+//!   (or a `// SAFETY:` note) in the attribute block above the declaration.
+//!
+//! This runs over the whole workspace, complementing clippy's
+//! `undocumented_unsafe_blocks` (which cannot see `unsafe fn` contracts for
+//! private functions) and making the policy enforceable without a nightly
+//! toolchain.
+
+use crate::scan::{attr_block_above, SourceFile};
+use crate::Diag;
+
+/// Run the unsafe audit over all files.
+pub fn check(files: &[SourceFile]) -> Vec<Diag> {
+    let mut out = Vec::new();
+    for file in files {
+        check_file(file, &mut out);
+    }
+    out
+}
+
+fn check_file(file: &SourceFile, out: &mut Vec<Diag>) {
+    for (i, code) in file.code.iter().enumerate() {
+        for col in find_word(code, "unsafe") {
+            let after = code[col + "unsafe".len()..].trim_start();
+            if after.starts_with("fn") {
+                check_unsafe_fn(file, i, out);
+            } else if after.starts_with("trait") {
+                // Declaring an unsafe trait states a contract for implementors;
+                // the doc comment is the right place but not audited here.
+            } else {
+                // `unsafe {`, `unsafe impl`, or a signature fragment such as
+                // `unsafe extern`. All want a SAFETY note directly above.
+                check_safety_comment_above(file, i, out);
+                break; // one diagnostic per line is enough
+            }
+        }
+    }
+}
+
+/// Byte offsets of whole-word occurrences of `word` in `line`.
+fn find_word(line: &str, word: &str) -> Vec<usize> {
+    let mut cols = Vec::new();
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident(bytes[end]);
+        if before_ok && after_ok {
+            cols.push(at);
+        }
+        start = end;
+    }
+    cols
+}
+
+fn is_ident(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// An `unsafe fn` must document its contract in the block above the
+/// declaration: a `/// # Safety` doc section (the std idiom) or an explicit
+/// `// SAFETY:` comment.
+fn check_unsafe_fn(file: &SourceFile, line: usize, out: &mut Vec<Diag>) {
+    let block = attr_block_above(&file.raw, line);
+    if block.contains("# Safety") || block.contains("SAFETY:") {
+        return;
+    }
+    out.push(Diag {
+        path: file.rel.clone(),
+        line: line + 1,
+        pass: "unsafe-audit",
+        msg: "unsafe fn without a `# Safety` doc section (or `// SAFETY:` note) above it"
+            .to_string(),
+    });
+}
+
+/// An `unsafe` block (or impl) must have a contiguous `//` comment run
+/// directly above the line that opens it, containing `SAFETY:`.
+fn check_safety_comment_above(file: &SourceFile, line: usize, out: &mut Vec<Diag>) {
+    let mut top = line;
+    while top > 0 {
+        let s = file.raw[top - 1].trim_start();
+        if s.starts_with("//") {
+            top -= 1;
+        } else {
+            break;
+        }
+    }
+    let comment = file.raw[top..line].join("\n");
+    if comment.contains("SAFETY:") {
+        return;
+    }
+    out.push(Diag {
+        path: file.rel.clone(),
+        line: line + 1,
+        pass: "unsafe-audit",
+        msg: "unsafe block without a `// SAFETY:` comment immediately above it".to_string(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scrub;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile {
+            rel: "test.rs".into(),
+            raw: src.lines().map(str::to_owned).collect(),
+            code: scrub(src).lines().map(str::to_owned).collect(),
+        }
+    }
+
+    #[test]
+    fn commented_block_passes() {
+        let f = file("fn f() {\n    // SAFETY: bounded by len.\n    unsafe { g() };\n}");
+        assert!(check(&[f]).is_empty());
+    }
+
+    #[test]
+    fn bare_block_fails_with_line_number() {
+        let f = file("fn f() {\n    unsafe { g() };\n}");
+        let diags = check(&[f]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+        assert!(diags[0].msg.contains("SAFETY"));
+    }
+
+    #[test]
+    fn unsafe_in_string_is_ignored() {
+        let f = file("fn f() { let s = \"unsafe { }\"; }");
+        assert!(check(&[f]).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_needs_safety_doc() {
+        let bad = file("#[target_feature(enable = \"avx2\")]\nunsafe fn k() {}");
+        assert_eq!(check(&[bad]).len(), 1);
+        let good = file(
+            "/// # Safety\n/// CPU must support AVX2.\n#[target_feature(enable = \"avx2\")]\nunsafe fn k() {}",
+        );
+        assert!(check(&[good]).is_empty());
+    }
+}

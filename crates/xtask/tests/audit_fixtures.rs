@@ -1,0 +1,83 @@
+//! End-to-end audit tests: the fixture trees under `fixtures/` are shaped
+//! like miniature workspaces; the bad ones must produce the expected
+//! `path:line` diagnostics and the clean one (plus the real repo) must
+//! audit clean.
+
+use std::path::{Path, PathBuf};
+
+const ALL: [&str; 3] = ["unsafe", "kernels", "invariants"];
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
+}
+
+fn rendered(root: &Path) -> Vec<String> {
+    xtask::run_audit(root, &ALL).iter().map(|d| d.to_string()).collect()
+}
+
+#[test]
+fn bad_fixture_uncommented_unsafe() {
+    let diags = rendered(&fixture("bad"));
+    let text = diags.join("\n");
+    assert!(
+        text.contains("uncommented_unsafe.rs:4: [unsafe-audit] unsafe block without"),
+        "{text}"
+    );
+    assert!(text.contains("uncommented_unsafe.rs:7: [unsafe-audit] unsafe fn without"), "{text}");
+    assert!(
+        text.contains("uncommented_unsafe.rs:8: [unsafe-audit] unsafe block without"),
+        "{text}"
+    );
+}
+
+#[test]
+fn bad_fixture_kernel_without_oracle() {
+    let text = rendered(&fixture("bad")).join("\n");
+    assert!(
+        text.contains(
+            "kernel_no_oracle.rs:19: [kernel-contract] kernel `widen_sum` has no scalar sibling"
+        ),
+        "{text}"
+    );
+}
+
+#[test]
+fn bad_fixture_unwired_tier() {
+    let text = rendered(&fixture("bad")).join("\n");
+    assert!(
+        text.contains("unwired_tier.rs:13: [kernel-contract] tier module `avx2` is declared but never dispatched"),
+        "{text}"
+    );
+    // The kernel itself has an oracle, so only the wiring is flagged.
+    assert!(!text.contains("kernel `double` has no scalar sibling"), "{text}");
+}
+
+#[test]
+fn bad_fixture_missing_invariants() {
+    let text = rendered(&fixture("bad")).join("\n");
+    assert!(
+        text.contains("missing_invariants.rs:3: [invariants] `count_selected` consumes a selection byte vector"),
+        "{text}"
+    );
+}
+
+#[test]
+fn clean_fixture_audits_clean() {
+    let diags = rendered(&fixture("clean"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn allowlist_suppresses_and_reports_stale_entries() {
+    let diags = xtask::run_audit(&fixture("allowlisted"), &ALL);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].pass, "allowlist");
+    assert!(diags[0].msg.contains("stale entry"), "{}", diags[0]);
+}
+
+#[test]
+fn real_workspace_audits_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap();
+    let diags = rendered(&root);
+    assert!(diags.is_empty(), "the workspace must stay audit-clean:\n{}", diags.join("\n"));
+}

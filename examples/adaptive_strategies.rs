@@ -7,11 +7,10 @@
 //! cargo run --release --example adaptive_strategies
 //! ```
 
-use bipie::core::{execute, AggExpr, AggStrategy, Predicate, QueryBuilder, SelectionStrategy};
-use bipie::columnstore::{ColumnSpec, LogicalType, TableBuilder, Value};
 use bipie::columnstore::encoding::EncodingHint;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bipie::columnstore::{ColumnSpec, LogicalType, TableBuilder, Value};
+use bipie::core::{execute, AggExpr, AggStrategy, Predicate, QueryBuilder, SelectionStrategy};
+use bipie::toolbox::rng::Rng;
 
 fn main() {
     // 500k rows: one group column (10 groups), one uniform selectivity
@@ -26,7 +25,7 @@ fn main() {
         ],
         1 << 20,
     );
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = Rng::seed_from_u64(42);
     for _ in 0..500_000 {
         builder.push_row(vec![
             Value::I64(rng.random_range(0..10)),

@@ -10,10 +10,9 @@
 
 use bipie::columnstore::{ColumnSpec, Date, LogicalType, Table, Value};
 use bipie::core::{execute, AggExpr, Predicate, QueryBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bipie::toolbox::rng::Rng;
 
-fn order_row(rng: &mut StdRng, day: i32) -> Vec<Value> {
+fn order_row(rng: &mut Rng, day: i32) -> Vec<Value> {
     let status = ["placed", "shipped", "delivered"][rng.random_range(0..3)];
     vec![
         Value::Str(status.to_string()),
@@ -24,10 +23,7 @@ fn order_row(rng: &mut StdRng, day: i32) -> Vec<Value> {
 
 fn revenue_by_status(table: &Table, since_day: i32) -> Vec<(String, u64, f64)> {
     let query = QueryBuilder::new()
-        .filter(Predicate::ge(
-            "day",
-            Value::Date(Date::from_ymd(2026, 1, 1).plus_days(since_day)),
-        ))
+        .filter(Predicate::ge("day", Value::Date(Date::from_ymd(2026, 1, 1).plus_days(since_day))))
         .group_by("status")
         .aggregate(AggExpr::count_star())
         .aggregate(AggExpr::sum("amount"))
@@ -55,7 +51,7 @@ fn main() {
         ],
         200_000,
     );
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
 
     // Bulk history: 400k orders over 60 days -> two encoded segments.
     for i in 0..400_000i32 {
@@ -86,8 +82,7 @@ fn main() {
         table.delete_row(0, row);
     }
     println!("\ncanceled ~2k orders in segment 0 (marked deleted, not rewritten)");
-    let total_after: u64 =
-        revenue_by_status(&table, 0).iter().map(|(_, c, _)| *c).sum();
+    let total_after: u64 = revenue_by_status(&table, 0).iter().map(|(_, c, _)| *c).sum();
     println!("orders visible to queries now: {total_after}");
 
     // The background flush compresses the mutable region into a segment.

@@ -12,8 +12,7 @@ use bipie::tpch::{format_q1, run_q1, LineItemGen};
 use std::time::Instant;
 
 fn main() {
-    let sf: f64 =
-        std::env::var("BIPIE_TPCH_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.05);
+    let sf: f64 = std::env::var("BIPIE_TPCH_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.05);
 
     println!("generating LINEITEM at scale factor {sf} ...");
     let t0 = Instant::now();

@@ -3,136 +3,163 @@
 //! segment metadata brackets the true value range, and table building /
 //! flushing / deleting preserves row-level contents.
 
+mod common;
+
 use bipie::columnstore::encoding::{encode_ints, EncodedColumn, EncodingHint};
 use bipie::columnstore::{
     ColumnSpec, Date, DeletedBitmap, LogicalType, Table, TableBuilder, Value,
 };
-use proptest::prelude::*;
+use common::{run_cases, Gen};
 
-fn arb_hint() -> impl Strategy<Value = EncodingHint> {
-    prop_oneof![
-        Just(EncodingHint::Auto),
-        Just(EncodingHint::BitPack),
-        Just(EncodingHint::Dict),
-        Just(EncodingHint::Rle),
-        Just(EncodingHint::Delta),
-    ]
-}
+const HINTS: [EncodingHint; 5] = [
+    EncodingHint::Auto,
+    EncodingHint::BitPack,
+    EncodingHint::Dict,
+    EncodingHint::Rle,
+    EncodingHint::Delta,
+];
 
 /// Value pools that exercise different encoding sweet spots.
-fn arb_values() -> impl Strategy<Value = Vec<i64>> {
-    prop_oneof![
+fn arb_values(g: &mut Gen) -> Vec<i64> {
+    match g.int(0u8..4) {
         // dense small domain (dict / bitpack)
-        prop::collection::vec(-5i64..5, 0..400),
+        0 => g.vec_of(0..400, |g| g.int(-5i64..5)),
         // long runs (RLE)
-        prop::collection::vec((0i64..4, 1usize..50), 0..20).prop_map(|runs| {
+        1 => {
+            let runs: Vec<(i64, usize)> = g.vec_of(0..20, |g| (g.int(0i64..4), g.int(1usize..50)));
             runs.into_iter().flat_map(|(v, n)| std::iter::repeat_n(v * 1_000_000, n)).collect()
-        }),
+        }
         // sorted wide values (delta)
-        prop::collection::vec(0i64..1000, 0..400).prop_map(|mut v| {
+        2 => {
+            let mut v: Vec<i64> = g.vec_of(0..400, |g| g.int(0i64..1000));
             v.sort_unstable();
-            v.iter().scan(1_000_000_000i64, |acc, d| {
-                *acc += d;
-                Some(*acc)
-            })
-            .collect()
-        }),
+            v.iter()
+                .scan(1_000_000_000i64, |acc, d| {
+                    *acc += d;
+                    Some(*acc)
+                })
+                .collect()
+        }
         // full-range values
-        prop::collection::vec(any::<i64>(), 0..200),
-    ]
+        _ => g.vec_of(0..200, |g| g.rng.random::<i64>()),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn every_encoding_roundtrips(values in arb_values(), hint in arb_hint()) {
+#[test]
+fn every_encoding_roundtrips() {
+    run_cases("every_encoding_roundtrips", 96, |g| {
+        let values = arb_values(g);
+        let hint = *g.pick(&HINTS);
         // Delta estimation opts out on pathological ranges; forced delta
         // still must roundtrip via wrapping arithmetic.
         let col = encode_ints(&values, hint);
-        prop_assert_eq!(col.len(), values.len());
+        assert_eq!(col.len(), values.len());
         let mut out = vec![0i64; values.len()];
         col.decode_i64_into(0, &mut out);
-        prop_assert_eq!(&out, &values);
+        assert_eq!(&out, &values, "hint={hint:?}");
         // Random sub-ranges decode identically.
         if values.len() > 3 {
             let start = values.len() / 3;
             let n = (values.len() - start).min(7);
             let mut out = vec![0i64; n];
             col.decode_i64_into(start, &mut out);
-            prop_assert_eq!(&out[..], &values[start..start + n]);
+            assert_eq!(&out[..], &values[start..start + n], "hint={hint:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn auto_choice_never_beats_forced_sizes(values in arb_values()) {
+/// Pinned regression (formerly `tests/columnstore_properties.proptest-regressions`):
+/// proptest once shrank a roundtrip failure to the single value
+/// `[1_000_000_000]` — a one-element column from the sorted-wide pool, where
+/// the delta encoder's first element carries the whole magnitude. Keep the
+/// exact input alive under every hint now that the shrink file is gone.
+#[test]
+fn regression_single_wide_value_roundtrips() {
+    let values = [1_000_000_000i64];
+    for hint in HINTS {
+        let col = encode_ints(&values, hint);
+        let mut out = vec![0i64; 1];
+        col.decode_i64_into(0, &mut out);
+        assert_eq!(out[0], values[0], "hint={hint:?}");
+    }
+}
+
+#[test]
+fn auto_choice_never_beats_forced_sizes() {
+    run_cases("auto_choice_never_beats_forced_sizes", 96, |g| {
+        let values = arb_values(g);
         // The chooser's pick is at most as large as every candidate it
         // considered (bitpack always among them).
         let auto = encode_ints(&values, EncodingHint::Auto);
         let bitpack = encode_ints(&values, EncodingHint::BitPack);
-        prop_assert!(auto.encoded_bytes() <= bitpack.encoded_bytes());
-    }
+        assert!(auto.encoded_bytes() <= bitpack.encoded_bytes());
+    });
+}
 
-    #[test]
-    fn segment_metadata_brackets_values(values in arb_values(), hint in arb_hint()) {
+#[test]
+fn segment_metadata_brackets_values() {
+    run_cases("segment_metadata_brackets_values", 96, |g| {
         use bipie::columnstore::segment::{ColumnData, Segment};
-        prop_assume!(!values.is_empty());
+        let values = arb_values(g);
+        if values.is_empty() {
+            return;
+        }
+        let hint = *g.pick(&HINTS);
         let seg = Segment::build(vec![ColumnData::Ints(values.clone())], &[hint]);
         let meta = seg.meta(0);
-        let (lo, hi) = (
-            *values.iter().min().unwrap(),
-            *values.iter().max().unwrap(),
-        );
-        prop_assert_eq!(meta.min, lo);
-        prop_assert_eq!(meta.max, hi);
+        let (lo, hi) = (*values.iter().min().unwrap(), *values.iter().max().unwrap());
+        assert_eq!(meta.min, lo);
+        assert_eq!(meta.max, hi);
         let distinct = {
             let mut v = values.clone();
             v.sort_unstable();
             v.dedup();
             v.len()
         };
-        prop_assert!(meta.distinct_upper >= distinct, "upper bound must hold");
-    }
+        assert!(meta.distinct_upper >= distinct, "upper bound must hold");
+    });
+}
 
-    #[test]
-    fn table_roundtrip_with_flush_boundaries(
-        rows in prop::collection::vec((0u8..4, -100i64..100), 0..300),
-        segment_rows in 1usize..60,
-    ) {
+#[test]
+fn table_roundtrip_with_flush_boundaries() {
+    run_cases("table_roundtrip_with_flush_boundaries", 96, |g| {
+        let rows: Vec<(u8, i64)> = g.vec_of(0..300, |g| (g.int(0u8..4), g.int(-100i64..100)));
+        let segment_rows = g.int(1usize..60);
         let mut b = TableBuilder::with_segment_rows(
-            vec![
-                ColumnSpec::new("g", LogicalType::Str),
-                ColumnSpec::new("v", LogicalType::I64),
-            ],
+            vec![ColumnSpec::new("g", LogicalType::Str), ColumnSpec::new("v", LogicalType::I64)],
             segment_rows,
         );
         let names = ["w", "x", "y", "z"];
-        for &(g, v) in &rows {
-            b.push_row(vec![Value::Str(names[g as usize].into()), Value::I64(v)]);
+        for &(gg, v) in &rows {
+            b.push_row(vec![Value::Str(names[gg as usize].into()), Value::I64(v)]);
         }
         let t = b.finish();
-        prop_assert_eq!(t.num_rows(), rows.len());
+        assert_eq!(t.num_rows(), rows.len());
         // Row order is preserved across segment boundaries.
         let mut idx = 0usize;
         for seg in t.segments() {
-            prop_assert!(seg.num_rows() <= segment_rows);
+            assert!(seg.num_rows() <= segment_rows);
             for r in 0..seg.num_rows() {
-                let (g, v) = rows[idx];
-                prop_assert_eq!(seg.column(1).get_i64(r), v);
+                let (gg, v) = rows[idx];
+                assert_eq!(seg.column(1).get_i64(r), v);
                 match seg.column(0) {
                     EncodedColumn::StrDict(d) => {
-                        prop_assert_eq!(d.get(r), names[g as usize])
+                        assert_eq!(d.get(r), names[gg as usize])
                     }
-                    other => prop_assert!(false, "strings must dict-encode, got {:?}", other.encoding()),
+                    other => panic!("strings must dict-encode, got {:?}", other.encoding()),
                 }
                 idx += 1;
             }
         }
-        prop_assert_eq!(idx, rows.len());
-    }
+        assert_eq!(idx, rows.len());
+    });
+}
 
-    #[test]
-    fn deleted_bitmap_matches_model(len in 1usize..500, dels in prop::collection::vec(0usize..500, 0..40)) {
+#[test]
+fn deleted_bitmap_matches_model() {
+    run_cases("deleted_bitmap_matches_model", 96, |g| {
+        let len = g.int(1usize..500);
+        let dels: Vec<usize> = g.vec_of(0..40, |g| g.int(0usize..500));
         let mut bm = DeletedBitmap::new(len);
         let mut model = vec![false; len];
         for &d in &dels {
@@ -141,34 +168,33 @@ proptest! {
                 model[d] = true;
             }
         }
-        prop_assert_eq!(bm.deleted_count(), model.iter().filter(|&&b| b).count());
+        assert_eq!(bm.deleted_count(), model.iter().filter(|&&b| b).count());
         for (i, &m) in model.iter().enumerate() {
-            prop_assert_eq!(bm.is_deleted(i), m);
+            assert_eq!(bm.is_deleted(i), m);
         }
         // Masking a batch zeroes exactly the deleted positions.
         let mut sel = vec![0xFFu8; len];
         bm.mask_batch(0, &mut sel);
         for (i, &m) in model.iter().enumerate() {
-            prop_assert_eq!(sel[i] == 0, m, "row {}", i);
+            assert_eq!(sel[i] == 0, m, "row {i}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn date_ymd_roundtrip(days in -200_000i32..200_000) {
+#[test]
+fn date_ymd_roundtrip() {
+    run_cases("date_ymd_roundtrip", 96, |g| {
+        let days = g.int(-200_000i32..200_000);
         let d = Date(days);
         let (y, m, dd) = d.to_ymd();
-        prop_assert_eq!(Date::from_ymd(y, m, dd), d);
-    }
+        assert_eq!(Date::from_ymd(y, m, dd), d);
+    });
 }
 
 #[test]
 fn mutable_flush_is_equivalent_to_bulk_load() {
-    let specs = || {
-        vec![
-            ColumnSpec::new("g", LogicalType::Str),
-            ColumnSpec::new("v", LogicalType::I64),
-        ]
-    };
+    let specs =
+        || vec![ColumnSpec::new("g", LogicalType::Str), ColumnSpec::new("v", LogicalType::I64)];
     let rows: Vec<(usize, i64)> = (0..500).map(|i| (i % 3, (i * 17 % 97) as i64)).collect();
 
     let mut bulk = TableBuilder::with_segment_rows(specs(), 100);

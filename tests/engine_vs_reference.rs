@@ -4,6 +4,8 @@
 //! deleted rows, multi-segment tables, the mutable region, and every
 //! forced (selection × aggregation) strategy combination.
 
+mod common;
+
 use bipie::columnstore::encoding::EncodingHint;
 use bipie::columnstore::{ColumnSpec, LogicalType, Table, TableBuilder, Value};
 use bipie::core::reference::execute_reference;
@@ -11,7 +13,7 @@ use bipie::core::{
     execute, AggExpr, AggStrategy, Expr, Predicate, Query, QueryBuilder, QueryOptions,
     SelectionStrategy,
 };
-use proptest::prelude::*;
+use common::{run_cases, Gen};
 
 #[derive(Debug, Clone)]
 struct TableSpec {
@@ -24,29 +26,24 @@ struct TableSpec {
     mutable_tail: usize,
 }
 
-fn arb_hint() -> impl Strategy<Value = EncodingHint> {
-    prop_oneof![
-        Just(EncodingHint::Auto),
-        Just(EncodingHint::BitPack),
-        Just(EncodingHint::Dict),
-        Just(EncodingHint::Rle),
-        Just(EncodingHint::Delta),
-    ]
-}
+const HINTS: [EncodingHint; 5] = [
+    EncodingHint::Auto,
+    EncodingHint::BitPack,
+    EncodingHint::Dict,
+    EncodingHint::Rle,
+    EncodingHint::Delta,
+];
 
-fn arb_table_spec() -> impl Strategy<Value = TableSpec> {
-    (
-        1usize..800,
-        50usize..300,
-        1u8..12,
-        arb_hint(),
-        arb_hint(),
-        prop::collection::vec(0usize..800, 0..20),
-        0usize..30,
-    )
-        .prop_map(|(rows, segment_rows, groups, hint_a, hint_b, deletes, mutable_tail)| {
-            TableSpec { rows, segment_rows, groups, hint_a, hint_b, deletes, mutable_tail }
-        })
+fn arb_table_spec(g: &mut Gen) -> TableSpec {
+    TableSpec {
+        rows: g.int(1usize..800),
+        segment_rows: g.int(50usize..300),
+        groups: g.int(1u8..12),
+        hint_a: *g.pick(&HINTS),
+        hint_b: *g.pick(&HINTS),
+        deletes: g.vec_of(0..20, |g| g.int(0usize..800)),
+        mutable_tail: g.int(0usize..30),
+    }
 }
 
 fn build_table(spec: &TableSpec, seed: u64) -> Table {
@@ -68,11 +65,7 @@ fn build_table(spec: &TableSpec, seed: u64) -> Table {
         let g = (next() % spec.groups as u64) as usize;
         let a = next() as i64 % 10_000 - 5_000;
         let val_b = next() as i64 % 1_000;
-        b.push_row(vec![
-            Value::Str(names[g].to_string()),
-            Value::I64(a),
-            Value::I64(val_b),
-        ]);
+        b.push_row(vec![Value::Str(names[g].to_string()), Value::I64(a), Value::I64(val_b)]);
     }
     let mut t = b.finish();
     // Deletes against whatever segments exist.
@@ -113,20 +106,25 @@ fn the_query(threshold: i64, options: QueryOptions) -> Query {
         .build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn engine_equals_reference(spec in arb_table_spec(), seed in any::<u64>(), threshold in -6000i64..6000) {
+#[test]
+fn engine_equals_reference() {
+    run_cases("engine_equals_reference", 48, |g| {
+        let spec = arb_table_spec(g);
+        let seed = g.rng.random::<u64>();
+        let threshold = g.int(-6000i64..6000);
         let table = build_table(&spec, seed);
         let query = the_query(threshold, QueryOptions::default());
         let fast = execute(&table, &query).unwrap();
         let slow = execute_reference(&table, &query).unwrap();
-        prop_assert_eq!(fast.rows, slow.rows);
-    }
+        assert_eq!(fast.rows, slow.rows, "spec={spec:?} seed={seed} threshold={threshold}");
+    });
+}
 
-    #[test]
-    fn every_forced_combination_equals_reference(seed in any::<u64>(), threshold in -6000i64..6000) {
+#[test]
+fn every_forced_combination_equals_reference() {
+    run_cases("every_forced_combination_equals_reference", 48, |g| {
+        let seed = g.rng.random::<u64>();
+        let threshold = g.int(-6000i64..6000);
         let spec = TableSpec {
             rows: 700,
             segment_rows: 256,
@@ -137,7 +135,8 @@ proptest! {
             mutable_tail: 7,
         };
         let table = build_table(&spec, seed);
-        let slow = execute_reference(&table, &the_query(threshold, QueryOptions::default())).unwrap();
+        let slow =
+            execute_reference(&table, &the_query(threshold, QueryOptions::default())).unwrap();
         for agg in AggStrategy::ALL {
             for sel in SelectionStrategy::ALL {
                 let options = QueryOptions {
@@ -146,10 +145,10 @@ proptest! {
                     ..Default::default()
                 };
                 let fast = execute(&table, &the_query(threshold, options)).unwrap();
-                prop_assert_eq!(&fast.rows, &slow.rows, "{:?}+{:?}", agg, sel);
+                assert_eq!(&fast.rows, &slow.rows, "{agg:?}+{sel:?} seed={seed}");
             }
         }
-    }
+    });
 }
 
 #[test]
@@ -164,16 +163,12 @@ fn parallel_and_serial_agree() {
         mutable_tail: 0,
     };
     let table = build_table(&spec, 99);
-    let serial = execute(
-        &table,
-        &the_query(0, QueryOptions { parallel: false, ..Default::default() }),
-    )
-    .unwrap();
-    let parallel = execute(
-        &table,
-        &the_query(0, QueryOptions { parallel: true, ..Default::default() }),
-    )
-    .unwrap();
+    let serial =
+        execute(&table, &the_query(0, QueryOptions { parallel: false, ..Default::default() }))
+            .unwrap();
+    let parallel =
+        execute(&table, &the_query(0, QueryOptions { parallel: true, ..Default::default() }))
+            .unwrap();
     assert_eq!(serial.rows, parallel.rows);
 }
 

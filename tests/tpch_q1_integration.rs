@@ -6,9 +6,7 @@
 
 use bipie::columnstore::{Date, Value};
 use bipie::core::reference::execute_reference;
-use bipie::core::{
-    execute, AggStrategy, Predicate, QueryBuilder, QueryOptions, SelectionStrategy,
-};
+use bipie::core::{execute, AggStrategy, Predicate, QueryBuilder, QueryOptions, SelectionStrategy};
 use bipie::tpch::{q1_cutoff, q1_query, run_q1, LineItemGen};
 
 fn small_lineitem() -> bipie::columnstore::Table {
@@ -53,17 +51,9 @@ fn q1_plan_matches_paper_description() {
     let table = small_lineitem();
     let (_, stats) = run_q1(&table, QueryOptions::default()).unwrap();
     // 98% selectivity -> special-group selection everywhere.
-    assert_eq!(
-        stats.selection_count(SelectionStrategy::SpecialGroup),
-        stats.batches,
-        "{stats:?}"
-    );
+    assert_eq!(stats.selection_count(SelectionStrategy::SpecialGroup), stats.batches, "{stats:?}");
     // Five distinct sums of mixed widths -> multi-aggregate on every segment.
-    assert_eq!(
-        stats.agg_count(AggStrategy::MultiAggregate),
-        stats.segments_scanned,
-        "{stats:?}"
-    );
+    assert_eq!(stats.agg_count(AggStrategy::MultiAggregate), stats.segments_scanned, "{stats:?}");
     assert_eq!(stats.wide_group_segments, 0, "dict codes keep the narrow path");
 }
 
@@ -72,10 +62,7 @@ fn date_segment_elimination() {
     // A predicate before any generated shipdate eliminates all segments.
     let table = small_lineitem();
     let q = QueryBuilder::new()
-        .filter(Predicate::lt(
-            "l_shipdate",
-            Value::Date(Date::from_ymd(1990, 1, 1)),
-        ))
+        .filter(Predicate::lt("l_shipdate", Value::Date(Date::from_ymd(1990, 1, 1))))
         .group_by("l_returnflag")
         .aggregate(bipie::core::AggExpr::count_star())
         .build();
@@ -95,18 +82,10 @@ fn q1_totals_are_scale_consistent() {
     // Doubling the scale factor roughly doubles counts (same distributions).
     let t1 = LineItemGen { scale_factor: 0.002, ..Default::default() }.generate();
     let t2 = LineItemGen { scale_factor: 0.004, ..Default::default() }.generate();
-    let c1: u64 = run_q1(&t1, QueryOptions::default())
-        .unwrap()
-        .0
-        .iter()
-        .map(|r| r.count_order)
-        .sum();
-    let c2: u64 = run_q1(&t2, QueryOptions::default())
-        .unwrap()
-        .0
-        .iter()
-        .map(|r| r.count_order)
-        .sum();
+    let c1: u64 =
+        run_q1(&t1, QueryOptions::default()).unwrap().0.iter().map(|r| r.count_order).sum();
+    let c2: u64 =
+        run_q1(&t2, QueryOptions::default()).unwrap().0.iter().map(|r| r.count_order).sum();
     let ratio = c2 as f64 / c1 as f64;
     assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
 }

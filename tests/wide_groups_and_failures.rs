@@ -9,18 +9,12 @@ use bipie::core::{execute, AggExpr, EngineError, Expr, Predicate, QueryBuilder};
 
 fn wide_table(distinct: i64, rows: i64) -> bipie::columnstore::Table {
     let mut b = TableBuilder::with_segment_rows(
-        vec![
-            ColumnSpec::new("key", LogicalType::I64),
-            ColumnSpec::new("v", LogicalType::I64),
-        ],
+        vec![ColumnSpec::new("key", LogicalType::I64), ColumnSpec::new("v", LogicalType::I64)],
         (rows as usize / 2).max(10),
     );
     for i in 0..rows {
         // Scattered wide keys -> not narrow-mappable.
-        b.push_row(vec![
-            Value::I64((i % distinct) * 1_000_003),
-            Value::I64(i % 500),
-        ]);
+        b.push_row(vec![Value::I64((i % distinct) * 1_000_003), Value::I64(i % 500)]);
     }
     b.finish()
 }
@@ -49,10 +43,7 @@ fn wide_group_fallback_matches_reference() {
 fn narrow_wide_boundary() {
     // 254 distinct dense group values: narrow (needs 254 + special <= 256).
     let narrow = wide_table_dense(254);
-    let q = QueryBuilder::new()
-        .group_by("key")
-        .aggregate(AggExpr::count_star())
-        .build();
+    let q = QueryBuilder::new().group_by("key").aggregate(AggExpr::count_star()).build();
     let r = execute(&narrow, &q).unwrap();
     assert_eq!(r.num_rows(), 254);
     assert_eq!(r.stats.wide_group_segments, 0, "{:?}", r.stats);
@@ -79,20 +70,14 @@ fn wide_table_dense(distinct: i64) -> bipie::columnstore::Table {
 
 #[test]
 fn sum_overflow_rejected_min_max_allowed() {
-    let mut b = TableBuilder::with_segment_rows(
-        vec![ColumnSpec::new("v", LogicalType::I64)],
-        1000,
-    );
+    let mut b = TableBuilder::with_segment_rows(vec![ColumnSpec::new("v", LogicalType::I64)], 1000);
     for i in 0..100i64 {
         b.push_row(vec![Value::I64(i64::MAX / 64 + i)]);
     }
     let t = b.finish();
     // Summing 100 values near i64::MAX/64 could overflow: rejected upfront.
     let q = QueryBuilder::new().aggregate(AggExpr::sum("v")).build();
-    assert!(matches!(
-        execute(&t, &q),
-        Err(EngineError::PotentialOverflow { aggregate: 0 })
-    ));
+    assert!(matches!(execute(&t, &q), Err(EngineError::PotentialOverflow { aggregate: 0 })));
     // MIN/MAX never accumulate: the same column is fine.
     let q = QueryBuilder::new()
         .aggregate(AggExpr::min("v"))
@@ -153,10 +138,7 @@ fn empty_table_and_all_deleted() {
     let r = execute(&t, &q).unwrap();
     assert_eq!(r.num_rows(), 0);
 
-    let mut b = TableBuilder::with_segment_rows(
-        vec![ColumnSpec::new("v", LogicalType::I64)],
-        10,
-    );
+    let mut b = TableBuilder::with_segment_rows(vec![ColumnSpec::new("v", LogicalType::I64)], 10);
     for i in 0..10 {
         b.push_row(vec![Value::I64(i)]);
     }
@@ -171,12 +153,8 @@ fn empty_table_and_all_deleted() {
 #[test]
 fn group_by_every_encoding_matches_reference() {
     // The group-by column itself flows through each forced encoding.
-    for hint in [
-        EncodingHint::BitPack,
-        EncodingHint::Dict,
-        EncodingHint::Rle,
-        EncodingHint::Delta,
-    ] {
+    for hint in [EncodingHint::BitPack, EncodingHint::Dict, EncodingHint::Rle, EncodingHint::Delta]
+    {
         let mut b = TableBuilder::with_segment_rows(
             vec![
                 ColumnSpec::new("g", LogicalType::I64).with_hint(hint),
