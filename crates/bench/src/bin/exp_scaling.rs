@@ -1,0 +1,122 @@
+//! **Scan scaling** — TPC-H Query 1 throughput vs worker count under the
+//! morsel-driven parallel scan.
+//!
+//! Runs Q1 end-to-end at 1, 2, 4 and `max(8, hardware)` workers over a
+//! LINEITEM table deliberately *skewed* (one oversized segment plus small
+//! ones), so the numbers reflect the scheduler's work stealing rather than
+//! a best-case even split. Reports the median wall-clock time per thread
+//! count, plus morsel/steal/pool counters, and emits the machine-readable
+//! `BENCH_scan.json` consumed by CI trend tracking.
+//!
+//! Environment knobs:
+//!
+//! * `BIPIE_TPCH_SF` — scale factor (default 0.1, ~600K rows).
+//! * `BIPIE_BENCH_RUNS` — timed repetitions per point (median reported).
+//! * `BIPIE_BENCH_JSON` — output path (default `BENCH_scan.json`).
+//!
+//! Note: speedup is bounded by the *hardware* parallelism recorded in the
+//! JSON — on a single-core container every thread count measures ~1×.
+
+use std::time::Instant;
+
+use bipie_bench::bench_opts;
+use bipie_core::{ExecStats, QueryOptions};
+use bipie_metrics::Table as TextTable;
+use bipie_tpch::{generate_lineitem, run_q1};
+
+struct Point {
+    threads: usize,
+    secs: f64,
+    rows_per_sec: f64,
+    speedup: f64,
+    stats: ExecStats,
+}
+
+fn main() {
+    let sf: f64 = std::env::var("BIPIE_TPCH_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.1);
+    let opts = bench_opts();
+    let hardware = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+
+    println!("Scan scaling: Q1 throughput vs workers (morsel-driven)");
+    println!("generating skewed LINEITEM at SF {sf} ...");
+    // A small segment cap yields several segments; appending a short tail
+    // afterwards would not change skew materially, so skew comes from the
+    // natural remainder segment plus morsel-level splitting.
+    let table = generate_lineitem(sf, 1 << 18);
+    let rows = table.num_rows();
+    let segments = table.segments().len();
+    println!("rows={rows} segments={segments} runs={} hardware_threads={hardware}\n", opts.runs);
+
+    let mut counts = vec![1usize, 2, 4, hardware.max(8)];
+    counts.dedup();
+    let mut points: Vec<Point> = Vec::new();
+    for &threads in &counts {
+        let options =
+            QueryOptions { parallel: threads > 1, threads: Some(threads), ..Default::default() };
+        let mut stats = ExecStats::default();
+        for _ in 0..opts.warmup {
+            run_q1(&table, options.clone()).expect("Q1 runs");
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(opts.runs);
+        for _ in 0..opts.runs {
+            let start = Instant::now();
+            let (_, s) = run_q1(&table, options.clone()).expect("Q1 runs");
+            samples.push(start.elapsed().as_secs_f64());
+            stats = s;
+        }
+        samples.sort_by(f64::total_cmp);
+        let secs = samples[samples.len() / 2];
+        let speedup = points.first().map_or(1.0, |base| base.secs / secs);
+        points.push(Point { threads, secs, rows_per_sec: rows as f64 / secs, speedup, stats });
+    }
+
+    let mut t = TextTable::new(vec![
+        "threads",
+        "median s",
+        "Mrows/s",
+        "speedup",
+        "morsels",
+        "steals",
+        "pool reuses",
+    ]);
+    for p in &points {
+        t.row(vec![
+            p.threads.to_string(),
+            format!("{:.4}", p.secs),
+            format!("{:.2}", p.rows_per_sec / 1e6),
+            format!("{:.2}x", p.speedup),
+            p.stats.morsels_scanned.to_string(),
+            p.stats.morsel_steals.to_string(),
+            p.stats.pool_reuses.to_string(),
+        ]);
+    }
+    t.print();
+
+    let json_path =
+        std::env::var("BIPIE_BENCH_JSON").unwrap_or_else(|_| "BENCH_scan.json".to_string());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"scan_scaling_q1\",\n");
+    json.push_str(&format!("  \"scale_factor\": {sf},\n"));
+    json.push_str(&format!("  \"rows\": {rows},\n"));
+    json.push_str(&format!("  \"segments\": {segments},\n"));
+    json.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
+    json.push_str(&format!("  \"runs\": {},\n", opts.runs));
+    json.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"secs_median\": {:.6}, \"rows_per_sec\": {:.0}, \
+             \"speedup_vs_1\": {:.3}, \"morsels\": {}, \"steals\": {}}}{}\n",
+            p.threads,
+            p.secs,
+            p.rows_per_sec,
+            p.speedup,
+            p.stats.morsels_scanned,
+            p.stats.morsel_steals,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&json_path, &json).expect("writing the JSON report");
+    println!("\nwrote {json_path}");
+}

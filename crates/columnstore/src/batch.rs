@@ -5,8 +5,15 @@
 //! batch before moving to the next one and we never revisit previous
 //! batches." (The MonetDB/X100 processing model.)
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 /// Maximum rows per batch window.
 pub const BATCH_ROWS: usize = 4096;
+
+/// Default rows per morsel (16 batch windows): large enough to amortize
+/// per-morsel scheduling and per-segment planning, small enough that a
+/// skewed segment still splits into many units of work.
+pub const MORSEL_ROWS: usize = 16 * BATCH_ROWS;
 
 /// A half-open row range `[start, start + len)` within a segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +66,57 @@ impl Iterator for BatchCursor {
 
 impl ExactSizeIterator for BatchCursor {}
 
+/// A concurrently claimable cursor over the row range of one segment.
+///
+/// Parallel scans decompose a segment into *morsels* — fixed-size,
+/// batch-aligned row ranges — and workers claim them with a lock-free
+/// compare-and-swap on the shared cursor. Claiming only needs atomicity,
+/// not ordering: the segment data a claim grants access to is immutable,
+/// and the scan results a worker produces are published to the coordinating
+/// thread by the worker pool's own (acquire/release) join protocol, so
+/// `Relaxed` suffices here (see DESIGN.md §8).
+#[derive(Debug)]
+pub struct MorselCursor {
+    num_rows: usize,
+    morsel_rows: usize,
+    next: AtomicUsize,
+}
+
+impl MorselCursor {
+    /// A cursor over `num_rows` rows in morsels of `morsel_rows`.
+    pub fn new(num_rows: usize, morsel_rows: usize) -> MorselCursor {
+        assert!(morsel_rows > 0, "morsel size must be positive");
+        MorselCursor { num_rows, morsel_rows, next: AtomicUsize::new(0) }
+    }
+
+    /// Claim the next unclaimed morsel, or `None` when the segment is
+    /// exhausted. Safe to call from any number of threads; every row is
+    /// handed out exactly once.
+    pub fn claim(&self) -> Option<Batch> {
+        let mut cur = self.next.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.num_rows {
+                return None;
+            }
+            let end = (cur + self.morsel_rows).min(self.num_rows);
+            match self.next.compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return Some(Batch { start: cur, len: end - cur }),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Rows not yet claimed (a racy snapshot; exact once workers quiesce).
+    pub fn remaining(&self) -> usize {
+        self.num_rows.saturating_sub(self.next.load(Ordering::Relaxed))
+    }
+
+    /// Whether every morsel has been claimed (racy snapshot).
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +155,63 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_batch_size_rejected() {
         BatchCursor::with_batch_rows(10, 0);
+    }
+
+    #[test]
+    fn morsel_cursor_covers_all_rows_exactly_once() {
+        for (n, m) in [(0usize, 64usize), (1, 64), (1000, 64), (1000, 1000), (1000, 4096)] {
+            let c = MorselCursor::new(n, m);
+            let mut claimed = Vec::new();
+            while let Some(b) = c.claim() {
+                claimed.push(b);
+            }
+            let total: usize = claimed.iter().map(|b| b.len).sum();
+            assert_eq!(total, n, "n={n} m={m}");
+            let mut expected_start = 0;
+            for b in &claimed {
+                assert_eq!(b.start, expected_start);
+                assert!(b.len > 0 && b.len <= m);
+                expected_start += b.len;
+            }
+            assert!(c.is_exhausted());
+            assert_eq!(c.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn morsel_cursor_is_exact_under_contention() {
+        // Hammer one cursor from several threads; rows must partition
+        // exactly (every row claimed once, no row claimed twice).
+        let c = std::sync::Arc::new(MorselCursor::new(100_000, 257));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = std::sync::Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                let mut rows = 0usize;
+                let mut starts = Vec::new();
+                while let Some(b) = c.claim() {
+                    rows += b.len;
+                    starts.push(b.start);
+                }
+                (rows, starts)
+            }));
+        }
+        let mut total = 0;
+        let mut all_starts = Vec::new();
+        for h in handles {
+            let (rows, starts) = h.join().unwrap();
+            total += rows;
+            all_starts.extend(starts);
+        }
+        assert_eq!(total, 100_000);
+        all_starts.sort_unstable();
+        all_starts.dedup();
+        assert_eq!(all_starts.len(), 100_000usize.div_ceil(257));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_morsel_size_rejected() {
+        MorselCursor::new(10, 0);
     }
 }

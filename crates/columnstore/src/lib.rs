@@ -27,7 +27,7 @@ pub mod segment;
 pub mod table;
 pub mod value;
 
-pub use batch::{BatchCursor, BATCH_ROWS};
+pub use batch::{Batch, BatchCursor, MorselCursor, BATCH_ROWS, MORSEL_ROWS};
 pub use bitmap::DeletedBitmap;
 pub use encoding::{EncodedColumn, Encoding, EncodingHint};
 pub use segment::{ColumnMeta, Segment, SEGMENT_ROWS};

@@ -19,6 +19,19 @@ pub enum EngineError {
         /// Index of the aggregate expression.
         aggregate: usize,
     },
+    /// An execution option has an invalid value (checked when the query is
+    /// planned, before any scanning starts).
+    InvalidOptions {
+        /// The offending option (e.g. `batch_rows`).
+        option: &'static str,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// A scan worker panicked; the query fails instead of the process.
+    WorkerPanicked {
+        /// The panic message (best effort).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -31,6 +44,12 @@ impl std::fmt::Display for EngineError {
             EngineError::Unsupported(what) => write!(f, "unsupported: {what}"),
             EngineError::PotentialOverflow { aggregate } => {
                 write!(f, "aggregate #{aggregate} could overflow 64-bit accumulation")
+            }
+            EngineError::InvalidOptions { option, detail } => {
+                write!(f, "invalid execution option `{option}`: {detail}")
+            }
+            EngineError::WorkerPanicked { detail } => {
+                write!(f, "a scan worker panicked: {detail}")
             }
         }
     }
@@ -51,5 +70,9 @@ mod tests {
         assert!(EngineError::PotentialOverflow { aggregate: 2 }.to_string().contains("#2"));
         let e = EngineError::TypeMismatch { column: "c".into(), detail: "want int".into() };
         assert!(e.to_string().contains("'c'"));
+        let e = EngineError::InvalidOptions { option: "batch_rows", detail: "must be > 0".into() };
+        assert!(e.to_string().contains("batch_rows"));
+        let e = EngineError::WorkerPanicked { detail: "boom".into() };
+        assert!(e.to_string().contains("boom"));
     }
 }

@@ -24,8 +24,10 @@
 //!   selection strategy per batch (from the batch's measured selectivity),
 //!   mirroring §3's "the choice ... can change from segment to segment /
 //!   batch to batch".
-//! * [`scan`] — drives per-segment scans (optionally in parallel) and
-//!   merges per-segment group results.
+//! * [`scan`] — drives morsel-driven scans over the segments (optionally in
+//!   parallel) and merges per-worker group results in two phases.
+//! * [`pool`] — the persistent worker pool backing parallel scans: spawned
+//!   lazily on the first parallel query, reused by every later one.
 //! * [`expr`] / [`query`] — the scalar expression interpreter (standing in
 //!   for the paper's LLVM-generated code, which likewise "always operates
 //!   on decompressed column data") and the public query API.
@@ -37,6 +39,7 @@ pub mod error;
 pub mod expr;
 pub mod filter;
 pub mod groupid;
+pub mod pool;
 pub mod query;
 pub mod reference;
 pub mod scan;

@@ -1,0 +1,300 @@
+//! The persistent scan worker pool.
+//!
+//! Queries used to spawn one OS thread per segment per query and join at a
+//! barrier; this module replaces that with a process-wide, lazily
+//! initialized pool of workers that is created on the first parallel scan
+//! and reused by every later one. A [`run`](WorkerPool::run) call executes
+//! one *fork-join region*: the calling thread participates as worker 0,
+//! pool threads pick up the remaining worker indices, and the call returns
+//! only after every participant has finished — panics included, which are
+//! captured and surfaced as a value instead of aborting the process.
+//!
+//! Design notes (DESIGN.md §8):
+//!
+//! * **Lifecycle** — workers are spawned on demand up to the largest
+//!   parallelism any run has requested, then parked on a condvar between
+//!   runs. They live for the rest of the process; there is no shutdown
+//!   protocol (the OS reclaims parked threads at exit).
+//! * **Borrowed task bodies** — the pool executes `&(dyn Fn(usize) + Sync)`
+//!   bodies that borrow the caller's stack (segments, filters, result
+//!   slots). The lifetime is erased to hand the reference to long-lived
+//!   workers; soundness rests on the strict join: `run` does not return —
+//!   even on panic — until every worker that received the reference has
+//!   dropped it (see the SAFETY comment in [`WorkerPool::run`]).
+//! * **Memory ordering** — job hand-off and completion both go through a
+//!   `Mutex`/`Condvar` pair, whose lock/unlock edges give the necessary
+//!   happens-before: everything a worker wrote before decrementing the
+//!   pending count is visible to the caller after the join.
+//!
+//! `run` is **not reentrant**: a task body must not call `run` again (the
+//! nested region could wait on workers that are all busy running the outer
+//! region). The scan driver only ever runs one region at a time per query
+//! phase, and concurrent queries are fine — regions interleave over the
+//! shared queue.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// A captured worker panic payload.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// What a completed fork-join region reports back.
+#[derive(Debug, Clone, Copy)]
+pub struct RunReport {
+    /// Worker indices that participated (caller included).
+    pub workers: usize,
+    /// `true` when the run was served entirely by already-spawned workers
+    /// (i.e. the persistent pool was reused rather than grown).
+    pub reused_pool: bool,
+}
+
+/// The task body with its lifetime erased; see the SAFETY note in
+/// [`WorkerPool::run`] for why the `'static` claim is sound.
+type ErasedBody = &'static (dyn Fn(usize) + Sync);
+
+/// One queued worker assignment.
+struct Job {
+    body: ErasedBody,
+    index: usize,
+    run: Arc<RunState>,
+}
+
+/// Join state for one fork-join region.
+struct RunState {
+    /// Workers (excluding the caller) that have not finished yet.
+    pending: Mutex<usize>,
+    /// Signalled when `pending` reaches zero.
+    done: Condvar,
+    /// First captured panic payload from any pool worker.
+    panic: Mutex<Option<PanicPayload>>,
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled when a job is queued.
+    work: Condvar,
+}
+
+/// The process-wide scan worker pool.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    /// Pool threads spawned so far (grows monotonically, never shrinks).
+    spawned: Mutex<usize>,
+    /// Completed `run` regions (diagnostics).
+    runs: AtomicUsize,
+}
+
+/// Locks a mutex, ignoring poisoning: the pool's invariants hold even if a
+/// participant panicked while another thread held the lock, because no lock
+/// is held across user code.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl WorkerPool {
+    /// The lazily-initialized global pool.
+    pub fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| WorkerPool {
+            shared: Arc::new(PoolShared {
+                queue: Mutex::new(VecDeque::new()),
+                work: Condvar::new(),
+            }),
+            spawned: Mutex::new(0),
+            runs: AtomicUsize::new(0),
+        })
+    }
+
+    /// Completed fork-join regions since process start (diagnostics).
+    pub fn completed_runs(&self) -> usize {
+        self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Execute `body(i)` for `i in 0..workers` across the pool, the calling
+    /// thread serving as worker 0. Returns when every worker has finished.
+    /// If any worker (or the caller's own slice) panicked, the first payload
+    /// is returned as `Err` — the process is never taken down by a worker.
+    pub fn run(
+        &self,
+        workers: usize,
+        body: &(dyn Fn(usize) + Sync),
+    ) -> Result<RunReport, PanicPayload> {
+        let workers = workers.max(1);
+        if workers == 1 {
+            let reused = self.runs.load(Ordering::Relaxed) > 0;
+            catch_unwind(AssertUnwindSafe(|| body(0)))?;
+            self.runs.fetch_add(1, Ordering::Relaxed);
+            return Ok(RunReport { workers: 1, reused_pool: reused });
+        }
+
+        let reused_pool = self.ensure_spawned(workers - 1);
+        let run = Arc::new(RunState {
+            pending: Mutex::new(workers - 1),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+
+        // SAFETY: `body` is only ever invoked by jobs tied to `run`, and
+        // this function does not return before `run.pending` reaches zero
+        // (the wait below is unconditional; worker panics are caught and
+        // still decrement the count). Therefore no use of the erased
+        // reference outlives the real borrow, and the `'static` claim made
+        // to the long-lived worker threads is never observable.
+        let erased = unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), ErasedBody>(body) };
+        {
+            let mut queue = lock(&self.shared.queue);
+            for index in 1..workers {
+                queue.push_back(Job { body: erased, index, run: Arc::clone(&run) });
+            }
+        }
+        self.shared.work.notify_all();
+
+        // The caller is worker 0; its panic is deferred until after the
+        // join so the borrow stays valid for the pool workers either way.
+        let caller_result = catch_unwind(AssertUnwindSafe(|| body(0)));
+
+        let mut pending = lock(&run.pending);
+        while *pending > 0 {
+            pending = run.done.wait(pending).unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(pending);
+
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        caller_result?;
+        if let Some(payload) = lock(&run.panic).take() {
+            return Err(payload);
+        }
+        Ok(RunReport { workers, reused_pool })
+    }
+
+    /// Make sure at least `needed` pool threads exist; returns `true` when
+    /// they all already did (pool reuse).
+    fn ensure_spawned(&self, needed: usize) -> bool {
+        let mut spawned = lock(&self.spawned);
+        if *spawned >= needed {
+            return true;
+        }
+        while *spawned < needed {
+            let shared = Arc::clone(&self.shared);
+            let worker_id = *spawned;
+            std::thread::Builder::new()
+                .name(format!("bipie-scan-{worker_id}"))
+                .spawn(move || worker_loop(shared))
+                .expect("spawning a scan worker thread");
+            *spawned += 1;
+        }
+        false
+    }
+}
+
+/// The body each pool thread parks in between fork-join regions.
+fn worker_loop(shared: Arc<PoolShared>) {
+    loop {
+        let job = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = shared.work.wait(queue).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // Run the slice; capture (never propagate) panics so a poisoned
+        // scan fails its query, not the host process or this worker.
+        let result = catch_unwind(AssertUnwindSafe(|| (job.body)(job.index)));
+        if let Err(payload) = result {
+            let mut slot = lock(&job.run.panic);
+            slot.get_or_insert(payload);
+        }
+        let mut pending = lock(&job.run.pending);
+        *pending -= 1;
+        if *pending == 0 {
+            job.run.done.notify_all();
+        }
+        drop(pending);
+    }
+}
+
+/// Render a panic payload for an error message (`&str` and `String`
+/// payloads verbatim, anything else a placeholder).
+pub fn panic_message(payload: &PanicPayload) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_worker_index_exactly_once() {
+        let pool = WorkerPool::global();
+        for workers in [1usize, 2, 3, 8] {
+            let hits: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+            let report = pool
+                .run(workers, &|i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                })
+                .expect("no panics");
+            assert_eq!(report.workers, workers);
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "worker {i} of {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_after_join() {
+        let pool = WorkerPool::global();
+        let total = AtomicU64::new(0);
+        let inputs: Vec<u64> = (0..1000).collect();
+        pool.run(4, &|i| {
+            let part: u64 = inputs.iter().skip(i).step_by(4).sum();
+            total.fetch_add(part, Ordering::Relaxed);
+        })
+        .expect("no panics");
+        assert_eq!(total.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn worker_panic_is_captured_not_fatal() {
+        let pool = WorkerPool::global();
+        let err = pool
+            .run(3, &|i| {
+                if i == 2 {
+                    panic!("poisoned segment {i}");
+                }
+            })
+            .expect_err("a worker panicked");
+        assert_eq!(panic_message(&err), "poisoned segment 2");
+        // The pool survives and serves the next run.
+        let ok = pool.run(3, &|_| {}).expect("pool still works");
+        assert!(ok.reused_pool);
+    }
+
+    #[test]
+    fn caller_panic_is_captured_too() {
+        let pool = WorkerPool::global();
+        let err = pool.run(2, &|i| assert_ne!(i, 0, "caller slice fails")).expect_err("panicked");
+        assert!(panic_message(&err).contains("caller slice fails"));
+        pool.run(2, &|_| {}).expect("pool still works");
+    }
+
+    #[test]
+    fn pool_reuse_is_reported() {
+        let pool = WorkerPool::global();
+        pool.run(2, &|_| {}).expect("warm-up");
+        let report = pool.run(2, &|_| {}).expect("reuse");
+        assert!(report.reused_pool);
+        assert!(pool.completed_runs() >= 2);
+    }
+}

@@ -96,12 +96,18 @@ pub struct QueryOptions {
     pub forced_selection: Option<SelectionStrategy>,
     /// Force one aggregation strategy for every segment.
     pub forced_agg: Option<AggStrategy>,
-    /// Scan segments on parallel threads.
+    /// Scan morsels on parallel pool workers.
     pub parallel: bool,
+    /// Worker count for parallel scans; `None` uses the hardware
+    /// parallelism. `Some(1)` forces a serial scan.
+    pub threads: Option<usize>,
     /// SIMD tier.
     pub level: SimdLevel,
     /// Rows per batch window (§2.1: "up to 4096 rows in MemSQL").
     pub batch_rows: usize,
+    /// Rows per parallel morsel; rounded up to whole batch windows so the
+    /// parallel batch grid matches the serial one.
+    pub morsel_rows: usize,
     /// Strategy-chooser constants.
     pub config: StrategyConfig,
 }
@@ -112,9 +118,32 @@ impl Default for QueryOptions {
             forced_selection: None,
             forced_agg: None,
             parallel: true,
+            threads: None,
             level: SimdLevel::detect(),
             batch_rows: bipie_columnstore::BATCH_ROWS,
+            morsel_rows: bipie_columnstore::MORSEL_ROWS,
             config: StrategyConfig::default(),
+        }
+    }
+}
+
+impl QueryOptions {
+    /// Check option values without executing anything; [`execute`] performs
+    /// the same check, so this is for builders that want to fail fast.
+    pub fn validate(&self) -> Result<()> {
+        crate::scan::validate_scan_options(&self.to_scan_options())
+    }
+
+    fn to_scan_options(&self) -> ScanOptions {
+        ScanOptions {
+            level: self.level,
+            forced_selection: self.forced_selection,
+            forced_agg: self.forced_agg,
+            parallel: self.parallel,
+            threads: self.threads,
+            batch_rows: self.batch_rows,
+            morsel_rows: self.morsel_rows,
+            config: self.config.clone(),
         }
     }
 }
@@ -262,6 +291,10 @@ impl QueryResult {
 
 /// Execute a query against a table.
 pub fn execute(table: &Table, query: &Query) -> Result<QueryResult> {
+    // Reject malformed execution options before resolving anything, so the
+    // caller gets a typed error at plan time rather than a panic mid-scan.
+    query.options.validate()?;
+
     // Resolve group-by columns.
     let mut group_cols = Vec::with_capacity(query.group_by.len());
     for name in &query.group_by {
@@ -316,14 +349,7 @@ pub fn execute(table: &Table, query: &Query) -> Result<QueryResult> {
     let sum_exprs = resolved;
     let filter = query.filter.as_ref().map(|f| f.resolve(table)).transpose()?;
 
-    let scan_opts = ScanOptions {
-        level: query.options.level,
-        forced_selection: query.options.forced_selection,
-        forced_agg: query.options.forced_agg,
-        parallel: query.options.parallel,
-        batch_rows: query.options.batch_rows,
-        config: query.options.config.clone(),
-    };
+    let scan_opts = query.options.to_scan_options();
     let (mut merged, mut stats) =
         scan_table(table, filter.as_ref(), &group_cols, &sum_exprs, &mm_exprs, &scan_opts)?;
 
@@ -590,6 +616,65 @@ mod tests {
         assert!(matches!(execute(&t, &q), Err(EngineError::UnknownColumn(_))));
         let q = QueryBuilder::new().aggregate(AggExpr::sum("region")).build();
         assert!(matches!(execute(&t, &q), Err(EngineError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn invalid_options_fail_at_plan_time() {
+        let t = table();
+        for (opts, option) in [
+            (QueryOptions { batch_rows: 0, ..Default::default() }, "batch_rows"),
+            (QueryOptions { morsel_rows: 0, ..Default::default() }, "morsel_rows"),
+            (QueryOptions { threads: Some(0), ..Default::default() }, "threads"),
+        ] {
+            assert!(matches!(
+                opts.validate(),
+                Err(EngineError::InvalidOptions { option: o, .. }) if o == option
+            ));
+            let q = QueryBuilder::new().aggregate(AggExpr::count_star()).options(opts).build();
+            assert!(matches!(
+                execute(&t, &q),
+                Err(EngineError::InvalidOptions { option: o, .. }) if o == option
+            ));
+        }
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree_with_serial() {
+        let t = table();
+        let build = |opts: QueryOptions| {
+            QueryBuilder::new()
+                .filter(Predicate::ge("sales", Value::I64(250)))
+                .group_by("region")
+                .aggregate(AggExpr::count_star())
+                .aggregate(AggExpr::sum("sales"))
+                .options(opts)
+                .build()
+        };
+        let serial =
+            execute(&t, &build(QueryOptions { parallel: false, ..Default::default() })).unwrap();
+        for threads in [2usize, 4] {
+            let opts = QueryOptions {
+                threads: Some(threads),
+                morsel_rows: 128,
+                batch_rows: 64,
+                ..Default::default()
+            };
+            let serial_small = execute(
+                &t,
+                &build(QueryOptions {
+                    parallel: false,
+                    morsel_rows: 128,
+                    batch_rows: 64,
+                    ..Default::default()
+                }),
+            )
+            .unwrap();
+            let par = execute(&t, &build(opts)).unwrap();
+            assert_eq!(par.rows, serial.rows, "threads={threads}");
+            assert_eq!(par.rows, serial_small.rows, "threads={threads} small batches");
+            assert_eq!(par.stats.pool_workers, threads);
+            assert!(par.stats.morsels_scanned > 0);
+        }
     }
 
     #[test]

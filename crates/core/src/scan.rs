@@ -1,17 +1,27 @@
-//! The columnstore scan driver (§3, Figure 1).
+//! The columnstore scan driver (§3, Figure 1; parallelism in DESIGN.md §8).
 //!
-//! Orchestrates per-segment execution: segment elimination, group-id mapper
-//! planning, overflow proofs, adaptive strategy selection, the batch loop,
-//! and the merge of per-segment group results into table-level totals.
-//! Segments scan independently (optionally in parallel — "query 1 requires
-//! little synchronization coming from parallel processing", §6.3); group
-//! keys, not group ids, are the merge key, because dictionary codes differ
+//! Orchestrates execution: segment elimination, group-id mapper planning,
+//! overflow proofs, adaptive strategy selection, the batch loop, and the
+//! merge of per-segment group results into table-level totals. Group keys,
+//! not group ids, are the merge key, because dictionary codes differ
 //! between segments.
+//!
+//! Parallel scans are *morsel-driven* ("query 1 requires little
+//! synchronization coming from parallel processing", §6.3): segments are
+//! decomposed into batch-aligned row ranges claimed from atomic cursors by
+//! a persistent worker pool ([`crate::pool`]), so a single hot segment, a
+//! table with fewer segments than cores, or skewed segment sizes still
+//! scale. Each worker aggregates into thread-local accumulators; the final
+//! reduction is partitioned by group-key hash and merged in parallel.
 
-use std::collections::BTreeMap;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
 
 use bipie_columnstore::encoding::EncodedColumn;
-use bipie_columnstore::{BatchCursor, LogicalType, Segment, Table, Value};
+use bipie_columnstore::{Batch, BatchCursor, LogicalType, MorselCursor, Segment, Table, Value};
 use bipie_toolbox::selvec::count_selected;
 use bipie_toolbox::SimdLevel;
 
@@ -19,7 +29,8 @@ use crate::aggproc::{AggInput, SegmentAggExecutor};
 use crate::error::{EngineError, Result};
 use crate::expr::ResolvedExpr;
 use crate::filter::{FilterScratch, ResolvedPredicate};
-use crate::groupid::{plan_segment_mapper, SegmentGroupMapper};
+use crate::groupid::{plan_segment_mapper, NarrowMapper, SegmentGroupMapper, WideMapper};
+use crate::pool::{panic_message, WorkerPool};
 use crate::stats::ExecStats;
 use crate::strategy::{AggChoiceParams, AggStrategy, SelectionStrategy, StrategyConfig};
 
@@ -36,6 +47,22 @@ pub struct GroupAcc {
     pub maxs: Vec<i64>,
 }
 
+impl GroupAcc {
+    /// Fold `other` into `self` (same aggregate arity).
+    fn absorb(&mut self, other: &GroupAcc) {
+        self.count += other.count;
+        for (s, v) in self.sums.iter_mut().zip(&other.sums) {
+            *s += v;
+        }
+        for (m, v) in self.mins.iter_mut().zip(&other.mins) {
+            *m = (*m).min(*v);
+        }
+        for (m, v) in self.maxs.iter_mut().zip(&other.maxs) {
+            *m = (*m).max(*v);
+        }
+    }
+}
+
 /// Execution-time options threaded down from the query API.
 #[derive(Debug, Clone)]
 pub struct ScanOptions {
@@ -45,10 +72,15 @@ pub struct ScanOptions {
     pub forced_selection: Option<SelectionStrategy>,
     /// Force an aggregation strategy for every segment (experiments).
     pub forced_agg: Option<AggStrategy>,
-    /// Scan segments on parallel threads.
+    /// Scan morsels on parallel pool workers.
     pub parallel: bool,
-    /// Rows per batch window (§2.1; default [`BATCH_ROWS`]).
+    /// Worker count for parallel scans (`None` = hardware parallelism).
+    pub threads: Option<usize>,
+    /// Rows per batch window (§2.1; default [`bipie_columnstore::BATCH_ROWS`]).
     pub batch_rows: usize,
+    /// Rows per parallel morsel (rounded up to a whole number of batch
+    /// windows; default [`bipie_columnstore::MORSEL_ROWS`]).
+    pub morsel_rows: usize,
     /// Strategy-chooser constants.
     pub config: StrategyConfig,
 }
@@ -60,11 +92,44 @@ impl Default for ScanOptions {
             forced_selection: None,
             forced_agg: None,
             parallel: true,
+            threads: None,
             batch_rows: bipie_columnstore::BATCH_ROWS,
+            morsel_rows: bipie_columnstore::MORSEL_ROWS,
             config: StrategyConfig::default(),
         }
     }
 }
+
+/// Reject out-of-domain execution options with a typed error before any
+/// scanning starts (instead of a deep assertion failure mid-scan).
+pub fn validate_scan_options(options: &ScanOptions) -> Result<()> {
+    if options.batch_rows == 0 {
+        return Err(EngineError::InvalidOptions {
+            option: "batch_rows",
+            detail: "batch windows must cover at least 1 row".into(),
+        });
+    }
+    if options.morsel_rows == 0 {
+        return Err(EngineError::InvalidOptions {
+            option: "morsel_rows",
+            detail: "morsels must cover at least 1 row".into(),
+        });
+    }
+    if options.threads == Some(0) {
+        return Err(EngineError::InvalidOptions {
+            option: "threads",
+            detail: "need at least 1 worker (use None for hardware parallelism)".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Group-count threshold below which the second merge phase is not worth a
+/// fork-join region (the serial fold touches each key once anyway).
+const PARALLEL_MERGE_MIN_GROUPS: usize = 128;
+
+/// Merged per-group totals, ordered by group-by key values.
+type GroupMap = BTreeMap<Vec<Value>, GroupAcc>;
 
 /// Scan every segment of `table`, returning merged per-group totals keyed
 /// by the group-by values, plus execution stats.
@@ -75,94 +140,348 @@ pub fn scan_table(
     sum_exprs: &[ResolvedExpr],
     mm_exprs: &[ResolvedExpr],
     options: &ScanOptions,
-) -> Result<(BTreeMap<Vec<Value>, GroupAcc>, ExecStats)> {
-    let segments = table.segments();
-    let mut merged: BTreeMap<Vec<Value>, GroupAcc> = BTreeMap::new();
+) -> Result<(GroupMap, ExecStats)> {
+    validate_scan_options(options)?;
     let mut stats = ExecStats::default();
 
-    let run = |seg: &Segment| scan_segment(seg, filter, group_cols, sum_exprs, mm_exprs, options);
-
-    let results: Vec<Result<SegmentOutput>> = if options.parallel && segments.len() > 1 {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> =
-                segments.iter().map(|seg| scope.spawn(move || run(seg))).collect();
-            handles.into_iter().map(|h| h.join().expect("segment scan panicked")).collect()
-        })
-    } else {
-        segments.iter().map(run).collect()
-    };
-
-    for result in results {
-        let out = result?;
-        stats.merge(&out.stats);
-        for (key, acc) in out.groups {
-            let slot = merged.entry(key).or_insert_with(|| GroupAcc {
-                count: 0,
-                sums: vec![0; sum_exprs.len()],
-                mins: vec![i64::MAX; mm_exprs.len()],
-                maxs: vec![i64::MIN; mm_exprs.len()],
-            });
-            slot.count += acc.count;
-            for (s, v) in slot.sums.iter_mut().zip(&acc.sums) {
-                *s += v;
-            }
-            for (m, v) in slot.mins.iter_mut().zip(&acc.mins) {
-                *m = (*m).min(*v);
-            }
-            for (m, v) in slot.maxs.iter_mut().zip(&acc.maxs) {
-                *m = (*m).max(*v);
+    // Admission planning runs once per segment, serially: it is metadata
+    // only (elimination, overflow proofs, mapper viability) and it lets
+    // errors surface deterministically before any worker starts.
+    let mut planned: Vec<&Segment> = Vec::new();
+    for seg in table.segments() {
+        if seg.num_rows() == 0 || seg.live_rows() == 0 {
+            continue;
+        }
+        if let Some(f) = filter {
+            if f.eliminates_segment(seg) {
+                stats.segments_eliminated += 1;
+                continue;
             }
         }
+        check_overflow(seg, sum_exprs)?;
+        check_minmax_range(seg, sum_exprs.len(), mm_exprs)?;
+        if matches!(plan_segment_mapper(seg, group_cols)?, SegmentGroupMapper::Wide(_)) {
+            stats.wide_group_segments += 1;
+        }
+        stats.segments_scanned += 1;
+        stats.rows_scanned += seg.live_rows();
+        planned.push(seg);
     }
+    if planned.is_empty() {
+        return Ok((BTreeMap::new(), stats));
+    }
+
+    let threads = options
+        .threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1));
+    let ctx = ScanCtx { filter, group_cols, sum_exprs, mm_exprs, options };
+
+    let merged = if options.parallel && threads > 1 {
+        scan_parallel(&planned, threads, &ctx, &mut stats)?
+    } else {
+        scan_serial(&planned, &ctx, &mut stats)?
+    };
     Ok((merged, stats))
 }
 
-struct SegmentOutput {
-    groups: Vec<(Vec<Value>, GroupAcc)>,
-    stats: ExecStats,
+/// Everything a worker needs to scan a segment, bundled for passing around.
+#[derive(Clone, Copy)]
+struct ScanCtx<'a> {
+    filter: Option<&'a ResolvedPredicate>,
+    group_cols: &'a [(usize, LogicalType)],
+    sum_exprs: &'a [ResolvedExpr],
+    mm_exprs: &'a [ResolvedExpr],
+    options: &'a ScanOptions,
 }
 
-fn scan_segment(
-    seg: &Segment,
-    filter: Option<&ResolvedPredicate>,
-    group_cols: &[(usize, LogicalType)],
-    sum_exprs: &[ResolvedExpr],
-    mm_exprs: &[ResolvedExpr],
-    options: &ScanOptions,
-) -> Result<SegmentOutput> {
-    let mut stats = ExecStats::default();
-    if seg.num_rows() == 0 || seg.live_rows() == 0 {
-        return Ok(SegmentOutput { groups: Vec::new(), stats });
-    }
-    if let Some(f) = filter {
-        if f.eliminates_segment(seg) {
-            stats.segments_eliminated = 1;
-            return Ok(SegmentOutput { groups: Vec::new(), stats });
+/// Serial fallback: one thread scans whole segments in order. Panics from
+/// a poisoned segment scan become [`EngineError::WorkerPanicked`], matching
+/// the parallel path's contract.
+fn scan_serial(planned: &[&Segment], ctx: &ScanCtx<'_>, stats: &mut ExecStats) -> Result<GroupMap> {
+    let mut merged: GroupMap = BTreeMap::new();
+    let mut local = ExecStats::default();
+    let scan_all = AssertUnwindSafe(|| -> Result<()> {
+        for seg in planned {
+            let mut scan = SegScan::plan(seg, ctx)?;
+            scan.process_range(0, seg.num_rows());
+            let (groups, seg_stats) = scan.finish();
+            local.merge(&seg_stats);
+            merge_groups(&mut merged, groups);
+        }
+        Ok(())
+    });
+    match catch_unwind(scan_all) {
+        Ok(result) => result?,
+        Err(payload) => {
+            return Err(EngineError::WorkerPanicked { detail: panic_message(&payload) })
         }
     }
-    stats.segments_scanned = 1;
-    stats.rows_scanned = seg.live_rows();
+    stats.merge(&local);
+    Ok(merged)
+}
 
-    check_overflow(seg, sum_exprs)?;
-    // MIN/MAX never accumulate, but the expression itself must fit i64.
-    for (i, expr) in mm_exprs.iter().enumerate() {
-        let (lo, hi) = expr.value_range(&|col| {
-            let m = seg.meta(col);
-            (m.min, m.max)
-        });
-        if lo < i64::MIN as i128 || hi > i64::MAX as i128 {
-            return Err(EngineError::PotentialOverflow { aggregate: sum_exprs.len() + i });
+/// Morsel-driven parallel scan with a two-phase parallel merge.
+fn scan_parallel(
+    planned: &[&Segment],
+    threads: usize,
+    ctx: &ScanCtx<'_>,
+    stats: &mut ExecStats,
+) -> Result<GroupMap> {
+    let batch_rows = ctx.options.batch_rows;
+    // Morsels are whole batch windows so the parallel batch grid matches
+    // the serial one exactly.
+    let morsel_rows = ctx.options.morsel_rows.div_ceil(batch_rows).max(1) * batch_rows;
+    let sched = MorselScheduler::new(planned, morsel_rows);
+
+    // Phase 1: workers claim morsels, aggregate into thread-local state,
+    // and leave their results pre-partitioned by group-key hash.
+    let worker_parts: Vec<Mutex<Vec<GroupMap>>> =
+        (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+    let worker_stats: Vec<Mutex<ExecStats>> =
+        (0..threads).map(|_| Mutex::new(ExecStats::default())).collect();
+    let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
+
+    let pool = WorkerPool::global();
+    let report = pool
+        .run(threads, &|w| {
+            let mut local = ExecStats::default();
+            let mut states: HashMap<usize, SegScan<'_>> = HashMap::new();
+            let mut last: Option<usize> = None;
+            while let Some(claim) = sched.claim(w, threads, &mut last) {
+                local.morsels_scanned += 1;
+                local.morsel_steals += claim.stolen as usize;
+                let scan = match states.entry(claim.seg) {
+                    std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        match SegScan::plan(planned[claim.seg], ctx) {
+                            Ok(s) => v.insert(s),
+                            Err(e) => {
+                                lock(&first_error).get_or_insert(e);
+                                return;
+                            }
+                        }
+                    }
+                };
+                scan.process_range(claim.range.start, claim.range.len);
+            }
+            let mut parts: Vec<GroupMap> = (0..threads).map(|_| BTreeMap::new()).collect();
+            for (_, scan) in states {
+                let (groups, seg_stats) = scan.finish();
+                local.merge(&seg_stats);
+                for (key, acc) in groups {
+                    let p = (key_hash(&key) % threads as u64) as usize;
+                    merge_one(&mut parts[p], key, acc);
+                }
+            }
+            *lock(&worker_parts[w]) = parts;
+            *lock(&worker_stats[w]) = local;
+        })
+        .map_err(|payload| EngineError::WorkerPanicked { detail: panic_message(&payload) })?;
+    if let Some(e) = lock(&first_error).take() {
+        return Err(e);
+    }
+    for ws in &worker_stats {
+        stats.merge(&lock(ws));
+    }
+    stats.pool_workers = threads;
+    stats.pool_reuses += report.reused_pool as usize;
+
+    // Phase 2: reduce the hash partitions. Each partition's keys appear in
+    // at most `threads` maps; partitions are disjoint, so they merge in
+    // parallel without locks on the hot path and concatenate ordered.
+    let total_groups: usize =
+        worker_parts.iter().map(|m| lock(m).iter().map(BTreeMap::len).sum::<usize>()).sum();
+    let mut merged: GroupMap = BTreeMap::new();
+    if total_groups < PARALLEL_MERGE_MIN_GROUPS {
+        for wp in &worker_parts {
+            for part in lock(wp).drain(..) {
+                merge_groups(&mut merged, part);
+            }
+        }
+    } else {
+        let merged_parts: Vec<Mutex<GroupMap>> =
+            (0..threads).map(|_| Mutex::new(BTreeMap::new())).collect();
+        let report = pool
+            .run(threads, &|p| {
+                let mut out: GroupMap = BTreeMap::new();
+                for wp in &worker_parts {
+                    let mut guard = lock(wp);
+                    if let Some(part) = guard.get_mut(p) {
+                        let part = std::mem::take(part);
+                        drop(guard);
+                        merge_groups(&mut out, part);
+                    }
+                }
+                *lock(&merged_parts[p]) = out;
+            })
+            .map_err(|payload| EngineError::WorkerPanicked { detail: panic_message(&payload) })?;
+        stats.pool_reuses += report.reused_pool as usize;
+        for mp in merged_parts {
+            merged.extend(mp.into_inner().unwrap_or_else(PoisonError::into_inner));
+        }
+    }
+    Ok(merged)
+}
+
+/// Non-poisoning mutex lock (workers never hold a lock across user code, so
+/// a poisoned lock only means some other worker panicked — which the pool
+/// already turned into an error).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Deterministic (fixed-key SipHash) hash of a group key, used only to
+/// partition the parallel merge.
+fn key_hash(key: &[Value]) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Fold finished per-segment groups into a result map, moving keys and
+/// accumulators (no clones, no zero-filled identity accumulators).
+fn merge_groups(map: &mut GroupMap, groups: impl IntoIterator<Item = (Vec<Value>, GroupAcc)>) {
+    for (key, acc) in groups {
+        merge_one(map, key, acc);
+    }
+}
+
+fn merge_one(map: &mut GroupMap, key: Vec<Value>, acc: GroupAcc) {
+    match map.entry(key) {
+        std::collections::btree_map::Entry::Vacant(v) => {
+            v.insert(acc);
+        }
+        std::collections::btree_map::Entry::Occupied(mut o) => o.get_mut().absorb(&acc),
+    }
+}
+
+/// One claimed unit of parallel work.
+struct Claim {
+    seg: usize,
+    range: Batch,
+    stolen: bool,
+}
+
+/// Skew-proof morsel scheduler. Every worker owns a contiguous *home*
+/// partition of the segment list (locality and executor reuse); when the
+/// home partition runs dry the worker steals morsels from the victim with
+/// the most unclaimed rows, so a hot segment — or a table with fewer
+/// segments than workers — is split across everyone.
+struct MorselScheduler {
+    cursors: Vec<MorselCursor>,
+}
+
+impl MorselScheduler {
+    fn new(segments: &[&Segment], morsel_rows: usize) -> MorselScheduler {
+        MorselScheduler {
+            cursors: segments
+                .iter()
+                .map(|seg| MorselCursor::new(seg.num_rows(), morsel_rows))
+                .collect(),
         }
     }
 
-    match plan_segment_mapper(seg, group_cols)? {
-        SegmentGroupMapper::Narrow(mapper) => {
-            scan_segment_narrow(seg, filter, sum_exprs, mm_exprs, &mapper, options, &mut stats)
+    fn claim(&self, worker: usize, workers: usize, last: &mut Option<usize>) -> Option<Claim> {
+        let n = self.cursors.len();
+        if n == 0 {
+            return None;
         }
-        SegmentGroupMapper::Wide(mapper) => {
-            stats.wide_group_segments = 1;
-            scan_segment_wide(seg, filter, sum_exprs, mm_exprs, mapper, options, &mut stats)
+        let home_lo = worker * n / workers;
+        let home_hi = (worker + 1) * n / workers;
+        let in_home = |s: usize| s >= home_lo && s < home_hi;
+        // Affinity: keep draining the segment of the previous claim.
+        if let Some(s) = *last {
+            if let Some(range) = self.cursors[s].claim() {
+                return Some(Claim { seg: s, range, stolen: !in_home(s) });
+            }
         }
+        for s in home_lo..home_hi {
+            if let Some(range) = self.cursors[s].claim() {
+                *last = Some(s);
+                return Some(Claim { seg: s, range, stolen: false });
+            }
+        }
+        loop {
+            let victim = (0..n)
+                .filter(|&s| !in_home(s))
+                .max_by_key(|&s| self.cursors[s].remaining())
+                .filter(|&s| self.cursors[s].remaining() > 0)?;
+            if let Some(range) = self.cursors[victim].claim() {
+                *last = Some(victim);
+                return Some(Claim { seg: victim, range, stolen: true });
+            }
+            // Raced another thief to the last morsel; look again.
+        }
+    }
+}
+
+/// Resumable scan state for one segment on one worker: morsels of the same
+/// segment reuse the planned mapper, strategy choice, and scratch buffers.
+struct SegScan<'a> {
+    seg: &'a Segment,
+    ctx: ScanCtx<'a>,
+    has_deletes: bool,
+    stats: ExecStats,
+    kind: SegScanKind<'a>,
+}
+
+enum SegScanKind<'a> {
+    // Boxed: the narrow state (strategy template + scratch) is several
+    // hundred bytes and lives in a per-worker HashMap.
+    Narrow(Box<NarrowScan<'a>>),
+    Wide(Box<WideScan<'a>>),
+}
+
+impl<'a> SegScan<'a> {
+    /// Plan the per-segment machinery (mapper, aggregate inputs). The
+    /// segment must already have passed admission (overflow proofs etc.).
+    fn plan(seg: &'a Segment, ctx: &ScanCtx<'a>) -> Result<SegScan<'a>> {
+        let kind = match plan_segment_mapper(seg, ctx.group_cols)? {
+            SegmentGroupMapper::Narrow(mapper) => {
+                SegScanKind::Narrow(Box::new(NarrowScan::plan(seg, mapper, ctx)))
+            }
+            SegmentGroupMapper::Wide(mapper) => {
+                SegScanKind::Wide(Box::new(WideScan::plan(mapper, ctx)))
+            }
+        };
+        Ok(SegScan {
+            seg,
+            ctx: *ctx,
+            has_deletes: !seg.deleted().none_deleted(),
+            stats: ExecStats::default(),
+            kind,
+        })
+    }
+
+    /// Scan rows `[start, start + len)` in batch windows. `start` must lie
+    /// on the segment's batch grid so parallel and serial scans agree on
+    /// window boundaries.
+    fn process_range(&mut self, start: usize, len: usize) {
+        debug_assert_eq!(
+            start % self.ctx.options.batch_rows,
+            0,
+            "morsel start must be batch-aligned"
+        );
+        for b in BatchCursor::with_batch_rows(len, self.ctx.options.batch_rows) {
+            let batch = Batch { start: start + b.start, len: b.len };
+            match &mut self.kind {
+                SegScanKind::Narrow(n) => {
+                    n.process_batch(self.seg, &self.ctx, self.has_deletes, batch, &mut self.stats)
+                }
+                SegScanKind::Wide(w) => {
+                    w.process_batch(self.seg, &self.ctx, self.has_deletes, batch, &mut self.stats)
+                }
+            }
+        }
+    }
+
+    /// Tear down into per-group results plus this state's stats.
+    fn finish(self) -> (Vec<(Vec<Value>, GroupAcc)>, ExecStats) {
+        let groups = match self.kind {
+            SegScanKind::Narrow(n) => n.finish(),
+            SegScanKind::Wide(w) => w.finish(),
+        };
+        (groups, self.stats)
     }
 }
 
@@ -183,76 +502,117 @@ fn check_overflow(seg: &Segment, sum_exprs: &[ResolvedExpr]) -> Result<()> {
     Ok(())
 }
 
+/// MIN/MAX never accumulate, but the expression itself must fit `i64`.
+fn check_minmax_range(seg: &Segment, num_sums: usize, mm_exprs: &[ResolvedExpr]) -> Result<()> {
+    for (i, expr) in mm_exprs.iter().enumerate() {
+        let (lo, hi) = expr.value_range(&|col| {
+            let m = seg.meta(col);
+            (m.min, m.max)
+        });
+        if lo < i64::MIN as i128 || hi > i64::MAX as i128 {
+            return Err(EngineError::PotentialOverflow { aggregate: num_sums + i });
+        }
+    }
+    Ok(())
+}
+
 /// The BIPie fast path: u8 group ids, specialized kernels.
-fn scan_segment_narrow(
-    seg: &Segment,
-    filter: Option<&ResolvedPredicate>,
-    sum_exprs: &[ResolvedExpr],
-    mm_exprs: &[ResolvedExpr],
-    mapper: &crate::groupid::NarrowMapper<'_>,
-    options: &ScanOptions,
-    stats: &mut ExecStats,
-) -> Result<SegmentOutput> {
-    let level = options.level;
-    let num_groups = mapper.num_groups();
+struct NarrowScan<'a> {
+    mapper: NarrowMapper<'a>,
+    /// Aggregate inputs, parked here until the first batch's measured
+    /// selectivity picks the strategy (§3: per segment, at run time).
+    inputs_slot: Vec<AggInput<'a>>,
+    mm_inputs_slot: Vec<AggInput<'a>>,
+    agg_params_template: AggChoiceParams,
+    dominant_bits: u8,
+    executor: Option<SegmentAggExecutor<'a>>,
+    gids: Vec<u8>,
+    gid_scratch: Vec<u8>,
+    fscratch: FilterScratch,
+    sel_buf: Vec<u8>,
+}
 
-    // Plan the aggregate inputs: bare bit-packed columns feed kernels in
-    // their encoded form; everything else evaluates as an expression.
-    let plan_input = |e: &ResolvedExpr| match e.as_bare_column() {
-        Some(col) => match seg.column(col) {
-            EncodedColumn::BitPack(c) => AggInput::Packed(c),
-            _ => AggInput::Computed(e.clone()),
-        },
-        None => AggInput::Computed(e.clone()),
-    };
-    let inputs: Vec<AggInput<'_>> = sum_exprs.iter().map(plan_input).collect();
-    let mm_inputs: Vec<AggInput<'_>> = mm_exprs.iter().map(plan_input).collect();
+impl<'a> NarrowScan<'a> {
+    fn plan(seg: &'a Segment, mapper: NarrowMapper<'a>, ctx: &ScanCtx<'a>) -> NarrowScan<'a> {
+        // Plan the aggregate inputs: bare bit-packed columns feed kernels in
+        // their encoded form; everything else evaluates as an expression.
+        let plan_input = |e: &'a ResolvedExpr| match e.as_bare_column() {
+            Some(col) => match seg.column(col) {
+                EncodedColumn::BitPack(c) => AggInput::Packed(c),
+                _ => AggInput::Computed(e.clone()),
+            },
+            None => AggInput::Computed(e.clone()),
+        };
+        let inputs: Vec<AggInput<'a>> = ctx.sum_exprs.iter().map(plan_input).collect();
+        let mm_inputs: Vec<AggInput<'a>> = ctx.mm_exprs.iter().map(plan_input).collect();
 
-    // The bit width driving the gather/compact crossover: widest packed
-    // aggregate input, else the group-code width.
-    let dominant_bits = inputs
-        .iter()
-        .filter_map(|i| match i {
-            AggInput::Packed(c) => Some(c.bits()),
-            AggInput::Computed(_) => None,
-        })
-        .max()
-        .unwrap_or_else(|| mapper.code_bits());
+        // The bit width driving the gather/compact crossover: widest packed
+        // aggregate input, else the group-code width.
+        let dominant_bits = inputs
+            .iter()
+            .filter_map(|i| match i {
+                AggInput::Packed(c) => Some(c.bits()),
+                AggInput::Computed(_) => None,
+            })
+            .max()
+            .unwrap_or_else(|| mapper.code_bits());
 
-    let agg_params_template = AggChoiceParams {
-        num_groups_effective: num_groups + 1,
-        num_sums: inputs.len(),
-        input_bytes: inputs.iter().map(AggInput::width_bytes).collect(),
-        all_packed_narrow: !inputs.is_empty() && inputs.iter().all(AggInput::sortable_packed),
-        multi_layout_fits: bipie_toolbox::agg::multi::RowLayout::plan(
-            &inputs.iter().map(AggInput::width_bytes).collect::<Vec<_>>(),
-        )
-        .is_some(),
-        est_selectivity: 1.0,
-    };
+        let agg_params_template = AggChoiceParams {
+            num_groups_effective: mapper.num_groups() + 1,
+            num_sums: inputs.len(),
+            input_bytes: inputs.iter().map(AggInput::width_bytes).collect(),
+            all_packed_narrow: !inputs.is_empty() && inputs.iter().all(AggInput::sortable_packed),
+            multi_layout_fits: bipie_toolbox::agg::multi::RowLayout::plan(
+                &inputs.iter().map(AggInput::width_bytes).collect::<Vec<_>>(),
+            )
+            .is_some(),
+            est_selectivity: 1.0,
+        };
 
-    let mut executor: Option<SegmentAggExecutor<'_>> = None;
-    let mut inputs_slot = inputs;
-    let mut mm_inputs_slot = mm_inputs;
-    let mut gids: Vec<u8> = Vec::new();
-    let mut gid_scratch: Vec<u8> = Vec::new();
-    let mut fscratch = FilterScratch::default();
-    let mut sel_buf: Vec<u8> = Vec::new();
-    let has_deletes = !seg.deleted().none_deleted();
+        NarrowScan {
+            mapper,
+            inputs_slot: inputs,
+            mm_inputs_slot: mm_inputs,
+            agg_params_template,
+            dominant_bits,
+            executor: None,
+            gids: Vec::new(),
+            gid_scratch: Vec::new(),
+            fscratch: FilterScratch::default(),
+            sel_buf: Vec::new(),
+        }
+    }
 
-    for batch in BatchCursor::with_batch_rows(seg.num_rows(), options.batch_rows) {
-        mapper.extract_batch(batch.start, batch.len, &mut gids, &mut gid_scratch, level);
+    fn process_batch(
+        &mut self,
+        seg: &'a Segment,
+        ctx: &ScanCtx<'a>,
+        has_deletes: bool,
+        batch: Batch,
+        stats: &mut ExecStats,
+    ) {
+        let options = ctx.options;
+        let level = options.level;
+        self.mapper.extract_batch(
+            batch.start,
+            batch.len,
+            &mut self.gids,
+            &mut self.gid_scratch,
+            level,
+        );
 
         // Filter + deleted-row merge -> selection byte vector.
-        let sel: Option<&[u8]> = if filter.is_some() || has_deletes {
-            sel_buf.resize(batch.len, 0xFF);
-            match filter {
+        let sel: Option<&[u8]> = if ctx.filter.is_some() || has_deletes {
+            self.sel_buf.resize(batch.len, 0xFF);
+            match ctx.filter {
                 // The comparison writes every byte; no prefill needed.
-                Some(f) => f.eval_batch(seg, batch.start, &mut sel_buf, &mut fscratch, level),
-                None => sel_buf.fill(0xFF),
+                Some(f) => {
+                    f.eval_batch(seg, batch.start, &mut self.sel_buf, &mut self.fscratch, level)
+                }
+                None => self.sel_buf.fill(0xFF),
             }
-            seg.deleted().mask_batch(batch.start, &mut sel_buf);
-            Some(&sel_buf)
+            seg.deleted().mask_batch(batch.start, &mut self.sel_buf);
+            Some(&self.sel_buf)
         } else {
             None
         };
@@ -263,123 +623,155 @@ fn scan_segment_narrow(
             Some(s) => count_selected(s, level) as f64 / batch.len.max(1) as f64,
             None => 1.0,
         };
-        if executor.is_none() {
-            let mut params = agg_params_template.clone();
+        if self.executor.is_none() {
+            let mut params = self.agg_params_template.clone();
             params.est_selectivity = selectivity;
             let strategy = options.forced_agg.unwrap_or_else(|| options.config.choose_agg(&params));
             stats.record_agg(strategy);
-            executor = Some(SegmentAggExecutor::with_min_max(
+            self.executor = Some(SegmentAggExecutor::with_min_max(
                 strategy,
-                num_groups,
-                std::mem::take(&mut inputs_slot),
-                std::mem::take(&mut mm_inputs_slot),
+                self.mapper.num_groups(),
+                std::mem::take(&mut self.inputs_slot),
+                std::mem::take(&mut self.mm_inputs_slot),
                 level,
             ));
         }
-        let exec = executor.as_mut().expect("created above");
+        let exec = self.executor.as_mut().expect("created above");
 
         let selection = options
             .forced_selection
-            .unwrap_or_else(|| options.config.choose_selection(selectivity, dominant_bits));
+            .unwrap_or_else(|| options.config.choose_selection(selectivity, self.dominant_bits));
         stats.record_selection(selection);
-        exec.process_batch(seg, batch.start, batch.len, &mut gids, sel, selection);
+        exec.process_batch(seg, batch.start, batch.len, &mut self.gids, sel, selection);
     }
 
-    let groups = match executor {
-        Some(exec) => {
-            let result = exec.finish();
-            (0..num_groups)
-                .filter(|&g| result.counts[g] > 0)
-                .map(|g| {
-                    (
-                        mapper.group_key(g),
-                        GroupAcc {
-                            count: result.counts[g],
-                            sums: result.sums.iter().map(|s| s[g]).collect(),
-                            mins: result.mins.iter().map(|m| m[g]).collect(),
-                            maxs: result.maxs.iter().map(|m| m[g]).collect(),
-                        },
-                    )
-                })
-                .collect()
-        }
-        None => Vec::new(),
-    };
-    Ok(SegmentOutput { groups, stats: std::mem::take(stats) })
+    fn finish(self) -> Vec<(Vec<Value>, GroupAcc)> {
+        let Some(exec) = self.executor else { return Vec::new() };
+        let num_groups = self.mapper.num_groups();
+        let result = exec.finish();
+        (0..num_groups)
+            .filter(|&g| result.counts[g] > 0)
+            .map(|g| {
+                (
+                    self.mapper.group_key(g),
+                    GroupAcc {
+                        count: result.counts[g],
+                        sums: result.sums.iter().map(|s| s[g]).collect(),
+                        mins: result.mins.iter().map(|m| m[g]).collect(),
+                        maxs: result.maxs.iter().map(|m| m[g]).collect(),
+                    },
+                )
+            })
+            .collect()
+    }
 }
 
 /// Wide-group fallback: u32 group ids, scalar row loop.
-fn scan_segment_wide(
-    seg: &Segment,
-    filter: Option<&ResolvedPredicate>,
-    sum_exprs: &[ResolvedExpr],
-    mm_exprs: &[ResolvedExpr],
-    mut mapper: crate::groupid::WideMapper<'_>,
-    options: &ScanOptions,
-    stats: &mut ExecStats,
-) -> Result<SegmentOutput> {
-    let level = options.level;
-    let mut counts: Vec<u64> = Vec::new();
-    let mut sums: Vec<Vec<i64>> = vec![Vec::new(); sum_exprs.len()];
-    let mut mins: Vec<Vec<i64>> = vec![Vec::new(); mm_exprs.len()];
-    let mut maxs: Vec<Vec<i64>> = vec![Vec::new(); mm_exprs.len()];
-    let mut gids: Vec<u32> = Vec::new();
-    let mut key_scratch: Vec<Vec<i64>> = Vec::new();
-    let mut fscratch = FilterScratch::default();
-    let mut sel_buf: Vec<u8> = Vec::new();
-    let mut col_cache: Vec<(usize, Vec<i64>)> = Vec::new();
-    // Combined expression list: sums first, then MIN/MAX (the CSE
-    // compilation order of `resolve_many`).
-    let all_exprs: Vec<&ResolvedExpr> = sum_exprs.iter().chain(mm_exprs).collect();
-    let mut expr_vals: Vec<Vec<i64>> = vec![Vec::new(); all_exprs.len()];
-    let mut expr_scratch = crate::expr::ExprScratch::default();
-    let has_deletes = !seg.deleted().none_deleted();
+struct WideScan<'a> {
+    mapper: WideMapper<'a>,
+    counts: Vec<u64>,
+    sums: Vec<Vec<i64>>,
+    mins: Vec<Vec<i64>>,
+    maxs: Vec<Vec<i64>>,
+    gids: Vec<u32>,
+    key_scratch: Vec<Vec<i64>>,
+    fscratch: FilterScratch,
+    sel_buf: Vec<u8>,
+    col_cache: Vec<(usize, Vec<i64>)>,
+    /// Combined expression list: sums first, then MIN/MAX (the CSE
+    /// compilation order of `resolve_many`).
+    all_exprs: Vec<&'a ResolvedExpr>,
+    num_sums: usize,
+    expr_vals: Vec<Vec<i64>>,
+    expr_scratch: crate::expr::ExprScratch,
+    recorded_agg: bool,
+}
 
-    for batch in BatchCursor::with_batch_rows(seg.num_rows(), options.batch_rows) {
+impl<'a> WideScan<'a> {
+    fn plan(mapper: WideMapper<'a>, ctx: &ScanCtx<'a>) -> WideScan<'a> {
+        let all_exprs: Vec<&ResolvedExpr> = ctx.sum_exprs.iter().chain(ctx.mm_exprs).collect();
+        WideScan {
+            mapper,
+            counts: Vec::new(),
+            sums: vec![Vec::new(); ctx.sum_exprs.len()],
+            mins: vec![Vec::new(); ctx.mm_exprs.len()],
+            maxs: vec![Vec::new(); ctx.mm_exprs.len()],
+            gids: Vec::new(),
+            key_scratch: Vec::new(),
+            fscratch: FilterScratch::default(),
+            sel_buf: Vec::new(),
+            col_cache: Vec::new(),
+            expr_vals: vec![Vec::new(); all_exprs.len()],
+            all_exprs,
+            num_sums: ctx.sum_exprs.len(),
+            expr_scratch: crate::expr::ExprScratch::default(),
+            recorded_agg: false,
+        }
+    }
+
+    fn process_batch(
+        &mut self,
+        seg: &'a Segment,
+        ctx: &ScanCtx<'a>,
+        has_deletes: bool,
+        batch: Batch,
+        stats: &mut ExecStats,
+    ) {
+        let level = ctx.options.level;
+        if !self.recorded_agg {
+            stats.record_agg(AggStrategy::Scalar);
+            self.recorded_agg = true;
+        }
         stats.record_selection(SelectionStrategy::Compact);
-        mapper.extract_batch(batch.start, batch.len, &mut gids, &mut key_scratch);
+        self.mapper.extract_batch(batch.start, batch.len, &mut self.gids, &mut self.key_scratch);
 
-        let sel: Option<&[u8]> = if filter.is_some() || has_deletes {
-            sel_buf.clear();
-            sel_buf.resize(batch.len, 0xFF);
-            if let Some(f) = filter {
-                f.eval_batch(seg, batch.start, &mut sel_buf, &mut fscratch, level);
+        let sel: Option<&[u8]> = if ctx.filter.is_some() || has_deletes {
+            self.sel_buf.clear();
+            self.sel_buf.resize(batch.len, 0xFF);
+            if let Some(f) = ctx.filter {
+                f.eval_batch(seg, batch.start, &mut self.sel_buf, &mut self.fscratch, level);
             }
-            seg.deleted().mask_batch(batch.start, &mut sel_buf);
-            Some(&sel_buf)
+            seg.deleted().mask_batch(batch.start, &mut self.sel_buf);
+            Some(&self.sel_buf)
         } else {
             None
         };
 
         // Decode expression inputs over the full batch.
         let mut needed: Vec<usize> = Vec::new();
-        for e in &all_exprs {
+        for e in &self.all_exprs {
             for c in e.columns() {
                 if !needed.contains(&c) {
                     needed.push(c);
                 }
             }
         }
-        col_cache.retain(|(c, _)| needed.contains(c));
+        self.col_cache.retain(|(c, _)| needed.contains(c));
         for &c in &needed {
-            if !col_cache.iter().any(|(cc, _)| *cc == c) {
-                col_cache.push((c, Vec::new()));
+            if !self.col_cache.iter().any(|(cc, _)| *cc == c) {
+                self.col_cache.push((c, Vec::new()));
             }
         }
-        for (c, buf) in col_cache.iter_mut() {
+        for (c, buf) in self.col_cache.iter_mut() {
             buf.clear();
             buf.resize(batch.len, 0);
             seg.column(*c).decode_i64_into(batch.start, buf);
         }
         {
-            let cache = &col_cache;
+            let cache = &self.col_cache;
             let lookup = |idx: usize| -> &[i64] {
                 cache.iter().find(|(c, _)| *c == idx).map(|(_, v)| v.as_slice()).unwrap()
             };
-            for (i, e) in all_exprs.iter().enumerate() {
-                let (done, rest) = expr_vals.split_at_mut(i);
+            for (i, e) in self.all_exprs.iter().enumerate() {
+                let (done, rest) = self.expr_vals.split_at_mut(i);
                 let prev = |p: usize| -> &[i64] { &done[p] };
-                e.eval_batch_with_prev(batch.len, &lookup, &prev, &mut rest[0], &mut expr_scratch);
+                e.eval_batch_with_prev(
+                    batch.len,
+                    &lookup,
+                    &prev,
+                    &mut rest[0],
+                    &mut self.expr_scratch,
+                );
             }
         }
 
@@ -390,46 +782,46 @@ fn scan_segment_wide(
                     continue;
                 }
             }
-            let g = gids[i] as usize;
-            if g >= counts.len() {
-                counts.resize(g + 1, 0);
-                for s in sums.iter_mut() {
+            let g = self.gids[i] as usize;
+            if g >= self.counts.len() {
+                self.counts.resize(g + 1, 0);
+                for s in self.sums.iter_mut() {
                     s.resize(g + 1, 0);
                 }
-                for m in mins.iter_mut() {
+                for m in self.mins.iter_mut() {
                     m.resize(g + 1, i64::MAX);
                 }
-                for m in maxs.iter_mut() {
+                for m in self.maxs.iter_mut() {
                     m.resize(g + 1, i64::MIN);
                 }
             }
-            counts[g] += 1;
-            for (s, vals) in sums.iter_mut().zip(&expr_vals) {
+            self.counts[g] += 1;
+            for (s, vals) in self.sums.iter_mut().zip(&self.expr_vals) {
                 s[g] += vals[i];
             }
-            for (j, vals) in expr_vals[sum_exprs.len()..].iter().enumerate() {
-                mins[j][g] = mins[j][g].min(vals[i]);
-                maxs[j][g] = maxs[j][g].max(vals[i]);
+            for (j, vals) in self.expr_vals[self.num_sums..].iter().enumerate() {
+                self.mins[j][g] = self.mins[j][g].min(vals[i]);
+                self.maxs[j][g] = self.maxs[j][g].max(vals[i]);
             }
         }
     }
-    stats.record_agg(AggStrategy::Scalar);
 
-    let groups = (0..counts.len())
-        .filter(|&g| counts[g] > 0)
-        .map(|g| {
-            (
-                mapper.group_key(g),
-                GroupAcc {
-                    count: counts[g],
-                    sums: sums.iter().map(|s| s[g]).collect(),
-                    mins: mins.iter().map(|m| m[g]).collect(),
-                    maxs: maxs.iter().map(|m| m[g]).collect(),
-                },
-            )
-        })
-        .collect();
-    Ok(SegmentOutput { groups, stats: std::mem::take(stats) })
+    fn finish(self) -> Vec<(Vec<Value>, GroupAcc)> {
+        (0..self.counts.len())
+            .filter(|&g| self.counts[g] > 0)
+            .map(|g| {
+                (
+                    self.mapper.group_key(g),
+                    GroupAcc {
+                        count: self.counts[g],
+                        sums: self.sums.iter().map(|s| s[g]).collect(),
+                        mins: self.mins.iter().map(|m| m[g]).collect(),
+                        maxs: self.maxs.iter().map(|m| m[g]).collect(),
+                    },
+                )
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -557,5 +949,79 @@ mod tests {
                 assert!(stats.selection_count(selection) > 0);
             }
         }
+    }
+
+    #[test]
+    fn parallel_morsel_scan_matches_serial() {
+        let t = table(20_000, 6000); // 4 segments, uneven tail
+        let expr = v_expr(&t);
+        let serial_opts =
+            ScanOptions { parallel: false, batch_rows: 512, ..ScanOptions::default() };
+        let (serial, _) = scan_table(
+            &t,
+            None,
+            &[(0, LogicalType::Str)],
+            std::slice::from_ref(&expr),
+            &[],
+            &serial_opts,
+        )
+        .unwrap();
+        for threads in [2usize, 3, 8] {
+            let opts = ScanOptions {
+                parallel: true,
+                threads: Some(threads),
+                batch_rows: 512,
+                morsel_rows: 1024,
+                ..ScanOptions::default()
+            };
+            let (par, stats) = scan_table(
+                &t,
+                None,
+                &[(0, LogicalType::Str)],
+                std::slice::from_ref(&expr),
+                &[],
+                &opts,
+            )
+            .unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+            assert_eq!(stats.pool_workers, threads);
+            assert!(stats.morsels_scanned >= 20_000 / 1024, "{stats:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_options_rejected_with_typed_errors() {
+        let t = table(10, 10);
+        let expr = v_expr(&t);
+        for (opts, option) in [
+            (ScanOptions { batch_rows: 0, ..Default::default() }, "batch_rows"),
+            (ScanOptions { morsel_rows: 0, ..Default::default() }, "morsel_rows"),
+            (ScanOptions { threads: Some(0), ..Default::default() }, "threads"),
+        ] {
+            let err =
+                scan_table(&t, None, &[], std::slice::from_ref(&expr), &[], &opts).unwrap_err();
+            assert!(
+                matches!(err, EngineError::InvalidOptions { option: o, .. } if o == option),
+                "{err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_steals_from_hot_segment() {
+        let t = table(4000, 1000);
+        let segs: Vec<&Segment> = t.segments().iter().collect();
+        let sched = MorselScheduler::new(&segs, 64);
+        let mut claimed_rows = 0usize;
+        let mut steals = 0usize;
+        // Worker 3's home partition is the last segment; drain everything
+        // through it serially to exercise the steal path.
+        let mut last = None;
+        while let Some(c) = sched.claim(3, 4, &mut last) {
+            claimed_rows += c.range.len;
+            steals += c.stolen as usize;
+        }
+        assert_eq!(claimed_rows, 4000);
+        assert!(steals > 0, "worker must have stolen from other partitions");
     }
 }

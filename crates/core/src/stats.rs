@@ -26,6 +26,16 @@ pub struct ExecStats {
     pub selection_batches: [usize; 3],
     /// Segments per aggregation strategy, indexed by [`AggStrategy`].
     pub agg_segments: [usize; 4],
+    /// Morsels claimed by parallel scan workers (0 for serial scans).
+    pub morsels_scanned: usize,
+    /// Morsels a worker claimed outside its home segment partition
+    /// (skew-induced work stealing).
+    pub morsel_steals: usize,
+    /// Workers that participated in the parallel scan (0 for serial).
+    pub pool_workers: usize,
+    /// Fork-join regions served entirely by already-running pool workers
+    /// (vs. regions that had to grow the pool).
+    pub pool_reuses: usize,
 }
 
 impl ExecStats {
@@ -54,6 +64,10 @@ impl ExecStats {
         for i in 0..4 {
             self.agg_segments[i] += other.agg_segments[i];
         }
+        self.morsels_scanned += other.morsels_scanned;
+        self.morsel_steals += other.morsel_steals;
+        self.pool_workers = self.pool_workers.max(other.pool_workers);
+        self.pool_reuses += other.pool_reuses;
     }
 
     /// Batches that used the given selection strategy.

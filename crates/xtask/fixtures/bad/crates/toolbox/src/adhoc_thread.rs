@@ -1,0 +1,13 @@
+//! Fixture: production code spawning threads outside the worker pool.
+
+pub fn fan_out(parts: Vec<Vec<u64>>) -> u64 {
+    std::thread::scope(|s| {
+        let handles: Vec<_> =
+            parts.iter().map(|p| s.spawn(move || p.iter().sum::<u64>())).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
+}
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}

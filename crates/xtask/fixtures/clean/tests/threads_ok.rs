@@ -1,0 +1,8 @@
+//! Fixture: integration tests may spawn ad-hoc threads to stress
+//! concurrency invariants.
+
+#[test]
+fn hammer() {
+    let h = std::thread::spawn(|| 1 + 1);
+    assert_eq!(h.join().unwrap(), 2);
+}

@@ -11,6 +11,10 @@
 //! 3. [`invariants`] — dispatchers consuming selection or group-id vectors
 //!    must call the `debug_assert_*` instrumentation helpers, and every
 //!    helper that exists must be wired somewhere.
+//! 4. [`thread_hygiene`] — thread-spawning primitives (`thread::spawn`,
+//!    `thread::scope`, `thread::Builder`) are only permitted inside the
+//!    worker pool module and in test code; production code must parallelize
+//!    through the pool.
 //!
 //! Violations print as `path:line: [pass] message` and make the binary exit
 //! non-zero. Grandfathered sites can be listed in
@@ -22,6 +26,7 @@
 pub mod invariants;
 pub mod kernel_contract;
 pub mod scan;
+pub mod thread_hygiene;
 pub mod unsafe_audit;
 
 use std::fmt;
@@ -35,7 +40,7 @@ pub struct Diag {
     /// 1-based line number.
     pub line: usize,
     /// Which pass produced this (`unsafe-audit`, `kernel-contract`,
-    /// `invariants`, `allowlist`).
+    /// `invariants`, `thread-hygiene`, `allowlist`).
     pub pass: &'static str,
     /// Human-readable description of the violation.
     pub msg: String,
@@ -49,8 +54,9 @@ impl fmt::Display for Diag {
 
 /// Load the audited corpus once and run the requested passes.
 ///
-/// `passes` is a subset of `["unsafe", "kernels", "invariants"]`; the
-/// allowlist is always applied. Diagnostics come back sorted by path/line.
+/// `passes` is a subset of `["unsafe", "kernels", "invariants", "threads"]`;
+/// the allowlist is always applied. Diagnostics come back sorted by
+/// path/line.
 pub fn run_audit(root: &Path, passes: &[&str]) -> Vec<Diag> {
     let files: Vec<scan::SourceFile> = scan::workspace_files(root)
         .iter()
@@ -66,6 +72,9 @@ pub fn run_audit(root: &Path, passes: &[&str]) -> Vec<Diag> {
     }
     if passes.contains(&"invariants") {
         diags.extend(invariants::check(&files));
+    }
+    if passes.contains(&"threads") {
+        diags.extend(thread_hygiene::check(&files));
     }
     diags = apply_allowlist(root, diags);
     diags.sort_by(|a, b| (&a.path, a.line, a.pass).cmp(&(&b.path, b.line, b.pass)));

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo xtask audit                 # run all passes on the workspace
-//! cargo xtask audit unsafe          # one pass: unsafe | kernels | invariants
+//! cargo xtask audit unsafe          # one pass: unsafe | kernels |
+//!                                   #   invariants | threads
 //! cargo xtask audit --root <path>   # audit a different tree (used by tests)
 //! ```
 
@@ -18,7 +19,9 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("audit") => audit(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask audit [unsafe|kernels|invariants] [--root <path>]");
+            eprintln!(
+                "usage: cargo xtask audit [unsafe|kernels|invariants|threads] [--root <path>]"
+            );
             ExitCode::from(2)
         }
     }
@@ -37,10 +40,11 @@ fn audit(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
-            "unsafe" | "kernels" | "invariants" => passes.push(match arg.as_str() {
+            "unsafe" | "kernels" | "invariants" | "threads" => passes.push(match arg.as_str() {
                 "unsafe" => "unsafe",
                 "kernels" => "kernels",
-                _ => "invariants",
+                "invariants" => "invariants",
+                _ => "threads",
             }),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -49,7 +53,7 @@ fn audit(args: &[String]) -> ExitCode {
         }
     }
     if passes.is_empty() {
-        passes = vec!["unsafe", "kernels", "invariants"];
+        passes = vec!["unsafe", "kernels", "invariants", "threads"];
     }
     // The xtask crate sits at <root>/crates/xtask, so the workspace root is
     // two levels up from the manifest dir.

@@ -1,0 +1,149 @@
+//! Pass 4: thread hygiene.
+//!
+//! Parallel scans must go through the persistent worker pool
+//! (`crates/core/src/pool.rs`): ad-hoc `std::thread::spawn` / `scope` calls
+//! re-introduce the per-query thread churn the pool exists to remove, and
+//! they bypass the pool's panic containment (a panicking ad-hoc thread can
+//! take the process down or leak a detached worker). This pass flags any
+//! thread-spawning primitive outside the pool module.
+//!
+//! Allowed locations:
+//!
+//! * `crates/core/src/pool.rs` — the one sanctioned spawn site;
+//! * test code — integration-test trees (`tests/` directories) and
+//!   `#[cfg(test)]` modules, where ad-hoc threads hammer concurrency
+//!   invariants on purpose.
+//!
+//! `std::thread::available_parallelism` and other non-spawning `thread::`
+//! items are fine anywhere.
+
+use crate::scan::SourceFile;
+use crate::Diag;
+
+/// Thread-spawning primitives that must stay inside the pool module.
+const SPAWN_TOKENS: [&str; 3] = ["thread::spawn", "thread::scope", "thread::Builder"];
+
+/// The one production file allowed to create threads.
+const POOL_MODULE: &str = "crates/core/src/pool.rs";
+
+/// Run the thread-hygiene pass.
+pub fn check(files: &[SourceFile]) -> Vec<Diag> {
+    let mut out = Vec::new();
+    for file in files {
+        if file.rel == POOL_MODULE || is_test_path(&file.rel) {
+            continue;
+        }
+        // Lines at or below the first `#[cfg(test)]` marker are unit-test
+        // code (the audit corpus keeps test modules at the bottom of the
+        // file, which rustfmt and convention both enforce here).
+        let first_test_line =
+            file.code.iter().position(|l| l.contains("#[cfg(test)]")).unwrap_or(usize::MAX);
+        for (i, line) in file.code.iter().enumerate() {
+            if i >= first_test_line {
+                break;
+            }
+            for token in SPAWN_TOKENS {
+                if line.contains(token) {
+                    out.push(Diag {
+                        path: file.rel.clone(),
+                        line: i + 1,
+                        pass: "thread-hygiene",
+                        msg: format!(
+                            "`{token}` outside the worker pool — use \
+                             `bipie_core::pool::WorkerPool` instead of ad-hoc threads"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether `rel` is an integration-test path (`tests/` at the top level or
+/// inside any crate).
+fn is_test_path(rel: &str) -> bool {
+    rel.starts_with("tests/") || rel.contains("/tests/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scrub;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile {
+            rel: rel.into(),
+            raw: src.lines().map(str::to_owned).collect(),
+            code: scrub(src).lines().map(str::to_owned).collect(),
+        }
+    }
+
+    #[test]
+    fn adhoc_spawn_is_flagged() {
+        let f = file("crates/core/src/scan.rs", "fn f() { std::thread::spawn(|| {}); }");
+        let diags = check(&[f]);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].msg.contains("thread::spawn"), "{diags:?}");
+    }
+
+    #[test]
+    fn scoped_spawn_and_builder_are_flagged() {
+        let f = file(
+            "crates/bench/src/lib.rs",
+            "fn f() { std::thread::scope(|s| {}); }\nfn g() { std::thread::Builder::new(); }",
+        );
+        let diags = check(&[f]);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+    }
+
+    #[test]
+    fn pool_module_is_exempt() {
+        let f = file(POOL_MODULE, "fn f() { std::thread::Builder::new().spawn(|| {}); }");
+        assert!(check(&[f]).is_empty());
+    }
+
+    #[test]
+    fn test_paths_are_exempt() {
+        for rel in ["tests/equivalence.rs", "crates/core/tests/pool_stress.rs"] {
+            let f = file(rel, "fn f() { std::thread::spawn(|| {}); }");
+            assert!(check(&[f]).is_empty(), "{rel}");
+        }
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let f = file(
+            "crates/columnstore/src/batch.rs",
+            "pub fn real() {}\n#[cfg(test)]\nmod tests { fn t() { std::thread::spawn(|| {}); } }",
+        );
+        assert!(check(&[f]).is_empty());
+    }
+
+    #[test]
+    fn spawn_before_cfg_test_is_still_flagged() {
+        let f = file(
+            "crates/core/src/query.rs",
+            "fn f() { std::thread::spawn(|| {}); }\n#[cfg(test)]\nmod tests {}",
+        );
+        assert_eq!(check(&[f]).len(), 1);
+    }
+
+    #[test]
+    fn available_parallelism_is_fine() {
+        let f = file(
+            "crates/bench/src/bin/exp.rs",
+            "fn f() -> usize { std::thread::available_parallelism().unwrap().get() }",
+        );
+        assert!(check(&[f]).is_empty());
+    }
+
+    #[test]
+    fn prose_mentions_do_not_trip_the_scrubbed_scan() {
+        let f = file(
+            "crates/core/src/scan.rs",
+            "// replaced thread::spawn with the pool\nfn f() { let s = \"thread::spawn\"; }",
+        );
+        assert!(check(&[f]).is_empty());
+    }
+}

@@ -5,7 +5,7 @@
 
 use std::path::{Path, PathBuf};
 
-const ALL: [&str; 3] = ["unsafe", "kernels", "invariants"];
+const ALL: [&str; 4] = ["unsafe", "kernels", "invariants", "threads"];
 
 fn fixture(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
@@ -57,6 +57,16 @@ fn bad_fixture_missing_invariants() {
     let text = rendered(&fixture("bad")).join("\n");
     assert!(
         text.contains("missing_invariants.rs:3: [invariants] `count_selected` consumes a selection byte vector"),
+        "{text}"
+    );
+}
+
+#[test]
+fn bad_fixture_adhoc_threads() {
+    let text = rendered(&fixture("bad")).join("\n");
+    assert!(text.contains("adhoc_thread.rs:4: [thread-hygiene] `thread::scope` outside"), "{text}");
+    assert!(
+        text.contains("adhoc_thread.rs:12: [thread-hygiene] `thread::spawn` outside"),
         "{text}"
     );
 }

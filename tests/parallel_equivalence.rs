@@ -1,0 +1,226 @@
+//! Parallel/serial equivalence: a morsel-driven parallel scan must produce
+//! *byte-identical* `QueryResult` rows to a serial scan of the same table —
+//! across skewed segment sizes, tables with fewer segments than workers,
+//! single-segment tables (intra-segment splitting), high group counts (the
+//! wide-group fallback path), deleted rows, and randomized shapes. All
+//! accumulations are exact integers and the merge is keyed by group value,
+//! so no tolerance is needed: any divergence is a scheduling bug.
+
+mod common;
+
+use bipie::columnstore::{ColumnSpec, LogicalType, Table, Value};
+use bipie::core::{execute, AggExpr, Expr, Predicate, Query, QueryBuilder, QueryOptions};
+use common::run_cases;
+
+/// Build a table whose immutable region has exactly one segment per entry
+/// of `chunks` (with that many rows), by flushing the mutable region
+/// between chunks. Group cardinality is `groups` (over an `I64` key column,
+/// so large values exercise the wide-group path).
+fn skewed_table(chunks: &[usize], groups: i64, seed: u64) -> Table {
+    let mut t = Table::with_segment_rows(
+        vec![
+            ColumnSpec::new("k", LogicalType::I64),
+            ColumnSpec::new("a", LogicalType::I64),
+            ColumnSpec::new("b", LogicalType::I64),
+        ],
+        1 << 20,
+    );
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for &rows in chunks {
+        for _ in 0..rows {
+            let k = (next() % groups as u64) as i64;
+            let a = next() as i64 % 10_000 - 5_000;
+            let b = next() as i64 % 1_000;
+            t.insert(vec![Value::I64(k), Value::I64(a), Value::I64(b)]);
+        }
+        t.flush_mutable();
+    }
+    t
+}
+
+fn the_query(threshold: i64, options: QueryOptions) -> Query {
+    QueryBuilder::new()
+        .filter(Predicate::ge("a", Value::I64(threshold)))
+        .group_by("k")
+        .aggregate(AggExpr::count_star())
+        .aggregate(AggExpr::sum("a"))
+        .aggregate(AggExpr::sum_expr(Expr::col("a").add(Expr::col("b").mul(Expr::lit(3)))))
+        .aggregate(AggExpr::avg("b"))
+        .aggregate(AggExpr::min("a"))
+        .aggregate(AggExpr::max_expr(Expr::col("a").mul(Expr::col("b"))))
+        .options(options)
+        .build()
+}
+
+fn serial_options() -> QueryOptions {
+    QueryOptions { parallel: false, ..Default::default() }
+}
+
+fn parallel_options(threads: usize, morsel_rows: usize, batch_rows: usize) -> QueryOptions {
+    QueryOptions {
+        parallel: true,
+        threads: Some(threads),
+        morsel_rows,
+        batch_rows,
+        ..Default::default()
+    }
+}
+
+/// Assert parallel == serial for one table/query shape and return the
+/// parallel stats for extra checks.
+fn assert_equivalent(
+    table: &Table,
+    threshold: i64,
+    threads: usize,
+    morsel_rows: usize,
+    batch_rows: usize,
+    label: &str,
+) -> bipie::core::ExecStats {
+    let serial =
+        execute(table, &the_query(threshold, QueryOptions { batch_rows, ..serial_options() }))
+            .unwrap();
+    let par =
+        execute(table, &the_query(threshold, parallel_options(threads, morsel_rows, batch_rows)))
+            .unwrap();
+    assert_eq!(par.rows, serial.rows, "{label}: threads={threads} morsel={morsel_rows}");
+    assert_eq!(par.group_columns, serial.group_columns, "{label}");
+    // When every segment was eliminated by metadata, no parallel region
+    // runs and the pool counters legitimately stay zero.
+    if threads > 1 && par.stats.segments_scanned > 0 {
+        assert_eq!(par.stats.pool_workers, threads, "{label}");
+        assert!(par.stats.morsels_scanned > 0, "{label}: {:?}", par.stats);
+    }
+    par.stats
+}
+
+#[test]
+fn skewed_segments_agree() {
+    // One hot segment dominating several small ones: home partitions are
+    // unbalanced by construction and stealing must kick in for the result
+    // to come back at all thread counts.
+    let t = skewed_table(&[40_000, 300, 300, 150, 7], 9, 42);
+    assert_eq!(t.segments().len(), 5);
+    for threads in [2usize, 4, 8] {
+        let stats = assert_equivalent(&t, -2000, threads, 1024, 512, "skewed");
+        // The hot segment alone yields ~40 morsels for at most 8 workers;
+        // at least one worker must have left its home partition.
+        if threads >= 4 {
+            assert!(stats.morsel_steals > 0, "threads={threads}: {stats:?}");
+        }
+    }
+}
+
+#[test]
+fn fewer_segments_than_workers_agree() {
+    let t = skewed_table(&[9_000, 5_000], 6, 7);
+    assert_eq!(t.segments().len(), 2);
+    assert_equivalent(&t, 0, 8, 512, 256, "2 segments, 8 workers");
+}
+
+#[test]
+fn single_segment_splits_across_workers() {
+    let t = skewed_table(&[30_000], 5, 11);
+    assert_eq!(t.segments().len(), 1);
+    let stats = assert_equivalent(&t, -1000, 4, 256, 128, "single segment");
+    // The whole point of morsels: one segment still fans out.
+    assert!(stats.morsels_scanned >= 30_000 / 256, "{stats:?}");
+}
+
+#[test]
+fn high_group_counts_use_wide_path_and_agree() {
+    // > 255 distinct keys forces the wide-group (u32 gid) fallback, whose
+    // per-worker mappers intern keys in first-seen order — the merge must
+    // be key-based for this to come out identical.
+    let t = skewed_table(&[12_000, 8_000, 50], 1000, 3);
+    let stats = assert_equivalent(&t, -3000, 4, 512, 256, "wide groups");
+    // The two large segments see ~1000 distinct keys each and must take
+    // the wide path (the 50-row one may fit narrow, depending on draw).
+    assert!(stats.wide_group_segments >= 2, "{stats:?}");
+}
+
+#[test]
+fn deleted_rows_agree() {
+    let mut t = skewed_table(&[10_000, 2_000, 500], 8, 19);
+    for i in 0..1500 {
+        let seg = i % t.segments().len();
+        let rows = t.segments()[seg].num_rows();
+        t.delete_row(seg, (i * 37) % rows);
+    }
+    assert_equivalent(&t, -5000, 4, 512, 256, "deleted rows");
+}
+
+#[test]
+fn mutable_tail_rows_agree() {
+    let mut t = skewed_table(&[6_000, 1_000], 7, 23);
+    for i in 0..40i64 {
+        t.insert(vec![Value::I64(i % 7), Value::I64(i * 11 - 200), Value::I64(i)]);
+    }
+    assert!(!t.mutable_rows().is_empty());
+    let stats = assert_equivalent(&t, -5000, 4, 512, 256, "mutable tail");
+    assert_eq!(stats.mutable_rows, 40);
+}
+
+#[test]
+fn parallel_runs_are_deterministic() {
+    // Scheduling is racy; results must not be. Two parallel executions of
+    // the same query must match each other exactly, not just the serial run.
+    let t = skewed_table(&[20_000, 100, 4_000], 300, 31);
+    let q = the_query(-1000, parallel_options(8, 256, 128));
+    let first = execute(&t, &q).unwrap();
+    for _ in 0..5 {
+        let again = execute(&t, &q).unwrap();
+        assert_eq!(again.rows, first.rows);
+    }
+}
+
+#[test]
+fn randomized_shapes_agree() {
+    run_cases("randomized_shapes_agree", 32, |g| {
+        let chunks: Vec<usize> = g.vec_of(1..6, |g| g.int(1usize..4000));
+        let groups = *g.pick(&[1i64, 3, 12, 200, 600]);
+        let seed = g.rng.random::<u64>();
+        let threshold = g.int(-6000i64..6000);
+        let threads = g.int(2usize..9);
+        let morsel_rows = *g.pick(&[64usize, 256, 1024, 100_000]);
+        let batch_rows = *g.pick(&[64usize, 173, 512]);
+        let t = skewed_table(&chunks, groups, seed);
+        assert_equivalent(
+            &t,
+            threshold,
+            threads,
+            morsel_rows,
+            batch_rows,
+            &format!("chunks={chunks:?} groups={groups} seed={seed}"),
+        );
+    });
+}
+
+#[test]
+fn pool_is_reused_across_queries() {
+    let t = skewed_table(&[10_000], 5, 57);
+    let q = the_query(0, parallel_options(4, 512, 256));
+    execute(&t, &q).unwrap(); // warm the pool
+    let r = execute(&t, &q).unwrap();
+    assert!(r.stats.pool_reuses > 0, "{:?}", r.stats);
+}
+
+#[test]
+fn invalid_parallel_options_are_typed_errors() {
+    use bipie::core::EngineError;
+    let t = skewed_table(&[100], 3, 1);
+    for (opts, option) in [
+        (QueryOptions { threads: Some(0), ..Default::default() }, "threads"),
+        (QueryOptions { morsel_rows: 0, ..Default::default() }, "morsel_rows"),
+        (QueryOptions { batch_rows: 0, ..Default::default() }, "batch_rows"),
+    ] {
+        let err = execute(&t, &the_query(0, opts)).unwrap_err();
+        assert!(
+            matches!(err, EngineError::InvalidOptions { option: o, .. } if o == option),
+            "{err:?}"
+        );
+    }
+}
