@@ -8,6 +8,18 @@
 //! count, plus morsel/steal/pool counters, and emits the machine-readable
 //! `BENCH_scan.json` consumed by CI trend tracking.
 //!
+//! Thread counts above the hardware parallelism are **skipped by default**:
+//! oversubscribed points measure scheduler context-switching, not the scan,
+//! and on small containers they dominated the bench's runtime while telling
+//! us nothing. Pass `--oversubscribe` to measure them anyway; skipped counts
+//! are recorded in the JSON as `skipped_oversubscribed` either way (empty
+//! when nothing was skipped).
+//!
+//! If `BENCH_profile.json` (from `exp_profile_overhead`) is present next to
+//! the output, its measured `ProfileLevel::Off` overhead is embedded as
+//! `profile_overhead_off_pct` so one file carries the scan acceptance
+//! numbers; it is `null` when the overhead bench has not been run.
+//!
 //! Environment knobs:
 //!
 //! * `BIPIE_TPCH_SF` — scale factor (default 0.1, ~600K rows).
@@ -19,7 +31,7 @@
 
 use std::time::Instant;
 
-use bipie_bench::bench_opts;
+use bipie_bench::{bench_opts, json_number_field};
 use bipie_core::{ExecStats, QueryOptions};
 use bipie_metrics::Table as TextTable;
 use bipie_tpch::{generate_lineitem, run_q1};
@@ -33,6 +45,7 @@ struct Point {
 }
 
 fn main() {
+    let oversubscribe = std::env::args().any(|a| a == "--oversubscribe");
     let sf: f64 = std::env::var("BIPIE_TPCH_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.1);
     let opts = bench_opts();
     let hardware = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
@@ -49,6 +62,24 @@ fn main() {
 
     let mut counts = vec![1usize, 2, 4, hardware.max(8)];
     counts.dedup();
+    let mut skipped: Vec<usize> = Vec::new();
+    if !oversubscribe {
+        // Keep count 1 (the serial baseline) even on a 0-"core" fallback.
+        counts.retain(|&c| {
+            let keep = c <= hardware || c == 1;
+            if !keep {
+                skipped.push(c);
+            }
+            keep
+        });
+    }
+    if !skipped.is_empty() {
+        println!(
+            "skipping oversubscribed thread counts {skipped:?} (> {hardware} hardware threads); \
+             pass --oversubscribe to measure them\n"
+        );
+    }
+
     let mut points: Vec<Point> = Vec::new();
     for &threads in &counts {
         let options =
@@ -94,6 +125,13 @@ fn main() {
 
     let json_path =
         std::env::var("BIPIE_BENCH_JSON").unwrap_or_else(|_| "BENCH_scan.json".to_string());
+    // Fold in the profiler-overhead acceptance number when the overhead
+    // bench has already produced it (same directory as our output).
+    let profile_json = std::path::Path::new(&json_path).with_file_name("BENCH_profile.json");
+    let overhead_pct: Option<f64> = std::fs::read_to_string(&profile_json)
+        .ok()
+        .and_then(|body| json_number_field(&body, "off_vs_baseline_pct"));
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"scan_scaling_q1\",\n");
@@ -102,6 +140,14 @@ fn main() {
     json.push_str(&format!("  \"segments\": {segments},\n"));
     json.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
     json.push_str(&format!("  \"runs\": {},\n", opts.runs));
+    json.push_str(&format!(
+        "  \"skipped_oversubscribed\": [{}],\n",
+        skipped.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", ")
+    ));
+    match overhead_pct {
+        Some(pct) => json.push_str(&format!("  \"profile_overhead_off_pct\": {pct:.3},\n")),
+        None => json.push_str("  \"profile_overhead_off_pct\": null,\n"),
+    }
     json.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(

@@ -139,6 +139,21 @@ pub fn fmt_cycles(c: f64) -> String {
     format!("{c:.2}")
 }
 
+/// Extract a top-level numeric field from one of our own `BENCH_*.json`
+/// files (the workspace is dependency-free, so no JSON parser). Handles
+/// exactly the shape our writers emit — `"name": <number>` with optional
+/// whitespace — and returns `None` for missing fields, `null`, or anything
+/// unparsable.
+pub fn json_number_field(body: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\"");
+    let at = body.find(&needle)? + needle.len();
+    let rest = body[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// One line of bench output: group, variant, median and best cycles/row.
 /// The `harness = false` bench binaries print through this so their output
 /// diffs cleanly across runs.
@@ -166,6 +181,15 @@ mod tests {
         let sel = gen_selection(100_000, 0.3, 42);
         let frac = sel.selectivity(bipie_toolbox::SimdLevel::detect());
         assert!((frac - 0.3).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn json_field_extraction_handles_our_shapes() {
+        let body = "{\n  \"bench\": \"x\",\n  \"off_vs_baseline_pct\": -0.412,\n  \"n\": 3\n}\n";
+        assert_eq!(json_number_field(body, "off_vs_baseline_pct"), Some(-0.412));
+        assert_eq!(json_number_field(body, "n"), Some(3.0));
+        assert_eq!(json_number_field(body, "missing"), None);
+        assert_eq!(json_number_field("{\"p\": null}", "p"), None);
     }
 
     #[test]

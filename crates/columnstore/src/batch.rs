@@ -106,6 +106,14 @@ impl MorselCursor {
         }
     }
 
+    /// [`MorselCursor::claim`], additionally reporting the morsel's ordinal
+    /// within the segment (`start / morsel_rows`) — the stable id profilers
+    /// attach to trace events.
+    pub fn claim_indexed(&self) -> Option<(usize, Batch)> {
+        let batch = self.claim()?;
+        Some((batch.start / self.morsel_rows, batch))
+    }
+
     /// Rows not yet claimed (a racy snapshot; exact once workers quiesce).
     pub fn remaining(&self) -> usize {
         self.num_rows.saturating_sub(self.next.load(Ordering::Relaxed))
@@ -213,5 +221,16 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_morsel_size_rejected() {
         MorselCursor::new(10, 0);
+    }
+
+    #[test]
+    fn claim_indexed_reports_stable_ordinals() {
+        let c = MorselCursor::new(1000, 256);
+        let mut seen = Vec::new();
+        while let Some((idx, batch)) = c.claim_indexed() {
+            assert_eq!(idx, batch.start / 256);
+            seen.push(idx);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3]);
     }
 }

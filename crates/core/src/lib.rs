@@ -31,6 +31,9 @@
 //! * [`expr`] / [`query`] — the scalar expression interpreter (standing in
 //!   for the paper's LLVM-generated code, which likewise "always operates
 //!   on decompressed column data") and the public query API.
+//! * [`trace`] — the opt-in query profiler: per-worker phase spans and
+//!   strategy decision events, merged into a [`trace::QueryProfile`] with
+//!   `EXPLAIN ANALYZE` and JSON renderers (DESIGN.md §9).
 //! * [`mod@reference`] — a naive row-at-a-time executor used as the correctness
 //!   oracle for the whole engine.
 
@@ -45,6 +48,7 @@ pub mod reference;
 pub mod scan;
 pub mod stats;
 pub mod strategy;
+pub mod trace;
 
 pub use error::{EngineError, Result};
 pub use expr::Expr;
@@ -52,3 +56,4 @@ pub use filter::Predicate;
 pub use query::{execute, AggExpr, Query, QueryBuilder, QueryOptions, QueryResult, ResultRow};
 pub use stats::ExecStats;
 pub use strategy::{AggStrategy, SelectionStrategy};
+pub use trace::{Phase, PhaseTotals, ProfileLevel, QueryProfile, SpanLoc, TraceEvent, Tracer};

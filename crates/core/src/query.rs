@@ -25,6 +25,7 @@ use crate::filter::Predicate;
 use crate::scan::{scan_table, GroupAcc, ScanOptions};
 use crate::stats::ExecStats;
 use crate::strategy::{AggStrategy, SelectionStrategy, StrategyConfig};
+use crate::trace::{Phase, ProfileLevel, QueryProfile, SpanLoc, Tracer};
 
 /// An aggregate in the SELECT list.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,6 +111,11 @@ pub struct QueryOptions {
     pub morsel_rows: usize,
     /// Strategy-chooser constants.
     pub config: StrategyConfig,
+    /// Profiling level. [`ProfileLevel::Off`] (the default) keeps the batch
+    /// loops free of timestamps, atomics, and event stores; `Counters`
+    /// collects per-phase totals; `Spans` additionally keeps the full
+    /// span/decision event log in [`QueryResult::profile`].
+    pub profile: ProfileLevel,
 }
 
 impl Default for QueryOptions {
@@ -123,6 +129,7 @@ impl Default for QueryOptions {
             batch_rows: bipie_columnstore::BATCH_ROWS,
             morsel_rows: bipie_columnstore::MORSEL_ROWS,
             config: StrategyConfig::default(),
+            profile: ProfileLevel::Off,
         }
     }
 }
@@ -144,6 +151,7 @@ impl QueryOptions {
             batch_rows: self.batch_rows,
             morsel_rows: self.morsel_rows,
             config: self.config.clone(),
+            profile: self.profile,
         }
     }
 }
@@ -275,6 +283,8 @@ pub struct QueryResult {
     pub rows: Vec<ResultRow>,
     /// Execution statistics.
     pub stats: ExecStats,
+    /// The query profile — empty unless [`QueryOptions::profile`] opted in.
+    pub profile: QueryProfile,
 }
 
 impl QueryResult {
@@ -350,11 +360,13 @@ pub fn execute(table: &Table, query: &Query) -> Result<QueryResult> {
     let filter = query.filter.as_ref().map(|f| f.resolve(table)).transpose()?;
 
     let scan_opts = query.options.to_scan_options();
-    let (mut merged, mut stats) =
+    let (mut merged, mut stats, mut profile) =
         scan_table(table, filter.as_ref(), &group_cols, &sum_exprs, &mm_exprs, &scan_opts)?;
 
     // The mutable region is processed row-at-a-time (§2.1: it is a small,
     // uncompressed fraction of recent rows).
+    let mut tail_tracer = Tracer::new(query.options.profile, 0);
+    let tail_start = tail_tracer.start();
     process_mutable_region(
         table,
         query,
@@ -364,12 +376,21 @@ pub fn execute(table: &Table, query: &Query) -> Result<QueryResult> {
         &mut merged,
         &mut stats,
     );
+    if stats.mutable_rows > 0 {
+        tail_tracer.span(
+            Phase::MutableTail,
+            SpanLoc::none(),
+            stats.mutable_rows as u64,
+            tail_start,
+        );
+    }
+    profile.absorb(tail_tracer);
 
     let rows = merged
         .into_iter()
         .map(|(keys, acc)| ResultRow { keys, aggs: finish_aggs(&agg_plan, &acc) })
         .collect();
-    Ok(QueryResult { group_columns: query.group_by.clone(), rows, stats })
+    Ok(QueryResult { group_columns: query.group_by.clone(), rows, stats, profile })
 }
 
 #[derive(Debug, Clone, Copy)]

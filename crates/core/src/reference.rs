@@ -128,7 +128,12 @@ pub fn execute_reference(table: &Table, query: &Query) -> Result<QueryResult> {
             ResultRow { keys, aggs }
         })
         .collect();
-    Ok(QueryResult { group_columns: query.group_by.clone(), rows, stats: ExecStats::default() })
+    Ok(QueryResult {
+        group_columns: query.group_by.clone(),
+        rows,
+        stats: ExecStats::default(),
+        profile: crate::trace::QueryProfile::default(),
+    })
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@ use crate::groupid::{plan_segment_mapper, NarrowMapper, SegmentGroupMapper, Wide
 use crate::pool::{panic_message, WorkerPool};
 use crate::stats::ExecStats;
 use crate::strategy::{AggChoiceParams, AggStrategy, SelectionStrategy, StrategyConfig};
+use crate::trace::{Phase, ProfileLevel, QueryProfile, SpanLoc, Tracer, NO_ID};
 
 /// Per-group accumulator in the merged result.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -83,6 +84,9 @@ pub struct ScanOptions {
     pub morsel_rows: usize,
     /// Strategy-chooser constants.
     pub config: StrategyConfig,
+    /// Profiling level ([`ProfileLevel::Off`] keeps the hot loop free of
+    /// timestamps and event stores).
+    pub profile: ProfileLevel,
 }
 
 impl Default for ScanOptions {
@@ -96,6 +100,7 @@ impl Default for ScanOptions {
             batch_rows: bipie_columnstore::BATCH_ROWS,
             morsel_rows: bipie_columnstore::MORSEL_ROWS,
             config: StrategyConfig::default(),
+            profile: ProfileLevel::Off,
         }
     }
 }
@@ -132,7 +137,8 @@ const PARALLEL_MERGE_MIN_GROUPS: usize = 128;
 type GroupMap = BTreeMap<Vec<Value>, GroupAcc>;
 
 /// Scan every segment of `table`, returning merged per-group totals keyed
-/// by the group-by values, plus execution stats.
+/// by the group-by values, plus execution stats and the (possibly empty)
+/// query profile.
 pub fn scan_table(
     table: &Table,
     filter: Option<&ResolvedPredicate>,
@@ -140,15 +146,21 @@ pub fn scan_table(
     sum_exprs: &[ResolvedExpr],
     mm_exprs: &[ResolvedExpr],
     options: &ScanOptions,
-) -> Result<(GroupMap, ExecStats)> {
+) -> Result<(GroupMap, ExecStats, QueryProfile)> {
     validate_scan_options(options)?;
     let mut stats = ExecStats::default();
+    let mut profile = QueryProfile::new(options.profile);
+    // The coordinator's own tracer covers the phases that run on the
+    // calling thread: admission planning and the phase-2 merge.
+    let mut coord = Tracer::new(options.profile, 0);
 
     // Admission planning runs once per segment, serially: it is metadata
     // only (elimination, overflow proofs, mapper viability) and it lets
-    // errors surface deterministically before any worker starts.
-    let mut planned: Vec<&Segment> = Vec::new();
-    for seg in table.segments() {
+    // errors surface deterministically before any worker starts. The table
+    // segment ordinal rides along as the id trace events carry.
+    let plan_start = coord.start();
+    let mut planned: Vec<(u32, &Segment)> = Vec::new();
+    for (seg_index, seg) in table.segments().iter().enumerate() {
         if seg.num_rows() == 0 || seg.live_rows() == 0 {
             continue;
         }
@@ -165,10 +177,12 @@ pub fn scan_table(
         }
         stats.segments_scanned += 1;
         stats.rows_scanned += seg.live_rows();
-        planned.push(seg);
+        planned.push((seg_index as u32, seg));
     }
+    coord.span(Phase::Plan, SpanLoc::none(), stats.rows_scanned as u64, plan_start);
     if planned.is_empty() {
-        return Ok((BTreeMap::new(), stats));
+        profile.absorb(coord);
+        return Ok((BTreeMap::new(), stats, profile));
     }
 
     let threads = options
@@ -177,11 +191,12 @@ pub fn scan_table(
     let ctx = ScanCtx { filter, group_cols, sum_exprs, mm_exprs, options };
 
     let merged = if options.parallel && threads > 1 {
-        scan_parallel(&planned, threads, &ctx, &mut stats)?
+        scan_parallel(&planned, threads, &ctx, &mut stats, &mut profile, &mut coord)?
     } else {
-        scan_serial(&planned, &ctx, &mut stats)?
+        scan_serial(&planned, &ctx, &mut stats, &mut coord)?
     };
-    Ok((merged, stats))
+    profile.absorb(coord);
+    Ok((merged, stats, profile))
 }
 
 /// Everything a worker needs to scan a segment, bundled for passing around.
@@ -196,14 +211,20 @@ struct ScanCtx<'a> {
 
 /// Serial fallback: one thread scans whole segments in order. Panics from
 /// a poisoned segment scan become [`EngineError::WorkerPanicked`], matching
-/// the parallel path's contract.
-fn scan_serial(planned: &[&Segment], ctx: &ScanCtx<'_>, stats: &mut ExecStats) -> Result<GroupMap> {
+/// the parallel path's contract. Each segment records a single
+/// [`Phase::SegmentScan`] span (no morsel decomposition).
+fn scan_serial(
+    planned: &[(u32, &Segment)],
+    ctx: &ScanCtx<'_>,
+    stats: &mut ExecStats,
+    tracer: &mut Tracer,
+) -> Result<GroupMap> {
     let mut merged: GroupMap = BTreeMap::new();
     let mut local = ExecStats::default();
     let scan_all = AssertUnwindSafe(|| -> Result<()> {
-        for seg in planned {
-            let mut scan = SegScan::plan(seg, ctx)?;
-            scan.process_range(0, seg.num_rows());
+        for &(seg_index, seg) in planned {
+            let mut scan = SegScan::plan(seg_index, seg, ctx)?;
+            scan.process_range(0, seg.num_rows(), NO_ID, false, tracer);
             let (groups, seg_stats) = scan.finish();
             local.merge(&seg_stats);
             merge_groups(&mut merged, groups);
@@ -222,10 +243,12 @@ fn scan_serial(planned: &[&Segment], ctx: &ScanCtx<'_>, stats: &mut ExecStats) -
 
 /// Morsel-driven parallel scan with a two-phase parallel merge.
 fn scan_parallel(
-    planned: &[&Segment],
+    planned: &[(u32, &Segment)],
     threads: usize,
     ctx: &ScanCtx<'_>,
     stats: &mut ExecStats,
+    profile: &mut QueryProfile,
+    coord: &mut Tracer,
 ) -> Result<GroupMap> {
     let batch_rows = ctx.options.batch_rows;
     // Morsels are whole batch windows so the parallel batch grid matches
@@ -234,17 +257,23 @@ fn scan_parallel(
     let sched = MorselScheduler::new(planned, morsel_rows);
 
     // Phase 1: workers claim morsels, aggregate into thread-local state,
-    // and leave their results pre-partitioned by group-key hash.
+    // and leave their results pre-partitioned by group-key hash. Each
+    // worker owns a private tracer for the duration (no shared state in
+    // the hot loop) and parks it in its slot at the end.
     let worker_parts: Vec<Mutex<Vec<GroupMap>>> =
         (0..threads).map(|_| Mutex::new(Vec::new())).collect();
     let worker_stats: Vec<Mutex<ExecStats>> =
         (0..threads).map(|_| Mutex::new(ExecStats::default())).collect();
+    let worker_tracers: Vec<Mutex<Option<Tracer>>> =
+        (0..threads).map(|_| Mutex::new(None)).collect();
     let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
+    let level = ctx.options.profile;
 
     let pool = WorkerPool::global();
     let report = pool
         .run(threads, &|w| {
             let mut local = ExecStats::default();
+            let mut tracer = Tracer::new(level, w as u32);
             let mut states: HashMap<usize, SegScan<'_>> = HashMap::new();
             let mut last: Option<usize> = None;
             while let Some(claim) = sched.claim(w, threads, &mut last) {
@@ -253,7 +282,8 @@ fn scan_parallel(
                 let scan = match states.entry(claim.seg) {
                     std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
                     std::collections::hash_map::Entry::Vacant(v) => {
-                        match SegScan::plan(planned[claim.seg], ctx) {
+                        let (seg_index, seg) = planned[claim.seg];
+                        match SegScan::plan(seg_index, seg, ctx) {
                             Ok(s) => v.insert(s),
                             Err(e) => {
                                 lock(&first_error).get_or_insert(e);
@@ -262,7 +292,13 @@ fn scan_parallel(
                         }
                     }
                 };
-                scan.process_range(claim.range.start, claim.range.len);
+                scan.process_range(
+                    claim.range.start,
+                    claim.range.len,
+                    claim.morsel as u32,
+                    claim.stolen,
+                    &mut tracer,
+                );
             }
             let mut parts: Vec<GroupMap> = (0..threads).map(|_| BTreeMap::new()).collect();
             for (_, scan) in states {
@@ -275,6 +311,7 @@ fn scan_parallel(
             }
             *lock(&worker_parts[w]) = parts;
             *lock(&worker_stats[w]) = local;
+            *lock(&worker_tracers[w]) = Some(tracer);
         })
         .map_err(|payload| EngineError::WorkerPanicked { detail: panic_message(&payload) })?;
     if let Some(e) = lock(&first_error).take() {
@@ -282,6 +319,11 @@ fn scan_parallel(
     }
     for ws in &worker_stats {
         stats.merge(&lock(ws));
+    }
+    for wt in &worker_tracers {
+        if let Some(t) = lock(wt).take() {
+            profile.absorb(t);
+        }
     }
     stats.pool_workers = threads;
     stats.pool_reuses += report.reused_pool as usize;
@@ -291,6 +333,7 @@ fn scan_parallel(
     // parallel without locks on the hot path and concatenate ordered.
     let total_groups: usize =
         worker_parts.iter().map(|m| lock(m).iter().map(BTreeMap::len).sum::<usize>()).sum();
+    let merge_start = coord.start();
     let mut merged: GroupMap = BTreeMap::new();
     if total_groups < PARALLEL_MERGE_MIN_GROUPS {
         for wp in &worker_parts {
@@ -320,6 +363,7 @@ fn scan_parallel(
             merged.extend(mp.into_inner().unwrap_or_else(PoisonError::into_inner));
         }
     }
+    coord.span(Phase::ParallelMerge, SpanLoc::none(), total_groups as u64, merge_start);
     Ok(merged)
 }
 
@@ -355,9 +399,19 @@ fn merge_one(map: &mut GroupMap, key: Vec<Value>, acc: GroupAcc) {
     }
 }
 
+/// Where a batch sits (segment ordinal + morsel ordinal) — threaded to the
+/// per-batch trace events.
+#[derive(Clone, Copy)]
+struct BatchAt {
+    seg: u32,
+    morsel: u32,
+}
+
 /// One claimed unit of parallel work.
 struct Claim {
     seg: usize,
+    /// Morsel ordinal within the segment (stable across runs; trace id).
+    morsel: usize,
     range: Batch,
     stolen: bool,
 }
@@ -372,11 +426,11 @@ struct MorselScheduler {
 }
 
 impl MorselScheduler {
-    fn new(segments: &[&Segment], morsel_rows: usize) -> MorselScheduler {
+    fn new(segments: &[(u32, &Segment)], morsel_rows: usize) -> MorselScheduler {
         MorselScheduler {
             cursors: segments
                 .iter()
-                .map(|seg| MorselCursor::new(seg.num_rows(), morsel_rows))
+                .map(|(_, seg)| MorselCursor::new(seg.num_rows(), morsel_rows))
                 .collect(),
         }
     }
@@ -391,14 +445,14 @@ impl MorselScheduler {
         let in_home = |s: usize| s >= home_lo && s < home_hi;
         // Affinity: keep draining the segment of the previous claim.
         if let Some(s) = *last {
-            if let Some(range) = self.cursors[s].claim() {
-                return Some(Claim { seg: s, range, stolen: !in_home(s) });
+            if let Some((morsel, range)) = self.cursors[s].claim_indexed() {
+                return Some(Claim { seg: s, morsel, range, stolen: !in_home(s) });
             }
         }
         for s in home_lo..home_hi {
-            if let Some(range) = self.cursors[s].claim() {
+            if let Some((morsel, range)) = self.cursors[s].claim_indexed() {
                 *last = Some(s);
-                return Some(Claim { seg: s, range, stolen: false });
+                return Some(Claim { seg: s, morsel, range, stolen: false });
             }
         }
         loop {
@@ -406,9 +460,9 @@ impl MorselScheduler {
                 .filter(|&s| !in_home(s))
                 .max_by_key(|&s| self.cursors[s].remaining())
                 .filter(|&s| self.cursors[s].remaining() > 0)?;
-            if let Some(range) = self.cursors[victim].claim() {
+            if let Some((morsel, range)) = self.cursors[victim].claim_indexed() {
                 *last = Some(victim);
-                return Some(Claim { seg: victim, range, stolen: true });
+                return Some(Claim { seg: victim, morsel, range, stolen: true });
             }
             // Raced another thief to the last morsel; look again.
         }
@@ -419,6 +473,8 @@ impl MorselScheduler {
 /// segment reuse the planned mapper, strategy choice, and scratch buffers.
 struct SegScan<'a> {
     seg: &'a Segment,
+    /// Table segment ordinal (the id trace events carry).
+    seg_index: u32,
     ctx: ScanCtx<'a>,
     has_deletes: bool,
     stats: ExecStats,
@@ -435,7 +491,7 @@ enum SegScanKind<'a> {
 impl<'a> SegScan<'a> {
     /// Plan the per-segment machinery (mapper, aggregate inputs). The
     /// segment must already have passed admission (overflow proofs etc.).
-    fn plan(seg: &'a Segment, ctx: &ScanCtx<'a>) -> Result<SegScan<'a>> {
+    fn plan(seg_index: u32, seg: &'a Segment, ctx: &ScanCtx<'a>) -> Result<SegScan<'a>> {
         let kind = match plan_segment_mapper(seg, ctx.group_cols)? {
             SegmentGroupMapper::Narrow(mapper) => {
                 SegScanKind::Narrow(Box::new(NarrowScan::plan(seg, mapper, ctx)))
@@ -446,6 +502,7 @@ impl<'a> SegScan<'a> {
         };
         Ok(SegScan {
             seg,
+            seg_index,
             ctx: *ctx,
             has_deletes: !seg.deleted().none_deleted(),
             stats: ExecStats::default(),
@@ -455,24 +512,53 @@ impl<'a> SegScan<'a> {
 
     /// Scan rows `[start, start + len)` in batch windows. `start` must lie
     /// on the segment's batch grid so parallel and serial scans agree on
-    /// window boundaries.
-    fn process_range(&mut self, start: usize, len: usize) {
+    /// window boundaries. One [`Phase::SegmentScan`] span covers the range
+    /// (a whole segment serially, one morsel in parallel — `morsel` is
+    /// [`NO_ID`] for the former).
+    fn process_range(
+        &mut self,
+        start: usize,
+        len: usize,
+        morsel: u32,
+        stolen: bool,
+        tracer: &mut Tracer,
+    ) {
         debug_assert_eq!(
             start % self.ctx.options.batch_rows,
             0,
             "morsel start must be batch-aligned"
         );
+        let range_start = tracer.start();
         for b in BatchCursor::with_batch_rows(len, self.ctx.options.batch_rows) {
             let batch = Batch { start: start + b.start, len: b.len };
+            let at = BatchAt { seg: self.seg_index, morsel };
             match &mut self.kind {
-                SegScanKind::Narrow(n) => {
-                    n.process_batch(self.seg, &self.ctx, self.has_deletes, batch, &mut self.stats)
-                }
-                SegScanKind::Wide(w) => {
-                    w.process_batch(self.seg, &self.ctx, self.has_deletes, batch, &mut self.stats)
-                }
+                SegScanKind::Narrow(n) => n.process_batch(
+                    self.seg,
+                    &self.ctx,
+                    self.has_deletes,
+                    batch,
+                    at,
+                    &mut self.stats,
+                    tracer,
+                ),
+                SegScanKind::Wide(w) => w.process_batch(
+                    self.seg,
+                    &self.ctx,
+                    self.has_deletes,
+                    batch,
+                    at,
+                    &mut self.stats,
+                    tracer,
+                ),
             }
         }
+        tracer.span(
+            Phase::SegmentScan,
+            SpanLoc::at(self.seg_index, morsel).with_stolen(stolen),
+            len as u64,
+            range_start,
+        );
     }
 
     /// Tear down into per-group results plus this state's stats.
@@ -583,16 +669,20 @@ impl<'a> NarrowScan<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // internal batch-loop plumbing
     fn process_batch(
         &mut self,
         seg: &'a Segment,
         ctx: &ScanCtx<'a>,
         has_deletes: bool,
         batch: Batch,
+        at: BatchAt,
         stats: &mut ExecStats,
+        tracer: &mut Tracer,
     ) {
         let options = ctx.options;
         let level = options.level;
+        let unpack_start = tracer.start();
         self.mapper.extract_batch(
             batch.start,
             batch.len,
@@ -600,8 +690,11 @@ impl<'a> NarrowScan<'a> {
             &mut self.gid_scratch,
             level,
         );
+        tracer.span(Phase::Unpack, SpanLoc::at(at.seg, at.morsel), batch.len as u64, unpack_start);
 
-        // Filter + deleted-row merge -> selection byte vector.
+        // Filter + deleted-row merge -> selection byte vector, plus the
+        // selectivity measurement that drives the per-batch choice.
+        let select_start = tracer.start();
         let sel: Option<&[u8]> = if ctx.filter.is_some() || has_deletes {
             self.sel_buf.resize(batch.len, 0xFF);
             match ctx.filter {
@@ -616,18 +709,49 @@ impl<'a> NarrowScan<'a> {
         } else {
             None
         };
-
-        // Lazily pick the aggregation strategy from the first batch's
-        // measured selectivity (§3: per segment, at run time).
         let selectivity = match sel {
             Some(s) => count_selected(s, level) as f64 / batch.len.max(1) as f64,
             None => 1.0,
         };
+        let selection = options
+            .forced_selection
+            .unwrap_or_else(|| options.config.choose_selection(selectivity, self.dominant_bits));
+        tracer.span(
+            Phase::Selection,
+            SpanLoc::at(at.seg, at.morsel).with_selection(selection),
+            batch.len as u64,
+            select_start,
+        );
+        tracer.decision_selection(
+            at.seg,
+            at.morsel,
+            batch.start as u64,
+            batch.len as u32,
+            self.dominant_bits,
+            selectivity,
+            selection,
+            options.forced_selection.is_some(),
+        );
+        stats.record_selection(selection);
+
+        // Lazily pick the aggregation strategy from the first batch's
+        // measured selectivity (§3: per segment, at run time).
         if self.executor.is_none() {
             let mut params = self.agg_params_template.clone();
             params.est_selectivity = selectivity;
             let strategy = options.forced_agg.unwrap_or_else(|| options.config.choose_agg(&params));
             stats.record_agg(strategy);
+            tracer.decision_agg(
+                at.seg,
+                params.num_groups_effective as u32,
+                params.num_sums as u32,
+                ctx.mm_exprs.len() as u32,
+                params.est_selectivity,
+                params.all_packed_narrow,
+                params.multi_layout_fits,
+                strategy,
+                options.forced_agg.is_some(),
+            );
             self.executor = Some(SegmentAggExecutor::with_min_max(
                 strategy,
                 self.mapper.num_groups(),
@@ -638,11 +762,15 @@ impl<'a> NarrowScan<'a> {
         }
         let exec = self.executor.as_mut().expect("created above");
 
-        let selection = options
-            .forced_selection
-            .unwrap_or_else(|| options.config.choose_selection(selectivity, self.dominant_bits));
-        stats.record_selection(selection);
+        let agg_start = tracer.start();
+        let agg_strategy = exec.strategy();
         exec.process_batch(seg, batch.start, batch.len, &mut self.gids, sel, selection);
+        tracer.span(
+            Phase::Aggregation,
+            SpanLoc::at(at.seg, at.morsel).with_selection(selection).with_agg(agg_strategy),
+            batch.len as u64,
+            agg_start,
+        );
     }
 
     fn finish(self) -> Vec<(Vec<Value>, GroupAcc)> {
@@ -709,22 +837,42 @@ impl<'a> WideScan<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // internal batch-loop plumbing
     fn process_batch(
         &mut self,
         seg: &'a Segment,
         ctx: &ScanCtx<'a>,
         has_deletes: bool,
         batch: Batch,
+        at: BatchAt,
         stats: &mut ExecStats,
+        tracer: &mut Tracer,
     ) {
         let level = ctx.options.level;
         if !self.recorded_agg {
             stats.record_agg(AggStrategy::Scalar);
             self.recorded_agg = true;
+            // The wide-group path is structural (group domain too wide for
+            // u8 ids), not a cost-model outcome: `forced` stays false and
+            // the group count is the mapper's running intern count.
+            tracer.decision_agg(
+                at.seg,
+                self.mapper.num_groups() as u32,
+                self.num_sums as u32,
+                (self.all_exprs.len() - self.num_sums) as u32,
+                1.0,
+                false,
+                false,
+                AggStrategy::Scalar,
+                false,
+            );
         }
         stats.record_selection(SelectionStrategy::Compact);
+        let unpack_start = tracer.start();
         self.mapper.extract_batch(batch.start, batch.len, &mut self.gids, &mut self.key_scratch);
+        tracer.span(Phase::Unpack, SpanLoc::at(at.seg, at.morsel), batch.len as u64, unpack_start);
 
+        let select_start = tracer.start();
         let sel: Option<&[u8]> = if ctx.filter.is_some() || has_deletes {
             self.sel_buf.clear();
             self.sel_buf.resize(batch.len, 0xFF);
@@ -736,6 +884,31 @@ impl<'a> WideScan<'a> {
         } else {
             None
         };
+        tracer.span(
+            Phase::Selection,
+            SpanLoc::at(at.seg, at.morsel).with_selection(SelectionStrategy::Compact),
+            batch.len as u64,
+            select_start,
+        );
+        if tracer.enabled() {
+            // The selectivity count is profiling-only work on this path, so
+            // it hides behind the gate.
+            let observed = match sel {
+                Some(s) => count_selected(s, level) as f64 / batch.len.max(1) as f64,
+                None => 1.0,
+            };
+            tracer.decision_selection(
+                at.seg,
+                at.morsel,
+                batch.start as u64,
+                batch.len as u32,
+                32,
+                observed,
+                SelectionStrategy::Compact,
+                false,
+            );
+        }
+        let wide_start = tracer.start();
 
         // Decode expression inputs over the full batch.
         let mut needed: Vec<usize> = Vec::new();
@@ -804,6 +977,14 @@ impl<'a> WideScan<'a> {
                 self.maxs[j][g] = self.maxs[j][g].max(vals[i]);
             }
         }
+        tracer.span(
+            Phase::WideGroup,
+            SpanLoc::at(at.seg, at.morsel)
+                .with_selection(SelectionStrategy::Compact)
+                .with_agg(AggStrategy::Scalar),
+            batch.len as u64,
+            wide_start,
+        );
     }
 
     fn finish(self) -> Vec<(Vec<Value>, GroupAcc)> {
@@ -850,7 +1031,7 @@ mod tests {
     fn multi_segment_merge() {
         let t = table(1000, 300); // 4 segments
         let expr = v_expr(&t);
-        let (groups, stats) =
+        let (groups, stats, _) =
             scan_table(&t, None, &[(0, LogicalType::Str)], &[expr], &[], &ScanOptions::default())
                 .unwrap();
         assert_eq!(stats.segments_scanned, 4);
@@ -870,7 +1051,7 @@ mod tests {
         let t = table(1000, 250); // segments cover v ranges [0,250) ...
         let expr = v_expr(&t);
         let pred = Predicate::lt("v", Value::I64(100)).resolve(&t).unwrap();
-        let (groups, stats) = scan_table(
+        let (groups, stats, _) = scan_table(
             &t,
             Some(&pred),
             &[(0, LogicalType::Str)],
@@ -891,7 +1072,7 @@ mod tests {
         t.segment_mut(0).delete_row(0);
         t.segment_mut(0).delete_row(1);
         let expr = v_expr(&t);
-        let (groups, _) =
+        let (groups, _, _) =
             scan_table(&t, None, &[(0, LogicalType::Str)], &[expr], &[], &ScanOptions::default())
                 .unwrap();
         let total: u64 = groups.values().map(|g| g.count).sum();
@@ -935,7 +1116,7 @@ mod tests {
                     forced_selection: Some(selection),
                     ..Default::default()
                 };
-                let (groups, stats) = scan_table(
+                let (groups, stats, _) = scan_table(
                     &t,
                     Some(&pred),
                     &[(0, LogicalType::Str)],
@@ -957,7 +1138,7 @@ mod tests {
         let expr = v_expr(&t);
         let serial_opts =
             ScanOptions { parallel: false, batch_rows: 512, ..ScanOptions::default() };
-        let (serial, _) = scan_table(
+        let (serial, _, _) = scan_table(
             &t,
             None,
             &[(0, LogicalType::Str)],
@@ -974,7 +1155,7 @@ mod tests {
                 morsel_rows: 1024,
                 ..ScanOptions::default()
             };
-            let (par, stats) = scan_table(
+            let (par, stats, _) = scan_table(
                 &t,
                 None,
                 &[(0, LogicalType::Str)],
@@ -1010,7 +1191,8 @@ mod tests {
     #[test]
     fn scheduler_steals_from_hot_segment() {
         let t = table(4000, 1000);
-        let segs: Vec<&Segment> = t.segments().iter().collect();
+        let segs: Vec<(u32, &Segment)> =
+            t.segments().iter().enumerate().map(|(i, s)| (i as u32, s)).collect();
         let sched = MorselScheduler::new(&segs, 64);
         let mut claimed_rows = 0usize;
         let mut steals = 0usize;

@@ -4,37 +4,58 @@
 //! stats expose that so tests can pin strategy decisions and examples can
 //! show the adaptive behavior (§3: aggregation strategy per segment,
 //! selection strategy per batch).
+//!
+//! ## Merge semantics
+//!
+//! [`ExecStats::merge`] folds a per-segment or per-thread collector into a
+//! query-level one. Fields fall into two classes, annotated on each field:
+//!
+//! * **additive** — disjoint work counted once per occurrence (rows,
+//!   batches, morsels, strategy tallies). Merging sums them.
+//! * **region-level** — facts about one fork-join *region* the coordinator
+//!   observes once (`pool_workers`, `pool_reuses`). Per-thread collectors
+//!   from the same region would each see the same region, so merging takes
+//!   the max to avoid double counting; the scan coordinator accounts new
+//!   regions directly (one `+=` per completed `pool.run`), never through
+//!   `merge`.
 
 use crate::strategy::{AggStrategy, SelectionStrategy};
 
 /// Counters collected during one query execution.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
-    /// Segments whose metadata eliminated them before scanning.
+    /// Segments whose metadata eliminated them before scanning. Additive.
     pub segments_eliminated: usize,
-    /// Segments actually scanned.
+    /// Segments actually scanned. Additive.
     pub segments_scanned: usize,
     /// Segments that used the wide-group (u32 group id) fallback path.
+    /// Additive.
     pub wide_group_segments: usize,
-    /// Batches processed.
+    /// Batches processed. Additive.
     pub batches: usize,
-    /// Rows scanned (live rows of scanned segments).
+    /// Rows scanned (live rows of scanned segments). Additive.
     pub rows_scanned: usize,
-    /// Rows from the mutable region processed row-at-a-time.
+    /// Rows from the mutable region processed row-at-a-time. Additive.
     pub mutable_rows: usize,
     /// Batches per selection strategy, indexed by [`SelectionStrategy`].
+    /// Additive.
     pub selection_batches: [usize; 3],
-    /// Segments per aggregation strategy, indexed by [`AggStrategy`].
+    /// Aggregation-strategy decisions, indexed by [`AggStrategy`] — one per
+    /// segment executor, so parallel scans may count one segment once per
+    /// worker that touched it. Additive.
     pub agg_segments: [usize; 4],
     /// Morsels claimed by parallel scan workers (0 for serial scans).
+    /// Additive.
     pub morsels_scanned: usize,
     /// Morsels a worker claimed outside its home segment partition
-    /// (skew-induced work stealing).
+    /// (skew-induced work stealing). Additive.
     pub morsel_steals: usize,
     /// Workers that participated in the parallel scan (0 for serial).
+    /// Region-level: merging takes the max.
     pub pool_workers: usize,
     /// Fork-join regions served entirely by already-running pool workers
-    /// (vs. regions that had to grow the pool).
+    /// (vs. regions that had to grow the pool). Region-level: merging takes
+    /// the max; the coordinator increments it once per completed region.
     pub pool_reuses: usize,
 }
 
@@ -50,7 +71,8 @@ impl ExecStats {
         self.agg_segments[a as usize] += 1;
     }
 
-    /// Merge stats from another (per-segment / per-thread) collector.
+    /// Merge stats from another (per-segment / per-thread) collector. See
+    /// the module docs for which fields sum and which take the max.
     pub fn merge(&mut self, other: &ExecStats) {
         self.segments_eliminated += other.segments_eliminated;
         self.segments_scanned += other.segments_scanned;
@@ -67,7 +89,7 @@ impl ExecStats {
         self.morsels_scanned += other.morsels_scanned;
         self.morsel_steals += other.morsel_steals;
         self.pool_workers = self.pool_workers.max(other.pool_workers);
-        self.pool_reuses += other.pool_reuses;
+        self.pool_reuses = self.pool_reuses.max(other.pool_reuses);
     }
 
     /// Batches that used the given selection strategy.
@@ -75,7 +97,7 @@ impl ExecStats {
         self.selection_batches[s as usize]
     }
 
-    /// Segments that used the given aggregation strategy.
+    /// Segment executors that used the given aggregation strategy.
     pub fn agg_count(&self, a: AggStrategy) -> usize {
         self.agg_segments[a as usize]
     }
@@ -103,5 +125,21 @@ mod tests {
         assert_eq!(a.agg_count(AggStrategy::MultiAggregate), 1);
         assert_eq!(a.batches, 3);
         assert_eq!(a.segments_scanned, 2);
+    }
+
+    #[test]
+    fn merge_does_not_double_count_region_level_fields() {
+        // Two per-thread collectors observed the SAME fork-join region:
+        // merging them must not count the region's workers or its pool
+        // reuse twice.
+        let mut a = ExecStats { pool_workers: 4, pool_reuses: 1, ..ExecStats::default() };
+        let b = ExecStats { pool_workers: 4, pool_reuses: 1, ..ExecStats::default() };
+        a.merge(&b);
+        assert_eq!(a.pool_workers, 4, "workers is a region-level gauge");
+        assert_eq!(a.pool_reuses, 1, "reuses must not double-count the region");
+        // A collector that saw more regions dominates.
+        let c = ExecStats { pool_reuses: 3, ..ExecStats::default() };
+        a.merge(&c);
+        assert_eq!(a.pool_reuses, 3);
     }
 }

@@ -1,0 +1,921 @@
+//! Query profiler: per-phase cycle tracing and specialization decision
+//! logging (DESIGN.md §9).
+//!
+//! BIPie's defining behavior is runtime operator specialization — which
+//! makes "why did the engine pick that strategy, and where did the cycles
+//! go?" the first question every perf investigation asks. This module
+//! answers it with three pieces:
+//!
+//! * [`Tracer`] — a **per-worker, fixed-capacity event buffer**. Each scan
+//!   worker owns one exclusively (no locks, no atomics on the hot path) and
+//!   records *phase spans* (plan, segment scan, selection, unpack,
+//!   aggregation, wide-group fallback, mutable tail, parallel merge),
+//!   stamped with serialized TSC reads ([`bipie_toolbox::cycles`]) plus
+//!   wall-clock time, and *decision events* capturing exactly the inputs
+//!   the strategy chooser saw.
+//! * [`ProfileLevel`] — the opt-in knob. `Off` (the default) compiles every
+//!   tracer call down to a branch on a plain bool: no timestamps, no
+//!   atomics, no allocation anywhere in the batch loop. `Counters`
+//!   accumulates per-phase totals without storing events; `Spans`
+//!   additionally keeps the full event log.
+//! * [`QueryProfile`] — the merged result, aggregated from the per-worker
+//!   buffers at join time, with a human-readable `EXPLAIN ANALYZE`-style
+//!   renderer and a dependency-free JSON serializer for bench tooling.
+//!
+//! Buffer policy: each worker's buffer holds up to [`EVENT_CAPACITY`]
+//! events; once full, *new* events are dropped (and counted in
+//! `dropped_events`) rather than overwriting old ones, so the plan /
+//! early-segment context an investigation starts from is always retained.
+//! Per-phase and per-strategy counters keep counting after overflow, so
+//! totals stay exact even when the event log is truncated.
+
+use std::time::Instant;
+
+use crate::stats::ExecStats;
+use crate::strategy::{AggStrategy, SelectionStrategy};
+
+/// How much profiling a query execution performs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ProfileLevel {
+    /// No profiling: tracer calls reduce to a branch on a bool (overhead
+    /// budget ≤ 2% on the Q1 scan bench, gated in CI).
+    #[default]
+    Off,
+    /// Per-phase cycle/row totals and per-strategy decision counters, no
+    /// stored events.
+    Counters,
+    /// `Counters` plus the full span/decision event log (bounded by
+    /// [`EVENT_CAPACITY`] per worker).
+    Spans,
+}
+
+/// Events each worker can buffer before dropping (≈1 MiB per worker at
+/// `Spans`; a 4096-row batch emits ~4 events, so this covers ~16M rows per
+/// worker before truncation).
+pub const EVENT_CAPACITY: usize = 16 * 1024;
+
+/// Whether the profiler was compiled out entirely (`no_profiler` feature —
+/// used only by the overhead benchmark to build a true no-profiler
+/// baseline binary).
+pub fn profiler_compiled_out() -> bool {
+    cfg!(feature = "no_profiler")
+}
+
+/// An execution phase a span can be attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// Per-query admission planning: elimination, overflow proofs, mapper
+    /// viability.
+    Plan = 0,
+    /// One claimed scan range (a whole segment when serial, a morsel when
+    /// parallel).
+    SegmentScan = 1,
+    /// Filter evaluation + deleted-row merge + selectivity measurement for
+    /// one batch.
+    Selection = 2,
+    /// Group-id extraction (dictionary-code unpack) for one batch.
+    Unpack = 3,
+    /// The specialized aggregation kernel consuming one batch.
+    Aggregation = 4,
+    /// One batch through the wide-group (u32 group id) scalar fallback.
+    WideGroup = 5,
+    /// The row-at-a-time mutable-region pass.
+    MutableTail = 6,
+    /// Phase-2 reduction of per-worker hash partitions.
+    ParallelMerge = 7,
+}
+
+impl Phase {
+    /// Number of phases (array sizing).
+    pub const COUNT: usize = 8;
+
+    /// All phases, in display order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Plan,
+        Phase::SegmentScan,
+        Phase::Selection,
+        Phase::Unpack,
+        Phase::Aggregation,
+        Phase::WideGroup,
+        Phase::MutableTail,
+        Phase::ParallelMerge,
+    ];
+
+    /// Stable lowercase label (also the JSON key).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Plan => "plan",
+            Phase::SegmentScan => "segment_scan",
+            Phase::Selection => "selection",
+            Phase::Unpack => "unpack",
+            Phase::Aggregation => "aggregation",
+            Phase::WideGroup => "wide_group",
+            Phase::MutableTail => "mutable_tail",
+            Phase::ParallelMerge => "parallel_merge",
+        }
+    }
+}
+
+/// Sentinel for "no segment / no morsel" in event coordinates.
+pub const NO_ID: u32 = u32::MAX;
+
+/// Where a span happened and which specialized operators it ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanLoc {
+    /// Table segment ordinal (`NO_ID` when not segment-scoped).
+    pub segment: u32,
+    /// Morsel ordinal within the segment (`NO_ID` when not morsel-scoped).
+    pub morsel: u32,
+    /// Selection strategy this span ran under, if any.
+    pub selection: Option<SelectionStrategy>,
+    /// Aggregation strategy this span ran under, if any.
+    pub agg: Option<AggStrategy>,
+    /// Whether the range was stolen from another worker's home partition.
+    pub stolen: bool,
+}
+
+impl SpanLoc {
+    /// A span with no segment/morsel coordinates.
+    pub fn none() -> SpanLoc {
+        SpanLoc { segment: NO_ID, morsel: NO_ID, ..SpanLoc::default() }
+    }
+
+    /// A segment/morsel-scoped span.
+    pub fn at(segment: u32, morsel: u32) -> SpanLoc {
+        SpanLoc { segment, morsel, ..SpanLoc::default() }
+    }
+
+    /// Attach the selection strategy.
+    pub fn with_selection(mut self, s: SelectionStrategy) -> SpanLoc {
+        self.selection = Some(s);
+        self
+    }
+
+    /// Attach the aggregation strategy.
+    pub fn with_agg(mut self, a: AggStrategy) -> SpanLoc {
+        self.agg = Some(a);
+        self
+    }
+
+    /// Mark the range as stolen work.
+    pub fn with_stolen(mut self, stolen: bool) -> SpanLoc {
+        self.stolen = stolen;
+        self
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A timed phase span.
+    Span {
+        /// The phase the cycles belong to.
+        phase: Phase,
+        /// Worker index that recorded the span.
+        worker: u32,
+        /// Coordinates and strategy labels.
+        loc: SpanLoc,
+        /// Rows the span covered.
+        rows: u64,
+        /// Serialized-TSC cycles elapsed.
+        cycles: u64,
+        /// Wall-clock nanoseconds elapsed.
+        wall_nanos: u64,
+    },
+    /// The per-batch selection-strategy decision, with the chooser's inputs.
+    SelectionDecision {
+        /// Table segment ordinal.
+        segment: u32,
+        /// Morsel ordinal within the segment (`NO_ID` for serial scans).
+        morsel: u32,
+        /// First row of the batch within the segment.
+        row_start: u64,
+        /// Rows in the batch.
+        rows: u32,
+        /// Dominant packed input bit width the crossover used.
+        bits: u8,
+        /// Selectivity *observed* for this batch (the chooser input — the
+        /// engine decides per batch from measured, not estimated,
+        /// selectivity, §3).
+        observed_selectivity: f64,
+        /// The strategy picked.
+        chosen: SelectionStrategy,
+        /// True when `forced_selection` overrode the chooser.
+        forced: bool,
+    },
+    /// The per-segment (per worker-executor) aggregation-strategy decision.
+    AggDecision {
+        /// Table segment ordinal.
+        segment: u32,
+        /// Worker that planned this executor.
+        worker: u32,
+        /// Group count including the special-group slot.
+        num_groups_effective: u32,
+        /// SUM aggregate count.
+        num_sums: u32,
+        /// MIN/MAX aggregate count.
+        num_minmax: u32,
+        /// Selectivity *estimate* the chooser saw (first batch's measured
+        /// selectivity; 1.0 when unfiltered).
+        est_selectivity: f64,
+        /// Whether every sum input was packed-narrow (sort-based viable).
+        all_packed_narrow: bool,
+        /// Whether a multi-aggregate row layout existed.
+        multi_layout_fits: bool,
+        /// The strategy picked.
+        chosen: AggStrategy,
+        /// True when `forced_agg` overrode the chooser.
+        forced: bool,
+    },
+}
+
+/// A captured span start; holds timestamps only when profiling is enabled,
+/// so `Off` never reads a clock.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanStart(Option<(u64, Instant)>);
+
+/// Aggregated totals for one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTotals {
+    /// Spans recorded.
+    pub count: u64,
+    /// Rows covered.
+    pub rows: u64,
+    /// Cycles spent.
+    pub cycles: u64,
+    /// Wall nanoseconds spent (sums across workers, so it can exceed the
+    /// query's elapsed wall time on parallel scans).
+    pub wall_nanos: u64,
+}
+
+impl PhaseTotals {
+    fn add(&mut self, rows: u64, cycles: u64, wall_nanos: u64) {
+        self.count += 1;
+        self.rows += rows;
+        self.cycles += cycles;
+        self.wall_nanos += wall_nanos;
+    }
+
+    fn absorb(&mut self, other: &PhaseTotals) {
+        self.count += other.count;
+        self.rows += other.rows;
+        self.cycles += other.cycles;
+        self.wall_nanos += other.wall_nanos;
+    }
+
+    /// Cycles per covered row (0 when no rows).
+    pub fn cycles_per_row(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.rows as f64
+        }
+    }
+}
+
+/// Per-worker trace collector. Owned exclusively by one worker for the
+/// duration of a scan — all methods are `&mut self`, nothing is shared, so
+/// the hot path takes no locks and touches no atomics.
+#[derive(Debug)]
+pub struct Tracer {
+    level: ProfileLevel,
+    worker: u32,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    phases: [PhaseTotals; Phase::COUNT],
+    selection_decisions: [u64; 3],
+    agg_decisions: [u64; 4],
+}
+
+impl Tracer {
+    /// A tracer for `worker` at the given level. `Spans` preallocates the
+    /// whole event buffer up front so the batch loop never allocates.
+    pub fn new(level: ProfileLevel, worker: u32) -> Tracer {
+        Tracer::with_capacity(level, worker, EVENT_CAPACITY)
+    }
+
+    /// [`Tracer::new`] with an explicit event capacity (tests exercise the
+    /// overflow policy with tiny buffers).
+    pub fn with_capacity(level: ProfileLevel, worker: u32, capacity: usize) -> Tracer {
+        let events = match level {
+            ProfileLevel::Spans if !profiler_compiled_out() => Vec::with_capacity(capacity),
+            _ => Vec::new(),
+        };
+        Tracer {
+            level,
+            worker,
+            events,
+            dropped: 0,
+            phases: [PhaseTotals::default(); Phase::COUNT],
+            selection_decisions: [0; 3],
+            agg_decisions: [0; 4],
+        }
+    }
+
+    /// A permanently-off tracer (serial paths that want one without
+    /// consulting options).
+    pub fn disabled() -> Tracer {
+        Tracer::new(ProfileLevel::Off, 0)
+    }
+
+    /// Whether any profiling is active. This is the one branch every
+    /// instrumentation site pays at `Off`.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        !profiler_compiled_out() && self.level != ProfileLevel::Off
+    }
+
+    /// Whether the full event log is kept.
+    #[inline]
+    fn spans(&self) -> bool {
+        self.enabled() && self.level == ProfileLevel::Spans
+    }
+
+    /// Begin a span. At `Off` this reads no clock and returns an inert
+    /// token.
+    #[inline]
+    pub fn start(&self) -> SpanStart {
+        if self.enabled() {
+            SpanStart(Some((bipie_toolbox::cycles::read_tsc(), Instant::now())))
+        } else {
+            SpanStart(None)
+        }
+    }
+
+    /// Finish a span started with [`Tracer::start`]. A no-op at `Off`.
+    #[inline]
+    pub fn span(&mut self, phase: Phase, loc: SpanLoc, rows: u64, start: SpanStart) {
+        let Some((c0, w0)) = start.0 else { return };
+        let cycles = bipie_toolbox::cycles::read_tsc().saturating_sub(c0);
+        let wall_nanos = w0.elapsed().as_nanos() as u64;
+        self.phases[phase as usize].add(rows, cycles, wall_nanos);
+        if self.spans() {
+            self.push(TraceEvent::Span {
+                phase,
+                worker: self.worker,
+                loc,
+                rows,
+                cycles,
+                wall_nanos,
+            });
+        }
+    }
+
+    /// Record one batch's selection-strategy decision with the chooser's
+    /// inputs. A no-op at `Off`.
+    #[allow(clippy::too_many_arguments)] // mirrors the chooser's input list
+    #[inline]
+    pub fn decision_selection(
+        &mut self,
+        segment: u32,
+        morsel: u32,
+        row_start: u64,
+        rows: u32,
+        bits: u8,
+        observed_selectivity: f64,
+        chosen: SelectionStrategy,
+        forced: bool,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.selection_decisions[chosen as usize] += 1;
+        if self.spans() {
+            self.push(TraceEvent::SelectionDecision {
+                segment,
+                morsel,
+                row_start,
+                rows,
+                bits,
+                observed_selectivity,
+                chosen,
+                forced,
+            });
+        }
+    }
+
+    /// Record one segment-executor's aggregation-strategy decision with the
+    /// chooser's inputs. A no-op at `Off`.
+    #[allow(clippy::too_many_arguments)] // mirrors the chooser's input list
+    #[inline]
+    pub fn decision_agg(
+        &mut self,
+        segment: u32,
+        num_groups_effective: u32,
+        num_sums: u32,
+        num_minmax: u32,
+        est_selectivity: f64,
+        all_packed_narrow: bool,
+        multi_layout_fits: bool,
+        chosen: AggStrategy,
+        forced: bool,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.agg_decisions[chosen as usize] += 1;
+        if self.spans() {
+            let worker = self.worker;
+            self.push(TraceEvent::AggDecision {
+                segment,
+                worker,
+                num_groups_effective,
+                num_sums,
+                num_minmax,
+                est_selectivity,
+                all_packed_narrow,
+                multi_layout_fits,
+                chosen,
+                forced,
+            });
+        }
+    }
+
+    /// Buffer an event, dropping (and counting) once the fixed capacity is
+    /// reached — never reallocating.
+    #[inline]
+    fn push(&mut self, event: TraceEvent) {
+        if self.events.len() < self.events.capacity() {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Events dropped by the overflow policy so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// The merged profile of one query execution, aggregated from every
+/// worker's [`Tracer`] at join time. Empty (all zero) when the query ran
+/// at [`ProfileLevel::Off`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryProfile {
+    /// The level the query ran at.
+    pub level: ProfileLevel,
+    /// Workers that contributed buffers (0 ⇒ nothing recorded).
+    pub workers: usize,
+    /// Per-phase totals, indexed by [`Phase`].
+    pub phases: [PhaseTotals; Phase::COUNT],
+    /// Selection decisions per strategy, indexed by [`SelectionStrategy`].
+    /// Mirrors `ExecStats::selection_batches` whenever profiling is on.
+    pub selection_decisions: [u64; 3],
+    /// Aggregation decisions per strategy, indexed by [`AggStrategy`].
+    /// Mirrors `ExecStats::agg_segments` whenever profiling is on.
+    pub agg_decisions: [u64; 4],
+    /// The event log (only at [`ProfileLevel::Spans`]), worker-major order.
+    pub events: Vec<TraceEvent>,
+    /// Events the fixed-capacity buffers had to drop.
+    pub dropped_events: u64,
+}
+
+impl QueryProfile {
+    /// An empty profile at the given level.
+    pub fn new(level: ProfileLevel) -> QueryProfile {
+        QueryProfile { level, ..QueryProfile::default() }
+    }
+
+    /// Fold one worker's finished tracer into the profile. Tracers that
+    /// recorded nothing (e.g. a mutable-tail tracer on a table with no
+    /// mutable rows) are skipped so `workers` counts real contributors.
+    pub fn absorb(&mut self, tracer: Tracer) {
+        if !tracer.enabled() {
+            return;
+        }
+        let recorded_nothing = tracer.events.is_empty()
+            && tracer.dropped == 0
+            && tracer.phases.iter().all(|p| p.count == 0)
+            && tracer.selection_decisions.iter().all(|&c| c == 0)
+            && tracer.agg_decisions.iter().all(|&c| c == 0);
+        if recorded_nothing {
+            return;
+        }
+        self.workers += 1;
+        for (mine, theirs) in self.phases.iter_mut().zip(&tracer.phases) {
+            mine.absorb(theirs);
+        }
+        for (mine, theirs) in self.selection_decisions.iter_mut().zip(&tracer.selection_decisions) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.agg_decisions.iter_mut().zip(&tracer.agg_decisions) {
+            *mine += theirs;
+        }
+        self.dropped_events += tracer.dropped;
+        self.events.extend(tracer.events);
+    }
+
+    /// Whether nothing was recorded (`Off`, or no scan work happened).
+    pub fn is_empty(&self) -> bool {
+        self.workers == 0
+            && self.events.is_empty()
+            && self.phases.iter().all(|p| p.count == 0)
+            && self.selection_decisions.iter().all(|&c| c == 0)
+            && self.agg_decisions.iter().all(|&c| c == 0)
+    }
+
+    /// Totals for one phase.
+    pub fn phase(&self, phase: Phase) -> &PhaseTotals {
+        &self.phases[phase as usize]
+    }
+
+    /// Selection decisions recorded for one strategy.
+    pub fn selection_count(&self, s: SelectionStrategy) -> u64 {
+        self.selection_decisions[s as usize]
+    }
+
+    /// Aggregation decisions recorded for one strategy.
+    pub fn agg_count(&self, a: AggStrategy) -> u64 {
+        self.agg_decisions[a as usize]
+    }
+
+    /// Render the profile as a human-readable `EXPLAIN ANALYZE`-style tree.
+    ///
+    /// At `Spans` the tree groups events per segment and, within each
+    /// segment, per selection strategy (batches, rows, mean observed
+    /// selectivity, selection and aggregation cycles/row) alongside the
+    /// aggregation decisions that segment's executors made. At `Counters`
+    /// only the per-phase totals render. `stats` supplies the scan-level
+    /// counters (rows, morsels, steals) the coordinator tracked.
+    pub fn render_explain(&self, stats: &ExecStats) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "EXPLAIN ANALYZE  (profile={:?}, workers={}, dropped_events={})\n",
+            self.level, self.workers, self.dropped_events
+        ));
+        out.push_str(&format!(
+            "Query: {} batches, {} rows scanned, {} segments ({} eliminated), \
+             {} morsels ({} stolen), {} mutable rows\n",
+            stats.batches,
+            stats.rows_scanned,
+            stats.segments_scanned,
+            stats.segments_eliminated,
+            stats.morsels_scanned,
+            stats.morsel_steals,
+            stats.mutable_rows,
+        ));
+        if self.is_empty() {
+            out.push_str("└─ (profiling off — run with ProfileLevel::Counters or Spans)\n");
+            return out;
+        }
+
+        // Phase totals, always available when profiling was on.
+        out.push_str("├─ phases\n");
+        for phase in Phase::ALL {
+            let t = self.phase(phase);
+            if t.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "│    {:<14} spans={:<6} rows={:<9} cycles={:<12} ({:.2} cy/row, {:.3} ms wall)\n",
+                phase.label(),
+                t.count,
+                t.rows,
+                t.cycles,
+                t.cycles_per_row(),
+                t.wall_nanos as f64 / 1e6,
+            ));
+        }
+
+        if self.level != ProfileLevel::Spans {
+            out.push_str(&self.render_strategy_totals("└─ "));
+            return out;
+        }
+
+        // Spans: per-segment tree from the event log.
+        let mut segments: Vec<u32> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Span { loc, .. } if loc.segment != NO_ID => Some(loc.segment),
+                TraceEvent::SelectionDecision { segment, .. }
+                | TraceEvent::AggDecision { segment, .. } => Some(*segment),
+                _ => None,
+            })
+            .collect();
+        segments.sort_unstable();
+        segments.dedup();
+
+        for &seg in &segments {
+            out.push_str(&self.render_segment(seg));
+        }
+        let tail = self.phase(Phase::MutableTail);
+        if tail.count > 0 {
+            out.push_str(&format!("├─ mutable tail  rows={}  cycles={}\n", tail.rows, tail.cycles));
+        }
+        let merge = self.phase(Phase::ParallelMerge);
+        if merge.count > 0 {
+            out.push_str(&format!(
+                "├─ parallel merge  spans={}  cycles={}  ({:.3} ms wall)\n",
+                merge.count,
+                merge.cycles,
+                merge.wall_nanos as f64 / 1e6
+            ));
+        }
+        out.push_str(&self.render_strategy_totals("└─ "));
+        out
+    }
+
+    fn render_strategy_totals(&self, prefix: &str) -> String {
+        let sel: Vec<String> = SelectionStrategy::ALL
+            .iter()
+            .filter(|&&s| self.selection_count(s) > 0)
+            .map(|&s| format!("{}={}", s.label(), self.selection_count(s)))
+            .collect();
+        let agg: Vec<String> = AggStrategy::ALL
+            .iter()
+            .filter(|&&a| self.agg_count(a) > 0)
+            .map(|&a| format!("{}={}", a.label(), self.agg_count(a)))
+            .collect();
+        format!(
+            "{}strategies  selection[{}]  aggregation[{}]\n",
+            prefix,
+            sel.join(", "),
+            agg.join(", ")
+        )
+    }
+
+    fn render_segment(&self, seg: u32) -> String {
+        let mut out = String::new();
+        // Segment header: rows/morsels/steals from SegmentScan spans.
+        let (mut rows, mut morsels, mut steals, mut seg_cycles) = (0u64, 0u64, 0u64, 0u64);
+        for e in &self.events {
+            if let TraceEvent::Span { phase: Phase::SegmentScan, loc, rows: r, cycles, .. } = e {
+                if loc.segment == seg {
+                    rows += r;
+                    morsels += 1;
+                    steals += loc.stolen as u64;
+                    seg_cycles += cycles;
+                }
+            }
+        }
+        out.push_str(&format!(
+            "├─ segment {seg}  rows={rows}  ranges={morsels}  steals={steals}  cycles={seg_cycles}\n"
+        ));
+
+        // Aggregation decisions for this segment (one per worker-executor).
+        for e in &self.events {
+            if let TraceEvent::AggDecision {
+                segment,
+                worker,
+                num_groups_effective,
+                num_sums,
+                num_minmax,
+                est_selectivity,
+                chosen,
+                forced,
+                ..
+            } = e
+            {
+                if *segment == seg {
+                    out.push_str(&format!(
+                        "│    decision agg: {:<8} groups={} sums={} minmax={} est_sel={:.3} \
+                         worker={}{}\n",
+                        chosen.label(),
+                        num_groups_effective,
+                        num_sums,
+                        num_minmax,
+                        est_selectivity,
+                        worker,
+                        if *forced { " (forced)" } else { "" },
+                    ));
+                }
+            }
+        }
+
+        // Per selection strategy: batch count / rows / mean selectivity from
+        // decisions, cycles from the labeled selection+aggregation spans.
+        for strat in SelectionStrategy::ALL {
+            let (mut batches, mut brows, mut sel_sum, mut bits_max) = (0u64, 0u64, 0.0f64, 0u8);
+            for e in &self.events {
+                if let TraceEvent::SelectionDecision {
+                    segment,
+                    rows,
+                    bits,
+                    observed_selectivity,
+                    chosen,
+                    ..
+                } = e
+                {
+                    if *segment == seg && *chosen == strat {
+                        batches += 1;
+                        brows += *rows as u64;
+                        sel_sum += observed_selectivity;
+                        bits_max = bits_max.max(*bits);
+                    }
+                }
+            }
+            if batches == 0 {
+                continue;
+            }
+            let (mut sel_cycles, mut agg_cycles, mut agg_label) = (0u64, 0u64, None);
+            for e in &self.events {
+                if let TraceEvent::Span { phase, loc, cycles, .. } = e {
+                    if loc.segment != seg || loc.selection != Some(strat) {
+                        continue;
+                    }
+                    match phase {
+                        Phase::Selection => sel_cycles += cycles,
+                        Phase::Aggregation | Phase::WideGroup => {
+                            agg_cycles += cycles;
+                            agg_label = loc.agg.or(agg_label);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let denom = brows.max(1) as f64;
+            out.push_str(&format!(
+                "│    {:<13} batches={:<5} rows={:<9} sel={:.3}  bits={}  \
+                 select {:.2} cy/r  agg[{}] {:.2} cy/r\n",
+                strat.label(),
+                batches,
+                brows,
+                sel_sum / batches as f64,
+                bits_max,
+                sel_cycles as f64 / denom,
+                agg_label.map_or("-", AggStrategy::label),
+                agg_cycles as f64 / denom,
+            ));
+        }
+        out
+    }
+
+    /// Serialize the profile as JSON (dependency-free; schema documented in
+    /// DESIGN.md §9). Event logs are summarized — phases, per-strategy
+    /// decision counters, and per-segment rollups — so the output stays
+    /// bounded regardless of scan size.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"level\": \"{:?}\", ", self.level));
+        s.push_str(&format!("\"workers\": {}, ", self.workers));
+        s.push_str(&format!("\"dropped_events\": {}, ", self.dropped_events));
+        s.push_str("\"phases\": {");
+        let mut first = true;
+        for phase in Phase::ALL {
+            let t = self.phase(phase);
+            if t.count == 0 {
+                continue;
+            }
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            s.push_str(&format!(
+                "\"{}\": {{\"spans\": {}, \"rows\": {}, \"cycles\": {}, \"wall_nanos\": {}, \
+                 \"cycles_per_row\": {:.4}}}",
+                phase.label(),
+                t.count,
+                t.rows,
+                t.cycles,
+                t.wall_nanos,
+                t.cycles_per_row()
+            ));
+        }
+        s.push_str("}, \"selection_decisions\": {");
+        for (i, strat) in SelectionStrategy::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": {}", strat.label(), self.selection_count(*strat)));
+        }
+        s.push_str("}, \"agg_decisions\": {");
+        for (i, strat) in AggStrategy::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": {}", strat.label(), self.agg_count(*strat)));
+        }
+        s.push_str("}, \"events_recorded\": ");
+        s.push_str(&self.events.len().to_string());
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_tracer_records_nothing_and_reads_no_clock() {
+        let mut t = Tracer::new(ProfileLevel::Off, 0);
+        assert!(!t.enabled());
+        let s = t.start();
+        assert!(s.0.is_none(), "Off must not read timestamps");
+        t.span(Phase::Selection, SpanLoc::none(), 100, s);
+        t.decision_selection(0, 0, 0, 100, 8, 0.5, SelectionStrategy::Gather, false);
+        t.decision_agg(0, 8, 2, 0, 0.5, true, true, AggStrategy::InRegister, false);
+        let mut p = QueryProfile::new(ProfileLevel::Off);
+        p.absorb(t);
+        assert!(p.is_empty());
+        assert!(p.events.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_without_storing_events() {
+        let mut t = Tracer::new(ProfileLevel::Counters, 1);
+        let s = t.start();
+        assert!(s.0.is_some());
+        t.span(Phase::Unpack, SpanLoc::at(0, 0), 4096, s);
+        t.decision_selection(0, 0, 0, 4096, 12, 0.25, SelectionStrategy::Compact, false);
+        assert_eq!(t.events.capacity(), 0, "Counters must not allocate an event log");
+        let mut p = QueryProfile::new(ProfileLevel::Counters);
+        p.absorb(t);
+        assert!(!p.is_empty());
+        assert_eq!(p.phase(Phase::Unpack).count, 1);
+        assert_eq!(p.phase(Phase::Unpack).rows, 4096);
+        assert_eq!(p.selection_count(SelectionStrategy::Compact), 1);
+        assert!(p.events.is_empty());
+    }
+
+    #[test]
+    fn spans_store_events_and_overflow_drops_new_ones() {
+        let mut t = Tracer::with_capacity(ProfileLevel::Spans, 0, 2);
+        for i in 0..5 {
+            let s = t.start();
+            t.span(Phase::Selection, SpanLoc::at(0, i), 10, s);
+        }
+        assert_eq!(t.events.len(), 2, "capacity bounds the log");
+        assert_eq!(t.dropped(), 3);
+        // Counters keep counting past the overflow.
+        assert_eq!(t.phases[Phase::Selection as usize].count, 5);
+        let mut p = QueryProfile::new(ProfileLevel::Spans);
+        p.absorb(t);
+        assert_eq!(p.dropped_events, 3);
+        assert_eq!(p.events.len(), 2);
+        // The retained events are the *earliest* (keep-first policy).
+        assert!(matches!(
+            &p.events[0],
+            TraceEvent::Span { loc, .. } if loc.morsel == 0
+        ));
+    }
+
+    #[test]
+    fn absorb_merges_multiple_workers() {
+        let mut p = QueryProfile::new(ProfileLevel::Spans);
+        for w in 0..3u32 {
+            let mut t = Tracer::new(ProfileLevel::Spans, w);
+            let s = t.start();
+            t.span(Phase::Aggregation, SpanLoc::at(w, 0), 100, s);
+            t.decision_agg(w, 8, 1, 0, 1.0, true, true, AggStrategy::InRegister, false);
+            p.absorb(t);
+        }
+        assert_eq!(p.workers, 3);
+        assert_eq!(p.phase(Phase::Aggregation).count, 3);
+        assert_eq!(p.agg_count(AggStrategy::InRegister), 3);
+        assert_eq!(p.events.len(), 6);
+    }
+
+    #[test]
+    fn explain_and_json_render() {
+        let mut t = Tracer::new(ProfileLevel::Spans, 0);
+        let s = t.start();
+        t.span(Phase::SegmentScan, SpanLoc::at(2, 0).with_stolen(true), 4096, s);
+        let s = t.start();
+        t.span(
+            Phase::Selection,
+            SpanLoc::at(2, 0).with_selection(SelectionStrategy::Gather),
+            4096,
+            s,
+        );
+        let s = t.start();
+        t.span(
+            Phase::Aggregation,
+            SpanLoc::at(2, 0)
+                .with_selection(SelectionStrategy::Gather)
+                .with_agg(AggStrategy::SortBased),
+            4096,
+            s,
+        );
+        t.decision_selection(2, 0, 0, 4096, 14, 0.01, SelectionStrategy::Gather, false);
+        t.decision_agg(2, 64, 1, 0, 0.01, true, true, AggStrategy::SortBased, false);
+        let mut p = QueryProfile::new(ProfileLevel::Spans);
+        p.absorb(t);
+
+        let explain = p.render_explain(&ExecStats::default());
+        assert!(explain.contains("segment 2"), "{explain}");
+        assert!(explain.contains("steals=1"), "{explain}");
+        assert!(explain.contains("decision agg: Sort"), "{explain}");
+        assert!(explain.contains("Gather"), "{explain}");
+        assert!(explain.contains("bits=14"), "{explain}");
+
+        let json = p.to_json();
+        assert!(json.contains("\"segment_scan\""), "{json}");
+        assert!(json.contains("\"Gather\": 1"), "{json}");
+        assert!(json.contains("\"Sort\": 1"), "{json}");
+        // Dependency-free JSON must at least be brace-balanced.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn empty_profile_renders_hint() {
+        let p = QueryProfile::new(ProfileLevel::Off);
+        let explain = p.render_explain(&ExecStats::default());
+        assert!(explain.contains("profiling off"), "{explain}");
+    }
+}

@@ -27,6 +27,15 @@ pub fn estimate_tsc_hz() -> f64 {
     tsc as f64 / secs
 }
 
+/// [`estimate_tsc_hz`], measured once per process and cached — report
+/// renderers that convert many cycle totals to time call this repeatedly
+/// and must not pay the ~50ms calibration each time.
+pub fn tsc_hz() -> f64 {
+    use std::sync::OnceLock;
+    static HZ: OnceLock<f64> = OnceLock::new();
+    *HZ.get_or_init(estimate_tsc_hz)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -43,5 +52,13 @@ mod tests {
         let hz = estimate_tsc_hz();
         // Any real machine is between 100 MHz and 10 GHz.
         assert!(hz > 1e8 && hz < 1e10, "estimated {hz} Hz");
+    }
+
+    #[test]
+    fn cached_frequency_is_stable() {
+        let a = tsc_hz();
+        let b = tsc_hz();
+        assert_eq!(a, b, "the cached estimate must not be re-measured");
+        assert!(a > 1e8 && a < 1e10);
     }
 }

@@ -26,4 +26,4 @@ pub mod lineitem;
 pub mod q1;
 
 pub use lineitem::{generate_lineitem, lineitem_specs, LineItemGen};
-pub use q1::{format_q1, q1_cutoff, q1_query, run_q1, Q1Row};
+pub use q1::{format_q1, q1_cutoff, q1_query, q1_rows, run_q1, run_q1_result, Q1Row};

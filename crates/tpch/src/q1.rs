@@ -24,6 +24,7 @@
 use bipie_columnstore::{Date, Table, Value};
 use bipie_core::{
     execute, AggExpr, EngineError, ExecStats, Expr, Predicate, Query, QueryBuilder, QueryOptions,
+    QueryResult,
 };
 
 /// The Q1 filter cutoff: `DATE '1998-12-01' - INTERVAL '90' DAY`.
@@ -80,14 +81,25 @@ pub struct Q1Row {
     pub count_order: u64,
 }
 
+/// Run Q1 and return the raw engine result (stats *and* profile — use this
+/// with `QueryOptions::profile` set to render `EXPLAIN ANALYZE`); see
+/// [`q1_rows`] for the decimal conversion.
+pub fn run_q1_result(table: &Table, options: QueryOptions) -> Result<QueryResult, EngineError> {
+    execute(table, &q1_query(options))
+}
+
 /// Run Q1 and convert scaled-integer sums to decimal values.
 pub fn run_q1(
     table: &Table,
     options: QueryOptions,
 ) -> Result<(Vec<Q1Row>, ExecStats), EngineError> {
-    let query = q1_query(options);
-    let result = execute(table, &query)?;
-    let rows = result
+    let result = run_q1_result(table, options)?;
+    Ok((q1_rows(&result), result.stats))
+}
+
+/// Convert a raw Q1 [`QueryResult`] into decimal [`Q1Row`]s.
+pub fn q1_rows(result: &QueryResult) -> Vec<Q1Row> {
+    result
         .rows
         .iter()
         .map(|r| {
@@ -111,8 +123,7 @@ pub fn run_q1(
                 count_order: r.aggs[7].as_count().expect("count"),
             }
         })
-        .collect();
-    Ok((rows, result.stats))
+        .collect()
 }
 
 /// Render Q1 rows the way the TPC-H answer set prints them.

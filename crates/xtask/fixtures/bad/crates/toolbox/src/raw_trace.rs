@@ -1,0 +1,12 @@
+//! Fixture: engine code timing batches and building trace events by hand,
+//! bypassing the Tracer's ProfileLevel::Off gate.
+
+pub fn timed_batch(rows: u64) -> u64 {
+    let start = bipie_toolbox::cycles::read_tsc();
+    let _ = rows;
+    bipie_toolbox::cycles::read_tsc() - start
+}
+
+pub fn hand_rolled_event(rows: u64, cycles: u64) {
+    let _event = TraceEvent::Span { phase, worker: 0, loc, rows, cycles, wall_nanos: 0 };
+}

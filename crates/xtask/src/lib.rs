@@ -1,6 +1,6 @@
 //! `cargo xtask audit` — repo-local static analysis for the BIPie workspace.
 //!
-//! Three passes, all lexical/line-oriented (zero dependencies, no `syn`):
+//! Five passes, all lexical/line-oriented (zero dependencies, no `syn`):
 //!
 //! 1. [`unsafe_audit`] — every `unsafe` block must sit under a `// SAFETY:`
 //!    comment and every `unsafe fn` must carry a `# Safety` contract.
@@ -15,6 +15,10 @@
 //!    `thread::scope`, `thread::Builder`) are only permitted inside the
 //!    worker pool module and in test code; production code must parallelize
 //!    through the pool.
+//! 5. [`trace_hygiene`] — raw cycle-counter reads (`read_tsc`,
+//!    `read_cycles`, `_rdtsc`) and `TraceEvent` construction are confined
+//!    to `core::trace`, the metrics crates, and tests; engine code records
+//!    through `Tracer`, where the `ProfileLevel::Off` gate lives.
 //!
 //! Violations print as `path:line: [pass] message` and make the binary exit
 //! non-zero. Grandfathered sites can be listed in
@@ -27,6 +31,7 @@ pub mod invariants;
 pub mod kernel_contract;
 pub mod scan;
 pub mod thread_hygiene;
+pub mod trace_hygiene;
 pub mod unsafe_audit;
 
 use std::fmt;
@@ -40,7 +45,7 @@ pub struct Diag {
     /// 1-based line number.
     pub line: usize,
     /// Which pass produced this (`unsafe-audit`, `kernel-contract`,
-    /// `invariants`, `thread-hygiene`, `allowlist`).
+    /// `invariants`, `thread-hygiene`, `trace-hygiene`, `allowlist`).
     pub pass: &'static str,
     /// Human-readable description of the violation.
     pub msg: String,
@@ -54,9 +59,9 @@ impl fmt::Display for Diag {
 
 /// Load the audited corpus once and run the requested passes.
 ///
-/// `passes` is a subset of `["unsafe", "kernels", "invariants", "threads"]`;
-/// the allowlist is always applied. Diagnostics come back sorted by
-/// path/line.
+/// `passes` is a subset of `["unsafe", "kernels", "invariants", "threads",
+/// "trace"]`; the allowlist is always applied. Diagnostics come back sorted
+/// by path/line.
 pub fn run_audit(root: &Path, passes: &[&str]) -> Vec<Diag> {
     let files: Vec<scan::SourceFile> = scan::workspace_files(root)
         .iter()
@@ -75,6 +80,9 @@ pub fn run_audit(root: &Path, passes: &[&str]) -> Vec<Diag> {
     }
     if passes.contains(&"threads") {
         diags.extend(thread_hygiene::check(&files));
+    }
+    if passes.contains(&"trace") {
+        diags.extend(trace_hygiene::check(&files));
     }
     diags = apply_allowlist(root, diags);
     diags.sort_by(|a, b| (&a.path, a.line, a.pass).cmp(&(&b.path, b.line, b.pass)));

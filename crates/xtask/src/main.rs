@@ -5,7 +5,7 @@
 //! ```text
 //! cargo xtask audit                 # run all passes on the workspace
 //! cargo xtask audit unsafe          # one pass: unsafe | kernels |
-//!                                   #   invariants | threads
+//!                                   #   invariants | threads | trace
 //! cargo xtask audit --root <path>   # audit a different tree (used by tests)
 //! ```
 
@@ -20,7 +20,8 @@ fn main() -> ExitCode {
         Some("audit") => audit(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo xtask audit [unsafe|kernels|invariants|threads] [--root <path>]"
+                "usage: cargo xtask audit [unsafe|kernels|invariants|threads|trace] \
+                 [--root <path>]"
             );
             ExitCode::from(2)
         }
@@ -40,12 +41,15 @@ fn audit(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
-            "unsafe" | "kernels" | "invariants" | "threads" => passes.push(match arg.as_str() {
-                "unsafe" => "unsafe",
-                "kernels" => "kernels",
-                "invariants" => "invariants",
-                _ => "threads",
-            }),
+            "unsafe" | "kernels" | "invariants" | "threads" | "trace" => {
+                passes.push(match arg.as_str() {
+                    "unsafe" => "unsafe",
+                    "kernels" => "kernels",
+                    "invariants" => "invariants",
+                    "threads" => "threads",
+                    _ => "trace",
+                })
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 return ExitCode::from(2);
@@ -53,7 +57,7 @@ fn audit(args: &[String]) -> ExitCode {
         }
     }
     if passes.is_empty() {
-        passes = vec!["unsafe", "kernels", "invariants", "threads"];
+        passes = vec!["unsafe", "kernels", "invariants", "threads", "trace"];
     }
     // The xtask crate sits at <root>/crates/xtask, so the workspace root is
     // two levels up from the manifest dir.

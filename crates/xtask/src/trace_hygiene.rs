@@ -1,0 +1,155 @@
+//! Pass 5: trace hygiene.
+//!
+//! The profiler's `Off` contract (DESIGN.md §9: one branch, no clock reads,
+//! ≤ 2% overhead) lives entirely inside `core::trace::Tracer` — every
+//! instrumentation site checks `Tracer::enabled()` before touching a
+//! timestamp. A raw cycle-counter read (`read_tsc` / `read_cycles` /
+//! `_rdtsc`) or a hand-built `TraceEvent` anywhere else bypasses that gate
+//! and silently reintroduces per-batch timing cost that the overhead bench
+//! only catches after the fact. This pass flags both outside their
+//! sanctioned homes.
+//!
+//! Allowed locations:
+//!
+//! * `crates/toolbox/src/cycles.rs` — the one `_rdtsc` wrapper;
+//! * `crates/metrics/` — the measurement harness (benchmarks *are* the
+//!   timing; they run nothing per batch);
+//! * `crates/core/src/trace.rs` — the tracer, where the `Off` gate lives;
+//! * test code — integration-test trees and `#[cfg(test)]` modules, which
+//!   inspect events and time freely.
+//!
+//! Engine code that wants a span or a decision logged must go through the
+//! `Tracer` API, which is exempt here because it *is* the gate.
+
+use crate::scan::SourceFile;
+use crate::Diag;
+
+/// Cycle-counter reads and raw event construction that must stay inside the
+/// sanctioned modules.
+const TRACE_TOKENS: [&str; 4] = ["read_tsc", "read_cycles", "_rdtsc", "TraceEvent::"];
+
+/// Files/prefixes where the tokens are legitimate.
+const ALLOWED: [&str; 3] =
+    ["crates/toolbox/src/cycles.rs", "crates/metrics/", "crates/core/src/trace.rs"];
+
+/// Run the trace-hygiene pass.
+pub fn check(files: &[SourceFile]) -> Vec<Diag> {
+    let mut out = Vec::new();
+    for file in files {
+        if ALLOWED.iter().any(|a| file.rel.starts_with(a)) || is_test_path(&file.rel) {
+            continue;
+        }
+        // Lines at or below the first `#[cfg(test)]` marker are unit-test
+        // code (test modules sit at the bottom of the file by convention,
+        // as in the thread-hygiene pass).
+        let first_test_line =
+            file.code.iter().position(|l| l.contains("#[cfg(test)]")).unwrap_or(usize::MAX);
+        for (i, line) in file.code.iter().enumerate() {
+            if i >= first_test_line {
+                break;
+            }
+            for token in TRACE_TOKENS {
+                if line.contains(token) {
+                    out.push(Diag {
+                        path: file.rel.clone(),
+                        line: i + 1,
+                        pass: "trace-hygiene",
+                        msg: format!(
+                            "`{token}` outside core::trace/metrics — record through \
+                             `Tracer` so the ProfileLevel::Off gate applies"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether `rel` is an integration-test path (`tests/` at the top level or
+/// inside any crate).
+fn is_test_path(rel: &str) -> bool {
+    rel.starts_with("tests/") || rel.contains("/tests/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scrub;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile {
+            rel: rel.into(),
+            raw: src.lines().map(str::to_owned).collect(),
+            code: scrub(src).lines().map(str::to_owned).collect(),
+        }
+    }
+
+    #[test]
+    fn raw_tsc_read_in_engine_code_is_flagged() {
+        let f =
+            file("crates/core/src/scan.rs", "fn f() -> u64 { bipie_toolbox::cycles::read_tsc() }");
+        let diags = check(&[f]);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].msg.contains("read_tsc"), "{diags:?}");
+    }
+
+    #[test]
+    fn hand_built_event_is_flagged() {
+        let f = file(
+            "crates/core/src/query.rs",
+            "fn f() { let e = TraceEvent::Span { phase, worker, loc, rows, cycles, wall_nanos }; }",
+        );
+        assert_eq!(check(&[f]).len(), 1);
+    }
+
+    #[test]
+    fn rdtsc_intrinsic_is_flagged_anywhere_unsanctioned() {
+        let f = file(
+            "crates/columnstore/src/batch.rs",
+            "fn f() -> u64 { unsafe { std::arch::x86_64::_rdtsc() } }",
+        );
+        assert_eq!(check(&[f]).len(), 1);
+    }
+
+    #[test]
+    fn sanctioned_modules_are_exempt() {
+        for rel in [
+            "crates/toolbox/src/cycles.rs",
+            "crates/metrics/src/measure.rs",
+            "crates/metrics/src/cycles.rs",
+            "crates/core/src/trace.rs",
+        ] {
+            let f = file(rel, "fn f() -> u64 { read_cycles() + read_tsc() }");
+            assert!(check(&[f]).is_empty(), "{rel}");
+        }
+    }
+
+    #[test]
+    fn test_paths_and_cfg_test_tails_are_exempt() {
+        let integration = file("tests/profile.rs", "fn f() { let _ = TraceEvent::Span; }");
+        let unit = file(
+            "crates/core/src/stats.rs",
+            "pub fn real() {}\n#[cfg(test)]\nmod tests { fn t() -> u64 { read_cycles() } }",
+        );
+        assert!(check(&[integration, unit]).is_empty());
+    }
+
+    #[test]
+    fn tracer_api_calls_are_fine() {
+        let f = file(
+            "crates/core/src/scan.rs",
+            "fn f(t: &mut Tracer) { let s = t.start(); t.span(Phase::Selection, SpanLoc::none(), 1, s); }",
+        );
+        assert!(check(&[f]).is_empty());
+    }
+
+    #[test]
+    fn prose_mentions_do_not_trip_the_scrubbed_scan() {
+        let f = file(
+            "crates/core/src/scan.rs",
+            "// timing uses read_tsc via the Tracer\nfn f() { let s = \"read_cycles\"; }",
+        );
+        assert!(check(&[f]).is_empty());
+    }
+}

@@ -5,7 +5,7 @@
 
 use std::path::{Path, PathBuf};
 
-const ALL: [&str; 4] = ["unsafe", "kernels", "invariants", "threads"];
+const ALL: [&str; 5] = ["unsafe", "kernels", "invariants", "threads", "trace"];
 
 fn fixture(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
@@ -69,6 +69,14 @@ fn bad_fixture_adhoc_threads() {
         text.contains("adhoc_thread.rs:12: [thread-hygiene] `thread::spawn` outside"),
         "{text}"
     );
+}
+
+#[test]
+fn bad_fixture_raw_trace() {
+    let text = rendered(&fixture("bad")).join("\n");
+    assert!(text.contains("raw_trace.rs:5: [trace-hygiene] `read_tsc` outside"), "{text}");
+    assert!(text.contains("raw_trace.rs:7: [trace-hygiene] `read_tsc` outside"), "{text}");
+    assert!(text.contains("raw_trace.rs:11: [trace-hygiene] `TraceEvent::` outside"), "{text}");
 }
 
 #[test]

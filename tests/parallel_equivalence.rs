@@ -9,7 +9,10 @@
 mod common;
 
 use bipie::columnstore::{ColumnSpec, LogicalType, Table, Value};
-use bipie::core::{execute, AggExpr, Expr, Predicate, Query, QueryBuilder, QueryOptions};
+use bipie::core::{
+    execute, AggExpr, Expr, Phase, Predicate, ProfileLevel, Query, QueryBuilder, QueryOptions,
+    QueryProfile, TraceEvent,
+};
 use common::run_cases;
 
 /// Build a table whose immutable region has exactly one segment per entry
@@ -206,6 +209,91 @@ fn pool_is_reused_across_queries() {
     execute(&t, &q).unwrap(); // warm the pool
     let r = execute(&t, &q).unwrap();
     assert!(r.stats.pool_reuses > 0, "{:?}", r.stats);
+}
+
+/// Count aggregation-phase spans (narrow kernel + wide-group fallback) per
+/// selection-strategy label. One such span fires per batch, so the counts
+/// must equal `ExecStats::selection_batches` and be scheduling-invariant.
+fn selection_span_counts(profile: &QueryProfile) -> [u64; 3] {
+    let mut counts = [0u64; 3];
+    for event in &profile.events {
+        if let TraceEvent::Span { phase: Phase::Aggregation | Phase::WideGroup, loc, .. } = event {
+            if let Some(s) = loc.selection {
+                counts[s as usize] += 1;
+            }
+        }
+    }
+    counts
+}
+
+#[test]
+fn profile_off_leaves_profile_empty() {
+    let t = skewed_table(&[8_000, 1_000], 9, 5);
+    for (options, label) in
+        [(serial_options(), "serial"), (parallel_options(4, 512, 256), "parallel")]
+    {
+        assert_eq!(options.profile, ProfileLevel::Off, "Off must be the default");
+        let r = execute(&t, &the_query(0, options)).unwrap();
+        assert!(r.profile.is_empty(), "{label}: {:?}", r.profile);
+        assert!(r.profile.events.is_empty(), "{label}");
+    }
+}
+
+#[test]
+fn profile_counters_accumulate_without_events() {
+    let mut t = skewed_table(&[8_000, 1_000], 9, 5);
+    for i in 0..40i64 {
+        t.insert(vec![Value::I64(i % 9), Value::I64(i * 7 - 100), Value::I64(i)]);
+    }
+    let options = QueryOptions { profile: ProfileLevel::Counters, ..serial_options() };
+    let r = execute(&t, &the_query(-2000, options)).unwrap();
+    assert!(!r.profile.is_empty());
+    assert!(r.profile.events.is_empty(), "Counters must not store events");
+    assert!(r.profile.phase(Phase::SegmentScan).count >= 2, "{:?}", r.profile.phases);
+    assert_eq!(r.profile.phase(Phase::MutableTail).count, 1);
+    assert_eq!(r.profile.phase(Phase::MutableTail).rows, 40);
+    for (i, &c) in r.profile.selection_decisions.iter().enumerate() {
+        assert_eq!(c as usize, r.stats.selection_batches[i], "strategy {i}");
+    }
+    for (i, &c) in r.profile.agg_decisions.iter().enumerate() {
+        assert_eq!(c as usize, r.stats.agg_segments[i], "strategy {i}");
+    }
+}
+
+#[test]
+fn profile_span_counts_agree_serial_vs_parallel() {
+    // groups=9 stays on the narrow path; groups=1000 forces the wide-group
+    // fallback. morsel_rows is a multiple of batch_rows, so both modes see
+    // the identical batch grid and every per-batch decision must agree.
+    for (groups, label) in [(9i64, "narrow"), (1000, "wide")] {
+        let t = skewed_table(&[20_000, 3_000, 500], groups, 13);
+        let serial_opts =
+            QueryOptions { profile: ProfileLevel::Spans, batch_rows: 256, ..serial_options() };
+        let par_opts =
+            QueryOptions { profile: ProfileLevel::Spans, ..parallel_options(4, 1024, 256) };
+        let serial = execute(&t, &the_query(-2000, serial_opts)).unwrap();
+        let par = execute(&t, &the_query(-2000, par_opts)).unwrap();
+        assert_eq!(serial.profile.selection_decisions, par.profile.selection_decisions, "{label}");
+        assert_eq!(
+            selection_span_counts(&serial.profile),
+            selection_span_counts(&par.profile),
+            "{label}"
+        );
+        // Both mirror the stats arrays (same increment sites, by
+        // construction) — and the span counts match the decision counts.
+        for (i, &c) in serial.profile.selection_decisions.iter().enumerate() {
+            assert_eq!(c as usize, serial.stats.selection_batches[i], "{label} strategy {i}");
+            assert_eq!(c as usize, par.stats.selection_batches[i], "{label} strategy {i}");
+            assert_eq!(selection_span_counts(&serial.profile)[i], c, "{label} strategy {i}");
+        }
+        // Aggregation decisions are per worker-executor, so parallel may
+        // record more — but never fewer, and the total per strategy must
+        // still equal what its own stats saw.
+        for (i, &c) in par.profile.agg_decisions.iter().enumerate() {
+            assert_eq!(c as usize, par.stats.agg_segments[i], "{label} strategy {i}");
+            assert!(c >= serial.profile.agg_decisions[i], "{label} strategy {i}");
+        }
+    }
 }
 
 #[test]

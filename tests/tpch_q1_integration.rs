@@ -6,8 +6,11 @@
 
 use bipie::columnstore::{Date, Value};
 use bipie::core::reference::execute_reference;
-use bipie::core::{execute, AggStrategy, Predicate, QueryBuilder, QueryOptions, SelectionStrategy};
-use bipie::tpch::{q1_cutoff, q1_query, run_q1, LineItemGen};
+use bipie::core::{
+    execute, AggStrategy, Predicate, ProfileLevel, QueryBuilder, QueryOptions, SelectionStrategy,
+    TraceEvent,
+};
+use bipie::tpch::{q1_cutoff, q1_query, run_q1, run_q1_result, LineItemGen};
 
 fn small_lineitem() -> bipie::columnstore::Table {
     LineItemGen { scale_factor: 0.004, segment_rows: 6000, ..Default::default() }.generate()
@@ -70,6 +73,89 @@ fn date_segment_elimination() {
     assert_eq!(r.num_rows(), 0);
     assert_eq!(r.stats.segments_scanned, 0);
     assert!(r.stats.segments_eliminated >= 3);
+}
+
+#[test]
+fn q1_profile_matches_stats_and_covers_every_batch() {
+    use std::collections::BTreeMap;
+    let table = small_lineitem();
+    let options = QueryOptions { profile: ProfileLevel::Spans, ..Default::default() };
+    let result = run_q1_result(&table, options).unwrap();
+    let (profile, stats) = (&result.profile, &result.stats);
+    assert!(!profile.is_empty());
+    assert_eq!(profile.dropped_events, 0, "small scan must not overflow the buffers");
+
+    // The decision log's per-strategy counts equal ExecStats *exactly* —
+    // the counters increment at the same sites.
+    for (i, &c) in profile.selection_decisions.iter().enumerate() {
+        assert_eq!(c as usize, stats.selection_batches[i], "selection strategy {i}");
+    }
+    for (i, &c) in profile.agg_decisions.iter().enumerate() {
+        assert_eq!(c as usize, stats.agg_segments[i], "agg strategy {i}");
+    }
+
+    // Every batch logged exactly one selection decision, with the chooser's
+    // inputs in range...
+    let mut by_segment: BTreeMap<u32, Vec<(u64, u32)>> = BTreeMap::new();
+    let mut decisions = 0usize;
+    for event in &profile.events {
+        if let TraceEvent::SelectionDecision {
+            segment,
+            row_start,
+            rows,
+            bits,
+            observed_selectivity,
+            forced,
+            ..
+        } = event
+        {
+            decisions += 1;
+            assert!((0.0..=1.0).contains(observed_selectivity), "{event:?}");
+            assert!((1..=64).contains(bits), "{event:?}");
+            assert!(!forced, "no forced strategies in this query");
+            by_segment.entry(*segment).or_default().push((*row_start, *rows));
+        }
+    }
+    assert_eq!(decisions, stats.batches, "one decision per batch");
+
+    // ...and the decisions tile every scanned segment: contiguous from row
+    // 0 to the segment's full row count, no gaps, no overlaps.
+    assert_eq!(by_segment.len(), stats.segments_scanned);
+    for (seg, batches) in &mut by_segment {
+        batches.sort_unstable();
+        let mut next = 0u64;
+        for &(start, rows) in batches.iter() {
+            assert_eq!(start, next, "segment {seg}: gap or overlap at row {start}");
+            next = start + rows as u64;
+        }
+        assert_eq!(next, table.segments()[*seg as usize].num_rows() as u64, "segment {seg}");
+    }
+
+    // Every scanned segment logged its aggregation decision (with inputs).
+    let mut agg_segments: Vec<u32> = profile
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::AggDecision { segment, num_sums, num_groups_effective, .. } => {
+                assert_eq!(*num_sums, 5, "Q1 has five distinct sums");
+                assert!(*num_groups_effective > 0);
+                Some(*segment)
+            }
+            _ => None,
+        })
+        .collect();
+    agg_segments.dedup();
+    assert_eq!(agg_segments.len(), stats.segments_scanned);
+
+    // The rendered tree names the strategies the plan test pins.
+    let explain = profile.render_explain(stats);
+    assert!(explain.contains("Special Group"), "{explain}");
+    assert!(explain.contains("Multi"), "{explain}");
+    assert!(explain.contains("EXPLAIN ANALYZE"), "{explain}");
+
+    // And the profiled run still returns the right answer.
+    let baseline = run_q1(&table, QueryOptions::default()).unwrap().0;
+    assert_eq!(bipie::tpch::q1_rows(&result), baseline);
 }
 
 #[test]
