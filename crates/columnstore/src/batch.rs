@@ -123,6 +123,16 @@ impl MorselCursor {
     pub fn is_exhausted(&self) -> bool {
         self.remaining() == 0
     }
+
+    /// Drain the cursor: every subsequent `claim` returns `None`, as if all
+    /// remaining morsels had been handed out. The stop-broadcast hook for
+    /// cooperative query governance — when one worker observes a violated
+    /// limit, closing the cursors parks its siblings at their next claim
+    /// without any per-row signalling. Idempotent; a claim racing the close
+    /// may still win its morsel (cooperative, not preemptive).
+    pub fn close(&self) {
+        self.next.store(self.num_rows, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +231,19 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_morsel_size_rejected() {
         MorselCursor::new(10, 0);
+    }
+
+    #[test]
+    fn close_drains_remaining_claims() {
+        let c = MorselCursor::new(1000, 256);
+        assert!(c.claim().is_some());
+        c.close();
+        assert!(c.claim().is_none());
+        assert!(c.is_exhausted());
+        assert_eq!(c.remaining(), 0);
+        // Idempotent.
+        c.close();
+        assert!(c.claim().is_none());
     }
 
     #[test]

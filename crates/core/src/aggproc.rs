@@ -274,6 +274,45 @@ impl<'a> SegmentAggExecutor<'a> {
         self.strategy
     }
 
+    /// Projected working-set bytes for an executor of this shape: per-group
+    /// accumulators (counts, sums, width-typed min/max pairs), per-input
+    /// batch value buffers, the selection scratch every strategy shares,
+    /// and the strategy's own staging. A deliberate estimate (vector
+    /// headers and allocator slop are ignored) — the scan charges it to the
+    /// memory accountant *before* construction, so a budget violation
+    /// surfaces as a typed error instead of an allocation, and the
+    /// budget-aware strategy chooser ranks candidates with it.
+    pub fn projected_bytes(
+        strategy: AggStrategy,
+        num_groups: usize,
+        inputs: &[AggInput<'_>],
+        mm_inputs: &[AggInput<'_>],
+        batch_rows: usize,
+    ) -> usize {
+        let slots = num_groups + 1;
+        // counts (u64) + normalized sums (i64 per input).
+        let mut bytes = slots * 8 + inputs.len() * slots * 8;
+        // Width-typed min/max accumulator pairs.
+        for i in mm_inputs {
+            bytes += 2 * slots * i.width_bytes().max(1);
+        }
+        // Per-input batch value buffers.
+        for i in inputs.iter().chain(mm_inputs) {
+            bytes += batch_rows * i.width_bytes().max(1);
+        }
+        // Selection scratch: index vector (u32), absolute row ids (u32),
+        // selected group ids (u8), compaction staging (u64).
+        bytes += batch_rows * (4 + 4 + 1 + 8);
+        bytes += match strategy {
+            AggStrategy::Scalar | AggStrategy::InRegister => 0,
+            // Bucket-sorted batch staging: group-major row ids + values.
+            AggStrategy::SortBased => batch_rows * 16,
+            // Row-layout accumulators (≤ 32 bytes/group) + transposed sums.
+            AggStrategy::MultiAggregate => slots * 32 + inputs.len() * slots * 8,
+        };
+        bytes
+    }
+
     /// Process one batch.
     ///
     /// * `gids` — the batch's group ids from the Group ID Mapper (length

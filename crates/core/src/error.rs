@@ -32,6 +32,21 @@ pub enum EngineError {
         /// The panic message (best effort).
         detail: String,
     },
+    /// The query's [`CancelToken`](crate::governor::CancelToken) was
+    /// cancelled; observed cooperatively at a morsel claim or batch
+    /// boundary, so no partial result is produced.
+    Cancelled,
+    /// The query ran past its `time_budget` wall-clock deadline.
+    DeadlineExceeded,
+    /// A scan-owned allocation (accumulators, wide-group hash table,
+    /// selection vectors, unpack buffers) would exceed `mem_budget`.
+    MemoryBudgetExceeded {
+        /// The configured budget in bytes.
+        budget: usize,
+        /// The bytes the failing reservation (or plan-time projection)
+        /// asked for.
+        requested: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -50,6 +65,15 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::WorkerPanicked { detail } => {
                 write!(f, "a scan worker panicked: {detail}")
+            }
+            EngineError::Cancelled => write!(f, "query cancelled"),
+            EngineError::DeadlineExceeded => write!(f, "query exceeded its time budget"),
+            EngineError::MemoryBudgetExceeded { budget, requested } => {
+                write!(
+                    f,
+                    "query exceeded its memory budget: {requested} bytes requested \
+                     against a {budget}-byte budget"
+                )
             }
         }
     }
@@ -74,5 +98,10 @@ mod tests {
         assert!(e.to_string().contains("batch_rows"));
         let e = EngineError::WorkerPanicked { detail: "boom".into() };
         assert!(e.to_string().contains("boom"));
+        assert_eq!(EngineError::Cancelled.to_string(), "query cancelled");
+        assert!(EngineError::DeadlineExceeded.to_string().contains("time budget"));
+        let e = EngineError::MemoryBudgetExceeded { budget: 100, requested: 170 };
+        assert!(e.to_string().contains("170"), "{e}");
+        assert!(e.to_string().contains("100-byte"), "{e}");
     }
 }

@@ -1,0 +1,373 @@
+//! Per-query resource governance: cooperative cancellation, wall-clock
+//! deadlines, and a memory accountant (DESIGN.md §10).
+//!
+//! The batch-at-a-time execution model gives the engine natural cooperative
+//! checkpoints — every morsel claim and every batch boundary — so limits are
+//! enforced without preemption and without per-row cost. A [`Governor`] is
+//! built per query from the three `QueryOptions` knobs (`cancel`,
+//! `time_budget`, `mem_budget`) and carried by reference through the scan.
+//! When none of the knobs is set the governor is *inactive* and every
+//! [`Governor::check`] compiles to a single branch on a cold `bool` — the
+//! same discipline `ProfileLevel::Off` holds itself to (DESIGN.md §9).
+//!
+//! Violations trip a shared cause latch so that every worker reconstructs
+//! the *same* typed error ([`EngineError::Cancelled`],
+//! [`EngineError::DeadlineExceeded`], [`EngineError::MemoryBudgetExceeded`])
+//! no matter which limit it observes first; workers park normally and the
+//! pool stays reusable.
+//!
+//! Memory is accounted through per-worker [`MemScope`]s that draw
+//! `MEM_SLACK_BYTES`-sized (64 KiB) chunks from the shared counter, so per-batch
+//! charges stay off the atomic. Accounting is therefore chunk-quantized:
+//! the reserved peak can exceed actual allocation by up to one slack chunk
+//! per worker, and a charge that fails after the slack over-grab retries
+//! with the exact need so a budget that genuinely fits is never refused.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bipie_metrics::Deadline;
+
+use crate::error::{EngineError, Result};
+
+/// Cooperative cancellation handle: a shared atomic flag, cloneable by
+/// callers. Hand a clone to [`crate::QueryOptions::cancel`] and call
+/// [`CancelToken::cancel`] from any thread; the running query observes the
+/// flag at its next morsel claim or batch boundary and returns
+/// [`EngineError::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Chunk size a [`MemScope`] draws from the shared counter. Large enough
+/// that per-batch charges almost never touch the atomic, small enough that
+/// per-worker slack stays negligible next to any realistic budget.
+pub(crate) const MEM_SLACK_BYTES: usize = 64 << 10;
+
+const CAUSE_NONE: u8 = 0;
+const CAUSE_CANCELLED: u8 = 1;
+const CAUSE_DEADLINE: u8 = 2;
+const CAUSE_MEMORY: u8 = 3;
+
+/// Per-query resource governor. Built once in `scan_table` and shared by
+/// reference with every worker; all state is interior atomics.
+#[derive(Debug)]
+pub struct Governor {
+    cancel: Option<CancelToken>,
+    deadline: Option<Deadline>,
+    mem_budget: Option<usize>,
+    /// Bytes currently reserved against the budget (includes worker slack).
+    reserved: AtomicUsize,
+    /// High-water mark of `reserved`.
+    peak: AtomicUsize,
+    /// First violation cause (`CAUSE_*`); latched once, read by everyone.
+    cause: AtomicU8,
+    /// Bytes requested at the memory trip, for the error payload.
+    trip_requested: AtomicUsize,
+    /// Whether any limit is set. When false, `check` is one branch.
+    active: bool,
+}
+
+impl Governor {
+    /// Build a governor from the query's limit knobs. The deadline clock
+    /// starts now, so construct this at scan admission, not query parse.
+    pub fn new(
+        cancel: Option<CancelToken>,
+        time_budget: Option<Duration>,
+        mem_budget: Option<usize>,
+    ) -> Governor {
+        let active = cancel.is_some() || time_budget.is_some() || mem_budget.is_some();
+        Governor {
+            cancel,
+            deadline: time_budget.map(Deadline::after),
+            mem_budget,
+            reserved: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            cause: AtomicU8::new(CAUSE_NONE),
+            trip_requested: AtomicUsize::new(0),
+            active,
+        }
+    }
+
+    /// A governor with no limits: `check` is a single cold-flag branch and
+    /// memory accounting is off.
+    pub fn unlimited() -> Governor {
+        Governor::new(None, None, None)
+    }
+
+    /// Whether any limit is set. Callers may use this to skip bookkeeping
+    /// (e.g. check counting) on the unlimited path.
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// The cooperative checkpoint: called at every morsel claim and batch
+    /// boundary. Inactive governors return `Ok` after one branch.
+    #[inline]
+    pub fn check(&self) -> Result<()> {
+        if !self.active {
+            return Ok(());
+        }
+        self.check_active()
+    }
+
+    fn check_active(&self) -> Result<()> {
+        // A sibling worker may already have tripped; report its cause so
+        // every worker surfaces the same error.
+        match self.cause.load(Ordering::Relaxed) {
+            CAUSE_NONE => {}
+            c => return Err(self.cause_error(c)),
+        }
+        if let Some(t) = &self.cancel {
+            if t.is_cancelled() {
+                return Err(self.trip(CAUSE_CANCELLED, 0));
+            }
+        }
+        if let Some(d) = &self.deadline {
+            if d.reached() {
+                return Err(self.trip(CAUSE_DEADLINE, 0));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a memory budget is set (i.e. [`MemScope::charge`] does work).
+    #[inline]
+    pub fn accounts_memory(&self) -> bool {
+        self.mem_budget.is_some()
+    }
+
+    /// Admit a plan-time *projection* of `bytes` without reserving them:
+    /// projections are upper bounds (e.g. a wide segment's group-domain
+    /// product), so execution still charges actuals. Failing here is the
+    /// "at plan" half of the fail-at-plan-or-first-reservation contract.
+    pub fn admit_projection(&self, bytes: usize) -> Result<()> {
+        match self.mem_budget {
+            Some(budget) if bytes > budget => Err(self.trip_memory(bytes)),
+            _ => Ok(()),
+        }
+    }
+
+    /// Remaining budget headroom, for the budget-aware strategy chooser.
+    /// `None` when no budget is set.
+    pub fn remaining(&self) -> Option<usize> {
+        self.mem_budget.map(|b| b.saturating_sub(self.reserved.load(Ordering::Relaxed)))
+    }
+
+    /// High-water mark of reserved bytes (slack chunks included).
+    pub fn peak_reserved(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Move `bytes` from budget headroom to the reserved counter, or report
+    /// that the budget cannot cover them (without tripping — the caller
+    /// decides whether a smaller request would do).
+    fn try_reserve_global(&self, bytes: usize) -> bool {
+        let Some(budget) = self.mem_budget else {
+            return true;
+        };
+        let prev = self.reserved.fetch_add(bytes, Ordering::Relaxed);
+        let now = prev.saturating_add(bytes);
+        if now > budget {
+            self.reserved.fetch_sub(bytes, Ordering::Relaxed);
+            return false;
+        }
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        true
+    }
+
+    /// Latch a memory violation of `requested` bytes and return the typed
+    /// error (or the earlier cause if another worker tripped first).
+    fn trip_memory(&self, requested: usize) -> EngineError {
+        self.trip(CAUSE_MEMORY, requested)
+    }
+
+    fn trip(&self, cause: u8, requested: usize) -> EngineError {
+        // First trip wins; later trips re-report the original cause so all
+        // workers unwind with one consistent error.
+        if self
+            .cause
+            .compare_exchange(CAUSE_NONE, cause, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.trip_requested.store(requested, Ordering::Relaxed);
+            return self.make_error(cause, requested);
+        }
+        self.cause_error(self.cause.load(Ordering::Relaxed))
+    }
+
+    fn cause_error(&self, cause: u8) -> EngineError {
+        self.make_error(cause, self.trip_requested.load(Ordering::Relaxed))
+    }
+
+    fn make_error(&self, cause: u8, requested: usize) -> EngineError {
+        match cause {
+            CAUSE_CANCELLED => EngineError::Cancelled,
+            CAUSE_DEADLINE => EngineError::DeadlineExceeded,
+            _ => EngineError::MemoryBudgetExceeded {
+                budget: self.mem_budget.unwrap_or(0),
+                requested,
+            },
+        }
+    }
+}
+
+/// Per-worker memory accountant. Owns locally reserved slack so per-batch
+/// charges are plain integer arithmetic; only slack refills touch the
+/// governor's shared counter. `Copy` so scan state can embed it freely.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MemScope {
+    /// Bytes reserved on the governor but not yet charged to an allocation.
+    avail: usize,
+}
+
+impl MemScope {
+    /// Charge `bytes` of scan-owned allocation against the budget. With no
+    /// budget set this is one branch. On violation the governor's cause
+    /// latch is tripped and the typed error returned.
+    pub fn charge(&mut self, gov: &Governor, bytes: usize) -> Result<()> {
+        if !gov.accounts_memory() {
+            return Ok(());
+        }
+        if bytes <= self.avail {
+            self.avail -= bytes;
+            return Ok(());
+        }
+        let need = bytes - self.avail;
+        let chunk = need.max(MEM_SLACK_BYTES);
+        if gov.try_reserve_global(chunk) {
+            self.avail += chunk;
+            self.avail -= bytes;
+            return Ok(());
+        }
+        // The slack over-grab may be what failed; retry with the exact need
+        // so a budget that genuinely fits is never refused.
+        if chunk > need && gov.try_reserve_global(need) {
+            self.avail = 0;
+            return Ok(());
+        }
+        Err(gov.trip_memory(need))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_governor_is_one_branch_ok() {
+        let g = Governor::unlimited();
+        assert!(!g.active());
+        assert!(g.check().is_ok());
+        assert_eq!(g.peak_reserved(), 0);
+        assert_eq!(g.remaining(), None);
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!clone.is_cancelled());
+        t.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn cancelled_token_trips_and_latches() {
+        let t = CancelToken::new();
+        let g = Governor::new(Some(t.clone()), None, None);
+        assert!(g.active());
+        assert!(g.check().is_ok());
+        t.cancel();
+        assert_eq!(g.check(), Err(EngineError::Cancelled));
+        // Latched: later checks keep reporting the same cause.
+        assert_eq!(g.check(), Err(EngineError::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_trips() {
+        let g = Governor::new(None, Some(Duration::from_nanos(1)), None);
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(g.check(), Err(EngineError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn first_cause_wins_over_later_ones() {
+        let t = CancelToken::new();
+        let g = Governor::new(Some(t.clone()), None, Some(100));
+        let mut scope = MemScope::default();
+        let e = scope.charge(&g, 500).unwrap_err();
+        assert_eq!(e, EngineError::MemoryBudgetExceeded { budget: 100, requested: 500 });
+        // Cancelling afterwards does not rewrite history: every worker that
+        // checks now still sees the memory violation.
+        t.cancel();
+        assert_eq!(
+            g.check(),
+            Err(EngineError::MemoryBudgetExceeded { budget: 100, requested: 500 })
+        );
+    }
+
+    #[test]
+    fn exact_need_retry_after_slack_overgrab() {
+        // Budget far below one slack chunk: the chunk grab fails, the exact
+        // need succeeds — a budget that genuinely fits is never refused.
+        let g = Governor::new(None, None, Some(100));
+        let mut scope = MemScope::default();
+        assert!(scope.charge(&g, 40).is_ok());
+        assert_eq!(g.peak_reserved(), 40);
+        let e = scope.charge(&g, 70).unwrap_err();
+        assert_eq!(e, EngineError::MemoryBudgetExceeded { budget: 100, requested: 70 });
+        assert_eq!(g.peak_reserved(), 40);
+    }
+
+    #[test]
+    fn slack_keeps_small_charges_off_the_shared_counter() {
+        let g = Governor::new(None, None, Some(1 << 20));
+        let mut scope = MemScope::default();
+        assert!(scope.charge(&g, 10).is_ok());
+        // One slack chunk was drawn; further small charges draw it down
+        // without growing the shared reservation.
+        assert_eq!(g.peak_reserved(), MEM_SLACK_BYTES);
+        assert!(scope.charge(&g, 1000).is_ok());
+        assert_eq!(g.peak_reserved(), MEM_SLACK_BYTES);
+    }
+
+    #[test]
+    fn projection_admission_checks_whole_budget() {
+        let g = Governor::new(None, None, Some(1 << 20));
+        assert!(g.admit_projection(1 << 20).is_ok());
+        let e = g.admit_projection((1 << 20) + 1).unwrap_err();
+        assert_eq!(
+            e,
+            EngineError::MemoryBudgetExceeded { budget: 1 << 20, requested: (1 << 20) + 1 }
+        );
+    }
+
+    #[test]
+    fn no_budget_means_no_accounting() {
+        let g = Governor::new(Some(CancelToken::new()), None, None);
+        let mut scope = MemScope::default();
+        assert!(scope.charge(&g, usize::MAX).is_ok());
+        assert_eq!(g.peak_reserved(), 0);
+    }
+}

@@ -34,6 +34,9 @@
 //! * [`trace`] — the opt-in query profiler: per-worker phase spans and
 //!   strategy decision events, merged into a [`trace::QueryProfile`] with
 //!   `EXPLAIN ANALYZE` and JSON renderers (DESIGN.md §9).
+//! * [`governor`] — per-query resource governance: cooperative cancellation,
+//!   wall-clock deadlines, and a memory accountant checked at every morsel
+//!   claim and batch boundary (DESIGN.md §10).
 //! * [`mod@reference`] — a naive row-at-a-time executor used as the correctness
 //!   oracle for the whole engine.
 
@@ -41,6 +44,7 @@ pub mod aggproc;
 pub mod error;
 pub mod expr;
 pub mod filter;
+pub mod governor;
 pub mod groupid;
 pub mod pool;
 pub mod query;
@@ -53,6 +57,7 @@ pub mod trace;
 pub use error::{EngineError, Result};
 pub use expr::Expr;
 pub use filter::Predicate;
+pub use governor::CancelToken;
 pub use query::{execute, AggExpr, Query, QueryBuilder, QueryOptions, QueryResult, ResultRow};
 pub use stats::ExecStats;
 pub use strategy::{AggStrategy, SelectionStrategy};

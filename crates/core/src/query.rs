@@ -116,6 +116,17 @@ pub struct QueryOptions {
     /// collects per-phase totals; `Spans` additionally keeps the full
     /// span/decision event log in [`QueryResult::profile`].
     pub profile: ProfileLevel,
+    /// Cooperative cancellation token; `cancel()` on any clone makes the
+    /// query return [`EngineError::Cancelled`](crate::error::EngineError) at
+    /// its next governor checkpoint (DESIGN.md §10).
+    pub cancel: Option<crate::governor::CancelToken>,
+    /// Wall-clock budget for the whole query; exceeded budgets surface as
+    /// `EngineError::DeadlineExceeded`. Must be nonzero when set.
+    pub time_budget: Option<std::time::Duration>,
+    /// Byte budget for scan-side allocations (accumulators, group tables,
+    /// selection scratch); exceeded budgets surface as
+    /// `EngineError::MemoryBudgetExceeded`. Must be nonzero when set.
+    pub mem_budget: Option<usize>,
 }
 
 impl Default for QueryOptions {
@@ -130,6 +141,9 @@ impl Default for QueryOptions {
             morsel_rows: bipie_columnstore::MORSEL_ROWS,
             config: StrategyConfig::default(),
             profile: ProfileLevel::Off,
+            cancel: None,
+            time_budget: None,
+            mem_budget: None,
         }
     }
 }
@@ -152,6 +166,9 @@ impl QueryOptions {
             morsel_rows: self.morsel_rows,
             config: self.config.clone(),
             profile: self.profile,
+            cancel: self.cancel.clone(),
+            time_budget: self.time_budget,
+            mem_budget: self.mem_budget,
         }
     }
 }
@@ -646,6 +663,11 @@ mod tests {
             (QueryOptions { batch_rows: 0, ..Default::default() }, "batch_rows"),
             (QueryOptions { morsel_rows: 0, ..Default::default() }, "morsel_rows"),
             (QueryOptions { threads: Some(0), ..Default::default() }, "threads"),
+            (
+                QueryOptions { time_budget: Some(std::time::Duration::ZERO), ..Default::default() },
+                "time_budget",
+            ),
+            (QueryOptions { mem_budget: Some(0), ..Default::default() }, "mem_budget"),
         ] {
             assert!(matches!(
                 opts.validate(),

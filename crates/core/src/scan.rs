@@ -29,6 +29,7 @@ use crate::aggproc::{AggInput, SegmentAggExecutor};
 use crate::error::{EngineError, Result};
 use crate::expr::ResolvedExpr;
 use crate::filter::{FilterScratch, ResolvedPredicate};
+use crate::governor::{CancelToken, Governor, MemScope};
 use crate::groupid::{plan_segment_mapper, NarrowMapper, SegmentGroupMapper, WideMapper};
 use crate::pool::{panic_message, WorkerPool};
 use crate::stats::ExecStats;
@@ -87,6 +88,16 @@ pub struct ScanOptions {
     /// Profiling level ([`ProfileLevel::Off`] keeps the hot loop free of
     /// timestamps and event stores).
     pub profile: ProfileLevel,
+    /// Cooperative cancellation token, observed at every morsel claim and
+    /// batch boundary (DESIGN.md §10).
+    pub cancel: Option<CancelToken>,
+    /// Wall-clock budget; exceeding it fails the query with
+    /// [`EngineError::DeadlineExceeded`]. Must be non-zero.
+    pub time_budget: Option<std::time::Duration>,
+    /// Byte budget for scan-owned allocations (accumulators, wide-group
+    /// hash tables, selection vectors, unpack buffers); exceeding it fails
+    /// with [`EngineError::MemoryBudgetExceeded`]. Must be non-zero.
+    pub mem_budget: Option<usize>,
 }
 
 impl Default for ScanOptions {
@@ -101,6 +112,9 @@ impl Default for ScanOptions {
             morsel_rows: bipie_columnstore::MORSEL_ROWS,
             config: StrategyConfig::default(),
             profile: ProfileLevel::Off,
+            cancel: None,
+            time_budget: None,
+            mem_budget: None,
         }
     }
 }
@@ -124,6 +138,18 @@ pub fn validate_scan_options(options: &ScanOptions) -> Result<()> {
         return Err(EngineError::InvalidOptions {
             option: "threads",
             detail: "need at least 1 worker (use None for hardware parallelism)".into(),
+        });
+    }
+    if options.time_budget == Some(std::time::Duration::ZERO) {
+        return Err(EngineError::InvalidOptions {
+            option: "time_budget",
+            detail: "a zero deadline can never be met (use None for no limit)".into(),
+        });
+    }
+    if options.mem_budget == Some(0) {
+        return Err(EngineError::InvalidOptions {
+            option: "mem_budget",
+            detail: "a zero byte budget admits no allocation (use None for no limit)".into(),
         });
     }
     Ok(())
@@ -154,6 +180,15 @@ pub fn scan_table(
     // calling thread: admission planning and the phase-2 merge.
     let mut coord = Tracer::new(options.profile, 0);
 
+    // The per-query governor: the deadline clock starts here, at scan
+    // admission. A query launched with an already-cancelled token fails
+    // before any segment is planned — no partial result.
+    let governor = Governor::new(options.cancel.clone(), options.time_budget, options.mem_budget);
+    if governor.active() {
+        stats.governor_checks += 1;
+        governor.check()?;
+    }
+
     // Admission planning runs once per segment, serially: it is metadata
     // only (elimination, overflow proofs, mapper viability) and it lets
     // errors surface deterministically before any worker starts. The table
@@ -174,6 +209,19 @@ pub fn scan_table(
         check_minmax_range(seg, sum_exprs.len(), mm_exprs)?;
         if matches!(plan_segment_mapper(seg, group_cols)?, SegmentGroupMapper::Wide(_)) {
             stats.wide_group_segments += 1;
+            // The wide path cannot degrade (its group domain is structurally
+            // too wide for the narrow accumulators — the budgeted strategy
+            // ladder only applies on the narrow path), so a budget that its
+            // projected hash table cannot fit fails here, at plan time.
+            if governor.accounts_memory() {
+                stats.governor_checks += 1;
+                governor.admit_projection(projected_wide_bytes(
+                    seg,
+                    group_cols,
+                    sum_exprs.len(),
+                    mm_exprs.len(),
+                ))?;
+            }
         }
         stats.segments_scanned += 1;
         stats.rows_scanned += seg.live_rows();
@@ -188,13 +236,14 @@ pub fn scan_table(
     let threads = options
         .threads
         .unwrap_or_else(|| std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1));
-    let ctx = ScanCtx { filter, group_cols, sum_exprs, mm_exprs, options };
+    let ctx = ScanCtx { filter, group_cols, sum_exprs, mm_exprs, options, governor: &governor };
 
     let merged = if options.parallel && threads > 1 {
         scan_parallel(&planned, threads, &ctx, &mut stats, &mut profile, &mut coord)?
     } else {
         scan_serial(&planned, &ctx, &mut stats, &mut coord)?
     };
+    stats.mem_reserved_peak = governor.peak_reserved();
     profile.absorb(coord);
     Ok((merged, stats, profile))
 }
@@ -207,6 +256,7 @@ struct ScanCtx<'a> {
     sum_exprs: &'a [ResolvedExpr],
     mm_exprs: &'a [ResolvedExpr],
     options: &'a ScanOptions,
+    governor: &'a Governor,
 }
 
 /// Serial fallback: one thread scans whole segments in order. Panics from
@@ -224,7 +274,7 @@ fn scan_serial(
     let scan_all = AssertUnwindSafe(|| -> Result<()> {
         for &(seg_index, seg) in planned {
             let mut scan = SegScan::plan(seg_index, seg, ctx)?;
-            scan.process_range(0, seg.num_rows(), NO_ID, false, tracer);
+            scan.process_range(0, seg.num_rows(), NO_ID, false, tracer)?;
             let (groups, seg_stats) = scan.finish();
             local.merge(&seg_stats);
             merge_groups(&mut merged, groups);
@@ -276,7 +326,21 @@ fn scan_parallel(
             let mut tracer = Tracer::new(level, w as u32);
             let mut states: HashMap<usize, SegScan<'_>> = HashMap::new();
             let mut last: Option<usize> = None;
+            let governor = ctx.governor;
             while let Some(claim) = sched.claim(w, threads, &mut last) {
+                // The morsel-claim checkpoint: a tripped governor stops
+                // this worker within one morsel's worth of work, and
+                // closing the scheduler drains every remaining claim so
+                // siblings park promptly too. The pool joins normally —
+                // nothing is poisoned.
+                if governor.active() {
+                    local.governor_checks += 1;
+                    if let Err(e) = governor.check() {
+                        lock(&first_error).get_or_insert(e);
+                        sched.close();
+                        return;
+                    }
+                }
                 local.morsels_scanned += 1;
                 local.morsel_steals += claim.stolen as usize;
                 let scan = match states.entry(claim.seg) {
@@ -287,18 +351,23 @@ fn scan_parallel(
                             Ok(s) => v.insert(s),
                             Err(e) => {
                                 lock(&first_error).get_or_insert(e);
+                                sched.close();
                                 return;
                             }
                         }
                     }
                 };
-                scan.process_range(
+                if let Err(e) = scan.process_range(
                     claim.range.start,
                     claim.range.len,
                     claim.morsel as u32,
                     claim.stolen,
                     &mut tracer,
-                );
+                ) {
+                    lock(&first_error).get_or_insert(e);
+                    sched.close();
+                    return;
+                }
             }
             let mut parts: Vec<GroupMap> = (0..threads).map(|_| BTreeMap::new()).collect();
             for (_, scan) in states {
@@ -467,6 +536,15 @@ impl MorselScheduler {
             // Raced another thief to the last morsel; look again.
         }
     }
+
+    /// Drain every remaining claim (governor stop broadcast): after this,
+    /// all workers' next `claim` returns `None`, so siblings of a tripped
+    /// worker park within one morsel even between their own checks.
+    fn close(&self) {
+        for c in &self.cursors {
+            c.close();
+        }
+    }
 }
 
 /// Resumable scan state for one segment on one worker: morsels of the same
@@ -478,6 +556,9 @@ struct SegScan<'a> {
     ctx: ScanCtx<'a>,
     has_deletes: bool,
     stats: ExecStats,
+    /// This worker-segment state's slice of the memory budget (per-worker
+    /// slack keeps per-batch charges off the governor's shared counter).
+    mem: MemScope,
     kind: SegScanKind<'a>,
 }
 
@@ -506,6 +587,7 @@ impl<'a> SegScan<'a> {
             ctx: *ctx,
             has_deletes: !seg.deleted().none_deleted(),
             stats: ExecStats::default(),
+            mem: MemScope::default(),
             kind,
         })
     }
@@ -522,14 +604,21 @@ impl<'a> SegScan<'a> {
         morsel: u32,
         stolen: bool,
         tracer: &mut Tracer,
-    ) {
+    ) -> Result<()> {
         debug_assert_eq!(
             start % self.ctx.options.batch_rows,
             0,
             "morsel start must be batch-aligned"
         );
+        let governor = self.ctx.governor;
         let range_start = tracer.start();
         for b in BatchCursor::with_batch_rows(len, self.ctx.options.batch_rows) {
+            // The batch-boundary checkpoint: one branch when no limit is
+            // set, so the governor-off path stays inside the ≤ 2% Off gate.
+            if governor.active() {
+                self.stats.governor_checks += 1;
+                governor.check()?;
+            }
             let batch = Batch { start: start + b.start, len: b.len };
             let at = BatchAt { seg: self.seg_index, morsel };
             match &mut self.kind {
@@ -540,8 +629,9 @@ impl<'a> SegScan<'a> {
                     batch,
                     at,
                     &mut self.stats,
+                    &mut self.mem,
                     tracer,
-                ),
+                )?,
                 SegScanKind::Wide(w) => w.process_batch(
                     self.seg,
                     &self.ctx,
@@ -549,8 +639,9 @@ impl<'a> SegScan<'a> {
                     batch,
                     at,
                     &mut self.stats,
+                    &mut self.mem,
                     tracer,
-                ),
+                )?,
             }
         }
         tracer.span(
@@ -559,6 +650,7 @@ impl<'a> SegScan<'a> {
             len as u64,
             range_start,
         );
+        Ok(())
     }
 
     /// Tear down into per-group results plus this state's stats.
@@ -602,6 +694,46 @@ fn check_minmax_range(seg: &Segment, num_sums: usize, mm_exprs: &[ResolvedExpr])
     Ok(())
 }
 
+/// Heap header of a `Vec<i64>` group key (pointer/len/cap words).
+const VEC_HEADER_BYTES: usize = 24;
+/// Estimated per-entry overhead of the wide path's interning hash map.
+const MAP_ENTRY_BYTES: usize = 48;
+
+/// Per-group heap cost of the wide path: the interned key tuple is stored
+/// twice (hash-map key and the id→key table) plus map-entry overhead, and
+/// each group owns one count slot, one slot per sum, and min+max slots per
+/// MIN/MAX aggregate. A deliberate estimate (DESIGN.md §10): allocator slop
+/// and map load factor are ignored.
+fn wide_group_bytes(key_cols: usize, num_sums: usize, num_mm: usize) -> usize {
+    2 * (VEC_HEADER_BYTES + 8 * key_cols) + MAP_ENTRY_BYTES + 8 * (1 + num_sums + 2 * num_mm)
+}
+
+/// Plan-time upper bound on a wide segment's hash-table footprint: the
+/// product of per-column domain estimates (dictionary sizes, bit-packed
+/// metadata ranges; live rows when a column's domain is unbounded), capped
+/// at the segment's live rows, times [`wide_group_bytes`].
+fn projected_wide_bytes(
+    seg: &Segment,
+    group_cols: &[(usize, LogicalType)],
+    num_sums: usize,
+    num_mm: usize,
+) -> usize {
+    let mut groups = 1usize;
+    for &(idx, _) in group_cols {
+        let card = match seg.column(idx) {
+            EncodedColumn::StrDict(d) => d.dict().len(),
+            EncodedColumn::IntDict(d) => d.dict().len(),
+            EncodedColumn::BitPack(_) => {
+                usize::try_from(seg.meta(idx).range()).unwrap_or(usize::MAX).saturating_add(1)
+            }
+            _ => seg.live_rows(),
+        };
+        groups = groups.saturating_mul(card.max(1));
+    }
+    groups = groups.min(seg.live_rows());
+    groups.saturating_mul(wide_group_bytes(group_cols.len(), num_sums, num_mm))
+}
+
 /// The BIPie fast path: u8 group ids, specialized kernels.
 struct NarrowScan<'a> {
     mapper: NarrowMapper<'a>,
@@ -616,6 +748,9 @@ struct NarrowScan<'a> {
     gid_scratch: Vec<u8>,
     fscratch: FilterScratch,
     sel_buf: Vec<u8>,
+    /// Whether the batch-sized working buffers were charged to the
+    /// accountant (once per state; they are reused across batches).
+    charged_bufs: bool,
 }
 
 impl<'a> NarrowScan<'a> {
@@ -666,6 +801,7 @@ impl<'a> NarrowScan<'a> {
             gid_scratch: Vec::new(),
             fscratch: FilterScratch::default(),
             sel_buf: Vec::new(),
+            charged_bufs: false,
         }
     }
 
@@ -678,10 +814,17 @@ impl<'a> NarrowScan<'a> {
         batch: Batch,
         at: BatchAt,
         stats: &mut ExecStats,
+        mem: &mut MemScope,
         tracer: &mut Tracer,
-    ) {
+    ) -> Result<()> {
         let options = ctx.options;
         let level = options.level;
+        if !self.charged_bufs {
+            // Batch-sized working buffers, charged once per state before
+            // they grow: group ids, unpack scratch, selection bytes.
+            mem.charge(ctx.governor, 3 * options.batch_rows)?;
+            self.charged_bufs = true;
+        }
         let unpack_start = tracer.start();
         self.mapper.extract_batch(
             batch.start,
@@ -739,7 +882,22 @@ impl<'a> NarrowScan<'a> {
         if self.executor.is_none() {
             let mut params = self.agg_params_template.clone();
             params.est_selectivity = selectivity;
-            let strategy = options.forced_agg.unwrap_or_else(|| options.config.choose_agg(&params));
+            // With a memory budget, the chooser degrades along the
+            // sort-based → scalar ladder when the winner's projected
+            // working set would not fit (DESIGN.md §10); the outcome is
+            // logged below as a normal decision event.
+            let footprint = |s: AggStrategy| {
+                SegmentAggExecutor::projected_bytes(
+                    s,
+                    self.mapper.num_groups(),
+                    &self.inputs_slot,
+                    &self.mm_inputs_slot,
+                    options.batch_rows,
+                )
+            };
+            let strategy = options.forced_agg.unwrap_or_else(|| {
+                options.config.choose_agg_budgeted(&params, ctx.governor.remaining(), &footprint)
+            });
             stats.record_agg(strategy);
             tracer.decision_agg(
                 at.seg,
@@ -752,6 +910,11 @@ impl<'a> NarrowScan<'a> {
                 strategy,
                 options.forced_agg.is_some(),
             );
+            // Charge the executor's projected accumulators and scratch
+            // before constructing it: a violation surfaces as the typed
+            // error instead of an allocation.
+            let projected = footprint(strategy);
+            mem.charge(ctx.governor, projected)?;
             self.executor = Some(SegmentAggExecutor::with_min_max(
                 strategy,
                 self.mapper.num_groups(),
@@ -771,6 +934,7 @@ impl<'a> NarrowScan<'a> {
             batch.len as u64,
             agg_start,
         );
+        Ok(())
     }
 
     fn finish(self) -> Vec<(Vec<Value>, GroupAcc)> {
@@ -813,6 +977,11 @@ struct WideScan<'a> {
     expr_vals: Vec<Vec<i64>>,
     expr_scratch: crate::expr::ExprScratch,
     recorded_agg: bool,
+    /// Group count already charged to the memory accountant; each batch
+    /// charges the interning delta at [`wide_group_bytes`] per group.
+    charged_groups: usize,
+    /// Whether the batch-sized working buffers were charged (once).
+    charged_bufs: bool,
 }
 
 impl<'a> WideScan<'a> {
@@ -834,6 +1003,8 @@ impl<'a> WideScan<'a> {
             num_sums: ctx.sum_exprs.len(),
             expr_scratch: crate::expr::ExprScratch::default(),
             recorded_agg: false,
+            charged_groups: 0,
+            charged_bufs: false,
         }
     }
 
@@ -846,9 +1017,18 @@ impl<'a> WideScan<'a> {
         batch: Batch,
         at: BatchAt,
         stats: &mut ExecStats,
+        mem: &mut MemScope,
         tracer: &mut Tracer,
-    ) {
+    ) -> Result<()> {
         let level = ctx.options.level;
+        if !self.charged_bufs {
+            // Batch-sized working buffers, charged once per state: u32
+            // group ids + selection bytes + i64 buffers for the group-key
+            // scratch, per-column decode caches, and expression results.
+            let per_row = 4 + 1 + 8 * (ctx.group_cols.len() + 2 * self.all_exprs.len());
+            mem.charge(ctx.governor, ctx.options.batch_rows * per_row)?;
+            self.charged_bufs = true;
+        }
         if !self.recorded_agg {
             stats.record_agg(AggStrategy::Scalar);
             self.recorded_agg = true;
@@ -985,6 +1165,22 @@ impl<'a> WideScan<'a> {
             batch.len as u64,
             wide_start,
         );
+
+        // Charge the hash table's growth from this batch's interning (key
+        // tuples + accumulator slots). The charge trails the allocation by
+        // one batch at most; a violation stops the scan at this boundary
+        // with no partial result surfaced.
+        let groups = self.mapper.num_groups();
+        if groups > self.charged_groups {
+            let per_group = wide_group_bytes(
+                ctx.group_cols.len(),
+                self.num_sums,
+                self.all_exprs.len() - self.num_sums,
+            );
+            mem.charge(ctx.governor, (groups - self.charged_groups) * per_group)?;
+            self.charged_groups = groups;
+        }
+        Ok(())
     }
 
     fn finish(self) -> Vec<(Vec<Value>, GroupAcc)> {
@@ -1178,6 +1374,11 @@ mod tests {
             (ScanOptions { batch_rows: 0, ..Default::default() }, "batch_rows"),
             (ScanOptions { morsel_rows: 0, ..Default::default() }, "morsel_rows"),
             (ScanOptions { threads: Some(0), ..Default::default() }, "threads"),
+            (
+                ScanOptions { time_budget: Some(std::time::Duration::ZERO), ..Default::default() },
+                "time_budget",
+            ),
+            (ScanOptions { mem_budget: Some(0), ..Default::default() }, "mem_budget"),
         ] {
             let err =
                 scan_table(&t, None, &[], std::slice::from_ref(&expr), &[], &opts).unwrap_err();

@@ -57,6 +57,14 @@ pub struct ExecStats {
     /// (vs. regions that had to grow the pool). Region-level: merging takes
     /// the max; the coordinator increments it once per completed region.
     pub pool_reuses: usize,
+    /// Cooperative governor checks performed (morsel claims + batch
+    /// boundaries + plan admission); 0 when no limit was set. Additive.
+    pub governor_checks: usize,
+    /// Peak bytes the memory accountant had reserved against `mem_budget`
+    /// (slack chunks included; 0 with no budget). Region-level: the
+    /// governor's high-water mark is a query-wide gauge the coordinator
+    /// reads once, so merging takes the max.
+    pub mem_reserved_peak: usize,
 }
 
 impl ExecStats {
@@ -90,6 +98,8 @@ impl ExecStats {
         self.morsel_steals += other.morsel_steals;
         self.pool_workers = self.pool_workers.max(other.pool_workers);
         self.pool_reuses = self.pool_reuses.max(other.pool_reuses);
+        self.governor_checks += other.governor_checks;
+        self.mem_reserved_peak = self.mem_reserved_peak.max(other.mem_reserved_peak);
     }
 
     /// Batches that used the given selection strategy.
@@ -141,5 +151,17 @@ mod tests {
         let c = ExecStats { pool_reuses: 3, ..ExecStats::default() };
         a.merge(&c);
         assert_eq!(a.pool_reuses, 3);
+    }
+
+    #[test]
+    fn governor_fields_merge_by_class() {
+        // Checks are disjoint per-worker work (additive); the reserved peak
+        // is the governor's query-wide gauge (max).
+        let mut a =
+            ExecStats { governor_checks: 3, mem_reserved_peak: 4096, ..ExecStats::default() };
+        let b = ExecStats { governor_checks: 5, mem_reserved_peak: 1024, ..ExecStats::default() };
+        a.merge(&b);
+        assert_eq!(a.governor_checks, 8);
+        assert_eq!(a.mem_reserved_peak, 4096);
     }
 }

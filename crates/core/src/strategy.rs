@@ -236,6 +236,38 @@ impl StrategyConfig {
         }
         best.0
     }
+
+    /// Budget-aware wrapper around [`StrategyConfig::choose_agg`]
+    /// (DESIGN.md §10): when the cost-model winner's projected working set
+    /// does not fit the remaining memory budget, walk the degradation
+    /// ladder — sort-based if feasible (its scratch is batch-bounded, not
+    /// group-bounded), then scalar (no strategy scratch at all) — before
+    /// admitting defeat. If nothing fits, the original winner is returned
+    /// and its reservation fails with the typed budget error.
+    ///
+    /// `footprint` projects a strategy's working-set bytes; `remaining` is
+    /// `None` when no budget is set (the common case — one branch).
+    pub fn choose_agg_budgeted(
+        &self,
+        p: &AggChoiceParams,
+        remaining: Option<usize>,
+        footprint: &dyn Fn(AggStrategy) -> usize,
+    ) -> AggStrategy {
+        let chosen = self.choose_agg(p);
+        let Some(remaining) = remaining else { return chosen };
+        if footprint(chosen) <= remaining {
+            return chosen;
+        }
+        if self.agg_cost(AggStrategy::SortBased, p).is_some()
+            && footprint(AggStrategy::SortBased) <= remaining
+        {
+            return AggStrategy::SortBased;
+        }
+        if footprint(AggStrategy::Scalar) <= remaining {
+            return AggStrategy::Scalar;
+        }
+        chosen
+    }
 }
 
 #[cfg(test)]
@@ -320,5 +352,32 @@ mod tests {
     fn labels() {
         assert_eq!(SelectionStrategy::Gather.label(), "Gather");
         assert_eq!(AggStrategy::MultiAggregate.label(), "Multi");
+    }
+
+    #[test]
+    fn budgeted_choice_walks_the_degradation_ladder() {
+        let c = StrategyConfig::default();
+        // In-register wins unbudgeted for this shape.
+        let p = params(9, 1, 1, 0.9);
+        assert_eq!(c.choose_agg(&p), AggStrategy::InRegister);
+        // Footprints: scalar has no strategy scratch, sort-based sits in
+        // the middle, everything else is large.
+        let footprint = |s: AggStrategy| match s {
+            AggStrategy::Scalar => 100,
+            AggStrategy::SortBased => 1000,
+            _ => 10_000,
+        };
+        assert_eq!(c.choose_agg_budgeted(&p, None, &footprint), AggStrategy::InRegister);
+        assert_eq!(c.choose_agg_budgeted(&p, Some(20_000), &footprint), AggStrategy::InRegister);
+        assert_eq!(c.choose_agg_budgeted(&p, Some(5000), &footprint), AggStrategy::SortBased);
+        assert_eq!(c.choose_agg_budgeted(&p, Some(500), &footprint), AggStrategy::Scalar);
+        // Nothing fits: the original winner comes back and its reservation
+        // surfaces the typed error.
+        assert_eq!(c.choose_agg_budgeted(&p, Some(10), &footprint), AggStrategy::InRegister);
+        // Sort-based must be feasible to be a rung: with no packed-narrow
+        // inputs the ladder skips straight to scalar.
+        let mut infeasible = p.clone();
+        infeasible.all_packed_narrow = false;
+        assert_eq!(c.choose_agg_budgeted(&infeasible, Some(5000), &footprint), AggStrategy::Scalar);
     }
 }

@@ -556,6 +556,12 @@ impl QueryProfile {
             stats.morsel_steals,
             stats.mutable_rows,
         ));
+        if stats.governor_checks > 0 {
+            out.push_str(&format!(
+                "Governor: {} checks, {} bytes peak reserved\n",
+                stats.governor_checks, stats.mem_reserved_peak,
+            ));
+        }
         if self.is_empty() {
             out.push_str("└─ (profiling off — run with ProfileLevel::Counters or Spans)\n");
             return out;
@@ -814,6 +820,29 @@ mod tests {
         assert!(p.events.is_empty());
     }
 
+    /// With the profiler compiled out, every level behaves like `Off`: no
+    /// clock reads, no event storage, nothing absorbed.
+    #[cfg(feature = "no_profiler")]
+    #[test]
+    fn compiled_out_profiler_is_inert_at_every_level() {
+        for level in [ProfileLevel::Off, ProfileLevel::Counters, ProfileLevel::Spans] {
+            let mut t = Tracer::new(level, 0);
+            assert!(!t.enabled(), "{level:?}");
+            let s = t.start();
+            assert!(s.0.is_none(), "{level:?} must not read timestamps");
+            t.span(Phase::Selection, SpanLoc::none(), 100, s);
+            assert_eq!(t.events.capacity(), 0, "{level:?} must not allocate");
+            let mut p = QueryProfile::new(level);
+            p.absorb(t);
+            assert!(p.is_empty(), "{level:?}");
+        }
+    }
+
+    // The recording-behavior tests below are meaningless when the profiler
+    // is compiled out (`Tracer::enabled()` is a constant false), so they
+    // only build in the normal configuration.
+
+    #[cfg(not(feature = "no_profiler"))]
     #[test]
     fn counters_accumulate_without_storing_events() {
         let mut t = Tracer::new(ProfileLevel::Counters, 1);
@@ -831,6 +860,7 @@ mod tests {
         assert!(p.events.is_empty());
     }
 
+    #[cfg(not(feature = "no_profiler"))]
     #[test]
     fn spans_store_events_and_overflow_drops_new_ones() {
         let mut t = Tracer::with_capacity(ProfileLevel::Spans, 0, 2);
@@ -853,6 +883,7 @@ mod tests {
         ));
     }
 
+    #[cfg(not(feature = "no_profiler"))]
     #[test]
     fn absorb_merges_multiple_workers() {
         let mut p = QueryProfile::new(ProfileLevel::Spans);
@@ -869,6 +900,7 @@ mod tests {
         assert_eq!(p.events.len(), 6);
     }
 
+    #[cfg(not(feature = "no_profiler"))]
     #[test]
     fn explain_and_json_render() {
         let mut t = Tracer::new(ProfileLevel::Spans, 0);

@@ -36,6 +36,38 @@ pub fn tsc_hz() -> f64 {
     *HZ.get_or_init(estimate_tsc_hz)
 }
 
+/// A wall-clock deadline for cooperative budget checks.
+///
+/// This is the harness's second clock, next to [`read_cycles`]: spans want
+/// cycle resolution, but a deadline only needs the monotonic wall clock
+/// that [`estimate_tsc_hz`] calibrates against. `Instant::now()` is a vDSO
+/// read (tens of nanoseconds, already cached by the kernel), so checking a
+/// deadline never pays the ~50ms TSC-frequency calibration — important for
+/// time budgets shorter than the calibration itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    end: std::time::Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now. Saturates at the far future if the
+    /// budget overflows the clock's range.
+    pub fn after(budget: std::time::Duration) -> Deadline {
+        let now = std::time::Instant::now();
+        Deadline {
+            end: now
+                .checked_add(budget)
+                .unwrap_or(now + std::time::Duration::from_secs(u32::MAX as u64)),
+        }
+    }
+
+    /// Whether the deadline has passed.
+    #[inline]
+    pub fn reached(&self) -> bool {
+        std::time::Instant::now() >= self.end
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +92,17 @@ mod tests {
         let b = tsc_hz();
         assert_eq!(a, b, "the cached estimate must not be re-measured");
         assert!(a > 1e8 && a < 1e10);
+    }
+
+    #[test]
+    fn zero_deadline_is_immediately_reached() {
+        assert!(Deadline::after(std::time::Duration::ZERO).reached());
+    }
+
+    #[test]
+    fn far_deadline_is_not_reached() {
+        assert!(!Deadline::after(std::time::Duration::from_secs(3600)).reached());
+        // An absurd budget saturates instead of panicking on Instant overflow.
+        assert!(!Deadline::after(std::time::Duration::from_secs(u64::MAX)).reached());
     }
 }

@@ -19,6 +19,6 @@ pub mod cycles;
 pub mod measure;
 pub mod table;
 
-pub use cycles::{read_cycles, tsc_hz};
+pub use cycles::{read_cycles, tsc_hz, Deadline};
 pub use measure::{measure_cycles_per_row, MeasureOpts, Measurement};
 pub use table::{Grid, Table};

@@ -34,9 +34,45 @@ impl SimdLevel {
     /// Detect the best level supported by the running CPU.
     ///
     /// The result is computed once and cached for the life of the process.
+    /// The `BIPIE_FORCE_SIMD` environment variable (`scalar`, `avx2`,
+    /// `avx512`) overrides detection so CI can run the whole suite once per
+    /// tier on one machine; forcing a tier the hardware lacks, or an
+    /// unrecognized value, is a hard error — a forced run that silently
+    /// fell back would report coverage it never had.
     pub fn detect() -> SimdLevel {
         static DETECTED: OnceLock<SimdLevel> = OnceLock::new();
-        *DETECTED.get_or_init(Self::detect_uncached)
+        *DETECTED.get_or_init(|| {
+            let hw = Self::detect_uncached();
+            match std::env::var("BIPIE_FORCE_SIMD") {
+                Ok(v) => Self::forced_level(&v, hw),
+                Err(_) => hw,
+            }
+        })
+    }
+
+    /// Resolve a `BIPIE_FORCE_SIMD` value against the detected hardware
+    /// tier. Split from [`SimdLevel::detect`] so tests can exercise the
+    /// parsing and capability checks without mutating process environment.
+    ///
+    /// # Panics
+    ///
+    /// On an unrecognized value or a tier above `hw` — the forced matrix
+    /// must fail loudly rather than quietly test the wrong kernels.
+    fn forced_level(value: &str, hw: SimdLevel) -> SimdLevel {
+        let forced = match value {
+            "scalar" => SimdLevel::Scalar,
+            "avx2" => SimdLevel::Avx2,
+            "avx512" => SimdLevel::Avx512,
+            other => panic!(
+                "BIPIE_FORCE_SIMD={other:?} is not a SIMD tier \
+                 (expected \"scalar\", \"avx2\", or \"avx512\")"
+            ),
+        };
+        assert!(
+            forced <= hw,
+            "BIPIE_FORCE_SIMD={value} requests a tier this CPU lacks (detected: {hw})"
+        );
+        forced
     }
 
     fn detect_uncached() -> SimdLevel {
@@ -133,6 +169,26 @@ mod tests {
         assert!(SimdLevel::Avx512.has_avx512());
         assert!(!SimdLevel::Avx2.has_avx512());
         assert!(!SimdLevel::Scalar.has_avx2());
+    }
+
+    #[test]
+    fn forced_level_parses_display_names() {
+        assert_eq!(SimdLevel::forced_level("scalar", SimdLevel::Scalar), SimdLevel::Scalar);
+        assert_eq!(SimdLevel::forced_level("scalar", SimdLevel::Avx512), SimdLevel::Scalar);
+        assert_eq!(SimdLevel::forced_level("avx2", SimdLevel::Avx2), SimdLevel::Avx2);
+        assert_eq!(SimdLevel::forced_level("avx512", SimdLevel::Avx512), SimdLevel::Avx512);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a SIMD tier")]
+    fn forced_level_rejects_unknown_values() {
+        SimdLevel::forced_level("AVX2", SimdLevel::Avx512);
+    }
+
+    #[test]
+    #[should_panic(expected = "tier this CPU lacks")]
+    fn forced_level_rejects_unsupported_tiers() {
+        SimdLevel::forced_level("avx512", SimdLevel::Avx2);
     }
 
     #[test]

@@ -1,0 +1,19 @@
+//! Clean fixture: an accounted module that allocates *and* charges the
+//! allocation through the governor's accountant, so the accountant pass
+//! stays quiet.
+
+pub struct MemScope {
+    avail: usize,
+}
+
+impl MemScope {
+    pub fn charge(&mut self, bytes: usize) -> Result<(), ()> {
+        self.avail = self.avail.checked_sub(bytes).ok_or(())?;
+        Ok(())
+    }
+}
+
+pub fn budgeted_scan(mem: &mut MemScope, rows: usize) -> Result<Vec<u32>, ()> {
+    mem.charge(rows * 4)?;
+    Ok(vec![0u32; rows])
+}

@@ -1,6 +1,6 @@
 //! `cargo xtask audit` — repo-local static analysis for the BIPie workspace.
 //!
-//! Five passes, all lexical/line-oriented (zero dependencies, no `syn`):
+//! Six passes, all lexical/line-oriented (zero dependencies, no `syn`):
 //!
 //! 1. [`unsafe_audit`] — every `unsafe` block must sit under a `// SAFETY:`
 //!    comment and every `unsafe fn` must carry a `# Safety` contract.
@@ -19,6 +19,10 @@
 //!    `read_cycles`, `_rdtsc`) and `TraceEvent` construction are confined
 //!    to `core::trace`, the metrics crates, and tests; engine code records
 //!    through `Tracer`, where the `ProfileLevel::Off` gate lives.
+//! 6. [`accountant`] — the allocating scan/aggregation modules must keep
+//!    referencing the resource governor's memory accountant
+//!    (`governor::MemScope`), so new allocation sites cannot silently
+//!    detach from `mem_budget` enforcement.
 //!
 //! Violations print as `path:line: [pass] message` and make the binary exit
 //! non-zero. Grandfathered sites can be listed in
@@ -27,6 +31,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod accountant;
+pub mod bench_check;
 pub mod invariants;
 pub mod kernel_contract;
 pub mod scan;
@@ -45,7 +51,8 @@ pub struct Diag {
     /// 1-based line number.
     pub line: usize,
     /// Which pass produced this (`unsafe-audit`, `kernel-contract`,
-    /// `invariants`, `thread-hygiene`, `trace-hygiene`, `allowlist`).
+    /// `invariants`, `thread-hygiene`, `trace-hygiene`, `accountant`,
+    /// `allowlist`).
     pub pass: &'static str,
     /// Human-readable description of the violation.
     pub msg: String,
@@ -60,8 +67,8 @@ impl fmt::Display for Diag {
 /// Load the audited corpus once and run the requested passes.
 ///
 /// `passes` is a subset of `["unsafe", "kernels", "invariants", "threads",
-/// "trace"]`; the allowlist is always applied. Diagnostics come back sorted
-/// by path/line.
+/// "trace", "accountant"]`; the allowlist is always applied. Diagnostics
+/// come back sorted by path/line.
 pub fn run_audit(root: &Path, passes: &[&str]) -> Vec<Diag> {
     let files: Vec<scan::SourceFile> = scan::workspace_files(root)
         .iter()
@@ -83,6 +90,9 @@ pub fn run_audit(root: &Path, passes: &[&str]) -> Vec<Diag> {
     }
     if passes.contains(&"trace") {
         diags.extend(trace_hygiene::check(&files));
+    }
+    if passes.contains(&"accountant") {
+        diags.extend(accountant::check(&files));
     }
     diags = apply_allowlist(root, diags);
     diags.sort_by(|a, b| (&a.path, a.line, a.pass).cmp(&(&b.path, b.line, b.pass)));

@@ -5,8 +5,10 @@
 //! ```text
 //! cargo xtask audit                 # run all passes on the workspace
 //! cargo xtask audit unsafe          # one pass: unsafe | kernels |
-//!                                   #   invariants | threads | trace
+//!                                   #   invariants | threads | trace |
+//!                                   #   accountant
 //! cargo xtask audit --root <path>   # audit a different tree (used by tests)
+//! cargo xtask bench-check           # validate committed BENCH_*.json schema
 //! ```
 
 #![forbid(unsafe_code)]
@@ -18,14 +20,53 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("audit") => audit(&args[1..]),
+        Some("bench-check") => bench_check(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo xtask audit [unsafe|kernels|invariants|threads|trace] \
-                 [--root <path>]"
+                "usage: cargo xtask audit [unsafe|kernels|invariants|threads|trace|accountant] \
+                 [--root <path>]\n       cargo xtask bench-check [--root <path>]"
             );
             ExitCode::from(2)
         }
     }
+}
+
+fn bench_check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let msgs = xtask::bench_check::check_root(&root);
+    for m in &msgs {
+        println!("{m}");
+    }
+    if msgs.is_empty() {
+        println!("bench-check OK");
+        ExitCode::SUCCESS
+    } else {
+        println!("bench-check FAILED: {} problem(s)", msgs.len());
+        ExitCode::FAILURE
+    }
+}
+
+// The xtask crate sits at <root>/crates/xtask, so the workspace root is two
+// levels up from the manifest dir.
+fn default_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
 }
 
 fn audit(args: &[String]) -> ExitCode {
@@ -41,15 +82,15 @@ fn audit(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
-            "unsafe" | "kernels" | "invariants" | "threads" | "trace" => {
-                passes.push(match arg.as_str() {
+            "unsafe" | "kernels" | "invariants" | "threads" | "trace" | "accountant" => passes
+                .push(match arg.as_str() {
                     "unsafe" => "unsafe",
                     "kernels" => "kernels",
                     "invariants" => "invariants",
                     "threads" => "threads",
+                    "accountant" => "accountant",
                     _ => "trace",
-                })
-            }
+                }),
             other => {
                 eprintln!("unknown argument `{other}`");
                 return ExitCode::from(2);
@@ -57,13 +98,9 @@ fn audit(args: &[String]) -> ExitCode {
         }
     }
     if passes.is_empty() {
-        passes = vec!["unsafe", "kernels", "invariants", "threads", "trace"];
+        passes = vec!["unsafe", "kernels", "invariants", "threads", "trace", "accountant"];
     }
-    // The xtask crate sits at <root>/crates/xtask, so the workspace root is
-    // two levels up from the manifest dir.
-    let root = root.unwrap_or_else(|| {
-        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
-    });
+    let root = root.unwrap_or_else(default_root);
 
     let diags = xtask::run_audit(&root, &passes);
     for d in &diags {

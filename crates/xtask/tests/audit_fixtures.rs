@@ -5,7 +5,7 @@
 
 use std::path::{Path, PathBuf};
 
-const ALL: [&str; 5] = ["unsafe", "kernels", "invariants", "threads", "trace"];
+const ALL: [&str; 6] = ["unsafe", "kernels", "invariants", "threads", "trace", "accountant"];
 
 fn fixture(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
@@ -77,6 +77,14 @@ fn bad_fixture_raw_trace() {
     assert!(text.contains("raw_trace.rs:5: [trace-hygiene] `read_tsc` outside"), "{text}");
     assert!(text.contains("raw_trace.rs:7: [trace-hygiene] `read_tsc` outside"), "{text}");
     assert!(text.contains("raw_trace.rs:11: [trace-hygiene] `TraceEvent::` outside"), "{text}");
+}
+
+#[test]
+fn bad_fixture_unaccounted_allocations() {
+    let text = rendered(&fixture("bad")).join("\n");
+    assert!(text.contains("crates/core/src/scan.rs:6: [accountant] `vec![`"), "{text}");
+    assert!(text.contains("crates/core/src/scan.rs:7: [accountant] `with_capacity(`"), "{text}");
+    assert!(text.contains("crates/core/src/scan.rs:8: [accountant] `.resize(`"), "{text}");
 }
 
 #[test]

@@ -1,0 +1,68 @@
+//! Resource governance: run the same query under a cancellation token, a
+//! wall-clock deadline, and a memory budget, and show the typed errors each
+//! limit produces — plus the unrestricted rerun working normally afterwards
+//! (a tripped query never poisons the worker pool).
+//!
+//! ```sh
+//! cargo run --release --example governed_query
+//! ```
+
+use std::time::Duration;
+
+use bipie::columnstore::{ColumnSpec, LogicalType, TableBuilder, Value};
+use bipie::core::{execute, AggExpr, CancelToken, Query, QueryBuilder, QueryOptions};
+
+fn build_table() -> bipie::columnstore::Table {
+    let mut builder = TableBuilder::new(vec![
+        ColumnSpec::new("store", LogicalType::I64),
+        ColumnSpec::new("units", LogicalType::I64),
+    ]);
+    for i in 0..400_000i64 {
+        builder.push_row(vec![Value::I64(i % 600), Value::I64(i % 9 + 1)]);
+    }
+    builder.finish()
+}
+
+fn the_query(options: QueryOptions) -> Query {
+    QueryBuilder::new()
+        .group_by("store")
+        .aggregate(AggExpr::count_star())
+        .aggregate(AggExpr::sum("units"))
+        .options(options)
+        .build()
+}
+
+fn main() {
+    let table = build_table();
+
+    // 1. Cancellation: any clone of the token stops the query at its next
+    //    governor checkpoint (morsel claim or batch boundary).
+    let token = CancelToken::new();
+    token.cancel(); // a UI thread or timeout handler would do this
+    let opts = QueryOptions { cancel: Some(token), ..Default::default() };
+    println!("cancelled     -> {}", execute(&table, &the_query(opts)).unwrap_err());
+
+    // 2. Deadline: a wall-clock budget for the whole query.
+    let opts = QueryOptions { time_budget: Some(Duration::from_nanos(1)), ..Default::default() };
+    println!("1ns deadline  -> {}", execute(&table, &the_query(opts)).unwrap_err());
+
+    // 3. Memory budget: 600 distinct stores force the wide-group hash path,
+    //    whose projected table size is admitted against the budget at plan
+    //    time — the query fails before allocating anything.
+    let opts = QueryOptions { mem_budget: Some(8 << 10), ..Default::default() };
+    println!("8 KiB budget  -> {}", execute(&table, &the_query(opts)).unwrap_err());
+
+    // A workable budget runs normally and reports what it actually used.
+    let opts = QueryOptions { mem_budget: Some(64 << 20), ..Default::default() };
+    let r = execute(&table, &the_query(opts)).expect("64 MiB is plenty");
+    println!(
+        "64 MiB budget -> {} groups, peak {} KiB reserved, {} governor checks",
+        r.num_rows(),
+        r.stats.mem_reserved_peak / 1024,
+        r.stats.governor_checks,
+    );
+
+    // The failed runs left nothing behind: the unrestricted query works.
+    let r = execute(&table, &the_query(QueryOptions::default())).expect("pool is reusable");
+    println!("unrestricted  -> {} groups, stats: {:?}", r.num_rows(), r.stats);
+}

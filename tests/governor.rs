@@ -1,0 +1,193 @@
+//! Resource-governor semantics (DESIGN.md §10): cancellation, deadlines,
+//! and memory budgets must surface as typed errors — never a panic, never a
+//! partial `QueryResult` — and a tripped query must leave the worker pool
+//! fully reusable: the next unrestricted query returns byte-identical rows
+//! to a serial scan.
+
+use std::time::Duration;
+
+use bipie::columnstore::{ColumnSpec, LogicalType, Table, Value};
+use bipie::core::{
+    execute, AggExpr, CancelToken, EngineError, Expr, Predicate, Query, QueryBuilder, QueryOptions,
+};
+
+/// One immutable segment per entry of `chunks`; group key cardinality
+/// `groups` (> 255 forces the wide-group path).
+fn table(chunks: &[usize], groups: i64) -> Table {
+    let mut t = Table::with_segment_rows(
+        vec![
+            ColumnSpec::new("k", LogicalType::I64),
+            ColumnSpec::new("a", LogicalType::I64),
+            ColumnSpec::new("b", LogicalType::I64),
+        ],
+        1 << 21,
+    );
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for &rows in chunks {
+        for _ in 0..rows {
+            let k = (next() % groups as u64) as i64;
+            let a = next() as i64 % 10_000 - 5_000;
+            let b = next() as i64 % 1_000;
+            t.insert(vec![Value::I64(k), Value::I64(a), Value::I64(b)]);
+        }
+        t.flush_mutable();
+    }
+    t
+}
+
+fn the_query(options: QueryOptions) -> Query {
+    QueryBuilder::new()
+        .filter(Predicate::ge("a", Value::I64(-4_000)))
+        .group_by("k")
+        .aggregate(AggExpr::count_star())
+        .aggregate(AggExpr::sum("a"))
+        .aggregate(AggExpr::sum_expr(Expr::col("a").add(Expr::col("b").mul(Expr::lit(3)))))
+        .aggregate(AggExpr::avg("b"))
+        .aggregate(AggExpr::min("a"))
+        .aggregate(AggExpr::max_expr(Expr::col("a").mul(Expr::col("b"))))
+        .options(options)
+        .build()
+}
+
+fn serial() -> QueryOptions {
+    QueryOptions { parallel: false, ..Default::default() }
+}
+
+fn parallel(threads: usize) -> QueryOptions {
+    QueryOptions { parallel: true, threads: Some(threads), ..Default::default() }
+}
+
+#[test]
+fn pre_cancelled_query_fails_at_the_first_checkpoint() {
+    let t = table(&[2_000], 7);
+    for opts in [serial(), parallel(4)] {
+        let token = CancelToken::new();
+        token.cancel();
+        let err =
+            execute(&t, &the_query(QueryOptions { cancel: Some(token), ..opts })).unwrap_err();
+        assert!(matches!(err, EngineError::Cancelled), "{err:?}");
+    }
+}
+
+#[test]
+fn mid_scan_cancellation_unwinds_and_the_pool_survives() {
+    // Large enough that the scan runs for orders of magnitude longer than
+    // the canceller's delay, in debug and release alike.
+    let t = table(&[1 << 21], 9);
+    let token = CancelToken::new();
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_micros(200));
+            token.cancel();
+        })
+    };
+    let err =
+        execute(&t, &the_query(QueryOptions { cancel: Some(token), ..parallel(4) })).unwrap_err();
+    canceller.join().unwrap();
+    assert!(matches!(err, EngineError::Cancelled), "{err:?}");
+
+    // The pool must come back clean: an unrestricted parallel query on the
+    // same process-wide pool returns byte-identical rows to a serial scan.
+    let par = execute(&t, &the_query(parallel(4))).unwrap();
+    let ser = execute(&t, &the_query(serial())).unwrap();
+    assert_eq!(par.rows, ser.rows);
+    assert_eq!(par.group_columns, ser.group_columns);
+    assert_eq!(par.stats.pool_workers, 4, "{:?}", par.stats);
+}
+
+#[test]
+fn expired_deadline_is_a_typed_error_in_both_modes() {
+    let t = table(&[50_000], 9);
+    for opts in [serial(), parallel(4)] {
+        let opts = QueryOptions { time_budget: Some(Duration::from_nanos(1)), ..opts };
+        let err = execute(&t, &the_query(opts)).unwrap_err();
+        assert!(matches!(err, EngineError::DeadlineExceeded), "{err:?}");
+    }
+}
+
+#[test]
+fn tiny_mem_budget_fails_at_first_reservation_without_panicking() {
+    let t = table(&[50_000], 9);
+    for opts in [serial(), parallel(4)] {
+        let opts = QueryOptions { mem_budget: Some(1), ..opts };
+        let err = execute(&t, &the_query(opts)).unwrap_err();
+        match err {
+            EngineError::MemoryBudgetExceeded { budget, requested } => {
+                assert_eq!(budget, 1);
+                assert!(requested > 1, "requested={requested}");
+            }
+            other => panic!("expected MemoryBudgetExceeded, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn wide_group_projection_is_rejected_at_plan_time() {
+    // > 255 distinct keys forces the wide-group hash path, whose projected
+    // table size is admitted against the budget before any batch runs.
+    let t = table(&[20_000], 1_000);
+    let opts = QueryOptions { mem_budget: Some(64 << 10), ..serial() };
+    let err = execute(&t, &the_query(opts)).unwrap_err();
+    match err {
+        EngineError::MemoryBudgetExceeded { budget, requested } => {
+            assert_eq!(budget, 64 << 10);
+            assert!(requested > budget, "projection must exceed the budget: {requested}");
+        }
+        other => panic!("expected MemoryBudgetExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn generous_budgets_leave_results_identical_and_report_usage() {
+    let t = table(&[30_000, 5_000], 200);
+    for opts in [serial(), parallel(4)] {
+        let free = execute(&t, &the_query(opts.clone())).unwrap();
+        let governed = QueryOptions {
+            cancel: Some(CancelToken::new()),
+            time_budget: Some(Duration::from_secs(3600)),
+            mem_budget: Some(1 << 30),
+            ..opts
+        };
+        let gov = execute(&t, &the_query(governed)).unwrap();
+        assert_eq!(gov.rows, free.rows);
+        assert_eq!(gov.group_columns, free.group_columns);
+        assert!(gov.stats.governor_checks > 0, "{:?}", gov.stats);
+        assert!(gov.stats.mem_reserved_peak > 0, "{:?}", gov.stats);
+        // An ungoverned run performs no checks and reserves nothing.
+        assert_eq!(free.stats.governor_checks, 0, "{:?}", free.stats);
+        assert_eq!(free.stats.mem_reserved_peak, 0, "{:?}", free.stats);
+    }
+}
+
+#[test]
+fn zero_budgets_are_rejected_as_invalid_options() {
+    let t = table(&[100], 3);
+    for (opts, option) in [
+        (QueryOptions { time_budget: Some(Duration::ZERO), ..Default::default() }, "time_budget"),
+        (QueryOptions { mem_budget: Some(0), ..Default::default() }, "mem_budget"),
+    ] {
+        let err = execute(&t, &the_query(opts)).unwrap_err();
+        assert!(
+            matches!(err, EngineError::InvalidOptions { option: o, .. } if o == option),
+            "{err:?}"
+        );
+    }
+}
+
+#[test]
+fn cancelling_after_completion_changes_nothing() {
+    let t = table(&[5_000], 5);
+    let token = CancelToken::new();
+    let opts = QueryOptions { cancel: Some(token.clone()), ..parallel(2) };
+    let r = execute(&t, &the_query(opts.clone())).unwrap();
+    token.cancel();
+    // The finished result is untouched; only the *next* governed run trips.
+    assert!(r.num_rows() > 0);
+    let err = execute(&t, &the_query(opts)).unwrap_err();
+    assert!(matches!(err, EngineError::Cancelled), "{err:?}");
+}
