@@ -93,12 +93,18 @@ impl MorselCursor {
     /// exhausted. Safe to call from any number of threads; every row is
     /// handed out exactly once.
     pub fn claim(&self) -> Option<Batch> {
+        // ORDERING: Relaxed — a stale read only costs one wasted CAS
+        // attempt; the CAS below is what decides ownership.
         let mut cur = self.next.load(Ordering::Relaxed);
         loop {
             if cur >= self.num_rows {
                 return None;
             }
             let end = (cur + self.morsel_rows).min(self.num_rows);
+            // ORDERING: Relaxed — the counter is the only shared state;
+            // claiming a range publishes nothing (segment data is
+            // immutable and was published when workers were handed the
+            // scan), so success needs no Acquire/Release pairing.
             match self.next.compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed) {
                 Ok(_) => return Some(Batch { start: cur, len: end - cur }),
                 Err(actual) => cur = actual,
@@ -116,6 +122,8 @@ impl MorselCursor {
 
     /// Rows not yet claimed (a racy snapshot; exact once workers quiesce).
     pub fn remaining(&self) -> usize {
+        // ORDERING: Relaxed — documented as a racy snapshot; callers only
+        // use it for progress reporting, never for synchronization.
         self.num_rows.saturating_sub(self.next.load(Ordering::Relaxed))
     }
 
@@ -131,6 +139,10 @@ impl MorselCursor {
     /// without any per-row signalling. Idempotent; a claim racing the close
     /// may still win its morsel (cooperative, not preemptive).
     pub fn close(&self) {
+        // ORDERING: Relaxed — cooperative stop, not a publication: workers
+        // observe the closed cursor at their next claim (or later; the doc
+        // allows a racing claim to win), so no happens-before edge is
+        // required and none is promised.
         self.next.store(self.num_rows, Ordering::Relaxed);
     }
 }

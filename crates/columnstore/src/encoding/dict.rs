@@ -40,6 +40,8 @@ impl IntDictColumn {
         dict.dedup();
         let codes: Vec<u64> = values
             .iter()
+            // PANIC: the dictionary was built from these exact values two
+            // lines up (sort + dedup), so every lookup must hit.
             .map(|v| dict.binary_search(v).expect("value in dictionary") as u64)
             .collect();
         let codes = pack_codes(&codes, dict.len());
@@ -109,6 +111,8 @@ impl StrDictColumn {
         let codes: Vec<u64> = values
             .iter()
             .map(|v| {
+                // PANIC: the dictionary was built from these exact values
+                // above (sort + dedup), so every lookup must hit.
                 dict.binary_search_by(|d| d.as_str().cmp(v.as_ref())).expect("value in dictionary")
                     as u64
             })

@@ -31,8 +31,8 @@ impl ForBitPackColumn {
         if values.is_empty() {
             return 0;
         }
-        let min = values.iter().copied().min().unwrap();
-        let max = values.iter().copied().max().unwrap();
+        let min = values.iter().copied().min().unwrap(); // PANIC: non-empty, checked above
+        let max = values.iter().copied().max().unwrap(); // PANIC: non-empty, checked above
         let bits = min_bits((max as i128 - min as i128) as u64) as usize;
         8 + (values.len() * bits).div_ceil(8)
     }

@@ -121,6 +121,9 @@ impl EncodedColumn {
             EncodedColumn::Rle(c) => c.decode_i64_into(start, out),
             EncodedColumn::Delta(c) => c.decode_i64_into(start, out),
             EncodedColumn::StrDict(_) => {
+                // PANIC: type-confusion guard — the planner types every
+                // column reference, so an integer decode of a string column
+                // is a caller bug, not a data condition.
                 panic!("string columns decode to dictionary codes, not integers")
             }
         }

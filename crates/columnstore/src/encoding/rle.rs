@@ -25,6 +25,7 @@ impl RleColumn {
         if let Some((_, &first)) = iter.next() {
             run_values.push(first);
             for (i, &v) in iter {
+                // PANIC: `run_values` holds at least `first`, pushed above.
                 if v != *run_values.last().unwrap() {
                     ends.push(i as u32);
                     run_values.push(v);

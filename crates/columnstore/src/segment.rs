@@ -97,6 +97,8 @@ impl Segment {
                     let col = encoding::encode_strings(values);
                     let dict_len = match &col {
                         EncodedColumn::StrDict(d) => d.dict().len(),
+                        // PANIC: `encode_strings` returns `StrDict` by
+                        // construction; no other variant can come back.
                         _ => unreachable!("strings always dictionary encode"),
                     };
                     meta.push(ColumnMeta {

@@ -136,8 +136,11 @@ impl Table {
                 match (&mut columns[c], v) {
                     (ColumnData::Strs(out), Value::Str(s)) => out.push(s),
                     (ColumnData::Ints(out), v) => {
+                        // PANIC: `check_row` validated every value against
+                        // the schema before this loop ran.
                         out.push(v.as_storage_i64().expect("typed by check_row"))
                     }
+                    // PANIC: same `check_row` schema validation as above.
                     _ => unreachable!("typed by check_row"),
                 }
             }

@@ -455,6 +455,7 @@ impl<'a> SegmentAggExecutor<'a> {
                     }
                 }
             },
+            // PANIC: the SortBased arm returned earlier in this function.
             AggStrategy::SortBased => unreachable!("handled above"),
         }
         drop(cols);
@@ -498,6 +499,9 @@ impl<'a> SegmentAggExecutor<'a> {
                     minmax::min_max_scalar_i64(gids_eff, &expr_bufs[num_sums + j], mins, maxs)
                 }
                 (buf, acc) => {
+                    // PANIC: accumulators are allocated to match the buffer
+                    // shapes chosen by `materialize_inputs` for one segment;
+                    // both derive from the same plan, so they cannot diverge.
                     unreachable!("mismatched min/max buffer {buf:?} for accumulator {acc:?}")
                 }
             }
@@ -570,6 +574,8 @@ impl<'a> SegmentAggExecutor<'a> {
                 .iter()
                 .find(|(c, _)| *c == idx)
                 .map(|(_, v)| v.as_slice())
+                // PANIC: `col_cache` was filled above from the same column
+                // list the expressions reference.
                 .expect("column decoded")
         };
         let total = self.inputs.len() + self.mm_inputs.len();
@@ -614,6 +620,7 @@ impl<'a> SegmentAggExecutor<'a> {
                         }
                         BatchMode::Selected { physical: true } => {
                             unpack_full(pv, start, len, buf, level);
+                            // PANIC: Selected mode always carries a selection.
                             compact_buf(buf, sel.expect("selected mode"), level);
                         }
                     }
@@ -635,6 +642,7 @@ impl<'a> SegmentAggExecutor<'a> {
                             v.clear();
                             compact::compact_u64(
                                 as_u64_slice(values),
+                                // PANIC: Selected mode always carries a selection.
                                 sel.expect("selected mode"),
                                 compact_i64,
                                 level,
@@ -797,6 +805,8 @@ fn compact_buf(buf: &mut ValueBuf, sel: &[u8], level: SimdLevel) {
             compact::compact_u64(v, sel, &mut out, level);
             *v = out;
         }
+        // PANIC: compact_buf is only called on packed (U8/U16/U32/U64)
+        // column buffers materialized by the Selected physical path.
         ValueBuf::I64(_) | ValueBuf::Empty => unreachable!("packed inputs only"),
     }
 }

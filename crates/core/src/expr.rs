@@ -230,6 +230,7 @@ fn compile_cse(
         return;
     }
     match n {
+        // PANIC: `ctx.leaf` returned Some for every Col/Lit just above.
         Node::Col(_) | Node::Lit(_) => unreachable!("leaves handled above"),
         Node::Neg(a) => {
             compile_cse(a, ctx, program, depth, max_stack);
@@ -240,6 +241,7 @@ fn compile_cse(
                 Node::Add(..) => Op::Add(operand),
                 Node::Sub(..) => Op::Sub(operand),
                 Node::Mul(..) => Op::Mul(operand),
+                // PANIC: the enclosing arm only matches Add/Sub/Mul.
                 _ => unreachable!(),
             };
             if let (Some(lhs), Some(rhs)) = (ctx.leaf(a), ctx.leaf(b)) {
@@ -247,6 +249,7 @@ fn compile_cse(
                     Node::Add(..) => BinKind::Add,
                     Node::Sub(..) => BinKind::Sub,
                     Node::Mul(..) => BinKind::Mul,
+                    // PANIC: the enclosing arm only matches Add/Sub/Mul.
                     _ => unreachable!(),
                 };
                 program.push(Op::Bin2(kind, lhs, rhs));
@@ -380,6 +383,8 @@ impl ResolvedExpr {
                             buf.extend_from_slice(src);
                         }
                         Operand::Lit(v) => buf.resize(len, *v),
+                        // PANIC: the compiler never emits Load(Stack); see
+                        // `compile_cse`, which loads only leaf operands.
                         Operand::Stack => unreachable!("Load never takes Stack"),
                     }
                     sp += 1;
@@ -406,6 +411,8 @@ impl ResolvedExpr {
                             RhsVals::Slice(src)
                         }
                         Operand::Lit(v) => RhsVals::Splat(*v),
+                        // PANIC: the compiler emits Bin2 only when both
+                        // operands are leaves (Col/Prev/Lit).
                         Operand::Stack => unreachable!("Bin2 takes leaves"),
                     };
                     bin2(*kind, get(lhs), get(rhs), buf);
@@ -482,8 +489,8 @@ impl ResolvedExpr {
                     let (bl, bh) = walk(b, meta);
                     let products = [al * bl, al * bh, ah * bl, ah * bh];
                     (
-                        products.iter().copied().min().unwrap(),
-                        products.iter().copied().max().unwrap(),
+                        products.iter().copied().min().unwrap(), // PANIC: 4-element array
+                        products.iter().copied().max().unwrap(), // PANIC: 4-element array
                     )
                 }
                 Node::Neg(a) => {
@@ -558,6 +565,8 @@ fn apply(op: &Op, top: &mut [i64], rhs: RhsVals<'_>) {
         Op::RSub(_) => run!(|t: i64, r: i64| r - t),
         Op::Mul(_) => run!(|t: i64, r: i64| t * r),
         Op::Load(_) | Op::Neg | Op::Bin2(..) => {
+            // PANIC: the interpreter loop dispatches those opcodes before
+            // reaching this fused-RHS helper.
             unreachable!("handled by the interpreter loop")
         }
     }

@@ -134,6 +134,8 @@ impl Predicate {
                                 ),
                             });
                         }
+                        // PANIC: the type-mismatch branch just above already
+                        // rejected non-integer-like constants.
                         Ok(PNode::IntCmp { col, op: *op, c: v.as_storage_i64().unwrap() })
                     }
                 }
@@ -171,13 +173,18 @@ impl Predicate {
                 match (&v, value) {
                     (Value::Str(a), Value::Str(b)) => op.eval(a.as_str(), b.as_str()),
                     _ => op.eval(
+                        // PANIC: plan construction rejected mixed string /
+                        // integer comparisons, so both sides are integer-like.
                         v.as_storage_i64().expect("typed"),
-                        value.as_storage_i64().expect("typed"),
+                        value.as_storage_i64().expect("typed"), // PANIC: see above
                     ),
                 }
             }
             Predicate::Between { column, lo, hi } => {
+                // PANIC: BETWEEN is integer-only by construction (plan
+                // compilation rejects string bounds), same on both lines.
                 let v = value_of(column).as_storage_i64().expect("typed");
+                // PANIC: same integer-only BETWEEN construction as above.
                 v >= lo.as_storage_i64().expect("typed") && v <= hi.as_storage_i64().expect("typed")
             }
             Predicate::And(preds) => preds.iter().all(|p| p.eval_row(value_of)),
@@ -367,9 +374,12 @@ impl ResolvedPredicate {
                     let dc = str_domain_cmp(d.dict(), *op, value);
                     apply_domain_cmp_packed(d.codes(), dc, start, out, scratch, level);
                 }
+                // PANIC: string columns always dictionary-encode (see
+                // `encode_strings`), so StrCmp only meets StrDict.
                 other => unreachable!("string column encoded as {:?}", other.encoding()),
             },
             PNode::And(nodes) => {
+                // PANIC: plan compilation drops empty conjunctions.
                 let (first, rest) = nodes.split_first().expect("non-empty conjunction");
                 Self::eval_node(first, seg, start, out, scratch, level);
                 let mut tmp = std::mem::take(&mut scratch.tmp_sel);

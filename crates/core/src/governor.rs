@@ -49,11 +49,16 @@ impl CancelToken {
 
     /// Request cancellation. Idempotent; visible to every clone.
     pub fn cancel(&self) {
+        // ORDERING: Relaxed — a lone monotonic flag carrying no payload;
+        // workers poll it at batch boundaries, and "soon after" is the
+        // contract, not a happens-before edge.
         self.flag.store(true, Ordering::Relaxed);
     }
 
     /// Whether cancellation has been requested on any clone.
     pub fn is_cancelled(&self) -> bool {
+        // ORDERING: Relaxed — pairs with the Relaxed store in `cancel`;
+        // the flag is the entire message, nothing is published behind it.
         self.flag.load(Ordering::Relaxed)
     }
 }
@@ -134,6 +139,9 @@ impl Governor {
     fn check_active(&self) -> Result<()> {
         // A sibling worker may already have tripped; report its cause so
         // every worker surfaces the same error.
+        // ORDERING: Relaxed — the cause byte is self-contained; a worker
+        // that misses it this check trips on the next one. The associated
+        // `trip_requested` value is a best-effort detail (see `trip`).
         match self.cause.load(Ordering::Relaxed) {
             CAUSE_NONE => {}
             c => return Err(self.cause_error(c)),
@@ -171,11 +179,15 @@ impl Governor {
     /// Remaining budget headroom, for the budget-aware strategy chooser.
     /// `None` when no budget is set.
     pub fn remaining(&self) -> Option<usize> {
+        // ORDERING: Relaxed — advisory headroom snapshot; admission is
+        // decided by the fetch_add in `try_reserve_global`, not here.
         self.mem_budget.map(|b| b.saturating_sub(self.reserved.load(Ordering::Relaxed)))
     }
 
     /// High-water mark of reserved bytes (slack chunks included).
     pub fn peak_reserved(&self) -> usize {
+        // ORDERING: Relaxed — statistics read after workers quiesce; while
+        // they run it is an approximate progress number.
         self.peak.load(Ordering::Relaxed)
     }
 
@@ -186,12 +198,20 @@ impl Governor {
         let Some(budget) = self.mem_budget else {
             return true;
         };
+        // ORDERING: Relaxed — fetch_add/fetch_sub are atomic RMWs on one
+        // counter, which is all the budget check needs: the total can never
+        // over-admit regardless of ordering, and the counter guards no
+        // other memory.
         let prev = self.reserved.fetch_add(bytes, Ordering::Relaxed);
         let now = prev.saturating_add(bytes);
         if now > budget {
+            // ORDERING: Relaxed — undo of the optimistic add; same counter,
+            // same reasoning.
             self.reserved.fetch_sub(bytes, Ordering::Relaxed);
             return false;
         }
+        // ORDERING: Relaxed — monotone max folded from per-thread observations;
+        // read only for statistics.
         self.peak.fetch_max(now, Ordering::Relaxed);
         true
     }
@@ -207,16 +227,27 @@ impl Governor {
         // workers unwind with one consistent error.
         if self
             .cause
+            // ORDERING: Relaxed — the CAS decides the winner atomically; no
+            // payload needs to be published before the cause byte becomes
+            // visible (`trip_requested` below is advisory, see next comment).
             .compare_exchange(CAUSE_NONE, cause, Ordering::Relaxed, Ordering::Relaxed)
             .is_ok()
         {
+            // ORDERING: Relaxed — written after the CAS, so a racing reader
+            // may see the cause with a zero `requested`; that only softens
+            // the error message detail, never the cause itself. The winner
+            // reports its own exact value from the stack.
             self.trip_requested.store(requested, Ordering::Relaxed);
             return self.make_error(cause, requested);
         }
+        // ORDERING: Relaxed — the CAS failed, so the cause byte is already
+        // set and stable (it is written exactly once).
         self.cause_error(self.cause.load(Ordering::Relaxed))
     }
 
     fn cause_error(&self, cause: u8) -> EngineError {
+        // ORDERING: Relaxed — best-effort detail for the error message; a
+        // racing zero is acceptable (see `trip`).
         self.make_error(cause, self.trip_requested.load(Ordering::Relaxed))
     }
 

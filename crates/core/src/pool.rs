@@ -110,6 +110,8 @@ impl WorkerPool {
 
     /// Completed fork-join regions since process start (diagnostics).
     pub fn completed_runs(&self) -> usize {
+        // ORDERING: Relaxed — diagnostics counter; readers want a number,
+        // not a synchronization point.
         self.runs.load(Ordering::Relaxed)
     }
 
@@ -124,8 +126,12 @@ impl WorkerPool {
     ) -> Result<RunReport, PanicPayload> {
         let workers = workers.max(1);
         if workers == 1 {
+            // ORDERING: Relaxed — `runs` is a diagnostics counter; fork-join
+            // synchronization happens via the run-state mutex and condvar,
+            // never through this atomic.
             let reused = self.runs.load(Ordering::Relaxed) > 0;
             catch_unwind(AssertUnwindSafe(|| body(0)))?;
+            // ORDERING: Relaxed — same diagnostics counter as above.
             self.runs.fetch_add(1, Ordering::Relaxed);
             return Ok(RunReport { workers: 1, reused_pool: reused });
         }
@@ -162,6 +168,9 @@ impl WorkerPool {
         }
         drop(pending);
 
+        // ORDERING: Relaxed — counted after the condvar join above, which
+        // already provides the happens-before edge; the counter itself is
+        // diagnostics only.
         self.runs.fetch_add(1, Ordering::Relaxed);
         caller_result?;
         if let Some(payload) = lock(&run.panic).take() {
@@ -183,6 +192,9 @@ impl WorkerPool {
             std::thread::Builder::new()
                 .name(format!("bipie-scan-{worker_id}"))
                 .spawn(move || worker_loop(shared))
+                // PANIC: spawn fails only on OS thread exhaustion, which is
+                // unrecoverable for the engine; surfacing it here beats
+                // deadlocking on a pool that silently never grew.
                 .expect("spawning a scan worker thread");
             *spawned += 1;
         }

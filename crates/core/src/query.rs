@@ -461,6 +461,7 @@ fn process_mutable_region(
     stats.mutable_rows = rows.len();
     for row in rows {
         let value_of =
+            // PANIC: every referenced column resolved during plan validation.
             |name: &str| -> Value { row[table.column_index(name).expect("resolved")].clone() };
         if let Some(f) = &query.filter {
             if !f.eval_row(&value_of) {
@@ -476,7 +477,10 @@ fn process_mutable_region(
         });
         acc.count += 1;
         let eval = |e: &Expr| -> i64 {
+            // PANIC: both expects repeat checks plan validation already made —
+            // columns resolve, and aggregate inputs are integer-like.
             let resolved = e.resolve(&|n| table.column_index(n)).expect("resolved");
+            // PANIC: aggregate inputs are integer-like per plan validation.
             resolved.eval_row(&|idx| row[idx].as_storage_i64().expect("integer-like"))
         };
         for (s, e) in acc.sums.iter_mut().zip(sum_exprs) {

@@ -49,6 +49,8 @@ pub fn execute_reference(table: &Table, query: &Query) -> Result<QueryResult> {
             Ok(resolved.eval_row(&|idx| {
                 value_of(&table.specs()[idx].name)
                     .as_storage_i64()
+                    // PANIC: aggregate inputs were type-checked as
+                    // integer-like when the query was validated.
                     .expect("integer-like aggregate input")
             }))
         };
@@ -78,6 +80,7 @@ pub fn execute_reference(table: &Table, query: &Query) -> Result<QueryResult> {
                 continue;
             }
             let value_of = |name: &str| -> Value {
+                // PANIC: query validation resolved every column name.
                 let idx = table.column_index(name).expect("known column");
                 match seg.column(idx) {
                     EncodedColumn::StrDict(d) => Value::Str(d.get(row).to_string()),
@@ -89,6 +92,7 @@ pub fn execute_reference(table: &Table, query: &Query) -> Result<QueryResult> {
     }
     for row in table.mutable_rows() {
         let value_of =
+            // PANIC: query validation resolved every column name.
             |name: &str| -> Value { row[table.column_index(name).expect("known column")].clone() };
         process_row(&value_of)?;
     }

@@ -923,6 +923,7 @@ impl<'a> NarrowScan<'a> {
                 level,
             ));
         }
+        // PANIC: the `if self.executor.is_none()` block above just filled it.
         let exec = self.executor.as_mut().expect("created above");
 
         let agg_start = tracer.start();
@@ -1113,6 +1114,8 @@ impl<'a> WideScan<'a> {
         {
             let cache = &self.col_cache;
             let lookup = |idx: usize| -> &[i64] {
+                // PANIC: `col_cache` was populated above for exactly the
+                // columns the compiled expressions reference.
                 cache.iter().find(|(c, _)| *c == idx).map(|(_, v)| v.as_slice()).unwrap()
             };
             for (i, e) in self.all_exprs.iter().enumerate() {

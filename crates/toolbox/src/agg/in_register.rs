@@ -236,6 +236,7 @@ mod avx2 {
                 30 => $func::<30>($($arg),*),
                 31 => $func::<31>($($arg),*),
                 32 => $func::<32>($($arg),*),
+                // PANIC: the dispatcher only routes here for 1..=32 groups.
                 _ => unreachable!("group count checked by caller"),
             }
         };

@@ -60,6 +60,8 @@ impl RowLayout {
                     offset += 8;
                 }
                 1 | 2 => {}
+                // PANIC: ColRef widths are 1/2/4/8 by construction; any
+                // other width is a kernel-contract violation, not data.
                 _ => panic!("unsupported element width {w}"),
             }
         }
@@ -201,6 +203,7 @@ mod avx2 {
         unsafe {
             let v = match col {
                 ColRef::U8(s) => {
+                    // PANIC: the 4-byte slice is exact, so try_into must fit.
                     let word = u32::from_le_bytes(s[i..i + 4].try_into().unwrap());
                     _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(word as i32))
                 }

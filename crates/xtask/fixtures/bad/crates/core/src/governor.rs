@@ -1,0 +1,14 @@
+//! Fixture: atomics in a sanctioned module, but the memory-ordering
+//! argument has no adjacent `// ORDERING:` justification.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Flag {
+    hits: AtomicUsize,
+}
+
+impl Flag {
+    pub fn bump(&self) -> usize {
+        self.hits.fetch_add(1, Ordering::Relaxed)
+    }
+}

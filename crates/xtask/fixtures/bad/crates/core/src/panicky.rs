@@ -1,0 +1,11 @@
+//! Fixture: unpinned panic sites in library code.
+
+pub fn first(values: &[i64]) -> i64 {
+    *values.first().unwrap()
+}
+
+pub fn must(flag: bool) {
+    if !flag {
+        panic!("flag must be set");
+    }
+}

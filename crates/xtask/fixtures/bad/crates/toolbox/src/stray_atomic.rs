@@ -1,0 +1,9 @@
+//! Fixture: atomic state outside the sanctioned concurrency modules.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub static STOP: AtomicBool = AtomicBool::new(false);
+
+pub fn stop() {
+    STOP.store(true, Ordering::SeqCst);
+}

@@ -1,0 +1,5 @@
+//! Fixture: one known finding, suppressed by the committed baseline.
+
+pub fn first(values: &[i64]) -> i64 {
+    *values.first().unwrap()
+}

@@ -1,0 +1,16 @@
+//! Fixture: panic sites pinned with `// PANIC:` justifications; panics in
+//! test modules need no pin.
+
+pub fn head(values: &[i64]) -> i64 {
+    // PANIC: callers guarantee a non-empty slice.
+    *values.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: sanctioned atomics with per-site ordering justifications.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Counter {
+    runs: AtomicUsize,
+}
+
+impl Counter {
+    pub fn bump(&self) -> usize {
+        // ORDERING: Relaxed — a statistics counter with no dependent reads.
+        self.runs.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> usize {
+        self.runs.load(Ordering::Relaxed) // ORDERING: racy statistics read
+    }
+}

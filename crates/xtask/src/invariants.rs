@@ -116,14 +116,9 @@ fn diag(file: &SourceFile, line: usize, msg: String) -> Diag {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scan::scrub;
 
     fn file(rel: &str, src: &str) -> SourceFile {
-        SourceFile {
-            rel: rel.into(),
-            raw: src.lines().map(str::to_owned).collect(),
-            code: scrub(src).lines().map(str::to_owned).collect(),
-        }
+        SourceFile::from_source(rel, src)
     }
 
     #[test]

@@ -40,21 +40,60 @@ pub struct FnDecl {
     pub tier: Option<&'static str>,
 }
 
+/// The differential/equivalence-test corpus: for each contributing file,
+/// its audit-relative path and the code-view text of its test regions.
+/// Integration-test files contribute wholesale; library files contribute
+/// their `#[cfg(test)]` regions (brace-matched by the lexer).
+pub struct TestCorpus {
+    /// `(rel, test code text)` per contributing file, in walk order.
+    pub files: Vec<(String, String)>,
+}
+
+impl TestCorpus {
+    /// Collect the corpus from the audited file set.
+    pub fn collect(files: &[SourceFile]) -> TestCorpus {
+        let mut out = Vec::new();
+        for file in files {
+            if file.is_test_file() {
+                out.push((file.rel.clone(), file.code_text()));
+                continue;
+            }
+            let mut text = String::new();
+            for region in &file.test_regions {
+                for line in file
+                    .code
+                    .iter()
+                    .skip(region.start)
+                    .take(region.end.saturating_sub(region.start))
+                {
+                    text.push_str(line);
+                    text.push('\n');
+                }
+            }
+            if !text.is_empty() {
+                out.push((file.rel.clone(), text));
+            }
+        }
+        TestCorpus { files: out }
+    }
+
+    /// Whether any contributing file contains `needle` in its test text.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.files.iter().any(|(_, t)| t.contains(needle))
+    }
+
+    /// The contributing files whose test text contains `needle`.
+    pub fn files_containing(&self, needle: &str) -> Vec<&(String, String)> {
+        self.files.iter().filter(|(_, t)| t.contains(needle)).collect()
+    }
+}
+
 /// Run the kernel-contract pass.
 pub fn check(files: &[SourceFile]) -> Vec<Diag> {
     let mut out = Vec::new();
-    // The differential-test corpus: integration tests plus every in-file
-    // `#[cfg(test)]` region, joined across the workspace.
-    let mut test_corpus = String::new();
-    for file in files {
-        if file.rel.starts_with("tests/") || file.rel.contains("/tests/") {
-            test_corpus.push_str(&file.code_text());
-            test_corpus.push('\n');
-        } else if let Some(pos) = file.code_text().find("#[cfg(test)]") {
-            test_corpus.push_str(&file.code_text()[pos..]);
-            test_corpus.push('\n');
-        }
-    }
+    let corpus = TestCorpus::collect(files);
+    let test_corpus: String =
+        corpus.files.iter().map(|(_, t)| t.as_str()).collect::<Vec<_>>().join("\n");
 
     for file in files {
         if !file.rel.starts_with("crates/toolbox/src/") {
@@ -78,31 +117,10 @@ fn check_file(file: &SourceFile, test_corpus: &str, out: &mut Vec<Diag>) {
         })
         .collect();
 
-    // Scalar-oracle candidates: any identifier containing "scalar" used or
-    // defined *outside* the tier modules (macro-generated oracles appear as
-    // macro-invocation tokens, so we scan identifiers rather than `fn` decls).
-    let mut oracle_tokens: Vec<Vec<String>> = Vec::new();
-    for (i, line) in file.code.iter().enumerate() {
-        if tiers.iter().any(|(_, r)| r.contains(&i)) {
-            continue;
-        }
-        for ident in identifiers(line) {
-            if ident.contains("scalar") {
-                oracle_tokens.push(name_tokens(&ident));
-            }
-        }
-    }
+    let oracle_tokens = scalar_oracle_tokens(file, &tiers);
 
     for kernel in &kernels {
-        let base: BTreeSet<String> = name_tokens(&kernel.name)
-            .into_iter()
-            .filter(|t| !matches!(t.as_str(), "avx2" | "avx512" | "impl" | "dispatch" | "n"))
-            .collect();
-        let matched = oracle_tokens.iter().any(|cand| {
-            let c: BTreeSet<String> =
-                cand.iter().filter(|t| t.as_str() != "scalar").cloned().collect();
-            base.is_subset(&c) || c.is_subset(&base)
-        });
+        let matched = has_oracle(&kernel.name, &oracle_tokens);
         if !matched {
             out.push(Diag {
                 path: file.rel.clone(),
@@ -298,6 +316,42 @@ fn find_fn_keyword(line: &str) -> Option<usize> {
     None
 }
 
+/// Scalar-oracle candidates: any identifier containing "scalar" used or
+/// defined *outside* the tier modules (macro-generated oracles appear as
+/// macro-invocation tokens, so we scan identifiers rather than `fn` decls).
+pub fn scalar_oracle_tokens(
+    file: &SourceFile,
+    tiers: &[(&'static str, Range<usize>)],
+) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    for (i, line) in file.code.iter().enumerate() {
+        if tiers.iter().any(|(_, r)| r.contains(&i)) {
+            continue;
+        }
+        for ident in identifiers(line) {
+            if ident.contains("scalar") {
+                out.push(name_tokens(&ident));
+            }
+        }
+    }
+    out
+}
+
+/// Whether a kernel named `kernel_name` is backed by one of the scalar
+/// oracle candidates. Tier and plumbing tokens are stripped from the kernel
+/// name, `scalar` from the candidates, and the remainders must nest (subset
+/// in either direction) so `sum_u32_avx2` matches `sum_scalar_u32`.
+pub fn has_oracle(kernel_name: &str, oracle_tokens: &[Vec<String>]) -> bool {
+    let base: BTreeSet<String> = name_tokens(kernel_name)
+        .into_iter()
+        .filter(|t| !matches!(t.as_str(), "avx2" | "avx512" | "impl" | "dispatch" | "n"))
+        .collect();
+    oracle_tokens.iter().any(|cand| {
+        let c: BTreeSet<String> = cand.iter().filter(|t| t.as_str() != "scalar").cloned().collect();
+        base.is_subset(&c) || c.is_subset(&base)
+    })
+}
+
 /// All identifiers on a scrubbed line.
 pub fn identifiers(line: &str) -> Vec<String> {
     let mut out = Vec::new();
@@ -318,14 +372,9 @@ pub fn identifiers(line: &str) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scan::scrub;
 
     fn file(rel: &str, src: &str) -> SourceFile {
-        SourceFile {
-            rel: rel.into(),
-            raw: src.lines().map(str::to_owned).collect(),
-            code: scrub(src).lines().map(str::to_owned).collect(),
-        }
+        SourceFile::from_source(rel, src)
     }
 
     const GOOD: &str = r#"

@@ -1,6 +1,7 @@
 //! `cargo xtask audit` — repo-local static analysis for the BIPie workspace.
 //!
-//! Six passes, all lexical/line-oriented (zero dependencies, no `syn`):
+//! Nine passes, all built on the hand-rolled token lexer in [`lexer`]
+//! (zero dependencies, no `syn`):
 //!
 //! 1. [`unsafe_audit`] — every `unsafe` block must sit under a `// SAFETY:`
 //!    comment and every `unsafe fn` must carry a `# Safety` contract.
@@ -23,18 +24,37 @@
 //!    referencing the resource governor's memory accountant
 //!    (`governor::MemScope`), so new allocation sites cannot silently
 //!    detach from `mem_budget` enforcement.
+//! 7. [`atomics`] — every atomic `Ordering::*` use carries an adjacent
+//!    `// ORDERING:` justification, and atomics stay confined to the
+//!    modules that own concurrent state (pool/governor/batch).
+//! 8. [`panics`] — library crates are panic-free: no `.unwrap()` /
+//!    `.expect(…)` / `panic!` / `unreachable!` / `todo!` /
+//!    `unimplemented!` outside tests and `debug_assert*`, unless pinned
+//!    with a `// PANIC:` justification.
+//! 9. [`dispatch_matrix`] — the (op × width × tier) dispatch table is
+//!    statically extracted and every cell cross-checked against the scalar
+//!    oracle registry and the `SimdLevel::available()` equivalence-test
+//!    matrix, including numeric width gates.
 //!
-//! Violations print as `path:line: [pass] message` and make the binary exit
-//! non-zero. Grandfathered sites can be listed in
-//! `crates/xtask/audit-allowlist.txt` (`path:line` per line); stale entries
-//! are themselves errors so the list can only shrink.
+//! Violations print as `path:line: [pass] message` (or as SARIF with
+//! `--json`) and make the binary exit `1`; `2` is reserved for internal
+//! errors, so CI can tell "findings" from "the auditor broke". Findings
+//! carry line-drift-stable IDs ([`report::stable_ids`]) and can be
+//! suppressed either by `path:line` in `crates/xtask/audit-allowlist.txt`
+//! or by ID in `crates/xtask/audit-baseline.json`; stale entries in either
+//! file are themselves errors, so both can only shrink.
 
 #![forbid(unsafe_code)]
 
 pub mod accountant;
+pub mod atomics;
 pub mod bench_check;
+pub mod dispatch_matrix;
 pub mod invariants;
 pub mod kernel_contract;
+pub mod lexer;
+pub mod panics;
+pub mod report;
 pub mod scan;
 pub mod thread_hygiene;
 pub mod trace_hygiene;
@@ -52,7 +72,8 @@ pub struct Diag {
     pub line: usize,
     /// Which pass produced this (`unsafe-audit`, `kernel-contract`,
     /// `invariants`, `thread-hygiene`, `trace-hygiene`, `accountant`,
-    /// `allowlist`).
+    /// `atomics-discipline`, `panic-freedom`, `dispatch-matrix`,
+    /// `allowlist`, `baseline`).
     pub pass: &'static str,
     /// Human-readable description of the violation.
     pub msg: String,
@@ -64,11 +85,25 @@ impl fmt::Display for Diag {
     }
 }
 
+/// Every pass name accepted by [`run_audit`], in execution order.
+pub const ALL_PASSES: [&str; 9] = [
+    "unsafe",
+    "kernels",
+    "invariants",
+    "threads",
+    "trace",
+    "accountant",
+    "atomics",
+    "panics",
+    "dispatch",
+];
+
 /// Load the audited corpus once and run the requested passes.
 ///
-/// `passes` is a subset of `["unsafe", "kernels", "invariants", "threads",
-/// "trace", "accountant"]`; the allowlist is always applied. Diagnostics
-/// come back sorted by path/line.
+/// `passes` is a subset of [`ALL_PASSES`]; the allowlist and baseline are
+/// always applied. Diagnostics come back sorted by path/line, so the
+/// report — text or SARIF — is deterministic across runs and filesystems
+/// (the walk itself is sorted too).
 pub fn run_audit(root: &Path, passes: &[&str]) -> Vec<Diag> {
     let files: Vec<scan::SourceFile> = scan::workspace_files(root)
         .iter()
@@ -94,7 +129,17 @@ pub fn run_audit(root: &Path, passes: &[&str]) -> Vec<Diag> {
     if passes.contains(&"accountant") {
         diags.extend(accountant::check(&files));
     }
+    if passes.contains(&"atomics") {
+        diags.extend(atomics::check(&files));
+    }
+    if passes.contains(&"panics") {
+        diags.extend(panics::check(&files));
+    }
+    if passes.contains(&"dispatch") {
+        diags.extend(dispatch_matrix::check(&files));
+    }
     diags = apply_allowlist(root, diags);
+    diags = report::apply_baseline(root, diags);
     diags.sort_by(|a, b| (&a.path, a.line, a.pass).cmp(&(&b.path, b.line, b.pass)));
     diags
 }

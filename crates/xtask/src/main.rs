@@ -3,13 +3,20 @@
 //! Usage:
 //!
 //! ```text
-//! cargo xtask audit                 # run all passes on the workspace
-//! cargo xtask audit unsafe          # one pass: unsafe | kernels |
-//!                                   #   invariants | threads | trace |
-//!                                   #   accountant
-//! cargo xtask audit --root <path>   # audit a different tree (used by tests)
-//! cargo xtask bench-check           # validate committed BENCH_*.json schema
+//! cargo xtask audit                  # run all passes on the workspace
+//! cargo xtask audit panics           # one pass: unsafe | kernels |
+//!                                    #   invariants | threads | trace |
+//!                                    #   accountant | atomics | panics |
+//!                                    #   dispatch
+//! cargo xtask audit --json           # SARIF 2.1.0 on stdout
+//! cargo xtask audit --write-baseline # suppress current findings by ID
+//! cargo xtask audit --root <path>    # audit a different tree (tests)
+//! cargo xtask bench-check            # validate committed BENCH_*.json
 //! ```
+//!
+//! Audit exit codes: `0` clean, `1` findings, `2` internal error (bad
+//! usage, unwritable baseline). CI keys off this to distinguish "the tree
+//! regressed" from "the auditor broke".
 
 #![forbid(unsafe_code)]
 
@@ -23,8 +30,9 @@ fn main() -> ExitCode {
         Some("bench-check") => bench_check(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo xtask audit [unsafe|kernels|invariants|threads|trace|accountant] \
-                 [--root <path>]\n       cargo xtask bench-check [--root <path>]"
+                "usage: cargo xtask audit [{}] [--json] [--write-baseline] [--root <path>]\n       \
+                 cargo xtask bench-check [--root <path>]",
+                xtask::ALL_PASSES.join("|")
             );
             ExitCode::from(2)
         }
@@ -72,6 +80,8 @@ fn default_root() -> PathBuf {
 fn audit(args: &[String]) -> ExitCode {
     let mut passes: Vec<&str> = Vec::new();
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut write_baseline = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -82,35 +92,50 @@ fn audit(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
-            "unsafe" | "kernels" | "invariants" | "threads" | "trace" | "accountant" => passes
-                .push(match arg.as_str() {
-                    "unsafe" => "unsafe",
-                    "kernels" => "kernels",
-                    "invariants" => "invariants",
-                    "threads" => "threads",
-                    "accountant" => "accountant",
-                    _ => "trace",
-                }),
-            other => {
-                eprintln!("unknown argument `{other}`");
-                return ExitCode::from(2);
-            }
+            "--json" => json = true,
+            "--write-baseline" => write_baseline = true,
+            other => match xtask::ALL_PASSES.iter().find(|p| **p == other) {
+                Some(p) => passes.push(p),
+                None => {
+                    eprintln!("unknown argument `{other}`");
+                    return ExitCode::from(2);
+                }
+            },
         }
     }
     if passes.is_empty() {
-        passes = vec!["unsafe", "kernels", "invariants", "threads", "trace", "accountant"];
+        passes = xtask::ALL_PASSES.to_vec();
     }
     let root = root.unwrap_or_else(default_root);
 
     let diags = xtask::run_audit(&root, &passes);
-    for d in &diags {
-        println!("{d}");
+
+    if write_baseline {
+        let ids = xtask::report::stable_ids(&diags);
+        let path = root.join(xtask::report::BASELINE_PATH);
+        if let Err(e) = std::fs::write(&path, xtask::report::render_baseline(&ids)) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("baseline written: {} finding(s) suppressed", ids.len());
+        return ExitCode::SUCCESS;
+    }
+
+    if json {
+        print!("{}", xtask::report::to_sarif(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            println!("audit OK ({} passes clean)", passes.len());
+        } else {
+            println!("audit FAILED: {} diagnostic(s)", diags.len());
+        }
     }
     if diags.is_empty() {
-        println!("audit OK ({} passes clean)", passes.len());
         ExitCode::SUCCESS
     } else {
-        println!("audit FAILED: {} diagnostic(s)", diags.len());
         ExitCode::FAILURE
     }
 }

@@ -1,26 +1,74 @@
-//! Source discovery and a comment/string scrubber.
+//! Source discovery and the per-file audit views.
 //!
-//! The audit passes are deliberately lexical (no `syn`, no dependencies), so
-//! everything downstream works on two parallel views of each file: the raw
-//! lines (for reading comments) and the *scrubbed* lines, where comment and
-//! string-literal contents are blanked out so keyword searches cannot be
+//! Every pass works on a [`SourceFile`], which carries three parallel views
+//! of one `.rs` file: the raw lines (for reading justification comments),
+//! the token stream from the hand-rolled lexer ([`crate::lexer`]), and the
+//! blanked *code view* derived from the tokens, where comment and
+//! string/char-literal contents are spaces so keyword searches cannot be
 //! fooled by prose like `"an unsafe trick"` inside a panic message.
+//!
+//! The legacy line scrubber ([`scrub`]) predates the lexer and survives as
+//! the fallback path for files the lexer refuses (genuinely unterminated
+//! strings or comments mid-edit): the audit still runs, just with the
+//! coarser view and the old below-the-marker `#[cfg(test)]` heuristic.
+//! On lexable input the two views are byte-identical — a property the test
+//! suite checks differentially across the whole workspace, which is how
+//! the scrubber's historical bugs (escaped-quote char literals flipping
+//! its string state, raw-string detection walking into identifiers) were
+//! found and are kept fixed.
 
 use std::fs;
+use std::ops::Range;
 use std::path::{Path, PathBuf};
 
-/// One source file, with raw and scrubbed line views (same line count).
+use crate::lexer::{self, Tok};
+
+/// One source file, with raw/token/code views (same line count).
 pub struct SourceFile {
     /// Path relative to the audited root, `/`-separated.
     pub rel: String,
+    /// The file contents as read.
+    pub text: String,
     /// Raw lines as written.
     pub raw: Vec<String>,
     /// Lines with comments and string/char literal contents blanked.
     pub code: Vec<String>,
+    /// The token stream; empty when the lexer fell back to [`scrub`].
+    pub toks: Vec<Tok>,
+    /// 0-based line ranges of `#[cfg(test)]`-gated items (brace-matched
+    /// when lexed; the legacy first-marker heuristic on fallback).
+    pub test_regions: Vec<Range<usize>>,
 }
 
 impl SourceFile {
-    /// Load and scrub one file. Returns `None` if it cannot be read as UTF-8.
+    /// Build every view from one source string.
+    pub fn from_source(rel: &str, text: &str) -> SourceFile {
+        let (code, toks, test_regions) = match lexer::lex(text) {
+            Ok(toks) => {
+                let code = lexer::code_view(text, &toks);
+                let regions = lexer::cfg_test_regions(text, &toks);
+                (code, toks, regions)
+            }
+            Err(_) => {
+                // Fallback: the legacy scrubber plus the old heuristic
+                // that unit-test modules sit below the first marker.
+                let code = scrub(text);
+                let first =
+                    code.lines().position(|l| l.contains("#[cfg(test)]")).unwrap_or(usize::MAX);
+                (code, Vec::new(), std::iter::once(first..usize::MAX).collect())
+            }
+        };
+        SourceFile {
+            rel: rel.to_string(),
+            text: text.to_string(),
+            raw: text.lines().map(str::to_owned).collect(),
+            code: code.lines().map(str::to_owned).collect(),
+            toks,
+            test_regions,
+        }
+    }
+
+    /// Load one file. Returns `None` if it cannot be read as UTF-8.
     pub fn load(root: &Path, path: &Path) -> Option<SourceFile> {
         let text = fs::read_to_string(path).ok()?;
         let rel = path
@@ -30,17 +78,51 @@ impl SourceFile {
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        let scrubbed = scrub(&text);
-        Some(SourceFile {
-            rel,
-            raw: text.lines().map(str::to_owned).collect(),
-            code: scrubbed.lines().map(str::to_owned).collect(),
-        })
+        Some(SourceFile::from_source(&rel, &text))
     }
 
-    /// The scrubbed file as one string (for whole-file token scans).
+    /// The code view as one string (for whole-file token scans).
     pub fn code_text(&self) -> String {
         self.code.join("\n")
+    }
+
+    /// Whether the whole file is test code (an integration-test tree).
+    pub fn is_test_file(&self) -> bool {
+        self.rel.starts_with("tests/") || self.rel.contains("/tests/")
+    }
+
+    /// Whether a 0-based line sits in test code — a test file, or inside a
+    /// `#[cfg(test)]`-gated item.
+    pub fn line_in_tests(&self, line: usize) -> bool {
+        self.is_test_file() || self.test_regions.iter().any(|r| r.contains(&line))
+    }
+
+    /// Non-comment token sequence matches for an `a::b`-style path; see
+    /// [`lexer::find_seq`]. Empty on the scrub fallback path.
+    pub fn find_path(&self, path: &str) -> Vec<&Tok> {
+        lexer::find_seq(&self.text, &self.toks, &lexer::path_pat(path))
+    }
+
+    /// Whether `line` (0-based) carries a `// MARKER:`-style justification:
+    /// a trailing comment on the same line, or a contiguous `//` comment
+    /// run immediately above, containing `marker`.
+    pub fn has_marker_comment(&self, line: usize, marker: &str) -> bool {
+        if self.raw.get(line).is_some_and(|l| l.contains(marker)) {
+            return true;
+        }
+        let mut top = line;
+        while top > 0 {
+            let s = self.raw[top - 1].trim_start();
+            if s.starts_with("//") {
+                if s.contains(marker) {
+                    return true;
+                }
+                top -= 1;
+            } else {
+                break;
+            }
+        }
+        false
     }
 }
 
@@ -48,7 +130,9 @@ impl SourceFile {
 ///
 /// Walks `crates/`, `src/`, `tests/`, `examples/` and `benches/`; skips
 /// `target/` and `crates/xtask/` (the auditor and its fixture corpus are not
-/// part of the audited surface — the fixtures *must* fail).
+/// part of the audited surface — the fixtures *must* fail). The walk output
+/// is sorted, so the audit order — and therefore every report — is
+/// deterministic across runs and filesystems.
 pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
     for top in ["crates", "src", "tests", "examples", "benches"] {
@@ -61,8 +145,9 @@ pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
 
 fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = fs::read_dir(dir) else { return };
-    for entry in entries.flatten() {
-        let path = entry.path();
+    let mut entries: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
         if path.is_dir() {
             if path.file_name().is_some_and(|n| n == "target") {
                 continue;
@@ -76,6 +161,18 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
 
 /// Blank out comments and string/char-literal contents, preserving line
 /// structure and the positions of all remaining code characters.
+///
+/// This is the **legacy fallback** behind the lexer-derived
+/// [`lexer::code_view`]; it only runs for files the lexer cannot finish
+/// (unterminated constructs). Two historical bugs are fixed and pinned by
+/// regression tests:
+///
+/// * `'\''` (an escaped-quote char literal) used to close on the *escaped*
+///   quote, leaving the real closing quote to flip every later line's
+///   string state — hiding arbitrary code from the audit;
+/// * `r"…"`-detection used to fire on any `r` followed by `"` or `#`, even
+///   mid-identifier, so an identifier ending in `r` directly before a
+///   string could swallow real code into the blanked region.
 pub fn scrub(src: &str) -> String {
     enum State {
         Code,
@@ -93,6 +190,9 @@ pub fn scrub(src: &str) -> String {
     fn blank(out: &mut String, c: char) {
         out.push(if c == '\n' { '\n' } else { ' ' });
     }
+    fn is_ident_char(c: char) -> bool {
+        c == '_' || c.is_alphanumeric()
+    }
     while i < chars.len() {
         let c = chars[i];
         match state {
@@ -109,8 +209,13 @@ pub fn scrub(src: &str) -> String {
                     state = State::Str;
                     out.push('"');
                     i += 1;
-                } else if c == 'r' && matches!(chars.get(i + 1), Some('"') | Some('#')) {
-                    // Possible raw string literal r"..." / r#"..."#.
+                } else if c == 'r'
+                    && matches!(chars.get(i + 1), Some('"') | Some('#'))
+                    && (i == 0 || !is_ident_char(chars[i - 1]))
+                {
+                    // Possible raw string literal r"..." / r#"..."#. The
+                    // preceding char must not be part of an identifier:
+                    // `var"` is not a raw-string opener (regression fix).
                     let mut j = i + 1;
                     let mut hashes = 0;
                     while chars.get(j) == Some(&'#') {
@@ -131,12 +236,15 @@ pub fn scrub(src: &str) -> String {
                     // Char literal vs lifetime: a literal closes with a quote
                     // one (or, escaped, a few) chars later.
                     if chars.get(i + 1) == Some(&'\\') {
-                        let mut j = i + 2;
+                        // The escaped char sits at i + 2 and may itself be a
+                        // quote (`'\''`); the closing-quote scan must start
+                        // *after* it (regression fix).
+                        let mut j = i + 3;
                         while j < chars.len() && chars[j] != '\'' {
                             j += 1;
                         }
                         out.push('\'');
-                        for &ch in &chars[i + 1..j] {
+                        for &ch in &chars[i + 1..j.min(chars.len())] {
                             blank(&mut out, ch);
                         }
                         if j < chars.len() {
@@ -275,6 +383,35 @@ mod tests {
     }
 
     #[test]
+    fn scrub_regression_escaped_quote_char_literal() {
+        // `'\''` used to close on the escaped quote, leaving the real
+        // closing quote to open a phantom char literal/string — code after
+        // it could be blanked (a false negative for every later pass).
+        let src = "let q = '\\''; unsafe { y() }";
+        let s = scrub(src);
+        assert!(s.contains("unsafe"), "code after '\\'' must survive: {s:?}");
+    }
+
+    #[test]
+    fn scrub_regression_raw_string_after_identifier() {
+        // An identifier ending in `r` directly before a string used to be
+        // eaten as a raw-string opener, blanking the quote and flipping the
+        // string state for the rest of the file.
+        let src = "m!(attr\"x\"); unsafe { y() }";
+        let s = scrub(src);
+        assert!(s.contains("unsafe"), "{s:?}");
+        assert!(s.contains("attr"), "{s:?}");
+    }
+
+    #[test]
+    fn scrub_nested_block_comments_hide_content() {
+        let src = "/* outer /* unsafe { } */ still */ unsafe { y() }";
+        let s = scrub(src);
+        // Exactly the real trailing code survives.
+        assert_eq!(s.matches("unsafe").count(), 1, "{s:?}");
+    }
+
+    #[test]
     fn attr_block_stops_at_code() {
         let raw: Vec<String> =
             ["let a = 1;", "/// doc", "#[target_feature(enable = \"avx2\")]", "unsafe fn k() {}"]
@@ -289,5 +426,37 @@ mod tests {
     #[test]
     fn tokens_split_and_lowercase() {
         assert_eq!(name_tokens("sum_Gather_u32"), vec!["sum", "gather", "u32"]);
+    }
+
+    #[test]
+    fn source_file_uses_lexer_view() {
+        let f = SourceFile::from_source("x.rs", "let s = \"unsafe\"; // unsafe\nunsafe { g() }");
+        assert!(!f.toks.is_empty());
+        assert!(!f.code[0].contains("unsafe"));
+        assert!(f.code[1].contains("unsafe"));
+    }
+
+    #[test]
+    fn source_file_falls_back_to_scrub_on_lex_error() {
+        let f = SourceFile::from_source("x.rs", "fn f() {}\nlet s = \"unterminated");
+        assert!(f.toks.is_empty(), "unterminated string must hit the fallback");
+        assert!(f.code[0].contains("fn f"));
+    }
+
+    #[test]
+    fn line_in_tests_is_brace_matched_not_suffix_based() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() {}\n}\nfn after() {}\n";
+        let f = SourceFile::from_source("crates/core/src/x.rs", src);
+        assert!(f.line_in_tests(2));
+        assert!(!f.line_in_tests(4), "code after a test module is production code");
+    }
+
+    #[test]
+    fn marker_comment_same_line_and_above() {
+        let src = "fn f() {\n    // ORDERING: relaxed is fine, counter only.\n    x.load(o);\n    y.load(o); // ORDERING: ditto.\n    z.load(o);\n}";
+        let f = SourceFile::from_source("x.rs", src);
+        assert!(f.has_marker_comment(2, "ORDERING:"));
+        assert!(f.has_marker_comment(3, "ORDERING:"));
+        assert!(!f.has_marker_comment(4, "ORDERING:"));
     }
 }

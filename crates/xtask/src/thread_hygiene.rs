@@ -11,17 +11,19 @@
 //!
 //! * `crates/core/src/pool.rs` — the one sanctioned spawn site;
 //! * test code — integration-test trees (`tests/` directories) and
-//!   `#[cfg(test)]` modules, where ad-hoc threads hammer concurrency
-//!   invariants on purpose.
+//!   `#[cfg(test)]` modules (brace-matched by the lexer, so mid-file test
+//!   modules are exempt and code *after* one is not).
 //!
 //! `std::thread::available_parallelism` and other non-spawning `thread::`
-//! items are fine anywhere.
+//! items are fine anywhere. Matching runs on the token stream: the pattern
+//! `thread :: spawn` must appear as adjacent code tokens, so prose or
+//! string mentions can never trip it.
 
 use crate::scan::SourceFile;
 use crate::Diag;
 
 /// Thread-spawning primitives that must stay inside the pool module.
-const SPAWN_TOKENS: [&str; 3] = ["thread::spawn", "thread::scope", "thread::Builder"];
+const SPAWN_PATHS: [&str; 3] = ["thread::spawn", "thread::scope", "thread::Builder"];
 
 /// The one production file allowed to create threads.
 const POOL_MODULE: &str = "crates/core/src/pool.rs";
@@ -30,53 +32,58 @@ const POOL_MODULE: &str = "crates/core/src/pool.rs";
 pub fn check(files: &[SourceFile]) -> Vec<Diag> {
     let mut out = Vec::new();
     for file in files {
-        if file.rel == POOL_MODULE || is_test_path(&file.rel) {
+        if file.rel == POOL_MODULE || file.is_test_file() {
             continue;
         }
-        // Lines at or below the first `#[cfg(test)]` marker are unit-test
-        // code (the audit corpus keeps test modules at the bottom of the
-        // file, which rustfmt and convention both enforce here).
-        let first_test_line =
-            file.code.iter().position(|l| l.contains("#[cfg(test)]")).unwrap_or(usize::MAX);
-        for (i, line) in file.code.iter().enumerate() {
-            if i >= first_test_line {
-                break;
-            }
-            for token in SPAWN_TOKENS {
-                if line.contains(token) {
-                    out.push(Diag {
-                        path: file.rel.clone(),
-                        line: i + 1,
-                        pass: "thread-hygiene",
-                        msg: format!(
-                            "`{token}` outside the worker pool — use \
-                             `bipie_core::pool::WorkerPool` instead of ad-hoc threads"
-                        ),
-                    });
+        if file.toks.is_empty() {
+            check_fallback(file, &mut out);
+            continue;
+        }
+        for path in SPAWN_PATHS {
+            for tok in file.find_path(path) {
+                if file.line_in_tests(tok.line) {
+                    continue;
                 }
+                out.push(diag(file, tok.line, path));
             }
         }
     }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     out
 }
 
-/// Whether `rel` is an integration-test path (`tests/` at the top level or
-/// inside any crate).
-fn is_test_path(rel: &str) -> bool {
-    rel.starts_with("tests/") || rel.contains("/tests/")
+/// Legacy substring scan for files the lexer could not finish.
+fn check_fallback(file: &SourceFile, out: &mut Vec<Diag>) {
+    for (i, line) in file.code.iter().enumerate() {
+        if file.line_in_tests(i) {
+            continue;
+        }
+        for token in SPAWN_PATHS {
+            if line.contains(token) {
+                out.push(diag(file, i, token));
+            }
+        }
+    }
+}
+
+fn diag(file: &SourceFile, line: usize, token: &str) -> Diag {
+    Diag {
+        path: file.rel.clone(),
+        line: line + 1,
+        pass: "thread-hygiene",
+        msg: format!(
+            "`{token}` outside the worker pool — use \
+             `bipie_core::pool::WorkerPool` instead of ad-hoc threads"
+        ),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scan::scrub;
 
     fn file(rel: &str, src: &str) -> SourceFile {
-        SourceFile {
-            rel: rel.into(),
-            raw: src.lines().map(str::to_owned).collect(),
-            code: scrub(src).lines().map(str::to_owned).collect(),
-        }
+        SourceFile::from_source(rel, src)
     }
 
     #[test]
@@ -130,6 +137,17 @@ mod tests {
     }
 
     #[test]
+    fn spawn_after_cfg_test_module_is_flagged_too() {
+        // The old below-the-marker heuristic exempted this; brace matching
+        // does not.
+        let f = file(
+            "crates/core/src/query.rs",
+            "#[cfg(test)]\nmod tests {}\nfn f() { std::thread::spawn(|| {}); }",
+        );
+        assert_eq!(check(&[f]).len(), 1);
+    }
+
+    #[test]
     fn available_parallelism_is_fine() {
         let f = file(
             "crates/bench/src/bin/exp.rs",
@@ -139,7 +157,7 @@ mod tests {
     }
 
     #[test]
-    fn prose_mentions_do_not_trip_the_scrubbed_scan() {
+    fn prose_mentions_do_not_trip_the_token_scan() {
         let f = file(
             "crates/core/src/scan.rs",
             "// replaced thread::spawn with the pool\nfn f() { let s = \"thread::spawn\"; }",

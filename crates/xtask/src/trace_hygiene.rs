@@ -15,18 +15,20 @@
 //! * `crates/metrics/` — the measurement harness (benchmarks *are* the
 //!   timing; they run nothing per batch);
 //! * `crates/core/src/trace.rs` — the tracer, where the `Off` gate lives;
-//! * test code — integration-test trees and `#[cfg(test)]` modules, which
-//!   inspect events and time freely.
+//! * test code — integration-test trees and `#[cfg(test)]` modules
+//!   (brace-matched), which inspect events and time freely.
 //!
 //! Engine code that wants a span or a decision logged must go through the
-//! `Tracer` API, which is exempt here because it *is* the gate.
+//! `Tracer` API, which is exempt here because it *is* the gate. Matching
+//! is token-exact: `read_tsc` must appear as an identifier and
+//! `TraceEvent::` as a path prefix, so comments and strings never trip it.
 
+use crate::lexer::TokKind;
 use crate::scan::SourceFile;
 use crate::Diag;
 
-/// Cycle-counter reads and raw event construction that must stay inside the
-/// sanctioned modules.
-const TRACE_TOKENS: [&str; 4] = ["read_tsc", "read_cycles", "_rdtsc", "TraceEvent::"];
+/// Cycle-counter identifiers that must stay inside the sanctioned modules.
+const TRACE_IDENTS: [&str; 3] = ["read_tsc", "read_cycles", "_rdtsc"];
 
 /// Files/prefixes where the tokens are legitimate.
 const ALLOWED: [&str; 3] =
@@ -36,53 +38,63 @@ const ALLOWED: [&str; 3] =
 pub fn check(files: &[SourceFile]) -> Vec<Diag> {
     let mut out = Vec::new();
     for file in files {
-        if ALLOWED.iter().any(|a| file.rel.starts_with(a)) || is_test_path(&file.rel) {
+        if ALLOWED.iter().any(|a| file.rel.starts_with(a)) || file.is_test_file() {
             continue;
         }
-        // Lines at or below the first `#[cfg(test)]` marker are unit-test
-        // code (test modules sit at the bottom of the file by convention,
-        // as in the thread-hygiene pass).
-        let first_test_line =
-            file.code.iter().position(|l| l.contains("#[cfg(test)]")).unwrap_or(usize::MAX);
-        for (i, line) in file.code.iter().enumerate() {
-            if i >= first_test_line {
-                break;
+        if file.toks.is_empty() {
+            check_fallback(file, &mut out);
+            continue;
+        }
+        for tok in &file.toks {
+            if tok.kind == TokKind::Ident
+                && TRACE_IDENTS.contains(&tok.text(&file.text))
+                && !file.line_in_tests(tok.line)
+            {
+                out.push(diag(file, tok.line, tok.text(&file.text)));
             }
-            for token in TRACE_TOKENS {
-                if line.contains(token) {
-                    out.push(Diag {
-                        path: file.rel.clone(),
-                        line: i + 1,
-                        pass: "trace-hygiene",
-                        msg: format!(
-                            "`{token}` outside core::trace/metrics — record through \
-                             `Tracer` so the ProfileLevel::Off gate applies"
-                        ),
-                    });
-                }
+        }
+        for tok in file.find_path("TraceEvent::") {
+            if !file.line_in_tests(tok.line) {
+                out.push(diag(file, tok.line, "TraceEvent::"));
             }
         }
     }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     out
 }
 
-/// Whether `rel` is an integration-test path (`tests/` at the top level or
-/// inside any crate).
-fn is_test_path(rel: &str) -> bool {
-    rel.starts_with("tests/") || rel.contains("/tests/")
+/// Legacy substring scan for files the lexer could not finish.
+fn check_fallback(file: &SourceFile, out: &mut Vec<Diag>) {
+    for (i, line) in file.code.iter().enumerate() {
+        if file.line_in_tests(i) {
+            continue;
+        }
+        for token in TRACE_IDENTS.iter().copied().chain(["TraceEvent::"]) {
+            if line.contains(token) {
+                out.push(diag(file, i, token));
+            }
+        }
+    }
+}
+
+fn diag(file: &SourceFile, line: usize, token: &str) -> Diag {
+    Diag {
+        path: file.rel.clone(),
+        line: line + 1,
+        pass: "trace-hygiene",
+        msg: format!(
+            "`{token}` outside core::trace/metrics — record through \
+             `Tracer` so the ProfileLevel::Off gate applies"
+        ),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scan::scrub;
 
     fn file(rel: &str, src: &str) -> SourceFile {
-        SourceFile {
-            rel: rel.into(),
-            raw: src.lines().map(str::to_owned).collect(),
-            code: scrub(src).lines().map(str::to_owned).collect(),
-        }
+        SourceFile::from_source(rel, src)
     }
 
     #[test]
@@ -145,7 +157,7 @@ mod tests {
     }
 
     #[test]
-    fn prose_mentions_do_not_trip_the_scrubbed_scan() {
+    fn prose_mentions_do_not_trip_the_token_scan() {
         let f = file(
             "crates/core/src/scan.rs",
             "// timing uses read_tsc via the Tracer\nfn f() { let s = \"read_cycles\"; }",

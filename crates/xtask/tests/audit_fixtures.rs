@@ -5,7 +5,7 @@
 
 use std::path::{Path, PathBuf};
 
-const ALL: [&str; 6] = ["unsafe", "kernels", "invariants", "threads", "trace", "accountant"];
+const ALL: [&str; 9] = xtask::ALL_PASSES;
 
 fn fixture(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
@@ -85,6 +85,84 @@ fn bad_fixture_unaccounted_allocations() {
     assert!(text.contains("crates/core/src/scan.rs:6: [accountant] `vec![`"), "{text}");
     assert!(text.contains("crates/core/src/scan.rs:7: [accountant] `with_capacity(`"), "{text}");
     assert!(text.contains("crates/core/src/scan.rs:8: [accountant] `.resize(`"), "{text}");
+}
+
+#[test]
+fn bad_fixture_unjustified_ordering() {
+    let text = rendered(&fixture("bad")).join("\n");
+    assert!(
+        text.contains(
+            "governor.rs:12: [atomics-discipline] `Ordering::Relaxed` without an adjacent"
+        ),
+        "{text}"
+    );
+}
+
+#[test]
+fn bad_fixture_stray_atomic() {
+    let text = rendered(&fixture("bad")).join("\n");
+    assert!(
+        text.contains("stray_atomic.rs:5: [atomics-discipline] `AtomicBool` outside"),
+        "{text}"
+    );
+    assert!(
+        text.contains("stray_atomic.rs:8: [atomics-discipline] `Ordering::SeqCst` outside"),
+        "{text}"
+    );
+}
+
+#[test]
+fn bad_fixture_unpinned_panics() {
+    let text = rendered(&fixture("bad")).join("\n");
+    assert!(text.contains("panicky.rs:4: [panic-freedom] `.unwrap()` in library code"), "{text}");
+    assert!(text.contains("panicky.rs:9: [panic-freedom] `panic!` in library code"), "{text}");
+}
+
+#[test]
+fn bad_fixture_dispatch_matrix() {
+    let text = rendered(&fixture("bad")).join("\n");
+    // Unwired cell: the avx2 kernel exists but nothing routes into it.
+    assert!(
+        text.contains(
+            "unwired_tier.rs:17: [dispatch-matrix] dispatch cell `double` (double × avx2) \
+             is never referenced outside its tier module"
+        ),
+        "{text}"
+    );
+    // Oracle-less cell: wired, but no scalar sibling to check against.
+    assert!(
+        text.contains(
+            "kernel_no_oracle.rs:19: [dispatch-matrix] dispatch cell `widen_sum` \
+             (widen_sum × avx2) maps to no scalar oracle"
+        ),
+        "{text}"
+    );
+    // Unexercised cell: no equivalence test sweeps SimdLevel::available().
+    assert!(text.contains("is not exercised by the equivalence-test matrix"), "{text}");
+}
+
+#[test]
+fn baseline_suppresses_and_reports_stale_entries() {
+    let diags = xtask::run_audit(&fixture("baselined"), &ALL);
+    // The live finding is suppressed; only the stale entry surfaces.
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].pass, "baseline");
+    assert!(diags[0].msg.contains("stale entry"), "{}", diags[0]);
+    assert!(diags[0].msg.contains("panic-freedom-0000000000000000"), "{}", diags[0]);
+}
+
+#[test]
+fn baseline_ids_match_sarif_fingerprints() {
+    // The IDs a regenerated baseline carries are the ones the SARIF export
+    // publishes, and render → parse round-trips them exactly.
+    let diags = xtask::run_audit(&fixture("bad"), &["panics"]);
+    assert!(!diags.is_empty(), "the bad fixture must have panic findings");
+    let ids = xtask::report::stable_ids(&diags);
+    let sarif = xtask::report::to_sarif(&diags);
+    for id in &ids {
+        assert!(sarif.contains(id.as_str()), "{id} missing from SARIF:\n{sarif}");
+    }
+    assert_eq!(xtask::report::parse_baseline(&xtask::report::render_baseline(&ids)), ids);
 }
 
 #[test]
