@@ -94,6 +94,8 @@ mod tests {
         assert!(EngineError::PotentialOverflow { aggregate: 2 }.to_string().contains("#2"));
         let e = EngineError::TypeMismatch { column: "c".into(), detail: "want int".into() };
         assert!(e.to_string().contains("'c'"));
+        let e = EngineError::Unsupported("string aggregation".into());
+        assert_eq!(e.to_string(), "unsupported: string aggregation");
         let e = EngineError::InvalidOptions { option: "batch_rows", detail: "must be > 0".into() };
         assert!(e.to_string().contains("batch_rows"));
         let e = EngineError::WorkerPanicked { detail: "boom".into() };

@@ -65,16 +65,25 @@ struct Job {
 /// Join state for one fork-join region.
 struct RunState {
     /// Workers (excluding the caller) that have not finished yet.
+    // LOCK: leaf — guards only this counter; held briefly by workers at
+    // completion and by the caller across the `done` wait, never together
+    // with `panic` or the pool queue.
     pending: Mutex<usize>,
     /// Signalled when `pending` reaches zero.
+    // LOCK: waited on exclusively with the `pending` guard.
     done: Condvar,
     /// First captured panic payload from any pool worker.
+    // LOCK: leaf — first-panic slot; held only to store or take the
+    // payload, never across user code or another acquisition.
     panic: Mutex<Option<PanicPayload>>,
 }
 
 struct PoolShared {
+    // LOCK: leaf — job intake; held only to push/pop jobs, released before
+    // `work` is notified and before any job body runs.
     queue: Mutex<VecDeque<Job>>,
     /// Signalled when a job is queued.
+    // LOCK: waited on exclusively with the `queue` guard.
     work: Condvar,
 }
 
@@ -82,6 +91,8 @@ struct PoolShared {
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
     /// Pool threads spawned so far (grows monotonically, never shrinks).
+    // LOCK: leaf — serializes pool growth; no other lock and no user code
+    // while held (thread spawning only).
     spawned: Mutex<usize>,
     /// Completed `run` regions (diagnostics).
     runs: AtomicUsize,
@@ -91,6 +102,8 @@ pub struct WorkerPool {
 /// participant panicked while another thread held the lock, because no lock
 /// is held across user code.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // LOCK: generic acquisition helper — each call site documents its own
+    // guard lifetime; poisoning is ignored per the fn contract above.
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -151,6 +164,8 @@ impl WorkerPool {
         // to the long-lived worker threads is never observable.
         let erased = unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), ErasedBody>(body) };
         {
+            // LOCK: `queue` held only for the push loop; released (block
+            // end) before `work` is notified and before any job runs.
             let mut queue = lock(&self.shared.queue);
             for index in 1..workers {
                 queue.push_back(Job { body: erased, index, run: Arc::clone(&run) });
@@ -162,8 +177,12 @@ impl WorkerPool {
         // join so the borrow stays valid for the pool workers either way.
         let caller_result = catch_unwind(AssertUnwindSafe(|| body(0)));
 
+        // LOCK: `pending` held across the join wait below; it is the only
+        // guard live in this region.
         let mut pending = lock(&run.pending);
         while *pending > 0 {
+            // LOCK: waits on `done` with the `pending` guard it consumes
+            // and returns; workers signal after decrementing to zero.
             pending = run.done.wait(pending).unwrap_or_else(PoisonError::into_inner);
         }
         drop(pending);
@@ -173,6 +192,8 @@ impl WorkerPool {
         // diagnostics only.
         self.runs.fetch_add(1, Ordering::Relaxed);
         caller_result?;
+        // LOCK: `panic` is a leaf taken after the join; the temporary guard
+        // dies at the end of this condition.
         if let Some(payload) = lock(&run.panic).take() {
             return Err(payload);
         }
@@ -182,6 +203,8 @@ impl WorkerPool {
     /// Make sure at least `needed` pool threads exist; returns `true` when
     /// they all already did (pool reuse).
     fn ensure_spawned(&self, needed: usize) -> bool {
+        // LOCK: `spawned` held across thread creation; no other lock is
+        // acquired and no user code runs while it is live.
         let mut spawned = lock(&self.spawned);
         if *spawned >= needed {
             return true;
@@ -206,11 +229,15 @@ impl WorkerPool {
 fn worker_loop(shared: Arc<PoolShared>) {
     loop {
         let job = {
+            // LOCK: `queue` held while parked; dropped at block end, before
+            // the claimed job body runs.
             let mut queue = lock(&shared.queue);
             loop {
                 if let Some(job) = queue.pop_front() {
                     break job;
                 }
+                // LOCK: waits on `work` with the `queue` guard it consumes
+                // and returns; `run()` notifies after queueing jobs.
                 queue = shared.work.wait(queue).unwrap_or_else(PoisonError::into_inner);
             }
         };
@@ -218,9 +245,13 @@ fn worker_loop(shared: Arc<PoolShared>) {
         // scan fails its query, not the host process or this worker.
         let result = catch_unwind(AssertUnwindSafe(|| (job.body)(job.index)));
         if let Err(payload) = result {
+            // LOCK: `panic` leaf — stores the first payload only; released
+            // at block end, before `pending` is touched.
             let mut slot = lock(&job.run.panic);
             slot.get_or_insert(payload);
         }
+        // LOCK: `pending` leaf — decremented after the job completed;
+        // signals `done` at zero and is dropped right after.
         let mut pending = lock(&job.run.pending);
         *pending -= 1;
         if *pending == 0 {

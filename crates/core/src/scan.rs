@@ -336,6 +336,7 @@ fn scan_parallel(
                 if governor.active() {
                     local.governor_checks += 1;
                     if let Err(e) = governor.check() {
+                        // LOCK: `first_error` leaf; temp guard dies at `;`.
                         lock(&first_error).get_or_insert(e);
                         sched.close();
                         return;
@@ -350,6 +351,7 @@ fn scan_parallel(
                         match SegScan::plan(seg_index, seg, ctx) {
                             Ok(s) => v.insert(s),
                             Err(e) => {
+                                // LOCK: `first_error` leaf; dies at `;`.
                                 lock(&first_error).get_or_insert(e);
                                 sched.close();
                                 return;
@@ -364,6 +366,7 @@ fn scan_parallel(
                     claim.stolen,
                     &mut tracer,
                 ) {
+                    // LOCK: `first_error` leaf; temp guard dies at `;`.
                     lock(&first_error).get_or_insert(e);
                     sched.close();
                     return;
@@ -378,18 +381,21 @@ fn scan_parallel(
                     merge_one(&mut parts[p], key, acc);
                 }
             }
-            *lock(&worker_parts[w]) = parts;
-            *lock(&worker_stats[w]) = local;
-            *lock(&worker_tracers[w]) = Some(tracer);
+            *lock(&worker_parts[w]) = parts; // LOCK: own slot `w`; dies at `;`.
+            *lock(&worker_stats[w]) = local; // LOCK: own slot `w`; dies at `;`.
+            *lock(&worker_tracers[w]) = Some(tracer); // LOCK: own slot `w`; dies at `;`.
         })
         .map_err(|payload| EngineError::WorkerPanicked { detail: panic_message(&payload) })?;
+    // LOCK: `first_error` leaf, read after the pool join; dies at `;`.
     if let Some(e) = lock(&first_error).take() {
         return Err(e);
     }
     for ws in &worker_stats {
+        // LOCK: worker slot read after the join; temp guard dies at `;`.
         stats.merge(&lock(ws));
     }
     for wt in &worker_tracers {
+        // LOCK: worker slot drained after the join; temp guard dies at `;`.
         if let Some(t) = lock(wt).take() {
             profile.absorb(t);
         }
@@ -400,12 +406,16 @@ fn scan_parallel(
     // Phase 2: reduce the hash partitions. Each partition's keys appear in
     // at most `threads` maps; partitions are disjoint, so they merge in
     // parallel without locks on the hot path and concatenate ordered.
-    let total_groups: usize =
-        worker_parts.iter().map(|m| lock(m).iter().map(BTreeMap::len).sum::<usize>()).sum();
+    let mut total_groups: usize = 0;
+    for m in &worker_parts {
+        // LOCK: sequential size probe after the join; temp dies at `;`.
+        total_groups += lock(m).iter().map(BTreeMap::len).sum::<usize>();
+    }
     let merge_start = coord.start();
     let mut merged: GroupMap = BTreeMap::new();
     if total_groups < PARALLEL_MERGE_MIN_GROUPS {
         for wp in &worker_parts {
+            // LOCK: serial drain after the join; one slot guard at a time.
             for part in lock(wp).drain(..) {
                 merge_groups(&mut merged, part);
             }
@@ -417,6 +427,8 @@ fn scan_parallel(
             .run(threads, &|p| {
                 let mut out: GroupMap = BTreeMap::new();
                 for wp in &worker_parts {
+                    // LOCK: slot guard dropped before merging, so at most
+                    // one lock is ever held by a merge worker.
                     let mut guard = lock(wp);
                     if let Some(part) = guard.get_mut(p) {
                         let part = std::mem::take(part);
@@ -424,7 +436,7 @@ fn scan_parallel(
                         merge_groups(&mut out, part);
                     }
                 }
-                *lock(&merged_parts[p]) = out;
+                *lock(&merged_parts[p]) = out; // LOCK: own partition `p`; dies at `;`.
             })
             .map_err(|payload| EngineError::WorkerPanicked { detail: panic_message(&payload) })?;
         stats.pool_reuses += report.reused_pool as usize;
@@ -440,6 +452,8 @@ fn scan_parallel(
 /// a poisoned lock only means some other worker panicked — which the pool
 /// already turned into an error).
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // LOCK: generic acquisition helper — each call site documents its own
+    // guard lifetime; poisoning is ignored per the fn contract above.
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 

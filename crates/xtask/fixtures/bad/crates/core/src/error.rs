@@ -1,0 +1,8 @@
+//! Fixture: an error enum with a variant nobody constructs or tests.
+
+pub enum EngineError {
+    Used(String),
+    Dead,
+}
+
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,15 @@
+//! Fixture: engine results discarded in library code.
+
+use crate::error::{EngineError, Result};
+
+pub fn fallible() -> Result<u32> {
+    Err(EngineError::Used("boom".into()))
+}
+
+pub fn swallowed_by_let() {
+    let _ = fallible();
+}
+
+pub fn swallowed_by_ok() -> Option<u32> {
+    fallible().ok()
+}

@@ -1,0 +1,12 @@
+//! Fixture: a sync-carrying struct outside the sync modules with no
+//! documented invariant, a `pub` sync field, and a hand-written auto-trait
+//! promise.
+
+use std::cell::UnsafeCell;
+
+pub struct Leaky {
+    pub slot: UnsafeCell<u64>,
+}
+
+// SAFETY: fixture — this assertion is exactly what the audit must flag.
+unsafe impl Sync for Leaky {}

@@ -1,0 +1,5 @@
+//! Fixture: a toolbox module reaching up into the engine crate.
+
+use bipie_core::scan::Scan;
+
+pub fn peek(_s: &Scan) {}

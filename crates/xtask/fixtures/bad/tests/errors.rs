@@ -1,0 +1,7 @@
+//! Fixture test: mentions `Used` so only `Dead` is untested.
+
+#[test]
+fn used_is_exercised() {
+    let e = EngineError::Used("x".into());
+    drop(e);
+}

@@ -1,0 +1,26 @@
+//! Clean fixture: every error variant is constructed in library code and
+//! exercised by a test.
+
+pub enum EngineError {
+    Saturated,
+}
+
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+pub fn bump(v: u32) -> Result<u32> {
+    if v == u32::MAX {
+        return Err(EngineError::Saturated);
+    }
+    Ok(v + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturated_path() {
+        assert!(matches!(bump(u32::MAX), Err(EngineError::Saturated)));
+        assert!(matches!(bump(1), Ok(2)));
+    }
+}

@@ -1,6 +1,8 @@
-//! Fixture: sanctioned atomics with per-site ordering justifications.
+//! Fixture: sanctioned atomics with per-site ordering justifications, and
+//! a fully annotated fork-join lock protocol.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 pub struct Counter {
     runs: AtomicUsize,
@@ -14,5 +16,40 @@ impl Counter {
 
     pub fn snapshot(&self) -> usize {
         self.runs.load(Ordering::Relaxed) // ORDERING: racy statistics read
+    }
+}
+
+pub struct JoinState {
+    // LOCK: leaf — guards only the outstanding-worker count; held briefly
+    // at completion and across the `done` wait in `join`.
+    pending: Mutex<usize>,
+    // LOCK: waited on exclusively with the `pending` guard.
+    done: Condvar,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // LOCK: acquisition helper; call sites document guard lifetimes.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl JoinState {
+    pub fn join(&self) {
+        // LOCK: `pending` held across the wait; it is the only live guard.
+        let mut pending = lock(&self.pending);
+        while *pending > 0 {
+            // LOCK: consumes and returns the `pending` guard.
+            pending = self.done.wait(pending).unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(pending);
+    }
+
+    pub fn finish(&self) {
+        // LOCK: leaf decrement; signals `done` at zero, dropped right after.
+        let mut pending = lock(&self.pending);
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+        drop(pending);
     }
 }

@@ -1,0 +1,8 @@
+//! Clean fixture: a driver crate depending downward on the engine, which
+//! the layer-conformance pass accepts.
+
+use bipie_core::scan::Scan;
+
+pub fn inspect(s: &Scan) -> usize {
+    s.width()
+}

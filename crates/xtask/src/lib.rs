@@ -1,7 +1,11 @@
 //! `cargo xtask audit` — repo-local static analysis for the BIPie workspace.
 //!
-//! Nine passes, all built on the hand-rolled token lexer in [`lexer`]
-//! (zero dependencies, no `syn`):
+//! Thirteen passes, all built on the hand-rolled token lexer in [`lexer`]
+//! and — for the semantic passes — the recursive-descent item parser in
+//! [`parser`] and the symbol/module graph in [`graph`] (zero dependencies,
+//! no `syn`). Each source file is read, lexed and parsed exactly once per
+//! run ([`Corpus`]); passes share the corpus and report per-pass wall time
+//! in the `--json` report.
 //!
 //! 1. [`unsafe_audit`] — every `unsafe` block must sit under a `// SAFETY:`
 //!    comment and every `unsafe fn` must carry a `# Safety` contract.
@@ -35,6 +39,21 @@
 //!    statically extracted and every cell cross-checked against the scalar
 //!    oracle registry and the `SimdLevel::available()` equivalence-test
 //!    matrix, including numeric width gates.
+//! 10. [`lock_discipline`] — blocking synchronization (`Mutex`/`RwLock`/
+//!     `Condvar`) is confined to `core::pool`/`core::scan`; every lock field
+//!     and guard-acquisition site carries `// LOCK:`; per-fn guard-liveness
+//!     analysis builds the lock-order graph and flags cycles, guards held
+//!     across `Condvar::wait`, and guards held across pool-reentrant calls.
+//! 11. [`sync_escape`] — structs owning atomics/`UnsafeCell`/locks stay in
+//!     the modules that own concurrent state (or document their sharing
+//!     protocol); sync fields are never `pub`; `unsafe impl Send`/`Sync` is
+//!     always flagged.
+//! 12. [`error_surface`] — every `EngineError` variant has a library
+//!     construction site and a test mention, and engine `Result`s are never
+//!     discarded via `let _ =` or `.ok()` in library code.
+//! 13. [`layer_conformance`] — the `use` graph conforms to the crate DAG
+//!     (toolbox → columnstore/metrics → core → tpch/bench) and to the
+//!     core-module layer table, and every crate's module graph is acyclic.
 //!
 //! Violations print as `path:line: [pass] message` (or as SARIF with
 //! `--json`) and make the binary exit `1`; `2` is reserved for internal
@@ -50,18 +69,26 @@ pub mod accountant;
 pub mod atomics;
 pub mod bench_check;
 pub mod dispatch_matrix;
+pub mod error_surface;
+pub mod explain;
+pub mod graph;
 pub mod invariants;
 pub mod kernel_contract;
+pub mod layer_conformance;
 pub mod lexer;
+pub mod lock_discipline;
 pub mod panics;
+pub mod parser;
 pub mod report;
 pub mod scan;
+pub mod sync_escape;
 pub mod thread_hygiene;
 pub mod trace_hygiene;
 pub mod unsafe_audit;
 
 use std::fmt;
 use std::path::Path;
+use std::time::Instant;
 
 /// One audit violation, printed as `path:line: [pass] message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,7 +100,8 @@ pub struct Diag {
     /// Which pass produced this (`unsafe-audit`, `kernel-contract`,
     /// `invariants`, `thread-hygiene`, `trace-hygiene`, `accountant`,
     /// `atomics-discipline`, `panic-freedom`, `dispatch-matrix`,
-    /// `allowlist`, `baseline`).
+    /// `lock-discipline`, `sync-escape`, `error-surface`,
+    /// `layer-conformance`, `allowlist`, `baseline`).
     pub pass: &'static str,
     /// Human-readable description of the violation.
     pub msg: String,
@@ -86,7 +114,7 @@ impl fmt::Display for Diag {
 }
 
 /// Every pass name accepted by [`run_audit`], in execution order.
-pub const ALL_PASSES: [&str; 9] = [
+pub const ALL_PASSES: [&str; 13] = [
     "unsafe",
     "kernels",
     "invariants",
@@ -96,6 +124,66 @@ pub const ALL_PASSES: [&str; 9] = [
     "atomics",
     "panics",
     "dispatch",
+    "locks",
+    "sync",
+    "errors",
+    "layers",
+];
+
+/// The audited corpus: every workspace source file read, lexed and parsed
+/// once, plus the symbol/module graph derived from the parsed items. All
+/// passes share this — no pass re-reads or re-lexes anything.
+pub struct Corpus {
+    /// Workspace sources, sorted by relative path.
+    pub files: Vec<scan::SourceFile>,
+    /// `use` edges and fn call sites extracted from [`Corpus::files`].
+    pub graph: graph::Graph,
+}
+
+impl Corpus {
+    /// Load and parse the workspace under `root`.
+    pub fn load(root: &Path) -> Corpus {
+        let files: Vec<scan::SourceFile> = scan::workspace_files(root)
+            .iter()
+            .filter_map(|p| scan::SourceFile::load(root, p))
+            .collect();
+        let graph = graph::Graph::build(&files);
+        Corpus { files, graph }
+    }
+}
+
+/// Wall time spent in one pass, for the `--json` report.
+pub struct PassTiming {
+    /// CLI pass name.
+    pub pass: &'static str,
+    /// Elapsed wall time in microseconds.
+    pub micros: u128,
+}
+
+/// Diagnostics plus per-pass timings from one audit run.
+pub struct AuditOutcome {
+    /// Post-allowlist/baseline diagnostics, sorted by path/line/pass.
+    pub diags: Vec<Diag>,
+    /// One entry per executed pass, in execution order.
+    pub timings: Vec<PassTiming>,
+}
+
+/// The pass dispatch table: CLI name → runner over the shared [`Corpus`].
+type PassFn = fn(&Corpus) -> Vec<Diag>;
+const PASS_TABLE: [(&str, PassFn); 13] = [
+    ("unsafe", |c| unsafe_audit::check(&c.files)),
+    ("kernels", |c| kernel_contract::check(&c.files)),
+    ("invariants", |c| invariants::check(&c.files)),
+    ("threads", |c| thread_hygiene::check(&c.files)),
+    ("trace", |c| trace_hygiene::check(&c.files)),
+    ("accountant", |c| accountant::check(&c.files)),
+    ("atomics", |c| atomics::check(&c.files)),
+    ("panics", |c| panics::check(&c.files)),
+    ("dispatch", |c| dispatch_matrix::check(&c.files)),
+    ("locks", |c| lock_discipline::check(&c.files, &c.graph)),
+    ("sync", |c| sync_escape::check(&c.files)),
+    ("errors", |c| error_surface::check(&c.files)),
+    ("layers", |c| layer_conformance::check(&c.files, &c.graph)),
 ];
 
 /// Load the audited corpus once and run the requested passes.
@@ -105,43 +193,25 @@ pub const ALL_PASSES: [&str; 9] = [
 /// report — text or SARIF — is deterministic across runs and filesystems
 /// (the walk itself is sorted too).
 pub fn run_audit(root: &Path, passes: &[&str]) -> Vec<Diag> {
-    let files: Vec<scan::SourceFile> = scan::workspace_files(root)
-        .iter()
-        .filter_map(|p| scan::SourceFile::load(root, p))
-        .collect();
+    run_audit_timed(root, passes).diags
+}
 
+/// [`run_audit`], also reporting per-pass wall time.
+pub fn run_audit_timed(root: &Path, passes: &[&str]) -> AuditOutcome {
+    let corpus = Corpus::load(root);
     let mut diags = Vec::new();
-    if passes.contains(&"unsafe") {
-        diags.extend(unsafe_audit::check(&files));
-    }
-    if passes.contains(&"kernels") {
-        diags.extend(kernel_contract::check(&files));
-    }
-    if passes.contains(&"invariants") {
-        diags.extend(invariants::check(&files));
-    }
-    if passes.contains(&"threads") {
-        diags.extend(thread_hygiene::check(&files));
-    }
-    if passes.contains(&"trace") {
-        diags.extend(trace_hygiene::check(&files));
-    }
-    if passes.contains(&"accountant") {
-        diags.extend(accountant::check(&files));
-    }
-    if passes.contains(&"atomics") {
-        diags.extend(atomics::check(&files));
-    }
-    if passes.contains(&"panics") {
-        diags.extend(panics::check(&files));
-    }
-    if passes.contains(&"dispatch") {
-        diags.extend(dispatch_matrix::check(&files));
+    let mut timings = Vec::new();
+    for (name, runner) in PASS_TABLE {
+        if passes.contains(&name) {
+            let start = Instant::now();
+            diags.extend(runner(&corpus));
+            timings.push(PassTiming { pass: name, micros: start.elapsed().as_micros() });
+        }
     }
     diags = apply_allowlist(root, diags);
     diags = report::apply_baseline(root, diags);
     diags.sort_by(|a, b| (&a.path, a.line, a.pass).cmp(&(&b.path, b.line, b.pass)));
-    diags
+    AuditOutcome { diags, timings }
 }
 
 /// Subtract allowlisted `path:line` entries from `diags`; entries that match

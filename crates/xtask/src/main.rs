@@ -7,8 +7,12 @@
 //! cargo xtask audit panics           # one pass: unsafe | kernels |
 //!                                    #   invariants | threads | trace |
 //!                                    #   accountant | atomics | panics |
-//!                                    #   dispatch
-//! cargo xtask audit --json           # SARIF 2.1.0 on stdout
+//!                                    #   dispatch | locks | sync |
+//!                                    #   errors | layers
+//! cargo xtask audit --json           # SARIF 2.1.0 on stdout, with
+//!                                    #   per-pass wall times in the run
+//!                                    #   property bag
+//! cargo xtask audit --explain locks  # rule / rationale / example fix
 //! cargo xtask audit --write-baseline # suppress current findings by ID
 //! cargo xtask audit --root <path>    # audit a different tree (tests)
 //! cargo xtask bench-check            # validate committed BENCH_*.json
@@ -30,7 +34,8 @@ fn main() -> ExitCode {
         Some("bench-check") => bench_check(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo xtask audit [{}] [--json] [--write-baseline] [--root <path>]\n       \
+                "usage: cargo xtask audit [{}] [--json] [--explain <pass>] [--write-baseline] \
+                 [--root <path>]\n       \
                  cargo xtask bench-check [--root <path>]",
                 xtask::ALL_PASSES.join("|")
             );
@@ -93,6 +98,25 @@ fn audit(args: &[String]) -> ExitCode {
                 }
             },
             "--json" => json = true,
+            "--explain" => match it.next() {
+                Some(name) => match xtask::explain::lookup(name) {
+                    Some(entry) => {
+                        print!("{}", xtask::explain::render(entry));
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!(
+                            "unknown pass `{name}` (expected one of: {})",
+                            xtask::ALL_PASSES.join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                },
+                None => {
+                    eprintln!("--explain needs a pass name");
+                    return ExitCode::from(2);
+                }
+            },
             "--write-baseline" => write_baseline = true,
             other => match xtask::ALL_PASSES.iter().find(|p| **p == other) {
                 Some(p) => passes.push(p),
@@ -108,7 +132,8 @@ fn audit(args: &[String]) -> ExitCode {
     }
     let root = root.unwrap_or_else(default_root);
 
-    let diags = xtask::run_audit(&root, &passes);
+    let outcome = xtask::run_audit_timed(&root, &passes);
+    let diags = outcome.diags;
 
     if write_baseline {
         let ids = xtask::report::stable_ids(&diags);
@@ -122,7 +147,7 @@ fn audit(args: &[String]) -> ExitCode {
     }
 
     if json {
-        print!("{}", xtask::report::to_sarif(&diags));
+        print!("{}", xtask::report::to_sarif_timed(&diags, &outcome.timings));
     } else {
         for d in &diags {
             println!("{d}");

@@ -86,6 +86,13 @@ fn esc(s: &str) -> String {
 /// stable ID in `partialFingerprints.bipieAuditId/v1`). Output is fully
 /// determined by the input order, which `run_audit` already sorts.
 pub fn to_sarif(diags: &[Diag]) -> String {
+    to_sarif_timed(diags, &[])
+}
+
+/// [`to_sarif`], additionally embedding per-pass wall times (microseconds)
+/// in the run's property bag as `passTimingsMicros`, so CI can chart audit
+/// cost per pass over time.
+pub fn to_sarif_timed(diags: &[Diag], timings: &[crate::PassTiming]) -> String {
     let ids = stable_ids(diags);
     let mut rules: Vec<&str> = diags.iter().map(|d| d.pass).collect();
     rules.sort_unstable();
@@ -109,6 +116,16 @@ pub fn to_sarif(diags: &[Diag]) -> String {
         out.push_str("\n          ");
     }
     out.push_str("]\n        }\n      },\n");
+    if !timings.is_empty() {
+        out.push_str("      \"properties\": {\n        \"passTimingsMicros\": {");
+        for (i, t) in timings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n          \"{}\": {}", esc(t.pass), t.micros));
+        }
+        out.push_str("\n        }\n      },\n");
+    }
     out.push_str("      \"results\": [");
     for (i, (d, id)) in diags.iter().zip(&ids).enumerate() {
         if i > 0 {
@@ -260,5 +277,18 @@ mod tests {
         let sarif = to_sarif(&[]);
         assert!(sarif.contains("\"results\": []"), "{sarif}");
         assert!(sarif.contains("\"rules\": []"), "{sarif}");
+        assert!(!sarif.contains("passTimingsMicros"), "{sarif}");
+    }
+
+    #[test]
+    fn sarif_timed_embeds_pass_timings() {
+        let timings = [
+            crate::PassTiming { pass: "locks", micros: 1234 },
+            crate::PassTiming { pass: "layers", micros: 56 },
+        ];
+        let sarif = to_sarif_timed(&[], &timings);
+        assert!(sarif.contains("\"passTimingsMicros\""), "{sarif}");
+        assert!(sarif.contains("\"locks\": 1234"), "{sarif}");
+        assert!(sarif.contains("\"layers\": 56"), "{sarif}");
     }
 }

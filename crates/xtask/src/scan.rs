@@ -22,8 +22,9 @@ use std::ops::Range;
 use std::path::{Path, PathBuf};
 
 use crate::lexer::{self, Tok};
+use crate::parser::{self, Item};
 
-/// One source file, with raw/token/code views (same line count).
+/// One source file, with raw/token/code/item views (same line count).
 pub struct SourceFile {
     /// Path relative to the audited root, `/`-separated.
     pub rel: String,
@@ -35,6 +36,10 @@ pub struct SourceFile {
     pub code: Vec<String>,
     /// The token stream; empty when the lexer fell back to [`scrub`].
     pub toks: Vec<Tok>,
+    /// The parsed item tree ([`crate::parser`]); empty on the scrub
+    /// fallback path. Lexed and parsed exactly once per audit run — every
+    /// pass shares these views instead of re-deriving them.
+    pub items: Vec<Item>,
     /// 0-based line ranges of `#[cfg(test)]`-gated items (brace-matched
     /// when lexed; the legacy first-marker heuristic on fallback).
     pub test_regions: Vec<Range<usize>>,
@@ -43,11 +48,12 @@ pub struct SourceFile {
 impl SourceFile {
     /// Build every view from one source string.
     pub fn from_source(rel: &str, text: &str) -> SourceFile {
-        let (code, toks, test_regions) = match lexer::lex(text) {
+        let (code, toks, items, test_regions) = match lexer::lex(text) {
             Ok(toks) => {
                 let code = lexer::code_view(text, &toks);
                 let regions = lexer::cfg_test_regions(text, &toks);
-                (code, toks, regions)
+                let items = parser::parse_items(text, &toks);
+                (code, toks, items, regions)
             }
             Err(_) => {
                 // Fallback: the legacy scrubber plus the old heuristic
@@ -55,7 +61,7 @@ impl SourceFile {
                 let code = scrub(text);
                 let first =
                     code.lines().position(|l| l.contains("#[cfg(test)]")).unwrap_or(usize::MAX);
-                (code, Vec::new(), std::iter::once(first..usize::MAX).collect())
+                (code, Vec::new(), Vec::new(), std::iter::once(first..usize::MAX).collect())
             }
         };
         SourceFile {
@@ -64,6 +70,7 @@ impl SourceFile {
             raw: text.lines().map(str::to_owned).collect(),
             code: code.lines().map(str::to_owned).collect(),
             toks,
+            items,
             test_regions,
         }
     }

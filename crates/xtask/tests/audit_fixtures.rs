@@ -5,7 +5,7 @@
 
 use std::path::{Path, PathBuf};
 
-const ALL: [&str; 9] = xtask::ALL_PASSES;
+const ALL: [&str; 13] = xtask::ALL_PASSES;
 
 fn fixture(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
@@ -139,6 +139,97 @@ fn bad_fixture_dispatch_matrix() {
     );
     // Unexercised cell: no equivalence test sweeps SimdLevel::available().
     assert!(text.contains("is not exercised by the equivalence-test matrix"), "{text}");
+}
+
+#[test]
+fn bad_fixture_lock_discipline() {
+    let text = rendered(&fixture("bad")).join("\n");
+    assert!(
+        text.contains("pool.rs:8: [lock-discipline] lock field `queue` without an adjacent"),
+        "{text}"
+    );
+    assert!(
+        text.contains("pool.rs:21: [lock-discipline] guard acquisition without an adjacent"),
+        "{text}"
+    );
+    assert!(
+        text.contains("pool.rs:30: [lock-discipline] guard on `count` held across `Condvar::wait`"),
+        "{text}"
+    );
+    assert!(
+        text.contains("[lock-discipline] lock-order cycle `count -> queue -> count`"),
+        "{text}"
+    );
+    // Annotated sites in the same file are not flagged.
+    assert!(!text.contains("pool.rs:27:"), "{text}");
+}
+
+#[test]
+fn bad_fixture_sync_escape() {
+    let text = rendered(&fixture("bad")).join("\n");
+    assert!(
+        text.contains(
+            "sync_leak.rs:7: [sync-escape] struct `Leaky` owns synchronization state outside"
+        ),
+        "{text}"
+    );
+    assert!(text.contains("sync_leak.rs:8: [sync-escape] `pub` sync field `Leaky.slot`"), "{text}");
+    assert!(text.contains("sync_leak.rs:12: [sync-escape] `unsafe impl Sync`"), "{text}");
+}
+
+#[test]
+fn bad_fixture_error_surface() {
+    let text = rendered(&fixture("bad")).join("\n");
+    assert!(
+        text.contains(
+            "error.rs:5: [error-surface] variant `EngineError::Dead` has no construction site"
+        ),
+        "{text}"
+    );
+    assert!(
+        text.contains(
+            "error.rs:5: [error-surface] variant `EngineError::Dead` never appears in a test"
+        ),
+        "{text}"
+    );
+    assert!(
+        text.contains("swallow.rs:10: [error-surface] engine `Result` discarded via `let _ = …`"),
+        "{text}"
+    );
+    assert!(
+        text.contains("swallow.rs:14: [error-surface] engine `Result` discarded via `.ok()`"),
+        "{text}"
+    );
+    // `Used` is constructed in the library and mentioned in a test, so only
+    // `Dead` is flagged.
+    assert!(!text.contains("`EngineError::Used`"), "{text}");
+}
+
+#[test]
+fn bad_fixture_layer_conformance() {
+    let text = rendered(&fixture("bad")).join("\n");
+    assert!(
+        text.contains("upward.rs:3: [layer-conformance] crate `toolbox` must not depend on `core`"),
+        "{text}"
+    );
+}
+
+#[test]
+fn new_rule_ids_round_trip_through_sarif() {
+    let diags = xtask::run_audit(&fixture("bad"), &["locks", "sync", "errors", "layers"]);
+    let passes: std::collections::BTreeSet<&str> = diags.iter().map(|d| d.pass).collect();
+    for rule in ["lock-discipline", "sync-escape", "error-surface", "layer-conformance"] {
+        assert!(passes.contains(rule), "{rule} missing from bad-fixture findings: {passes:?}");
+    }
+    let ids = xtask::report::stable_ids(&diags);
+    let sarif = xtask::report::to_sarif(&diags);
+    for rule in ["lock-discipline", "sync-escape", "error-surface", "layer-conformance"] {
+        assert!(sarif.contains(&format!("{{ \"id\": \"{rule}\" }}")), "{sarif}");
+    }
+    for id in &ids {
+        assert!(sarif.contains(id.as_str()), "{id} missing from SARIF:\n{sarif}");
+    }
+    assert_eq!(xtask::report::parse_baseline(&xtask::report::render_baseline(&ids)), ids);
 }
 
 #[test]
