@@ -1,0 +1,279 @@
+//! **Encoded operators** — filtered aggregation on compressed form
+//! (DESIGN.md §13) vs the always-available decode fallback.
+//!
+//! Sweeps the knobs the specialized paths key on:
+//!
+//! * **RLE run length** (8 → 4096, i.e. runs/rows from 12.5% down to
+//!   ~0.02%): the run-wise path evaluates the predicate once per run and
+//!   folds SUM as `value × run_len`, so its cost is O(runs) while the
+//!   decode fallback stays O(rows). The ISSUE's acceptance bound: at
+//!   runs/rows ≤ 1% the filtered SUM must be ≥ 10× faster than the forced
+//!   `Scalar`+`Compact` fallback.
+//! * **Sorted delta/bit-packed data**: range predicates ride the
+//!   monotonic whole-batch accept/reject + binary-search pruning.
+//! * **Dictionary cardinality**: predicates are pre-evaluated over the
+//!   dictionary into an id-bitset, then codes are filtered by membership.
+//!
+//! Every timed pair is also checked for exact result equality — a config
+//! where the fast path and the fallback disagree aborts the bench.
+//!
+//! Emits `BENCH_encoded_ops.json` (validated by `cargo xtask bench-check`)
+//! with per-config medians, the achieved speedups, and
+//! `best_rle_speedup` / `min_runs_fraction` acceptance summaries.
+//!
+//! Environment knobs: `BIPIE_ENCODED_OPS_ROWS` (default 1M),
+//! `BIPIE_BENCH_RUNS` (default 10), `BIPIE_BENCH_JSON` (output path).
+
+use std::time::Instant;
+
+use bipie_bench::bench_opts;
+use bipie_columnstore::encoding::EncodingHint;
+use bipie_columnstore::{ColumnSpec, LogicalType, Table, TableBuilder, Value};
+use bipie_core::{
+    execute, AggExpr, AggStrategy, Predicate, Query, QueryBuilder, QueryOptions, SelectionStrategy,
+};
+use bipie_metrics::Table as TextTable;
+
+struct Config {
+    name: String,
+    encoding: &'static str,
+    /// runs/rows for RLE configs; `None` where the notion does not apply.
+    runs_fraction: Option<f64>,
+    table: Table,
+    query: fn(&Config, QueryOptions) -> Query,
+    /// Predicate threshold for the query builders below.
+    threshold: i64,
+}
+
+struct Outcome {
+    adaptive_secs: f64,
+    fallback_secs: f64,
+    speedup: f64,
+    runwise_segments: usize,
+    runspan_batches: usize,
+}
+
+fn rle_table(rows: usize, run_len: usize) -> Table {
+    let mut b = TableBuilder::with_segment_rows(
+        vec![
+            ColumnSpec::new("k", LogicalType::I64).with_hint(EncodingHint::Rle),
+            ColumnSpec::new("v", LogicalType::I64).with_hint(EncodingHint::Rle),
+        ],
+        rows,
+    );
+    for i in 0..rows as i64 {
+        let run = i / run_len as i64;
+        b.push_row(vec![Value::I64(run), Value::I64(run * 5 - 7)]);
+    }
+    b.finish()
+}
+
+fn sorted_table(rows: usize, hint: EncodingHint) -> Table {
+    let mut b = TableBuilder::with_segment_rows(
+        vec![
+            ColumnSpec::new("ts", LogicalType::I64).with_hint(hint),
+            ColumnSpec::new("v", LogicalType::I64).with_hint(EncodingHint::BitPack),
+        ],
+        rows,
+    );
+    for i in 0..rows as i64 {
+        b.push_row(vec![Value::I64(1_000 + 3 * i), Value::I64(i % 1024)]);
+    }
+    b.finish()
+}
+
+fn dict_table(rows: usize, cardinality: i64) -> Table {
+    let mut b = TableBuilder::with_segment_rows(
+        vec![
+            ColumnSpec::new("code", LogicalType::I64).with_hint(EncodingHint::Dict),
+            ColumnSpec::new("v", LogicalType::I64).with_hint(EncodingHint::BitPack),
+        ],
+        rows,
+    );
+    for i in 0..rows as i64 {
+        // Spread codes over a sparse domain so dictionary pre-evaluation
+        // has real work to do (membership is not a trivial range).
+        b.push_row(vec![Value::I64((i * i) % (cardinality * 13)), Value::I64(i % 511)]);
+    }
+    b.finish()
+}
+
+/// `SELECT count(*), sum(v) WHERE k < threshold` — run-wise eligible.
+fn lt_query(c: &Config, options: QueryOptions) -> Query {
+    QueryBuilder::new()
+        .filter(Predicate::lt("k", Value::I64(c.threshold)))
+        .aggregate(AggExpr::count_star())
+        .aggregate(AggExpr::sum("v"))
+        .options(options)
+        .build()
+}
+
+/// Range predicate on the sorted column — monotonic-pruning eligible.
+fn ts_query(c: &Config, options: QueryOptions) -> Query {
+    QueryBuilder::new()
+        .filter(Predicate::between("ts", Value::I64(2_000), Value::I64(c.threshold)))
+        .aggregate(AggExpr::count_star())
+        .aggregate(AggExpr::sum("v"))
+        .options(options)
+        .build()
+}
+
+/// Conjunction over the dictionary column — fuses into one id-bitset.
+fn dict_query(c: &Config, options: QueryOptions) -> Query {
+    QueryBuilder::new()
+        .filter(Predicate::and(vec![
+            Predicate::ge("code", Value::I64(3)),
+            Predicate::le("code", Value::I64(c.threshold)),
+            Predicate::ne("code", Value::I64(16)),
+        ]))
+        .aggregate(AggExpr::count_star())
+        .aggregate(AggExpr::sum("v"))
+        .options(options)
+        .build()
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn measure(c: &Config, runs: usize, warmup: usize) -> Outcome {
+    let serial = QueryOptions { parallel: false, ..Default::default() };
+    let fallback_opts = QueryOptions {
+        forced_agg: Some(AggStrategy::Scalar),
+        forced_selection: Some(SelectionStrategy::Compact),
+        parallel: false,
+        ..Default::default()
+    };
+    let time = |options: &QueryOptions| {
+        for _ in 0..warmup {
+            execute(&c.table, &(c.query)(c, options.clone())).expect("query runs");
+        }
+        let mut samples = Vec::with_capacity(runs);
+        let mut last = None;
+        for _ in 0..runs {
+            let start = Instant::now();
+            let r = execute(&c.table, &(c.query)(c, options.clone())).expect("query runs");
+            samples.push(start.elapsed().as_secs_f64());
+            last = Some(r);
+        }
+        (median(&mut samples), last.expect("at least one run"))
+    };
+    let (adaptive_secs, adaptive) = time(&serial);
+    let (fallback_secs, fallback) = time(&fallback_opts);
+    // The fast path earns its keep only if it is *exactly* the fallback.
+    assert_eq!(adaptive.rows, fallback.rows, "{}: fast path diverged from fallback", c.name);
+    Outcome {
+        adaptive_secs,
+        fallback_secs,
+        speedup: fallback_secs / adaptive_secs,
+        runwise_segments: adaptive.stats.agg_count(AggStrategy::RunWise),
+        runspan_batches: adaptive.stats.selection_count(SelectionStrategy::RunSpan),
+    }
+}
+
+fn main() {
+    let rows: usize = std::env::var("BIPIE_ENCODED_OPS_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1 << 20);
+    let opts = bench_opts();
+
+    println!("Encoded operators: compressed-form kernels vs decode fallback");
+    println!("rows={rows} runs={} (fallback = forced Scalar+Compact)\n", opts.runs);
+
+    let mut configs: Vec<Config> = Vec::new();
+    for run_len in [8usize, 64, 1024, 4096] {
+        let max_k = (rows / run_len) as i64;
+        configs.push(Config {
+            name: format!("rle_run_{run_len}"),
+            encoding: "rle",
+            runs_fraction: Some(1.0 / run_len as f64),
+            table: rle_table(rows, run_len),
+            query: lt_query,
+            threshold: max_k / 2, // ~50% selectivity, run-granular spans
+        });
+    }
+    configs.push(Config {
+        name: "delta_sorted".into(),
+        encoding: "delta",
+        runs_fraction: None,
+        table: sorted_table(rows, EncodingHint::Delta),
+        query: ts_query,
+        threshold: 1_000 + 3 * (rows as i64 / 2),
+    });
+    for cardinality in [16i64, 256] {
+        configs.push(Config {
+            name: format!("dict_card_{cardinality}"),
+            encoding: "dict",
+            runs_fraction: None,
+            table: dict_table(rows, cardinality),
+            query: dict_query,
+            threshold: cardinality * 10,
+        });
+    }
+
+    let outcomes: Vec<Outcome> =
+        configs.iter().map(|c| measure(c, opts.runs, opts.warmup)).collect();
+
+    let mut t = TextTable::new(vec![
+        "config",
+        "runs/rows",
+        "adaptive s",
+        "fallback s",
+        "speedup",
+        "runwise segs",
+    ]);
+    for (c, o) in configs.iter().zip(&outcomes) {
+        t.row(vec![
+            c.name.clone(),
+            c.runs_fraction.map_or("n/a".into(), |f| format!("{:.4}%", f * 100.0)),
+            format!("{:.5}", o.adaptive_secs),
+            format!("{:.5}", o.fallback_secs),
+            format!("{:.2}x", o.speedup),
+            o.runwise_segments.to_string(),
+        ]);
+    }
+    t.print();
+
+    // Acceptance summary: best speedup among RLE configs at runs/rows ≤ 1%.
+    let best_rle_speedup = configs
+        .iter()
+        .zip(&outcomes)
+        .filter(|(c, _)| c.runs_fraction.is_some_and(|f| f <= 0.01))
+        .map(|(_, o)| o.speedup)
+        .fold(0.0f64, f64::max);
+    let min_runs_fraction =
+        configs.iter().filter_map(|c| c.runs_fraction).fold(f64::INFINITY, f64::min);
+    println!("\nbest RLE speedup at runs/rows <= 1%: {best_rle_speedup:.2}x");
+
+    let json_path =
+        std::env::var("BIPIE_BENCH_JSON").unwrap_or_else(|_| "BENCH_encoded_ops.json".to_string());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"encoded_ops\",\n");
+    json.push_str(&format!("  \"rows\": {rows},\n"));
+    json.push_str(&format!("  \"runs\": {},\n", opts.runs));
+    json.push_str(&format!("  \"best_rle_speedup\": {best_rle_speedup:.3},\n"));
+    json.push_str(&format!("  \"min_runs_fraction\": {min_runs_fraction:.6},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, (c, o)) in configs.iter().zip(&outcomes).enumerate() {
+        json.push_str(&format!(
+            "    {{\"config\": \"{}\", \"encoding\": \"{}\", \"runs_fraction\": {}, \
+             \"adaptive_secs\": {:.6}, \"fallback_secs\": {:.6}, \"speedup\": {:.3}, \
+             \"runwise_segments\": {}, \"runspan_batches\": {}}}{}\n",
+            c.name,
+            c.encoding,
+            c.runs_fraction.map_or("null".to_string(), |f| format!("{f:.6}")),
+            o.adaptive_secs,
+            o.fallback_secs,
+            o.speedup,
+            o.runwise_segments,
+            o.runspan_batches,
+            if i + 1 < configs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&json_path, &json).expect("writing the JSON report");
+    println!("wrote {json_path}");
+}

@@ -21,6 +21,13 @@
 //! still reports level medians but records `off_vs_baseline_pct: null`
 //! (and `--gate` fails, since the bound cannot be checked).
 //!
+//! Run-to-run noise can make the Off build *faster* than the baseline
+//! build (different binaries, different code layout), which is a
+//! measurement artifact, not a negative cost. The report therefore keeps
+//! the raw signed difference as `off_vs_baseline_pct` and separately
+//! records `off_vs_baseline_gate_pct = max(0, raw)` — the overhead claim
+//! the gate checks, where "the profiler is free" saturates at 0%.
+//!
 //! Levels are measured **interleaved** (one run of each per round) so slow
 //! drift — thermal, frequency, cache state — lands on all levels equally
 //! instead of biasing whichever level happens to run last.
@@ -137,6 +144,10 @@ fn main() {
     }
 
     let off_pct = pct_over(medians[0]);
+    // A faster-than-baseline Off build is noise, not negative overhead:
+    // the gate metric clamps at zero while the raw signed value stays in
+    // the report for trend tracking.
+    let off_gate_pct = off_pct.map(|p| p.max(0.0));
     let json_path =
         std::env::var("BIPIE_BENCH_JSON").unwrap_or_else(|_| "BENCH_profile.json".to_string());
     let mut json = String::new();
@@ -160,18 +171,22 @@ fn main() {
         Some(p) => json.push_str(&format!("  \"off_vs_baseline_pct\": {p:.3},\n")),
         None => json.push_str("  \"off_vs_baseline_pct\": null,\n"),
     }
+    match off_gate_pct {
+        Some(p) => json.push_str(&format!("  \"off_vs_baseline_gate_pct\": {p:.3},\n")),
+        None => json.push_str("  \"off_vs_baseline_gate_pct\": null,\n"),
+    }
     json.push_str(&format!("  \"spans_profile\": {}\n", spans_profile_json));
     json.push_str("}\n");
     std::fs::write(&json_path, &json).expect("writing the JSON report");
     println!("wrote {json_path}");
 
     if let Some(bound) = gate {
-        match off_pct {
+        match off_gate_pct {
             Some(p) if p <= bound => {
-                println!("gate: Off overhead {p:+.2}% within {bound}% bound");
+                println!("gate: Off overhead {p:.2}% within {bound}% bound");
             }
             Some(p) => {
-                eprintln!("gate FAILED: Off overhead {p:+.2}% exceeds {bound}% bound");
+                eprintln!("gate FAILED: Off overhead {p:.2}% exceeds {bound}% bound");
                 std::process::exit(1);
             }
             None => {

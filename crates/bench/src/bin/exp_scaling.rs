@@ -16,9 +16,12 @@
 //! when nothing was skipped).
 //!
 //! If `BENCH_profile.json` (from `exp_profile_overhead`) is present next to
-//! the output, its measured `ProfileLevel::Off` overhead is embedded as
-//! `profile_overhead_off_pct` so one file carries the scan acceptance
-//! numbers; it is `null` when the overhead bench has not been run.
+//! the output, its measured `ProfileLevel::Off` overhead is embedded so one
+//! file carries the scan acceptance numbers: `profile_overhead_off_pct` is
+//! the gate metric clamped at zero (a faster-than-baseline Off build is
+//! measurement noise, not negative cost), and
+//! `profile_overhead_off_raw_pct` keeps the signed raw difference for trend
+//! tracking. Both are `null` when the overhead bench has not been run.
 //!
 //! Environment knobs:
 //!
@@ -145,8 +148,16 @@ fn main() {
         skipped.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", ")
     ));
     match overhead_pct {
-        Some(pct) => json.push_str(&format!("  \"profile_overhead_off_pct\": {pct:.3},\n")),
-        None => json.push_str("  \"profile_overhead_off_pct\": null,\n"),
+        Some(pct) => {
+            // Clamped gate metric first, signed raw value alongside: an Off
+            // build that beat the baseline measured noise, not a speedup.
+            json.push_str(&format!("  \"profile_overhead_off_pct\": {:.3},\n", pct.max(0.0)));
+            json.push_str(&format!("  \"profile_overhead_off_raw_pct\": {pct:.3},\n"));
+        }
+        None => {
+            json.push_str("  \"profile_overhead_off_pct\": null,\n");
+            json.push_str("  \"profile_overhead_off_raw_pct\": null,\n");
+        }
     }
     json.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {

@@ -23,6 +23,9 @@ pub struct DeltaColumn {
     deltas: PackedVec,
     /// `anchors[k]` = value of row `k * ANCHOR_INTERVAL`.
     anchors: Vec<i64>,
+    /// True when the logical values never decrease (checked exactly at
+    /// encode time, so it stays sound even when deltas wrap).
+    non_decreasing: bool,
 }
 
 impl DeltaColumn {
@@ -34,6 +37,7 @@ impl DeltaColumn {
                 min_delta: 0,
                 deltas: PackedVec::pack(&[], 1),
                 anchors: Vec::new(),
+                non_decreasing: true,
             };
         }
         let min_delta = values.windows(2).map(|w| w[1].wrapping_sub(w[0])).min().unwrap_or(0);
@@ -42,11 +46,13 @@ impl DeltaColumn {
             .map(|w| (w[1].wrapping_sub(w[0])).wrapping_sub(min_delta) as u64)
             .collect();
         let anchors: Vec<i64> = values.iter().step_by(ANCHOR_INTERVAL).copied().collect();
+        let non_decreasing = values.windows(2).all(|w| w[1] >= w[0]);
         DeltaColumn {
             len: values.len(),
             min_delta,
             deltas: PackedVec::pack_minimal(&normalized),
             anchors,
+            non_decreasing,
         }
     }
 
@@ -84,6 +90,27 @@ impl DeltaColumn {
     /// Bits per packed delta.
     pub fn delta_bits(&self) -> u8 {
         self.deltas.bits()
+    }
+
+    /// Sortedness metadata: true when the logical values never decrease.
+    /// Monotonic range pruning relies on this contract — range predicates
+    /// over a non-decreasing column select a contiguous row interval, so a
+    /// whole batch can be accepted/rejected from its boundary values.
+    pub fn is_non_decreasing(&self) -> bool {
+        self.non_decreasing
+    }
+
+    /// Random access to one logical value: replays at most
+    /// [`ANCHOR_INTERVAL`] deltas from the nearest anchor. Intended for
+    /// boundary probes (monotonic binary search), not bulk decoding.
+    pub fn get(&self, row: usize) -> i64 {
+        assert!(row < self.len, "row {row} out of bounds (len {})", self.len);
+        let anchor_idx = row / ANCHOR_INTERVAL;
+        let mut value = self.anchors[anchor_idx];
+        for di in anchor_idx * ANCHOR_INTERVAL..row {
+            value = value.wrapping_add(self.min_delta).wrapping_add(self.deltas.get(di) as i64);
+        }
+        value
     }
 
     /// Payload size in bytes.

@@ -15,6 +15,9 @@ use bipie_toolbox::SimdLevel;
 pub struct ForBitPackColumn {
     reference: i64,
     packed: PackedVec,
+    /// True when the logical values never decrease (sortedness metadata
+    /// for monotonic range pruning).
+    non_decreasing: bool,
 }
 
 impl ForBitPackColumn {
@@ -23,7 +26,8 @@ impl ForBitPackColumn {
         let reference = values.iter().copied().min().unwrap_or(0);
         let normalized: Vec<u64> =
             values.iter().map(|&v| (v as i128 - reference as i128) as u64).collect();
-        ForBitPackColumn { reference, packed: PackedVec::pack_minimal(&normalized) }
+        let non_decreasing = values.windows(2).all(|w| w[1] >= w[0]);
+        ForBitPackColumn { reference, packed: PackedVec::pack_minimal(&normalized), non_decreasing }
     }
 
     /// Estimated payload bytes without building the encoding.
@@ -65,6 +69,20 @@ impl ForBitPackColumn {
     /// Maximum normalized value representable (`max - min` bound).
     pub fn normalized_max(&self) -> u64 {
         self.packed.value_mask()
+    }
+
+    /// Sortedness metadata: true when the logical values never decrease.
+    /// See [`DeltaColumn::is_non_decreasing`] for the monotonicity contract.
+    ///
+    /// [`DeltaColumn::is_non_decreasing`]: super::DeltaColumn::is_non_decreasing
+    pub fn is_non_decreasing(&self) -> bool {
+        self.non_decreasing
+    }
+
+    /// Random access to one logical value (O(1) — bit packing is
+    /// addressable), for monotonic boundary probes.
+    pub fn get(&self, row: usize) -> i64 {
+        (self.packed.get(row) as i128 + self.reference as i128) as i64
     }
 
     /// Payload size in bytes.

@@ -62,6 +62,21 @@ impl RleColumn {
         &self.values
     }
 
+    /// Cumulative (exclusive) run end rows; strictly increasing, one entry
+    /// per run, `run_ends().last() == len`. Together with [`run_values`]
+    /// this exposes the compressed form for run-wise operators that filter
+    /// and aggregate in O(runs) without decoding.
+    ///
+    /// [`run_values`]: RleColumn::run_values
+    pub fn run_ends(&self) -> &[u32] {
+        &self.ends
+    }
+
+    /// Index of the run containing `row` (for resuming a run walk mid-batch).
+    pub fn run_index_of(&self, row: usize) -> usize {
+        self.run_of(row)
+    }
+
     /// Payload size in bytes.
     pub fn encoded_bytes(&self) -> usize {
         self.values.len() * 8 + self.ends.len() * 4

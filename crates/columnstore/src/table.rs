@@ -134,7 +134,7 @@ impl Table {
         for row in rows {
             for (c, v) in row.into_iter().enumerate() {
                 match (&mut columns[c], v) {
-                    (ColumnData::Strs(out), Value::Str(s)) => out.push(s),
+                    (ColumnData::Strs(out), Value::Str(s)) => out.push(s.as_ref().to_owned()),
                     (ColumnData::Ints(out), v) => {
                         // PANIC: `check_row` validated every value against
                         // the schema before this loop ran.

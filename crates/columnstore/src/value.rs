@@ -81,6 +81,11 @@ impl LogicalType {
 }
 
 /// A single value of any logical type.
+///
+/// Strings are shared `Arc<str>` payloads: group keys and dictionary
+/// lookups clone values per row (or per group, per segment), and a
+/// refcount bump beats re-allocating the bytes every time. Construct via
+/// `Value::Str("a".into())` exactly as with the owned form.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Value {
     /// Integer.
@@ -89,8 +94,8 @@ pub enum Value {
     Date(Date),
     /// Decimal, as hundredths (`1234` = `12.34`).
     Decimal(i64),
-    /// String.
-    Str(String),
+    /// String (shared, immutable).
+    Str(std::sync::Arc<str>),
 }
 
 impl Value {

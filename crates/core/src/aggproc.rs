@@ -23,15 +23,16 @@
 //!
 //! [`finish`]: SegmentAggExecutor::finish
 
-use bipie_columnstore::encoding::ForBitPackColumn;
+use bipie_columnstore::encoding::{ForBitPackColumn, RleColumn};
 use bipie_columnstore::Segment;
 use bipie_toolbox::agg::multi::RowLayout;
 use bipie_toolbox::agg::sort_based::{bucket_sort, SortedBatch};
 use bipie_toolbox::agg::{in_register, minmax, multi, scalar, sort_based, ColRef};
 use bipie_toolbox::bitpack::WordSize;
+use bipie_toolbox::runspan::{enc_minmax_runs_spans, enc_sum_runs_spans};
 use bipie_toolbox::select::{compact, gather, special_group};
 use bipie_toolbox::selvec::SelIndexVec;
-use bipie_toolbox::SimdLevel;
+use bipie_toolbox::{RunSpanVec, SimdLevel};
 
 use crate::expr::ResolvedExpr;
 use crate::strategy::{AggStrategy, SelectionStrategy};
@@ -309,6 +310,9 @@ impl<'a> SegmentAggExecutor<'a> {
             AggStrategy::SortBased => batch_rows * 16,
             // Row-layout accumulators (≤ 32 bytes/group) + transposed sums.
             AggStrategy::MultiAggregate => slots * 32 + inputs.len() * slots * 8,
+            // Run-wise runs in [`RunWiseExec`], whose accumulators are a
+            // handful of scalars; nothing beyond what is counted above.
+            AggStrategy::RunWise => 0,
         };
         bytes
     }
@@ -362,6 +366,12 @@ impl<'a> SegmentAggExecutor<'a> {
                     } else {
                         BatchMode::Selected { physical: true }
                     }
+                }
+                SelectionStrategy::RunSpan => {
+                    // PANIC: run-span selection is consumed by the run-wise
+                    // executor ([`RunWiseExec`]); the scan never pairs it
+                    // with the generic batch executor.
+                    unreachable!("run-span selection has no dense byte mask")
                 }
             },
         };
@@ -457,6 +467,9 @@ impl<'a> SegmentAggExecutor<'a> {
             },
             // PANIC: the SortBased arm returned earlier in this function.
             AggStrategy::SortBased => unreachable!("handled above"),
+            // PANIC: run-wise aggregation runs in [`RunWiseExec`]; the
+            // generic executor is never constructed with it.
+            AggStrategy::RunWise => unreachable!("run-wise uses a dedicated executor"),
         }
         drop(cols);
         self.process_min_max(gids, &mode);
@@ -697,6 +710,65 @@ impl<'a> SegmentAggExecutor<'a> {
                     sort_based::sum_sorted_i64(values, sorted, sums, level);
                 }
             }
+        }
+    }
+}
+
+/// Run-wise aggregation executor (DESIGN.md §13): consumes run-granular
+/// selections over RLE inputs for single-group (no GROUP BY) queries,
+/// touching O(runs) run headers instead of O(rows) values. RLE stores
+/// *logical* run values, so unlike [`SegmentAggExecutor::finish`] no
+/// frame-of-reference correction applies.
+#[derive(Debug)]
+pub struct RunWiseExec<'a> {
+    sum_cols: Vec<&'a RleColumn>,
+    mm_cols: Vec<&'a RleColumn>,
+    count: u64,
+    sums: Vec<i64>,
+    mins: Vec<i64>,
+    maxs: Vec<i64>,
+}
+
+impl<'a> RunWiseExec<'a> {
+    /// An executor summing `sum_cols` and tracking MIN/MAX over `mm_cols`.
+    pub fn new(sum_cols: Vec<&'a RleColumn>, mm_cols: Vec<&'a RleColumn>) -> Self {
+        let sums = vec![0i64; sum_cols.len()];
+        let mins = vec![i64::MAX; mm_cols.len()];
+        let maxs = vec![i64::MIN; mm_cols.len()];
+        RunWiseExec { sum_cols, mm_cols, count: 0, sums, mins, maxs }
+    }
+
+    /// Consume one batch's run-span selection. `start` is the batch's first
+    /// segment row; `spans` are batch-relative.
+    pub fn process_spans(&mut self, start: usize, spans: &RunSpanVec) {
+        self.count += spans.selected_rows() as u64;
+        for (i, c) in self.sum_cols.iter().enumerate() {
+            self.sums[i] = self.sums[i].wrapping_add(enc_sum_runs_spans(
+                c.run_values(),
+                c.run_ends(),
+                start,
+                spans.spans(),
+            ));
+        }
+        for (i, c) in self.mm_cols.iter().enumerate() {
+            if let Some((mn, mx)) =
+                enc_minmax_runs_spans(c.run_values(), c.run_ends(), start, spans.spans())
+            {
+                self.mins[i] = self.mins[i].min(mn);
+                self.maxs[i] = self.maxs[i].max(mx);
+            }
+        }
+    }
+
+    /// Finish in the same result shape as [`SegmentAggExecutor::finish`]
+    /// produces for a single group (empty MIN/MAX groups keep the
+    /// identities, exactly as there).
+    pub fn finish(self) -> SegmentAggResult {
+        SegmentAggResult {
+            counts: vec![self.count],
+            sums: self.sums.into_iter().map(|s| vec![s]).collect(),
+            mins: self.mins.into_iter().map(|m| vec![m]).collect(),
+            maxs: self.maxs.into_iter().map(|m| vec![m]).collect(),
         }
     }
 }
@@ -953,8 +1025,8 @@ mod tests {
             let keep = |i: usize| !with_filter || i % 5 != 2;
             let (counts, sums) =
                 oracle(rows, groups, keep, &[&|v, _| v, &|_, w| w, &|_, w| w * (100 - w)]);
-            for agg in AggStrategy::ALL {
-                for selection in SelectionStrategy::ALL {
+            for agg in AggStrategy::DENSE {
+                for selection in SelectionStrategy::DENSE {
                     let r = run_combo(rows, groups, agg, selection, with_filter, true);
                     assert_eq!(r.counts, counts, "{agg:?}+{selection:?} filter={with_filter}");
                     assert_eq!(r.sums, sums, "{agg:?}+{selection:?} filter={with_filter}");
@@ -985,6 +1057,38 @@ mod tests {
     }
 
     #[test]
+    fn run_wise_executor_matches_row_oracle() {
+        // RLE column with mixed run lengths; span selection keeps rows whose
+        // value is even. Batched consumption must equal the per-row oracle.
+        let values: Vec<i64> = (0..40i64)
+            .flat_map(|r| std::iter::repeat_n((r % 7) - 3, 17 + (r as usize % 5)))
+            .collect();
+        let col = RleColumn::encode(&values);
+        let mut exec = RunWiseExec::new(vec![&col], vec![&col]);
+        let batch = 100;
+        let mut start = 0usize;
+        while start < values.len() {
+            let len = batch.min(values.len() - start);
+            let mut spans = RunSpanVec::new();
+            let mut row = start;
+            while row < start + len {
+                if values[row] % 2 == 0 {
+                    spans.push((row - start) as u32, 1);
+                }
+                row += 1;
+            }
+            exec.process_spans(start, &spans);
+            start += len;
+        }
+        let r = exec.finish();
+        let kept: Vec<i64> = values.iter().copied().filter(|v| v % 2 == 0).collect();
+        assert_eq!(r.counts, vec![kept.len() as u64]);
+        assert_eq!(r.sums, vec![vec![kept.iter().sum::<i64>()]]);
+        assert_eq!(r.mins, vec![vec![*kept.iter().min().unwrap()]]);
+        assert_eq!(r.maxs, vec![vec![*kept.iter().max().unwrap()]]);
+    }
+
+    #[test]
     fn empty_selection_batches() {
         let rows = 1000;
         let groups = 3;
@@ -999,7 +1103,7 @@ mod tests {
             bipie_columnstore::encoding::EncodedColumn::BitPack(c) => c,
             _ => panic!(),
         };
-        for selection in SelectionStrategy::ALL {
+        for selection in SelectionStrategy::DENSE {
             let mut exec = SegmentAggExecutor::new(
                 AggStrategy::Scalar,
                 groups,

@@ -19,11 +19,12 @@
 //! translated constant falls outside the segment's min/max proves the
 //! segment contributes no rows (§2.1).
 
-use bipie_columnstore::encoding::EncodedColumn;
+use bipie_columnstore::encoding::{EncodedColumn, RleColumn};
 use bipie_columnstore::{LogicalType, Segment, Table, Value};
 use bipie_toolbox::cmp::{self, CmpOp};
+use bipie_toolbox::runspan::{enc_filter_codes_bitset, enc_intersect_spans};
 use bipie_toolbox::selvec::{REJECTED, SELECTED};
-use bipie_toolbox::SimdLevel;
+use bipie_toolbox::{RunSpanVec, SimdLevel};
 
 use crate::error::{EngineError, Result};
 
@@ -117,7 +118,7 @@ impl Predicate {
                 let ty = table.specs()[col].ty;
                 match (ty, value) {
                     (LogicalType::Str, Value::Str(s)) => {
-                        Ok(PNode::StrCmp { col, op: *op, value: s.clone() })
+                        Ok(PNode::StrCmp { col, op: *op, value: s.as_ref().to_owned() })
                     }
                     (LogicalType::Str, _) | (_, Value::Str(_)) => Err(EngineError::TypeMismatch {
                         column: column.clone(),
@@ -171,7 +172,7 @@ impl Predicate {
             Predicate::Cmp { column, op, value } => {
                 let v = value_of(column);
                 match (&v, value) {
-                    (Value::Str(a), Value::Str(b)) => op.eval(a.as_str(), b.as_str()),
+                    (Value::Str(a), Value::Str(b)) => op.eval(&**a, &**b),
                     _ => op.eval(
                         // PANIC: plan construction rejected mixed string /
                         // integer comparisons, so both sides are integer-like.
@@ -212,6 +213,10 @@ pub struct FilterScratch {
     u32_buf: Vec<u32>,
     i64_buf: Vec<i64>,
     tmp_sel: Vec<u8>,
+    /// Dictionary-id bitset for conjunction fusion over dict columns.
+    dict_bits: Vec<u64>,
+    /// Span scratch for run-span evaluation of conjunctions.
+    tmp_spans: Vec<RunSpanVec>,
 }
 
 /// Outcome of translating a comparison into a bounded unsigned domain.
@@ -379,22 +384,270 @@ impl ResolvedPredicate {
                 other => unreachable!("string column encoded as {:?}", other.encoding()),
             },
             PNode::And(nodes) => {
-                // PANIC: plan compilation drops empty conjunctions.
-                let (first, rest) = nodes.split_first().expect("non-empty conjunction");
-                Self::eval_node(first, seg, start, out, scratch, level);
+                // Dictionary predicate pre-evaluation (DESIGN.md §13):
+                // conjuncts over the *same* dictionary column fuse into one
+                // id-bitset built by evaluating each comparison once per
+                // dictionary entry, followed by a single membership pass
+                // over the codes — instead of unpacking and comparing the
+                // codes once per conjunct.
+                let annotated: Vec<Option<(usize, DomainCmp)>> =
+                    nodes.iter().map(|node| dict_conjunct(node, seg)).collect();
+                let mut groups: Vec<(usize, Vec<DomainCmp>)> = Vec::new();
+                let mut rest: Vec<&PNode> = Vec::new();
+                for (node, ann) in nodes.iter().zip(&annotated) {
+                    match ann {
+                        Some((col, dc))
+                            if annotated.iter().flatten().filter(|(c, _)| c == col).count()
+                                >= 2 =>
+                        {
+                            match groups.iter_mut().find(|(c, _)| c == col) {
+                                Some((_, dcs)) => dcs.push(*dc),
+                                None => groups.push((*col, vec![*dc])),
+                            }
+                        }
+                        _ => rest.push(node),
+                    }
+                }
                 let mut tmp = std::mem::take(&mut scratch.tmp_sel);
                 tmp.clear();
                 tmp.resize(n, 0);
-                for node in rest {
-                    Self::eval_node(node, seg, start, &mut tmp, scratch, level);
-                    for (o, t) in out.iter_mut().zip(&tmp) {
-                        *o &= *t;
+                let mut first = true;
+                for (col, dcs) in &groups {
+                    let target: &mut [u8] = if first { &mut *out } else { &mut tmp };
+                    eval_dict_fused(seg, *col, dcs, start, target, scratch, level);
+                    if !first {
+                        for (o, t) in out.iter_mut().zip(&tmp) {
+                            *o &= *t;
+                        }
                     }
+                    first = false;
                 }
+                for node in rest {
+                    let target: &mut [u8] = if first { &mut *out } else { &mut tmp };
+                    Self::eval_node(node, seg, start, target, scratch, level);
+                    if !first {
+                        for (o, t) in out.iter_mut().zip(&tmp) {
+                            *o &= *t;
+                        }
+                    }
+                    first = false;
+                }
+                // PANIC: plan compilation drops empty conjunctions, so at
+                // least one group or plain conjunct wrote into `out`.
+                assert!(!first, "non-empty conjunction");
                 scratch.tmp_sel = tmp;
             }
         }
     }
+
+    /// True when every column this predicate references is RLE-encoded in
+    /// `seg` (string comparisons are never eligible), so the predicate can
+    /// be evaluated run-wise into a run-granular selection via
+    /// [`ResolvedPredicate::eval_batch_spans`].
+    pub fn span_eligible(&self, seg: &Segment) -> bool {
+        Self::node_span_eligible(&self.node, seg)
+    }
+
+    fn node_span_eligible(node: &PNode, seg: &Segment) -> bool {
+        match node {
+            PNode::IntCmp { col, .. } | PNode::IntBetween { col, .. } => {
+                matches!(seg.column(*col), EncodedColumn::Rle(_))
+            }
+            PNode::StrCmp { .. } => false,
+            PNode::And(nodes) => nodes.iter().all(|n| Self::node_span_eligible(n, seg)),
+        }
+    }
+
+    /// Evaluate the predicate run-wise over batch rows `[start, start+len)`
+    /// of a segment, producing a *batch-relative* run-granular selection
+    /// (one comparison per run instead of one per row, O(runs)). Callers
+    /// must check [`ResolvedPredicate::span_eligible`] first; deleted rows
+    /// are the caller's concern, exactly as with
+    /// [`ResolvedPredicate::eval_batch`].
+    pub fn eval_batch_spans(
+        &self,
+        seg: &Segment,
+        start: usize,
+        len: usize,
+        out: &mut RunSpanVec,
+        scratch: &mut FilterScratch,
+    ) {
+        Self::eval_node_spans(&self.node, seg, start, len, out, scratch);
+    }
+
+    fn eval_node_spans(
+        node: &PNode,
+        seg: &Segment,
+        start: usize,
+        len: usize,
+        out: &mut RunSpanVec,
+        scratch: &mut FilterScratch,
+    ) {
+        match node {
+            PNode::IntCmp { col, op, c } => {
+                eval_rle_spans(rle_col(seg, *col), start, len, LogicalCmp::Cmp(*op, *c), out);
+            }
+            PNode::IntBetween { col, lo, hi } => {
+                eval_rle_spans(rle_col(seg, *col), start, len, LogicalCmp::Between(*lo, *hi), out);
+            }
+            // PANIC: span eligibility rejects string predicates.
+            PNode::StrCmp { .. } => unreachable!("string predicates are not span-eligible"),
+            PNode::And(nodes) => {
+                // PANIC: plan compilation drops empty conjunctions.
+                let (first, rest) = nodes.split_first().expect("non-empty conjunction");
+                Self::eval_node_spans(first, seg, start, len, out, scratch);
+                if rest.is_empty() {
+                    return;
+                }
+                let mut a = scratch.tmp_spans.pop().unwrap_or_default();
+                let mut b = scratch.tmp_spans.pop().unwrap_or_default();
+                for node in rest {
+                    if out.is_empty() {
+                        break;
+                    }
+                    Self::eval_node_spans(node, seg, start, len, &mut a, scratch);
+                    enc_intersect_spans(out.spans(), a.spans(), &mut b);
+                    std::mem::swap(out, &mut b);
+                }
+                scratch.tmp_spans.push(a);
+                scratch.tmp_spans.push(b);
+            }
+        }
+    }
+}
+
+/// The run-span work ratio of a predicate on one segment: total runs its
+/// RLE columns walk per batch row. `None` when the predicate is not
+/// span-eligible for the segment. Used by the strategy chooser to cost the
+/// run-wise path.
+pub(crate) fn span_runs_fraction(pred: &ResolvedPredicate, seg: &Segment) -> Option<f64> {
+    if !pred.span_eligible(seg) {
+        return None;
+    }
+    let mut runs = 0usize;
+    let mut rows = 0usize;
+    collect_rle_runs(&pred.node, seg, &mut runs, &mut rows);
+    if rows == 0 {
+        return Some(0.0);
+    }
+    Some(runs as f64 / rows as f64)
+}
+
+fn collect_rle_runs(node: &PNode, seg: &Segment, runs: &mut usize, rows: &mut usize) {
+    match node {
+        PNode::IntCmp { col, .. } | PNode::IntBetween { col, .. } => {
+            let r = rle_col(seg, *col);
+            *runs += r.num_runs();
+            *rows += r.len();
+        }
+        PNode::StrCmp { .. } => {}
+        PNode::And(nodes) => {
+            for n in nodes {
+                collect_rle_runs(n, seg, runs, rows);
+            }
+        }
+    }
+}
+
+/// The column of `seg` that `col` indexes, as an RLE column.
+fn rle_col(seg: &Segment, col: usize) -> &RleColumn {
+    match seg.column(col) {
+        EncodedColumn::Rle(r) => r,
+        // PANIC: span eligibility checked every referenced column is RLE.
+        other => unreachable!("span evaluation on non-RLE column {:?}", other.encoding()),
+    }
+}
+
+/// Walk the runs of `r` overlapping `[start, start+len)`, pushing the rows
+/// of accepted runs as batch-relative coalesced spans.
+fn eval_rle_spans(
+    r: &RleColumn,
+    start: usize,
+    len: usize,
+    logical: LogicalCmp,
+    out: &mut RunSpanVec,
+) {
+    out.clear();
+    if len == 0 {
+        return;
+    }
+    let ends = r.run_ends();
+    let values = r.run_values();
+    let batch_end = start + len;
+    let mut run = r.run_index_of(start);
+    let mut row = start;
+    while row < batch_end {
+        let run_end = (ends[run] as usize).min(batch_end);
+        if logical.matches(values[run]) {
+            out.push((row - start) as u32, (run_end - row) as u32);
+        }
+        row = run_end;
+        run += 1;
+    }
+}
+
+/// A conjunct that targets a dictionary-encoded column of `seg`, translated
+/// into the code domain — the unit of dictionary conjunction fusion.
+fn dict_conjunct(node: &PNode, seg: &Segment) -> Option<(usize, DomainCmp)> {
+    match node {
+        PNode::IntCmp { col, op, c } => match seg.column(*col) {
+            EncodedColumn::IntDict(d) => {
+                Some((*col, LogicalCmp::Cmp(*op, *c).to_code_domain(d.dict())))
+            }
+            _ => None,
+        },
+        PNode::IntBetween { col, lo, hi } => match seg.column(*col) {
+            EncodedColumn::IntDict(d) => {
+                Some((*col, LogicalCmp::Between(*lo, *hi).to_code_domain(d.dict())))
+            }
+            _ => None,
+        },
+        PNode::StrCmp { col, op, value } => match seg.column(*col) {
+            EncodedColumn::StrDict(d) => Some((*col, str_domain_cmp(d.dict(), *op, value))),
+            _ => None,
+        },
+        PNode::And(_) => None,
+    }
+}
+
+/// Whether translated-domain comparison `dc` accepts dictionary id `code`.
+fn domain_cmp_matches(dc: DomainCmp, code: u64) -> bool {
+    match dc {
+        DomainCmp::All => true,
+        DomainCmp::None => false,
+        DomainCmp::Cmp(op, c) => op.eval(code, c),
+        DomainCmp::Between(lo, hi) => code >= lo && code <= hi,
+    }
+}
+
+/// Evaluate a fused group of code-domain comparisons over one dictionary
+/// column: build the id-bitset once over the dictionary, then run a single
+/// membership pass over the codes.
+fn eval_dict_fused(
+    seg: &Segment,
+    col: usize,
+    dcs: &[DomainCmp],
+    start: usize,
+    out: &mut [u8],
+    scratch: &mut FilterScratch,
+    level: SimdLevel,
+) {
+    let (codes, dict_len) = match seg.column(col) {
+        EncodedColumn::IntDict(d) => (d.codes(), d.dict().len()),
+        EncodedColumn::StrDict(d) => (d.codes(), d.dict().len()),
+        // PANIC: `dict_conjunct` only selects dictionary-encoded columns.
+        other => unreachable!("fused non-dictionary column {:?}", other.encoding()),
+    };
+    scratch.dict_bits.clear();
+    scratch.dict_bits.resize(dict_len.div_ceil(64), 0);
+    for code in 0..dict_len as u64 {
+        if dcs.iter().all(|&dc| domain_cmp_matches(dc, code)) {
+            scratch.dict_bits[(code / 64) as usize] |= 1u64 << (code % 64);
+        }
+    }
+    scratch.u32_buf.resize(out.len(), 0);
+    codes.unpack_into_u32(start, &mut scratch.u32_buf, level);
+    enc_filter_codes_bitset(&scratch.u32_buf, &scratch.dict_bits, out);
 }
 
 fn str_domain_cmp(dict: &[String], op: CmpOp, value: &str) -> DomainCmp {
@@ -413,6 +666,15 @@ enum LogicalCmp {
 }
 
 impl LogicalCmp {
+    /// Row-level evaluation in the logical domain (run-wise paths compare
+    /// one run *value* instead of every row).
+    fn matches(self, v: i64) -> bool {
+        match self {
+            LogicalCmp::Cmp(op, c) => op.eval(v, c),
+            LogicalCmp::Between(lo, hi) => v >= lo && v <= hi,
+        }
+    }
+
     /// Translate into a frame-of-reference normalized domain `[0, range]`.
     fn to_normalized(self, reference: i64, range: u64) -> DomainCmp {
         match self {
@@ -455,7 +717,15 @@ fn eval_int_domain(
     level: SimdLevel,
     logical: LogicalCmp,
 ) {
+    if out.is_empty() {
+        return;
+    }
     match seg.column(col) {
+        EncodedColumn::BitPack(c) if c.is_non_decreasing() => {
+            // Monotonic range pruning (DESIGN.md §13): the selected rows
+            // form a contiguous interval, found by boundary probes.
+            fill_monotonic(&|row| c.get(row), start, out, logical);
+        }
         EncodedColumn::BitPack(c) if c.bits() <= 32 => {
             // Encoded-domain fast path: compare normalized u32 values.
             let dc = logical.to_normalized(c.reference(), c.normalized_max());
@@ -465,6 +735,29 @@ fn eval_int_domain(
             // Code-domain path via the sorted dictionary.
             let dc = logical.to_code_domain(d.dict());
             apply_domain_cmp_packed(d.codes(), dc, start, out, scratch, level);
+        }
+        EncodedColumn::Rle(r) => {
+            // Run-wise evaluation: one comparison per run overlapping the
+            // batch, then a fill of the run's rows — O(runs) compares
+            // (this is also the spill target when a run-span selection
+            // must densify).
+            let ends = r.run_ends();
+            let values = r.run_values();
+            let batch_end = start + out.len();
+            let mut run = r.run_index_of(start);
+            let mut row = start;
+            while row < batch_end {
+                let run_end = (ends[run] as usize).min(batch_end);
+                let byte = if logical.matches(values[run]) { SELECTED } else { REJECTED };
+                out[row - start..run_end - start].fill(byte);
+                row = run_end;
+                run += 1;
+            }
+        }
+        EncodedColumn::Delta(d) if d.is_non_decreasing() => {
+            // Monotonic range pruning via anchored boundary probes — no
+            // delta replay of the whole batch.
+            fill_monotonic(&|row| d.get(row), start, out, logical);
         }
         other => {
             // Generic path: decode logical values, compare as i64.
@@ -478,6 +771,51 @@ fn eval_int_domain(
             }
         }
     }
+}
+
+/// Fill the selection mask for a batch of a **non-decreasing** column using
+/// at most two boundary binary searches: every comparison shape selects a
+/// contiguous row interval (or, for `!=`, its complement), so whole batches
+/// accept or reject without touching the codes.
+fn fill_monotonic(get: &dyn Fn(usize) -> i64, start: usize, out: &mut [u8], logical: LogicalCmp) {
+    let n = out.len();
+    // Whole-batch accept from the boundary values — valid for every shape
+    // except `!=` (whose accepted set is not an interval): if both ends of
+    // a non-decreasing batch match an interval predicate, every row does.
+    if !matches!(logical, LogicalCmp::Cmp(CmpOp::Ne, _))
+        && logical.matches(get(start))
+        && logical.matches(get(start + n - 1))
+    {
+        out.fill(SELECTED);
+        return;
+    }
+    // First batch offset whose value is `>= bound` (`> bound` when
+    // `strict`); non-decreasing order makes this a partition point.
+    let search = |bound: i64, strict: bool| -> usize {
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let v = get(start + mid);
+            if v < bound || (strict && v == bound) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    };
+    let (sel_lo, sel_hi, invert) = match logical {
+        LogicalCmp::Cmp(CmpOp::Lt, c) => (0, search(c, false), false),
+        LogicalCmp::Cmp(CmpOp::Le, c) => (0, search(c, true), false),
+        LogicalCmp::Cmp(CmpOp::Ge, c) => (search(c, false), n, false),
+        LogicalCmp::Cmp(CmpOp::Gt, c) => (search(c, true), n, false),
+        LogicalCmp::Cmp(CmpOp::Eq, c) => (search(c, false), search(c, true), false),
+        LogicalCmp::Cmp(CmpOp::Ne, c) => (search(c, false), search(c, true), true),
+        LogicalCmp::Between(lo, hi) => (search(lo, false), search(hi, true), false),
+    };
+    let hi = sel_hi.max(sel_lo);
+    out.fill(if invert { SELECTED } else { REJECTED });
+    out[sel_lo..hi].fill(if invert { REJECTED } else { SELECTED });
 }
 
 /// Apply a domain comparison to a bit-packed unsigned payload.
@@ -555,7 +893,7 @@ mod tests {
                 pred.eval_row(&|name| {
                     let c = table.column_index(name).unwrap();
                     match seg.column(c) {
-                        EncodedColumn::StrDict(d) => Value::Str(d.get(i).to_string()),
+                        EncodedColumn::StrDict(d) => Value::Str(d.get(i).into()),
                         other => Value::I64(other.get_i64(i)),
                     }
                 })

@@ -48,8 +48,10 @@ pub fn debug_assert_group_ids_u32(gids: &[u32], num_groups: usize) {
 /// One group-by column viewed as a dense code stream.
 #[derive(Debug)]
 enum NarrowCol<'a> {
-    /// String dictionary codes.
-    StrDict { dict: &'a [String], codes: &'a PackedVec },
+    /// String dictionary codes, with the dictionary pre-materialized to
+    /// shared [`Value`]s so reconstructing a group key bumps a refcount
+    /// instead of re-allocating the string bytes.
+    StrDict { dict: Vec<Value>, codes: &'a PackedVec },
     /// Integer dictionary codes.
     IntDict { dict: &'a [i64], codes: &'a PackedVec, ty: LogicalType },
     /// Frame-of-reference values with a small range: the normalized value
@@ -76,7 +78,7 @@ impl NarrowCol<'_> {
 
     fn key_of(&self, code: usize) -> Value {
         match self {
-            NarrowCol::StrDict { dict, .. } => Value::Str(dict[code].clone()),
+            NarrowCol::StrDict { dict, .. } => dict[code].clone(),
             NarrowCol::IntDict { dict, ty, .. } => Value::from_storage_i64(*ty, dict[code]),
             NarrowCol::BitPack { col, ty, .. } => {
                 Value::from_storage_i64(*ty, col.reference() + code as i64)
@@ -208,7 +210,7 @@ impl<'a> WideMapper<'a> {
             .iter()
             .zip(&self.cols)
             .map(|(&stored, (col, ty))| match col {
-                EncodedColumn::StrDict(d) => Value::Str(d.dict()[stored as usize].clone()),
+                EncodedColumn::StrDict(d) => Value::Str(d.dict()[stored as usize].as_str().into()),
                 _ => Value::from_storage_i64(*ty, stored),
             })
             .collect()
@@ -235,7 +237,10 @@ pub fn plan_segment_mapper<'a>(
     for &(idx, ty) in group_cols {
         match seg.column(idx) {
             EncodedColumn::StrDict(d) => {
-                narrow_cols.push(NarrowCol::StrDict { dict: d.dict(), codes: d.codes() })
+                // Materialize the dictionary once per segment plan: every
+                // group-key reconstruction then shares these allocations.
+                let dict = d.dict().iter().map(|s| Value::Str(s.as_str().into())).collect();
+                narrow_cols.push(NarrowCol::StrDict { dict, codes: d.codes() })
             }
             EncodedColumn::IntDict(d) => {
                 narrow_cols.push(NarrowCol::IntDict { dict: d.dict(), codes: d.codes(), ty })

@@ -75,6 +75,17 @@ pub fn execute_reference(table: &Table, query: &Query) -> Result<QueryResult> {
     };
 
     for seg in table.segments() {
+        // Materialize each string dictionary to shared values once per
+        // segment: the row loop below then clones an `Arc<str>` per access
+        // instead of re-allocating the string for every row.
+        let dict_vals: Vec<Option<Vec<Value>>> = (0..table.specs().len())
+            .map(|idx| match seg.column(idx) {
+                EncodedColumn::StrDict(d) => {
+                    Some(d.dict().iter().map(|s| Value::Str(s.as_str().into())).collect())
+                }
+                _ => None,
+            })
+            .collect();
         for row in 0..seg.num_rows() {
             if seg.deleted().is_deleted(row) {
                 continue;
@@ -83,7 +94,11 @@ pub fn execute_reference(table: &Table, query: &Query) -> Result<QueryResult> {
                 // PANIC: query validation resolved every column name.
                 let idx = table.column_index(name).expect("known column");
                 match seg.column(idx) {
-                    EncodedColumn::StrDict(d) => Value::Str(d.get(row).to_string()),
+                    EncodedColumn::StrDict(d) => {
+                        // PANIC: materialized above for every StrDict column.
+                        let dict = dict_vals[idx].as_ref().expect("materialized above");
+                        dict[d.codes().get(row) as usize].clone()
+                    }
                     other => Value::from_storage_i64(table.specs()[idx].ty, other.get_i64(row)),
                 }
             };

@@ -20,15 +20,15 @@ use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, PoisonError};
 
-use bipie_columnstore::encoding::EncodedColumn;
+use bipie_columnstore::encoding::{EncodedColumn, RleColumn};
 use bipie_columnstore::{Batch, BatchCursor, LogicalType, MorselCursor, Segment, Table, Value};
 use bipie_toolbox::selvec::count_selected;
-use bipie_toolbox::SimdLevel;
+use bipie_toolbox::{RunSpanVec, SimdLevel};
 
-use crate::aggproc::{AggInput, SegmentAggExecutor};
+use crate::aggproc::{AggInput, RunWiseExec, SegmentAggExecutor};
 use crate::error::{EngineError, Result};
 use crate::expr::ResolvedExpr;
-use crate::filter::{FilterScratch, ResolvedPredicate};
+use crate::filter::{span_runs_fraction, FilterScratch, ResolvedPredicate};
 use crate::governor::{CancelToken, Governor, MemScope};
 use crate::groupid::{plan_segment_mapper, NarrowMapper, SegmentGroupMapper, WideMapper};
 use crate::pool::{panic_message, WorkerPool};
@@ -748,6 +748,28 @@ fn projected_wide_bytes(
     groups.saturating_mul(wide_group_bytes(group_cols.len(), num_sums, num_mm))
 }
 
+/// Plan-time facts that make a segment eligible for the run-wise
+/// encoding-specialized path (DESIGN.md §13): ungrouped, no deleted rows,
+/// every aggregate a bare RLE column, and the filter (if any) answerable
+/// run-wise. The chooser still decides per segment whether to take it.
+struct RunWisePlan<'a> {
+    sum_cols: Vec<&'a RleColumn>,
+    mm_cols: Vec<&'a RleColumn>,
+    /// Worst (largest) runs/rows ratio over every RLE column the scan
+    /// touches — the cost model's work proxy for the run-wise path.
+    runs_fraction: f64,
+}
+
+/// The narrow path's executor: either the generic per-row strategy family
+/// or the run-wise executor that consumes run spans without unpacking.
+// One instance per segment scan, held inline in `NarrowScan` — boxing the
+// larger variant would buy nothing and cost a hot-path indirection.
+#[allow(clippy::large_enum_variant)]
+enum NarrowExec<'a> {
+    Generic(SegmentAggExecutor<'a>),
+    RunWise(RunWiseExec<'a>),
+}
+
 /// The BIPie fast path: u8 group ids, specialized kernels.
 struct NarrowScan<'a> {
     mapper: NarrowMapper<'a>,
@@ -757,14 +779,26 @@ struct NarrowScan<'a> {
     mm_inputs_slot: Vec<AggInput<'a>>,
     agg_params_template: AggChoiceParams,
     dominant_bits: u8,
-    executor: Option<SegmentAggExecutor<'a>>,
+    /// Run-wise eligibility, decided at plan time; cleared if the first
+    /// batch's chooser picks a generic strategy instead.
+    runwise: Option<RunWisePlan<'a>>,
+    executor: Option<NarrowExec<'a>>,
     gids: Vec<u8>,
     gid_scratch: Vec<u8>,
     fscratch: FilterScratch,
     sel_buf: Vec<u8>,
+    span_buf: RunSpanVec,
     /// Whether the batch-sized working buffers were charged to the
     /// accountant (once per state; they are reused across batches).
     charged_bufs: bool,
+}
+
+/// The RLE column behind `e` when `e` is a bare reference to one.
+fn bare_rle<'a>(seg: &'a Segment, e: &ResolvedExpr) -> Option<&'a RleColumn> {
+    match seg.column(e.as_bare_column()?) {
+        EncodedColumn::Rle(r) => Some(r),
+        _ => None,
+    }
 }
 
 impl<'a> NarrowScan<'a> {
@@ -802,6 +836,7 @@ impl<'a> NarrowScan<'a> {
             )
             .is_some(),
             est_selectivity: 1.0,
+            runwise_runs_fraction: None,
         };
 
         NarrowScan {
@@ -810,13 +845,45 @@ impl<'a> NarrowScan<'a> {
             mm_inputs_slot: mm_inputs,
             agg_params_template,
             dominant_bits,
+            runwise: Self::plan_runwise(seg, ctx),
             executor: None,
             gids: Vec::new(),
             gid_scratch: Vec::new(),
             fscratch: FilterScratch::default(),
             sel_buf: Vec::new(),
+            span_buf: RunSpanVec::new(),
             charged_bufs: false,
         }
+    }
+
+    /// Structural eligibility for the run-wise path, checked once per
+    /// segment. Forcing any *other* strategy disables it up front so forced
+    /// experiments exercise exactly the strategy they name.
+    fn plan_runwise(seg: &'a Segment, ctx: &ScanCtx<'a>) -> Option<RunWisePlan<'a>> {
+        if !ctx.group_cols.is_empty() || !seg.deleted().none_deleted() {
+            return None;
+        }
+        match ctx.options.forced_selection {
+            None | Some(SelectionStrategy::RunSpan) => {}
+            Some(_) => return None,
+        }
+        match ctx.options.forced_agg {
+            None | Some(AggStrategy::RunWise) => {}
+            Some(_) => return None,
+        }
+        let sum_cols: Vec<&RleColumn> =
+            ctx.sum_exprs.iter().map(|e| bare_rle(seg, e)).collect::<Option<_>>()?;
+        let mm_cols: Vec<&RleColumn> =
+            ctx.mm_exprs.iter().map(|e| bare_rle(seg, e)).collect::<Option<_>>()?;
+        let rows = seg.num_rows().max(1) as f64;
+        let mut runs_fraction: f64 = 0.0;
+        for c in sum_cols.iter().chain(&mm_cols) {
+            runs_fraction = runs_fraction.max(c.run_values().len() as f64 / rows);
+        }
+        if let Some(f) = ctx.filter {
+            runs_fraction = runs_fraction.max(span_runs_fraction(f, seg)?);
+        }
+        Some(RunWisePlan { sum_cols, mm_cols, runs_fraction })
     }
 
     #[allow(clippy::too_many_arguments)] // internal batch-loop plumbing
@@ -839,6 +906,19 @@ impl<'a> NarrowScan<'a> {
             mem.charge(ctx.governor, 3 * options.batch_rows)?;
             self.charged_bufs = true;
         }
+
+        // The run-wise fast path: predicate evaluated run-at-a-time into
+        // spans, aggregates folded value×length — no unpack, no per-row
+        // selection bytes. The first batch's chooser commits the segment to
+        // it (or declines, clearing the plan so later batches skip the
+        // probe and the generic machinery below runs instead).
+        if self.runwise.is_some() && !matches!(self.executor, Some(NarrowExec::Generic(_))) {
+            if self.try_process_runwise(seg, ctx, batch, at, stats, tracer) {
+                return Ok(());
+            }
+            self.runwise = None;
+        }
+
         let unpack_start = tracer.start();
         self.mapper.extract_batch(
             batch.start,
@@ -870,8 +950,13 @@ impl<'a> NarrowScan<'a> {
             Some(s) => count_selected(s, level) as f64 / batch.len.max(1) as f64,
             None => 1.0,
         };
-        let selection = options
-            .forced_selection
+        // Run-span selection has no dense byte-mask form, so forcing it on
+        // a segment the run-wise plan rejected falls back to the chooser.
+        let forced_selection = match options.forced_selection {
+            Some(s) if s != SelectionStrategy::RunSpan => Some(s),
+            _ => None,
+        };
+        let selection = forced_selection
             .unwrap_or_else(|| options.config.choose_selection(selectivity, self.dominant_bits));
         tracer.span(
             Phase::Selection,
@@ -887,7 +972,7 @@ impl<'a> NarrowScan<'a> {
             self.dominant_bits,
             selectivity,
             selection,
-            options.forced_selection.is_some(),
+            forced_selection.is_some(),
         );
         stats.record_selection(selection);
 
@@ -909,7 +994,15 @@ impl<'a> NarrowScan<'a> {
                     options.batch_rows,
                 )
             };
-            let strategy = options.forced_agg.unwrap_or_else(|| {
+            // Run-wise aggregation needs the run-wise plan (bare RLE
+            // columns); forcing it on an ineligible segment likewise
+            // reverts to the chooser, which never picks it here because
+            // the template leaves `runwise_runs_fraction` unset.
+            let forced_agg = match options.forced_agg {
+                Some(s) if s != AggStrategy::RunWise => Some(s),
+                _ => None,
+            };
+            let strategy = forced_agg.unwrap_or_else(|| {
                 options.config.choose_agg_budgeted(&params, ctx.governor.remaining(), &footprint)
             });
             stats.record_agg(strategy);
@@ -922,23 +1015,27 @@ impl<'a> NarrowScan<'a> {
                 params.all_packed_narrow,
                 params.multi_layout_fits,
                 strategy,
-                options.forced_agg.is_some(),
+                forced_agg.is_some(),
             );
             // Charge the executor's projected accumulators and scratch
             // before constructing it: a violation surfaces as the typed
             // error instead of an allocation.
             let projected = footprint(strategy);
             mem.charge(ctx.governor, projected)?;
-            self.executor = Some(SegmentAggExecutor::with_min_max(
+            self.executor = Some(NarrowExec::Generic(SegmentAggExecutor::with_min_max(
                 strategy,
                 self.mapper.num_groups(),
                 std::mem::take(&mut self.inputs_slot),
                 std::mem::take(&mut self.mm_inputs_slot),
                 level,
-            ));
+            )));
         }
-        // PANIC: the `if self.executor.is_none()` block above just filled it.
-        let exec = self.executor.as_mut().expect("created above");
+        let Some(NarrowExec::Generic(exec)) = self.executor.as_mut() else {
+            // PANIC: the run-wise branch above returned early, so the
+            // executor here is always the generic one (installed just above
+            // on the first batch).
+            unreachable!("generic executor installed above")
+        };
 
         let agg_start = tracer.start();
         let agg_strategy = exec.strategy();
@@ -952,10 +1049,105 @@ impl<'a> NarrowScan<'a> {
         Ok(())
     }
 
+    /// Process one batch run-wise: spans from the predicate, value×length
+    /// aggregation, no gid unpack. Returns `false` (batch untouched) only
+    /// when the first batch's chooser picks a generic strategy.
+    fn try_process_runwise(
+        &mut self,
+        seg: &'a Segment,
+        ctx: &ScanCtx<'a>,
+        batch: Batch,
+        at: BatchAt,
+        stats: &mut ExecStats,
+        tracer: &mut Tracer,
+    ) -> bool {
+        let options = ctx.options;
+        let select_start = tracer.start();
+        match ctx.filter {
+            Some(f) => f.eval_batch_spans(
+                seg,
+                batch.start,
+                batch.len,
+                &mut self.span_buf,
+                &mut self.fscratch,
+            ),
+            None => self.span_buf.set_full(batch.len),
+        }
+        let selectivity = self.span_buf.selected_rows() as f64 / batch.len.max(1) as f64;
+
+        if self.executor.is_none() {
+            // PANIC: the caller enters this path only while the plan exists.
+            let plan = self.runwise.as_ref().expect("caller checked the plan");
+            let mut params = self.agg_params_template.clone();
+            params.est_selectivity = selectivity;
+            params.runwise_runs_fraction = Some(plan.runs_fraction);
+            // No budget ladder here: the run-wise executor's footprint is a
+            // handful of scalars (`projected_bytes` reports 0), so a plain
+            // cost-model choice suffices and any budget admits it.
+            let strategy = options.forced_agg.unwrap_or_else(|| options.config.choose_agg(&params));
+            if strategy != AggStrategy::RunWise {
+                return false;
+            }
+            stats.record_agg(strategy);
+            tracer.decision_agg(
+                at.seg,
+                params.num_groups_effective as u32,
+                params.num_sums as u32,
+                ctx.mm_exprs.len() as u32,
+                params.est_selectivity,
+                params.all_packed_narrow,
+                params.multi_layout_fits,
+                strategy,
+                options.forced_agg.is_some(),
+            );
+            self.executor = Some(NarrowExec::RunWise(RunWiseExec::new(
+                plan.sum_cols.clone(),
+                plan.mm_cols.clone(),
+            )));
+        }
+        tracer.span(
+            Phase::Selection,
+            SpanLoc::at(at.seg, at.morsel).with_selection(SelectionStrategy::RunSpan),
+            batch.len as u64,
+            select_start,
+        );
+        tracer.decision_selection(
+            at.seg,
+            at.morsel,
+            batch.start as u64,
+            batch.len as u32,
+            self.dominant_bits,
+            selectivity,
+            SelectionStrategy::RunSpan,
+            options.forced_selection.is_some(),
+        );
+        stats.record_selection(SelectionStrategy::RunSpan);
+
+        let Some(NarrowExec::RunWise(exec)) = self.executor.as_mut() else {
+            // PANIC: installed as RunWise above, or by a previous batch (the
+            // caller skips this path once a generic executor exists).
+            unreachable!("run-wise executor installed above")
+        };
+        let agg_start = tracer.start();
+        exec.process_spans(batch.start, &self.span_buf);
+        tracer.span(
+            Phase::Aggregation,
+            SpanLoc::at(at.seg, at.morsel)
+                .with_selection(SelectionStrategy::RunSpan)
+                .with_agg(AggStrategy::RunWise),
+            batch.len as u64,
+            agg_start,
+        );
+        true
+    }
+
     fn finish(self) -> Vec<(Vec<Value>, GroupAcc)> {
         let Some(exec) = self.executor else { return Vec::new() };
         let num_groups = self.mapper.num_groups();
-        let result = exec.finish();
+        let result = match exec {
+            NarrowExec::Generic(e) => e.finish(),
+            NarrowExec::RunWise(e) => e.finish(),
+        };
         (0..num_groups)
             .filter(|&g| result.counts[g] > 0)
             .map(|g| {
@@ -1322,8 +1514,10 @@ mod tests {
         )
         .unwrap()
         .0;
-        for agg in AggStrategy::ALL {
-            for selection in SelectionStrategy::ALL {
+        // The dense strategy families; RunSpan/RunWise need an eligible
+        // (ungrouped, all-RLE) segment and are covered below.
+        for agg in AggStrategy::DENSE {
+            for selection in SelectionStrategy::DENSE {
                 let opts = ScanOptions {
                     forced_agg: Some(agg),
                     forced_selection: Some(selection),
@@ -1343,6 +1537,94 @@ mod tests {
                 assert!(stats.selection_count(selection) > 0);
             }
         }
+    }
+
+    #[test]
+    fn run_wise_path_aggregates_rle_without_unpack() {
+        use bipie_columnstore::EncodingHint;
+        // 2000 rows in runs of 100 (runs/rows = 1%): the chooser must take
+        // the run-wise path on its own.
+        let mut b = TableBuilder::with_segment_rows(
+            vec![
+                ColumnSpec::new("k", LogicalType::I64).with_hint(EncodingHint::Rle),
+                ColumnSpec::new("v", LogicalType::I64).with_hint(EncodingHint::Rle),
+            ],
+            100_000,
+        );
+        for i in 0..2000i64 {
+            b.push_row(vec![Value::I64(i / 100), Value::I64((i / 100) * 3)]);
+        }
+        let t = b.finish();
+        assert!(matches!(t.segments()[0].column(0), EncodedColumn::Rle(_)));
+        let expr = Expr::col("v").resolve(&|n| t.column_index(n)).unwrap();
+        let pred = Predicate::lt("k", Value::I64(10)).resolve(&t).unwrap();
+        let opts = ScanOptions { parallel: false, ..Default::default() };
+        let (groups, stats, _) = scan_table(
+            &t,
+            Some(&pred),
+            &[],
+            std::slice::from_ref(&expr),
+            std::slice::from_ref(&expr),
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(stats.agg_count(AggStrategy::RunWise), 1, "{stats:?}");
+        assert!(stats.selection_count(SelectionStrategy::RunSpan) > 0);
+        let acc = &groups[&Vec::new()];
+        assert_eq!(acc.count, 1000);
+        assert_eq!(acc.sums[0], (0..10i64).map(|g| g * 300).sum::<i64>());
+        assert_eq!(acc.mins[0], 0);
+        assert_eq!(acc.maxs[0], 27);
+
+        // The always-available decode fallback must agree byte-for-byte.
+        let forced = ScanOptions {
+            parallel: false,
+            forced_agg: Some(AggStrategy::Scalar),
+            forced_selection: Some(SelectionStrategy::Compact),
+            ..Default::default()
+        };
+        let (fallback, fstats, _) = scan_table(
+            &t,
+            Some(&pred),
+            &[],
+            std::slice::from_ref(&expr),
+            std::slice::from_ref(&expr),
+            &forced,
+        )
+        .unwrap();
+        assert_eq!(fallback, groups);
+        assert_eq!(fstats.agg_count(AggStrategy::RunWise), 0);
+    }
+
+    #[test]
+    fn forcing_run_wise_on_ineligible_segment_falls_back() {
+        // Grouped scan over non-RLE columns: a forced RunWise/RunSpan pair
+        // must quietly revert to the chooser, not panic in the generic
+        // kernels.
+        let t = table(3000, 1300);
+        let expr = v_expr(&t);
+        let opts = ScanOptions {
+            forced_agg: Some(AggStrategy::RunWise),
+            forced_selection: Some(SelectionStrategy::RunSpan),
+            parallel: false,
+            ..Default::default()
+        };
+        let (groups, stats, _) =
+            scan_table(&t, None, &[(0, LogicalType::Str)], std::slice::from_ref(&expr), &[], &opts)
+                .unwrap();
+        let baseline = scan_table(
+            &t,
+            None,
+            &[(0, LogicalType::Str)],
+            std::slice::from_ref(&expr),
+            &[],
+            &ScanOptions { parallel: false, ..Default::default() },
+        )
+        .unwrap()
+        .0;
+        assert_eq!(groups, baseline);
+        assert_eq!(stats.agg_count(AggStrategy::RunWise), 0);
+        assert_eq!(stats.selection_count(SelectionStrategy::RunSpan), 0);
     }
 
     #[test]

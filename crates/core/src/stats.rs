@@ -39,11 +39,11 @@ pub struct ExecStats {
     pub mutable_rows: usize,
     /// Batches per selection strategy, indexed by [`SelectionStrategy`].
     /// Additive.
-    pub selection_batches: [usize; 3],
+    pub selection_batches: [usize; 4],
     /// Aggregation-strategy decisions, indexed by [`AggStrategy`] — one per
     /// segment executor, so parallel scans may count one segment once per
     /// worker that touched it. Additive.
-    pub agg_segments: [usize; 4],
+    pub agg_segments: [usize; 5],
     /// Morsels claimed by parallel scan workers (0 for serial scans).
     /// Additive.
     pub morsels_scanned: usize,
@@ -88,10 +88,10 @@ impl ExecStats {
         self.batches += other.batches;
         self.rows_scanned += other.rows_scanned;
         self.mutable_rows += other.mutable_rows;
-        for i in 0..3 {
+        for i in 0..4 {
             self.selection_batches[i] += other.selection_batches[i];
         }
-        for i in 0..4 {
+        for i in 0..5 {
             self.agg_segments[i] += other.agg_segments[i];
         }
         self.morsels_scanned += other.morsels_scanned;

@@ -28,20 +28,35 @@ pub enum SelectionStrategy {
     Compact = 1,
     /// Special group assignment (§4.3): rejected rows join an extra group.
     SpecialGroup = 2,
+    /// Run-span selection (DESIGN.md §13): the predicate is evaluated per
+    /// RLE run and the selection stays run-granular — no per-row byte mask
+    /// is materialized. Only the run-wise aggregation executor consumes it.
+    RunSpan = 3,
 }
 
 impl SelectionStrategy {
     /// All selection strategies.
-    pub const ALL: [SelectionStrategy; 3] =
+    pub const ALL: [SelectionStrategy; 4] = [
+        SelectionStrategy::Gather,
+        SelectionStrategy::Compact,
+        SelectionStrategy::SpecialGroup,
+        SelectionStrategy::RunSpan,
+    ];
+
+    /// The per-row (dense selection vector) strategies the generic batch
+    /// executor understands. [`SelectionStrategy::RunSpan`] is excluded: it
+    /// produces run-granular spans consumed only by the run-wise executor.
+    pub const DENSE: [SelectionStrategy; 3] =
         [SelectionStrategy::Gather, SelectionStrategy::Compact, SelectionStrategy::SpecialGroup];
 
     /// Short label used in experiment output ("Gather", "Compact",
-    /// "Special Group").
+    /// "Special Group", "Run Span").
     pub fn label(self) -> &'static str {
         match self {
             SelectionStrategy::Gather => "Gather",
             SelectionStrategy::Compact => "Compact",
             SelectionStrategy::SpecialGroup => "Special Group",
+            SelectionStrategy::RunSpan => "Run Span",
         }
     }
 }
@@ -58,11 +73,25 @@ pub enum AggStrategy {
     InRegister = 2,
     /// Multi-aggregate horizontal SIMD (§5.4).
     MultiAggregate = 3,
+    /// Run-wise aggregation on RLE data (DESIGN.md §13): per-run
+    /// multiply-accumulate over run-span selections, O(runs) not O(rows).
+    RunWise = 4,
 }
 
 impl AggStrategy {
     /// All aggregation strategies.
-    pub const ALL: [AggStrategy; 4] = [
+    pub const ALL: [AggStrategy; 5] = [
+        AggStrategy::Scalar,
+        AggStrategy::SortBased,
+        AggStrategy::InRegister,
+        AggStrategy::MultiAggregate,
+        AggStrategy::RunWise,
+    ];
+
+    /// The strategies the generic (row-at-a-time batch) segment executor
+    /// implements. [`AggStrategy::RunWise`] is excluded: it runs in a
+    /// dedicated executor that consumes run spans instead of group ids.
+    pub const DENSE: [AggStrategy; 4] = [
         AggStrategy::Scalar,
         AggStrategy::SortBased,
         AggStrategy::InRegister,
@@ -73,13 +102,15 @@ impl AggStrategy {
     pub const SIMD: [AggStrategy; 3] =
         [AggStrategy::SortBased, AggStrategy::InRegister, AggStrategy::MultiAggregate];
 
-    /// Short label used in experiment output ("Sort", "Register", "Multi").
+    /// Short label used in experiment output ("Sort", "Register", "Multi",
+    /// "Runwise").
     pub fn label(self) -> &'static str {
         match self {
             AggStrategy::Scalar => "Scalar",
             AggStrategy::SortBased => "Sort",
             AggStrategy::InRegister => "Register",
             AggStrategy::MultiAggregate => "Multi",
+            AggStrategy::RunWise => "Runwise",
         }
     }
 }
@@ -146,6 +177,12 @@ pub struct AggChoiceParams {
     pub multi_layout_fits: bool,
     /// Adaptive selectivity estimate (1.0 when there is no filter).
     pub est_selectivity: f64,
+    /// `Some(runs / rows)` when every aggregate input is an RLE column and
+    /// the query shape admits the run-wise executor (single group, no
+    /// deletions, span-eligible filter); `None` otherwise. The fraction is
+    /// the run-wise path's work ratio: it touches O(runs) run headers where
+    /// the dense strategies touch O(rows) values.
+    pub runwise_runs_fraction: Option<f64>,
 }
 
 impl StrategyConfig {
@@ -221,13 +258,21 @@ impl StrategyConfig {
                     self.sort_fixed + self.sort_fixed_per_selectivity * p.est_selectivity;
                 Some((self.sort_per_agg + sort_cost / sums) * fraction)
             }
+            AggStrategy::RunWise => {
+                // O(runs) work where dense strategies do O(rows): the cost
+                // per input row is the scalar cost scaled by the run
+                // fraction. On fragmented columns (fraction near 1) this
+                // offers no advantage and the dense strategies win.
+                let f = p.runwise_runs_fraction?;
+                Some(self.scalar_cost * f.clamp(0.0, 1.0))
+            }
         }
     }
 
     /// Choose the aggregation strategy for one segment (§3).
     pub fn choose_agg(&self, p: &AggChoiceParams) -> AggStrategy {
         let mut best = (AggStrategy::Scalar, self.scalar_cost);
-        for s in AggStrategy::SIMD {
+        for s in AggStrategy::SIMD.into_iter().chain([AggStrategy::RunWise]) {
             if let Some(cost) = self.agg_cost(s, p) {
                 if cost < best.1 {
                     best = (s, cost);
@@ -282,6 +327,7 @@ mod tests {
             all_packed_narrow: true,
             multi_layout_fits: sums >= 1 && sums * bytes.clamp(4, 8) <= 32,
             est_selectivity: sel,
+            runwise_runs_fraction: None,
         }
     }
 
@@ -341,11 +387,29 @@ mod tests {
             all_packed_narrow: false,
             multi_layout_fits: false,
             est_selectivity: 1.0,
+            runwise_runs_fraction: None,
         };
         assert_eq!(c.choose_agg(&p), AggStrategy::Scalar);
         assert_eq!(c.agg_cost(AggStrategy::InRegister, &p), None);
         assert_eq!(c.agg_cost(AggStrategy::MultiAggregate, &p), None);
         assert_eq!(c.agg_cost(AggStrategy::SortBased, &p), None);
+        assert_eq!(c.agg_cost(AggStrategy::RunWise, &p), None);
+    }
+
+    #[test]
+    fn long_runs_pick_run_wise() {
+        let c = StrategyConfig::default();
+        // Long runs (0.1% of rows are run headers): run-wise dominates any
+        // dense strategy regardless of width or group shape.
+        let mut p = params(1, 1, 8, 1.0);
+        p.all_packed_narrow = false;
+        p.multi_layout_fits = false;
+        p.runwise_runs_fraction = Some(0.001);
+        assert_eq!(c.choose_agg(&p), AggStrategy::RunWise);
+        // Fully fragmented runs (one run per row): no advantage, the dense
+        // chooser result stands.
+        p.runwise_runs_fraction = Some(1.0);
+        assert_ne!(c.choose_agg(&p), AggStrategy::RunWise);
     }
 
     #[test]

@@ -284,8 +284,8 @@ pub struct Tracer {
     events: Vec<TraceEvent>,
     dropped: u64,
     phases: [PhaseTotals; Phase::COUNT],
-    selection_decisions: [u64; 3],
-    agg_decisions: [u64; 4],
+    selection_decisions: [u64; 4],
+    agg_decisions: [u64; 5],
 }
 
 impl Tracer {
@@ -308,8 +308,8 @@ impl Tracer {
             events,
             dropped: 0,
             phases: [PhaseTotals::default(); Phase::COUNT],
-            selection_decisions: [0; 3],
-            agg_decisions: [0; 4],
+            selection_decisions: [0; 4],
+            agg_decisions: [0; 5],
         }
     }
 
@@ -462,10 +462,10 @@ pub struct QueryProfile {
     pub phases: [PhaseTotals; Phase::COUNT],
     /// Selection decisions per strategy, indexed by [`SelectionStrategy`].
     /// Mirrors `ExecStats::selection_batches` whenever profiling is on.
-    pub selection_decisions: [u64; 3],
+    pub selection_decisions: [u64; 4],
     /// Aggregation decisions per strategy, indexed by [`AggStrategy`].
     /// Mirrors `ExecStats::agg_segments` whenever profiling is on.
-    pub agg_decisions: [u64; 4],
+    pub agg_decisions: [u64; 5],
     /// The event log (only at [`ProfileLevel::Spans`]), worker-major order.
     pub events: Vec<TraceEvent>,
     /// Events the fixed-capacity buffers had to drop.

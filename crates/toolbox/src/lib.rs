@@ -23,6 +23,7 @@
 //! | [`cmp`] | §4 | vectorized comparisons producing selection byte vectors |
 //! | [`select`] | §4.1–4.3 | compaction, gather selection, special-group assignment |
 //! | [`agg`] | §5 | scalar, sort-based, in-register, and multi-aggregate grouped aggregation |
+//! | [`runspan`] | §4 ext. | run-granular selection spans and O(runs) encoding-specialized kernels |
 //! | [`transpose`] | §5.4 | register transposition primitives |
 //!
 //! ## Conventions
@@ -47,9 +48,11 @@ pub mod cycles;
 pub mod dispatch;
 pub mod radix;
 pub mod rng;
+pub mod runspan;
 pub mod select;
 pub mod selvec;
 pub mod transpose;
 
 pub use dispatch::SimdLevel;
+pub use runspan::{RunSpanVec, Span};
 pub use selvec::{SelByteVec, SelIndexVec};

@@ -104,7 +104,7 @@ pub fn q1_rows(result: &QueryResult) -> Vec<Q1Row> {
         .iter()
         .map(|r| {
             let key_str = |i: usize| match &r.keys[i] {
-                Value::Str(s) => s.clone(),
+                Value::Str(s) => s.as_ref().to_owned(),
                 other => other.to_string(),
             };
             Q1Row {

@@ -18,7 +18,7 @@ use std::path::Path;
 
 /// Required fields per committed bench file, mirroring what the experiment
 /// binaries write and DESIGN.md §9 documents.
-const SCHEMAS: [(&str, &[&str]); 3] = [
+const SCHEMAS: [(&str, &[&str]); 4] = [
     (
         "BENCH_scan.json",
         &[
@@ -29,6 +29,7 @@ const SCHEMAS: [(&str, &[&str]); 3] = [
             "hardware_threads",
             "skipped_oversubscribed",
             "profile_overhead_off_pct",
+            "profile_overhead_off_raw_pct",
             "results",
         ],
     ),
@@ -44,10 +45,15 @@ const SCHEMAS: [(&str, &[&str]); 3] = [
             "counters_secs",
             "spans_secs",
             "off_vs_baseline_pct",
+            "off_vs_baseline_gate_pct",
             "spans_profile",
         ],
     ),
     ("BENCH_profile_baseline.json", &["bench", "scale_factor", "rows", "runs", "median_secs"]),
+    (
+        "BENCH_encoded_ops.json",
+        &["bench", "rows", "runs", "results", "best_rle_speedup", "min_runs_fraction"],
+    ),
 ];
 
 /// Check every committed bench file under `root`. Returns one message per

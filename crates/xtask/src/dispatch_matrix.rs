@@ -25,6 +25,12 @@
 //! corpus: tests need bit widths on both sides of `N`, otherwise one of the
 //! two paths behind the gate ships untested.
 //!
+//! The encoding-specialized kernels (`enc_*`, DESIGN.md §13) are
+//! scalar-only dispatch cells — no `#[target_feature]` body — but they are
+//! held to the same discipline: every public `enc_*` entry point must route
+//! to an `enc_*_scalar` oracle sibling in the same file, and must be named
+//! by some test-corpus file so the equivalence sweep actually executes it.
+//!
 //! Everything here is lexical (token streams + the pass-2 extractors);
 //! macro-generated dispatchers are visible through their invocation tokens
 //! (`dispatch_cmp!(cmp_u8, …)` names the kernel outside the tier module),
@@ -97,6 +103,7 @@ pub fn check(files: &[SourceFile]) -> Vec<Diag> {
             continue;
         }
         check_file(file, &corpus, &mut out);
+        check_enc_kernels(file, &corpus, &mut out);
     }
     out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     out
@@ -201,6 +208,48 @@ fn check_file(file: &SourceFile, corpus: &TestCorpus, out: &mut Vec<Diag>) {
     }
 
     check_width_gates(file, &tiers, &decls, corpus, out);
+}
+
+/// Encoding-specialized kernels (`enc_*`) are scalar-only cells of the
+/// dispatch matrix: each public entry point must have an `enc_*_scalar`
+/// oracle sibling in the same file (the differential target) and must be
+/// named by the test corpus (the equivalence sweep that executes it).
+fn check_enc_kernels(file: &SourceFile, corpus: &TestCorpus, out: &mut Vec<Diag>) {
+    let tiers = tier_regions(file);
+    let decls = fn_decls(file, &tiers);
+    for d in &decls {
+        if !d.is_pub
+            || d.tier.is_some()
+            || !d.name.starts_with("enc_")
+            || d.name.ends_with("_scalar")
+            || file.line_in_tests(d.line)
+        {
+            continue;
+        }
+        let sibling = format!("{}_scalar", d.name);
+        if !decls.iter().any(|o| o.name == sibling) {
+            out.push(diag(
+                file,
+                d.line,
+                format!(
+                    "encoded kernel `{}` has no `{sibling}` oracle sibling — every \
+                     enc_* entry point must route to a scalar oracle",
+                    d.name
+                ),
+            ));
+        }
+        if corpus.files_containing(&d.name).is_empty() {
+            out.push(diag(
+                file,
+                d.line,
+                format!(
+                    "encoded kernel `{}` is not exercised by any test — enc_* \
+                     kernels must be covered by the equivalence sweep",
+                    d.name
+                ),
+            ));
+        }
+    }
 }
 
 fn cell_label(cell: &Cell) -> String {
@@ -433,6 +482,48 @@ mod tests {
         let mut out = Vec::new();
         check_file(&f, &corpus, &mut out);
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    const ENC: &str = r#"
+pub fn enc_sum_spans(values: &[i64]) -> i64 {
+    enc_sum_spans_scalar(values)
+}
+pub fn enc_sum_spans_scalar(values: &[i64]) -> i64 { values.iter().sum() }
+#[cfg(test)]
+mod tests {
+    fn sweep() { super::enc_sum_spans(&[1, 2]); }
+}
+"#;
+
+    #[test]
+    fn enc_kernel_with_oracle_and_coverage_is_clean() {
+        let f = file("crates/toolbox/src/runspan.rs", ENC);
+        let corpus = corpus_of(std::slice::from_ref(&f));
+        let mut out = Vec::new();
+        check_enc_kernels(&f, &corpus, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn enc_kernel_without_scalar_sibling_is_flagged() {
+        let src = ENC.replace("enc_sum_spans_scalar", "sum_helper");
+        let f = file("crates/toolbox/src/runspan.rs", &src);
+        let corpus = corpus_of(std::slice::from_ref(&f));
+        let mut out = Vec::new();
+        check_enc_kernels(&f, &corpus, &mut out);
+        assert!(out.iter().any(|d| d.msg.contains("oracle sibling")), "{out:?}");
+    }
+
+    #[test]
+    fn untested_enc_kernel_is_flagged() {
+        let src = ENC.replace("super::enc_sum_spans(&[1, 2]);", "let _ = 1;");
+        let f = file("crates/toolbox/src/runspan.rs", &src);
+        let corpus = corpus_of(std::slice::from_ref(&f));
+        let mut out = Vec::new();
+        check_enc_kernels(&f, &corpus, &mut out);
+        assert!(out.iter().any(|d| d.msg.contains("equivalence sweep")), "{out:?}");
+        // The scalar oracle itself is exempt from the coverage rule.
+        assert_eq!(out.len(), 1, "{out:?}");
     }
 
     #[test]

@@ -19,7 +19,7 @@ fn main() {
     let regions = ["north", "south", "east", "west"];
     for i in 0..100_000i64 {
         builder.push_row(vec![
-            Value::Str(regions[(i % 4) as usize].to_string()),
+            Value::Str(regions[(i % 4) as usize].into()),
             Value::I64(i % 7 + 1),
             Value::Decimal(1000 + (i * 37) % 9000), // $10.00 .. $99.99
         ]);

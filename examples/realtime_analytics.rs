@@ -15,7 +15,7 @@ use bipie::toolbox::rng::Rng;
 fn order_row(rng: &mut Rng, day: i32) -> Vec<Value> {
     let status = ["placed", "shipped", "delivered"][rng.random_range(0..3)];
     vec![
-        Value::Str(status.to_string()),
+        Value::Str(status.into()),
         Value::Date(Date::from_ymd(2026, 1, 1).plus_days(day)),
         Value::Decimal(rng.random_range(500..50_000)), // $5 .. $500
     ]

@@ -40,7 +40,7 @@
 //! ]);
 //! for i in 0..1000i64 {
 //!     let region = ["north", "south", "east", "west"][(i % 4) as usize];
-//!     builder.push_row(vec![Value::Str(region.to_string()), Value::I64(i)]);
+//!     builder.push_row(vec![Value::Str(region.into()), Value::I64(i)]);
 //! }
 //! let table = builder.finish();
 //!

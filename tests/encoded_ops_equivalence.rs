@@ -1,0 +1,265 @@
+//! Encoding-specialized operator equivalence (DESIGN.md §13).
+//!
+//! Sweeps encodings × predicates × aggregates and asserts the specialized
+//! compressed-form paths — run-wise RLE kernels, monotonic range pruning,
+//! fused dictionary predicate pre-evaluation — produce results identical
+//! to the always-available decode fallback and to the row-at-a-time
+//! reference executor. Covers run boundaries, all-accept / all-reject
+//! batches, deleted rows, the mutable tail, and serial vs parallel scans.
+
+mod common;
+
+use bipie::columnstore::encoding::EncodingHint;
+use bipie::columnstore::{ColumnSpec, LogicalType, Table, TableBuilder, Value};
+use bipie::core::reference::execute_reference;
+use bipie::core::{
+    execute, AggExpr, AggStrategy, Predicate, Query, QueryBuilder, QueryOptions, SelectionStrategy,
+};
+
+/// `rows` rows in runs of `run_len`: `k = i / run_len`, `v = 7k - 3`.
+/// Both columns RLE-encoded, split into `segment_rows` segments.
+fn rle_table(rows: usize, run_len: usize, segment_rows: usize) -> Table {
+    let mut b = TableBuilder::with_segment_rows(
+        vec![
+            ColumnSpec::new("k", LogicalType::I64).with_hint(EncodingHint::Rle),
+            ColumnSpec::new("v", LogicalType::I64).with_hint(EncodingHint::Rle),
+        ],
+        segment_rows,
+    );
+    for i in 0..rows as i64 {
+        let run = i / run_len as i64;
+        b.push_row(vec![Value::I64(run), Value::I64(7 * run - 3)]);
+    }
+    b.finish()
+}
+
+/// Ungrouped aggregates over `v`, eligible for the run-wise path.
+fn agg_query(filter: Option<Predicate>, options: QueryOptions) -> Query {
+    let mut q = QueryBuilder::new()
+        .aggregate(AggExpr::count_star())
+        .aggregate(AggExpr::sum("v"))
+        .aggregate(AggExpr::min("v"))
+        .aggregate(AggExpr::max("v"))
+        .options(options);
+    if let Some(f) = filter {
+        q = q.filter(f);
+    }
+    q.build()
+}
+
+fn fallback_options() -> QueryOptions {
+    QueryOptions {
+        forced_agg: Some(AggStrategy::Scalar),
+        forced_selection: Some(SelectionStrategy::Compact),
+        ..Default::default()
+    }
+}
+
+/// Engine (adaptive), engine (forced decode fallback), and the reference
+/// executor must agree exactly.
+fn assert_three_way(table: &Table, filter: Option<Predicate>, label: &str) {
+    let adaptive = execute(table, &agg_query(filter.clone(), QueryOptions::default())).unwrap();
+    let fallback = execute(table, &agg_query(filter.clone(), fallback_options())).unwrap();
+    let oracle = execute_reference(table, &agg_query(filter, QueryOptions::default())).unwrap();
+    assert_eq!(adaptive.rows, fallback.rows, "{label}: adaptive vs forced fallback");
+    assert_eq!(adaptive.rows, oracle.rows, "{label}: adaptive vs reference");
+}
+
+#[test]
+fn run_wise_matches_fallback_and_reference_across_predicates() {
+    // Run lengths from fully fragmented (1) to long (100); boundary-aligned
+    // and boundary-straddling batch windows.
+    for run_len in [1usize, 3, 64, 100] {
+        let t = rle_table(2000, run_len, 700);
+        let max_k = (2000 / run_len) as i64;
+        let preds: Vec<(&str, Option<Predicate>)> = vec![
+            ("no filter", None),
+            ("eq boundary", Some(Predicate::eq("k", Value::I64(1)))),
+            ("ne", Some(Predicate::ne("k", Value::I64(2)))),
+            ("lt mid", Some(Predicate::lt("k", Value::I64(max_k / 2)))),
+            ("le zero", Some(Predicate::le("k", Value::I64(0)))),
+            ("ge tail", Some(Predicate::ge("k", Value::I64(max_k - 1)))),
+            ("between", Some(Predicate::between("k", Value::I64(1), Value::I64(5)))),
+            ("all accept", Some(Predicate::ge("k", Value::I64(-1)))),
+            ("all reject", Some(Predicate::gt("k", Value::I64(max_k + 1)))),
+            (
+                "conjunction",
+                Some(Predicate::and(vec![
+                    Predicate::ge("k", Value::I64(1)),
+                    Predicate::lt("v", Value::I64(7 * (max_k / 2) - 3)),
+                ])),
+            ),
+        ];
+        for (label, pred) in preds {
+            assert_three_way(&t, pred, &format!("run_len={run_len} {label}"));
+        }
+    }
+}
+
+#[test]
+fn forcing_run_wise_on_eligible_table_uses_it_and_agrees() {
+    let t = rle_table(3000, 50, 1100);
+    let pred = Predicate::lt("k", Value::I64(30));
+    let forced = QueryOptions {
+        forced_agg: Some(AggStrategy::RunWise),
+        forced_selection: Some(SelectionStrategy::RunSpan),
+        parallel: false,
+        ..Default::default()
+    };
+    let fast = execute(&t, &agg_query(Some(pred.clone()), forced)).unwrap();
+    // The decision events must prove the specialized strategies fired.
+    assert!(fast.stats.agg_count(AggStrategy::RunWise) > 0, "{:?}", fast.stats);
+    assert!(fast.stats.selection_count(SelectionStrategy::RunSpan) > 0, "{:?}", fast.stats);
+    assert_eq!(fast.stats.agg_count(AggStrategy::Scalar), 0);
+    let oracle = execute_reference(&t, &agg_query(Some(pred), QueryOptions::default())).unwrap();
+    assert_eq!(fast.rows, oracle.rows);
+}
+
+#[test]
+fn deleted_rows_disable_run_wise_but_stay_correct() {
+    let mut t = rle_table(2000, 100, 650); // 4 segments
+    t.delete_row(1, 3);
+    t.delete_row(1, 649);
+    let pred = Some(Predicate::lt("k", Value::I64(15)));
+    assert_three_way(&t, pred.clone(), "deleted rows");
+    // The segment with deletions must not take the run-wise path; the
+    // clean segments still may — either way every row is accounted for.
+    let r = execute(&t, &agg_query(pred, QueryOptions::default())).unwrap();
+    let counts: u64 = r.rows[0].aggs[0].as_count().unwrap();
+    assert_eq!(counts, 15 * 100 - 2);
+}
+
+#[test]
+fn mutable_tail_rows_join_run_wise_segments() {
+    let mut t = rle_table(1300, 64, 1300);
+    for i in 0..17i64 {
+        t.insert(vec![Value::I64(2), Value::I64(7 * 2 - 3 + (i % 2))]);
+    }
+    assert_three_way(&t, Some(Predicate::eq("k", Value::I64(2))), "mutable tail");
+    assert_three_way(&t, None, "mutable tail unfiltered");
+}
+
+#[test]
+fn serial_and_parallel_agree_on_run_wise_path() {
+    let t = rle_table(20_000, 128, 6000);
+    let pred = Predicate::between("k", Value::I64(10), Value::I64(100));
+    for (batch_rows, threads) in [(512usize, 2usize), (1024, 4), (4096, 8)] {
+        let serial = QueryOptions { parallel: false, batch_rows, ..Default::default() };
+        let par = QueryOptions {
+            parallel: true,
+            threads: Some(threads),
+            batch_rows,
+            ..Default::default()
+        };
+        let a = execute(&t, &agg_query(Some(pred.clone()), serial)).unwrap();
+        let b = execute(&t, &agg_query(Some(pred.clone()), par)).unwrap();
+        assert_eq!(a.rows, b.rows, "batch_rows={batch_rows} threads={threads}");
+    }
+}
+
+/// A sorted (monotonic) column under Delta and BitPack encodings: range
+/// predicates take the whole-batch accept/reject + binary-search path.
+#[test]
+fn monotonic_range_pruning_matches_reference() {
+    for hint in [EncodingHint::Delta, EncodingHint::BitPack, EncodingHint::Auto] {
+        let mut b = TableBuilder::with_segment_rows(
+            vec![
+                ColumnSpec::new("ts", LogicalType::I64).with_hint(hint),
+                ColumnSpec::new("v", LogicalType::I64),
+            ],
+            900,
+        );
+        for i in 0..2500i64 {
+            b.push_row(vec![Value::I64(1000 + i * 3), Value::I64(i % 91)]);
+        }
+        let t = b.finish();
+        let mk = |p: Predicate| {
+            QueryBuilder::new()
+                .filter(p)
+                .aggregate(AggExpr::count_star())
+                .aggregate(AggExpr::sum("v"))
+                .build()
+        };
+        for (label, pred) in [
+            ("lt lo", Predicate::lt("ts", Value::I64(999))),
+            ("lt mid", Predicate::lt("ts", Value::I64(1000 + 3 * 1234))),
+            ("ge mid", Predicate::ge("ts", Value::I64(1000 + 3 * 777 + 1))),
+            ("eq hit", Predicate::eq("ts", Value::I64(1000 + 3 * 50))),
+            ("eq miss", Predicate::eq("ts", Value::I64(1001))),
+            ("ne", Predicate::ne("ts", Value::I64(1000 + 3 * 900))),
+            ("between", Predicate::between("ts", Value::I64(1500), Value::I64(5000))),
+            ("accept all", Predicate::ge("ts", Value::I64(0))),
+        ] {
+            let fast = execute(&t, &mk(pred.clone())).unwrap();
+            let slow = execute_reference(&t, &mk(pred)).unwrap();
+            assert_eq!(fast.rows, slow.rows, "{hint:?} {label}");
+        }
+    }
+}
+
+/// Dictionary predicate pre-evaluation: single conjuncts ride the
+/// code-domain translation; two conjuncts on the same dictionary column
+/// fuse into one id-bitset membership pass.
+#[test]
+fn dictionary_predicates_match_reference() {
+    let mut b = TableBuilder::with_segment_rows(
+        vec![
+            ColumnSpec::new("cat", LogicalType::Str),
+            ColumnSpec::new("code", LogicalType::I64).with_hint(EncodingHint::Dict),
+            ColumnSpec::new("v", LogicalType::I64),
+        ],
+        800,
+    );
+    let cats = ["alpha", "beta", "gamma", "delta", "epsilon"];
+    for i in 0..2100i64 {
+        b.push_row(vec![
+            Value::Str(cats[(i % 5) as usize].into()),
+            Value::I64((i * i) % 37),
+            Value::I64(i),
+        ]);
+    }
+    let t = b.finish();
+    let mk = |p: Predicate| {
+        QueryBuilder::new()
+            .filter(p)
+            .group_by("cat")
+            .aggregate(AggExpr::count_star())
+            .aggregate(AggExpr::sum("v"))
+            .build()
+    };
+    for (label, pred) in [
+        ("str eq", Predicate::eq("cat", Value::Str("gamma".into()))),
+        ("str ne", Predicate::ne("cat", Value::Str("alpha".into()))),
+        ("str lt", Predicate::lt("cat", Value::Str("delta".into()))),
+        ("str miss", Predicate::eq("cat", Value::Str("zeta".into()))),
+        ("int dict eq", Predicate::eq("code", Value::I64(9))),
+        ("int dict range", Predicate::between("code", Value::I64(5), Value::I64(20))),
+        (
+            "fused int pair",
+            Predicate::and(vec![
+                Predicate::ge("code", Value::I64(4)),
+                Predicate::le("code", Value::I64(30)),
+            ]),
+        ),
+        (
+            "fused triple",
+            Predicate::and(vec![
+                Predicate::ge("code", Value::I64(1)),
+                Predicate::le("code", Value::I64(33)),
+                Predicate::ne("code", Value::I64(16)),
+            ]),
+        ),
+        (
+            "fused plus other column",
+            Predicate::and(vec![
+                Predicate::ge("code", Value::I64(2)),
+                Predicate::ne("code", Value::I64(25)),
+                Predicate::lt("v", Value::I64(1500)),
+            ]),
+        ),
+    ] {
+        let fast = execute(&t, &mk(pred.clone())).unwrap();
+        let slow = execute_reference(&t, &mk(pred)).unwrap();
+        assert_eq!(fast.rows, slow.rows, "{label}");
+    }
+}

@@ -65,7 +65,7 @@ fn build_table(spec: &TableSpec, seed: u64) -> Table {
         let g = (next() % spec.groups as u64) as usize;
         let a = next() as i64 % 10_000 - 5_000;
         let val_b = next() as i64 % 1_000;
-        b.push_row(vec![Value::Str(names[g].to_string()), Value::I64(a), Value::I64(val_b)]);
+        b.push_row(vec![Value::Str(names[g].into()), Value::I64(a), Value::I64(val_b)]);
     }
     let mut t = b.finish();
     // Deletes against whatever segments exist.
@@ -82,7 +82,7 @@ fn build_table(spec: &TableSpec, seed: u64) -> Table {
     for i in 0..spec.mutable_tail {
         let g = (next() % spec.groups as u64) as usize;
         t.insert(vec![
-            Value::Str(names[g].to_string()),
+            Value::Str(names[g].into()),
             Value::I64(i as i64 * 13 - 100),
             Value::I64(i as i64),
         ]);

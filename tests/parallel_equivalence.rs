@@ -214,8 +214,8 @@ fn pool_is_reused_across_queries() {
 /// Count aggregation-phase spans (narrow kernel + wide-group fallback) per
 /// selection-strategy label. One such span fires per batch, so the counts
 /// must equal `ExecStats::selection_batches` and be scheduling-invariant.
-fn selection_span_counts(profile: &QueryProfile) -> [u64; 3] {
-    let mut counts = [0u64; 3];
+fn selection_span_counts(profile: &QueryProfile) -> [u64; 4] {
+    let mut counts = [0u64; 4];
     for event in &profile.events {
         if let TraceEvent::Span { phase: Phase::Aggregation | Phase::WideGroup, loc, .. } = event {
             if let Some(s) = loc.selection {
