@@ -1,0 +1,185 @@
+//! **Telemetry overhead** — cost of process-wide telemetry publication
+//! (DESIGN.md §14) on the TPC-H Q1 scan: metrics-on vs. metrics-off (the
+//! runtime switch) in a normal build, against a build with publication
+//! compiled out entirely.
+//!
+//! Two-step protocol, mirroring `exp_profile_overhead` (the two steps are
+//! different *builds*, so they cannot share a process):
+//!
+//! ```sh
+//! # 1. Record the true no-metrics baseline (publication compiled out):
+//! cargo run --release -p bipie-bench --features no_metrics \
+//!     --bin exp_telemetry -- --baseline
+//! # 2. Measure on/off against it, gate metrics-off at 2%:
+//! cargo run --release -p bipie-bench --bin exp_telemetry -- --gate 2
+//! ```
+//!
+//! Step 1 writes `BENCH_telemetry_baseline.json`; step 2 reads it, writes
+//! `BENCH_telemetry.json`, and with `--gate <pct>` exits non-zero when the
+//! metrics-*off* configuration (runtime switch disabled — the state a
+//! metrics-averse deployment runs in) costs more than `<pct>` percent over
+//! the compiled-out baseline. Telemetry publishes once per query from
+//! finished artifacts, so both configurations should be within noise; the
+//! report also keeps the on-vs-off delta to show what the publication
+//! itself costs.
+//!
+//! As in the profiler experiment, noise can make a configuration *faster*
+//! than the baseline build; the gate metric `off_vs_baseline_gate_pct`
+//! clamps the raw signed difference at zero. Configurations are measured
+//! **interleaved** (one run of each per round) so drift lands on both
+//! equally.
+//!
+//! Environment knobs: `BIPIE_TPCH_SF` (default 0.1), `BIPIE_BENCH_RUNS`
+//! (default 10), `BIPIE_BENCH_JSON` (output path for step 2's report).
+
+use std::time::Instant;
+
+use bipie_bench::{bench_opts, json_number_field};
+use bipie_core::telemetry::{metrics_compiled_out, telemetry};
+use bipie_core::QueryOptions;
+use bipie_metrics::Table as TextTable;
+use bipie_tpch::{generate_lineitem, run_q1_result};
+
+const BASELINE_PATH: &str = "BENCH_telemetry_baseline.json";
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_mode = args.iter().any(|a| a == "--baseline");
+    let gate: Option<f64> = args
+        .iter()
+        .position(|a| a == "--gate")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+
+    let sf: f64 = std::env::var("BIPIE_TPCH_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.1);
+    let opts = bench_opts();
+
+    println!("Telemetry overhead: Q1 scan with metrics on/off");
+    println!("generating LINEITEM at SF {sf} ...");
+    let table = generate_lineitem(sf, 1 << 18);
+    let rows = table.num_rows();
+    println!("rows={rows} runs={} metrics_compiled_out={}\n", opts.runs, metrics_compiled_out());
+
+    let run_once = || {
+        let start = Instant::now();
+        let result = run_q1_result(&table, QueryOptions::default()).expect("Q1 runs");
+        (start.elapsed().as_secs_f64(), result)
+    };
+
+    if baseline_mode {
+        // The baseline is only meaningful when publication is compiled out;
+        // refuse to write a lie.
+        assert!(metrics_compiled_out(), "--baseline requires building with --features no_metrics");
+        for _ in 0..opts.warmup {
+            run_once();
+        }
+        let mut samples: Vec<f64> = (0..opts.runs).map(|_| run_once().0).collect();
+        let secs = median(&mut samples);
+        let json = format!(
+            "{{\n  \"bench\": \"telemetry_overhead_baseline\",\n  \"scale_factor\": {sf},\n  \
+             \"rows\": {rows},\n  \"runs\": {},\n  \"median_secs\": {secs:.6}\n}}\n",
+            opts.runs
+        );
+        std::fs::write(BASELINE_PATH, &json).expect("writing the baseline report");
+        println!("baseline (no_metrics build): {secs:.4}s median");
+        println!("wrote {BASELINE_PATH}");
+        return;
+    }
+
+    assert!(
+        !metrics_compiled_out(),
+        "the measurement step must run a normal build (no --features no_metrics)"
+    );
+
+    // Interleave: one metrics-on and one metrics-off run per round.
+    let configs = [true, false];
+    for _ in 0..opts.warmup {
+        for on in configs {
+            telemetry().set_enabled(on);
+            run_once();
+        }
+    }
+    let mut samples: [Vec<f64>; 2] = Default::default();
+    for _ in 0..opts.runs {
+        for (i, on) in configs.into_iter().enumerate() {
+            telemetry().set_enabled(on);
+            samples[i].push(run_once().0);
+        }
+    }
+    telemetry().set_enabled(true);
+    let on_secs = median(&mut samples[0]);
+    let off_secs = median(&mut samples[1]);
+
+    let baseline: Option<f64> = std::fs::read_to_string(BASELINE_PATH)
+        .ok()
+        .and_then(|body| json_number_field(&body, "median_secs"));
+    let pct_over = |secs: f64| baseline.map(|b| (secs / b - 1.0) * 100.0);
+
+    let mut t = TextTable::new(vec!["config", "median s", "vs baseline"]);
+    for (label, secs) in [("metrics on", on_secs), ("metrics off", off_secs)] {
+        t.row(vec![
+            label.to_string(),
+            format!("{secs:.4}"),
+            pct_over(secs).map_or("n/a".to_string(), |p| format!("{p:+.2}%")),
+        ]);
+    }
+    t.print();
+    match baseline {
+        Some(b) => println!("\nbaseline (no_metrics build): {b:.4}s median"),
+        None => println!(
+            "\nno {BASELINE_PATH} found — run the --baseline step first for overhead numbers"
+        ),
+    }
+
+    let on_vs_off_pct = (on_secs / off_secs - 1.0) * 100.0;
+    let off_pct = pct_over(off_secs);
+    let off_gate_pct = off_pct.map(|p| p.max(0.0));
+    let json_path =
+        std::env::var("BIPIE_BENCH_JSON").unwrap_or_else(|_| "BENCH_telemetry.json".to_string());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"telemetry_overhead\",\n");
+    json.push_str(&format!("  \"scale_factor\": {sf},\n"));
+    json.push_str(&format!("  \"rows\": {rows},\n"));
+    json.push_str(&format!("  \"runs\": {},\n", opts.runs));
+    match baseline {
+        Some(b) => json.push_str(&format!("  \"baseline_secs\": {b:.6},\n")),
+        None => json.push_str("  \"baseline_secs\": null,\n"),
+    }
+    json.push_str(&format!("  \"on_secs\": {on_secs:.6},\n"));
+    json.push_str(&format!("  \"off_secs\": {off_secs:.6},\n"));
+    json.push_str(&format!("  \"on_vs_off_pct\": {on_vs_off_pct:.3},\n"));
+    match off_pct {
+        Some(p) => json.push_str(&format!("  \"off_vs_baseline_pct\": {p:.3},\n")),
+        None => json.push_str("  \"off_vs_baseline_pct\": null,\n"),
+    }
+    match off_gate_pct {
+        Some(p) => json.push_str(&format!("  \"off_vs_baseline_gate_pct\": {p:.3},\n")),
+        None => json.push_str("  \"off_vs_baseline_gate_pct\": null,\n"),
+    }
+    json.push_str(&format!("  \"registry\": {}\n", telemetry().registry().render_json()));
+    json.push_str("}\n");
+    std::fs::write(&json_path, &json).expect("writing the JSON report");
+    println!("wrote {json_path}");
+
+    if let Some(bound) = gate {
+        match off_gate_pct {
+            Some(p) if p <= bound => {
+                println!("gate: metrics-off overhead {p:.2}% within {bound}% bound");
+            }
+            Some(p) => {
+                eprintln!("gate FAILED: metrics-off overhead {p:.2}% exceeds {bound}% bound");
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("gate FAILED: no baseline to compare against (run --baseline first)");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -37,6 +37,9 @@
 //! * [`governor`] — per-query resource governance: cooperative cancellation,
 //!   wall-clock deadlines, and a memory accountant checked at every morsel
 //!   claim and batch boundary (DESIGN.md §10).
+//! * [`mod@telemetry`] — the process-wide telemetry seam: every completed query
+//!   publishes its stats/profile once into a registry of fleet counters and
+//!   histograms plus a bounded cross-query decision log (DESIGN.md §14).
 //! * [`mod@reference`] — a naive row-at-a-time executor used as the correctness
 //!   oracle for the whole engine.
 
@@ -52,6 +55,7 @@ pub mod reference;
 pub mod scan;
 pub mod stats;
 pub mod strategy;
+pub mod telemetry;
 pub mod trace;
 
 pub use error::{EngineError, Result};
@@ -61,4 +65,10 @@ pub use governor::CancelToken;
 pub use query::{execute, AggExpr, Query, QueryBuilder, QueryOptions, QueryResult, ResultRow};
 pub use stats::ExecStats;
 pub use strategy::{AggStrategy, SelectionStrategy};
-pub use trace::{Phase, PhaseTotals, ProfileLevel, QueryProfile, SpanLoc, TraceEvent, Tracer};
+pub use telemetry::{
+    metrics_compiled_out, telemetry, DecisionLog, DecisionRecord, DecisionSummary, EngineTelemetry,
+    DECISION_LOG_CAPACITY,
+};
+pub use trace::{
+    Phase, PhaseTotals, ProfileLevel, QueryProfile, SpanLoc, TraceEvent, Tracer, WorkerRing,
+};

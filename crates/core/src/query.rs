@@ -317,7 +317,31 @@ impl QueryResult {
 }
 
 /// Execute a query against a table.
+///
+/// This is also the engine's telemetry seam: on completion the finished
+/// [`ExecStats`] and [`QueryProfile`] are published once into the process
+/// [`EngineTelemetry`](crate::telemetry::EngineTelemetry) handle (fleet
+/// counters, latency histogram, decision log); errors publish into the
+/// error/governor-trip counters. No hot-path code touches the registry.
 pub fn execute(table: &Table, query: &Query) -> Result<QueryResult> {
+    let started = std::time::Instant::now();
+    match execute_inner(table, query) {
+        Ok(result) => {
+            crate::telemetry::telemetry().publish_query(
+                &result.stats,
+                &result.profile,
+                started.elapsed(),
+            );
+            Ok(result)
+        }
+        Err(err) => {
+            crate::telemetry::telemetry().publish_error(&err);
+            Err(err)
+        }
+    }
+}
+
+fn execute_inner(table: &Table, query: &Query) -> Result<QueryResult> {
     // Reject malformed execution options before resolving anything, so the
     // caller gets a typed error at plan time rather than a panic mid-scan.
     query.options.validate()?;

@@ -225,6 +225,7 @@ pub fn scan_table(
         }
         stats.segments_scanned += 1;
         stats.rows_scanned += seg.live_rows();
+        stats.bytes_scanned += seg.encoded_bytes();
         planned.push((seg_index as u32, seg));
     }
     coord.span(Phase::Plan, SpanLoc::none(), stats.rows_scanned as u64, plan_start);

@@ -35,6 +35,9 @@ pub struct ExecStats {
     pub batches: usize,
     /// Rows scanned (live rows of scanned segments). Additive.
     pub rows_scanned: usize,
+    /// Encoded bytes of scanned segments (the compressed footprint the
+    /// scan actually read, not the decoded width). Additive.
+    pub bytes_scanned: usize,
     /// Rows from the mutable region processed row-at-a-time. Additive.
     pub mutable_rows: usize,
     /// Batches per selection strategy, indexed by [`SelectionStrategy`].
@@ -87,6 +90,7 @@ impl ExecStats {
         self.wide_group_segments += other.wide_group_segments;
         self.batches += other.batches;
         self.rows_scanned += other.rows_scanned;
+        self.bytes_scanned += other.bytes_scanned;
         self.mutable_rows += other.mutable_rows;
         for i in 0..4 {
             self.selection_batches[i] += other.selection_batches[i];

@@ -1,0 +1,762 @@
+//! Process-wide engine telemetry (DESIGN.md §14).
+//!
+//! PR 3's profiler observes one query and dies with it. This module is the
+//! layer above: a process-lifetime [`EngineTelemetry`] handle that every
+//! query publishes into, backed by the dependency-free
+//! [`bipie_metrics::Registry`] (lock-free sharded counters, gauges, log2
+//! histograms) plus a bounded cross-query [`DecisionLog`] that retains the
+//! chooser's `(inputs, strategy, cycles, rows)` tuples for later cost-model
+//! mining (ROADMAP item 3).
+//!
+//! ## The seam
+//!
+//! Instrumentation flows through exactly one choke point: the engine's hot
+//! paths (`scan`, `pool`, `governor`) already account their work into
+//! [`ExecStats`] and the per-worker tracer rings, and
+//! [`execute`](crate::query::execute) hands those finished artifacts to
+//! [`EngineTelemetry::publish_query`] once per query. No scan-loop code
+//! touches a registry handle, so:
+//!
+//! * the hot path costs nothing beyond the accounting it already did;
+//! * registry mutation is auditable — the xtask `trace-hygiene` pass pins
+//!   `Registry::` / `Counter::` / … mutation to this module and the metrics
+//!   crate itself;
+//! * per-strategy registry counters are *exactly* the sum of published
+//!   queries' `ExecStats` tallies, by construction.
+//!
+//! ## Compiling it out
+//!
+//! The `no_metrics` feature is the PR-1-era `no_profiler` pattern applied
+//! here: [`EngineTelemetry::on`] becomes a constant `false`, publish calls
+//! dead-code-eliminate, and the bench overhead gate
+//! (`exp_telemetry --gate`) holds the metrics-off build within 2% of
+//! baseline. At runtime, [`EngineTelemetry::set_enabled`] is the reversible
+//! switch the overhead experiment toggles between interleaved runs.
+//!
+//! ## Metric naming convention
+//!
+//! Every metric is `bipie_<noun>[_total|_us|_cycles]`: `_total` for
+//! monotonic counters, a unit suffix for histograms (`_us` microseconds,
+//! `_cycles` serialized-TSC cycles). Strategy breakdowns use one static
+//! label `strategy` with snake_case values so identity stays allocation-free
+//! (label sets are `&'static` throughout).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+use bipie_metrics::{Counter, Histogram, Labels, Registry};
+use std::sync::Arc;
+
+use crate::error::EngineError;
+use crate::stats::ExecStats;
+use crate::strategy::{AggStrategy, SelectionStrategy};
+use crate::trace::{Phase, QueryProfile, TraceEvent};
+
+/// Decisions the [`DecisionLog`] retains before overwriting the oldest.
+/// 4096 records ≈ a few hundred queries of batch decisions — enough recent
+/// history for regret analysis without unbounded growth.
+pub const DECISION_LOG_CAPACITY: usize = 4096;
+
+/// Static `strategy` label sets, indexed by [`SelectionStrategy`].
+const SEL_LABELS: [Labels; 4] = [
+    &[("strategy", "gather")],
+    &[("strategy", "compact")],
+    &[("strategy", "special_group")],
+    &[("strategy", "run_span")],
+];
+
+/// Static `strategy` label sets, indexed by [`AggStrategy`].
+const AGG_LABELS: [Labels; 5] = [
+    &[("strategy", "scalar")],
+    &[("strategy", "sort_based")],
+    &[("strategy", "in_register")],
+    &[("strategy", "multi_aggregate")],
+    &[("strategy", "run_wise")],
+];
+
+/// Static `cause` label sets for governor trips.
+const TRIP_LABELS: [Labels; 3] =
+    [&[("cause", "cancelled")], &[("cause", "deadline")], &[("cause", "memory")]];
+
+/// Non-poisoning lock acquisition: a panicked publisher must not take the
+/// decision log down with it — telemetry records plain-old-data, so the
+/// guarded state is valid at every await-free step.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // LOCK: generic acquisition helper — call sites document guard scope.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One retained strategy decision: the chooser's inputs, its pick, and the
+/// measured cost of acting on it.
+///
+/// `cycles`/`rows` are paired from the profile's span ring (the
+/// `Selection` span covering the decided batch, or the segment's
+/// `Aggregation`/`WideGroup` span total), and are 0 when the query ran
+/// below [`ProfileLevel::Spans`](crate::trace::ProfileLevel::Spans).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DecisionRecord {
+    /// A per-batch selection-strategy decision.
+    Selection {
+        /// Table segment ordinal.
+        segment: u32,
+        /// Morsel ordinal ([`NO_ID`](crate::trace::NO_ID) for serial scans).
+        morsel: u32,
+        /// Dominant packed input bit width the crossover used.
+        bits: u8,
+        /// Selectivity measured for this batch (the chooser input).
+        observed_selectivity: f64,
+        /// The strategy picked.
+        chosen: SelectionStrategy,
+        /// True when `forced_selection` overrode the chooser.
+        forced: bool,
+        /// Cycles the decided batch's selection span consumed (0 if the
+        /// span was not captured).
+        cycles: u64,
+        /// Rows the decided batch covered.
+        rows: u64,
+    },
+    /// A per-segment (per worker-executor) aggregation-strategy decision.
+    Agg {
+        /// Table segment ordinal.
+        segment: u32,
+        /// Worker that planned the executor.
+        worker: u32,
+        /// Group count including the special-group slot.
+        num_groups_effective: u32,
+        /// SUM aggregate count.
+        num_sums: u32,
+        /// MIN/MAX aggregate count.
+        num_minmax: u32,
+        /// Selectivity estimate the chooser saw.
+        est_selectivity: f64,
+        /// Whether every sum input was packed-narrow.
+        all_packed_narrow: bool,
+        /// Whether a multi-aggregate row layout existed.
+        multi_layout_fits: bool,
+        /// The strategy picked.
+        chosen: AggStrategy,
+        /// True when `forced_agg` overrode the chooser.
+        forced: bool,
+        /// Total aggregation cycles this worker spent on the segment.
+        cycles: u64,
+        /// Total rows this worker aggregated in the segment.
+        rows: u64,
+    },
+}
+
+impl DecisionRecord {
+    /// Render one record as a JSON object (stable field order).
+    fn to_json(self) -> String {
+        match self {
+            DecisionRecord::Selection {
+                segment,
+                morsel,
+                bits,
+                observed_selectivity,
+                chosen,
+                forced,
+                cycles,
+                rows,
+            } => format!(
+                "{{\"kind\": \"selection\", \"segment\": {segment}, \"morsel\": {morsel}, \
+                 \"bits\": {bits}, \"observed_selectivity\": {observed_selectivity:.4}, \
+                 \"chosen\": \"{}\", \"forced\": {forced}, \"cycles\": {cycles}, \
+                 \"rows\": {rows}}}",
+                chosen.label()
+            ),
+            DecisionRecord::Agg {
+                segment,
+                worker,
+                num_groups_effective,
+                num_sums,
+                num_minmax,
+                est_selectivity,
+                all_packed_narrow,
+                multi_layout_fits,
+                chosen,
+                forced,
+                cycles,
+                rows,
+            } => format!(
+                "{{\"kind\": \"agg\", \"segment\": {segment}, \"worker\": {worker}, \
+                 \"num_groups_effective\": {num_groups_effective}, \"num_sums\": {num_sums}, \
+                 \"num_minmax\": {num_minmax}, \"est_selectivity\": {est_selectivity:.4}, \
+                 \"all_packed_narrow\": {all_packed_narrow}, \"multi_layout_fits\": \
+                 {multi_layout_fits}, \"chosen\": \"{}\", \"forced\": {forced}, \
+                 \"cycles\": {cycles}, \"rows\": {rows}}}",
+                chosen.label()
+            ),
+        }
+    }
+}
+
+/// Per-cell pick histogram over the retained decisions — the summary shape
+/// ROADMAP item 3's measured cost model mines for chooser regret.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DecisionSummary {
+    /// Retained selection decisions per strategy (`SelectionStrategy` index).
+    pub selection_picks: [u64; 4],
+    /// Retained aggregation decisions per strategy (`AggStrategy` index).
+    pub agg_picks: [u64; 5],
+    /// Selection matrix cells: `(bits, selectivity decile 0..=9)` → picks
+    /// per strategy. The cell axes mirror the paper's Figure 8 crossover
+    /// matrix (bit width × selectivity).
+    pub selection_cells: BTreeMap<(u8, u8), [u64; 4]>,
+    /// Aggregation cells: `log2(num_groups_effective)` → picks per
+    /// strategy (group count is the dominant axis of Figures 9–10).
+    pub agg_cells: BTreeMap<u8, [u64; 5]>,
+}
+
+/// Ring state behind the [`DecisionLog`] lock.
+#[derive(Debug, Default)]
+struct LogInner {
+    /// Retained records, oldest first once at capacity.
+    ring: std::collections::VecDeque<DecisionRecord>,
+    /// Records overwritten after the ring filled.
+    dropped: u64,
+}
+
+/// A bounded cross-query ring of strategy decisions with drop-counting.
+///
+/// Unlike the tracer's keep-*first* overflow (which preserves a query's
+/// opening picture), the decision log keeps the *most recent* records —
+/// for mining chooser behavior, fresh history beats the process's first
+/// few queries.
+///
+/// /// Invariant: `ring.len() <= DECISION_LOG_CAPACITY` at all times;
+/// `dropped` counts exactly the records evicted to keep it so.
+#[derive(Debug, Default)]
+pub struct DecisionLog {
+    // LOCK: leaf lock; guards the ring for push/snapshot only — no other
+    // lock is ever taken while it is held.
+    inner: Mutex<LogInner>,
+}
+
+impl DecisionLog {
+    /// New empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a record, evicting the oldest when full.
+    pub fn push(&self, record: DecisionRecord) {
+        // LOCK: push fast path; guard dies before return.
+        let mut inner = lock(&self.inner);
+        if inner.ring.len() == DECISION_LOG_CAPACITY {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        inner.ring.push_back(record);
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        // LOCK: read-only peek; temp guard dies at `;`.
+        lock(&self.inner).ring.len()
+    }
+
+    /// True when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted since process start.
+    pub fn dropped(&self) -> u64 {
+        // LOCK: read-only peek; temp guard dies at `;`.
+        lock(&self.inner).dropped
+    }
+
+    /// Clone out the retained records, oldest first.
+    pub fn snapshot(&self) -> Vec<DecisionRecord> {
+        // LOCK: exposition clone; temp guard dies at `;`.
+        lock(&self.inner).ring.iter().copied().collect()
+    }
+
+    /// Discard all retained records and reset the drop counter.
+    pub fn clear(&self) {
+        // LOCK: reset; guard dies before return.
+        let mut inner = lock(&self.inner);
+        inner.ring.clear();
+        inner.dropped = 0;
+    }
+
+    /// Dump the retained records as a JSON document.
+    pub fn to_json(&self) -> String {
+        let records = self.snapshot();
+        let dropped = self.dropped();
+        let body: Vec<String> = records.iter().copied().map(DecisionRecord::to_json).collect();
+        format!(
+            "{{\"capacity\": {DECISION_LOG_CAPACITY}, \"dropped\": {dropped}, \
+             \"decisions\": [{}]}}",
+            body.join(", ")
+        )
+    }
+
+    /// Fold the retained records into the per-cell pick histogram.
+    pub fn summary(&self) -> DecisionSummary {
+        let mut s = DecisionSummary::default();
+        for r in self.snapshot() {
+            match r {
+                DecisionRecord::Selection { bits, observed_selectivity, chosen, .. } => {
+                    s.selection_picks[chosen as usize] += 1;
+                    let decile = ((observed_selectivity * 10.0) as i64).clamp(0, 9) as u8;
+                    s.selection_cells.entry((bits, decile)).or_default()[chosen as usize] += 1;
+                }
+                DecisionRecord::Agg { num_groups_effective, chosen, .. } => {
+                    s.agg_picks[chosen as usize] += 1;
+                    let log2_groups = (64 - u64::from(num_groups_effective).leading_zeros()) as u8;
+                    s.agg_cells.entry(log2_groups).or_default()[chosen as usize] += 1;
+                }
+            }
+        }
+        s
+    }
+}
+
+/// The process-wide telemetry handle: a metrics [`Registry`], the engine's
+/// pre-registered instruments, and the cross-query [`DecisionLog`].
+///
+/// Obtain the process singleton with [`telemetry`]; construct fresh
+/// instances (`EngineTelemetry::new`) in tests to observe deltas without
+/// cross-test pollution.
+///
+/// /// Invariant: `enabled` only gates *publication* — instruments are
+/// registered unconditionally at construction so metric identity is stable
+/// regardless of when the switch flips, and a disabled (or `no_metrics`)
+/// process observes all counters at exactly zero.
+pub struct EngineTelemetry {
+    registry: Registry,
+    /// Runtime publish switch (default on); `no_metrics` wins over it.
+    enabled: AtomicBool,
+    decision_log: DecisionLog,
+    queries: Arc<Counter>,
+    query_errors: Arc<Counter>,
+    governor_trips: [Arc<Counter>; 3],
+    query_latency_us: Arc<Histogram>,
+    rows_scanned: Arc<Counter>,
+    bytes_scanned: Arc<Counter>,
+    morsel_claims: Arc<Counter>,
+    morsel_steals: Arc<Counter>,
+    governor_checks: Arc<Counter>,
+    pool_reuses: Arc<Counter>,
+    selection_picks: [Arc<Counter>; 4],
+    agg_picks: [Arc<Counter>; 5],
+    selection_batch_cycles: [Arc<Histogram>; 4],
+    agg_segment_cycles: [Arc<Histogram>; 5],
+}
+
+impl Default for EngineTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineTelemetry {
+    /// Build a handle with every engine instrument registered.
+    pub fn new() -> Self {
+        let registry = Registry::new();
+        let counter = |name, help| registry.counter(name, help, &[]);
+        let queries = counter("bipie_queries_total", "Queries executed to completion.");
+        let query_errors = counter("bipie_query_errors_total", "Queries that returned an error.");
+        let governor_trips = TRIP_LABELS.map(|labels| {
+            registry.counter(
+                "bipie_governor_trips_total",
+                "Queries stopped by a resource governor limit, by cause.",
+                labels,
+            )
+        });
+        let query_latency_us = registry.histogram(
+            "bipie_query_latency_us",
+            "End-to-end query wall latency in microseconds.",
+            &[],
+        );
+        let rows_scanned =
+            counter("bipie_rows_scanned_total", "Live rows of scanned encoded segments.");
+        let bytes_scanned =
+            counter("bipie_bytes_scanned_total", "Encoded bytes of scanned segments.");
+        let morsel_claims =
+            counter("bipie_morsel_claims_total", "Morsels claimed by parallel scan workers.");
+        let morsel_steals = counter(
+            "bipie_morsel_steals_total",
+            "Morsels claimed outside the worker's home partition.",
+        );
+        let governor_checks =
+            counter("bipie_governor_checks_total", "Cooperative governor limit checks.");
+        let pool_reuses = counter(
+            "bipie_pool_reuses_total",
+            "Fork-join regions served entirely by already-running pool workers.",
+        );
+        let selection_picks = SEL_LABELS.map(|labels| {
+            registry.counter(
+                "bipie_selection_picks_total",
+                "Per-batch selection-strategy decisions, by strategy.",
+                labels,
+            )
+        });
+        let agg_picks = AGG_LABELS.map(|labels| {
+            registry.counter(
+                "bipie_agg_picks_total",
+                "Per-segment aggregation-strategy decisions, by strategy.",
+                labels,
+            )
+        });
+        let selection_batch_cycles = SEL_LABELS.map(|labels| {
+            registry.histogram(
+                "bipie_selection_batch_cycles",
+                "Selection span cycles per batch, by chosen strategy.",
+                labels,
+            )
+        });
+        let agg_segment_cycles = AGG_LABELS.map(|labels| {
+            registry.histogram(
+                "bipie_agg_segment_cycles",
+                "Aggregation span cycles per batch, by chosen strategy.",
+                labels,
+            )
+        });
+        Self {
+            registry,
+            // ORDERING: plain initialization; no concurrent observers yet.
+            enabled: AtomicBool::new(true),
+            decision_log: DecisionLog::new(),
+            queries,
+            query_errors,
+            governor_trips,
+            query_latency_us,
+            rows_scanned,
+            bytes_scanned,
+            morsel_claims,
+            morsel_steals,
+            governor_checks,
+            pool_reuses,
+            selection_picks,
+            agg_picks,
+            selection_batch_cycles,
+            agg_segment_cycles,
+        }
+    }
+
+    /// The backing registry, for exposition
+    /// ([`Registry::render_prometheus`] / [`Registry::render_json`]).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The cross-query decision log.
+    pub fn decision_log(&self) -> &DecisionLog {
+        &self.decision_log
+    }
+
+    /// Flip the runtime publish switch. A `no_metrics` build ignores this —
+    /// [`EngineTelemetry::on`] stays `false`.
+    pub fn set_enabled(&self, enabled: bool) {
+        // ORDERING: Relaxed — the switch is advisory; publishers observing
+        // a stale value for one query is acceptable and unsynchronized.
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether publish calls record anything.
+    pub fn on(&self) -> bool {
+        #[cfg(feature = "no_metrics")]
+        {
+            false
+        }
+        #[cfg(not(feature = "no_metrics"))]
+        {
+            // ORDERING: Relaxed — see `set_enabled`; no data is published
+            // under this flag that needs to synchronize with the store.
+            self.enabled.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Publish one completed query: fleet counters from its [`ExecStats`],
+    /// latency into the histogram, and (when the profile captured spans)
+    /// per-strategy span latencies plus [`DecisionLog`] records.
+    ///
+    /// Per-strategy pick counters add `stats.selection_batches` /
+    /// `stats.agg_segments` verbatim, so registry totals are exactly the
+    /// sum over published queries of their stats — the acceptance
+    /// invariant the `telemetry` integration test pins.
+    pub fn publish_query(&self, stats: &ExecStats, profile: &QueryProfile, wall: Duration) {
+        if !self.on() {
+            return;
+        }
+        self.queries.inc();
+        self.query_latency_us.observe(u64::try_from(wall.as_micros()).unwrap_or(u64::MAX));
+        self.rows_scanned.add(stats.rows_scanned as u64);
+        self.bytes_scanned.add(stats.bytes_scanned as u64);
+        self.morsel_claims.add(stats.morsels_scanned as u64);
+        self.morsel_steals.add(stats.morsel_steals as u64);
+        self.governor_checks.add(stats.governor_checks as u64);
+        self.pool_reuses.add(stats.pool_reuses as u64);
+        for (i, picks) in stats.selection_batches.iter().enumerate() {
+            self.selection_picks[i].add(*picks as u64);
+        }
+        for (i, picks) in stats.agg_segments.iter().enumerate() {
+            self.agg_picks[i].add(*picks as u64);
+        }
+        self.ingest_profile(profile);
+    }
+
+    /// Publish one failed query: the error counter, plus a governor-trip
+    /// cause counter when the governor stopped it.
+    pub fn publish_error(&self, err: &EngineError) {
+        if !self.on() {
+            return;
+        }
+        self.query_errors.inc();
+        match err {
+            EngineError::Cancelled => self.governor_trips[0].inc(),
+            EngineError::DeadlineExceeded => self.governor_trips[1].inc(),
+            EngineError::MemoryBudgetExceeded { .. } => self.governor_trips[2].inc(),
+            _ => {}
+        }
+    }
+
+    /// Walk a spans-level profile: per-strategy span-latency histograms and
+    /// decision-log records with paired costs.
+    ///
+    /// Pairing relies on the tracer's recording order (worker-major event
+    /// stream, chronological per worker): a batch's `Selection` span is
+    /// recorded *before* its `SelectionDecision`, so the most recent
+    /// selection span with matching `(segment, morsel)` is the decided
+    /// batch's cost. `AggDecision` is recorded at executor creation, before
+    /// any aggregation spans, so its cost is the `(worker, segment)` total
+    /// of `Aggregation` + `WideGroup` span cycles collected in a first
+    /// pass.
+    fn ingest_profile(&self, profile: &QueryProfile) {
+        // Pass 1: per-(worker, segment) aggregation span totals.
+        let mut agg_totals: BTreeMap<(u32, u32), (u64, u64)> = BTreeMap::new();
+        for e in &profile.events {
+            if let TraceEvent::Span { phase, worker, loc, rows, cycles, .. } = e {
+                match phase {
+                    Phase::Aggregation | Phase::WideGroup => {
+                        let slot = agg_totals.entry((*worker, loc.segment)).or_default();
+                        slot.0 += cycles;
+                        slot.1 += rows;
+                        if let Some(a) = loc.agg {
+                            self.agg_segment_cycles[a as usize].observe(*cycles);
+                        }
+                    }
+                    Phase::Selection => {
+                        if let Some(s) = loc.selection {
+                            self.selection_batch_cycles[s as usize].observe(*cycles);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Pass 2: decision records, costs attached.
+        let mut last_selection: Option<(u32, u32, u64, u64)> = None;
+        for e in &profile.events {
+            match e {
+                TraceEvent::Span { phase: Phase::Selection, loc, rows, cycles, .. } => {
+                    last_selection = Some((loc.segment, loc.morsel, *cycles, *rows));
+                }
+                TraceEvent::SelectionDecision {
+                    segment,
+                    morsel,
+                    rows,
+                    bits,
+                    observed_selectivity,
+                    chosen,
+                    forced,
+                    ..
+                } => {
+                    let cycles = match last_selection {
+                        Some((seg, mor, c, _)) if seg == *segment && mor == *morsel => c,
+                        _ => 0,
+                    };
+                    self.decision_log.push(DecisionRecord::Selection {
+                        segment: *segment,
+                        morsel: *morsel,
+                        bits: *bits,
+                        observed_selectivity: *observed_selectivity,
+                        chosen: *chosen,
+                        forced: *forced,
+                        cycles,
+                        rows: u64::from(*rows),
+                    });
+                }
+                TraceEvent::AggDecision {
+                    segment,
+                    worker,
+                    num_groups_effective,
+                    num_sums,
+                    num_minmax,
+                    est_selectivity,
+                    all_packed_narrow,
+                    multi_layout_fits,
+                    chosen,
+                    forced,
+                    ..
+                } => {
+                    let (cycles, rows) =
+                        agg_totals.get(&(*worker, *segment)).copied().unwrap_or((0, 0));
+                    self.decision_log.push(DecisionRecord::Agg {
+                        segment: *segment,
+                        worker: *worker,
+                        num_groups_effective: *num_groups_effective,
+                        num_sums: *num_sums,
+                        num_minmax: *num_minmax,
+                        est_selectivity: *est_selectivity,
+                        all_packed_narrow: *all_packed_narrow,
+                        multi_layout_fits: *multi_layout_fits,
+                        chosen: *chosen,
+                        forced: *forced,
+                        cycles,
+                        rows,
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// True when the `no_metrics` feature compiled telemetry publication out
+/// (the overhead benchmark uses this to refuse to measure the wrong build).
+pub fn metrics_compiled_out() -> bool {
+    cfg!(feature = "no_metrics")
+}
+
+/// The process-wide telemetry singleton every query publishes into.
+pub fn telemetry() -> &'static EngineTelemetry {
+    static TELEMETRY: OnceLock<EngineTelemetry> = OnceLock::new();
+    TELEMETRY.get_or_init(EngineTelemetry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel_record(sel: f64, chosen: SelectionStrategy) -> DecisionRecord {
+        DecisionRecord::Selection {
+            segment: 0,
+            morsel: 0,
+            bits: 8,
+            observed_selectivity: sel,
+            chosen,
+            forced: false,
+            cycles: 100,
+            rows: 1024,
+        }
+    }
+
+    #[test]
+    fn decision_log_bounded_with_drop_counting() {
+        let log = DecisionLog::new();
+        for i in 0..(DECISION_LOG_CAPACITY + 10) {
+            log.push(sel_record(i as f64 / 10_000.0, SelectionStrategy::Gather));
+        }
+        assert_eq!(log.len(), DECISION_LOG_CAPACITY);
+        assert_eq!(log.dropped(), 10);
+        // Keep-last: the oldest 10 records were evicted.
+        match log.snapshot()[0] {
+            DecisionRecord::Selection { observed_selectivity, .. } => {
+                assert!((observed_selectivity - 10.0 / 10_000.0).abs() < 1e-12);
+            }
+            _ => panic!("expected selection record"), // PANIC: test-only shape pin.
+        }
+    }
+
+    #[test]
+    fn summary_buckets_by_cell() {
+        let log = DecisionLog::new();
+        log.push(sel_record(0.05, SelectionStrategy::Gather));
+        log.push(sel_record(0.07, SelectionStrategy::Gather));
+        log.push(sel_record(0.95, SelectionStrategy::Compact));
+        log.push(DecisionRecord::Agg {
+            segment: 0,
+            worker: 0,
+            num_groups_effective: 5,
+            num_sums: 2,
+            num_minmax: 1,
+            est_selectivity: 1.0,
+            all_packed_narrow: true,
+            multi_layout_fits: true,
+            chosen: AggStrategy::InRegister,
+            forced: false,
+            cycles: 10,
+            rows: 100,
+        });
+        let s = log.summary();
+        assert_eq!(s.selection_picks, [2, 1, 0, 0]);
+        assert_eq!(s.agg_picks, [0, 0, 1, 0, 0]);
+        assert_eq!(s.selection_cells[&(8, 0)], [2, 0, 0, 0]);
+        assert_eq!(s.selection_cells[&(8, 9)], [0, 1, 0, 0]);
+        // 5 groups → log2 bucket 3 (bit length of 5).
+        assert_eq!(s.agg_cells[&3], [0, 0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn to_json_is_balanced_and_carries_drops() {
+        let log = DecisionLog::new();
+        log.push(sel_record(0.5, SelectionStrategy::SpecialGroup));
+        let json = log.to_json();
+        assert!(json.contains("\"dropped\": 0"));
+        assert!(json.contains("\"chosen\": \"Special Group\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn publish_query_mirrors_stats_exactly() {
+        let t = EngineTelemetry::new();
+        let mut stats = ExecStats::default();
+        stats.record_selection(SelectionStrategy::Gather);
+        stats.record_selection(SelectionStrategy::Gather);
+        stats.record_selection(SelectionStrategy::RunSpan);
+        stats.record_agg(AggStrategy::MultiAggregate);
+        stats.rows_scanned = 2048;
+        stats.bytes_scanned = 4096;
+        stats.morsels_scanned = 4;
+        stats.morsel_steals = 1;
+        stats.pool_reuses = 1;
+        let profile = QueryProfile::default();
+        t.publish_query(&stats, &profile, Duration::from_micros(123));
+        t.publish_query(&stats, &profile, Duration::from_micros(456));
+        if t.on() {
+            assert_eq!(t.selection_picks[0].value(), 4);
+            assert_eq!(t.selection_picks[3].value(), 2);
+            assert_eq!(t.agg_picks[3].value(), 2);
+            assert_eq!(t.queries.value(), 2);
+            assert_eq!(t.rows_scanned.value(), 4096);
+            assert_eq!(t.bytes_scanned.value(), 8192);
+            assert_eq!(t.query_latency_us.count(), 2);
+        } else {
+            // no_metrics: the same publishes must leave every value at 0.
+            assert_eq!(t.selection_picks[0].value(), 0);
+            assert_eq!(t.queries.value(), 0);
+            assert_eq!(t.query_latency_us.count(), 0);
+        }
+    }
+
+    #[test]
+    fn publish_error_classifies_governor_trips() {
+        let t = EngineTelemetry::new();
+        t.publish_error(&EngineError::DeadlineExceeded);
+        t.publish_error(&EngineError::Cancelled);
+        t.publish_error(&EngineError::UnknownColumn("x".into()));
+        if t.on() {
+            assert_eq!(t.query_errors.value(), 3);
+            assert_eq!(t.governor_trips[0].value(), 1);
+            assert_eq!(t.governor_trips[1].value(), 1);
+            assert_eq!(t.governor_trips[2].value(), 0);
+        } else {
+            assert_eq!(t.query_errors.value(), 0);
+        }
+    }
+
+    #[test]
+    fn disabled_switch_suppresses_publication() {
+        let t = EngineTelemetry::new();
+        t.set_enabled(false);
+        assert!(!t.on());
+        t.publish_query(&ExecStats::default(), &QueryProfile::default(), Duration::ZERO);
+        assert_eq!(t.queries.value(), 0);
+        t.set_enabled(true);
+    }
+}

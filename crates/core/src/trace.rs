@@ -178,6 +178,12 @@ pub enum TraceEvent {
         loc: SpanLoc,
         /// Rows the span covered.
         rows: u64,
+        /// Raw serialized-TSC reading at span start — a process-wide
+        /// timeline coordinate (TSC is invariant and core-synchronized on
+        /// the supported hardware), which is what lets
+        /// [`QueryProfile::to_chrome_trace`] place every worker's spans on
+        /// one coherent time axis.
+        start_cycles: u64,
         /// Serialized-TSC cycles elapsed.
         cycles: u64,
         /// Wall-clock nanoseconds elapsed.
@@ -185,6 +191,9 @@ pub enum TraceEvent {
     },
     /// The per-batch selection-strategy decision, with the chooser's inputs.
     SelectionDecision {
+        /// Raw TSC reading when the decision was recorded (same timeline as
+        /// `Span::start_cycles`; 0 when the event predates span export).
+        at_cycles: u64,
         /// Table segment ordinal.
         segment: u32,
         /// Morsel ordinal within the segment (`NO_ID` for serial scans).
@@ -206,6 +215,9 @@ pub enum TraceEvent {
     },
     /// The per-segment (per worker-executor) aggregation-strategy decision.
     AggDecision {
+        /// Raw TSC reading when the decision was recorded (same timeline as
+        /// `Span::start_cycles`; 0 when the event predates span export).
+        at_cycles: u64,
         /// Table segment ordinal.
         segment: u32,
         /// Worker that planned this executor.
@@ -356,6 +368,7 @@ impl Tracer {
                 worker: self.worker,
                 loc,
                 rows,
+                start_cycles: c0,
                 cycles,
                 wall_nanos,
             });
@@ -382,7 +395,10 @@ impl Tracer {
         }
         self.selection_decisions[chosen as usize] += 1;
         if self.spans() {
+            // The timestamp is spans-only work: `Counters` counts the
+            // decision without reading a clock.
             self.push(TraceEvent::SelectionDecision {
+                at_cycles: bipie_toolbox::cycles::read_tsc(),
                 segment,
                 morsel,
                 row_start,
@@ -417,7 +433,9 @@ impl Tracer {
         self.agg_decisions[chosen as usize] += 1;
         if self.spans() {
             let worker = self.worker;
+            // Spans-only timestamp, as in `decision_selection`.
             self.push(TraceEvent::AggDecision {
+                at_cycles: bipie_toolbox::cycles::read_tsc(),
                 segment,
                 worker,
                 num_groups_effective,
@@ -449,6 +467,33 @@ impl Tracer {
     }
 }
 
+/// One contributing tracer's event-ring occupancy, captured at absorb time
+/// so `render_explain` can show how close each worker came to the
+/// keep-first truncation point (observability of the observability:
+/// a silently full ring is invisible in the events themselves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerRing {
+    /// Worker index that owned the ring.
+    pub worker: u32,
+    /// Events retained in the ring.
+    pub events: usize,
+    /// Ring capacity the tracer was built with.
+    pub capacity: usize,
+    /// Events the keep-first policy dropped.
+    pub dropped: u64,
+}
+
+impl WorkerRing {
+    /// Ring occupancy as a percentage of capacity.
+    pub fn utilization_pct(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.events as f64 * 100.0 / self.capacity as f64
+        }
+    }
+}
+
 /// The merged profile of one query execution, aggregated from every
 /// worker's [`Tracer`] at join time. Empty (all zero) when the query ran
 /// at [`ProfileLevel::Off`].
@@ -470,6 +515,9 @@ pub struct QueryProfile {
     pub events: Vec<TraceEvent>,
     /// Events the fixed-capacity buffers had to drop.
     pub dropped_events: u64,
+    /// Per-contributing-tracer ring occupancy (only rings that existed,
+    /// i.e. `Spans`-level tracers), in absorb order.
+    pub worker_rings: Vec<WorkerRing>,
 }
 
 impl QueryProfile {
@@ -494,6 +542,14 @@ impl QueryProfile {
             return;
         }
         self.workers += 1;
+        if tracer.events.capacity() > 0 {
+            self.worker_rings.push(WorkerRing {
+                worker: tracer.worker,
+                events: tracer.events.len(),
+                capacity: tracer.events.capacity(),
+                dropped: tracer.dropped,
+            });
+        }
         for (mine, theirs) in self.phases.iter_mut().zip(&tracer.phases) {
             mine.absorb(theirs);
         }
@@ -561,6 +617,27 @@ impl QueryProfile {
                 "Governor: {} checks, {} bytes peak reserved\n",
                 stats.governor_checks, stats.mem_reserved_peak,
             ));
+        }
+        if !self.worker_rings.is_empty() {
+            let rings: Vec<String> = self
+                .worker_rings
+                .iter()
+                .map(|r| {
+                    format!(
+                        "w{} {}/{} ({:.1}%{})",
+                        r.worker,
+                        r.events,
+                        r.capacity,
+                        r.utilization_pct(),
+                        if r.dropped > 0 {
+                            format!(", {} dropped", r.dropped)
+                        } else {
+                            String::new()
+                        },
+                    )
+                })
+                .collect();
+            out.push_str(&format!("Tracer rings: {}\n", rings.join("; ")));
         }
         if self.is_empty() {
             out.push_str("└─ (profiling off — run with ProfileLevel::Counters or Spans)\n");
@@ -798,6 +875,153 @@ impl QueryProfile {
         s.push_str(&self.events.len().to_string());
         s.push('}');
         s
+    }
+
+    /// Export the span/decision event log as Chrome trace-event JSON,
+    /// loadable in `chrome://tracing` and Perfetto. Requires a
+    /// [`ProfileLevel::Spans`] profile (`Counters` has no events and
+    /// produces an empty `traceEvents` array).
+    ///
+    /// Spans become `ph:"X"` *complete* events — `tid` is the worker,
+    /// `name` is the phase label, `args` carry the span coordinates —
+    /// and strategy decisions become `ph:"I"` thread-scoped *instant*
+    /// events whose `args` are the chooser's inputs. Timestamps convert
+    /// the raw TSC start stamps to microseconds relative to the earliest
+    /// event, so all workers land on one coherent timeline.
+    pub fn to_chrome_trace(&self) -> String {
+        self.to_chrome_trace_with_hz(bipie_metrics::tsc_hz())
+    }
+
+    /// [`QueryProfile::to_chrome_trace`] with an explicit TSC frequency
+    /// (tests pass a fixed `hz` so output is deterministic on any host;
+    /// `1e6` makes one cycle exactly one microsecond).
+    pub fn to_chrome_trace_with_hz(&self, hz: f64) -> String {
+        let base = self
+            .events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Span { start_cycles, .. } => *start_cycles,
+                TraceEvent::SelectionDecision { at_cycles, .. }
+                | TraceEvent::AggDecision { at_cycles, .. } => *at_cycles,
+            })
+            .min()
+            .unwrap_or(0);
+        let us = |cycles: u64| cycles as f64 / hz * 1e6;
+        let rel_us = |cycles: u64| us(cycles.saturating_sub(base));
+        let ord = |id: u32| -> i64 {
+            if id == NO_ID {
+                -1
+            } else {
+                id as i64
+            }
+        };
+
+        let mut events: Vec<String> = Vec::with_capacity(self.events.len() + self.workers);
+        // Name the worker rows up front so Perfetto's track labels are
+        // stable regardless of which worker recorded first.
+        let mut workers: Vec<u32> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Span { worker, .. } | TraceEvent::AggDecision { worker, .. } => {
+                    Some(*worker)
+                }
+                TraceEvent::SelectionDecision { .. } => None,
+            })
+            .collect();
+        workers.sort_unstable();
+        workers.dedup();
+        for w in &workers {
+            events.push(format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": {w}, \
+                 \"args\": {{\"name\": \"worker {w}\"}}}}"
+            ));
+        }
+
+        // Decisions carry no worker coordinate of their own (selection
+        // decisions follow their batch's span in the same tracer's log),
+        // so track the current worker through the worker-major event walk.
+        let mut current_worker = 0u32;
+        for e in &self.events {
+            match e {
+                TraceEvent::Span { phase, worker, loc, rows, start_cycles, cycles, wall_nanos } => {
+                    current_worker = *worker;
+                    let mut args = format!(
+                        "\"segment\": {}, \"morsel\": {}, \"rows\": {rows}, \
+                         \"cycles\": {cycles}, \"wall_nanos\": {wall_nanos}, \
+                         \"stolen\": {}",
+                        ord(loc.segment),
+                        ord(loc.morsel),
+                        loc.stolen
+                    );
+                    if let Some(s) = loc.selection {
+                        args.push_str(&format!(", \"selection\": \"{}\"", s.label()));
+                    }
+                    if let Some(a) = loc.agg {
+                        args.push_str(&format!(", \"agg\": \"{}\"", a.label()));
+                    }
+                    events.push(format!(
+                        "{{\"name\": \"{}\", \"cat\": \"phase\", \"ph\": \"X\", \"pid\": 0, \
+                         \"tid\": {worker}, \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {{{args}}}}}",
+                        phase.label(),
+                        rel_us(*start_cycles),
+                        us(*cycles),
+                    ));
+                }
+                TraceEvent::SelectionDecision {
+                    at_cycles,
+                    segment,
+                    morsel,
+                    row_start,
+                    rows,
+                    bits,
+                    observed_selectivity,
+                    chosen,
+                    forced,
+                } => {
+                    events.push(format!(
+                        "{{\"name\": \"decision:selection\", \"cat\": \"decision\", \
+                         \"ph\": \"I\", \"s\": \"t\", \"pid\": 0, \"tid\": {current_worker}, \
+                         \"ts\": {:.3}, \"args\": {{\"segment\": {}, \"morsel\": {}, \
+                         \"row_start\": {row_start}, \"rows\": {rows}, \"bits\": {bits}, \
+                         \"observed_selectivity\": {observed_selectivity:.4}, \
+                         \"chosen\": \"{}\", \"forced\": {forced}}}}}",
+                        rel_us(*at_cycles),
+                        ord(*segment),
+                        ord(*morsel),
+                        chosen.label(),
+                    ));
+                }
+                TraceEvent::AggDecision {
+                    at_cycles,
+                    segment,
+                    worker,
+                    num_groups_effective,
+                    num_sums,
+                    num_minmax,
+                    est_selectivity,
+                    all_packed_narrow,
+                    multi_layout_fits,
+                    chosen,
+                    forced,
+                } => {
+                    current_worker = *worker;
+                    events.push(format!(
+                        "{{\"name\": \"decision:agg\", \"cat\": \"decision\", \"ph\": \"I\", \
+                         \"s\": \"t\", \"pid\": 0, \"tid\": {worker}, \"ts\": {:.3}, \
+                         \"args\": {{\"segment\": {}, \"num_groups_effective\": \
+                         {num_groups_effective}, \"num_sums\": {num_sums}, \"num_minmax\": \
+                         {num_minmax}, \"est_selectivity\": {est_selectivity:.4}, \
+                         \"all_packed_narrow\": {all_packed_narrow}, \"multi_layout_fits\": \
+                         {multi_layout_fits}, \"chosen\": \"{}\", \"forced\": {forced}}}}}",
+                        rel_us(*at_cycles),
+                        ord(*segment),
+                        chosen.label(),
+                    ));
+                }
+            }
+        }
+        format!("{{\"displayTimeUnit\": \"ms\", \"traceEvents\": [{}]}}", events.join(", "))
     }
 }
 

@@ -12,13 +12,19 @@
 //!   report the **median** cycles/row.
 //! * [`table`] — plain-text renderers for the paper's tables and the
 //!   Figure 8–10 strategy-matrix heatmaps.
+//! * [`registry`] — the process-wide metrics substrate (DESIGN.md §14):
+//!   lock-free sharded counters/gauges/log2 histograms with stable
+//!   `name` + static-label identity, exposed as Prometheus v0.0.4 text or
+//!   a JSON snapshot.
 
 #![forbid(unsafe_code)]
 
 pub mod cycles;
 pub mod measure;
+pub mod registry;
 pub mod table;
 
 pub use cycles::{read_cycles, tsc_hz, Deadline};
 pub use measure::{measure_cycles_per_row, MeasureOpts, Measurement};
+pub use registry::{Counter, Gauge, Histogram, Labels, Registry};
 pub use table::{Grid, Table};

@@ -1,0 +1,9 @@
+//! Fixture: a scan hot path mutating process metrics directly instead of
+//! publishing once per query through the core::telemetry seam.
+
+pub fn per_batch_metrics() {
+    let rows = Counter::default();
+    rows.inc();
+    let reg = Registry::new();
+    let _ = reg;
+}

@@ -1,0 +1,7 @@
+//! Fixture: the telemetry seam itself — registry construction and counter
+//! mutation are sanctioned here (and only here within core).
+
+pub fn publish(registry: &Registry) {
+    let queries = Registry::counter(registry);
+    Counter::inc(&queries);
+}

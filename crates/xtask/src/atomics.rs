@@ -33,8 +33,13 @@ use crate::Diag;
 const ATOMIC_VARIANTS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
 /// The modules that own concurrent state and may use atomics.
-const ATOMIC_MODULES: [&str; 3] =
-    ["crates/core/src/pool.rs", "crates/core/src/governor.rs", "crates/columnstore/src/batch.rs"];
+const ATOMIC_MODULES: [&str; 5] = [
+    "crates/core/src/pool.rs",
+    "crates/core/src/governor.rs",
+    "crates/core/src/telemetry.rs",
+    "crates/columnstore/src/batch.rs",
+    "crates/metrics/src/registry.rs",
+];
 
 /// The justification marker an ordering site must carry.
 pub const MARKER: &str = "ORDERING:";

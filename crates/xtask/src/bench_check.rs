@@ -18,7 +18,7 @@ use std::path::Path;
 
 /// Required fields per committed bench file, mirroring what the experiment
 /// binaries write and DESIGN.md §9 documents.
-const SCHEMAS: [(&str, &[&str]); 4] = [
+const SCHEMAS: [(&str, &[&str]); 6] = [
     (
         "BENCH_scan.json",
         &[
@@ -54,6 +54,23 @@ const SCHEMAS: [(&str, &[&str]); 4] = [
         "BENCH_encoded_ops.json",
         &["bench", "rows", "runs", "results", "best_rle_speedup", "min_runs_fraction"],
     ),
+    (
+        "BENCH_telemetry.json",
+        &[
+            "bench",
+            "scale_factor",
+            "rows",
+            "runs",
+            "baseline_secs",
+            "on_secs",
+            "off_secs",
+            "on_vs_off_pct",
+            "off_vs_baseline_pct",
+            "off_vs_baseline_gate_pct",
+            "registry",
+        ],
+    ),
+    ("BENCH_telemetry_baseline.json", &["bench", "scale_factor", "rows", "runs", "median_secs"]),
 ];
 
 /// Check every committed bench file under `root`. Returns one message per

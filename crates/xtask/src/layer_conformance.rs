@@ -58,7 +58,11 @@ pub const CORE_LAYERS: &[(&str, &[&str])] = &[
             "strategy", "trace",
         ],
     ),
-    ("query", &["error", "expr", "filter", "governor", "scan", "stats", "strategy", "trace"]),
+    ("telemetry", &["error", "stats", "strategy", "trace"]),
+    (
+        "query",
+        &["error", "expr", "filter", "governor", "scan", "stats", "strategy", "telemetry", "trace"],
+    ),
     ("reference", &["error", "query", "stats"]),
 ];
 

@@ -11,7 +11,8 @@
 //! mechanical, the way `atomics-discipline` did for memory orderings:
 //!
 //! * **confinement** — `Mutex`/`RwLock`/`Condvar` appear only in the lock
-//!   modules (`LOCK_MODULES`: `core::pool`, `core::scan`) and in tests;
+//!   modules (`LOCK_MODULES`: `core::pool`, `core::scan`,
+//!   `core::telemetry`, `metrics::registry`) and in tests;
 //! * **annotation** — every lock-typed struct field and every
 //!   guard-acquisition site (`lock(…)`, `.lock()`, `.wait(…)`) carries an
 //!   adjacent `// LOCK:` comment naming the lock's order/invariant, in the
@@ -43,7 +44,12 @@ use crate::scan::SourceFile;
 use crate::Diag;
 
 /// The only modules allowed to contain blocking synchronization.
-pub const LOCK_MODULES: [&str; 2] = ["crates/core/src/pool.rs", "crates/core/src/scan.rs"];
+pub const LOCK_MODULES: [&str; 4] = [
+    "crates/core/src/pool.rs",
+    "crates/core/src/scan.rs",
+    "crates/core/src/telemetry.rs",
+    "crates/metrics/src/registry.rs",
+];
 
 /// The justification marker a lock field or acquisition site must carry.
 pub const MARKER: &str = "LOCK:";
@@ -370,7 +376,8 @@ fn confinement_diag(file: &SourceFile, line: usize, what: &str) -> Diag {
         line: line + 1,
         pass: "lock-discipline",
         msg: format!(
-            "`{what}` outside the lock modules (core::pool, core::scan) — blocking \
+            "`{what}` outside the lock modules (core::pool, core::scan, \
+             core::telemetry, metrics::registry) — blocking \
              synchronization stays where its ordering invariants are documented, \
              or the lock-module list grows deliberately"
         ),

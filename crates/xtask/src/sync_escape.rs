@@ -27,11 +27,13 @@ use crate::scan::SourceFile;
 use crate::Diag;
 
 /// Modules that own concurrent state and may define sync-carrying structs.
-pub const SYNC_MODULES: [&str; 4] = [
+pub const SYNC_MODULES: [&str; 6] = [
     "crates/core/src/pool.rs",
     "crates/core/src/governor.rs",
     "crates/core/src/scan.rs",
+    "crates/core/src/telemetry.rs",
     "crates/columnstore/src/batch.rs",
+    "crates/metrics/src/registry.rs",
 ];
 
 /// Doc marker that justifies a sync-carrying struct outside `SYNC_MODULES`.
@@ -77,7 +79,7 @@ pub fn check(files: &[SourceFile]) -> Vec<Diag> {
                     pass: "sync-escape",
                     msg: format!(
                         "struct `{}` owns synchronization state outside the sync \
-                         modules (pool/governor/scan/batch) — move it, or document \
+                         modules (pool/governor/scan/telemetry/batch/registry) — move it, or document \
                          the sharing protocol in a `/// Invariant:` doc block",
                         item.name
                     ),

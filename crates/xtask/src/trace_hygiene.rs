@@ -22,6 +22,15 @@
 //! `Tracer` API, which is exempt here because it *is* the gate. Matching
 //! is token-exact: `read_tsc` must appear as an identifier and
 //! `TraceEvent::` as a path prefix, so comments and strings never trip it.
+//!
+//! The same confinement applies one layer up (DESIGN.md §14): process-wide
+//! registry mutation must flow through the `core::telemetry` seam. A
+//! `Registry::` / `Counter::` / `Gauge::` / `Histogram::` / `DecisionLog::`
+//! / `EngineTelemetry::` path in scan-loop code means a hot path grew its
+//! own metrics plumbing, bypassing both the `no_metrics` compile-out and
+//! the publish-once-per-query overhead contract. Allowed homes:
+//! `crates/metrics/` (the substrate itself), `crates/core/src/telemetry.rs`
+//! (the seam), and test/bench/example code that reads snapshots.
 
 use crate::lexer::TokKind;
 use crate::scan::SourceFile;
@@ -33,6 +42,22 @@ const TRACE_IDENTS: [&str; 3] = ["read_tsc", "read_cycles", "_rdtsc"];
 /// Files/prefixes where the tokens are legitimate.
 const ALLOWED: [&str; 3] =
     ["crates/toolbox/src/cycles.rs", "crates/metrics/", "crates/core/src/trace.rs"];
+
+/// Additional files that may *consume* `TraceEvent` values (pattern-match
+/// finished profiles) without being allowed raw cycle reads: the telemetry
+/// seam ingests span rings after the query, never on the hot path.
+const EVENT_CONSUMERS: [&str; 1] = ["crates/core/src/telemetry.rs"];
+
+/// Registry/telemetry type paths whose *mutation* must stay behind the
+/// `core::telemetry` seam.
+const REGISTRY_PATHS: [&str; 6] =
+    ["Registry::", "Counter::", "Gauge::", "Histogram::", "DecisionLog::", "EngineTelemetry::"];
+
+/// Files/prefixes where registry paths are legitimate: the metrics crate
+/// and the telemetry seam. Benches and examples read snapshots through the
+/// `telemetry()` handle, which is not a path token, so they need no
+/// exemption.
+const REGISTRY_ALLOWED: [&str; 2] = ["crates/metrics/", "crates/core/src/telemetry.rs"];
 
 /// Run the trace-hygiene pass.
 pub fn check(files: &[SourceFile]) -> Vec<Diag> {
@@ -53,9 +78,28 @@ pub fn check(files: &[SourceFile]) -> Vec<Diag> {
                 out.push(diag(file, tok.line, tok.text(&file.text)));
             }
         }
+        if EVENT_CONSUMERS.contains(&file.rel.as_str()) {
+            continue;
+        }
         for tok in file.find_path("TraceEvent::") {
             if !file.line_in_tests(tok.line) {
                 out.push(diag(file, tok.line, "TraceEvent::"));
+            }
+        }
+    }
+    for file in files {
+        if REGISTRY_ALLOWED.iter().any(|a| file.rel.starts_with(a)) || file.is_test_file() {
+            continue;
+        }
+        if file.toks.is_empty() {
+            registry_fallback(file, &mut out);
+            continue;
+        }
+        for path in REGISTRY_PATHS {
+            for tok in file.find_path(path) {
+                if !file.line_in_tests(tok.line) {
+                    out.push(registry_diag(file, tok.line, path));
+                }
             }
         }
     }
@@ -85,6 +129,34 @@ fn diag(file: &SourceFile, line: usize, token: &str) -> Diag {
         msg: format!(
             "`{token}` outside core::trace/metrics — record through \
              `Tracer` so the ProfileLevel::Off gate applies"
+        ),
+    }
+}
+
+/// Legacy substring scan for registry paths in files the lexer could not
+/// finish.
+fn registry_fallback(file: &SourceFile, out: &mut Vec<Diag>) {
+    for (i, line) in file.code.iter().enumerate() {
+        if file.line_in_tests(i) {
+            continue;
+        }
+        for path in REGISTRY_PATHS {
+            if line.contains(path) {
+                out.push(registry_diag(file, i, path));
+            }
+        }
+    }
+}
+
+fn registry_diag(file: &SourceFile, line: usize, token: &str) -> Diag {
+    Diag {
+        path: file.rel.clone(),
+        line: line + 1,
+        pass: "trace-hygiene",
+        msg: format!(
+            "`{token}` outside the core::telemetry seam — publish through \
+             `EngineTelemetry` so the no_metrics gate and the \
+             once-per-query overhead contract apply"
         ),
     }
 }
@@ -152,6 +224,44 @@ mod tests {
         let f = file(
             "crates/core/src/scan.rs",
             "fn f(t: &mut Tracer) { let s = t.start(); t.span(Phase::Selection, SpanLoc::none(), 1, s); }",
+        );
+        assert!(check(&[f]).is_empty());
+    }
+
+    #[test]
+    fn telemetry_seam_may_consume_events_but_not_read_clocks() {
+        let consume = file(
+            "crates/core/src/telemetry.rs",
+            "fn f(e: &TraceEvent) { if let TraceEvent::Span { .. } = e {} }",
+        );
+        assert!(check(&[consume]).is_empty());
+        let clock = file("crates/core/src/telemetry.rs", "fn f() -> u64 { read_tsc() }");
+        assert_eq!(check(&[clock]).len(), 1);
+    }
+
+    #[test]
+    fn registry_mutation_outside_seam_is_flagged() {
+        let f = file("crates/core/src/scan.rs", "fn f(c: &Counter) { Counter::inc(c); }");
+        let diags = check(&[f]);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].msg.contains("core::telemetry seam"), "{diags:?}");
+    }
+
+    #[test]
+    fn seam_and_metrics_crate_registry_paths_are_exempt() {
+        for rel in ["crates/core/src/telemetry.rs", "crates/metrics/src/registry.rs"] {
+            let f = file(rel, "fn f() { let r = Registry::new(); let _ = r; }");
+            assert!(check(&[f]).is_empty(), "{rel}");
+        }
+    }
+
+    #[test]
+    fn telemetry_handle_reads_are_fine() {
+        // Benches/examples read snapshots through the `telemetry()` fn;
+        // no registry type path appears, so nothing trips.
+        let f = file(
+            "crates/bench/src/bin/exp_telemetry.rs",
+            "fn f() -> String { telemetry().registry().render_json() }",
         );
         assert!(check(&[f]).is_empty());
     }

@@ -80,6 +80,18 @@ fn bad_fixture_raw_trace() {
 }
 
 #[test]
+fn bad_fixture_registry_outside_seam() {
+    let text = rendered(&fixture("bad")).join("\n");
+    assert!(
+        text.contains(
+            "hot_metrics.rs:5: [trace-hygiene] `Counter::` outside the core::telemetry seam"
+        ),
+        "{text}"
+    );
+    assert!(text.contains("hot_metrics.rs:7: [trace-hygiene] `Registry::` outside"), "{text}");
+}
+
+#[test]
 fn bad_fixture_unaccounted_allocations() {
     let text = rendered(&fixture("bad")).join("\n");
     assert!(text.contains("crates/core/src/scan.rs:6: [accountant] `vec![`"), "{text}");

@@ -1,0 +1,74 @@
+//! Process-wide telemetry quickstart (DESIGN.md §14): run a mixed workload
+//! (TPC-H Q1 plus filtered variants, back to back) against one table, then
+//! emit everything the telemetry subsystem collected:
+//!
+//! * `bipie_registry.prom` — the engine registry as Prometheus v0.0.4 text
+//!   (point a Prometheus file exporter or `promtool` at it);
+//! * `bipie_registry.json` — the same snapshot as JSON;
+//! * `bipie_decisions.json` — the cross-query decision log dump;
+//! * `bipie_trace.json` — the last query's span rings as Chrome trace-event
+//!   JSON (open in <https://ui.perfetto.dev> or `chrome://tracing`).
+//!
+//! ```sh
+//! cargo run --release --example telemetry          # SF 0.05
+//! BIPIE_TPCH_SF=0.5 cargo run --release --example telemetry
+//! ```
+
+use bipie::core::{telemetry, ProfileLevel, QueryOptions};
+use bipie::tpch::{run_q1_result, LineItemGen};
+
+fn main() {
+    let sf: f64 = std::env::var("BIPIE_TPCH_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.05);
+
+    println!("generating LINEITEM at scale factor {sf} ...");
+    let table = LineItemGen { scale_factor: sf, ..Default::default() }.generate();
+    println!("  {} rows in {} segment(s)", table.num_rows(), table.segments().len());
+
+    // A mixed workload: every completed query publishes its stats and
+    // profile into the process telemetry handle. Spans-level profiling
+    // feeds the decision log and the Chrome trace; a Counters-level run
+    // shows that fleet counters accrue regardless.
+    let mut last = None;
+    for (label, profile) in [
+        ("Q1 (spans)", ProfileLevel::Spans),
+        ("Q1 (counters)", ProfileLevel::Counters),
+        ("Q1 (spans)", ProfileLevel::Spans),
+    ] {
+        let options = QueryOptions { profile, ..QueryOptions::default() };
+        let result = run_q1_result(&table, options).expect("Q1 runs");
+        println!("ran {label}: {} group(s)", result.rows.len());
+        last = Some(result);
+    }
+
+    let t = telemetry();
+    std::fs::write("bipie_registry.prom", t.registry().render_prometheus())
+        .expect("writing the Prometheus snapshot");
+    std::fs::write("bipie_registry.json", t.registry().render_json())
+        .expect("writing the JSON snapshot");
+    std::fs::write("bipie_decisions.json", t.decision_log().to_json())
+        .expect("writing the decision log");
+    println!("\nwrote bipie_registry.prom, bipie_registry.json, bipie_decisions.json");
+    println!(
+        "decision log: {} record(s), {} dropped",
+        t.decision_log().len(),
+        t.decision_log().dropped()
+    );
+
+    if let Some(result) = last {
+        std::fs::write("bipie_trace.json", result.profile.to_chrome_trace())
+            .expect("writing the Chrome trace");
+        println!(
+            "wrote bipie_trace.json ({} event(s)) — open it in https://ui.perfetto.dev",
+            result.profile.events.len()
+        );
+    }
+
+    // A taste of the snapshot, so the example shows something without
+    // leaving the terminal.
+    println!("\n--- registry (Prometheus text, strategy picks) ---");
+    for line in t.registry().render_prometheus().lines() {
+        if line.contains("picks_total") {
+            println!("{line}");
+        }
+    }
+}

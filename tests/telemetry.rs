@@ -1,0 +1,273 @@
+//! Process-wide telemetry integration (DESIGN.md §14): a mixed workload of
+//! back-to-back queries must leave the process registry with per-strategy
+//! pick counters *exactly* equal to the sum of the queries' `ExecStats`,
+//! a decision log whose records tile every batch/segment decision, and a
+//! Chrome trace that loads in Perfetto. The trace exposition format itself
+//! is pinned by an exact-string golden from a synthetic profile.
+
+use bipie::core::{
+    telemetry, AggStrategy, DecisionRecord, Phase, ProfileLevel, QueryOptions, QueryProfile,
+    SelectionStrategy, SpanLoc, TraceEvent,
+};
+use bipie::tpch::{run_q1_result, LineItemGen};
+
+fn small_lineitem() -> bipie::columnstore::Table {
+    LineItemGen { scale_factor: 0.004, segment_rows: 6000, ..Default::default() }.generate()
+}
+
+/// Structural lint for a Chrome trace document: one balanced JSON object
+/// with the trace-event envelope Perfetto expects.
+fn assert_perfetto_loadable(trace: &str) {
+    assert!(trace.starts_with("{\"displayTimeUnit\": \"ms\", \"traceEvents\": ["), "{trace}");
+    assert!(trace.ends_with("]}"), "{trace}");
+    let mut depth = 0i64;
+    let mut in_str = false;
+    let mut escape = false;
+    for c in trace.chars() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            _ => {}
+        }
+        assert!(depth >= 0, "unbalanced trace document");
+    }
+    assert_eq!(depth, 0, "unbalanced trace document");
+    assert!(!in_str, "unterminated string in trace document");
+}
+
+#[test]
+fn chrome_trace_golden_from_synthetic_profile() {
+    // hz = 1e6 maps one cycle to exactly one microsecond, making the
+    // timestamp arithmetic visible in the expected string: the span starts
+    // the timeline at ts 0, the decision instants land at their cycle
+    // offsets from it.
+    let profile = QueryProfile {
+        level: ProfileLevel::Spans,
+        workers: 1,
+        events: vec![
+            TraceEvent::Span {
+                phase: Phase::Selection,
+                worker: 0,
+                loc: SpanLoc::at(0, 1).with_selection(SelectionStrategy::Gather),
+                rows: 1024,
+                start_cycles: 1_000,
+                cycles: 500,
+                wall_nanos: 500,
+            },
+            TraceEvent::SelectionDecision {
+                at_cycles: 1_600,
+                segment: 0,
+                morsel: 1,
+                row_start: 0,
+                rows: 1024,
+                bits: 8,
+                observed_selectivity: 0.125,
+                chosen: SelectionStrategy::Gather,
+                forced: false,
+            },
+            TraceEvent::AggDecision {
+                at_cycles: 2_000,
+                segment: 0,
+                worker: 0,
+                num_groups_effective: 5,
+                num_sums: 2,
+                num_minmax: 0,
+                est_selectivity: 1.0,
+                all_packed_narrow: true,
+                multi_layout_fits: true,
+                chosen: AggStrategy::MultiAggregate,
+                forced: false,
+            },
+        ],
+        ..QueryProfile::default()
+    };
+    let expected = concat!(
+        "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [",
+        "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, ",
+        "\"args\": {\"name\": \"worker 0\"}}, ",
+        "{\"name\": \"selection\", \"cat\": \"phase\", \"ph\": \"X\", \"pid\": 0, \"tid\": 0, ",
+        "\"ts\": 0.000, \"dur\": 500.000, \"args\": {\"segment\": 0, \"morsel\": 1, ",
+        "\"rows\": 1024, \"cycles\": 500, \"wall_nanos\": 500, \"stolen\": false, ",
+        "\"selection\": \"Gather\"}}, ",
+        "{\"name\": \"decision:selection\", \"cat\": \"decision\", \"ph\": \"I\", \"s\": \"t\", ",
+        "\"pid\": 0, \"tid\": 0, \"ts\": 600.000, \"args\": {\"segment\": 0, \"morsel\": 1, ",
+        "\"row_start\": 0, \"rows\": 1024, \"bits\": 8, \"observed_selectivity\": 0.1250, ",
+        "\"chosen\": \"Gather\", \"forced\": false}}, ",
+        "{\"name\": \"decision:agg\", \"cat\": \"decision\", \"ph\": \"I\", \"s\": \"t\", ",
+        "\"pid\": 0, \"tid\": 0, \"ts\": 1000.000, \"args\": {\"segment\": 0, ",
+        "\"num_groups_effective\": 5, \"num_sums\": 2, \"num_minmax\": 0, ",
+        "\"est_selectivity\": 1.0000, \"all_packed_narrow\": true, ",
+        "\"multi_layout_fits\": true, \"chosen\": \"Multi\", \"forced\": false}}]}"
+    );
+    let trace = profile.to_chrome_trace_with_hz(1e6);
+    assert_eq!(trace, expected);
+    assert_perfetto_loadable(&trace);
+}
+
+/// The acceptance workload: ≥2 queries back to back, then every telemetry
+/// surface checked against the queries' own artifacts. One test function
+/// on purpose — the registry and decision log are process-wide, so the
+/// workload and its assertions must not interleave with other publishes.
+#[test]
+fn mixed_workload_telemetry_is_exact() {
+    let t = telemetry();
+    let reg = t.registry();
+    // Handles resolve to the same instruments the engine publishes into
+    // (registration is idempotent on (kind, name, labels)).
+    let sel_handles = [
+        ("gather", SelectionStrategy::Gather),
+        ("compact", SelectionStrategy::Compact),
+        ("special_group", SelectionStrategy::SpecialGroup),
+        ("run_span", SelectionStrategy::RunSpan),
+    ]
+    .map(|(label, s)| {
+        let labels: &'static [(&'static str, &'static str)] = match label {
+            "gather" => &[("strategy", "gather")],
+            "compact" => &[("strategy", "compact")],
+            "special_group" => &[("strategy", "special_group")],
+            _ => &[("strategy", "run_span")],
+        };
+        (
+            s,
+            reg.counter(
+                "bipie_selection_picks_total",
+                "Per-batch selection-strategy decisions, by strategy.",
+                labels,
+            ),
+        )
+    });
+    let agg_labels: [&'static [(&'static str, &'static str)]; 5] = [
+        &[("strategy", "scalar")],
+        &[("strategy", "sort_based")],
+        &[("strategy", "in_register")],
+        &[("strategy", "multi_aggregate")],
+        &[("strategy", "run_wise")],
+    ];
+    let agg_handles = agg_labels.map(|labels| {
+        reg.counter(
+            "bipie_agg_picks_total",
+            "Per-segment aggregation-strategy decisions, by strategy.",
+            labels,
+        )
+    });
+    let queries = reg.counter("bipie_queries_total", "Queries executed to completion.", &[]);
+    let rows =
+        reg.counter("bipie_rows_scanned_total", "Live rows of scanned encoded segments.", &[]);
+    let bytes = reg.counter("bipie_bytes_scanned_total", "Encoded bytes of scanned segments.", &[]);
+    let latency = reg.histogram(
+        "bipie_query_latency_us",
+        "End-to-end query wall latency in microseconds.",
+        &[],
+    );
+
+    let before_sel = sel_handles.each_ref().map(|(_, c)| c.value());
+    let before_agg = agg_handles.each_ref().map(|c| c.value());
+    let before_queries = queries.value();
+    let before_rows = rows.value();
+    let before_bytes = bytes.value();
+    let before_latency = latency.count();
+    t.decision_log().clear();
+
+    // The workload: parallel and serial Q1, both spans-profiled.
+    let table = small_lineitem();
+    let results = [
+        run_q1_result(&table, QueryOptions { profile: ProfileLevel::Spans, ..Default::default() })
+            .expect("Q1 runs"),
+        run_q1_result(
+            &table,
+            QueryOptions { profile: ProfileLevel::Spans, parallel: false, ..Default::default() },
+        )
+        .expect("Q1 runs"),
+    ];
+
+    if !bipie::core::telemetry::metrics_compiled_out() {
+        // Registry pick counters == summed ExecStats, exactly.
+        for (i, (s, c)) in sel_handles.iter().enumerate() {
+            let expected: u64 =
+                results.iter().map(|r| r.stats.selection_batches[*s as usize] as u64).sum();
+            assert_eq!(c.value() - before_sel[i], expected, "selection counter {s:?}");
+        }
+        for (i, c) in agg_handles.iter().enumerate() {
+            let expected: u64 = results.iter().map(|r| r.stats.agg_segments[i] as u64).sum();
+            assert_eq!(c.value() - before_agg[i], expected, "agg counter index {i}");
+        }
+        assert_eq!(queries.value() - before_queries, 2);
+        let total_rows: u64 = results.iter().map(|r| r.stats.rows_scanned as u64).sum();
+        let total_bytes: u64 = results.iter().map(|r| r.stats.bytes_scanned as u64).sum();
+        assert!(total_bytes > 0, "encoded segments must report scanned bytes");
+        assert_eq!(rows.value() - before_rows, total_rows);
+        assert_eq!(bytes.value() - before_bytes, total_bytes);
+        assert_eq!(latency.count() - before_latency, 2);
+
+        // The decision log tiles every batch/segment decision of both
+        // queries: same totals, same per-strategy breakdown.
+        let records = t.decision_log().snapshot();
+        let expected_sel: u64 =
+            results.iter().map(|r| r.stats.selection_batches.iter().sum::<usize>() as u64).sum();
+        let expected_agg: u64 =
+            results.iter().map(|r| r.stats.agg_segments.iter().sum::<usize>() as u64).sum();
+        let (got_sel, got_agg) = records.iter().fold((0u64, 0u64), |(s, a), r| match r {
+            DecisionRecord::Selection { .. } => (s + 1, a),
+            DecisionRecord::Agg { .. } => (s, a + 1),
+        });
+        assert_eq!(got_sel, expected_sel, "selection records tile the batches");
+        assert_eq!(got_agg, expected_agg, "agg records tile the segment executors");
+        let summary = t.decision_log().summary();
+        for (i, (s, _)) in sel_handles.iter().enumerate() {
+            let expected: u64 =
+                results.iter().map(|r| r.stats.selection_batches[*s as usize] as u64).sum();
+            assert_eq!(summary.selection_picks[i], expected, "summary pick {s:?}");
+        }
+        assert!(!summary.selection_cells.is_empty(), "per-cell histogram populated");
+        // Span-paired costs: at least one selection record carries cycles.
+        assert!(
+            records
+                .iter()
+                .any(|r| matches!(r, DecisionRecord::Selection { cycles, .. } if *cycles > 0)),
+            "decision records carry span-paired cycle costs"
+        );
+    }
+
+    for result in &results {
+        // Ring-utilization satellite: render_explain reports per-worker
+        // ring occupancy (and would report drops).
+        let explain = result.profile.render_explain(&result.stats);
+        assert!(explain.contains("Tracer rings: w"), "{explain}");
+        // The per-query trace export is Perfetto-loadable.
+        let trace = result.profile.to_chrome_trace();
+        assert_perfetto_loadable(&trace);
+        assert!(trace.contains("\"ph\": \"X\""), "complete events present");
+        assert!(trace.contains("\"ph\": \"M\""), "thread metadata present");
+        assert!(trace.contains("decision:selection"), "decision instants present");
+    }
+}
+
+#[test]
+fn no_metrics_build_is_inert() {
+    // Under --features no_metrics the same publish path must leave every
+    // instrument untouched; in a normal build this asserts the opposite
+    // wiring (covered above), so the test body is feature-conditional.
+    if bipie::core::telemetry::metrics_compiled_out() {
+        let table = small_lineitem();
+        let _ = run_q1_result(&table, QueryOptions::default()).expect("Q1 runs");
+        assert!(!telemetry().on(), "no_metrics must hard-disable publication");
+        let queries = telemetry().registry().counter(
+            "bipie_queries_total",
+            "Queries executed to completion.",
+            &[],
+        );
+        assert_eq!(queries.value(), 0, "compiled-out telemetry must stay at zero");
+        assert!(telemetry().decision_log().is_empty());
+    }
+}
