@@ -47,6 +47,34 @@ pub enum EngineError {
         /// asked for.
         requested: usize,
     },
+    /// The engine's admission controller shed the query instead of running
+    /// it (DESIGN.md §15); the query never consumed a slot and no partial
+    /// work happened.
+    AdmissionRejected {
+        /// Why admission shed the query.
+        reason: AdmissionReason,
+    },
+    /// The query waited in the admission queue for the full
+    /// `queue_timeout` without a slot freeing up.
+    AdmissionTimeout {
+        /// How long the query waited before giving up.
+        waited: std::time::Duration,
+    },
+    /// The engine is shutting down (or already shut down); new queries are
+    /// refused with this typed error instead of hanging in the queue.
+    EngineShutdown,
+    /// A query named a table that is not registered with the engine.
+    UnknownTable(String),
+}
+
+/// Why the engine's admission controller refused a query outright.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionReason {
+    /// The admission queue already holds `max_queued` waiting queries.
+    QueueFull,
+    /// The query's memory budget exceeds the engine's aggregate memory
+    /// budget outright — it could never be admitted, even alone.
+    AggregateMemory,
 }
 
 impl std::fmt::Display for EngineError {
@@ -75,6 +103,21 @@ impl std::fmt::Display for EngineError {
                      against a {budget}-byte budget"
                 )
             }
+            EngineError::AdmissionRejected { reason } => match reason {
+                AdmissionReason::QueueFull => {
+                    write!(f, "query shed by admission control: the admission queue is full")
+                }
+                AdmissionReason::AggregateMemory => write!(
+                    f,
+                    "query shed by admission control: its memory budget exceeds the \
+                     engine's aggregate memory budget"
+                ),
+            },
+            EngineError::AdmissionTimeout { waited } => {
+                write!(f, "query timed out in the admission queue after {waited:?}")
+            }
+            EngineError::EngineShutdown => write!(f, "engine is shutting down"),
+            EngineError::UnknownTable(name) => write!(f, "unknown table '{name}'"),
         }
     }
 }
@@ -105,5 +148,13 @@ mod tests {
         let e = EngineError::MemoryBudgetExceeded { budget: 100, requested: 170 };
         assert!(e.to_string().contains("170"), "{e}");
         assert!(e.to_string().contains("100-byte"), "{e}");
+        let e = EngineError::AdmissionRejected { reason: AdmissionReason::QueueFull };
+        assert!(e.to_string().contains("admission queue is full"), "{e}");
+        let e = EngineError::AdmissionRejected { reason: AdmissionReason::AggregateMemory };
+        assert!(e.to_string().contains("aggregate memory budget"), "{e}");
+        let e = EngineError::AdmissionTimeout { waited: std::time::Duration::from_millis(25) };
+        assert!(e.to_string().contains("admission queue"), "{e}");
+        assert_eq!(EngineError::EngineShutdown.to_string(), "engine is shutting down");
+        assert_eq!(EngineError::UnknownTable("t".into()).to_string(), "unknown table 't'");
     }
 }

@@ -263,6 +263,72 @@ impl Governor {
     }
 }
 
+/// Process-level memory accountant layered *above* per-query governors
+/// (DESIGN.md §15): the engine charges every admitted query's declared
+/// `mem_budget` here before the query's own [`Governor`] starts accounting
+/// actual allocations against that declaration. The sum of admitted
+/// declarations can therefore never exceed the cap, whatever the queries
+/// then allocate within their own budgets.
+#[derive(Debug)]
+pub struct AggregateBudget {
+    cap: usize,
+    /// Declared bytes of currently admitted queries.
+    reserved: AtomicUsize,
+    /// High-water mark of `reserved`.
+    peak: AtomicUsize,
+}
+
+impl AggregateBudget {
+    /// An accountant with `cap` bytes of aggregate headroom.
+    pub fn new(cap: usize) -> AggregateBudget {
+        AggregateBudget { cap, reserved: AtomicUsize::new(0), peak: AtomicUsize::new(0) }
+    }
+
+    /// The configured cap in bytes.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Reserve `bytes` of the aggregate cap, or report that they do not
+    /// fit right now. Mirrors the governor's global reservation: optimistic
+    /// add with undo, so concurrent admitters can never jointly overshoot.
+    pub fn try_reserve(&self, bytes: usize) -> bool {
+        // ORDERING: Relaxed — single-counter RMW admission, identical
+        // reasoning to `Governor::try_reserve_global`: the total cannot
+        // over-admit under any ordering and the counter guards no memory.
+        let prev = self.reserved.fetch_add(bytes, Ordering::Relaxed);
+        let now = prev.saturating_add(bytes);
+        if now > self.cap {
+            // ORDERING: Relaxed — undo of the optimistic add; same counter.
+            self.reserved.fetch_sub(bytes, Ordering::Relaxed);
+            return false;
+        }
+        // ORDERING: Relaxed — monotone max for statistics only.
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        true
+    }
+
+    /// Return `bytes` previously reserved with [`AggregateBudget::try_reserve`].
+    pub fn release(&self, bytes: usize) {
+        // ORDERING: Relaxed — same single-counter reasoning as the reserve.
+        self.reserved.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Declared bytes of currently admitted queries.
+    pub fn reserved(&self) -> usize {
+        // ORDERING: Relaxed — advisory snapshot for diagnostics; admission
+        // is decided by the RMW in `try_reserve`, not by this read.
+        self.reserved.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of the reserved counter.
+    pub fn peak_reserved(&self) -> usize {
+        // ORDERING: Relaxed — statistics read; approximate while admitters
+        // race, exact once they quiesce.
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
 /// Per-worker memory accountant. Owns locally reserved slack so per-batch
 /// charges are plain integer arithmetic; only slack refills touch the
 /// governor's shared counter. `Copy` so scan state can embed it freely.
@@ -392,6 +458,23 @@ mod tests {
             e,
             EngineError::MemoryBudgetExceeded { budget: 1 << 20, requested: (1 << 20) + 1 }
         );
+    }
+
+    #[test]
+    fn aggregate_budget_admits_to_cap_and_releases() {
+        let agg = AggregateBudget::new(100);
+        assert_eq!(agg.cap(), 100);
+        assert!(agg.try_reserve(60));
+        assert!(agg.try_reserve(40));
+        // Full: even one more byte is refused, and the refusal undoes its
+        // optimistic add.
+        assert!(!agg.try_reserve(1));
+        assert_eq!(agg.reserved(), 100);
+        assert_eq!(agg.peak_reserved(), 100);
+        agg.release(40);
+        assert_eq!(agg.reserved(), 60);
+        assert!(agg.try_reserve(30));
+        assert_eq!(agg.peak_reserved(), 100);
     }
 
     #[test]

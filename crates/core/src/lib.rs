@@ -37,6 +37,10 @@
 //! * [`governor`] — per-query resource governance: cooperative cancellation,
 //!   wall-clock deadlines, and a memory accountant checked at every morsel
 //!   claim and batch boundary (DESIGN.md §10).
+//! * [`engine`] — the multi-query serving layer: a process-wide [`Engine`]
+//!   handle with a shared table registry, bounded admission control with
+//!   typed shedding, an aggregate memory accountant, and weighted tenant
+//!   [`Session`]s interleaved fairly on the shared pool (DESIGN.md §15).
 //! * [`mod@telemetry`] — the process-wide telemetry seam: every completed query
 //!   publishes its stats/profile once into a registry of fleet counters and
 //!   histograms plus a bounded cross-query decision log (DESIGN.md §14).
@@ -44,6 +48,7 @@
 //!   oracle for the whole engine.
 
 pub mod aggproc;
+pub mod engine;
 pub mod error;
 pub mod expr;
 pub mod filter;
@@ -58,10 +63,12 @@ pub mod strategy;
 pub mod telemetry;
 pub mod trace;
 
-pub use error::{EngineError, Result};
+pub use engine::{Engine, EngineConfig, EnginePermit, EngineSnapshot, Session, SessionOptions};
+pub use error::{AdmissionReason, EngineError, Result};
 pub use expr::Expr;
 pub use filter::Predicate;
-pub use governor::CancelToken;
+pub use governor::{AggregateBudget, CancelToken};
+pub use pool::{QueryTag, SchedStats};
 pub use query::{execute, AggExpr, Query, QueryBuilder, QueryOptions, QueryResult, ResultRow};
 pub use stats::ExecStats;
 pub use strategy::{AggStrategy, SelectionStrategy};

@@ -31,6 +31,14 @@
 //! region). The scan driver only ever runs one region at a time per query
 //! phase, and concurrent queries are fine — regions interleave over the
 //! shared queue.
+//!
+//! * **Shared scheduling** — concurrent queries submit jobs under a
+//!   [`QueryTag`]; the intake is a set of per-query FIFO queues drained by
+//!   weighted fair queuing (`SchedQueues`), so a heavy query cannot
+//!   starve a light one and tenant weights bias pool bandwidth
+//!   proportionally. Whatever the pool does, every query still progresses:
+//!   the caller always executes worker 0's slice on its own thread
+//!   (DESIGN.md §15).
 
 use std::any::Any;
 use std::collections::VecDeque;
@@ -40,6 +48,119 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// A captured worker panic payload.
 pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Scheduler identity of the query a fork-join region serves: which
+/// per-query queue its jobs land in, and that queue's fair-share weight.
+/// Standalone `run` calls use the default tag (query 0, weight 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryTag {
+    /// Engine-assigned query id; 0 is the shared "untagged" queue.
+    pub query: u64,
+    /// Fair-share weight (≥ 1): a weight-2 query receives twice the pool
+    /// dispatches of a weight-1 query under contention.
+    pub weight: u32,
+}
+
+impl Default for QueryTag {
+    fn default() -> Self {
+        QueryTag { query: 0, weight: 1 }
+    }
+}
+
+/// Cumulative shared-scheduler counters (diagnostics and telemetry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Jobs handed to workers since process start.
+    pub jobs_dispatched: u64,
+    /// Dispatches that switched to a different query than the previous
+    /// dispatch — a proxy for how finely concurrent queries interleave.
+    pub query_switches: u64,
+}
+
+/// The virtual-time quantum one dispatch charges a weight-1 queue. Only
+/// ratios matter; the constant keeps integer division by the weight exact
+/// for realistic weights.
+const VTIME_QUANTUM: u64 = 1 << 20;
+
+/// Weighted-fair-queuing intake: one FIFO per active query, drained in
+/// virtual-time order. Pure data structure — the pool guards it with the
+/// intake mutex; generic over the job type so the policy is unit-testable
+/// without threads.
+struct SchedQueues<T> {
+    /// Per-query queues; empty queues are pruned on dispatch.
+    queues: Vec<SchedQueue<T>>,
+    /// Virtual clock: the start tag of the last dispatched queue. New
+    /// queues join at this value so they neither starve nor get credit
+    /// for time they spent absent.
+    vclock: u64,
+    stats: SchedStats,
+    /// Query id of the most recent dispatch (for the switch counter).
+    last_query: Option<u64>,
+}
+
+struct SchedQueue<T> {
+    query: u64,
+    weight: u32,
+    /// Virtual finish time of the work dispatched from this queue so far.
+    vtime: u64,
+    jobs: VecDeque<T>,
+}
+
+impl<T> SchedQueues<T> {
+    fn new() -> Self {
+        SchedQueues {
+            queues: Vec::new(),
+            vclock: 0,
+            stats: SchedStats::default(),
+            last_query: None,
+        }
+    }
+
+    /// Append a job to its query's queue, creating the queue at the
+    /// current virtual clock if the query has none.
+    fn push(&mut self, tag: QueryTag, job: T) {
+        let weight = tag.weight.max(1);
+        match self.queues.iter_mut().find(|q| q.query == tag.query) {
+            Some(q) => {
+                q.weight = weight;
+                q.jobs.push_back(job);
+            }
+            None => self.queues.push(SchedQueue {
+                query: tag.query,
+                weight,
+                vtime: self.vclock,
+                jobs: VecDeque::from([job]),
+            }),
+        }
+    }
+
+    /// Dispatch the next job: the queue with the smallest virtual finish
+    /// time wins (query id breaks ties deterministically), then pays for
+    /// the dispatch inversely to its weight.
+    fn pop(&mut self) -> Option<T> {
+        let idx = self
+            .queues
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, q)| (q.vtime, q.query))
+            .map(|(i, _)| i)?;
+        let q = &mut self.queues[idx];
+        // PANIC: queues are pruned when drained, so every retained queue
+        // holds at least one job.
+        let job = q.jobs.pop_front().expect("scheduler queues are never retained empty");
+        self.vclock = q.vtime;
+        q.vtime += (VTIME_QUANTUM / u64::from(q.weight)).max(1);
+        self.stats.jobs_dispatched += 1;
+        if self.last_query != Some(q.query) {
+            self.stats.query_switches += 1;
+            self.last_query = Some(q.query);
+        }
+        if q.jobs.is_empty() {
+            self.queues.swap_remove(idx);
+        }
+        Some(job)
+    }
+}
 
 /// What a completed fork-join region reports back.
 #[derive(Debug, Clone, Copy)]
@@ -79,9 +200,10 @@ struct RunState {
 }
 
 struct PoolShared {
-    // LOCK: leaf — job intake; held only to push/pop jobs, released before
-    // `work` is notified and before any job body runs.
-    queue: Mutex<VecDeque<Job>>,
+    // LOCK: leaf — job intake; held only to push/pop jobs through the
+    // fair scheduler, released before `work` is notified and before any
+    // job body runs.
+    queue: Mutex<SchedQueues<Job>>,
     /// Signalled when a job is queued.
     // LOCK: waited on exclusively with the `queue` guard.
     work: Condvar,
@@ -113,7 +235,7 @@ impl WorkerPool {
         static POOL: OnceLock<WorkerPool> = OnceLock::new();
         POOL.get_or_init(|| WorkerPool {
             shared: Arc::new(PoolShared {
-                queue: Mutex::new(VecDeque::new()),
+                queue: Mutex::new(SchedQueues::new()),
                 work: Condvar::new(),
             }),
             spawned: Mutex::new(0),
@@ -128,12 +250,32 @@ impl WorkerPool {
         self.runs.load(Ordering::Relaxed)
     }
 
+    /// Cumulative shared-scheduler counters since process start.
+    pub fn sched_stats(&self) -> SchedStats {
+        // LOCK: `queue` read-only peek; temp guard dies at `;`.
+        lock(&self.shared.queue).stats
+    }
+
     /// Execute `body(i)` for `i in 0..workers` across the pool, the calling
     /// thread serving as worker 0. Returns when every worker has finished.
     /// If any worker (or the caller's own slice) panicked, the first payload
     /// is returned as `Err` — the process is never taken down by a worker.
     pub fn run(
         &self,
+        workers: usize,
+        body: &(dyn Fn(usize) + Sync),
+    ) -> Result<RunReport, PanicPayload> {
+        self.run_tagged(QueryTag::default(), workers, body)
+    }
+
+    /// [`run`](WorkerPool::run), with the region's jobs scheduled under
+    /// `tag`'s per-query queue and fair-share weight. Concurrent regions
+    /// with distinct tags interleave over the pool in weighted-fair order;
+    /// the calling thread still serves worker 0 directly, so a region
+    /// finishes even when every pool worker is busy with other queries.
+    pub fn run_tagged(
+        &self,
+        tag: QueryTag,
         workers: usize,
         body: &(dyn Fn(usize) + Sync),
     ) -> Result<RunReport, PanicPayload> {
@@ -168,7 +310,7 @@ impl WorkerPool {
             // end) before `work` is notified and before any job runs.
             let mut queue = lock(&self.shared.queue);
             for index in 1..workers {
-                queue.push_back(Job { body: erased, index, run: Arc::clone(&run) });
+                queue.push(tag, Job { body: erased, index, run: Arc::clone(&run) });
             }
         }
         self.shared.work.notify_all();
@@ -233,7 +375,7 @@ fn worker_loop(shared: Arc<PoolShared>) {
             // the claimed job body runs.
             let mut queue = lock(&shared.queue);
             loop {
-                if let Some(job) = queue.pop_front() {
+                if let Some(job) = queue.pop() {
                     break job;
                 }
                 // LOCK: waits on `work` with the `queue` guard it consumes
@@ -339,5 +481,79 @@ mod tests {
         let report = pool.run(2, &|_| {}).expect("reuse");
         assert!(report.reused_pool);
         assert!(pool.completed_runs() >= 2);
+    }
+
+    fn tag(query: u64, weight: u32) -> QueryTag {
+        QueryTag { query, weight }
+    }
+
+    #[test]
+    fn sched_fifo_within_one_query() {
+        let mut s: SchedQueues<u32> = SchedQueues::new();
+        for j in 0..5 {
+            s.push(tag(1, 1), j);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop()).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.stats.jobs_dispatched, 5);
+        assert_eq!(s.stats.query_switches, 1);
+    }
+
+    #[test]
+    fn sched_equal_weights_alternate() {
+        let mut s: SchedQueues<u64> = SchedQueues::new();
+        for j in 0..4 {
+            s.push(tag(1, 1), 100 + j);
+            s.push(tag(2, 1), 200 + j);
+        }
+        let queries: Vec<u64> = std::iter::from_fn(|| s.pop()).map(|j| j / 100).collect();
+        assert_eq!(queries, vec![1, 2, 1, 2, 1, 2, 1, 2]);
+        assert_eq!(s.stats.query_switches, 8);
+    }
+
+    #[test]
+    fn sched_weights_bias_dispatch_share() {
+        let mut s: SchedQueues<u64> = SchedQueues::new();
+        for j in 0..12 {
+            s.push(tag(1, 1), 100 + j);
+            s.push(tag(3, 3), 300 + j);
+        }
+        // Over the first 8 dispatches, the weight-3 query should receive
+        // three times the service of the weight-1 query (6 vs 2).
+        let first8: Vec<u64> = (0..8).map(|_| s.pop().expect("jobs queued") / 100).collect();
+        assert_eq!(first8.iter().filter(|&&q| q == 3).count(), 6, "{first8:?}");
+        assert_eq!(first8.iter().filter(|&&q| q == 1).count(), 2, "{first8:?}");
+    }
+
+    #[test]
+    fn sched_late_query_joins_at_current_vclock() {
+        let mut s: SchedQueues<u64> = SchedQueues::new();
+        for j in 0..6 {
+            s.push(tag(1, 1), 100 + j);
+        }
+        for _ in 0..4 {
+            s.pop();
+        }
+        // A query arriving late must not get a backlog of virtual time to
+        // burn (which would starve query 1), nor start in the future.
+        for j in 0..3 {
+            s.push(tag(2, 1), 200 + j);
+        }
+        let rest: Vec<u64> = std::iter::from_fn(|| s.pop()).map(|j| j / 100).collect();
+        assert_eq!(rest, vec![2, 1, 2, 1, 2], "{rest:?}");
+    }
+
+    #[test]
+    fn tagged_regions_run_and_count_switches() {
+        let pool = WorkerPool::global();
+        let before = pool.sched_stats();
+        let hits = AtomicUsize::new(0);
+        pool.run_tagged(tag(7, 2), 3, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("no panics");
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+        let after = pool.sched_stats();
+        assert!(after.jobs_dispatched >= before.jobs_dispatched + 2);
     }
 }

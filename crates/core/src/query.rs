@@ -127,6 +127,11 @@ pub struct QueryOptions {
     /// selection scratch); exceeded budgets surface as
     /// `EngineError::MemoryBudgetExceeded`. Must be nonzero when set.
     pub mem_budget: Option<usize>,
+    /// Shared-scheduler identity for the pool's weighted-fair interleaving
+    /// (DESIGN.md §15). The [`Engine`](crate::engine::Engine) stamps each
+    /// admitted query with a unique id and its session's weight; direct
+    /// `execute` callers keep the default untagged queue.
+    pub tag: crate::pool::QueryTag,
 }
 
 impl Default for QueryOptions {
@@ -144,6 +149,7 @@ impl Default for QueryOptions {
             cancel: None,
             time_budget: None,
             mem_budget: None,
+            tag: crate::pool::QueryTag::default(),
         }
     }
 }
@@ -169,6 +175,7 @@ impl QueryOptions {
             cancel: self.cancel.clone(),
             time_budget: self.time_budget,
             mem_budget: self.mem_budget,
+            tag: self.tag,
         }
     }
 }

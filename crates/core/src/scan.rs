@@ -31,7 +31,7 @@ use crate::expr::ResolvedExpr;
 use crate::filter::{span_runs_fraction, FilterScratch, ResolvedPredicate};
 use crate::governor::{CancelToken, Governor, MemScope};
 use crate::groupid::{plan_segment_mapper, NarrowMapper, SegmentGroupMapper, WideMapper};
-use crate::pool::{panic_message, WorkerPool};
+use crate::pool::{panic_message, QueryTag, WorkerPool};
 use crate::stats::ExecStats;
 use crate::strategy::{AggChoiceParams, AggStrategy, SelectionStrategy, StrategyConfig};
 use crate::trace::{Phase, ProfileLevel, QueryProfile, SpanLoc, Tracer, NO_ID};
@@ -98,6 +98,11 @@ pub struct ScanOptions {
     /// hash tables, selection vectors, unpack buffers); exceeding it fails
     /// with [`EngineError::MemoryBudgetExceeded`]. Must be non-zero.
     pub mem_budget: Option<usize>,
+    /// Shared-scheduler identity: which per-query pool queue this scan's
+    /// fork-join work lands in and its fair-share weight. Set by the
+    /// [`Engine`](crate::engine::Engine); standalone scans use the default
+    /// untagged queue.
+    pub tag: QueryTag,
 }
 
 impl Default for ScanOptions {
@@ -115,6 +120,7 @@ impl Default for ScanOptions {
             cancel: None,
             time_budget: None,
             mem_budget: None,
+            tag: QueryTag::default(),
         }
     }
 }
@@ -322,7 +328,7 @@ fn scan_parallel(
 
     let pool = WorkerPool::global();
     let report = pool
-        .run(threads, &|w| {
+        .run_tagged(ctx.options.tag, threads, &|w| {
             let mut local = ExecStats::default();
             let mut tracer = Tracer::new(level, w as u32);
             let mut states: HashMap<usize, SegScan<'_>> = HashMap::new();
@@ -425,7 +431,7 @@ fn scan_parallel(
         let merged_parts: Vec<Mutex<GroupMap>> =
             (0..threads).map(|_| Mutex::new(BTreeMap::new())).collect();
         let report = pool
-            .run(threads, &|p| {
+            .run_tagged(ctx.options.tag, threads, &|p| {
                 let mut out: GroupMap = BTreeMap::new();
                 for wp in &worker_parts {
                     // LOCK: slot guard dropped before merging, so at most

@@ -46,7 +46,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Duration;
 
-use bipie_metrics::{Counter, Histogram, Labels, Registry};
+use bipie_metrics::{Counter, Gauge, Histogram, Labels, Registry};
 use std::sync::Arc;
 
 use crate::error::EngineError;
@@ -79,6 +79,29 @@ const AGG_LABELS: [Labels; 5] = [
 /// Static `cause` label sets for governor trips.
 const TRIP_LABELS: [Labels; 3] =
     [&[("cause", "cancelled")], &[("cause", "deadline")], &[("cause", "memory")]];
+
+/// Static `reason` label sets for engine admission sheds, indexed by
+/// [`ShedReason`].
+const SHED_LABELS: [Labels; 4] = [
+    &[("reason", "queue_full")],
+    &[("reason", "aggregate_memory")],
+    &[("reason", "queue_timeout")],
+    &[("reason", "shutdown")],
+];
+
+/// Why the engine refused a query, as a telemetry label index. The engine
+/// maps its typed admission errors here when publishing shed counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// `EngineError::AdmissionRejected { reason: QueueFull }`.
+    QueueFull = 0,
+    /// `EngineError::AdmissionRejected { reason: AggregateMemory }`.
+    AggregateMemory = 1,
+    /// `EngineError::AdmissionTimeout`.
+    QueueTimeout = 2,
+    /// `EngineError::EngineShutdown`.
+    Shutdown = 3,
+}
 
 /// Non-poisoning lock acquisition: a panicked publisher must not take the
 /// decision log down with it — telemetry records plain-old-data, so the
@@ -345,6 +368,12 @@ pub struct EngineTelemetry {
     agg_picks: [Arc<Counter>; 5],
     selection_batch_cycles: [Arc<Histogram>; 4],
     agg_segment_cycles: [Arc<Histogram>; 5],
+    engine_active_queries: Arc<Gauge>,
+    engine_queued_queries: Arc<Gauge>,
+    engine_admissions: Arc<Counter>,
+    engine_sheds: [Arc<Counter>; 4],
+    sched_jobs_dispatched: Arc<Gauge>,
+    sched_query_switches: Arc<Gauge>,
 }
 
 impl Default for EngineTelemetry {
@@ -416,6 +445,37 @@ impl EngineTelemetry {
                 labels,
             )
         });
+        let engine_active_queries = registry.gauge(
+            "bipie_engine_active_queries",
+            "Queries currently admitted and executing on the engine.",
+            &[],
+        );
+        let engine_queued_queries = registry.gauge(
+            "bipie_engine_queued_queries",
+            "Queries currently waiting in the engine's admission queue.",
+            &[],
+        );
+        let engine_admissions =
+            counter("bipie_engine_admissions_total", "Queries admitted by the engine.");
+        let engine_sheds = SHED_LABELS.map(|labels| {
+            registry.counter(
+                "bipie_engine_sheds_total",
+                "Queries refused by engine admission control, by reason.",
+                labels,
+            )
+        });
+        let sched_jobs_dispatched = registry.gauge(
+            "bipie_sched_jobs_dispatched",
+            "Cumulative pool jobs dispatched by the shared scheduler \
+             (mirrored from the pool at publish time).",
+            &[],
+        );
+        let sched_query_switches = registry.gauge(
+            "bipie_sched_query_switches",
+            "Cumulative cross-query dispatch switches in the shared \
+             scheduler (mirrored from the pool at publish time).",
+            &[],
+        );
         Self {
             registry,
             // ORDERING: plain initialization; no concurrent observers yet.
@@ -435,6 +495,12 @@ impl EngineTelemetry {
             agg_picks,
             selection_batch_cycles,
             agg_segment_cycles,
+            engine_active_queries,
+            engine_queued_queries,
+            engine_admissions,
+            engine_sheds,
+            sched_jobs_dispatched,
+            sched_query_switches,
         }
     }
 
@@ -513,6 +579,39 @@ impl EngineTelemetry {
             EngineError::MemoryBudgetExceeded { .. } => self.governor_trips[2].inc(),
             _ => {}
         }
+    }
+
+    /// Publish an engine admission-state transition: the live/queued query
+    /// gauges, plus the admission counter when `admitted` (a queue-depth
+    /// update alone leaves the counter untouched).
+    pub fn publish_engine_admission(&self, active: usize, queued: usize, admitted: bool) {
+        if !self.on() {
+            return;
+        }
+        self.engine_active_queries.set(active as i64);
+        self.engine_queued_queries.set(queued as i64);
+        if admitted {
+            self.engine_admissions.inc();
+        }
+    }
+
+    /// Publish one shed decision by the engine's admission controller.
+    pub fn publish_engine_shed(&self, reason: ShedReason) {
+        if !self.on() {
+            return;
+        }
+        self.engine_sheds[reason as usize].inc();
+    }
+
+    /// Mirror the pool's cumulative shared-scheduler counters into the
+    /// registry. Called by the engine when a query finishes — gauges carry
+    /// monotone totals, so "latest publish wins" is exact on quiesce.
+    pub fn publish_sched_stats(&self, stats: crate::pool::SchedStats) {
+        if !self.on() {
+            return;
+        }
+        self.sched_jobs_dispatched.set(stats.jobs_dispatched.min(i64::MAX as u64) as i64);
+        self.sched_query_switches.set(stats.query_switches.min(i64::MAX as u64) as i64);
     }
 
     /// Walk a spans-level profile: per-strategy span-latency histograms and
@@ -747,6 +846,31 @@ mod tests {
             assert_eq!(t.governor_trips[2].value(), 0);
         } else {
             assert_eq!(t.query_errors.value(), 0);
+        }
+    }
+
+    #[test]
+    fn engine_publishes_track_admission_and_sheds() {
+        let t = EngineTelemetry::new();
+        t.publish_engine_admission(2, 1, true);
+        t.publish_engine_admission(1, 0, false);
+        t.publish_engine_shed(ShedReason::QueueFull);
+        t.publish_engine_shed(ShedReason::AggregateMemory);
+        t.publish_engine_shed(ShedReason::AggregateMemory);
+        t.publish_sched_stats(crate::pool::SchedStats { jobs_dispatched: 7, query_switches: 3 });
+        if t.on() {
+            assert_eq!(t.engine_active_queries.value(), 1);
+            assert_eq!(t.engine_queued_queries.value(), 0);
+            assert_eq!(t.engine_admissions.value(), 1);
+            assert_eq!(t.engine_sheds[ShedReason::QueueFull as usize].value(), 1);
+            assert_eq!(t.engine_sheds[ShedReason::AggregateMemory as usize].value(), 2);
+            assert_eq!(t.engine_sheds[ShedReason::QueueTimeout as usize].value(), 0);
+            assert_eq!(t.sched_jobs_dispatched.value(), 7);
+            assert_eq!(t.sched_query_switches.value(), 3);
+        } else {
+            // no_metrics: the same publishes must leave every value at 0.
+            assert_eq!(t.engine_admissions.value(), 0);
+            assert_eq!(t.sched_jobs_dispatched.value(), 0);
         }
     }
 

@@ -33,7 +33,8 @@ use crate::Diag;
 const ATOMIC_VARIANTS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
 /// The modules that own concurrent state and may use atomics.
-const ATOMIC_MODULES: [&str; 5] = [
+const ATOMIC_MODULES: [&str; 6] = [
+    "crates/core/src/engine.rs",
     "crates/core/src/pool.rs",
     "crates/core/src/governor.rs",
     "crates/core/src/telemetry.rs",

@@ -18,7 +18,7 @@ use std::path::Path;
 
 /// Required fields per committed bench file, mirroring what the experiment
 /// binaries write and DESIGN.md §9 documents.
-const SCHEMAS: [(&str, &[&str]); 6] = [
+const SCHEMAS: [(&str, &[&str]); 7] = [
     (
         "BENCH_scan.json",
         &[
@@ -71,6 +71,22 @@ const SCHEMAS: [(&str, &[&str]); 6] = [
         ],
     ),
     ("BENCH_telemetry_baseline.json", &["bench", "scale_factor", "rows", "runs", "median_secs"]),
+    (
+        "BENCH_serving.json",
+        &[
+            "bench",
+            "scale_factor",
+            "rows",
+            "runs",
+            "hardware_threads",
+            "max_concurrent",
+            "results",
+            "clients",
+            "qps",
+            "p50_us",
+            "p99_us",
+        ],
+    ),
 ];
 
 /// Check every committed bench file under `root`. Returns one message per

@@ -58,12 +58,24 @@ pub const CORE_LAYERS: &[(&str, &[&str])] = &[
             "strategy", "trace",
         ],
     ),
-    ("telemetry", &["error", "stats", "strategy", "trace"]),
+    ("telemetry", &["error", "pool", "stats", "strategy", "trace"]),
     (
         "query",
-        &["error", "expr", "filter", "governor", "scan", "stats", "strategy", "telemetry", "trace"],
+        &[
+            "error",
+            "expr",
+            "filter",
+            "governor",
+            "pool",
+            "scan",
+            "stats",
+            "strategy",
+            "telemetry",
+            "trace",
+        ],
     ),
     ("reference", &["error", "query", "stats"]),
+    ("engine", &["error", "governor", "pool", "query", "stats", "telemetry"]),
 ];
 
 fn allowed_in<'t>(table: &'t [(&str, &[&str])], name: &str) -> Option<&'t [&'t str]> {

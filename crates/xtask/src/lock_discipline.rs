@@ -11,7 +11,7 @@
 //! mechanical, the way `atomics-discipline` did for memory orderings:
 //!
 //! * **confinement** — `Mutex`/`RwLock`/`Condvar` appear only in the lock
-//!   modules (`LOCK_MODULES`: `core::pool`, `core::scan`,
+//!   modules (`LOCK_MODULES`: `core::engine`, `core::pool`, `core::scan`,
 //!   `core::telemetry`, `metrics::registry`) and in tests;
 //! * **annotation** — every lock-typed struct field and every
 //!   guard-acquisition site (`lock(…)`, `.lock()`, `.wait(…)`) carries an
@@ -44,7 +44,8 @@ use crate::scan::SourceFile;
 use crate::Diag;
 
 /// The only modules allowed to contain blocking synchronization.
-pub const LOCK_MODULES: [&str; 4] = [
+pub const LOCK_MODULES: [&str; 5] = [
+    "crates/core/src/engine.rs",
     "crates/core/src/pool.rs",
     "crates/core/src/scan.rs",
     "crates/core/src/telemetry.rs",

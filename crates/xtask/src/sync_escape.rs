@@ -27,7 +27,8 @@ use crate::scan::SourceFile;
 use crate::Diag;
 
 /// Modules that own concurrent state and may define sync-carrying structs.
-pub const SYNC_MODULES: [&str; 6] = [
+pub const SYNC_MODULES: [&str; 7] = [
+    "crates/core/src/engine.rs",
     "crates/core/src/pool.rs",
     "crates/core/src/governor.rs",
     "crates/core/src/scan.rs",
