@@ -357,9 +357,11 @@ impl Engine {
         session_cancel: Option<&CancelToken>,
     ) -> Result<QueryResult> {
         // Fail malformed options and unknown tables fast — before the
-        // query consumes an admission slot or queue position.
-        query.options.validate()?;
-        let table = self.lookup(table)?;
+        // query consumes an admission slot or queue position. These exits
+        // never reach `query::execute`'s telemetry seam, so they publish
+        // into the error counters here.
+        query.options.validate().inspect_err(|e| telemetry().publish_error(e))?;
+        let table = self.lookup(table).inspect_err(|e| telemetry().publish_error(e))?;
 
         // Tenant quotas clamp the query's own declarations (a query may
         // always ask for *less* than its quota, never more).

@@ -424,14 +424,10 @@ fn execute_inner(table: &Table, query: &Query) -> Result<QueryResult> {
         &mut merged,
         &mut stats,
     );
-    if stats.mutable_rows > 0 {
-        tail_tracer.span(
-            Phase::MutableTail,
-            SpanLoc::none(),
-            stats.mutable_rows as u64,
-            tail_start,
-        );
-    }
+    // Close unconditionally: a zero-row tail still accounts its (tiny)
+    // walk of the mutable region, and a conditionally-consumed span token
+    // is exactly what the span-balance audit pass rejects.
+    tail_tracer.span(Phase::MutableTail, SpanLoc::none(), stats.mutable_rows as u64, tail_start);
     profile.absorb(tail_tracer);
 
     let rows = merged

@@ -200,6 +200,47 @@ pub fn scan_table(
     // errors surface deterministically before any worker starts. The table
     // segment ordinal rides along as the id trace events carry.
     let plan_start = coord.start();
+    let planned =
+        plan_segments(table, filter, group_cols, sum_exprs, mm_exprs, &governor, &mut stats);
+    // Close on the planning *result*: a plan-time error (overflow proof,
+    // budget rejection) must not drop the `Phase::Plan` span.
+    coord.span(Phase::Plan, SpanLoc::none(), stats.rows_scanned as u64, plan_start);
+    let planned = planned?;
+    if planned.is_empty() {
+        profile.absorb(coord);
+        return Ok((BTreeMap::new(), stats, profile));
+    }
+
+    let threads = options
+        .threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1));
+    let ctx = ScanCtx { filter, group_cols, sum_exprs, mm_exprs, options, governor: &governor };
+
+    let merged = if options.parallel && threads > 1 {
+        scan_parallel(&planned, threads, &ctx, &mut stats, &mut profile, &mut coord)?
+    } else {
+        scan_serial(&planned, &ctx, &mut stats, &mut coord)?
+    };
+    stats.mem_reserved_peak = governor.peak_reserved();
+    profile.absorb(coord);
+    Ok((merged, stats, profile))
+}
+
+/// Admission planning for [`scan_table`]: walk the segments once, skipping
+/// empty and filter-eliminated ones, proving overflow/min-max safety, and
+/// admitting wide-group projections against the memory budget. Split out so
+/// the coordinator can bracket exactly this fallible region with the
+/// [`Phase::Plan`] span — the span closes on the planning result before any
+/// error propagates.
+fn plan_segments<'t>(
+    table: &'t Table,
+    filter: Option<&ResolvedPredicate>,
+    group_cols: &[(usize, LogicalType)],
+    sum_exprs: &[ResolvedExpr],
+    mm_exprs: &[ResolvedExpr],
+    governor: &Governor,
+    stats: &mut ExecStats,
+) -> Result<Vec<(u32, &'t Segment)>> {
     let mut planned: Vec<(u32, &Segment)> = Vec::new();
     for (seg_index, seg) in table.segments().iter().enumerate() {
         if seg.num_rows() == 0 || seg.live_rows() == 0 {
@@ -234,25 +275,7 @@ pub fn scan_table(
         stats.bytes_scanned += seg.encoded_bytes();
         planned.push((seg_index as u32, seg));
     }
-    coord.span(Phase::Plan, SpanLoc::none(), stats.rows_scanned as u64, plan_start);
-    if planned.is_empty() {
-        profile.absorb(coord);
-        return Ok((BTreeMap::new(), stats, profile));
-    }
-
-    let threads = options
-        .threads
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1));
-    let ctx = ScanCtx { filter, group_cols, sum_exprs, mm_exprs, options, governor: &governor };
-
-    let merged = if options.parallel && threads > 1 {
-        scan_parallel(&planned, threads, &ctx, &mut stats, &mut profile, &mut coord)?
-    } else {
-        scan_serial(&planned, &ctx, &mut stats, &mut coord)?
-    };
-    stats.mem_reserved_peak = governor.peak_reserved();
-    profile.absorb(coord);
-    Ok((merged, stats, profile))
+    Ok(planned)
 }
 
 /// Everything a worker needs to scan a segment, bundled for passing around.
@@ -419,9 +442,29 @@ fn scan_parallel(
         total_groups += lock(m).iter().map(BTreeMap::len).sum::<usize>();
     }
     let merge_start = coord.start();
+    let merged = merge_worker_parts(pool, ctx, threads, &worker_parts, total_groups, stats);
+    // Close on the merge *result*: a panicked merge worker must not drop
+    // the `Phase::ParallelMerge` span.
+    coord.span(Phase::ParallelMerge, SpanLoc::none(), total_groups as u64, merge_start);
+    merged
+}
+
+/// Phase 2 of [`scan_parallel`]: fold the workers' hash-partitioned maps
+/// into one ordered result — serially below
+/// [`PARALLEL_MERGE_MIN_GROUPS`], else one fork-join region with a worker
+/// per partition. Split out so the coordinator can bracket exactly this
+/// fallible region with the [`Phase::ParallelMerge`] span.
+fn merge_worker_parts(
+    pool: &WorkerPool,
+    ctx: &ScanCtx<'_>,
+    threads: usize,
+    worker_parts: &[Mutex<Vec<GroupMap>>],
+    total_groups: usize,
+    stats: &mut ExecStats,
+) -> Result<GroupMap> {
     let mut merged: GroupMap = BTreeMap::new();
     if total_groups < PARALLEL_MERGE_MIN_GROUPS {
-        for wp in &worker_parts {
+        for wp in worker_parts {
             // LOCK: serial drain after the join; one slot guard at a time.
             for part in lock(wp).drain(..) {
                 merge_groups(&mut merged, part);
@@ -433,7 +476,7 @@ fn scan_parallel(
         let report = pool
             .run_tagged(ctx.options.tag, threads, &|p| {
                 let mut out: GroupMap = BTreeMap::new();
-                for wp in &worker_parts {
+                for wp in worker_parts {
                     // LOCK: slot guard dropped before merging, so at most
                     // one lock is ever held by a merge worker.
                     let mut guard = lock(wp);
@@ -451,7 +494,6 @@ fn scan_parallel(
             merged.extend(mp.into_inner().unwrap_or_else(PoisonError::into_inner));
         }
     }
-    coord.span(Phase::ParallelMerge, SpanLoc::none(), total_groups as u64, merge_start);
     Ok(merged)
 }
 
@@ -631,8 +673,30 @@ impl<'a> SegScan<'a> {
             0,
             "morsel start must be batch-aligned"
         );
-        let governor = self.ctx.governor;
         let range_start = tracer.start();
+        let result = self.scan_batches(start, len, morsel, tracer);
+        // Close on the batch-loop *result*: a governor trip or a failed
+        // batch must not drop the `Phase::SegmentScan` span.
+        tracer.span(
+            Phase::SegmentScan,
+            SpanLoc::at(self.seg_index, morsel).with_stolen(stolen),
+            len as u64,
+            range_start,
+        );
+        result
+    }
+
+    /// The batch loop of [`SegScan::process_range`]: checkpoint, then
+    /// process, one batch window at a time. Split out so the caller can
+    /// bracket exactly this fallible region with the span.
+    fn scan_batches(
+        &mut self,
+        start: usize,
+        len: usize,
+        morsel: u32,
+        tracer: &mut Tracer,
+    ) -> Result<()> {
+        let governor = self.ctx.governor;
         for b in BatchCursor::with_batch_rows(len, self.ctx.options.batch_rows) {
             // The batch-boundary checkpoint: one branch when no limit is
             // set, so the governor-off path stays inside the ≤ 2% Off gate.
@@ -665,12 +729,6 @@ impl<'a> SegScan<'a> {
                 )?,
             }
         }
-        tracer.span(
-            Phase::SegmentScan,
-            SpanLoc::at(self.seg_index, morsel).with_stolen(stolen),
-            len as u64,
-            range_start,
-        );
         Ok(())
     }
 
@@ -1093,6 +1151,15 @@ impl<'a> NarrowScan<'a> {
             // cost-model choice suffices and any budget admits it.
             let strategy = options.forced_agg.unwrap_or_else(|| options.config.choose_agg(&params));
             if strategy != AggStrategy::RunWise {
+                // The span predicate evaluation above really ran; close its
+                // span before bailing to the generic path (which redoes the
+                // selection and records its own span — both happened).
+                tracer.span(
+                    Phase::Selection,
+                    SpanLoc::at(at.seg, at.morsel).with_selection(SelectionStrategy::RunSpan),
+                    batch.len as u64,
+                    select_start,
+                );
                 return false;
             }
             stats.record_agg(strategy);
@@ -1712,5 +1779,72 @@ mod tests {
         }
         assert_eq!(claimed_rows, 4000);
         assert!(steals > 0, "worker must have stolen from other partitions");
+    }
+
+    /// Pins the [`plan_segments`] extraction: admission planning is callable
+    /// standalone, accounts its stats, and propagates plan-time errors — the
+    /// coordinator relies on that to close the `Phase::Plan` span on the
+    /// planning *result* before any error propagates.
+    #[test]
+    fn plan_segments_accounts_stats_and_propagates_errors() {
+        let t = table(1000, 300);
+        let expr = v_expr(&t);
+        let governor = Governor::new(None, None, None);
+        let mut stats = ExecStats::default();
+        let planned = plan_segments(
+            &t,
+            None,
+            &[(0, LogicalType::Str)],
+            std::slice::from_ref(&expr),
+            &[],
+            &governor,
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(planned.len(), 4);
+        assert_eq!(stats.segments_scanned, 4);
+        assert_eq!(stats.rows_scanned, 1000);
+
+        let mut b =
+            TableBuilder::with_segment_rows(vec![ColumnSpec::new("v", LogicalType::I64)], 1000);
+        for _ in 0..10 {
+            b.push_row(vec![Value::I64(i64::MAX / 4)]);
+        }
+        let t2 = b.finish();
+        let sq = Expr::col("v").mul(Expr::col("v")).resolve(&|n| t2.column_index(n)).unwrap();
+        let mut stats2 = ExecStats::default();
+        let err =
+            plan_segments(&t2, None, &[], std::slice::from_ref(&sq), &[], &governor, &mut stats2)
+                .unwrap_err();
+        assert!(matches!(err, EngineError::PotentialOverflow { aggregate: 0 }), "{err:?}");
+    }
+
+    /// Pins the [`SegScan::scan_batches`] extraction: when the governor trips
+    /// at a batch checkpoint, [`SegScan::process_range`] still closes the
+    /// `Phase::SegmentScan` span around the failed batch loop.
+    #[test]
+    fn segment_scan_span_closes_when_the_governor_cancels_mid_scan() {
+        let t = table(1000, 1000);
+        let expr = v_expr(&t);
+        let token = crate::governor::CancelToken::new();
+        token.cancel();
+        let opts = ScanOptions { cancel: Some(token), ..Default::default() };
+        let governor = Governor::new(opts.cancel.clone(), None, None);
+        let ctx = ScanCtx {
+            filter: None,
+            group_cols: &[(0, LogicalType::Str)],
+            sum_exprs: std::slice::from_ref(&expr),
+            mm_exprs: &[],
+            options: &opts,
+            governor: &governor,
+        };
+        let seg = &t.segments()[0];
+        let mut scan = SegScan::plan(0, seg, &ctx).unwrap();
+        let mut tracer = Tracer::new(ProfileLevel::Spans, 0);
+        let err = scan.process_range(0, seg.num_rows(), NO_ID, false, &mut tracer).unwrap_err();
+        assert!(matches!(err, EngineError::Cancelled), "{err:?}");
+        let mut profile = QueryProfile::new(ProfileLevel::Spans);
+        profile.absorb(tracer);
+        assert_eq!(profile.phase(Phase::SegmentScan).count, 1, "{:?}", profile.phases);
     }
 }

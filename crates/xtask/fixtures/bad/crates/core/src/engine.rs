@@ -1,0 +1,8 @@
+//! Bad fixture: an engine boundary fn (`execute`) whose early validation
+//! error propagates via `?` without touching the telemetry publication
+//! seam — the error counters never see this exit.
+
+pub fn execute(q: &Query) -> Result<Output, EngineError> {
+    q.validate()?;
+    Ok(run(q))
+}

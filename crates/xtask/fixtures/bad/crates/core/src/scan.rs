@@ -9,3 +9,23 @@ pub fn unbudgeted_scan(rows: usize) -> Vec<u32> {
     gids[0] = scratch[0] as u32;
     gids
 }
+
+pub fn ungoverned_worker(sched: &Sched) -> u64 {
+    let mut total = 0;
+    let mut last = None;
+    while let Some(claim) = sched.claim(0, 2, &mut last) {
+        total += claim.range.len as u64;
+    }
+    total
+}
+
+pub fn leaky_span(tracer: &mut Tracer, rows: u64) -> Result<(), EngineError> {
+    let t = tracer.start();
+    fallible_work(rows)?;
+    tracer.span(Phase::Selection, SpanLoc::none(), rows, t);
+    Ok(())
+}
+
+pub fn unpaired_decision(tracer: &mut Tracer, s: Strategy) {
+    tracer.decision_selection(s);
+}

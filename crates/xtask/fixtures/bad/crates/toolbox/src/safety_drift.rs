@@ -1,0 +1,12 @@
+//! Bad fixture: a `// SAFETY:` contract that names a checkable
+//! precondition (`ptr_aligned()`, defined right here) which no path
+//! actually validates before the unsafe block.
+
+pub fn ptr_aligned(p: *const u8) -> bool {
+    (p as usize) % 64 == 0
+}
+
+pub fn read_wide(p: *const u8) -> u8 {
+    // SAFETY: 64-byte alignment established by ptr_aligned().
+    unsafe { *p }
+}

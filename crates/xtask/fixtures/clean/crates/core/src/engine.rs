@@ -1,0 +1,14 @@
+//! Clean fixture: an engine boundary fn that publishes every error exit —
+//! the early validation `?` publishes through `inspect_err`, and the tail
+//! `Err` is dominated by a publication.
+
+pub fn execute(q: &Query) -> Result<Output, EngineError> {
+    q.validate().inspect_err(|e| telemetry().publish_error(e))?;
+    match run(q) {
+        Ok(out) => Ok(out),
+        Err(e) => {
+            telemetry().publish_error(&e);
+            Err(e)
+        }
+    }
+}

@@ -17,3 +17,30 @@ pub fn budgeted_scan(mem: &mut MemScope, rows: usize) -> Result<Vec<u32>, ()> {
     mem.charge(rows * 4)?;
     Ok(vec![0u32; rows])
 }
+
+pub fn governed_worker(sched: &Sched, governor: &Governor) -> Result<u64, EngineError> {
+    let mut total = 0;
+    let mut last = None;
+    while let Some(claim) = sched.claim(0, 2, &mut last) {
+        if governor.active() {
+            governor.check()?;
+        }
+        total += claim.range.len as u64;
+    }
+    Ok(total)
+}
+
+pub fn balanced_span(tracer: &mut Tracer, rows: u64) -> Result<(), EngineError> {
+    let t = tracer.start();
+    let outcome = fallible_work(rows);
+    tracer.span(Phase::Selection, SpanLoc::none(), rows, t);
+    outcome?;
+    Ok(())
+}
+
+pub fn paired_decision(tracer: &mut Tracer, stats: &mut ExecStats, s: Strategy) {
+    stats.record_selection(s);
+    if tracer.enabled() {
+        tracer.decision_selection(s);
+    }
+}

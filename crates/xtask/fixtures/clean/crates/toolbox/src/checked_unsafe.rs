@@ -1,0 +1,13 @@
+//! Clean fixture: the `// SAFETY:` contract names `ptr_aligned()` and a
+//! dominating `debug_assert!` actually validates it before the unsafe
+//! block.
+
+pub fn ptr_aligned(p: *const u8) -> bool {
+    (p as usize) % 64 == 0
+}
+
+pub fn read_wide(p: *const u8) -> u8 {
+    debug_assert!(ptr_aligned(p));
+    // SAFETY: 64-byte alignment established by ptr_aligned().
+    unsafe { *p }
+}

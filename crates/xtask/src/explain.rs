@@ -21,7 +21,7 @@ pub struct PassExplain {
 }
 
 /// All pass explainers, in [`crate::ALL_PASSES`] order.
-pub const EXPLAINS: [PassExplain; 13] = [
+pub const EXPLAINS: [PassExplain; 17] = [
     PassExplain {
         name: "unsafe",
         id: "unsafe-audit",
@@ -161,11 +161,67 @@ pub const EXPLAINS: [PassExplain; 13] = [
         fix: "Depend downward only; if a new edge is genuinely needed, move the shared \
               code below both layers or extend the table in review.",
     },
+    PassExplain {
+        name: "checkpoints",
+        id: "checkpoint-reachability",
+        rule: "Every loop that claims morsels (`sched.claim(…)`) or iterates batches \
+               (`BatchCursor`) in `core::scan`/`core::pool`/`core::engine` reaches a \
+               `Governor` checkpoint on every path through its body — a 1-bit forward \
+               must-analysis over the fn's CFG, checked at the loop latch.",
+        rationale: "The governor only cancels and enforces budgets at checkpoints; one \
+                    `continue` path that skips the probe makes a cancelled query run \
+                    to completion anyway. Token-level adjacency cannot see that path.",
+        fix: "Add `if governor.active() { governor.check()?; }` so it executes on every \
+              re-iterating path (first statement of the loop body is the idiom).",
+    },
+    PassExplain {
+        name: "spans",
+        id: "span-balance",
+        rule: "Every profiler phase-span open (`let t = tracer.start();`) is consumed \
+               on all paths out of the fn — including early `?`/`return` exits and \
+               conditionally-closed branches (forward may-analysis; a bit live at the \
+               fn exit is a leaked span).",
+        rationale: "A span dropped on an error path silently loses the phase from every \
+                    profile that takes it, and the per-phase accounting tests only \
+                    assert the happy path.",
+        fix: "Extract the fallible region into a helper, close the span on its result, \
+              then `?` — or close the span in both arms before diverging.",
+    },
+    PassExplain {
+        name: "telemetry",
+        id: "telemetry-accounting",
+        rule: "Every path producing an `EngineError` out of the engine's \
+               `execute*`/`admit*` boundary reaches the telemetry publication seam \
+               (`publish_*`, directly or via a publishing callee), and every \
+               decision-log `decision_*` increment stays paired with its `record_*` \
+               `ExecStats` increment (same block, dominating, or postdominating).",
+        rationale: "The error counters and the decision/record pairs are the ops \
+                    surface; an unpublished error path makes production failures \
+                    invisible, and a half-paired increment skews both ledgers.",
+        fix: "Publish before the error leaves the boundary (e.g. \
+              `.inspect_err(|e| telemetry().publish_error(e))?`), and keep each \
+              `decision_*` site adjacent to its `record_*` site.",
+    },
+    PassExplain {
+        name: "safety",
+        id: "safety-precondition-flow",
+        rule: "Each `// SAFETY:` contract that names a checkable precondition — a \
+               standalone `name()` mention of a fn defined in this workspace — is \
+               dominated by a statement that calls it (`debug_assert!(name())`, an \
+               `if name()` header, or any dominating validation).",
+        rationale: "A comment that names a check no path performs is documentation \
+                    drift asserting a verification that does not happen; dominance is \
+                    what makes the precondition actually hold at the unsafe block.",
+        fix: "Add `debug_assert!(name(…))` (or branch on the predicate) before the \
+              unsafe block, or reword the comment if the obligation is the caller's.",
+    },
 ];
 
 /// Look up the explainer for a CLI pass name.
 pub fn lookup(name: &str) -> Option<&'static PassExplain> {
-    EXPLAINS.iter().find(|e| e.name == name)
+    // Accept the CLI pass name or the diagnostic id a report printed —
+    // whichever form the user has in front of them.
+    EXPLAINS.iter().find(|e| e.name == name || e.id == name)
 }
 
 /// Render one explainer as the text printed by `--explain`.
@@ -205,5 +261,12 @@ mod tests {
     #[test]
     fn unknown_pass_has_no_explainer() {
         assert!(lookup("nonsense").is_none());
+    }
+
+    #[test]
+    fn diagnostic_ids_resolve_too() {
+        let by_id = lookup("checkpoint-reachability").unwrap();
+        assert_eq!(by_id.name, "checkpoints");
+        assert!(std::ptr::eq(by_id, lookup("checkpoints").unwrap()));
     }
 }

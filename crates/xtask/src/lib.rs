@@ -1,11 +1,13 @@
 //! `cargo xtask audit` — repo-local static analysis for the BIPie workspace.
 //!
-//! Thirteen passes, all built on the hand-rolled token lexer in [`lexer`]
+//! Seventeen passes, all built on the hand-rolled token lexer in [`lexer`]
 //! and — for the semantic passes — the recursive-descent item parser in
-//! [`parser`] and the symbol/module graph in [`graph`] (zero dependencies,
-//! no `syn`). Each source file is read, lexed and parsed exactly once per
-//! run ([`Corpus`]); passes share the corpus and report per-pass wall time
-//! in the `--json` report.
+//! [`parser`], the symbol/module graph in [`graph`], and the per-fn
+//! control-flow graphs in [`cfg`] with the worklist dataflow framework in
+//! [`dataflow`] (zero dependencies, no `syn`). Each source file is read,
+//! lexed, parsed and CFG-lowered exactly once per run ([`Corpus`]); passes
+//! share the corpus and report per-pass wall time (plus CFG lowering
+//! coverage) in the `--json` report.
 //!
 //! 1. [`unsafe_audit`] — every `unsafe` block must sit under a `// SAFETY:`
 //!    comment and every `unsafe fn` must carry a `# Safety` contract.
@@ -54,6 +56,20 @@
 //! 13. [`layer_conformance`] — the `use` graph conforms to the crate DAG
 //!     (toolbox → columnstore/metrics → core → tpch/bench) and to the
 //!     core-module layer table, and every crate's module graph is acyclic.
+//! 14. [`checkpoint_reachability`] — every loop claiming morsels or
+//!     iterating batches in the scan/pool/engine layer reaches a `Governor`
+//!     checkpoint on every path through its body (dataflow over the per-fn
+//!     CFGs from [`cfg`], solved by the worklist framework in [`dataflow`]).
+//! 15. [`span_balance`] — every profiler phase-span open
+//!     (`let t = tracer.start()`) is consumed on all paths, including early
+//!     `?`/`return` exits and conditionally-closed branches.
+//! 16. [`telemetry_accounting`] — every path producing an `EngineError` out
+//!     of the engine's `execute*`/`admit*` boundary reaches the telemetry
+//!     publication seam, and decision-log increments stay paired with their
+//!     `ExecStats` increment sites.
+//! 17. [`safety_flow`] — each `// SAFETY:` contract naming a checkable
+//!     precondition (a workspace fn like `has_avx2()`) is dominated by a
+//!     validation of it.
 //!
 //! Violations print as `path:line: [pass] message` (or as SARIF with
 //! `--json`) and make the binary exit `1`; `2` is reserved for internal
@@ -68,6 +84,9 @@
 pub mod accountant;
 pub mod atomics;
 pub mod bench_check;
+pub mod cfg;
+pub mod checkpoint_reachability;
+pub mod dataflow;
 pub mod dispatch_matrix;
 pub mod error_surface;
 pub mod explain;
@@ -80,8 +99,11 @@ pub mod lock_discipline;
 pub mod panics;
 pub mod parser;
 pub mod report;
+pub mod safety_flow;
 pub mod scan;
+pub mod span_balance;
 pub mod sync_escape;
+pub mod telemetry_accounting;
 pub mod thread_hygiene;
 pub mod trace_hygiene;
 pub mod unsafe_audit;
@@ -101,7 +123,9 @@ pub struct Diag {
     /// `invariants`, `thread-hygiene`, `trace-hygiene`, `accountant`,
     /// `atomics-discipline`, `panic-freedom`, `dispatch-matrix`,
     /// `lock-discipline`, `sync-escape`, `error-surface`,
-    /// `layer-conformance`, `allowlist`, `baseline`).
+    /// `layer-conformance`, `checkpoint-reachability`, `span-balance`,
+    /// `telemetry-accounting`, `safety-precondition-flow`, `allowlist`,
+    /// `baseline`).
     pub pass: &'static str,
     /// Human-readable description of the violation.
     pub msg: String,
@@ -114,7 +138,7 @@ impl fmt::Display for Diag {
 }
 
 /// Every pass name accepted by [`run_audit`], in execution order.
-pub const ALL_PASSES: [&str; 13] = [
+pub const ALL_PASSES: [&str; 17] = [
     "unsafe",
     "kernels",
     "invariants",
@@ -128,6 +152,10 @@ pub const ALL_PASSES: [&str; 13] = [
     "sync",
     "errors",
     "layers",
+    "checkpoints",
+    "spans",
+    "telemetry",
+    "safety",
 ];
 
 /// The audited corpus: every workspace source file read, lexed and parsed
@@ -160,17 +188,35 @@ pub struct PassTiming {
     pub micros: u128,
 }
 
+/// CFG lowering coverage for one audit run: how many fns (counting
+/// closures) lowered without any unmodeled construct, totalled and broken
+/// out per file that has fallbacks. Reported in the `--json` property bag
+/// so coverage regressions are visible in CI before they erode the
+/// dataflow passes.
+#[derive(Default)]
+pub struct CfgCoverage {
+    /// Fns (plus closures) seen across the corpus.
+    pub fn_total: usize,
+    /// Fns lowered without any unmodeled event.
+    pub fn_clean: usize,
+    /// `(path, fn_total, fn_clean)` for every file with at least one
+    /// fallback, sorted by path.
+    pub fallback_files: Vec<(String, usize, usize)>,
+}
+
 /// Diagnostics plus per-pass timings from one audit run.
 pub struct AuditOutcome {
     /// Post-allowlist/baseline diagnostics, sorted by path/line/pass.
     pub diags: Vec<Diag>,
     /// One entry per executed pass, in execution order.
     pub timings: Vec<PassTiming>,
+    /// CFG lowering coverage over the audited corpus.
+    pub coverage: CfgCoverage,
 }
 
 /// The pass dispatch table: CLI name → runner over the shared [`Corpus`].
 type PassFn = fn(&Corpus) -> Vec<Diag>;
-const PASS_TABLE: [(&str, PassFn); 13] = [
+const PASS_TABLE: [(&str, PassFn); 17] = [
     ("unsafe", |c| unsafe_audit::check(&c.files)),
     ("kernels", |c| kernel_contract::check(&c.files)),
     ("invariants", |c| invariants::check(&c.files)),
@@ -184,6 +230,10 @@ const PASS_TABLE: [(&str, PassFn); 13] = [
     ("sync", |c| sync_escape::check(&c.files)),
     ("errors", |c| error_surface::check(&c.files)),
     ("layers", |c| layer_conformance::check(&c.files, &c.graph)),
+    ("checkpoints", |c| checkpoint_reachability::check(&c.files)),
+    ("spans", |c| span_balance::check(&c.files)),
+    ("telemetry", |c| telemetry_accounting::check(&c.files, &c.graph)),
+    ("safety", |c| safety_flow::check(&c.files)),
 ];
 
 /// Load the audited corpus once and run the requested passes.
@@ -196,7 +246,7 @@ pub fn run_audit(root: &Path, passes: &[&str]) -> Vec<Diag> {
     run_audit_timed(root, passes).diags
 }
 
-/// [`run_audit`], also reporting per-pass wall time.
+/// [`run_audit`], also reporting per-pass wall time and CFG coverage.
 pub fn run_audit_timed(root: &Path, passes: &[&str]) -> AuditOutcome {
     let corpus = Corpus::load(root);
     let mut diags = Vec::new();
@@ -208,10 +258,104 @@ pub fn run_audit_timed(root: &Path, passes: &[&str]) -> AuditOutcome {
             timings.push(PassTiming { pass: name, micros: start.elapsed().as_micros() });
         }
     }
+    let mut coverage = CfgCoverage::default();
+    for f in &corpus.files {
+        coverage.fn_total += f.cfgs.fn_total;
+        coverage.fn_clean += f.cfgs.fn_clean;
+        if f.cfgs.fn_clean < f.cfgs.fn_total {
+            coverage.fallback_files.push((f.rel.clone(), f.cfgs.fn_total, f.cfgs.fn_clean));
+        }
+    }
     diags = apply_allowlist(root, diags);
     diags = report::apply_baseline(root, diags);
     diags.sort_by(|a, b| (&a.path, a.line, a.pass).cmp(&(&b.path, b.line, b.pass)));
-    AuditOutcome { diags, timings }
+    AuditOutcome { diags, timings, coverage }
+}
+
+/// Workspace-relative paths touched by the working tree (staged, unstaged,
+/// and untracked), for `cargo xtask audit --changed`. Errors (not a git
+/// checkout, git missing) come back as a message — the CLI maps them to
+/// exit code 2, keeping "the auditor broke" distinct from findings.
+pub fn changed_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for args in
+        [&["diff", "--name-only", "HEAD"][..], &["ls-files", "--others", "--exclude-standard"][..]]
+    {
+        let run = std::process::Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(args)
+            .output()
+            .map_err(|e| format!("cannot run git: {e}"))?;
+        if !run.status.success() {
+            return Err(format!(
+                "git {} failed: {}",
+                args.join(" "),
+                String::from_utf8_lossy(&run.stderr).trim()
+            ));
+        }
+        out.extend(
+            String::from_utf8_lossy(&run.stdout)
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty())
+                .map(str::to_string),
+        );
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+/// The module parents of a workspace-relative source path: every ancestor
+/// `mod.rs` under `src/`, plus the crate roots `src/lib.rs`/`src/main.rs`.
+/// A change to `crates/core/src/scan/hot.rs` puts `crates/core/src/scan/
+/// mod.rs` and `crates/core/src/lib.rs` in scope too, because passes report
+/// module- and crate-level findings (layering, error surface) against those
+/// files.
+pub fn module_parents(rel: &str) -> Vec<String> {
+    let Some((mut dir, _)) = rel.rsplit_once('/') else { return Vec::new() };
+    let mut out = Vec::new();
+    loop {
+        match dir.rsplit_once('/') {
+            Some((parent, leaf)) if leaf != "src" => {
+                out.push(format!("{dir}/mod.rs"));
+                dir = parent;
+            }
+            Some(_) => {
+                out.push(format!("{dir}/lib.rs"));
+                out.push(format!("{dir}/main.rs"));
+                break;
+            }
+            // The workspace root package keeps its sources in a top-level
+            // `src/`; its crate roots are parents too.
+            None if dir == "src" => {
+                out.push("src/lib.rs".to_string());
+                out.push("src/main.rs".to_string());
+                break;
+            }
+            // Never reached a `src/` ancestor: not a module file (docs,
+            // fixtures, config) — no parents.
+            None => return Vec::new(),
+        }
+    }
+    out.retain(|p| p != rel);
+    out
+}
+
+/// Restrict `diags` to findings in `changed` files or their module parents.
+/// Allowlist/baseline bookkeeping findings are dropped too: scoping removes
+/// the diagnostics their entries match, so "stale entry" would be a false
+/// alarm here — only the full run enforces that the two files shrink.
+pub fn scope_to_changed(diags: Vec<Diag>, changed: &[String]) -> Vec<Diag> {
+    let mut scope: std::collections::BTreeSet<String> = changed.iter().cloned().collect();
+    for rel in changed {
+        scope.extend(module_parents(rel));
+    }
+    diags
+        .into_iter()
+        .filter(|d| d.pass != "allowlist" && d.pass != "baseline" && scope.contains(&d.path))
+        .collect()
 }
 
 /// Subtract allowlisted `path:line` entries from `diags`; entries that match

@@ -8,19 +8,30 @@
 //!                                    #   invariants | threads | trace |
 //!                                    #   accountant | atomics | panics |
 //!                                    #   dispatch | locks | sync |
-//!                                    #   errors | layers
+//!                                    #   errors | layers | checkpoints |
+//!                                    #   spans | telemetry | safety
 //! cargo xtask audit --json           # SARIF 2.1.0 on stdout, with
-//!                                    #   per-pass wall times in the run
+//!                                    #   per-pass wall times and CFG
+//!                                    #   lowering coverage in the run
 //!                                    #   property bag
+//! cargo xtask audit --changed        # all passes, findings filtered to
+//!                                    #   files the git working tree
+//!                                    #   touches plus their module parents
 //! cargo xtask audit --explain locks  # rule / rationale / example fix
 //! cargo xtask audit --write-baseline # suppress current findings by ID
+//! cargo xtask audit --enforce-budget # fail if audit wall time exceeds
+//!                                    #   crates/xtask/audit-budget.txt ms
 //! cargo xtask audit --root <path>    # audit a different tree (tests)
 //! cargo xtask bench-check            # validate committed BENCH_*.json
 //! ```
 //!
-//! Audit exit codes: `0` clean, `1` findings, `2` internal error (bad
-//! usage, unwritable baseline). CI keys off this to distinguish "the tree
-//! regressed" from "the auditor broke".
+//! Audit exit codes: `0` clean, `1` findings (or budget exceeded under
+//! `--enforce-budget`), `2` internal error (bad usage, unwritable baseline,
+//! git failure under `--changed`). `--changed` keeps exit-code parity with
+//! the full run: a scoped run that surfaces findings exits `1` exactly like
+//! `cargo xtask audit` would, so pre-push hooks can substitute it for the
+//! full gate without remapping codes. CI keys off this to distinguish "the
+//! tree regressed" from "the auditor broke".
 
 #![forbid(unsafe_code)]
 
@@ -34,8 +45,8 @@ fn main() -> ExitCode {
         Some("bench-check") => bench_check(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo xtask audit [{}] [--json] [--explain <pass>] [--write-baseline] \
-                 [--root <path>]\n       \
+                "usage: cargo xtask audit [{}] [--json] [--changed] [--explain <pass>] \
+                 [--write-baseline] [--enforce-budget] [--root <path>]\n       \
                  cargo xtask bench-check [--root <path>]",
                 xtask::ALL_PASSES.join("|")
             );
@@ -87,6 +98,8 @@ fn audit(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
     let mut write_baseline = false;
+    let mut changed = false;
+    let mut enforce_budget = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -98,6 +111,8 @@ fn audit(args: &[String]) -> ExitCode {
                 }
             },
             "--json" => json = true,
+            "--changed" => changed = true,
+            "--enforce-budget" => enforce_budget = true,
             "--explain" => match it.next() {
                 Some(name) => match xtask::explain::lookup(name) {
                     Some(entry) => {
@@ -130,10 +145,28 @@ fn audit(args: &[String]) -> ExitCode {
     if passes.is_empty() {
         passes = xtask::ALL_PASSES.to_vec();
     }
+    if changed && write_baseline {
+        // A baseline written from a scoped run would silently drop every
+        // suppression outside the scope; only the full run may write it.
+        eprintln!("--changed cannot be combined with --write-baseline");
+        return ExitCode::from(2);
+    }
     let root = root.unwrap_or_else(default_root);
 
+    let audit_start = std::time::Instant::now();
     let outcome = xtask::run_audit_timed(&root, &passes);
-    let diags = outcome.diags;
+    let wall_ms = audit_start.elapsed().as_millis();
+    let mut diags = outcome.diags;
+
+    if changed {
+        match xtask::changed_files(&root) {
+            Ok(files) => diags = xtask::scope_to_changed(diags, &files),
+            Err(e) => {
+                eprintln!("--changed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     if write_baseline {
         let ids = xtask::report::stable_ids(&diags);
@@ -147,7 +180,10 @@ fn audit(args: &[String]) -> ExitCode {
     }
 
     if json {
-        print!("{}", xtask::report::to_sarif_timed(&diags, &outcome.timings));
+        print!(
+            "{}",
+            xtask::report::to_sarif_full(&diags, &outcome.timings, Some(&outcome.coverage))
+        );
     } else {
         for d in &diags {
             println!("{d}");
@@ -157,6 +193,24 @@ fn audit(args: &[String]) -> ExitCode {
         } else {
             println!("audit FAILED: {} diagnostic(s)", diags.len());
         }
+    }
+    if enforce_budget {
+        let path = root.join("crates/xtask/audit-budget.txt");
+        let budget_ms: u128 = match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| s.trim().parse().map_err(|e: std::num::ParseIntError| e.to_string()))
+        {
+            Ok(ms) => ms,
+            Err(e) => {
+                eprintln!("cannot read budget {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        if wall_ms > budget_ms {
+            println!("audit budget EXCEEDED: {wall_ms}ms > {budget_ms}ms");
+            return ExitCode::FAILURE;
+        }
+        println!("audit wall time {wall_ms}ms within budget {budget_ms}ms");
     }
     if diags.is_empty() {
         ExitCode::SUCCESS

@@ -21,6 +21,7 @@ use std::fs;
 use std::ops::Range;
 use std::path::{Path, PathBuf};
 
+use crate::cfg::{self, FileCfgs};
 use crate::lexer::{self, Tok};
 use crate::parser::{self, Item};
 
@@ -43,6 +44,10 @@ pub struct SourceFile {
     /// 0-based line ranges of `#[cfg(test)]`-gated items (brace-matched
     /// when lexed; the legacy first-marker heuristic on fallback).
     pub test_regions: Vec<Range<usize>>,
+    /// Per-fn control-flow graphs ([`crate::cfg`]) plus the fn-level
+    /// lowering-coverage counters, built once here for all dataflow
+    /// passes. Empty on the scrub fallback path.
+    pub cfgs: FileCfgs,
 }
 
 impl SourceFile {
@@ -64,6 +69,7 @@ impl SourceFile {
                 (code, Vec::new(), Vec::new(), std::iter::once(first..usize::MAX).collect())
             }
         };
+        let cfgs = cfg::lower_file(text, &toks, &items);
         SourceFile {
             rel: rel.to_string(),
             text: text.to_string(),
@@ -72,6 +78,7 @@ impl SourceFile {
             toks,
             items,
             test_regions,
+            cfgs,
         }
     }
 

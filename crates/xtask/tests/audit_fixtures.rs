@@ -5,7 +5,7 @@
 
 use std::path::{Path, PathBuf};
 
-const ALL: [&str; 13] = xtask::ALL_PASSES;
+const ALL: [&str; 17] = xtask::ALL_PASSES;
 
 fn fixture(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
@@ -227,6 +227,92 @@ fn bad_fixture_layer_conformance() {
 }
 
 #[test]
+fn bad_fixture_checkpoint_reachability() {
+    let text = rendered(&fixture("bad")).join("\n");
+    assert!(
+        text.contains(
+            "crates/core/src/scan.rs:16: [checkpoint-reachability] governed loop in \
+             `ungoverned_worker`"
+        ),
+        "{text}"
+    );
+    assert!(text.contains("re-iterates without reaching a `Governor` checkpoint"), "{text}");
+}
+
+#[test]
+fn bad_fixture_span_balance() {
+    let text = rendered(&fixture("bad")).join("\n");
+    assert!(
+        text.contains(
+            "crates/core/src/scan.rs:23: [span-balance] profiler span `t` opened in `leaky_span` \
+             is not closed on every path"
+        ),
+        "{text}"
+    );
+    // The other span opens in the fixture tree are balanced.
+    assert_eq!(text.matches("[span-balance]").count(), 1, "{text}");
+}
+
+#[test]
+fn bad_fixture_telemetry_accounting() {
+    let text = rendered(&fixture("bad")).join("\n");
+    // Unpublished `?` exit from a boundary fn.
+    assert!(
+        text.contains(
+            "crates/core/src/engine.rs:6: [telemetry-accounting] `?` propagates the error out \
+             of boundary fn `execute`"
+        ),
+        "{text}"
+    );
+    // Decision-log increment with no paired ExecStats increment.
+    assert!(
+        text.contains(
+            "crates/core/src/scan.rs:30: [telemetry-accounting] `decision_selection` logged in \
+             `unpaired_decision` with no `record_selection`"
+        ),
+        "{text}"
+    );
+}
+
+#[test]
+fn bad_fixture_safety_precondition_flow() {
+    let text = rendered(&fixture("bad")).join("\n");
+    assert!(
+        text.contains(
+            "crates/toolbox/src/safety_drift.rs:11: [safety-precondition-flow] `// SAFETY:` \
+             names checkable precondition `ptr_aligned()`"
+        ),
+        "{text}"
+    );
+    // The clean twin (fixtures/clean) validates with a dominating
+    // debug_assert and must stay quiet — covered by clean_fixture_audits_clean.
+}
+
+#[test]
+fn dataflow_rule_ids_round_trip_through_sarif() {
+    let diags = xtask::run_audit(&fixture("bad"), &["checkpoints", "spans", "telemetry", "safety"]);
+    let passes: std::collections::BTreeSet<&str> = diags.iter().map(|d| d.pass).collect();
+    let rules = [
+        "checkpoint-reachability",
+        "span-balance",
+        "telemetry-accounting",
+        "safety-precondition-flow",
+    ];
+    for rule in rules {
+        assert!(passes.contains(rule), "{rule} missing from bad-fixture findings: {passes:?}");
+    }
+    let ids = xtask::report::stable_ids(&diags);
+    let sarif = xtask::report::to_sarif(&diags);
+    for rule in rules {
+        assert!(sarif.contains(&format!("{{ \"id\": \"{rule}\" }}")), "{sarif}");
+    }
+    for id in &ids {
+        assert!(sarif.contains(id.as_str()), "{id} missing from SARIF:\n{sarif}");
+    }
+    assert_eq!(xtask::report::parse_baseline(&xtask::report::render_baseline(&ids)), ids);
+}
+
+#[test]
 fn new_rule_ids_round_trip_through_sarif() {
     let diags = xtask::run_audit(&fixture("bad"), &["locks", "sync", "errors", "layers"]);
     let passes: std::collections::BTreeSet<&str> = diags.iter().map(|d| d.pass).collect();
@@ -280,6 +366,19 @@ fn allowlist_suppresses_and_reports_stale_entries() {
     assert_eq!(diags.len(), 1, "{diags:?}");
     assert_eq!(diags[0].pass, "allowlist");
     assert!(diags[0].msg.contains("stale entry"), "{}", diags[0]);
+}
+
+#[test]
+fn real_tree_cfg_lowering_coverage_is_at_least_95_percent() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap();
+    let corpus = xtask::Corpus::load(&root);
+    let (total, clean) =
+        corpus.files.iter().fold((0, 0), |(t, c), f| (t + f.cfgs.fn_total, c + f.cfgs.fn_clean));
+    assert!(total > 100, "the workspace should have many fns, saw {total}");
+    assert!(
+        clean * 100 >= total * 95,
+        "CFG lowering must stay ≥95% fallback-free: {clean}/{total} clean"
+    );
 }
 
 #[test]

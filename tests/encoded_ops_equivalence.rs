@@ -263,3 +263,34 @@ fn dictionary_predicates_match_reference() {
         assert_eq!(fast.rows, slow.rows, "{label}");
     }
 }
+
+/// Pins the span-balance fix in `SegScan::try_process_runwise`: when the
+/// run-wise probe evaluates the predicate into spans but the agg chooser
+/// declines the run-wise path (fully fragmented runs make its O(runs) work
+/// no better than dense), the already-started `Selection` span must still
+/// close — tagged `RunSpan`, distinct from the generic path's own
+/// selection span for the same batch. Forcing is no good here: a forced
+/// non-run-wise strategy disables the probe up front.
+#[test]
+fn declined_run_wise_probe_still_closes_its_selection_span() {
+    use bipie::core::{Phase, ProfileLevel, TraceEvent};
+    let t = rle_table(3000, 1, 1100); // run_len 1: runs_fraction == 1.0
+    let opts = QueryOptions { parallel: false, profile: ProfileLevel::Spans, ..Default::default() };
+    let r = execute(&t, &agg_query(Some(Predicate::lt("k", Value::I64(2000))), opts)).unwrap();
+    // The probe was declined: no run-wise aggregation, no RunSpan pick in
+    // the stats (the bail happens before `record_selection`).
+    assert_eq!(r.stats.agg_count(AggStrategy::RunWise), 0, "{:?}", r.stats);
+    assert_eq!(r.stats.selection_count(SelectionStrategy::RunSpan), 0, "{:?}", r.stats);
+    // ...yet the probe's predicate work is accounted: each segment's first
+    // batch carries a closed RunSpan-tagged Selection span.
+    let probe_spans = r
+        .profile
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(e, TraceEvent::Span { phase: Phase::Selection, loc, .. }
+                if loc.selection == Some(SelectionStrategy::RunSpan))
+        })
+        .count();
+    assert!(probe_spans >= 1, "declined probe must close its span: {probe_spans}");
+}

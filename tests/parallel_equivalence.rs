@@ -312,3 +312,27 @@ fn invalid_parallel_options_are_typed_errors() {
         );
     }
 }
+
+/// Pins the span-balance fix in `query.rs`: the `MutableTail` span closes
+/// unconditionally, so a fully-flushed table (zero mutable rows) still
+/// records exactly one tail span — previously the span token was consumed
+/// only when the mutable region was non-empty.
+#[test]
+fn mutable_tail_span_closes_with_zero_mutable_rows() {
+    let t = skewed_table(&[2_000], 9, 5); // flush_mutable ran: tail is empty
+    let options = QueryOptions { profile: ProfileLevel::Spans, ..serial_options() };
+    let r = execute(&t, &the_query(-2000, options)).unwrap();
+    assert_eq!(r.profile.phase(Phase::MutableTail).count, 1, "{:?}", r.profile.phases);
+    assert_eq!(r.profile.phase(Phase::MutableTail).rows, 0);
+}
+
+/// Pins the `merge_worker_parts` extraction in `scan.rs`: the phase-2
+/// parallel merge still records its `ParallelMerge` span (closed on the
+/// merge result) when the group count crosses the fork-join threshold.
+#[test]
+fn parallel_merge_span_survives_the_merge_extraction() {
+    let t = skewed_table(&[20_000, 3_000], 1_000, 13); // >128 groups: phase-2 merge runs
+    let options = QueryOptions { profile: ProfileLevel::Spans, ..parallel_options(4, 1024, 256) };
+    let r = execute(&t, &the_query(-2000, options)).unwrap();
+    assert!(r.profile.phase(Phase::ParallelMerge).count >= 1, "{:?}", r.profile.phases);
+}

@@ -271,3 +271,42 @@ fn no_metrics_build_is_inert() {
         assert!(telemetry().decision_log().is_empty());
     }
 }
+
+/// Pins the telemetry-accounting fix in `engine.rs`: the fast-fail exits of
+/// `execute_with` (option validation, table lookup) happen before the query
+/// reaches `query::execute`'s publication seam, so they must publish into
+/// the error counter themselves. Counters are process-wide and monotone, so
+/// the assertions are deltas, robust to parallel tests publishing too.
+#[test]
+fn engine_fast_fail_errors_are_published() {
+    use bipie::core::{AggExpr, Engine, EngineError, QueryBuilder};
+    if bipie::core::telemetry::metrics_compiled_out() || !telemetry().on() {
+        return;
+    }
+    let errors = telemetry().registry().counter(
+        "bipie_query_errors_total",
+        "Queries that returned an error.",
+        &[],
+    );
+    let engine = Engine::with_defaults();
+    let query = QueryBuilder::new().aggregate(AggExpr::count_star()).build();
+
+    let before = errors.value();
+    let err = engine.execute("no_such_table", &query).unwrap_err();
+    assert!(matches!(err, EngineError::UnknownTable(_)), "{err:?}");
+    assert!(errors.value() > before, "unknown-table exit must publish");
+
+    let before = errors.value();
+    let mut bad = query.clone();
+    bad.options.batch_rows = 0;
+    engine.register_table(
+        "t",
+        bipie::columnstore::Table::with_segment_rows(
+            vec![bipie::columnstore::ColumnSpec::new("v", bipie::columnstore::LogicalType::I64)],
+            1 << 20,
+        ),
+    );
+    let err = engine.execute("t", &bad).unwrap_err();
+    assert!(matches!(err, EngineError::InvalidOptions { .. }), "{err:?}");
+    assert!(errors.value() > before, "invalid-options exit must publish");
+}
